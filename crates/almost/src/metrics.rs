@@ -1,0 +1,443 @@
+//! Quantifying inconsistency: staleness, inversions, and `k`-atomicity
+//! bounds over execution histories.
+//!
+//! The paper's future-work agenda (§7) asks how much inconsistency a *fast*
+//! (hence provably non-atomic) implementation actually exhibits. Two
+//! anomaly families cover everything a register history can do wrong while
+//! still returning genuinely-written values:
+//!
+//! - **Staleness** — a read returns a value although strictly newer writes
+//!   finished before the read even started. We count, per read, the number
+//!   of such newer completed writes; atomicity is exactly "every read has
+//!   staleness 0 *and* no inversions".
+//! - **New/old inversions** — two non-concurrent reads return values in the
+//!   opposite order (the later read returns the older value). This is the
+//!   anomaly 2-atomicity-style models (Wei et al., ref [28]) bound.
+//!
+//! Both quantities are computed against the total order on tags (§5.2 of
+//! the paper), which the protocols in this workspace assign to every write.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mwr_check::{History, Operation};
+use mwr_core::OpId;
+use mwr_types::TaggedValue;
+
+/// Per-read staleness: how many completed-before writes were newer than the
+/// returned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStaleness {
+    /// The read operation.
+    pub op: OpId,
+    /// What it returned.
+    pub returned: TaggedValue,
+    /// Number of writes with a strictly larger tag that completed before
+    /// this read was invoked. `0` means the read was *fresh*.
+    pub staleness: usize,
+}
+
+/// Inconsistency quantification of one history.
+///
+/// # Examples
+///
+/// A fresh history has zero everything:
+///
+/// ```
+/// use mwr_almost::StalenessReport;
+/// use mwr_check::History;
+///
+/// let report = StalenessReport::analyze(&History::default());
+/// assert_eq!(report.reads(), 0);
+/// assert_eq!(report.max_staleness(), 0);
+/// assert_eq!(report.inversions(), 0);
+/// assert!(report.is_fresh());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalenessReport {
+    per_read: Vec<ReadStaleness>,
+    histogram: BTreeMap<usize, usize>,
+    inversions: usize,
+    write_order_violations: usize,
+}
+
+impl StalenessReport {
+    /// Analyzes a history.
+    ///
+    /// Open (never-completed) operations are ignored: an open write may
+    /// linearize after any read, so it cannot *prove* staleness; an open
+    /// read returns nothing to judge.
+    pub fn analyze(history: &History) -> Self {
+        let completed_writes: Vec<&Operation> = history
+            .writes()
+            .filter(|w| w.completed < mwr_check::Timestamp::MAX)
+            .collect();
+        let completed_reads: Vec<&Operation> = history
+            .reads()
+            .filter(|r| r.completed < mwr_check::Timestamp::MAX)
+            .collect();
+
+        let mut per_read = Vec::with_capacity(completed_reads.len());
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        for read in &completed_reads {
+            let returned = read.tagged_value();
+            let staleness = completed_writes
+                .iter()
+                .filter(|w| {
+                    w.completed < read.invoked && w.tagged_value().tag() > returned.tag()
+                })
+                .count();
+            per_read.push(ReadStaleness { op: read.id, returned, staleness });
+            *histogram.entry(staleness).or_insert(0) += 1;
+        }
+
+        // New/old inversions: non-concurrent read pairs returning values in
+        // the opposite order. Quadratic; experiment histories are small
+        // enough (thousands of operations) that this is immaterial.
+        let mut inversions = 0usize;
+        for (i, r1) in completed_reads.iter().enumerate() {
+            for r2 in completed_reads.iter().skip(i + 1) {
+                let (earlier, later) = if r1.precedes(r2) {
+                    (r1, r2)
+                } else if r2.precedes(r1) {
+                    (r2, r1)
+                } else {
+                    continue;
+                };
+                if earlier.tagged_value().tag() > later.tagged_value().tag() {
+                    inversions += 1;
+                }
+            }
+        }
+
+        // Write-order violations: non-concurrent write pairs whose tags
+        // invert real time — the paper's MWA0, and the signature anomaly of
+        // last-writer-wins local tagging (a later write "loses" to an
+        // earlier one because its writer's counter lags).
+        let mut write_order_violations = 0usize;
+        for (i, w1) in completed_writes.iter().enumerate() {
+            for w2 in completed_writes.iter().skip(i + 1) {
+                let (earlier, later) = if w1.precedes(w2) {
+                    (w1, w2)
+                } else if w2.precedes(w1) {
+                    (w2, w1)
+                } else {
+                    continue;
+                };
+                if earlier.tagged_value().tag() > later.tagged_value().tag() {
+                    write_order_violations += 1;
+                }
+            }
+        }
+
+        StalenessReport { per_read, histogram, inversions, write_order_violations }
+    }
+
+    /// Number of completed reads analyzed.
+    pub fn reads(&self) -> usize {
+        self.per_read.len()
+    }
+
+    /// Per-read staleness records, in history order.
+    pub fn per_read(&self) -> &[ReadStaleness] {
+        &self.per_read
+    }
+
+    /// Histogram: staleness value → number of reads.
+    pub fn histogram(&self) -> &BTreeMap<usize, usize> {
+        &self.histogram
+    }
+
+    /// The largest staleness any read exhibited.
+    pub fn max_staleness(&self) -> usize {
+        self.per_read.iter().map(|r| r.staleness).max().unwrap_or(0)
+    }
+
+    /// The stalest read, if any read was stale.
+    pub fn worst(&self) -> Option<ReadStaleness> {
+        self.per_read.iter().copied().filter(|r| r.staleness > 0).max_by_key(|r| r.staleness)
+    }
+
+    /// Number of reads with staleness ≥ 1.
+    pub fn stale_reads(&self) -> usize {
+        self.per_read.iter().filter(|r| r.staleness > 0).count()
+    }
+
+    /// Fraction of reads with staleness ≥ 1, in `[0, 1]`. Zero when there
+    /// are no reads.
+    pub fn stale_fraction(&self) -> f64 {
+        if self.per_read.is_empty() {
+            0.0
+        } else {
+            self.stale_reads() as f64 / self.per_read.len() as f64
+        }
+    }
+
+    /// Number of new/old inversions between non-concurrent reads.
+    pub fn inversions(&self) -> usize {
+        self.inversions
+    }
+
+    /// Number of non-concurrent write pairs whose tag order inverts their
+    /// real-time order (MWA0 violations — the anomaly of last-writer-wins
+    /// local tagging).
+    pub fn write_order_violations(&self) -> usize {
+        self.write_order_violations
+    }
+
+    /// Whether the history is anomaly-free under the read metrics
+    /// (staleness and read/read inversions).
+    ///
+    /// These metrics are measured against the protocol's *tag* order, so
+    /// they are indicators, not a characterization of atomicity, in either
+    /// direction:
+    ///
+    /// - a stale read whose returned value was written *concurrently with
+    ///   the read* can still be linearized (the old-tagged write linearizes
+    ///   after the newer one), so a non-fresh history may be atomic;
+    /// - conversely a fresh history may still violate atomicity through
+    ///   anomalies tags cannot see (e.g. last-writer-wins tag inversions,
+    ///   counted separately by
+    ///   [`write_order_violations`](StalenessReport::write_order_violations)).
+    ///
+    /// For tag-disciplined protocols whose reads only return values of
+    /// writes that began before the read ended and whose tags respect
+    /// real-time write order (everything in `mwr-core`), freshness *is*
+    /// implied by atomicity; the `almost_consistency` experiment relies on
+    /// the checkers of `mwr-check` for the verdict and on this report for
+    /// the quantification.
+    pub fn is_fresh(&self) -> bool {
+        self.max_staleness() == 0 && self.inversions == 0
+    }
+
+    /// Whether the history is anomaly-free under *all* metrics, including
+    /// write-order violations. Still only necessary for atomicity.
+    pub fn anomaly_free(&self) -> bool {
+        self.is_fresh() && self.write_order_violations == 0
+    }
+
+    /// A sound lower bound on the `k` for which this history could satisfy
+    /// `k`-atomicity (reads may return one of the `k` freshest values): a
+    /// read with staleness `d` requires `k ≥ d + 1`.
+    pub fn k_atomicity_lower_bound(&self) -> usize {
+        self.max_staleness() + 1
+    }
+}
+
+impl fmt::Display for StalenessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads: {:.1}% stale (max staleness {}, k ≥ {}), {} inversion(s), {} write-order violation(s)",
+            self.reads(),
+            self.stale_fraction() * 100.0,
+            self.max_staleness(),
+            self.k_atomicity_lower_bound(),
+            self.inversions,
+            self.write_order_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_core::{ClientEvent, OpKind, OpResult};
+    use mwr_sim::SimTime;
+    use mwr_types::{ClientId, Tag, Value, WriterId};
+
+    /// Builds the event stream of a sequential history from a compact spec:
+    /// `(client, kind)` executed back to back.
+    fn sequential(ops: &[(ClientId, OpKind, TaggedValue)]) -> Vec<(SimTime, ClientEvent)> {
+        let mut events = Vec::new();
+        let mut seqs: BTreeMap<ClientId, u64> = BTreeMap::new();
+        for (i, (client, kind, tv)) in ops.iter().enumerate() {
+            let seq = seqs.entry(*client).or_insert(0);
+            let op = OpId { client: *client, seq: *seq };
+            *seq += 1;
+            let t0 = SimTime::from_ticks(2 * i as u64);
+            let t1 = SimTime::from_ticks(2 * i as u64 + 1);
+            events.push((t0, ClientEvent::Invoked { op, kind: *kind }));
+            let result = match kind {
+                OpKind::Write(_) => OpResult::Written(*tv),
+                OpKind::Read => OpResult::Read(*tv),
+            };
+            events.push((t1, ClientEvent::Completed { op, kind: *kind, result }));
+        }
+        events
+    }
+
+    fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+    }
+
+    fn wr(w: u32, tagged: TaggedValue) -> (ClientId, OpKind, TaggedValue) {
+        (ClientId::writer(w), OpKind::Write(tagged.value()), tagged)
+    }
+
+    fn rd(r: u32, tagged: TaggedValue) -> (ClientId, OpKind, TaggedValue) {
+        (ClientId::reader(r), OpKind::Read, tagged)
+    }
+
+    #[test]
+    fn fresh_sequential_history_has_no_anomalies() {
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            rd(0, tv(1, 0, 10)),
+            wr(1, tv(2, 1, 20)),
+            rd(1, tv(2, 1, 20)),
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert!(report.is_fresh());
+        assert_eq!(report.reads(), 2);
+        assert_eq!(report.k_atomicity_lower_bound(), 1);
+        assert_eq!(report.histogram().get(&0), Some(&2));
+        assert!(report.worst().is_none());
+    }
+
+    #[test]
+    fn read_missing_one_newer_write_has_staleness_one() {
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            wr(1, tv(2, 1, 20)),
+            rd(0, tv(1, 0, 10)), // stale: missed (2, w1)
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.max_staleness(), 1);
+        assert_eq!(report.stale_reads(), 1);
+        assert_eq!(report.k_atomicity_lower_bound(), 2);
+        assert_eq!(report.worst().unwrap().returned, tv(1, 0, 10));
+        assert!((report.stale_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staleness_counts_every_missed_write() {
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            wr(1, tv(2, 1, 20)),
+            wr(0, tv(3, 0, 30)),
+            wr(1, tv(4, 1, 40)),
+            rd(0, tv(1, 0, 10)), // three newer completed writes
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.max_staleness(), 3);
+        assert_eq!(report.k_atomicity_lower_bound(), 4);
+    }
+
+    #[test]
+    fn inversion_between_two_reads_is_counted() {
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            wr(1, tv(2, 1, 20)),
+            rd(0, tv(2, 1, 20)), // fresh
+            rd(1, tv(1, 0, 10)), // older value later: inversion (and stale)
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.inversions(), 1);
+        assert!(!report.is_fresh());
+    }
+
+    #[test]
+    fn concurrent_reads_cannot_invert() {
+        // Two overlapping reads returning opposite-order values: allowed.
+        let w = wr(0, tv(1, 0, 10));
+        let w2 = wr(1, tv(2, 1, 20));
+        let mut events = sequential(&[w, w2]);
+        // Hand-roll two overlapping reads.
+        let r1 = OpId { client: ClientId::reader(0), seq: 0 };
+        let r2 = OpId { client: ClientId::reader(1), seq: 0 };
+        let t = |x| SimTime::from_ticks(x);
+        events.push((t(100), ClientEvent::Invoked { op: r1, kind: OpKind::Read }));
+        events.push((t(101), ClientEvent::Invoked { op: r2, kind: OpKind::Read }));
+        events.push((t(102), ClientEvent::Completed {
+            op: r1,
+            kind: OpKind::Read,
+            result: OpResult::Read(tv(2, 1, 20)),
+        }));
+        events.push((t(103), ClientEvent::Completed {
+            op: r2,
+            kind: OpKind::Read,
+            result: OpResult::Read(tv(1, 0, 10)),
+        }));
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.inversions(), 0, "overlapping reads may disagree");
+        // But the second read is still stale (missed the completed write 2).
+        assert_eq!(report.stale_reads(), 1);
+    }
+
+    #[test]
+    fn concurrent_write_does_not_make_a_read_stale() {
+        // A write overlapping the read may linearize after it.
+        let w1 = wr(0, tv(1, 0, 10));
+        let mut events = sequential(&[w1]);
+        let t = |x| SimTime::from_ticks(x);
+        let w2 = OpId { client: ClientId::writer(1), seq: 0 };
+        let r = OpId { client: ClientId::reader(0), seq: 0 };
+        events.push((t(100), ClientEvent::Invoked { op: w2, kind: OpKind::Write(Value::new(20)) }));
+        events.push((t(101), ClientEvent::Invoked { op: r, kind: OpKind::Read }));
+        events.push((t(102), ClientEvent::Completed {
+            op: w2,
+            kind: OpKind::Write(Value::new(20)),
+            result: OpResult::Written(tv(2, 1, 20)),
+        }));
+        events.push((t(103), ClientEvent::Completed {
+            op: r,
+            kind: OpKind::Read,
+            result: OpResult::Read(tv(1, 0, 10)),
+        }));
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert!(report.is_fresh(), "the newer write did not complete before the read started");
+    }
+
+    #[test]
+    fn lww_tag_inversion_is_a_write_order_violation() {
+        // Writer 0's second write (ts = 2) completes before writer 1's
+        // first write (ts = 1), but (1, w1) < (2, w0): MWA0 violated.
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            wr(0, tv(2, 0, 20)),
+            wr(1, tv(1, 1, 30)),
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.write_order_violations(), 1);
+        assert!(report.is_fresh(), "no reads, so read metrics are clean");
+        assert!(!report.anomaly_free());
+    }
+
+    #[test]
+    fn concurrent_writes_may_order_either_way() {
+        let w1 = OpId { client: ClientId::writer(0), seq: 0 };
+        let w2 = OpId { client: ClientId::writer(1), seq: 0 };
+        let t = |x| SimTime::from_ticks(x);
+        let events = vec![
+            (t(0), ClientEvent::Invoked { op: w1, kind: OpKind::Write(Value::new(1)) }),
+            (t(1), ClientEvent::Invoked { op: w2, kind: OpKind::Write(Value::new(2)) }),
+            (t(2), ClientEvent::Completed {
+                op: w1,
+                kind: OpKind::Write(Value::new(1)),
+                result: OpResult::Written(tv(2, 0, 1)),
+            }),
+            (t(3), ClientEvent::Completed {
+                op: w2,
+                kind: OpKind::Write(Value::new(2)),
+                result: OpResult::Written(tv(1, 1, 2)),
+            }),
+        ];
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        assert_eq!(report.write_order_violations(), 0, "overlapping writes are unordered");
+        assert!(report.anomaly_free());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let events = sequential(&[
+            wr(0, tv(1, 0, 10)),
+            wr(1, tv(2, 1, 20)),
+            rd(0, tv(1, 0, 10)),
+        ]);
+        let report = StalenessReport::analyze(&History::from_events(&events).unwrap());
+        let text = report.to_string();
+        assert!(text.contains("100.0% stale"), "{text}");
+        assert!(text.contains("k ≥ 2"), "{text}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion bench: the `admissible(·)` predicate (ablation of the fast
+//! read's extra decision cost over a plain max-tag slow read).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mwr_core::{Admissibility, Snapshot, ValueRecord};
+use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+/// Builds quorum replies where `values` distinct tagged values are spread
+/// across `quorum` snapshots with `witnesses` registered clients each. As
+/// in any real protocol state, the value's own writer is registered
+/// everywhere the value is stored (so something is always admissible); the
+/// remaining witnesses vary per snapshot, which is what makes the
+/// intersection search non-trivial.
+fn replies(quorum: usize, values: usize, witnesses: usize) -> Vec<Snapshot> {
+    (0..quorum)
+        .map(|s| Snapshot {
+            entries: (0..values)
+                .map(|v| {
+                    let mut updated: Vec<ClientId> =
+                        vec![ClientId::writer((v % 2) as u32)];
+                    updated.extend((0..witnesses).map(|w| {
+                        if (s + w) % 2 == 0 {
+                            ClientId::reader(w as u32)
+                        } else {
+                            ClientId::reader((w + witnesses) as u32)
+                        }
+                    }));
+                    updated.sort_unstable();
+                    updated.dedup();
+                    ValueRecord {
+                        value: TaggedValue::new(
+                            Tag::new(v as u64 + 1, WriterId::new((v % 2) as u32)),
+                            Value::new(v as u64),
+                        ),
+                        updated,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_admissible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admissible_select");
+    for (servers, t, readers) in [(5usize, 1usize, 2usize), (9, 2, 2), (13, 3, 2), (25, 4, 2)] {
+        let quorum = servers - t;
+        let snaps = replies(quorum, 8, readers + 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S{servers}_t{t}")),
+            &snaps,
+            |b, snaps| {
+                b.iter(|| {
+                    Admissibility::new(snaps, servers, t, readers + 1).select_return_value()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Slow-read baseline for the ablation: picking the max tag only.
+    let mut group = c.benchmark_group("slow_read_max_baseline");
+    let snaps = replies(12, 8, 4);
+    group.bench_function("max_tag", |b| {
+        b.iter(|| snaps.iter().filter_map(Snapshot::max_value).max())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_admissible
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: cost of the mechanized impossibility certificates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mwr_chains::fastread::fig9_outcome;
+use mwr_chains::{refute_strategy, verify_w1r2_impossibility, MajorityLastWrite};
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w1r2_certificate");
+    for servers in [3usize, 5, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &s| {
+            b.iter(|| verify_w1r2_impossibility(s).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("strategy_refutation");
+    for servers in [3usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &s| {
+            b.iter(|| refute_strategy(s, &MajorityLastWrite))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig9_engine");
+    for (s, t, r) in [(4usize, 1usize, 3usize), (6, 2, 2), (8, 2, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S{s}_t{t}_R{r}")),
+            &(s, t, r),
+            |b, &(s, t, r)| b.iter(|| fig9_outcome(s, t, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_certificates
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: atomicity checker scaling (graph vs exhaustive search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mwr_bench::random_schedule;
+use mwr_check::{check_atomicity, search_atomicity, History};
+use mwr_core::{Cluster, Protocol};
+use mwr_types::ClusterConfig;
+
+fn history_of(ops_per_client: usize) -> History {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let cluster = Cluster::new(config, Protocol::W2R1);
+    let schedule = random_schedule(&config, ops_per_client, 1_000, 42);
+    let events = cluster.run_schedule(11, &schedule).unwrap();
+    History::from_events(&events).unwrap()
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomicity_checkers");
+    for ops in [2usize, 5, 10, 20] {
+        let history = history_of(ops);
+        group.bench_with_input(
+            BenchmarkId::new("graph", history.len()),
+            &history,
+            |b, h| b.iter(|| check_atomicity(h)),
+        );
+        if history.len() <= 32 {
+            group.bench_with_input(
+                BenchmarkId::new("search", history.len()),
+                &history,
+                |b, h| b.iter(|| search_atomicity(h)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_checkers
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment F3 — regenerates **Fig 3** (and Figs 4–7): the three-phase
+//! chain argument behind Theorem 1, verified link by link, plus concrete
+//! refutations of example fast-write strategies.
+
+use mwr_chains::{
+    refute_strategy, verify_w1r2_impossibility, verify_w1rk_impossibility, AlwaysOne,
+    FirstServerRules, MajorityLastWrite, W1R2Strategy,
+};
+use mwr_workload::TextTable;
+
+fn main() {
+    println!("== Fig 3: chain argument for the W1R2 impossibility (Theorem 1) ==\n");
+
+    let mut table = TextTable::new(vec!["S", "cases (i1 × x)", "links verified", "verdict"]);
+    for servers in 3..=8 {
+        let cert = verify_w1r2_impossibility(servers).expect("certificate");
+        table.row(vec![
+            servers.to_string(),
+            cert.cases.len().to_string(),
+            cert.total_links().to_string(),
+            "all cases contradict".into(),
+        ]);
+    }
+    println!("{table}");
+
+    let cert = verify_w1r2_impossibility(3).expect("certificate");
+    println!("Certificate detail for S = 3:\n{cert}");
+
+    println!("Lifting to W1Rk (paper §3: rounds 2‥k combined as one):\n");
+    let mut table = TextTable::new(vec!["S", "k", "cases", "lifted links", "verdict"]);
+    for servers in [3usize, 5] {
+        for rounds in 2..=5u8 {
+            let cert = verify_w1rk_impossibility(servers, rounds).expect("lifted certificate");
+            table.row(vec![
+                servers.to_string(),
+                rounds.to_string(),
+                cert.cases.len().to_string(),
+                cert.total_links().to_string(),
+                "all cases contradict".into(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    println!("Concrete strategies walked through the chains:\n");
+    let strategies: Vec<Box<dyn W1R2Strategy>> = vec![
+        Box::new(MajorityLastWrite),
+        Box::new(FirstServerRules),
+        Box::new(AlwaysOne),
+    ];
+    for strategy in &strategies {
+        let refutation = refute_strategy(4, strategy.as_ref());
+        println!("{refutation}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment F9 — regenerates **Fig 9** (§5): the fast-read (W2R1) lower
+//! bound, swept across `(S, t, R)` and compared against the paper's
+//! necessary-and-sufficient condition `R < S/t − 2`.
+
+use mwr_chains::fastread::{fig9_outcome, Fig9Outcome};
+use mwr_types::ClusterConfig;
+use mwr_workload::TextTable;
+
+fn main() {
+    println!("== Fig 9: fast-read impossibility when R ≥ S/t − 2 ==\n");
+
+    let mut table = TextTable::new(vec![
+        "S", "t", "R", "paper (R < S/t − 2)", "engine verdict",
+    ]);
+    for (s, t) in [(3usize, 1usize), (4, 1), (5, 1), (6, 1), (6, 2), (8, 2), (9, 2)] {
+        for r in 1..=4usize {
+            let Ok(config) = ClusterConfig::new(s, t, r, 1) else { continue };
+            let paper = if config.fast_read_feasible() { "possible" } else { "impossible" };
+            let engine = match fig9_outcome(s, t, r) {
+                Fig9Outcome::Impossible(c) => format!("impossible — {c}"),
+                Fig9Outcome::NotDerived => "no contradiction derived".into(),
+                Fig9Outcome::Inapplicable(_) => {
+                    if config.fast_read_feasible() {
+                        "construction n/a (feasible side)".into()
+                    } else {
+                        "band covered by [12] (see DESIGN.md)".into()
+                    }
+                }
+            };
+            table.row(vec![
+                s.to_string(),
+                t.to_string(),
+                r.to_string(),
+                paper.into(),
+                truncate(&engine, 64),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    println!("WkR1 lift (paper §5.1: k consecutive write round-trips preceding all reads):\n");
+    let mut table = TextTable::new(vec!["S", "t", "R", "write RTTs k", "outcome invariant"]);
+    for (s, t, r) in [(4usize, 1usize, 3usize), (6, 2, 2), (5, 1, 2)] {
+        let base = format!("{:?}", fig9_outcome(s, t, r));
+        let mut invariant = true;
+        for k in 1..=5 {
+            invariant &= format!("{:?}", mwr_chains::wkr1_outcome(s, t, r, k)) == base;
+        }
+        table.row(vec![
+            s.to_string(),
+            t.to_string(),
+            r.to_string(),
+            "1..=5".into(),
+            invariant.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    println!("The block construction derives the contradiction whenever S ≤ (R+1)·t;");
+    println!("the band (R+1)·t < S ≤ (R+2)·t follows Dutta et al. [12] (reader reuse,");
+    println!("Fig 9's repeated R1) — the engine models it but the certificate is not");
+    println!("hard-coded. Feasible configurations never yield a contradiction, matching");
+    println!("the W2R1 implementation shipped in mwr-core.");
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}

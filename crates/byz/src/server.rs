@@ -1,0 +1,109 @@
+//! The Byzantine server automaton: a correct Algorithm 2 server whose
+//! replies pass through a [`ByzBehavior`] filter.
+
+use mwr_core::{ClientEvent, Msg, RegisterServer};
+use mwr_sim::{Automaton, Context};
+use mwr_types::ProcessId;
+
+use crate::behavior::ByzBehavior;
+
+/// A register server that may corrupt its replies.
+///
+/// Internally the server runs the unmodified Algorithm 2 state machine —
+/// the corruption is applied at the reply boundary, which is the full
+/// extent of a Byzantine server's power in this model (it cannot forge
+/// other processes' messages or break channels).
+///
+/// # Examples
+///
+/// ```
+/// use mwr_byz::{ByzBehavior, ByzRegisterServer};
+///
+/// let _honest = ByzRegisterServer::new(ByzBehavior::Honest);
+/// let _liar = ByzRegisterServer::new(ByzBehavior::TagInflater { boost: 100 });
+/// ```
+#[derive(Debug)]
+pub struct ByzRegisterServer {
+    inner: RegisterServer,
+    behavior: ByzBehavior,
+}
+
+impl ByzRegisterServer {
+    /// Creates a fresh server with the given behavior.
+    pub fn new(behavior: ByzBehavior) -> Self {
+        ByzRegisterServer { inner: RegisterServer::new(), behavior }
+    }
+
+    /// The configured behavior.
+    pub fn behavior(&self) -> ByzBehavior {
+        self.behavior
+    }
+
+    /// Computes the (possibly corrupted) reply for one request.
+    pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        let honest_reply = self.inner.handle(from, msg)?;
+        let client = from.as_client()?;
+        self.behavior.corrupt(client, honest_reply)
+    }
+}
+
+impl Automaton<Msg, ClientEvent> for ByzRegisterServer {
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        if let Some(reply) = self.handle(from, &msg) {
+            ctx.send(from, reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_core::{OpHandle, OpId};
+    use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+    fn update(ts: u64, v: u64) -> Msg {
+        Msg::Update {
+            handle: OpHandle {
+                op: OpId { client: ClientId::writer(0), seq: 0 },
+                phase: 1,
+            },
+            value: TaggedValue::new(Tag::new(ts, WriterId::new(0)), Value::new(v)),
+        }
+    }
+
+    fn query() -> Msg {
+        Msg::Query {
+            handle: OpHandle { op: OpId { client: ClientId::reader(0), seq: 0 }, phase: 1 },
+        }
+    }
+
+    #[test]
+    fn honest_behavior_is_transparent() {
+        let mut byz = ByzRegisterServer::new(ByzBehavior::Honest);
+        let mut plain = RegisterServer::new();
+        let w = ProcessId::writer(0);
+        let r = ProcessId::reader(0);
+        for msg in [update(1, 10), query()] {
+            assert_eq!(byz.handle(w, &msg), plain.handle(w, &msg));
+        }
+        assert_eq!(byz.handle(r, &query()), plain.handle(r, &query()));
+    }
+
+    #[test]
+    fn stale_replier_stores_but_hides() {
+        let mut srv = ByzRegisterServer::new(ByzBehavior::StaleReplier);
+        srv.handle(ProcessId::writer(0), &update(3, 30));
+        let Some(Msg::QueryAck { latest, .. }) = srv.handle(ProcessId::reader(0), &query())
+        else {
+            panic!()
+        };
+        assert!(latest.tag().is_initial(), "the stored write is hidden");
+    }
+
+    #[test]
+    fn mute_server_acknowledges_nothing() {
+        let mut srv = ByzRegisterServer::new(ByzBehavior::Mute);
+        assert_eq!(srv.handle(ProcessId::writer(0), &update(1, 1)), None);
+        assert_eq!(srv.handle(ProcessId::reader(0), &query()), None);
+    }
+}

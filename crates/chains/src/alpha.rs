@@ -1,0 +1,138 @@
+//! Phase 1: chain α (paper §3.2).
+//!
+//! The head execution `α_0` runs three non-concurrent operations, all
+//! skip-free: `W1 = write(1)`, then `W2 = write(2)`, then `R1 = read()`.
+//! Every server receives them in that order, and atomicity forces
+//! `R1 = 2`. Execution `α_i` swaps the two writes on servers `s_1 … s_i`;
+//! `α_S` has every server seeing `W2` before `W1` and is log-identical to
+//! the tail execution (`W2 ≺ W1 ≺ R1`), where atomicity forces `R1 = 1`.
+//!
+//! Since `R1` returns 2 at one end and 1 at the other, some consecutive
+//! pair `(α_{i1−1}, α_{i1})` flips — the *critical server* `s_{i1}` is where
+//! Phase 2 aims its skips.
+
+use crate::exec::{Arrival, Execution, Reader, WriteOp};
+
+/// Appends the write arrivals of the α-layout: servers `0..swapped` see
+/// `W2` before `W1`, the rest see `W1` before `W2`.
+pub(crate) fn append_writes(e: &mut Execution, swapped: usize) {
+    for s in 0..e.servers() {
+        if s < swapped {
+            e.append_at(s, Arrival::Write(WriteOp::W2));
+            e.append_at(s, Arrival::Write(WriteOp::W1));
+        } else {
+            e.append_at(s, Arrival::Write(WriteOp::W1));
+            e.append_at(s, Arrival::Write(WriteOp::W2));
+        }
+    }
+}
+
+/// Builds `α_i` over `servers` servers: writes swapped on the first `i`
+/// servers, then both round-trips of `R1`, skip-free.
+///
+/// # Panics
+///
+/// Panics if `i > servers`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::{alpha, Reader};
+///
+/// let a0 = alpha(3, 0);
+/// let a3 = alpha(3, 3);
+/// // R1 sees different write orders at the two ends…
+/// assert!(!a0.indistinguishable_to(&a3, Reader::R1));
+/// ```
+pub fn alpha(servers: usize, i: usize) -> Execution {
+    assert!(i <= servers, "swap index {i} out of range for {servers} servers");
+    let mut e = Execution::new(servers, format!("α_{i}"));
+    append_writes(&mut e, i);
+    e.append_all(Arrival::Read(Reader::R1, 1), &[]);
+    e.append_all(Arrival::Read(Reader::R1, 2), &[]);
+    e
+}
+
+/// The whole chain `α_0 … α_S`.
+pub fn alpha_chain(servers: usize) -> Vec<Execution> {
+    (0..=servers).map(|i| alpha(servers, i)).collect()
+}
+
+/// The tail execution: `W2 ≺ W1 ≺ R1`, all skip-free. Log-identical to
+/// `α_S` — which is precisely why `R1` must return 1 in `α_S`.
+pub fn alpha_tail(servers: usize) -> Execution {
+    let mut e = alpha(servers, servers);
+    e.set_name("α_tail");
+    e
+}
+
+/// The value atomicity forces `R1` to return in `α_0` (sequential
+/// `W1 ≺ W2 ≺ R1`): the last written value, 2.
+pub const ALPHA_HEAD_FORCED: u8 = 2;
+
+/// The value atomicity forces `R1` to return in the tail (sequential
+/// `W2 ≺ W1 ≺ R1`): 1.
+pub const ALPHA_TAIL_FORCED: u8 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::WriteOp;
+
+    #[test]
+    fn chain_has_s_plus_one_executions() {
+        assert_eq!(alpha_chain(5).len(), 6);
+    }
+
+    #[test]
+    fn consecutive_executions_differ_on_exactly_one_server() {
+        let chain = alpha_chain(4);
+        for i in 1..chain.len() {
+            let diffs: Vec<usize> = (0..4)
+                .filter(|&s| chain[i - 1].log(s) != chain[i].log(s))
+                .collect();
+            assert_eq!(diffs, vec![i - 1], "α_{} vs α_{}", i - 1, i);
+        }
+    }
+
+    #[test]
+    fn head_has_12_everywhere_and_tail_21_everywhere() {
+        let s = 4;
+        let head = alpha(s, 0);
+        let tail = alpha_tail(s);
+        for srv in 0..s {
+            assert_eq!(head.crucial_info(srv), Some((WriteOp::W1, WriteOp::W2)));
+            assert_eq!(tail.crucial_info(srv), Some((WriteOp::W2, WriteOp::W1)));
+        }
+    }
+
+    #[test]
+    fn last_chain_execution_is_log_identical_to_tail() {
+        for s in 3..=6 {
+            assert!(alpha(s, s).same_logs(&alpha_tail(s)));
+        }
+    }
+
+    #[test]
+    fn writes_precede_reads_in_every_chain_execution() {
+        for e in alpha_chain(5) {
+            assert!(e.writes_precede_reads(), "{e}");
+        }
+    }
+
+    #[test]
+    fn r1_distinguishes_adjacent_executions_without_skips() {
+        // With no skips R1 sees every server, so each swap is visible —
+        // the whole point of Phases 2–3 is to *hide* the critical swap.
+        let chain = alpha_chain(3);
+        for i in 1..chain.len() {
+            assert!(!chain[i - 1].indistinguishable_to(&chain[i], crate::Reader::R1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn alpha_rejects_out_of_range_swap() {
+        let _ = alpha(3, 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Phase 2: chains β′, β″ and β (paper §3.3).
+//!
+//! Chain β′ extends `α_{i1−1}` with the second read `R2`: the four read
+//! round-trips are non-concurrent in the order `R1(1), R2(1), R1(2), R2(2)`
+//! on all servers. `β′_k` swaps `R1(2)` and `R2(2)` on servers `s_1 … s_k`.
+//! Chain β″ does the same starting from `α_{i1}`.
+//!
+//! Chain β is the chosen candidate (β′ or β″, depending on `R2`'s return
+//! value in the modified tails) with `R2` (both round-trips) skipping the
+//! critical server `s_{i1}` in *every* execution.
+
+use crate::alpha::append_writes;
+use crate::exec::{Arrival, Execution, Reader};
+
+/// Which α execution a β chain stems from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stem {
+    /// Stem from `α_{i1−1}` (chain β′): `R1` returns 2 there.
+    Prev,
+    /// Stem from `α_{i1}` (chain β″): `R1` returns 1 there.
+    At,
+}
+
+impl Stem {
+    /// How many servers have swapped writes in the stem, given the critical
+    /// index `i1` (1-based).
+    fn swapped(self, i1: usize) -> usize {
+        match self {
+            Stem::Prev => i1 - 1,
+            Stem::At => i1,
+        }
+    }
+
+    /// The value `R1` returns in the stem α execution, under the premise
+    /// that the critical flip is at `i1`.
+    pub fn r1_value(self) -> u8 {
+        match self {
+            Stem::Prev => 2,
+            Stem::At => 1,
+        }
+    }
+}
+
+/// Builds `β′_k` / `β″_k` (per `stem`) **without** the critical-server
+/// skip: `R2` is skip-free. Used to define the candidate chains.
+///
+/// `i1` is 1-based (the critical server is `s_{i1}`, index `i1 − 1`);
+/// `k ∈ 0..=servers` is how many servers have the second rounds swapped.
+///
+/// # Panics
+///
+/// Panics if `i1` is not in `1..=servers` or `k > servers`.
+pub fn beta_candidate(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    build_beta(servers, i1, stem, k, false)
+}
+
+/// Builds `β_k`: the chosen candidate with `R2` (both round-trips)
+/// skipping the critical server `s_{i1}` (paper §3.3, the modification
+/// that makes the two candidate tails indistinguishable to `R2`).
+///
+/// # Panics
+///
+/// Panics if `i1` is not in `1..=servers` or `k > servers`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::{beta, Reader, Stem};
+///
+/// // The two modified tails differ only in the write order on the skipped
+/// // critical server — R2 cannot tell them apart.
+/// let t1 = beta(4, 2, Stem::Prev, 4);
+/// let t2 = beta(4, 2, Stem::At, 4);
+/// assert!(t1.indistinguishable_to(&t2, Reader::R2));
+/// assert!(!t1.same_logs(&t2));
+/// ```
+pub fn beta(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    build_beta(servers, i1, stem, k, true)
+}
+
+fn build_beta(servers: usize, i1: usize, stem: Stem, k: usize, skip_critical: bool) -> Execution {
+    assert!((1..=servers).contains(&i1), "critical index {i1} out of range");
+    assert!(k <= servers, "swap index {k} out of range");
+    let critical = i1 - 1; // 0-based server index
+    let r2_skips: Vec<usize> = if skip_critical { vec![critical] } else { vec![] };
+
+    let name = match (stem, skip_critical) {
+        (Stem::Prev, false) => format!("β'_{k}[i1={i1}]"),
+        (Stem::At, false) => format!("β''_{k}[i1={i1}]"),
+        (Stem::Prev, true) => format!("β_{k}[i1={i1},β']"),
+        (Stem::At, true) => format!("β_{k}[i1={i1},β'']"),
+    };
+    let mut e = Execution::new(servers, name);
+    append_writes(&mut e, stem.swapped(i1));
+    e.append_all(Arrival::Read(Reader::R1, 1), &[]);
+    e.append_all(Arrival::Read(Reader::R2, 1), &r2_skips);
+    e.append_all(Arrival::Read(Reader::R1, 2), &[]);
+    e.append_all(Arrival::Read(Reader::R2, 2), &r2_skips);
+    // Swap the second rounds on servers s_1 … s_k (vacuous on the skipped
+    // critical server, where R2(2) is absent).
+    for s in 0..k {
+        if e.arrives_at(s, Arrival::Read(Reader::R2, 2)) {
+            e.swap_on_server(s, Arrival::Read(Reader::R1, 2), Arrival::Read(Reader::R2, 2));
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha;
+
+    #[test]
+    fn beta_head_is_indistinguishable_from_its_stem_for_r1() {
+        // The §3 assumption (first rounds invisible) makes R1's views in
+        // β_0 equal to those in the stem α execution: R2(1) is filtered
+        // and R2(2) arrives after R1(2) everywhere.
+        for servers in 3..=5 {
+            for i1 in 1..=servers {
+                let b0 = beta(servers, i1, Stem::Prev, 0);
+                let a_prev = alpha(servers, i1 - 1);
+                assert!(
+                    b0.indistinguishable_to(&a_prev, Reader::R1),
+                    "β_0 vs α_{} at S={servers}",
+                    i1 - 1
+                );
+                let b0 = beta(servers, i1, Stem::At, 0);
+                let a_at = alpha(servers, i1);
+                assert!(b0.indistinguishable_to(&a_at, Reader::R1));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_chain_swaps_one_server_at_a_time() {
+        let servers = 4;
+        let i1 = 2;
+        for k in 1..=servers {
+            let prev = beta_candidate(servers, i1, Stem::Prev, k - 1);
+            let next = beta_candidate(servers, i1, Stem::Prev, k);
+            let diffs: Vec<usize> =
+                (0..servers).filter(|&s| prev.log(s) != next.log(s)).collect();
+            assert_eq!(diffs, vec![k - 1]);
+        }
+    }
+
+    #[test]
+    fn modified_tails_are_r2_indistinguishable_for_all_critical_servers() {
+        for servers in 3..=6 {
+            for i1 in 1..=servers {
+                let t1 = beta(servers, i1, Stem::Prev, servers);
+                let t2 = beta(servers, i1, Stem::At, servers);
+                assert!(
+                    t1.indistinguishable_to(&t2, Reader::R2),
+                    "tails at S={servers}, i1={i1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r2_never_arrives_at_the_critical_server() {
+        let e = beta(5, 3, Stem::Prev, 2);
+        assert!(!e.arrives_at(2, Arrival::Read(Reader::R2, 1)));
+        assert!(!e.arrives_at(2, Arrival::Read(Reader::R2, 2)));
+        assert!(e.arrives_at(2, Arrival::Read(Reader::R1, 2)));
+    }
+
+    #[test]
+    fn writes_precede_reads_throughout_chain_beta() {
+        for k in 0..=4 {
+            assert!(beta(4, 2, Stem::Prev, k).writes_precede_reads());
+        }
+    }
+
+    #[test]
+    fn when_critical_server_is_within_swaps_the_swap_is_vacuous() {
+        // β_k and β_{k+1} are log-identical when the (k+1)-th server is the
+        // critical one (R2(2) is absent there, nothing to swap).
+        let servers = 4;
+        let i1 = 3; // critical index, 0-based server 2
+        let bk = beta(servers, i1, Stem::Prev, 2);
+        let bk1 = beta(servers, i1, Stem::Prev, 3);
+        assert!(bk.same_logs(&bk1));
+    }
+
+    #[test]
+    #[should_panic(expected = "critical index")]
+    fn beta_rejects_bad_critical_index() {
+        let _ = beta(3, 0, Stem::Prev, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The complete W1R2 impossibility certificate (Theorem 1).
+//!
+//! Structure of the mechanized argument, mirroring the paper's three
+//! phases:
+//!
+//! 1. **Chain α** (§3.2): `R1` is forced to return 2 in `α_0`
+//!    (`W1 ≺ W2 ≺ R1` sequential) and 1 in `α_S` (log-identical to the
+//!    tail `W2 ≺ W1 ≺ R1` — verified). Therefore *any* implementation has
+//!    a critical flip index `i1` with `R1(α_{i1−1}) = 2` and
+//!    `R1(α_{i1}) = 1`.
+//! 2. **Chain β** (§3.3): for the flip index, the two candidate tails with
+//!    `R2` skipping `s_{i1}` are view-equal for `R2` (verified), so `R2`
+//!    returns one common value `x` in both. Choosing the candidate chain
+//!    whose head value differs from `x` (β′ when `x = 1`, β″ when `x = 2`)
+//!    pins different values at the two ends of chain β — the head value
+//!    transfers from the stem by `R1` view-equality (verified).
+//! 3. **Zigzag Z** (§3.4): every horizontal and diagonal link is verified
+//!    by view-equality, so the common read value is constant along
+//!    `β_0 ≈ γ_0 ≈ β_1 ≈ … ≈ β_S` — contradicting step 2.
+//!
+//! Because `i1` and `x` are algorithm-dependent, the certificate verifies
+//! **all** `i1 ∈ 1..=S` × `x ∈ {1, 2}` cases; every deterministic W1R2
+//! implementation falls into one of them. The views are computed in the
+//! full-info model with other readers' first round-trips filtered (the §3
+//! assumption); the [`sieve`](crate::sieve) module mechanizes §4's argument
+//! that this assumption is dischargeable.
+
+use std::fmt;
+
+use crate::alpha::{alpha, alpha_tail, ALPHA_HEAD_FORCED, ALPHA_TAIL_FORCED};
+use crate::beta::{beta, Stem};
+use crate::exec::Reader;
+use crate::zigzag::{verify_step, Link, LinkError};
+
+/// One verified case of the certificate: a candidate flip index `i1` and a
+/// candidate common tail value `x`.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The candidate critical server index (1-based).
+    pub i1: usize,
+    /// The candidate common return value of `R2` in the modified tails.
+    pub tail_value: u8,
+    /// Which α execution the chosen chain stems from.
+    pub stem: Stem,
+    /// The value forced at the head of chain β.
+    pub head_value: u8,
+    /// All verified links, in chain order.
+    pub links: Vec<Link>,
+}
+
+impl fmt::Display for CaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "i1={}, x={} ⇒ chain {} pinned to head={} vs tail={} across {} verified links — contradiction",
+            self.i1,
+            self.tail_value,
+            match self.stem {
+                Stem::Prev => "β'",
+                Stem::At => "β''",
+            },
+            self.head_value,
+            self.tail_value,
+            self.links.len(),
+        )
+    }
+}
+
+/// Errors raised while assembling the certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The theorem's setting needs at least three servers (§3.1 considers
+    /// `S ≥ 3`; `S = 2` with `t = 1` is trivial).
+    TooFewServers {
+        /// The offending count.
+        servers: usize,
+    },
+    /// `α_S` was not log-identical to the tail execution.
+    AlphaTailMismatch,
+    /// The head of a β chain was distinguishable from its stem for `R1`.
+    HeadTransferFailed {
+        /// The case's flip index.
+        i1: usize,
+        /// The stem that failed.
+        stem: Stem,
+    },
+    /// The two modified tails were distinguishable for `R2`.
+    TailsDistinguishable {
+        /// The case's flip index.
+        i1: usize,
+    },
+    /// A zigzag link failed.
+    Link(LinkError),
+    /// An execution broke the writes-before-reads invariant that forces
+    /// the two reads to agree.
+    ReadsNotForcedEqual {
+        /// The offending execution's name.
+        execution: String,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::TooFewServers { servers } => {
+                write!(f, "certificate needs S ≥ 3, got {servers}")
+            }
+            CertificateError::AlphaTailMismatch => {
+                write!(f, "α_S is not log-identical to the tail execution")
+            }
+            CertificateError::HeadTransferFailed { i1, stem } => {
+                write!(f, "R1 can distinguish β_0 from its stem (i1={i1}, {stem:?})")
+            }
+            CertificateError::TailsDistinguishable { i1 } => {
+                write!(f, "R2 can distinguish the modified tails (i1={i1})")
+            }
+            CertificateError::Link(e) => write!(f, "{e}"),
+            CertificateError::ReadsNotForcedEqual { execution } => {
+                write!(f, "writes do not precede reads in {execution}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+impl From<LinkError> for CertificateError {
+    fn from(e: LinkError) -> Self {
+        CertificateError::Link(e)
+    }
+}
+
+/// The verified certificate: Theorem 1 for a concrete number of servers.
+#[derive(Debug, Clone)]
+pub struct W1R2Certificate {
+    /// Number of servers the chains were built over.
+    pub servers: usize,
+    /// The forced endpoint values of chain α.
+    pub alpha_endpoints: (u8, u8),
+    /// One verified case per `(i1, x)` pair.
+    pub cases: Vec<CaseReport>,
+}
+
+impl W1R2Certificate {
+    /// Total number of view-equality/log-identity checks performed.
+    pub fn total_links(&self) -> usize {
+        self.cases.iter().map(|c| c.links.len()).sum()
+    }
+}
+
+impl fmt::Display for W1R2Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "W1R2 impossibility certificate, S = {} (W = 2, R = 2, t = 1)",
+            self.servers
+        )?;
+        writeln!(
+            f,
+            "chain α endpoints forced: R1(α_0) = {}, R1(α_S) = {} ⇒ a critical flip exists",
+            self.alpha_endpoints.0, self.alpha_endpoints.1
+        )?;
+        for case in &self.cases {
+            writeln!(f, "  case {case}")?;
+        }
+        writeln!(
+            f,
+            "all {} cases contradict; no fast-write atomic implementation exists",
+            self.cases.len()
+        )
+    }
+}
+
+/// Builds and verifies the full impossibility certificate for a system of
+/// `servers` servers (`W = 2`, `R = 2`, `t = 1`, as in the paper's proof
+/// setting — sufficient for the general theorem).
+///
+/// # Errors
+///
+/// Returns a [`CertificateError`] if any claimed indistinguishability fails
+/// to verify — which would falsify the construction. The test suite runs
+/// this for `S ∈ 3..=8`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::verify_w1r2_impossibility;
+///
+/// let cert = verify_w1r2_impossibility(3)?;
+/// assert_eq!(cert.cases.len(), 6); // 3 flip positions × 2 tail values
+/// assert!(cert.total_links() > 0);
+/// # Ok::<(), mwr_chains::CertificateError>(())
+/// ```
+pub fn verify_w1r2_impossibility(servers: usize) -> Result<W1R2Certificate, CertificateError> {
+    if servers < 3 {
+        return Err(CertificateError::TooFewServers { servers });
+    }
+
+    // Phase 1 endpoints: α_S ≡ tail.
+    if !alpha(servers, servers).same_logs(&alpha_tail(servers)) {
+        return Err(CertificateError::AlphaTailMismatch);
+    }
+
+    let mut cases = Vec::new();
+    for i1 in 1..=servers {
+        // The modified tails must be R2-indistinguishable, so R2 returns
+        // one common value x in both.
+        let tail_prev = beta(servers, i1, Stem::Prev, servers);
+        let tail_at = beta(servers, i1, Stem::At, servers);
+        if !tail_prev.indistinguishable_to(&tail_at, Reader::R2) {
+            return Err(CertificateError::TailsDistinguishable { i1 });
+        }
+
+        for tail_value in [1u8, 2u8] {
+            // Choose the candidate whose head value differs from x.
+            let stem = if tail_value == 1 { Stem::Prev } else { Stem::At };
+            let head_value = stem.r1_value();
+            debug_assert_ne!(head_value, tail_value);
+
+            // Head transfer: R1 cannot distinguish β_0 from its stem.
+            let b0 = beta(servers, i1, stem, 0);
+            let stem_exec = alpha(servers, i1 - (if stem == Stem::Prev { 1 } else { 0 }));
+            if !b0.indistinguishable_to(&stem_exec, Reader::R1) {
+                return Err(CertificateError::HeadTransferFailed { i1, stem });
+            }
+
+            // Structural invariant: in every chain execution both writes
+            // complete before both reads start, so the two reads must
+            // return the same value (atomicity) and the common value
+            // propagates along blind links.
+            for k in 0..=servers {
+                let e = beta(servers, i1, stem, k);
+                if !e.writes_precede_reads() {
+                    return Err(CertificateError::ReadsNotForcedEqual {
+                        execution: e.name().to_string(),
+                    });
+                }
+            }
+
+            // Phase 3: verify every zigzag step.
+            let mut links = Vec::new();
+            for k in 0..servers {
+                links.extend(verify_step(servers, i1, stem, k)?);
+            }
+            cases.push(CaseReport { i1, tail_value, stem, head_value, links });
+        }
+    }
+
+    Ok(W1R2Certificate {
+        servers,
+        alpha_endpoints: (ALPHA_HEAD_FORCED, ALPHA_TAIL_FORCED),
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_verifies_for_small_clusters() {
+        for servers in 3..=8 {
+            let cert = verify_w1r2_impossibility(servers)
+                .unwrap_or_else(|e| panic!("S={servers}: {e}"));
+            assert_eq!(cert.servers, servers);
+            assert_eq!(cert.cases.len(), 2 * servers);
+            assert_eq!(cert.alpha_endpoints, (2, 1));
+        }
+    }
+
+    #[test]
+    fn link_counts_match_the_construction() {
+        // Each step has 5 links (3 in the k+1 = i1 special case), and the
+        // special case occurs exactly once per (i1, x) with i1 ≤ S.
+        let servers = 4;
+        let cert = verify_w1r2_impossibility(servers).unwrap();
+        for case in &cert.cases {
+            let expected = 5 * (servers - 1) + 3;
+            assert_eq!(
+                case.links.len(),
+                expected,
+                "i1={} x={}",
+                case.i1,
+                case.tail_value
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_servers_is_an_error() {
+        assert!(matches!(
+            verify_w1r2_impossibility(2),
+            Err(CertificateError::TooFewServers { servers: 2 })
+        ));
+    }
+
+    #[test]
+    fn report_renders_contradictions() {
+        let cert = verify_w1r2_impossibility(3).unwrap();
+        let text = cert.to_string();
+        assert!(text.contains("contradiction"), "{text}");
+        assert!(text.contains("R1(α_0) = 2"), "{text}");
+    }
+}

@@ -1,0 +1,403 @@
+//! Abstract executions in the full-info model (paper §4.1).
+//!
+//! The impossibility proofs reason about *executions as data*: for each
+//! server, the ordered sequence of round-trip arrivals it receives. In the
+//! full-info model a server is an append-only log and the reply to an
+//! arrival is the log prefix up to and including it; since no implementation
+//! can extract more from a round-trip than the full-info reply, equality of
+//! a reader's replies across two executions ("view equality") implies *every*
+//! deterministic algorithm returns the same value in both — exactly the
+//! indistinguishability the chain arguments need.
+//!
+//! The proofs of §3 are presented under the simplifying assumption that the
+//! *first* round-trip of a read does not affect other reads' return values;
+//! §4's sieve construction justifies discharging it. We mirror that
+//! structure: views are computed with other readers' first rounds filtered
+//! out (the assumption, applied mechanically), and the [`sieve`](crate::sieve)
+//! module mechanizes §4's argument that servers affected by a blind first
+//! round-trip can be eliminated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The two write operations of the proofs, `W1 = write(1)` by `w1` and
+/// `W2 = write(2)` by `w2`. Writes are *fast* (one round-trip) in the W1R2
+/// setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WriteOp {
+    /// `write(1)` by writer `w1`.
+    W1,
+    /// `write(2)` by writer `w2`.
+    W2,
+}
+
+impl WriteOp {
+    /// The value this write stores.
+    pub fn value(self) -> u8 {
+        match self {
+            WriteOp::W1 => 1,
+            WriteOp::W2 => 2,
+        }
+    }
+}
+
+/// The two readers of the proofs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reader {
+    /// Reader `r1`, running operation `R1`.
+    R1,
+    /// Reader `r2`, running operation `R2`.
+    R2,
+}
+
+/// One round-trip arrival at a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Arrival {
+    /// A fast write's single round-trip.
+    Write(WriteOp),
+    /// Round-trip `round` (1 or 2) of a read.
+    Read(Reader, u8),
+}
+
+impl fmt::Display for Arrival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arrival::Write(WriteOp::W1) => write!(f, "W1"),
+            Arrival::Write(WriteOp::W2) => write!(f, "W2"),
+            Arrival::Read(Reader::R1, r) => write!(f, "R1({r})"),
+            Arrival::Read(Reader::R2, r) => write!(f, "R2({r})"),
+        }
+    }
+}
+
+/// An execution: per-server arrival logs. A round-trip *skips* a server by
+/// simply not appearing in its log (its messages are delayed past the end
+/// of the execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// `logs[s]` is the ordered arrival log of server `s`.
+    logs: Vec<Vec<Arrival>>,
+    /// Human-readable name for reports (e.g. `"α_3"`).
+    name: String,
+}
+
+/// A reader's view of one of its round-trips: for every server the round
+/// did not skip, the (filtered) log prefix it received as the reply.
+pub type RoundView = BTreeMap<usize, Vec<Arrival>>;
+
+/// A reader's complete knowledge in an execution: the views of its first
+/// and second round-trips. Two executions are indistinguishable to the
+/// reader iff these are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReaderView {
+    /// View of the first round-trip.
+    pub round1: RoundView,
+    /// View of the second round-trip.
+    pub round2: RoundView,
+}
+
+impl Execution {
+    /// Creates an execution over `servers` empty logs.
+    pub fn new(servers: usize, name: impl Into<String>) -> Self {
+        Execution { logs: vec![Vec::new(); servers], name: name.into() }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// The execution's report name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the execution (builders derive names like `"β'_2"`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Appends `arrival` to every server's log except those in `skip`.
+    pub fn append_all(&mut self, arrival: Arrival, skip: &[usize]) {
+        for (s, log) in self.logs.iter_mut().enumerate() {
+            if !skip.contains(&s) {
+                log.push(arrival);
+            }
+        }
+    }
+
+    /// Appends `arrival` to one server's log.
+    pub fn append_at(&mut self, server: usize, arrival: Arrival) {
+        self.logs[server].push(arrival);
+    }
+
+    /// The log of one server.
+    pub fn log(&self, server: usize) -> &[Arrival] {
+        &self.logs[server]
+    }
+
+    /// Whether two executions have identical logs on every server (the
+    /// strongest equality: indistinguishable to *all* processes).
+    pub fn same_logs(&self, other: &Execution) -> bool {
+        self.logs == other.logs
+    }
+
+    /// Removes every occurrence of `arrival` from every log (used by chain
+    /// builders to re-place a round-trip).
+    pub fn remove_everywhere(&mut self, arrival: Arrival) {
+        for log in &mut self.logs {
+            log.retain(|a| *a != arrival);
+        }
+    }
+
+    /// Removes `arrival` from one server's log — the chain builders' "this
+    /// round-trip now skips server `s`" gesture.
+    pub fn remove_from_server(&mut self, server: usize, arrival: Arrival) {
+        self.logs[server].retain(|a| *a != arrival);
+    }
+
+    /// Swaps the order of two adjacent arrivals on one server, if both are
+    /// present (the chains' "swapping" step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either arrival is missing from the server's log — the
+    /// chain constructions only swap arrivals they know are present.
+    pub fn swap_on_server(&mut self, server: usize, a: Arrival, b: Arrival) {
+        let log = &mut self.logs[server];
+        let ia = log.iter().position(|x| *x == a).unwrap_or_else(|| {
+            panic!("{a} not in log of s{} of {}", server + 1, self.name)
+        });
+        let ib = log.iter().position(|x| *x == b).unwrap_or_else(|| {
+            panic!("{b} not in log of s{} of {}", server + 1, self.name)
+        });
+        log.swap(ia, ib);
+    }
+
+    /// Whether `reader`'s round `round` arrived at `server`.
+    pub fn arrives_at(&self, server: usize, arrival: Arrival) -> bool {
+        self.logs[server].contains(&arrival)
+    }
+
+    /// The reply a round-trip arrival receives at `server`: the log prefix
+    /// up to and including the arrival, with *other* readers' first
+    /// round-trips filtered out (the §3 assumption; see module docs).
+    ///
+    /// Returns `None` if the round-trip skipped this server.
+    pub fn reply(&self, server: usize, reader: Reader, round: u8) -> Option<Vec<Arrival>> {
+        let me = Arrival::Read(reader, round);
+        let log = &self.logs[server];
+        let pos = log.iter().position(|a| *a == me)?;
+        Some(
+            log[..=pos]
+                .iter()
+                .filter(|a| match a {
+                    // Other readers' first rounds are invisible (§3
+                    // assumption, discharged by the sieve §4).
+                    Arrival::Read(r, 1) => *r == reader,
+                    _ => true,
+                })
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// The complete view of `reader` in this execution.
+    pub fn reader_view(&self, reader: Reader) -> ReaderView {
+        let mut round1 = BTreeMap::new();
+        let mut round2 = BTreeMap::new();
+        for s in 0..self.servers() {
+            if let Some(r) = self.reply(s, reader, 1) {
+                round1.insert(s, r);
+            }
+            if let Some(r) = self.reply(s, reader, 2) {
+                round2.insert(s, r);
+            }
+        }
+        ReaderView { round1, round2 }
+    }
+
+    /// Whether `reader` cannot distinguish this execution from `other`:
+    /// its round-trip views are identical.
+    pub fn indistinguishable_to(&self, other: &Execution, reader: Reader) -> bool {
+        self.reader_view(reader) == other.reader_view(reader)
+    }
+
+    /// Whether both writes' arrivals precede all read arrivals on every
+    /// server — the structural invariant making the two reads return the
+    /// same value in one execution (writes complete before reads start, so
+    /// every linearization puts the reads after the last write).
+    pub fn writes_precede_reads(&self) -> bool {
+        self.logs.iter().all(|log| {
+            let last_write = log
+                .iter()
+                .rposition(|a| matches!(a, Arrival::Write(_)));
+            let first_read = log.iter().position(|a| matches!(a, Arrival::Read(..)));
+            match (last_write, first_read) {
+                (Some(w), Some(r)) => w < r,
+                _ => true,
+            }
+        })
+    }
+
+    /// The order in which a server received the two writes, if it received
+    /// both: the *crucial information* of §4.1 (`"12"` or `"21"`).
+    pub fn crucial_info(&self, server: usize) -> Option<(WriteOp, WriteOp)> {
+        let ws: Vec<WriteOp> = self.logs[server]
+            .iter()
+            .filter_map(|a| match a {
+                Arrival::Write(w) => Some(*w),
+                _ => None,
+            })
+            .collect();
+        match ws.as_slice() {
+            [a, b] => Some((*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (s, log) in self.logs.iter().enumerate() {
+            write!(f, "  s{}: ", s + 1)?;
+            for (i, a) in log.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w1() -> Arrival {
+        Arrival::Write(WriteOp::W1)
+    }
+    fn w2() -> Arrival {
+        Arrival::Write(WriteOp::W2)
+    }
+    fn r(reader: Reader, round: u8) -> Arrival {
+        Arrival::Read(reader, round)
+    }
+
+    /// α0-shaped execution: W1, W2, R1(1), R1(2) everywhere.
+    fn alpha0(servers: usize) -> Execution {
+        let mut e = Execution::new(servers, "α_0");
+        e.append_all(w1(), &[]);
+        e.append_all(w2(), &[]);
+        e.append_all(r(Reader::R1, 1), &[]);
+        e.append_all(r(Reader::R1, 2), &[]);
+        e
+    }
+
+    #[test]
+    fn replies_are_prefixes() {
+        let e = alpha0(3);
+        let reply = e.reply(0, Reader::R1, 1).unwrap();
+        assert_eq!(reply, vec![w1(), w2(), r(Reader::R1, 1)]);
+        let reply2 = e.reply(0, Reader::R1, 2).unwrap();
+        assert_eq!(reply2.len(), 4);
+    }
+
+    #[test]
+    fn skipped_round_has_no_reply() {
+        let mut e = Execution::new(2, "x");
+        e.append_all(r(Reader::R1, 1), &[1]);
+        assert!(e.reply(0, Reader::R1, 1).is_some());
+        assert!(e.reply(1, Reader::R1, 1).is_none());
+    }
+
+    #[test]
+    fn other_readers_first_rounds_are_filtered() {
+        let mut e = Execution::new(1, "x");
+        e.append_all(w1(), &[]);
+        e.append_all(r(Reader::R2, 1), &[]);
+        e.append_all(r(Reader::R1, 1), &[]);
+        let reply = e.reply(0, Reader::R1, 1).unwrap();
+        assert_eq!(reply, vec![w1(), r(Reader::R1, 1)], "R2(1) must be invisible to R1");
+        // …but R2's *second* round is visible.
+        let mut e2 = Execution::new(1, "y");
+        e2.append_all(r(Reader::R2, 2), &[]);
+        e2.append_all(r(Reader::R1, 2), &[]);
+        let reply = e2.reply(0, Reader::R1, 2).unwrap();
+        assert_eq!(reply, vec![r(Reader::R2, 2), r(Reader::R1, 2)]);
+    }
+
+    #[test]
+    fn swap_changes_view_of_later_reader_only() {
+        // Server log [R1(2), R2(2)]: R1's prefix excludes R2(2).
+        let mut a = Execution::new(1, "a");
+        a.append_all(r(Reader::R1, 2), &[]);
+        a.append_all(r(Reader::R2, 2), &[]);
+        let mut b = a.clone();
+        b.swap_on_server(0, r(Reader::R1, 2), r(Reader::R2, 2));
+        // R1 sees the difference (it now receives R2(2) in its prefix);
+        // R2 equally sees it. The *indistinguishability* in the proofs
+        // comes from skips, not from swaps alone.
+        assert!(!a.indistinguishable_to(&b, Reader::R1));
+        assert!(!a.indistinguishable_to(&b, Reader::R2));
+    }
+
+    #[test]
+    fn swapping_earlier_arrival_behind_a_finished_read_is_invisible() {
+        // Paper's source of indistinguishability #1: if R1(2) finishes
+        // before R2(2) on s, modifying R2(2) behind its back is invisible
+        // to R1.
+        let mut a = Execution::new(2, "a");
+        a.append_all(w1(), &[]);
+        a.append_all(r(Reader::R1, 2), &[]);
+        a.append_all(r(Reader::R2, 2), &[]);
+        let mut b = a.clone();
+        b.remove_everywhere(r(Reader::R2, 2));
+        assert!(a.indistinguishable_to(&b, Reader::R1));
+        assert!(!a.indistinguishable_to(&b, Reader::R2));
+    }
+
+    #[test]
+    fn crucial_info_reports_write_order() {
+        let mut e = Execution::new(2, "x");
+        e.append_at(0, w1());
+        e.append_at(0, w2());
+        e.append_at(1, w2());
+        e.append_at(1, w1());
+        assert_eq!(e.crucial_info(0), Some((WriteOp::W1, WriteOp::W2)));
+        assert_eq!(e.crucial_info(1), Some((WriteOp::W2, WriteOp::W1)));
+        let empty = Execution::new(1, "y");
+        assert_eq!(empty.crucial_info(0), None);
+    }
+
+    #[test]
+    fn writes_precede_reads_invariant() {
+        let e = alpha0(3);
+        assert!(e.writes_precede_reads());
+        let mut bad = Execution::new(1, "bad");
+        bad.append_all(r(Reader::R1, 1), &[]);
+        bad.append_all(w1(), &[]);
+        assert!(!bad.writes_precede_reads());
+    }
+
+    #[test]
+    fn same_logs_is_structural_equality() {
+        let a = alpha0(3);
+        let mut b = alpha0(3);
+        b.set_name("other-name");
+        assert!(a.same_logs(&b), "names do not matter");
+        b.swap_on_server(1, w1(), w2());
+        assert!(!a.same_logs(&b));
+    }
+
+    #[test]
+    fn display_renders_logs() {
+        let e = alpha0(2);
+        let text = e.to_string();
+        assert!(text.contains("s1: W1 W2 R1(1) R1(2)"), "{text}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Mechanized impossibility proofs for fast register implementations.
+//!
+//! The paper's central results are *impossibility theorems*; this crate
+//! makes them executable:
+//!
+//! - [`verify_w1r2_impossibility`] — **Theorem 1** (no fast-write atomic
+//!   multi-writer register): builds the paper's chains α, β and the zigzag
+//!   Z for a concrete number of servers, verifies every
+//!   indistinguishability link by *view equality* in the full-info model
+//!   (§4.1), and returns a certificate enumerating every algorithm case.
+//! - [`refute_strategy`] — hands back a concrete violating execution for
+//!   any user-supplied deterministic fast-write read rule.
+//! - [`sieve`] — §4's sieve construction (Fig 8): eliminating servers whose
+//!   crucial information was blindly affected by a read's first round-trip
+//!   and showing the chain argument survives on the remainder.
+//! - [`fastread`] — §5.1 / Fig 9: the fast-read (W2R1) lower bound engine,
+//!   deriving forced read values across execution families and exhibiting
+//!   the contradiction for block constructions with `S ≤ (R+1)·t` (the band
+//!   down to the paper's tight `R ≥ S/t − 2` follows Dutta et al. \[12\] and
+//!   is documented in `DESIGN.md`).
+//!
+//! View equality is the exact notion of indistinguishability the proofs
+//! use: in the full-info model a server replies with its entire log prefix,
+//! so no deterministic algorithm can return different values in two
+//! executions whose replies are equal.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwr_chains::{refute_strategy, verify_w1r2_impossibility, MajorityLastWrite};
+//!
+//! // Theorem 1, mechanized for S = 5.
+//! let cert = verify_w1r2_impossibility(5)?;
+//! assert_eq!(cert.cases.len(), 10);
+//!
+//! // And a concrete counterexample for a concrete algorithm.
+//! let refutation = refute_strategy(5, &MajorityLastWrite);
+//! println!("{refutation}");
+//! # Ok::<(), mwr_chains::CertificateError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alpha;
+mod beta;
+mod certificate;
+mod exec;
+pub mod fastread;
+mod reduction;
+pub mod sieve;
+mod strategy;
+mod zigzag;
+
+pub use alpha::{alpha, alpha_chain, alpha_tail, ALPHA_HEAD_FORCED, ALPHA_TAIL_FORCED};
+pub use beta::{beta, beta_candidate, Stem};
+pub use certificate::{verify_w1r2_impossibility, CaseReport, CertificateError, W1R2Certificate};
+pub use exec::{Arrival, Execution, Reader, ReaderView, RoundView, WriteOp};
+pub use reduction::{
+    collapse_write, expand_reads, k_indistinguishable, k_reader_view, verify_w1rk_impossibility,
+    wkr1_outcome, MultiRoundWrite, W1RkCertificate,
+};
+pub use strategy::{
+    refute_strategy, sequential_answer, AlwaysOne, FirstServerRules, MajorityLastWrite,
+    Refutation, RefutationKind, W1R2Strategy,
+};
+pub use zigzag::{gamma, gamma_prime, temp_d, temp_h, verify_step, Link, LinkError, LinkKind};

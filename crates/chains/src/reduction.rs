@@ -1,0 +1,465 @@
+//! The `k ≥ 3` round-trip reductions (paper §3 and §5.1).
+//!
+//! The paper proves its impossibility theorems for two-round-trip
+//! operations and notes both generalize:
+//!
+//! - **W1Rk** (§3): *"We can combine the round-trips 2, 3, …, k as if they
+//!   were one single round-trip. The chain argument still applies."* This
+//!   module mechanizes that sentence: every execution of the W1R2
+//!   certificate is *expanded* — each second read round-trip is replaced by
+//!   the consecutive block of rounds `2 ‥ k` — and every
+//!   indistinguishability link of the chain argument is re-verified under
+//!   full `k`-round views ([`verify_w1rk_impossibility`]).
+//! - **WkR1** (§5.1): *"we let all the two (or more) round-trips of a
+//!   write operation take place consecutively and precede all other
+//!   operations. The rest of the impossibility proof is not affected."* In
+//!   the crucial-info model (§4.1) only the write's final *update* round
+//!   deposits the value; [`collapse_write`] performs exactly that
+//!   projection, [`wkr1_outcome`] checks it and reuses the Fig 9 engine.
+//!
+//! Both functions are *verifiers*: they fail loudly if any lifted link or
+//! collapse identity does not hold, which would falsify the paper's
+//! reduction remarks. The test suite exercises `k ∈ 2..=5`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::alpha::{alpha, alpha_tail, ALPHA_HEAD_FORCED, ALPHA_TAIL_FORCED};
+use crate::beta::{beta, Stem};
+use crate::certificate::{CaseReport, CertificateError};
+use crate::exec::{Arrival, Execution, Reader, RoundView};
+use crate::fastread::{fig9_outcome, Fig9Outcome};
+use crate::zigzag::{gamma, gamma_prime, temp_d, temp_h, Link, LinkError, LinkKind};
+
+/// Expands a two-round-trip-read execution into its `rounds`-round-trip
+/// counterpart: wherever a reader's second round-trip arrives, the rounds
+/// `3 ‥ rounds` arrive immediately after, in order (the paper's
+/// "combined as one round-trip", inverted).
+///
+/// A reader that skipped a server with its second round skips it with all
+/// later rounds too — the block travels together.
+///
+/// # Panics
+///
+/// Panics if `rounds < 2` (there is nothing to expand into).
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::{alpha, expand_reads};
+///
+/// let base = alpha(3, 0);
+/// let expanded = expand_reads(&base, 4);
+/// assert_eq!(expanded.servers(), base.servers());
+/// // Every server that saw R1(2) now also sees R1(3) and R1(4).
+/// # use mwr_chains::{Arrival, Reader};
+/// for s in 0..3 {
+///     assert!(expanded.arrives_at(s, Arrival::Read(Reader::R1, 4)));
+/// }
+/// ```
+pub fn expand_reads(exec: &Execution, rounds: u8) -> Execution {
+    assert!(rounds >= 2, "round-trip count must be at least 2");
+    let mut out = Execution::new(exec.servers(), format!("{}↑{rounds}", exec.name()));
+    for s in 0..exec.servers() {
+        for &arrival in exec.log(s) {
+            out.append_at(s, arrival);
+            if let Arrival::Read(reader, 2) = arrival {
+                for r in 3..=rounds {
+                    out.append_at(s, Arrival::Read(reader, r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The complete `rounds`-round view of `reader`: one [`RoundView`] per
+/// round-trip. Equality across two executions is exactly the
+/// indistinguishability a `W1Rk` chain argument needs.
+pub fn k_reader_view(exec: &Execution, reader: Reader, rounds: u8) -> Vec<RoundView> {
+    (1..=rounds)
+        .map(|round| {
+            let mut view = BTreeMap::new();
+            for s in 0..exec.servers() {
+                if let Some(reply) = exec.reply(s, reader, round) {
+                    view.insert(s, reply);
+                }
+            }
+            view
+        })
+        .collect()
+}
+
+/// Whether `reader` cannot distinguish the two executions with
+/// `rounds`-round-trip reads.
+pub fn k_indistinguishable(a: &Execution, b: &Execution, reader: Reader, rounds: u8) -> bool {
+    k_reader_view(a, reader, rounds) == k_reader_view(b, reader, rounds)
+}
+
+/// The verified `W1Rk` certificate: Theorem 1 lifted to reads of `rounds`
+/// round-trips.
+#[derive(Debug, Clone)]
+pub struct W1RkCertificate {
+    /// Number of servers the chains were built over.
+    pub servers: usize,
+    /// Round-trips per read.
+    pub rounds: u8,
+    /// The forced endpoint values of chain α (unchanged by the lift).
+    pub alpha_endpoints: (u8, u8),
+    /// One verified case per `(i1, x)` pair, with every link re-verified
+    /// under `rounds`-round views.
+    pub cases: Vec<CaseReport>,
+}
+
+impl W1RkCertificate {
+    /// Total number of lifted view-equality/log-identity checks performed.
+    pub fn total_links(&self) -> usize {
+        self.cases.iter().map(|c| c.links.len()).sum()
+    }
+}
+
+impl fmt::Display for W1RkCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "W1R{} impossibility certificate, S = {} (reads expanded to {} round-trips)",
+            self.rounds, self.servers, self.rounds
+        )?;
+        writeln!(
+            f,
+            "chain α endpoints forced: R1(α_0) = {}, R1(α_S) = {}",
+            self.alpha_endpoints.0, self.alpha_endpoints.1
+        )?;
+        writeln!(
+            f,
+            "{} cases, {} lifted links — all verified; no fast-write implementation with {}-round reads exists",
+            self.cases.len(),
+            self.total_links(),
+            self.rounds
+        )
+    }
+}
+
+fn check_k(
+    a: &Execution,
+    b: &Execution,
+    kind: LinkKind,
+    rounds: u8,
+) -> Result<Link, LinkError> {
+    let ok = match kind {
+        LinkKind::BlindReader(reader) => k_indistinguishable(a, b, reader, rounds),
+        LinkKind::SameLogs => a.same_logs(b),
+    };
+    let link = Link { from: a.name().to_string(), to: b.name().to_string(), kind };
+    if ok {
+        Ok(link)
+    } else {
+        Err(LinkError { link })
+    }
+}
+
+/// Verifies one zigzag step of the chain argument under `rounds`-round
+/// views, on the expanded executions.
+fn verify_k_step(
+    servers: usize,
+    i1: usize,
+    stem: Stem,
+    k: usize,
+    rounds: u8,
+) -> Result<Vec<Link>, LinkError> {
+    let ex = |e: &Execution| expand_reads(e, rounds);
+    let mut links = Vec::new();
+    let beta_k = ex(&beta(servers, i1, stem, k));
+    let beta_k1 = ex(&beta(servers, i1, stem, k + 1));
+    let gamma_k = ex(&gamma(servers, i1, stem, k));
+    let gamma_p = ex(&gamma_prime(servers, i1, stem, k));
+
+    if k + 1 == i1 {
+        links.push(check_k(&beta_k, &gamma_k, LinkKind::BlindReader(Reader::R2), rounds)?);
+        links.push(check_k(&beta_k1, &gamma_p, LinkKind::BlindReader(Reader::R2), rounds)?);
+    } else {
+        let temp_k = ex(&temp_h(servers, i1, stem, k));
+        let temp_p = ex(&temp_d(servers, i1, stem, k));
+        links.push(check_k(&beta_k, &temp_k, LinkKind::BlindReader(Reader::R1), rounds)?);
+        links.push(check_k(&temp_k, &gamma_k, LinkKind::BlindReader(Reader::R2), rounds)?);
+        links.push(check_k(&beta_k1, &temp_p, LinkKind::BlindReader(Reader::R2), rounds)?);
+        links.push(check_k(&temp_p, &gamma_p, LinkKind::BlindReader(Reader::R1), rounds)?);
+    }
+    links.push(check_k(&gamma_p, &gamma_k, LinkKind::SameLogs, rounds)?);
+    Ok(links)
+}
+
+/// Builds and verifies the `W1Rk` impossibility certificate: the full
+/// three-phase chain argument with every read expanded to `rounds`
+/// round-trips and every indistinguishability re-checked against the
+/// richer views.
+///
+/// # Errors
+///
+/// Returns a [`CertificateError`] if any lifted check fails — which would
+/// falsify the paper's §3 remark that the chain argument survives the
+/// expansion.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::verify_w1rk_impossibility;
+///
+/// let cert = verify_w1rk_impossibility(4, 3)?;
+/// assert_eq!(cert.rounds, 3);
+/// assert_eq!(cert.cases.len(), 8);
+/// # Ok::<(), mwr_chains::CertificateError>(())
+/// ```
+pub fn verify_w1rk_impossibility(
+    servers: usize,
+    rounds: u8,
+) -> Result<W1RkCertificate, CertificateError> {
+    if servers < 3 {
+        return Err(CertificateError::TooFewServers { servers });
+    }
+    assert!(rounds >= 2, "W1Rk needs k ≥ 2; W1R1 is ruled out by Dutta et al.");
+
+    // Phase 1 endpoints survive expansion: α_S ≡ tail as logs, hence as
+    // expanded logs.
+    let a_s = expand_reads(&alpha(servers, servers), rounds);
+    let a_tail = expand_reads(&alpha_tail(servers), rounds);
+    if !a_s.same_logs(&a_tail) {
+        return Err(CertificateError::AlphaTailMismatch);
+    }
+
+    let mut cases = Vec::new();
+    for i1 in 1..=servers {
+        let tail_prev = expand_reads(&beta(servers, i1, Stem::Prev, servers), rounds);
+        let tail_at = expand_reads(&beta(servers, i1, Stem::At, servers), rounds);
+        if !k_indistinguishable(&tail_prev, &tail_at, Reader::R2, rounds) {
+            return Err(CertificateError::TailsDistinguishable { i1 });
+        }
+
+        for tail_value in [1u8, 2u8] {
+            let stem = if tail_value == 1 { Stem::Prev } else { Stem::At };
+            let head_value = stem.r1_value();
+
+            let b0 = expand_reads(&beta(servers, i1, stem, 0), rounds);
+            let stem_exec = expand_reads(
+                &alpha(servers, i1 - usize::from(stem == Stem::Prev)),
+                rounds,
+            );
+            if !k_indistinguishable(&b0, &stem_exec, Reader::R1, rounds) {
+                return Err(CertificateError::HeadTransferFailed { i1, stem });
+            }
+
+            for k in 0..=servers {
+                let e = beta(servers, i1, stem, k);
+                if !e.writes_precede_reads() {
+                    return Err(CertificateError::ReadsNotForcedEqual {
+                        execution: e.name().to_string(),
+                    });
+                }
+            }
+
+            let mut links = Vec::new();
+            for k in 0..servers {
+                links.extend(verify_k_step(servers, i1, stem, k, rounds)?);
+            }
+            cases.push(CaseReport { i1, tail_value, stem, head_value, links });
+        }
+    }
+
+    Ok(W1RkCertificate {
+        servers,
+        rounds,
+        alpha_endpoints: (ALPHA_HEAD_FORCED, ALPHA_TAIL_FORCED),
+        cases,
+    })
+}
+
+// --- WkR1: multi-round writes (paper §5.1) ----------------------------------
+
+/// A write of `k ≥ 1` round-trips, all consecutive and preceding every
+/// other operation (the paper's §5.1 arrangement). `rounds[i]` is the set
+/// of servers round `i + 1` reached; only the final round carries the
+/// value (the earlier rounds are queries in every protocol in this
+/// workspace, and carry no *crucial information* in the §4.1 sense).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiRoundWrite {
+    /// Per-round server coverage, in round order.
+    pub rounds: Vec<BTreeSet<usize>>,
+}
+
+impl MultiRoundWrite {
+    /// A `k`-round write whose final round reached `coverage`, with all
+    /// earlier rounds skip-free over `servers` servers.
+    pub fn new(servers: usize, k: usize, coverage: BTreeSet<usize>) -> Self {
+        assert!(k >= 1, "a write has at least one round-trip");
+        let full: BTreeSet<usize> = (0..servers).collect();
+        let mut rounds = vec![full; k - 1];
+        rounds.push(coverage);
+        MultiRoundWrite { rounds }
+    }
+
+    /// Round-trips of this write.
+    pub fn round_trips(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Collapses a multi-round write to the `(invoked, coverage)` abstraction
+/// of the Fig 9 engine: in the crucial-info model, a server's crucial
+/// information mentions the write's value iff the *final* (update) round
+/// reached it.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::{collapse_write, MultiRoundWrite};
+/// use std::collections::BTreeSet;
+///
+/// let coverage: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+/// let write = MultiRoundWrite::new(5, 3, coverage.clone());
+/// assert_eq!(collapse_write(&write), (true, coverage));
+/// ```
+pub fn collapse_write(write: &MultiRoundWrite) -> (bool, BTreeSet<usize>) {
+    (true, write.rounds.last().cloned().unwrap_or_default())
+}
+
+/// The Fig 9 outcome for a system whose writes take `write_rounds`
+/// round-trips (§5.1's generalization).
+///
+/// Verifies the collapse identity — every `k`-round write in the block
+/// family projects to exactly the `(invoked, coverage)` pair the engine
+/// models — then delegates to [`fig9_outcome`]: *"the rest of the
+/// impossibility proof is not affected."*
+///
+/// # Panics
+///
+/// Panics if `write_rounds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::fastread::Fig9Outcome;
+/// use mwr_chains::wkr1_outcome;
+///
+/// // S = 4, t = 1, R = 3: infeasible band where the engine fires,
+/// // regardless of how many round-trips writes take.
+/// for k in 2..=5 {
+///     assert!(matches!(wkr1_outcome(4, 1, 3, k), Fig9Outcome::Impossible(_)));
+/// }
+/// ```
+pub fn wkr1_outcome(
+    servers: usize,
+    max_faults: usize,
+    readers: usize,
+    write_rounds: usize,
+) -> Fig9Outcome {
+    assert!(write_rounds >= 1, "writes take at least one round-trip");
+    // The collapse identity, checked over every coverage the block family
+    // uses (the write reaching the first j blocks, j = 0..=S/t).
+    for covered in 0..=servers {
+        let coverage: BTreeSet<usize> = (0..covered).collect();
+        let write = MultiRoundWrite::new(servers, write_rounds, coverage.clone());
+        assert_eq!(
+            collapse_write(&write),
+            (true, coverage),
+            "collapse identity violated — §5.1's reduction would be unsound"
+        );
+    }
+    fig9_outcome(servers, max_faults, readers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_w1r2_impossibility;
+
+    #[test]
+    fn expansion_preserves_server_count_and_round_one() {
+        let base = alpha(4, 2);
+        let expanded = expand_reads(&base, 5);
+        assert_eq!(expanded.servers(), 4);
+        for s in 0..4 {
+            assert_eq!(
+                expanded.arrives_at(s, Arrival::Read(Reader::R1, 1)),
+                base.arrives_at(s, Arrival::Read(Reader::R1, 1))
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_inserts_the_block_right_after_round_two() {
+        let base = beta(3, 1, Stem::Prev, 1);
+        let expanded = expand_reads(&base, 4);
+        for s in 0..3 {
+            let log = expanded.log(s);
+            for reader in [Reader::R1, Reader::R2] {
+                if let Some(pos) = log.iter().position(|a| *a == Arrival::Read(reader, 2)) {
+                    assert_eq!(log[pos + 1], Arrival::Read(reader, 3), "server {s}");
+                    assert_eq!(log[pos + 2], Arrival::Read(reader, 4), "server {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_with_k_two_is_identity_on_logs() {
+        let base = beta(4, 2, Stem::At, 3);
+        let expanded = expand_reads(&base, 2);
+        assert!(expanded.same_logs(&base));
+    }
+
+    #[test]
+    fn w1rk_certificates_verify_for_k_up_to_five() {
+        for servers in 3..=5 {
+            for rounds in 2..=5u8 {
+                let cert = verify_w1rk_impossibility(servers, rounds)
+                    .unwrap_or_else(|e| panic!("S={servers} k={rounds}: {e}"));
+                assert_eq!(cert.cases.len(), 2 * servers);
+                assert_eq!(cert.alpha_endpoints, (2, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn w1rk_at_k_two_matches_the_base_certificate() {
+        let base = verify_w1r2_impossibility(4).unwrap();
+        let lifted = verify_w1rk_impossibility(4, 2).unwrap();
+        assert_eq!(base.cases.len(), lifted.cases.len());
+        assert_eq!(base.total_links(), lifted.total_links());
+    }
+
+    #[test]
+    fn too_few_servers_is_an_error() {
+        assert!(matches!(
+            verify_w1rk_impossibility(2, 3),
+            Err(CertificateError::TooFewServers { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_round_write_collapses_to_its_final_round() {
+        let coverage: BTreeSet<usize> = [1, 3].into_iter().collect();
+        for k in 1..=4 {
+            let w = MultiRoundWrite::new(5, k, coverage.clone());
+            assert_eq!(w.round_trips(), k);
+            assert_eq!(collapse_write(&w), (true, coverage.clone()));
+        }
+    }
+
+    #[test]
+    fn wkr1_outcomes_are_invariant_in_the_write_round_count() {
+        for (s, t, r) in [(4usize, 1usize, 3usize), (6, 2, 2), (5, 1, 2)] {
+            let base = format!("{:?}", fig9_outcome(s, t, r));
+            for k in 1..=4 {
+                assert_eq!(format!("{:?}", wkr1_outcome(s, t, r, k)), base, "S={s} t={t} R={r} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_report_renders() {
+        let cert = verify_w1rk_impossibility(3, 4).unwrap();
+        let text = cert.to_string();
+        assert!(text.contains("W1R4"), "{text}");
+        assert!(text.contains("all verified"), "{text}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The sieve-based construction of §4 (Fig 8): discharging the assumption
+//! that a read's first round-trip does not affect other reads.
+//!
+//! In the *crucial-info* model (§4.1) the only server state that can decide
+//! a read's return value between `write(1)` and `write(2)` is the order in
+//! which the server received the two writes: `"12"` or `"21"`. The first
+//! round-trip of a read knows nothing (it is sent before any reply arrives),
+//! so its effect on a server is *blind*: either it never changes crucial
+//! info, or it flips it identically in every execution of the chain.
+//!
+//! The sieve partitions the servers into `Σ1` (blindly flipped by `R2(1)`)
+//! and `Σ2` (unaffected), rebuilds chain α on `Σ2` only, and observes that
+//! the two chain ends still force different values for `R1` — so the chain
+//! argument of §3 goes through on the surviving servers, as long as at
+//! least 3 remain.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::certificate::{verify_w1r2_impossibility, CertificateError, W1R2Certificate};
+
+/// A server's crucial information: the order it received the two writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrucialInfo {
+    /// Received `write(1)` before `write(2)`.
+    OneTwo,
+    /// Received `write(2)` before `write(1)`.
+    TwoOne,
+}
+
+impl CrucialInfo {
+    /// The flip applied by a blind first round-trip.
+    pub fn flipped(self) -> CrucialInfo {
+        match self {
+            CrucialInfo::OneTwo => CrucialInfo::TwoOne,
+            CrucialInfo::TwoOne => CrucialInfo::OneTwo,
+        }
+    }
+}
+
+impl fmt::Display for CrucialInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrucialInfo::OneTwo => write!(f, "12"),
+            CrucialInfo::TwoOne => write!(f, "21"),
+        }
+    }
+}
+
+/// One execution of the sieved chain `α̂`, as crucial-info state after the
+/// writes, the blind effect of `R2(1)`, and the chain's swaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrucialExecution {
+    /// Name for reports (`α̂_j`).
+    pub name: String,
+    /// Per-server crucial info as observed by `R1`'s round-trips.
+    pub info: Vec<CrucialInfo>,
+}
+
+impl fmt::Display for CrucialExecution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (s, ci) in self.info.iter().enumerate() {
+            if s > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "s{}={}", s + 1, ci)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of sieving: the surviving chain and its endpoint facts.
+#[derive(Debug, Clone)]
+pub struct SieveReport {
+    /// Total servers `S`.
+    pub servers: usize,
+    /// Servers blindly affected by `R2(1)` (eliminated).
+    pub sigma1: BTreeSet<usize>,
+    /// Surviving servers the chain runs over.
+    pub sigma2: BTreeSet<usize>,
+    /// The sieved chain `α̂_0 … α̂_x` (`x = |Σ2|`).
+    pub chain: Vec<CrucialExecution>,
+    /// Whether enough servers survive for the §3 chain argument (`≥ 3`).
+    pub viable: bool,
+}
+
+impl SieveReport {
+    /// Verifies the §3 certificate on the surviving servers, mechanizing
+    /// the paper's "the chain argument can still be successfully conducted
+    /// on servers that remain".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertificateError::TooFewServers`] when fewer than 3
+    /// servers survive (then `t = 1` could not be tolerated by `Σ2` alone,
+    /// contradicting the assumption that the implementation was correct).
+    pub fn surviving_certificate(&self) -> Result<W1R2Certificate, CertificateError> {
+        verify_w1r2_impossibility(self.sigma2.len())
+    }
+}
+
+impl fmt::Display for SieveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sieve over S = {}: Σ1 = {{{}}} (blindly flipped by R2(1)), Σ2 = {{{}}}",
+            self.servers,
+            self.sigma1.iter().map(|s| format!("s{}", s + 1)).collect::<Vec<_>>().join(","),
+            self.sigma2.iter().map(|s| format!("s{}", s + 1)).collect::<Vec<_>>().join(","),
+        )?;
+        for e in &self.chain {
+            writeln!(f, "  {e}")?;
+        }
+        writeln!(
+            f,
+            "chain shortened to {} steps; R1 forced 2 at the head, 1 at the tail; {}",
+            self.chain.len().saturating_sub(1),
+            if self.viable {
+                "≥ 3 servers survive — §3 chains apply"
+            } else {
+                "fewer than 3 survive — Σ2 could not tolerate t = 1, contradiction already"
+            }
+        )
+    }
+}
+
+/// Builds the sieved chain `α̂` for `servers` servers where `R2(1)` blindly
+/// flips the crucial info of the servers in `sigma1`.
+///
+/// The head `α̂_0` starts from `W1 ≺ W2` (`"12"` everywhere); the blind
+/// flip turns `Σ1` to `"21"`; the chain then swaps one `Σ2` server at a
+/// time. Along the chain, `Σ1`'s info never changes — mechanically showing
+/// the paper's observation that eliminated servers behave identically in
+/// every chain execution.
+///
+/// # Panics
+///
+/// Panics if `sigma1` mentions servers out of range.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use mwr_chains::sieve::sieve_chain;
+///
+/// let report = sieve_chain(5, &BTreeSet::from([3, 4]));
+/// assert!(report.viable); // 3 servers survive
+/// assert!(report.surviving_certificate().is_ok());
+/// ```
+pub fn sieve_chain(servers: usize, sigma1: &BTreeSet<usize>) -> SieveReport {
+    assert!(
+        sigma1.iter().all(|&s| s < servers),
+        "Σ1 mentions servers out of range"
+    );
+    let sigma2: BTreeSet<usize> = (0..servers).filter(|s| !sigma1.contains(s)).collect();
+    let sigma2_order: Vec<usize> = sigma2.iter().copied().collect();
+
+    let mut chain = Vec::new();
+    for j in 0..=sigma2_order.len() {
+        let mut info = vec![CrucialInfo::OneTwo; servers];
+        // Blind effect of R2(1): identical in every chain execution.
+        for &s in sigma1 {
+            info[s] = info[s].flipped();
+        }
+        // Chain swaps on the first j surviving servers.
+        for &s in sigma2_order.iter().take(j) {
+            info[s] = CrucialInfo::TwoOne;
+        }
+        chain.push(CrucialExecution { name: format!("α̂_{j}"), info });
+    }
+
+    SieveReport {
+        servers,
+        sigma1: sigma1.clone(),
+        sigma2,
+        viable: sigma2_order.len() >= 3,
+        chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma1_info_is_constant_along_the_chain() {
+        let sigma1 = BTreeSet::from([1, 3]);
+        let report = sieve_chain(6, &sigma1);
+        for e in &report.chain {
+            for &s in &sigma1 {
+                assert_eq!(e.info[s], CrucialInfo::TwoOne, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_ends_force_different_values() {
+        let report = sieve_chain(5, &BTreeSet::from([4]));
+        let head = &report.chain[0];
+        let tail = report.chain.last().unwrap();
+        // Head: every surviving server shows "12" (R1 must return 2);
+        // tail: every server shows "21" (view-identical to W2 ≺ W1 ≺ R1,
+        // so R1 must return 1).
+        for &s in &report.sigma2 {
+            assert_eq!(head.info[s], CrucialInfo::OneTwo);
+            assert_eq!(tail.info[s], CrucialInfo::TwoOne);
+        }
+        assert!(tail.info.iter().all(|ci| *ci == CrucialInfo::TwoOne));
+    }
+
+    #[test]
+    fn chain_length_equals_surviving_servers() {
+        let report = sieve_chain(7, &BTreeSet::from([0, 6]));
+        assert_eq!(report.sigma2.len(), 5);
+        assert_eq!(report.chain.len(), 6);
+    }
+
+    #[test]
+    fn adjacent_executions_differ_on_one_surviving_server() {
+        let report = sieve_chain(6, &BTreeSet::from([2]));
+        for w in report.chain.windows(2) {
+            let diffs: Vec<usize> = (0..6)
+                .filter(|&s| w[0].info[s] != w[1].info[s])
+                .collect();
+            assert_eq!(diffs.len(), 1);
+            assert!(report.sigma2.contains(&diffs[0]));
+        }
+    }
+
+    #[test]
+    fn viability_needs_three_survivors() {
+        assert!(sieve_chain(5, &BTreeSet::from([0, 1])).viable);
+        assert!(!sieve_chain(5, &BTreeSet::from([0, 1, 2])).viable);
+        let small = sieve_chain(4, &BTreeSet::from([0, 1]));
+        assert!(small.surviving_certificate().is_err());
+    }
+
+    #[test]
+    fn surviving_certificate_composes_with_phase_three() {
+        let report = sieve_chain(8, &BTreeSet::from([5, 6, 7]));
+        let cert = report.surviving_certificate().unwrap();
+        assert_eq!(cert.servers, 5);
+    }
+
+    #[test]
+    fn empty_sigma1_reduces_to_plain_chain_alpha() {
+        let report = sieve_chain(4, &BTreeSet::new());
+        assert_eq!(report.sigma2.len(), 4);
+        assert_eq!(report.chain.len(), 5);
+        assert!(report.chain[0].info.iter().all(|ci| *ci == CrucialInfo::OneTwo));
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = sieve_chain(5, &BTreeSet::from([4])).to_string();
+        assert!(text.contains("Σ1 = {s5}"), "{text}");
+        assert!(text.contains("α̂_0"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_sigma1() {
+        let _ = sieve_chain(3, &BTreeSet::from([9]));
+    }
+}

@@ -1,0 +1,306 @@
+//! Refuting concrete W1R2 read strategies.
+//!
+//! The certificate of [`verify_w1r2_impossibility`] rules out *all*
+//! deterministic algorithms at once. This module makes the theorem tangible
+//! for a user: hand it any deterministic read-decision rule (a
+//! [`W1R2Strategy`]) and it walks the chains to produce a **concrete
+//! execution** in which that rule violates atomicity.
+//!
+//! [`verify_w1r2_impossibility`]: crate::verify_w1r2_impossibility
+
+use std::fmt;
+
+use crate::alpha::{alpha, alpha_chain};
+use crate::beta::{beta, Stem};
+use crate::exec::{Arrival, Execution, Reader, ReaderView};
+use crate::zigzag::{gamma, temp_d, temp_h};
+
+/// A deterministic read-decision rule for a fast-write (W1R2)
+/// implementation: given everything the reader learned from its two
+/// round-trips, return 1 or 2.
+///
+/// Implementations must be deterministic functions of the view; the refuter
+/// checks this and reports an error otherwise.
+pub trait W1R2Strategy {
+    /// Decides a read's return value from its view.
+    fn decide(&self, reader: Reader, view: &ReaderView) -> u8;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Strategy: return the value of the write that a majority of servers (in
+/// the final round's view) received *last*; ties go to 2.
+///
+/// This is the "obvious" fast-write design — last-write-wins by majority
+/// vote — and the refuter shows exactly where it breaks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityLastWrite;
+
+impl W1R2Strategy for MajorityLastWrite {
+    fn decide(&self, _reader: Reader, view: &ReaderView) -> u8 {
+        let mut votes = [0usize; 3];
+        for prefix in view.round2.values().chain(view.round1.values()) {
+            let last = prefix.iter().rev().find_map(|a| match a {
+                Arrival::Write(w) => Some(w.value()),
+                _ => None,
+            });
+            if let Some(v) = last {
+                votes[v as usize] += 1;
+            }
+        }
+        if votes[2] >= votes[1] {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "majority-last-write"
+    }
+}
+
+/// Strategy: trust the lowest-indexed server in the final view; ties (no
+/// writes seen) return 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstServerRules;
+
+impl W1R2Strategy for FirstServerRules {
+    fn decide(&self, _reader: Reader, view: &ReaderView) -> u8 {
+        view.round2
+            .iter()
+            .chain(view.round1.iter())
+            .next()
+            .and_then(|(_, prefix)| {
+                prefix.iter().rev().find_map(|a| match a {
+                    Arrival::Write(w) => Some(w.value()),
+                    _ => None,
+                })
+            })
+            .unwrap_or(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-server-rules"
+    }
+}
+
+/// Strategy: always return 1, regardless of the view. Refuted immediately
+/// at the head of chain α.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysOne;
+
+impl W1R2Strategy for AlwaysOne {
+    fn decide(&self, _reader: Reader, _view: &ReaderView) -> u8 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "always-one"
+    }
+}
+
+/// A concrete counterexample for a strategy.
+#[derive(Debug, Clone)]
+pub struct Refutation {
+    /// The strategy's name.
+    pub strategy: String,
+    /// Rendering of the violating execution's per-server logs.
+    pub execution: String,
+    /// What went wrong.
+    pub kind: RefutationKind,
+}
+
+/// The way the strategy violated atomicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefutationKind {
+    /// In a sequential execution (`W1 ≺ W2 ≺ R1` or the reverse), the read
+    /// returned the overwritten value.
+    SequentialExecution {
+        /// The value atomicity requires.
+        required: u8,
+        /// The value the strategy returned.
+        returned: u8,
+    },
+    /// Both writes completed before either read started, yet the two reads
+    /// returned different values — no linearization can explain that.
+    ReadsDisagree {
+        /// `R1`'s value.
+        r1: u8,
+        /// `R2`'s value.
+        r2: u8,
+    },
+    /// The strategy returned different values for identical views — it is
+    /// not a deterministic function of the view.
+    NonDeterministic,
+}
+
+impl fmt::Display for Refutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "strategy '{}' violates atomicity:", self.strategy)?;
+        match &self.kind {
+            RefutationKind::SequentialExecution { required, returned } => writeln!(
+                f,
+                "  sequential execution requires the read to return {required}, got {returned}"
+            )?,
+            RefutationKind::ReadsDisagree { r1, r2 } => writeln!(
+                f,
+                "  both writes complete before both reads, yet R1 = {r1} and R2 = {r2}"
+            )?,
+            RefutationKind::NonDeterministic => {
+                writeln!(f, "  strategy is not a deterministic function of its view")?
+            }
+        }
+        write!(f, "{}", self.execution)
+    }
+}
+
+/// Walks the paper's chains with a concrete strategy and returns the
+/// execution where it breaks atomicity.
+///
+/// Theorem 1 guarantees a refutation exists for **every** deterministic
+/// strategy; this function finds one constructively.
+///
+/// # Panics
+///
+/// Panics if `servers < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_chains::{refute_strategy, MajorityLastWrite};
+///
+/// let refutation = refute_strategy(3, &MajorityLastWrite);
+/// println!("{refutation}");
+/// ```
+pub fn refute_strategy(servers: usize, strategy: &dyn W1R2Strategy) -> Refutation {
+    assert!(servers >= 3, "refutation chains need S ≥ 3");
+    let decide = |e: &Execution, r: Reader| strategy.decide(r, &e.reader_view(r));
+
+    // Phase 1: R1's values along chain α.
+    let chain = alpha_chain(servers);
+    let values: Vec<u8> = chain.iter().map(|e| decide(e, Reader::R1)).collect();
+    if values[0] != 2 {
+        return Refutation {
+            strategy: strategy.name().to_string(),
+            execution: chain[0].to_string(),
+            kind: RefutationKind::SequentialExecution { required: 2, returned: values[0] },
+        };
+    }
+    if values[servers] != 1 {
+        return Refutation {
+            strategy: strategy.name().to_string(),
+            execution: chain[servers].to_string(),
+            kind: RefutationKind::SequentialExecution { required: 1, returned: values[servers] },
+        };
+    }
+    // The flip point: first i with value 2 → 1.
+    let i1 = (1..=servers)
+        .find(|&i| values[i - 1] == 2 && values[i] == 1)
+        .expect("values go from 2 to 1, so a flip exists");
+
+    // Phase 2: R2's common tail value.
+    let tail_prev = beta(servers, i1, Stem::Prev, servers);
+    let tail_at = beta(servers, i1, Stem::At, servers);
+    let x1 = decide(&tail_prev, Reader::R2);
+    let x2 = decide(&tail_at, Reader::R2);
+    if x1 != x2 {
+        // The tails are view-equal for R2 (verified by the certificate), so
+        // a deterministic strategy cannot split them.
+        return Refutation {
+            strategy: strategy.name().to_string(),
+            execution: format!("{tail_prev}{tail_at}"),
+            kind: RefutationKind::NonDeterministic,
+        };
+    }
+    let stem = if x1 == 1 { Stem::Prev } else { Stem::At };
+
+    // Phase 3: somewhere along the zigzag the two reads must disagree
+    // inside a single execution; find it.
+    let mut executions: Vec<Execution> = Vec::new();
+    for k in 0..servers {
+        executions.push(beta(servers, i1, stem, k));
+        if k + 1 != i1 {
+            executions.push(temp_h(servers, i1, stem, k));
+            executions.push(temp_d(servers, i1, stem, k));
+        }
+        executions.push(gamma(servers, i1, stem, k));
+    }
+    executions.push(beta(servers, i1, stem, servers));
+
+    for e in &executions {
+        let r1 = decide(e, Reader::R1);
+        let r2 = decide(e, Reader::R2);
+        if r1 != r2 {
+            debug_assert!(e.writes_precede_reads());
+            return Refutation {
+                strategy: strategy.name().to_string(),
+                execution: e.to_string(),
+                kind: RefutationKind::ReadsDisagree { r1, r2 },
+            };
+        }
+    }
+
+    // Impossible by Theorem 1: the chain pins head ≠ tail while every link
+    // preserves the common value, so an internal disagreement must exist.
+    unreachable!(
+        "strategy '{}' survived the chains — Theorem 1 says this cannot happen",
+        strategy.name()
+    )
+}
+
+/// Convenience: `decide` applied to `α_0`'s reader view — lets examples
+/// show what a strategy answers on the sequential execution.
+pub fn sequential_answer(servers: usize, strategy: &dyn W1R2Strategy) -> u8 {
+    let e = alpha(servers, 0);
+    strategy.decide(Reader::R1, &e.reader_view(Reader::R1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_one_is_refuted_at_the_head() {
+        let r = refute_strategy(3, &AlwaysOne);
+        assert_eq!(
+            r.kind,
+            RefutationKind::SequentialExecution { required: 2, returned: 1 }
+        );
+    }
+
+    #[test]
+    fn majority_last_write_is_refuted() {
+        for servers in 3..=6 {
+            let r = refute_strategy(servers, &MajorityLastWrite);
+            match r.kind {
+                RefutationKind::ReadsDisagree { r1, r2 } => assert_ne!(r1, r2),
+                RefutationKind::SequentialExecution { required, returned } => {
+                    assert_ne!(required, returned)
+                }
+                RefutationKind::NonDeterministic => panic!("strategy is deterministic"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_server_rules_is_refuted() {
+        let r = refute_strategy(4, &FirstServerRules);
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn sequential_answer_reports_head_behaviour() {
+        assert_eq!(sequential_answer(3, &MajorityLastWrite), 2);
+        assert_eq!(sequential_answer(3, &AlwaysOne), 1);
+    }
+
+    #[test]
+    fn refutation_display_shows_server_logs() {
+        let r = refute_strategy(3, &MajorityLastWrite);
+        let text = r.to_string();
+        assert!(text.contains("s1:"), "{text}");
+        assert!(text.contains("violates atomicity"), "{text}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Phase 3: chain γ and the zigzag chain Z (paper §3.4).
+//!
+//! For each `k`, the horizontal link `β_k ≈ γ_k` is established through a
+//! temporary execution `temp_k` (Figs 4–5), and the diagonal link
+//! `β_{k+1} ≈ γ_k` through `temp′_k` (Figs 6–7). Each step is justified by
+//! one reader being *blind* to the modification:
+//!
+//! - `β_k → temp_k`: move `R2(2)` from `s_{k+1}` to the critical server
+//!   (after `R1(2)`); `R1` finished first on both affected servers, so `R1`
+//!   is blind.
+//! - `temp_k → γ_k`: `R1(2)` additionally skips `s_{k+1}`; `R2(2)` already
+//!   skips it, so `R2` is blind.
+//! - `β_{k+1} → temp′_k`: `R1(2)` skips `s_{k+1}`; `R2(2)` finished first
+//!   there, so `R2` is blind.
+//! - `temp′_k → γ′_k`: move `R2(2)` from `s_{k+1}` to the critical server;
+//!   `R1` is blind (it skips `s_{k+1}`, and on the critical server `R2(2)`
+//!   lands after `R1(2)`).
+//! - `γ′_k` and `γ_k` are **log-identical**, closing the zigzag.
+//!
+//! A blind reader returns the same value in both executions; atomicity
+//! (both writes complete before both reads start) forces the other reader
+//! to agree within each execution, so the common return value propagates
+//! along `β_0 ≈ γ_0 ≈ β_1 ≈ … ≈ β_S`.
+
+use crate::beta::{beta, Stem};
+use crate::exec::{Arrival, Execution, Reader};
+
+fn r1_2() -> Arrival {
+    Arrival::Read(Reader::R1, 2)
+}
+
+fn r2_2() -> Arrival {
+    Arrival::Read(Reader::R2, 2)
+}
+
+/// Moves `R2(2)` from server `from` to the end of the critical server's
+/// log (i.e. after `R1(2)` there — "we can intentionally add `R2(2)` after
+/// `R1(2)` on `s_{i1}`").
+fn move_r2_second_round(e: &mut Execution, from: usize, critical: usize) {
+    let log: Vec<Arrival> = e.log(from).to_vec();
+    assert!(log.contains(&r2_2()), "R2(2) expected on s{} of {}", from + 1, e.name());
+    e.remove_from_server(from, r2_2());
+    e.append_at(critical, r2_2());
+}
+
+/// `temp_k` (paper Fig 5): from `β_k`, `R2(2)` skips `s_{k+1}` and no
+/// longer skips the critical server.
+///
+/// Only defined for `k + 1 ≠ i1`; the `k + 1 = i1` case short-circuits
+/// (see [`gamma`]).
+pub fn temp_h(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    assert_ne!(k + 1, i1, "temp_k is not defined when k+1 = i1");
+    let mut e = beta(servers, i1, stem, k);
+    move_r2_second_round(&mut e, k, i1 - 1);
+    e.set_name(format!("temp_{k}[i1={i1}]"));
+    e
+}
+
+/// `γ_k` (paper Fig 5): from `temp_k`, `R1(2)` additionally skips
+/// `s_{k+1}`. In the special case `k + 1 = i1`, `γ_k` is `β_k` with
+/// `R1(2)` skipping `s_{k+1}` directly (the simpler construction in §3.4.1).
+pub fn gamma(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    let mut e = if k + 1 == i1 {
+        beta(servers, i1, stem, k)
+    } else {
+        temp_h(servers, i1, stem, k)
+    };
+    e.remove_from_server(k, r1_2());
+    e.set_name(format!("γ_{k}[i1={i1}]"));
+    e
+}
+
+/// `temp′_k` (paper Fig 7): from `β_{k+1}`, `R1(2)` skips `s_{k+1}`.
+pub fn temp_d(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    let mut e = beta(servers, i1, stem, k + 1);
+    e.remove_from_server(k, r1_2());
+    e.set_name(format!("temp'_{k}[i1={i1}]"));
+    e
+}
+
+/// `γ′_k` (paper Fig 7): from `temp′_k`, `R2(2)` skips `s_{k+1}` and no
+/// longer skips the critical server. In the special case `k + 1 = i1`,
+/// `γ′_k` is `temp′_k` itself (R2 already skips `s_{k+1} = s_{i1}`).
+pub fn gamma_prime(servers: usize, i1: usize, stem: Stem, k: usize) -> Execution {
+    let mut e = temp_d(servers, i1, stem, k);
+    if k + 1 != i1 {
+        move_r2_second_round(&mut e, k, i1 - 1);
+    }
+    e.set_name(format!("γ'_{k}[i1={i1}]"));
+    e
+}
+
+/// One verified indistinguishability (or log-identity) link of the zigzag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Name of the source execution.
+    pub from: String,
+    /// Name of the target execution.
+    pub to: String,
+    /// The justification: which reader is blind, or log identity.
+    pub kind: LinkKind,
+}
+
+/// How a link is justified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// The reader's views are equal in both executions.
+    BlindReader(Reader),
+    /// The executions have identical logs on every server.
+    SameLogs,
+}
+
+impl std::fmt::Display for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            LinkKind::BlindReader(Reader::R1) => {
+                write!(f, "{} ≈ {} (R1 blind)", self.from, self.to)
+            }
+            LinkKind::BlindReader(Reader::R2) => {
+                write!(f, "{} ≈ {} (R2 blind)", self.from, self.to)
+            }
+            LinkKind::SameLogs => write!(f, "{} ≡ {} (identical logs)", self.from, self.to),
+        }
+    }
+}
+
+/// Errors raised when a claimed link fails to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError {
+    /// The link that failed.
+    pub link: Link,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link failed to verify: {}", self.link)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+fn check(from: &Execution, to: &Execution, kind: LinkKind) -> Result<Link, LinkError> {
+    let link = Link { from: from.name().to_string(), to: to.name().to_string(), kind };
+    let ok = match kind {
+        LinkKind::BlindReader(r) => from.indistinguishable_to(to, r),
+        LinkKind::SameLogs => from.same_logs(to),
+    };
+    if ok {
+        Ok(link)
+    } else {
+        Err(LinkError { link })
+    }
+}
+
+/// Verifies every link of the zigzag step `k` (both the horizontal link
+/// `β_k ≈ γ_k` and the diagonal link `β_{k+1} ≈ γ_k`), returning the
+/// verified links in order.
+///
+/// # Errors
+///
+/// Returns the first link whose view-equality fails — which would falsify
+/// the proof's construction (none do; the test suite checks all `S`, `i1`).
+pub fn verify_step(
+    servers: usize,
+    i1: usize,
+    stem: Stem,
+    k: usize,
+) -> Result<Vec<Link>, LinkError> {
+    let mut links = Vec::new();
+    let beta_k = beta(servers, i1, stem, k);
+    let beta_k1 = beta(servers, i1, stem, k + 1);
+    let gamma_k = gamma(servers, i1, stem, k);
+    let gamma_p = gamma_prime(servers, i1, stem, k);
+
+    if k + 1 == i1 {
+        // Simple case: R2 skips s_{k+1} = s_{i1} already.
+        links.push(check(&beta_k, &gamma_k, LinkKind::BlindReader(Reader::R2))?);
+        links.push(check(&beta_k1, &gamma_p, LinkKind::BlindReader(Reader::R2))?);
+    } else {
+        let temp_k = temp_h(servers, i1, stem, k);
+        let temp_p = temp_d(servers, i1, stem, k);
+        // Horizontal: β_k ≈ temp_k (R1 blind) ≈ γ_k (R2 blind).
+        links.push(check(&beta_k, &temp_k, LinkKind::BlindReader(Reader::R1))?);
+        links.push(check(&temp_k, &gamma_k, LinkKind::BlindReader(Reader::R2))?);
+        // Diagonal: β_{k+1} ≈ temp′_k (R2 blind) ≈ γ′_k (R1 blind).
+        links.push(check(&beta_k1, &temp_p, LinkKind::BlindReader(Reader::R2))?);
+        links.push(check(&temp_p, &gamma_p, LinkKind::BlindReader(Reader::R1))?);
+    }
+    // Close the zigzag: γ′_k ≡ γ_k.
+    links.push(check(&gamma_p, &gamma_k, LinkKind::SameLogs)?);
+    Ok(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_step_verifies_for_small_clusters() {
+        for servers in 3..=6 {
+            for i1 in 1..=servers {
+                for stem in [Stem::Prev, Stem::At] {
+                    for k in 0..servers {
+                        let links = verify_step(servers, i1, stem, k)
+                            .unwrap_or_else(|e| panic!("S={servers} i1={i1} k={k}: {e}"));
+                        let expected = if k + 1 == i1 { 3 } else { 5 };
+                        assert_eq!(links.len(), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_removes_r1_second_round_from_sk1() {
+        let g = gamma(4, 2, Stem::Prev, 2);
+        assert!(!g.arrives_at(2, Arrival::Read(Reader::R1, 2)));
+        assert!(g.arrives_at(2, Arrival::Read(Reader::R1, 1)));
+    }
+
+    #[test]
+    fn gamma_moves_r2_second_round_to_critical_server() {
+        let i1 = 2;
+        let g = gamma(4, i1, Stem::Prev, 2);
+        // R2(2) no longer skips the critical server (index 1) and lands
+        // after R1(2) there.
+        let log = g.log(i1 - 1);
+        let p1 = log.iter().position(|a| *a == Arrival::Read(Reader::R1, 2)).unwrap();
+        let p2 = log.iter().position(|a| *a == Arrival::Read(Reader::R2, 2)).unwrap();
+        assert!(p1 < p2, "R2(2) must land after R1(2) on the critical server");
+        // …and skips s_{k+1} (index 2).
+        assert!(!g.arrives_at(2, Arrival::Read(Reader::R2, 2)));
+    }
+
+    #[test]
+    fn gamma_and_gamma_prime_are_identical() {
+        for servers in 3..=5 {
+            for i1 in 1..=servers {
+                for k in 0..servers {
+                    let g = gamma(servers, i1, Stem::Prev, k);
+                    let gp = gamma_prime(servers, i1, Stem::Prev, k);
+                    assert!(g.same_logs(&gp), "S={servers} i1={i1} k={k}\n{g}\n{gp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_render_readably() {
+        let links = verify_step(3, 2, Stem::Prev, 2).unwrap();
+        let text: Vec<String> = links.iter().map(|l| l.to_string()).collect();
+        assert!(text.iter().any(|t| t.contains("R1 blind")), "{text:?}");
+        assert!(text.iter().any(|t| t.contains("identical logs")), "{text:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn temp_h_rejects_the_special_case() {
+        let _ = temp_h(4, 3, Stem::Prev, 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! The paper's MWA0–MWA4 properties (Appendix A.1), checked directly on a
+//! history's tags.
+//!
+//! These properties are the proof obligations for the W2R1 implementation:
+//! if a tag-disciplined protocol satisfies all five, the induced order
+//! `op1 ≺π op2 ⟺ value(op1) < value(op2)` is a legal linearization, hence
+//! the protocol is atomic. They are *sufficient*, not necessary — a history
+//! can be atomic while breaking MWA0 (e.g. tag order opposite to an
+//! unobserved write order) — so the general verdict remains with
+//! [`check_atomicity`](crate::check_atomicity). Integration tests assert
+//! the implication "MWA holds ⟹ atomic" on every W2R1 run.
+
+use std::fmt;
+
+use mwr_core::OpId;
+use mwr_types::TaggedValue;
+
+use crate::history::{History, Timestamp};
+
+/// Which MWA property failed, with the offending operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MwaViolation {
+    /// MWA0: writes `first ≺σ second` but `tag(first) ≥ tag(second)`.
+    Mwa0 {
+        /// The earlier write.
+        first: OpId,
+        /// The later write with a non-larger tag.
+        second: OpId,
+    },
+    /// MWA1: a read returned a negative/ill-formed tag. (Unrepresentable
+    /// with this crate's types; kept for completeness of the property set.)
+    Mwa1 {
+        /// The offending read.
+        read: OpId,
+    },
+    /// MWA2: read `read` follows write `write` but returned a smaller tag.
+    Mwa2 {
+        /// The preceding write.
+        write: OpId,
+        /// The read that missed it.
+        read: OpId,
+    },
+    /// MWA3: read `read` returned a value whose write it precedes.
+    Mwa3 {
+        /// The read that saw the future.
+        read: OpId,
+        /// The write it preceded.
+        write: OpId,
+    },
+    /// MWA4: reads `first ≺σ second` but the second returned a smaller tag.
+    Mwa4 {
+        /// The earlier read.
+        first: OpId,
+        /// The later read that regressed.
+        second: OpId,
+    },
+    /// A read returned a tag no write produced (needed before MWA3 can
+    /// locate the source write).
+    UnknownSource {
+        /// The offending read.
+        read: OpId,
+        /// The unexplained value.
+        value: TaggedValue,
+    },
+    /// The history has open operations.
+    Open,
+}
+
+impl fmt::Display for MwaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MwaViolation::Mwa0 { first, second } => {
+                write!(f, "MWA0: write {first} precedes {second} but has a larger-or-equal tag")
+            }
+            MwaViolation::Mwa1 { read } => write!(f, "MWA1: read {read} returned an ill-formed tag"),
+            MwaViolation::Mwa2 { write, read } => {
+                write!(f, "MWA2: read {read} follows write {write} but returned a smaller tag")
+            }
+            MwaViolation::Mwa3 { read, write } => {
+                write!(f, "MWA3: read {read} returned the value of a later write {write}")
+            }
+            MwaViolation::Mwa4 { first, second } => {
+                write!(f, "MWA4: read {second} follows {first} but returned a smaller tag")
+            }
+            MwaViolation::UnknownSource { read, value } => {
+                write!(f, "read {read} returned {value}, which no write produced")
+            }
+            MwaViolation::Open => write!(f, "history has open operations"),
+        }
+    }
+}
+
+/// Checks MWA0–MWA4 on a history.
+///
+/// # Errors
+///
+/// Returns the first violated property with its witness operations.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_check::{check_mwa, History};
+///
+/// assert!(check_mwa(&History::default()).is_ok());
+/// ```
+pub fn check_mwa(history: &History) -> Result<(), MwaViolation> {
+    if history.ops().iter().any(|o| o.completed == Timestamp::MAX) {
+        return Err(MwaViolation::Open);
+    }
+    let writes: Vec<_> = history.writes().collect();
+    let reads: Vec<_> = history.reads().collect();
+
+    // MWA0.
+    for a in &writes {
+        for b in &writes {
+            if a.precedes(b) && a.tagged_value() >= b.tagged_value() {
+                return Err(MwaViolation::Mwa0 { first: a.id, second: b.id });
+            }
+        }
+    }
+    // MWA1: tags are non-negative by construction; assert the invariant.
+    for r in &reads {
+        if r.tagged_value() < TaggedValue::initial() {
+            return Err(MwaViolation::Mwa1 { read: r.id });
+        }
+    }
+    // MWA2.
+    for w in &writes {
+        for r in &reads {
+            if w.precedes(r) && r.tagged_value() < w.tagged_value() {
+                return Err(MwaViolation::Mwa2 { write: w.id, read: r.id });
+            }
+        }
+    }
+    // MWA3 (requires locating each read's source write).
+    for r in &reads {
+        let v = r.tagged_value();
+        if v == TaggedValue::initial() {
+            continue; // wr_{0,⊥} is never invoked (paper Appendix A.1)
+        }
+        let Some(src) = writes.iter().find(|w| w.tagged_value() == v) else {
+            return Err(MwaViolation::UnknownSource { read: r.id, value: v });
+        };
+        if r.precedes(src) {
+            return Err(MwaViolation::Mwa3 { read: r.id, write: src.id });
+        }
+    }
+    // MWA4.
+    for a in &reads {
+        for b in &reads {
+            if a.precedes(b) && b.tagged_value() < a.tagged_value() {
+                return Err(MwaViolation::Mwa4 { first: a.id, second: b.id });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Operation;
+    use mwr_core::{OpKind, OpResult};
+    use mwr_sim::SimTime;
+    use mwr_types::{ClientId, Tag, Value, WriterId};
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp { time: SimTime::from_ticks(t), seq: t }
+    }
+
+    fn tv(ts_: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts_, WriterId::new(w)), Value::new(v))
+    }
+
+    fn write(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::writer(client), seq },
+            kind: OpKind::Write(val.value()),
+            result: OpResult::Written(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    fn read(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::reader(client), seq },
+            kind: OpKind::Read,
+            result: OpResult::Read(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            read(0, 0, v1, 20, 30),
+            write(1, 0, v2, 40, 50),
+            read(1, 0, v2, 60, 70),
+        ])
+        .unwrap();
+        assert_eq!(check_mwa(&h), Ok(()));
+    }
+
+    #[test]
+    fn mwa0_catches_tag_inversion() {
+        // Sequential writes whose tags decrease — the naive fast write's
+        // signature failure.
+        let h = History::from_operations(vec![
+            write(1, 0, tv(1, 1, 2), 0, 10),
+            write(0, 0, tv(1, 0, 1), 20, 30),
+        ])
+        .unwrap();
+        assert!(matches!(check_mwa(&h), Err(MwaViolation::Mwa0 { .. })));
+    }
+
+    #[test]
+    fn mwa2_catches_read_missing_preceding_write() {
+        let v1 = tv(1, 0, 1);
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            read(0, 0, TaggedValue::initial(), 20, 30),
+        ])
+        .unwrap();
+        assert!(matches!(check_mwa(&h), Err(MwaViolation::Mwa2 { .. })));
+    }
+
+    #[test]
+    fn mwa3_catches_future_read() {
+        let v1 = tv(1, 0, 1);
+        let h = History::from_operations(vec![
+            read(0, 0, v1, 0, 10),
+            write(0, 0, v1, 20, 30),
+        ])
+        .unwrap();
+        assert!(matches!(check_mwa(&h), Err(MwaViolation::Mwa3 { .. })));
+    }
+
+    #[test]
+    fn mwa4_catches_read_regression() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        // v2's write stays concurrent with both reads so MWA2 cannot fire;
+        // the regression r0 = v2 then r1 = v1 is purely a read-read issue.
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 100),
+            write(1, 0, v2, 0, 200),
+            read(0, 0, v2, 110, 120),
+            read(1, 0, v1, 130, 140),
+        ])
+        .unwrap();
+        assert!(matches!(check_mwa(&h), Err(MwaViolation::Mwa4 { .. })));
+    }
+
+    #[test]
+    fn unknown_source_is_reported() {
+        let h = History::from_operations(vec![read(0, 0, tv(5, 0, 5), 0, 10)]).unwrap();
+        assert!(matches!(check_mwa(&h), Err(MwaViolation::UnknownSource { .. })));
+    }
+
+    #[test]
+    fn concurrent_writes_with_equal_ts_pass_mwa0() {
+        // Concurrent writes may receive tags in either order (§5.2).
+        let h = History::from_operations(vec![
+            write(0, 0, tv(1, 0, 1), 0, 100),
+            write(1, 0, tv(1, 1, 2), 0, 100),
+        ])
+        .unwrap();
+        assert_eq!(check_mwa(&h), Ok(()));
+    }
+}

@@ -1,0 +1,267 @@
+//! Exhaustive atomicity checking by linearization search (Wing & Gong).
+//!
+//! This is the *oracle* checker: it enumerates linearizations directly, with
+//! memoization on `(linearized-set, register-content)` states, so its verdict
+//! is correct by construction for any complete history of at most 128
+//! operations. The production checker ([`check_atomicity`]) is polynomial;
+//! property tests assert the two always agree.
+//!
+//! [`check_atomicity`]: crate::check_atomicity
+
+use std::collections::HashSet;
+
+use mwr_types::TaggedValue;
+
+use crate::graph::{Verdict, Violation, WitnessNode};
+use crate::history::{History, Operation, Timestamp};
+
+/// Maximum history size the search oracle accepts.
+pub const MAX_SEARCH_OPS: usize = 128;
+
+/// Exhaustively decides atomicity of `history` by searching for a legal
+/// linearization.
+///
+/// # Panics
+///
+/// Panics if the history exceeds [`MAX_SEARCH_OPS`] operations — use the
+/// polynomial [`check_atomicity`](crate::check_atomicity) for large
+/// histories.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_check::{search_atomicity, History};
+///
+/// assert!(search_atomicity(&History::default()).is_ok());
+/// ```
+pub fn search_atomicity(history: &History) -> Verdict {
+    let ops: Vec<&Operation> = history.ops().iter().collect();
+    assert!(
+        ops.len() <= MAX_SEARCH_OPS,
+        "search oracle supports at most {MAX_SEARCH_OPS} operations, got {}",
+        ops.len()
+    );
+    let open = ops.iter().filter(|o| o.completed == Timestamp::MAX).count();
+    if open > 0 {
+        return Verdict::Violation(Violation::OpenOperations { count: open });
+    }
+    if ops.is_empty() {
+        return Verdict::Ok;
+    }
+
+    let n = ops.len();
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+
+    // Precompute real-time predecessors as bitmasks.
+    let mut preds: Vec<u128> = vec![0; n];
+    for (i, a) in ops.iter().enumerate() {
+        for (j, b) in ops.iter().enumerate() {
+            if i != j && b.precedes(a) {
+                preds[i] |= 1 << j;
+            }
+        }
+    }
+
+    let mut failed: HashSet<(u128, TaggedValue)> = HashSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    if dfs(&ops, &preds, full, 0, TaggedValue::initial(), &mut failed, &mut order) {
+        Verdict::Ok
+    } else {
+        // No linearization exists. As a witness, report the operations in
+        // invocation order (the search has no single canonical cycle).
+        let mut sorted: Vec<&Operation> = ops.clone();
+        sorted.sort_by_key(|o| o.invoked);
+        Verdict::Violation(Violation::Cycle {
+            nodes: sorted.iter().map(|o| WitnessNode::Op(o.id)).collect(),
+        })
+    }
+}
+
+fn dfs(
+    ops: &[&Operation],
+    preds: &[u128],
+    full: u128,
+    done: u128,
+    content: TaggedValue,
+    failed: &mut HashSet<(u128, TaggedValue)>,
+    order: &mut Vec<usize>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if failed.contains(&(done, content)) {
+        return false;
+    }
+    for i in 0..ops.len() {
+        let bit = 1u128 << i;
+        if done & bit != 0 {
+            continue;
+        }
+        // `i` is linearizable next only if all its real-time predecessors
+        // are already linearized.
+        if preds[i] & !done != 0 {
+            continue;
+        }
+        let op = ops[i];
+        let next_content = if op.is_write() {
+            op.tagged_value()
+        } else {
+            if op.tagged_value() != content {
+                continue; // this read cannot go here
+            }
+            content
+        };
+        order.push(i);
+        if dfs(ops, preds, full, done | bit, next_content, failed, order) {
+            return true;
+        }
+        order.pop();
+    }
+    failed.insert((done, content));
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::check_atomicity;
+    use mwr_core::{OpId, OpKind, OpResult};
+    use mwr_sim::SimTime;
+    use mwr_types::{ClientId, Tag, Value, WriterId};
+    use proptest::prelude::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp { time: SimTime::from_ticks(t), seq: t }
+    }
+
+    fn tv(ts_: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts_, WriterId::new(w)), Value::new(v))
+    }
+
+    fn write(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::writer(client), seq },
+            kind: OpKind::Write(val.value()),
+            result: OpResult::Written(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    fn read(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::reader(client), seq },
+            kind: OpKind::Read,
+            result: OpResult::Read(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    #[test]
+    fn agrees_with_graph_on_canonical_cases() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(1, 1, 2);
+        let cases: Vec<(Vec<Operation>, bool)> = vec![
+            (vec![write(0, 0, v1, 0, 10), read(0, 0, v1, 20, 30)], true),
+            (
+                vec![
+                    write(0, 0, v1, 0, 10),
+                    write(1, 0, v2, 20, 30),
+                    read(0, 0, v1, 40, 50),
+                ],
+                false,
+            ),
+            (
+                vec![
+                    write(0, 0, v1, 0, 100),
+                    write(1, 0, v2, 0, 100),
+                    read(0, 0, v2, 110, 120),
+                    read(1, 0, v1, 130, 140),
+                ],
+                false,
+            ),
+            (
+                vec![
+                    write(0, 0, v1, 0, 100),
+                    write(1, 0, v2, 0, 100),
+                    read(0, 0, v1, 110, 120),
+                    read(1, 0, v1, 130, 140),
+                ],
+                true,
+            ),
+        ];
+        for (ops, expected) in cases {
+            let h = History::from_operations(ops).unwrap();
+            assert_eq!(search_atomicity(&h).is_ok(), expected, "search on:\n{h}");
+            assert_eq!(check_atomicity(&h).is_ok(), expected, "graph on:\n{h}");
+        }
+    }
+
+    /// Generates a random well-formed history: per client, a sequence of
+    /// non-overlapping operations; writes get unique tags; reads return a
+    /// randomly chosen written (or initial) tag — sometimes atomic,
+    /// sometimes not.
+    fn arbitrary_history() -> impl Strategy<Value = History> {
+        // (client op counts, interval seeds, read choices)
+        (
+            proptest::collection::vec(1usize..4, 1..4), // ops per writer
+            proptest::collection::vec(1usize..4, 1..4), // ops per reader
+            any::<u64>(),
+        )
+            .prop_map(|(writer_ops, reader_ops, seed)| {
+                use rand::rngs::SmallRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut ops: Vec<Operation> = Vec::new();
+                let mut tags: Vec<TaggedValue> = vec![TaggedValue::initial()];
+                // Writers first: lay out each client's ops in its own
+                // timeline with random gaps/overlap across clients.
+                for (w, count) in writer_ops.iter().enumerate() {
+                    let mut clock = rng.gen_range(0..20);
+                    for k in 0..*count {
+                        let start = clock;
+                        let end = start + rng.gen_range(1..15);
+                        clock = end + rng.gen_range(1..10);
+                        let tag = tv(k as u64 + 1, w as u32, rng.gen_range(0..100));
+                        tags.push(tag);
+                        ops.push(write(w as u32, k as u64, tag, start, end));
+                    }
+                }
+                for (r, count) in reader_ops.iter().enumerate() {
+                    let mut clock = rng.gen_range(0..20);
+                    for k in 0..*count {
+                        let start = clock;
+                        let end = start + rng.gen_range(1..15);
+                        clock = end + rng.gen_range(1..10);
+                        let tag = tags[rng.gen_range(0..tags.len())];
+                        ops.push(read(r as u32, k as u64, tag, start, end));
+                    }
+                }
+                // Re-sequence timestamps so they are unique.
+                for (i, op) in ops.iter_mut().enumerate() {
+                    op.invoked = Timestamp {
+                        time: op.invoked.time,
+                        seq: 2 * i as u64,
+                    };
+                    op.completed = Timestamp {
+                        time: op.completed.time,
+                        seq: 2 * i as u64 + 1,
+                    };
+                }
+                History::from_operations(ops).expect("generated histories are well-formed")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        /// The polynomial graph checker and the exhaustive oracle must agree
+        /// on every random history.
+        #[test]
+        fn prop_graph_checker_agrees_with_search(h in arbitrary_history()) {
+            let fast = check_atomicity(&h).is_ok();
+            let slow = search_atomicity(&h).is_ok();
+            prop_assert_eq!(fast, slow, "checker disagreement on:\n{}", h);
+        }
+    }
+}

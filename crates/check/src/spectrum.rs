@@ -1,0 +1,270 @@
+//! Safe and regular register checks — the weaker rungs of the consistency
+//! spectrum in the paper's Fig 2 ("the partial order relation can be thought
+//! of as providing stronger consistency guarantees or inducing less data
+//! access latency").
+//!
+//! Lamport's conditions are defined for a single writer; we use the natural
+//! multi-writer generalization over real-time order:
+//!
+//! - the *legal preceding values* of a read `r` are the values of the
+//!   real-time-maximal writes among those that completed before `r` began
+//!   (if none, the initial value);
+//! - **MW-safe**: a read concurrent with no write returns a legal preceding
+//!   value; reads concurrent with a write may return anything (that a write
+//!   produced, or the initial value — we still flag thin-air values);
+//! - **MW-regular**: every read returns a legal preceding value or the value
+//!   of a write concurrent with it.
+//!
+//! Atomicity ⟹ regularity ⟹ safety; the `fig2_latency_consistency`
+//! experiment places every protocol on this spectrum.
+
+use mwr_types::TaggedValue;
+
+use crate::graph::{Verdict, Violation};
+use crate::history::{History, Operation, Timestamp};
+
+/// Which spectrum property to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Safe,
+    Regular,
+}
+
+/// Checks the multi-writer *safe* register condition.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_check::{check_safe, History};
+///
+/// assert!(check_safe(&History::default()).is_ok());
+/// ```
+pub fn check_safe(history: &History) -> Verdict {
+    check_level(history, Level::Safe)
+}
+
+/// Checks the multi-writer *regular* register condition.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_check::{check_regular, History};
+///
+/// assert!(check_regular(&History::default()).is_ok());
+/// ```
+pub fn check_regular(history: &History) -> Verdict {
+    check_level(history, Level::Regular)
+}
+
+fn check_level(history: &History, level: Level) -> Verdict {
+    let open = history
+        .ops()
+        .iter()
+        .filter(|o| o.completed == Timestamp::MAX)
+        .count();
+    if open > 0 {
+        return Verdict::Violation(Violation::OpenOperations { count: open });
+    }
+    let writes: Vec<&Operation> = history.writes().collect();
+
+    for read in history.reads() {
+        let value = read.tagged_value();
+        // Thin-air check applies at every level.
+        let produced = value == TaggedValue::initial()
+            || writes.iter().any(|w| w.tagged_value() == value);
+        if !produced {
+            return Verdict::Violation(Violation::ReadWithoutSource { read: read.id, value });
+        }
+
+        let preceding: Vec<&&Operation> =
+            writes.iter().filter(|w| w.precedes(read)).collect();
+        let concurrent: Vec<&&Operation> =
+            writes.iter().filter(|w| w.concurrent_with(read)).collect();
+
+        // Real-time-maximal preceding writes.
+        let legal_preceding: Vec<TaggedValue> = preceding
+            .iter()
+            .filter(|w| !preceding.iter().any(|w2| w.precedes(w2)))
+            .map(|w| w.tagged_value())
+            .collect();
+
+        let legal = |v: TaggedValue| -> bool {
+            if legal_preceding.is_empty() {
+                // Nothing completed before the read: initial value is legal.
+                if v == TaggedValue::initial() {
+                    return true;
+                }
+            } else if legal_preceding.contains(&v) {
+                return true;
+            }
+            false
+        };
+
+        let ok = match level {
+            Level::Safe => {
+                if concurrent.is_empty() {
+                    legal(value)
+                } else {
+                    true // anything produced is allowed under safety
+                }
+            }
+            Level::Regular => {
+                legal(value) || concurrent.iter().any(|w| w.tagged_value() == value)
+            }
+        };
+        if !ok {
+            return Verdict::Violation(Violation::ReadWithoutSource { read: read.id, value });
+        }
+    }
+    Verdict::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::check_atomicity;
+    use mwr_core::{OpId, OpKind, OpResult};
+    use mwr_sim::SimTime;
+    use mwr_types::{ClientId, Tag, Value, WriterId};
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp { time: SimTime::from_ticks(t), seq: t }
+    }
+
+    fn tv(ts_: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts_, WriterId::new(w)), Value::new(v))
+    }
+
+    fn write(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::writer(client), seq },
+            kind: OpKind::Write(val.value()),
+            result: OpResult::Written(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    fn read(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+        Operation {
+            id: OpId { client: ClientId::reader(client), seq },
+            kind: OpKind::Read,
+            result: OpResult::Read(val),
+            invoked: ts(s),
+            completed: ts(f),
+        }
+    }
+
+    #[test]
+    fn stale_read_with_no_concurrency_fails_both_levels() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            write(1, 0, v2, 20, 30),
+            read(0, 0, v1, 40, 50),
+        ])
+        .unwrap();
+        assert!(!check_safe(&h).is_ok());
+        assert!(!check_regular(&h).is_ok());
+    }
+
+    #[test]
+    fn read_concurrent_with_write_is_safe_but_checked_by_regular() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 0, 2);
+        // v2's write overlaps the read; read returns the older v1.
+        let overlap = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            write(0, 1, v2, 20, 40),
+            read(0, 0, v1, 30, 50),
+        ])
+        .unwrap();
+        assert!(check_safe(&overlap).is_ok(), "safety allows anything under concurrency");
+        assert!(check_regular(&overlap).is_ok(), "v1 is the legal preceding value");
+
+        // Returning a *future* unrelated value is not regular.
+        let v3 = tv(3, 0, 3);
+        let bad = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            write(0, 1, v2, 20, 40),
+            read(0, 0, v3, 30, 50),
+            write(0, 2, v3, 60, 70),
+        ])
+        .unwrap();
+        assert!(!check_regular(&bad).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_is_regular_but_not_atomic() {
+        // The canonical gap between regular and atomic (Lamport): two
+        // sequential reads concurrent with one write see new-then-old.
+        let v1 = tv(1, 0, 1);
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 100),
+            read(0, 0, v1, 10, 20),
+            read(1, 0, TaggedValue::initial(), 30, 40),
+        ])
+        .unwrap();
+        assert!(check_regular(&h).is_ok());
+        assert!(!check_atomicity(&h).is_ok());
+    }
+
+    #[test]
+    fn initial_value_is_legal_only_before_completed_writes() {
+        let v1 = tv(1, 0, 1);
+        let early = History::from_operations(vec![
+            read(0, 0, TaggedValue::initial(), 0, 5),
+            write(0, 0, v1, 10, 20),
+        ])
+        .unwrap();
+        assert!(check_safe(&early).is_ok());
+        assert!(check_regular(&early).is_ok());
+
+        let late = History::from_operations(vec![
+            write(0, 0, v1, 0, 5),
+            read(0, 0, TaggedValue::initial(), 10, 20),
+        ])
+        .unwrap();
+        assert!(!check_safe(&late).is_ok());
+        assert!(!check_regular(&late).is_ok());
+    }
+
+    #[test]
+    fn concurrent_preceding_writes_offer_multiple_legal_values() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(1, 1, 2);
+        for returned in [v1, v2] {
+            let h = History::from_operations(vec![
+                write(0, 0, v1, 0, 100),
+                write(1, 0, v2, 0, 100),
+                read(0, 0, returned, 110, 120),
+            ])
+            .unwrap();
+            assert!(check_safe(&h).is_ok(), "{returned}");
+            assert!(check_regular(&h).is_ok(), "{returned}");
+        }
+    }
+
+    #[test]
+    fn thin_air_fails_even_safety() {
+        let h = History::from_operations(vec![read(0, 0, tv(9, 0, 9), 0, 10)]).unwrap();
+        assert!(!check_safe(&h).is_ok());
+    }
+
+    #[test]
+    fn atomic_histories_are_regular_and_safe() {
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        let h = History::from_operations(vec![
+            write(0, 0, v1, 0, 10),
+            read(0, 0, v1, 20, 30),
+            write(1, 0, v2, 40, 50),
+            read(1, 0, v2, 60, 70),
+        ])
+        .unwrap();
+        assert!(check_atomicity(&h).is_ok());
+        assert!(check_regular(&h).is_ok());
+        assert!(check_safe(&h).is_ok());
+    }
+}

@@ -1,0 +1,358 @@
+//! The `admissible(·)` predicate of Algorithm 1 and the fast-read return
+//! value selection.
+//!
+//! A value `v` is *admissible with degree `a`* in a read (Algorithm 1,
+//! line 32) when there is a subset `µ` of the received `READACK` messages
+//! such that
+//!
+//! 1. every message in `µ` contains `v`,
+//! 2. `|µ| ≥ S − a·t`, and
+//! 3. `|⋂_{m∈µ} m.updated(v)| ≥ a` — at least `a` clients are registered on
+//!    `v` in **every** message of `µ`.
+//!
+//! Intuition (from Dutta et al. [12], extended to multiple writers here):
+//! degree `a = 1` means a full quorum saw `v` with a common witness (the
+//! writer); each missed server can be traded for one more common witness
+//! client, because a witness client in the intersection either completed an
+//! operation ordering `v` before this read, or will itself testify to later
+//! reads. The feasibility condition `R < S/t − 2` guarantees that degrees up
+//! to `R + 1` still leave non-empty quorums (`S − (R+1)t > t ≥ 1`).
+//!
+//! # Complexity
+//!
+//! The naive check is exponential in the client population (choose the
+//! witness set `C`). This implementation represents, for each candidate
+//! client, the set of replies containing it as a bitmask, and searches for
+//! `a` clients whose mask intersection has popcount `≥ S − a·t`, pruning
+//! subsets whose running intersection is already too small. With the
+//! protocol's small degrees (`a ≤ R + 1`) and client populations this is
+//! microseconds in practice — the `admissible` Criterion bench quantifies it.
+
+use std::collections::BTreeMap;
+
+use mwr_types::{ClientId, TaggedValue};
+
+use crate::msg::Snapshot;
+
+/// The largest admissibility degree an *adaptive* read may trust for its
+/// fast path: `a ≤ R + 1` (the algorithm's degree range) **and**
+/// `S − a·t ≥ t + 1` (Lemma 9's requirement that a degree-`a` witness set
+/// still spans more than `t` servers, so it survives crashes and
+/// intersects every quorum).
+///
+/// In feasible configurations (`t(R + 2) < S`) the two bounds coincide at
+/// `R + 1`, so the adaptive fast path accepts exactly what Algorithm 1
+/// accepts; beyond the feasibility boundary the cap shrinks and more reads
+/// take the write-back fallback. With `t = 0` every degree is safe.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::adaptive_degree_cap;
+///
+/// assert_eq!(adaptive_degree_cap(5, 1, 2), 3);  // feasible: R + 1
+/// assert_eq!(adaptive_degree_cap(5, 1, 4), 3);  // infeasible: (S − t − 1)/t
+/// assert_eq!(adaptive_degree_cap(3, 1, 2), 1);  // barely anything is safe
+/// assert_eq!(adaptive_degree_cap(4, 0, 7), 8);  // no faults: R + 1
+/// ```
+pub fn adaptive_degree_cap(servers: usize, max_faults: usize, readers: usize) -> usize {
+    if max_faults == 0 {
+        return readers + 1;
+    }
+    let lemma9 = (servers.saturating_sub(max_faults + 1)) / max_faults;
+    lemma9.min(readers + 1)
+}
+
+/// Evaluates admissibility over the replies of one fast read.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::{Admissibility, Snapshot, ValueRecord};
+/// use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+///
+/// let v = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(7));
+/// let snap = |clients: &[ClientId]| Snapshot {
+///     entries: vec![ValueRecord { value: v, updated: clients.to_vec() }],
+/// };
+/// // S = 3, t = 1, quorum = 2 replies, both containing v with the writer
+/// // registered: admissible with degree 1.
+/// let replies = vec![
+///     snap(&[ClientId::writer(0)]),
+///     snap(&[ClientId::writer(0)]),
+/// ];
+/// let adm = Admissibility::new(&replies, 3, 1, 2);
+/// assert_eq!(adm.degree(v), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct Admissibility<'a> {
+    replies: &'a [Snapshot],
+    servers: usize,
+    max_faults: usize,
+    max_degree: usize,
+}
+
+impl<'a> Admissibility<'a> {
+    /// Creates an evaluator over `replies` (one snapshot per distinct
+    /// server) for a cluster with `servers` servers and `max_faults` crash
+    /// tolerance; degrees range over `1 ..= max_degree` (the algorithm uses
+    /// `max_degree = R + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 replies are supplied (bitmask width).
+    pub fn new(
+        replies: &'a [Snapshot],
+        servers: usize,
+        max_faults: usize,
+        max_degree: usize,
+    ) -> Self {
+        assert!(replies.len() <= 128, "at most 128 server replies supported");
+        Admissibility { replies, servers, max_faults, max_degree }
+    }
+
+    /// Whether `v` is admissible with exactly degree `a`.
+    pub fn admissible_with_degree(&self, v: TaggedValue, a: usize) -> bool {
+        if a == 0 {
+            return false;
+        }
+        // |µ| ≥ S − a·t, and µ must be non-empty for the intersection to be
+        // meaningful.
+        let needed = self.servers.saturating_sub(a * self.max_faults).max(1);
+
+        // Bitmask per candidate client: which replies contain v with this
+        // client registered on it.
+        let mut masks: BTreeMap<ClientId, u128> = BTreeMap::new();
+        let mut containing = 0usize;
+        for (i, snap) in self.replies.iter().enumerate() {
+            if let Some(updated) = snap.updated_for(v) {
+                containing += 1;
+                for &c in updated {
+                    *masks.entry(c).or_insert(0) |= 1u128 << i;
+                }
+            }
+        }
+        if containing < needed {
+            return false;
+        }
+        // Drop clients that alone cannot reach the threshold.
+        let candidates: Vec<u128> = masks
+            .values()
+            .copied()
+            .filter(|m| m.count_ones() as usize >= needed)
+            .collect();
+        if candidates.len() < a {
+            return false;
+        }
+        Self::search(&candidates, 0, u128::MAX, a, needed)
+    }
+
+    /// Depth-first search for `remaining` more clients whose combined mask
+    /// intersection keeps at least `needed` replies.
+    fn search(candidates: &[u128], start: usize, acc: u128, remaining: usize, needed: usize) -> bool {
+        if remaining == 0 {
+            return acc.count_ones() as usize >= needed;
+        }
+        for i in start..candidates.len() {
+            // Not enough candidates left to pick `remaining`.
+            if candidates.len() - i < remaining {
+                return false;
+            }
+            let next = acc & candidates[i];
+            if (next.count_ones() as usize) < needed {
+                continue;
+            }
+            if Self::search(candidates, i + 1, next, remaining - 1, needed) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The smallest degree `a ∈ [1, max_degree]` with which `v` is
+    /// admissible, or `None`.
+    pub fn degree(&self, v: TaggedValue) -> Option<usize> {
+        (1..=self.max_degree).find(|&a| self.admissible_with_degree(v, a))
+    }
+
+    /// All distinct values present in any reply, in descending tag order —
+    /// the candidate order of Algorithm 1's selection loop.
+    pub fn candidates_descending(&self) -> Vec<TaggedValue> {
+        let mut vals: Vec<TaggedValue> = self
+            .replies
+            .iter()
+            .flat_map(|s| s.entries.iter().map(|e| e.value))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.reverse();
+        vals
+    }
+
+    /// Algorithm 1's read return value: the largest admissible value.
+    ///
+    /// Walks candidates in descending order (`maxV`, then "remove `maxV`
+    /// from all messages" and repeat) and returns the first admissible one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no value is admissible. This cannot happen in a run of the
+    /// protocol: the reader's `valQueue` always contains the initial value,
+    /// every replying server registers the reader on it before replying, so
+    /// the initial value is admissible with degree 1.
+    pub fn select_return_value(&self) -> TaggedValue {
+        for v in self.candidates_descending() {
+            if self.degree(v).is_some() {
+                return v;
+            }
+        }
+        panic!(
+            "no admissible value among {} replies — protocol invariant broken",
+            self.replies.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::ValueRecord;
+    use mwr_types::{Tag, Value, WriterId};
+
+    fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+    }
+
+    /// Builds one snapshot from (value, updated-clients) pairs.
+    fn snap(entries: &[(TaggedValue, &[ClientId])]) -> Snapshot {
+        Snapshot {
+            entries: entries
+                .iter()
+                .map(|(v, cs)| ValueRecord { value: *v, updated: cs.to_vec() })
+                .collect(),
+        }
+    }
+
+    const W0: ClientId = ClientId::writer(0);
+    const R0: ClientId = ClientId::reader(0);
+    const R1: ClientId = ClientId::reader(1);
+
+    #[test]
+    fn full_quorum_with_common_writer_is_degree_one() {
+        let v = tv(1, 0, 10);
+        // S = 5, t = 1: quorum 4. All four replies contain v with w0.
+        let replies = vec![
+            snap(&[(v, &[W0])]),
+            snap(&[(v, &[W0])]),
+            snap(&[(v, &[W0])]),
+            snap(&[(v, &[W0])]),
+        ];
+        let adm = Admissibility::new(&replies, 5, 1, 3);
+        assert_eq!(adm.degree(v), Some(1));
+    }
+
+    #[test]
+    fn partial_coverage_needs_higher_degree() {
+        let v = tv(1, 0, 10);
+        let other = tv(0, 0, 0);
+        // S = 5, t = 1. Only 3 replies contain v (≥ S − 2t = 3), each with
+        // two common witnesses {w0, r0}: degree 2, not degree 1.
+        let replies = vec![
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(other, &[R0])]),
+        ];
+        let adm = Admissibility::new(&replies, 5, 1, 3);
+        assert!(!adm.admissible_with_degree(v, 1));
+        assert!(adm.admissible_with_degree(v, 2));
+        assert_eq!(adm.degree(v), Some(2));
+    }
+
+    #[test]
+    fn one_common_witness_cannot_support_degree_two() {
+        let v = tv(1, 0, 10);
+        // 3 of 4 replies contain v but the only common client is w0:
+        // degree 2 requires two common witnesses.
+        let replies = vec![
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(v, &[W0, R1])]),
+            snap(&[(v, &[W0])]),
+            snap(&[]),
+        ];
+        let adm = Admissibility::new(&replies, 5, 1, 3);
+        assert!(!adm.admissible_with_degree(v, 2));
+        // …but degree 1 also fails (only 3 < S − t = 4 replies contain v).
+        assert_eq!(adm.degree(v), None);
+    }
+
+    #[test]
+    fn witness_subsets_are_searched_not_just_global_intersection() {
+        let v = tv(1, 0, 10);
+        // S = 4, t = 1, degree 2 needs |µ| ≥ 2 with 2 common witnesses.
+        // Global intersection over all three replies is {w0} (too small),
+        // but µ = {reply0, reply1} has {w0, r0} in common.
+        let replies = vec![
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(v, &[W0, R0])]),
+            snap(&[(v, &[W0, R1])]),
+        ];
+        let adm = Admissibility::new(&replies, 4, 1, 3);
+        assert!(adm.admissible_with_degree(v, 2));
+    }
+
+    #[test]
+    fn initial_value_with_reader_registration_is_always_admissible() {
+        let init = TaggedValue::initial();
+        // Every replying server registered the reader before replying.
+        let replies: Vec<Snapshot> = (0..4).map(|_| snap(&[(init, &[R0])])).collect();
+        let adm = Admissibility::new(&replies, 5, 1, 3);
+        assert_eq!(adm.degree(init), Some(1));
+        assert_eq!(adm.select_return_value(), init);
+    }
+
+    #[test]
+    fn selection_prefers_largest_admissible() {
+        let old = tv(1, 0, 10);
+        let new = tv(2, 1, 20);
+        // `new` is on only 2 of 4 replies with a single witness: not
+        // admissible (degree 2 needs 2 witnesses). `old` is everywhere.
+        let replies = vec![
+            snap(&[(old, &[W0, R0]), (new, &[ClientId::writer(1)])]),
+            snap(&[(old, &[W0, R0]), (new, &[ClientId::writer(1)])]),
+            snap(&[(old, &[W0, R0])]),
+            snap(&[(old, &[W0, R0])]),
+        ];
+        let adm = Admissibility::new(&replies, 5, 1, 3);
+        assert_eq!(adm.degree(new), None);
+        assert_eq!(adm.select_return_value(), old);
+        assert_eq!(adm.candidates_descending(), vec![new, old]);
+    }
+
+    #[test]
+    fn degree_zero_is_never_admissible() {
+        let v = tv(1, 0, 1);
+        let replies = vec![snap(&[(v, &[W0])])];
+        let adm = Admissibility::new(&replies, 2, 0, 2);
+        assert!(!adm.admissible_with_degree(v, 0));
+    }
+
+    #[test]
+    fn zero_faults_requires_all_servers_for_degree_one() {
+        let v = tv(1, 0, 1);
+        // t = 0: needed = S for every degree; 2 of 3 replies contain v.
+        let replies = vec![snap(&[(v, &[W0])]), snap(&[(v, &[W0])]), snap(&[])];
+        let adm = Admissibility::new(&replies, 3, 0, 2);
+        assert_eq!(adm.degree(v), None);
+        let full: Vec<Snapshot> = (0..3).map(|_| snap(&[(v, &[W0])])).collect();
+        let adm = Admissibility::new(&full, 3, 0, 2);
+        assert_eq!(adm.degree(v), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible value")]
+    fn empty_replies_panic_on_selection() {
+        let replies: Vec<Snapshot> = vec![Snapshot::default()];
+        Admissibility::new(&replies, 3, 1, 2).select_return_value();
+    }
+}

@@ -1,0 +1,652 @@
+//! The register client automaton: every protocol in the design space is a
+//! composition of a write mode and a read mode (Fig 2's algorithm schema).
+//!
+//! | Mode | Round-trips | Used by |
+//! |---|---|---|
+//! | [`WriteMode::Slow`] | query `maxTS`, then update `(maxTS+1, wi)` | W2R2 (LS97), W2R1 (Algorithm 1) |
+//! | [`WriteMode::Fast`] | update with a writer-local timestamp | ABD single-writer, Dutta et al. W1R1, and the *naive* multi-writer fast writes whose impossibility the paper proves |
+//! | [`ReadMode::Slow`] | query max, then write back | ABD, W2R2 |
+//! | [`ReadMode::Fast`] | one combined round + `admissible(·)` selection | W2R1 (Algorithm 1), Dutta et al. W1R1 |
+//!
+//! Clients serialize their own operations (executions are well-formed per
+//! client, §2.1): invocations arriving while an operation is in flight are
+//! queued and their `Invoked` event is emitted when they actually start.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mwr_sim::{Automaton, Context};
+use mwr_types::{ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId};
+use mwr_types::ClientId;
+
+use crate::admissible::Admissibility;
+use crate::events::{ClientEvent, OpKind, OpResult};
+use crate::msg::{Msg, OpHandle, OpId, Snapshot};
+
+/// How writes acquire their tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// One round-trip: the writer stamps values from a local counter.
+    /// Correct with a single writer (ABD); **provably not atomic** with
+    /// multiple writers (the paper's main theorem).
+    Fast,
+    /// Two round-trips: query `maxTS` from a quorum, then write
+    /// `(maxTS + 1, wi)` (Algorithm 1's writer).
+    Slow,
+}
+
+/// How reads pick their return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// One round-trip: collect snapshots from a quorum and return the
+    /// largest admissible value (Algorithm 1's reader). Atomic only when
+    /// `R < S/t − 2`.
+    Fast,
+    /// Two round-trips: query the maximum from a quorum, write it back to a
+    /// quorum, then return it (ABD/LS97 reader).
+    Slow,
+    /// One round-trip when possible, two otherwise: return the *global
+    /// maximum* of the collected snapshots immediately if it is admissible
+    /// within the safe degree budget
+    /// ([`adaptive_degree_cap`](crate::adaptive_degree_cap)); fall back to
+    /// an ABD-style write-back of that maximum otherwise.
+    ///
+    /// This is the semifast *idea* (Georgiou et al.) transplanted to the
+    /// multi-writer setting. It cannot be semifast in the formal sense —
+    /// the paper's §6 notes MWMR semifast implementations are impossible,
+    /// and indeed the slow fallback here is unbounded under contention —
+    /// but unlike Algorithm 1 it stays atomic for **any** `R`, trading the
+    /// `R < S/t − 2` constraint for occasional second round-trips.
+    Adaptive,
+}
+
+/// Role-specific client state.
+#[derive(Debug)]
+enum Role {
+    Writer {
+        id: WriterId,
+        mode: WriteMode,
+        /// Local timestamp counter used by [`WriteMode::Fast`].
+        local_ts: u64,
+    },
+    Reader {
+        id: ReaderId,
+        mode: ReadMode,
+        /// Algorithm 1's `valQueue`: every tagged value this reader has
+        /// ever observed, re-sent on each fast read.
+        val_queue: BTreeSet<TaggedValue>,
+    },
+}
+
+/// The in-flight phase of the current operation.
+#[derive(Debug)]
+enum Phase {
+    /// Slow write, round 1: collecting `maxTS`.
+    WriteQuery { value: Value, max_tag: Tag, acks: BTreeSet<ServerId> },
+    /// Any write, final round: storing the tagged value.
+    WriteUpdate { value: TaggedValue, acks: BTreeSet<ServerId> },
+    /// Slow read, round 1: collecting the maximum value.
+    ReadQuery { best: TaggedValue, acks: BTreeSet<ServerId> },
+    /// Slow read, round 2: writing the maximum back.
+    ReadWriteBack { best: TaggedValue, acks: BTreeSet<ServerId> },
+    /// Fast read, single round: collecting snapshots.
+    ReadFast { replies: BTreeMap<ServerId, Snapshot> },
+}
+
+#[derive(Debug)]
+struct InFlight {
+    op: OpId,
+    kind: OpKind,
+    /// Which round-trip is in flight (1 or 2); fast modes never reach 2.
+    phase_no: u8,
+    phase: Phase,
+}
+
+/// A client automaton (reader or writer) for the simulator.
+///
+/// # Examples
+///
+/// Assembling clients by hand; see [`Cluster`](crate::Cluster) for the
+/// one-call harness.
+///
+/// ```
+/// use mwr_core::{ReadMode, RegisterClient, WriteMode};
+/// use mwr_types::{ClusterConfig, ReaderId, WriterId};
+///
+/// let config = ClusterConfig::new(5, 1, 2, 2)?;
+/// let _writer = RegisterClient::writer(WriterId::new(0), config, WriteMode::Slow);
+/// let _reader = RegisterClient::reader(ReaderId::new(0), config, ReadMode::Fast);
+/// # Ok::<(), mwr_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct RegisterClient {
+    config: ClusterConfig,
+    role: Role,
+    pending: VecDeque<OpKind>,
+    current: Option<InFlight>,
+    next_seq: u64,
+}
+
+impl RegisterClient {
+    /// Creates a writer client with the given write mode.
+    pub fn writer(id: WriterId, config: ClusterConfig, mode: WriteMode) -> Self {
+        RegisterClient {
+            config,
+            role: Role::Writer { id, mode, local_ts: 0 },
+            pending: VecDeque::new(),
+            current: None,
+            next_seq: 0,
+        }
+    }
+
+    /// Creates a reader client with the given read mode.
+    pub fn reader(id: ReaderId, config: ClusterConfig, mode: ReadMode) -> Self {
+        let mut val_queue = BTreeSet::new();
+        val_queue.insert(TaggedValue::initial());
+        RegisterClient {
+            config,
+            role: Role::Reader { id, mode, val_queue },
+            pending: VecDeque::new(),
+            current: None,
+            next_seq: 0,
+        }
+    }
+
+    fn client_id(&self) -> ClientId {
+        match &self.role {
+            Role::Writer { id, .. } => ClientId::Writer(*id),
+            Role::Reader { id, .. } => ClientId::Reader(*id),
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.config.quorum_size()
+    }
+
+    /// Whether an operation is currently executing.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of queued (not yet started) operations.
+    pub fn queued_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn start_next(&mut self, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        debug_assert!(self.current.is_none());
+        let Some(kind) = self.pending.pop_front() else {
+            return;
+        };
+        let op = OpId { client: self.client_id(), seq: self.next_seq };
+        self.next_seq += 1;
+        ctx.notify(ClientEvent::Invoked { op, kind });
+
+        let servers = self.config.servers();
+        let phase = match (&mut self.role, kind) {
+            (Role::Writer { id, mode: WriteMode::Fast, local_ts }, OpKind::Write(v)) => {
+                *local_ts += 1;
+                let value = TaggedValue::new(Tag::new(*local_ts, *id), v);
+                let handle = OpHandle { op, phase: 1 };
+                ctx.broadcast_to_servers(servers, Msg::Update { handle, value });
+                Phase::WriteUpdate { value, acks: BTreeSet::new() }
+            }
+            (Role::Writer { mode: WriteMode::Slow, .. }, OpKind::Write(v)) => {
+                let handle = OpHandle { op, phase: 1 };
+                ctx.broadcast_to_servers(servers, Msg::Query { handle });
+                Phase::WriteQuery { value: v, max_tag: Tag::initial(), acks: BTreeSet::new() }
+            }
+            (Role::Reader { mode: ReadMode::Slow, .. }, OpKind::Read) => {
+                let handle = OpHandle { op, phase: 1 };
+                ctx.broadcast_to_servers(servers, Msg::Query { handle });
+                Phase::ReadQuery { best: TaggedValue::initial(), acks: BTreeSet::new() }
+            }
+            (
+                Role::Reader { mode: ReadMode::Fast | ReadMode::Adaptive, val_queue, .. },
+                OpKind::Read,
+            ) => {
+                let handle = OpHandle { op, phase: 1 };
+                let val_queue: Vec<TaggedValue> = val_queue.iter().copied().collect();
+                ctx.broadcast_to_servers(servers, Msg::ReadFast { handle, val_queue });
+                Phase::ReadFast { replies: BTreeMap::new() }
+            }
+            (Role::Writer { .. }, OpKind::Read) => {
+                panic!("writers cannot invoke read() (paper §2.1)")
+            }
+            (Role::Reader { .. }, OpKind::Write(_)) => {
+                panic!("readers cannot invoke write() (paper §2.1)")
+            }
+        };
+        self.current = Some(InFlight { op, kind, phase_no: 1, phase });
+    }
+
+    fn complete(&mut self, result: OpResult, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        let inflight = self.current.take().expect("completing without an op");
+        ctx.notify(ClientEvent::Completed { op: inflight.op, kind: inflight.kind, result });
+        self.start_next(ctx);
+    }
+
+    /// Processes one ack; returns what to do once a quorum is assembled.
+    fn on_ack(&mut self, server: ServerId, msg: &Msg) -> Option<AckAction> {
+        let quorum = self.quorum();
+        let config = self.config;
+        let inflight = self.current.as_mut()?;
+        let expected = OpHandle { op: inflight.op, phase: inflight.phase_no };
+
+        match (msg, &mut inflight.phase) {
+            (Msg::QueryAck { handle, latest }, Phase::WriteQuery { value, max_tag, acks })
+                if *handle == expected =>
+            {
+                *max_tag = (*max_tag).max(latest.tag());
+                acks.insert(server);
+                if acks.len() >= quorum {
+                    let Role::Writer { id, .. } = &self.role else { unreachable!() };
+                    let tagged = TaggedValue::new(max_tag.next(*id), *value);
+                    let handle = OpHandle { op: inflight.op, phase: 2 };
+                    inflight.phase_no = 2;
+                    inflight.phase = Phase::WriteUpdate { value: tagged, acks: BTreeSet::new() };
+                    return Some(AckAction::Broadcast(Msg::Update { handle, value: tagged }));
+                }
+                None
+            }
+            (Msg::QueryAck { handle, latest }, Phase::ReadQuery { best, acks })
+                if *handle == expected =>
+            {
+                *best = (*best).max(*latest);
+                acks.insert(server);
+                if acks.len() >= quorum {
+                    let chosen = *best;
+                    let handle = OpHandle { op: inflight.op, phase: 2 };
+                    inflight.phase_no = 2;
+                    inflight.phase = Phase::ReadWriteBack { best: chosen, acks: BTreeSet::new() };
+                    return Some(AckAction::Broadcast(Msg::Update { handle, value: chosen }));
+                }
+                None
+            }
+            (Msg::UpdateAck { handle }, Phase::WriteUpdate { value, acks })
+                if *handle == expected =>
+            {
+                acks.insert(server);
+                (acks.len() >= quorum).then_some(AckAction::Complete(OpResult::Written(*value)))
+            }
+            (Msg::UpdateAck { handle }, Phase::ReadWriteBack { best, acks })
+                if *handle == expected =>
+            {
+                acks.insert(server);
+                (acks.len() >= quorum).then_some(AckAction::Complete(OpResult::Read(*best)))
+            }
+            (Msg::ReadFastAck { handle, snapshot }, Phase::ReadFast { replies })
+                if *handle == expected =>
+            {
+                replies.insert(server, snapshot.clone());
+                if replies.len() >= quorum {
+                    let snaps: Vec<Snapshot> = replies.values().cloned().collect();
+                    let Role::Reader { mode, val_queue, .. } = &mut self.role else {
+                        unreachable!()
+                    };
+                    for s in &snaps {
+                        val_queue.extend(s.entries.iter().map(|e| e.value));
+                    }
+                    match mode {
+                        ReadMode::Fast => {
+                            let adm = Admissibility::new(
+                                &snaps,
+                                config.servers(),
+                                config.max_faults(),
+                                config.readers() + 1,
+                            );
+                            let chosen = adm.select_return_value();
+                            return Some(AckAction::Complete(OpResult::Read(chosen)));
+                        }
+                        ReadMode::Adaptive => {
+                            let cap = crate::admissible::adaptive_degree_cap(
+                                config.servers(),
+                                config.max_faults(),
+                                config.readers(),
+                            );
+                            let adm =
+                                Admissibility::new(&snaps, config.servers(), config.max_faults(), cap);
+                            let max_v = adm
+                                .candidates_descending()
+                                .into_iter()
+                                .next()
+                                .unwrap_or_else(TaggedValue::initial);
+                            if adm.degree(max_v).is_some() {
+                                // The maximum is safely confirmed: fast path.
+                                return Some(AckAction::Complete(OpResult::Read(max_v)));
+                            }
+                            // Slow path: secure the maximum with a
+                            // write-back round before returning it.
+                            let handle = OpHandle { op: inflight.op, phase: 2 };
+                            inflight.phase_no = 2;
+                            inflight.phase =
+                                Phase::ReadWriteBack { best: max_v, acks: BTreeSet::new() };
+                            return Some(AckAction::Broadcast(Msg::Update {
+                                handle,
+                                value: max_v,
+                            }));
+                        }
+                        ReadMode::Slow => unreachable!("slow reads never use ReadFast"),
+                    }
+                }
+                None
+            }
+            _ => None, // stale ack from an earlier phase or operation
+        }
+    }
+}
+
+/// What a quorum of acks triggers.
+#[derive(Debug)]
+enum AckAction {
+    /// Start the next round-trip by broadcasting this message.
+    Broadcast(Msg),
+    /// The operation is done.
+    Complete(OpResult),
+}
+
+impl Automaton<Msg, ClientEvent> for RegisterClient {
+    fn on_external(&mut self, input: Msg, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        match input {
+            Msg::InvokeRead => self.pending.push_back(OpKind::Read),
+            Msg::InvokeWrite(v) => self.pending.push_back(OpKind::Write(v)),
+            other => panic!("unexpected external input {other:?}"),
+        }
+        if self.current.is_none() {
+            self.start_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        let Some(server) = from.as_server() else {
+            return; // clients only hear from servers
+        };
+        match self.on_ack(server, &msg) {
+            None => {}
+            Some(AckAction::Broadcast(next_round)) => {
+                let op = self.current.as_ref().expect("broadcasting mid-operation").op;
+                ctx.notify(ClientEvent::SecondRound { op });
+                ctx.broadcast_to_servers(self.config.servers(), next_round);
+            }
+            Some(AckAction::Complete(result)) => self.complete(result, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RegisterServer;
+    use mwr_sim::{SimTime, Simulation};
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::new(5, 1, 2, 2).unwrap()
+    }
+
+    fn build_sim(
+        write_mode: WriteMode,
+        read_mode: ReadMode,
+        seed: u64,
+    ) -> Simulation<Msg, ClientEvent> {
+        let cfg = config();
+        let mut sim = Simulation::new(seed);
+        for s in cfg.server_ids() {
+            sim.add_process(ProcessId::Server(s), RegisterServer::new());
+        }
+        for w in cfg.writer_ids() {
+            sim.add_process(w.into(), RegisterClient::writer(w, cfg, write_mode));
+        }
+        for r in cfg.reader_ids() {
+            sim.add_process(r.into(), RegisterClient::reader(r, cfg, read_mode));
+        }
+        sim
+    }
+
+    fn completions(events: &[(SimTime, ClientEvent)]) -> Vec<(OpId, OpResult)> {
+        events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ClientEvent::Completed { op, result, .. } => Some((*op, *result)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slow_write_then_slow_read_returns_written_value() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Slow, 1);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(42)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        assert_eq!(done.len(), 2);
+        let OpResult::Written(wv) = done[0].1 else { panic!("write first") };
+        let OpResult::Read(rv) = done[1].1 else { panic!("read second") };
+        assert_eq!(wv.value(), Value::new(42));
+        assert_eq!(rv, wv);
+        assert_eq!(wv.tag(), Tag::new(1, WriterId::new(0)));
+    }
+
+    #[test]
+    fn fast_read_returns_written_value_after_slow_write() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Fast, 2);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(1), Msg::InvokeWrite(Value::new(7)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(1), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        assert_eq!(done.len(), 2);
+        let OpResult::Read(rv) = done[1].1 else { panic!() };
+        assert_eq!(rv.value(), Value::new(7));
+        assert_eq!(rv.tag(), Tag::new(1, WriterId::new(1)));
+    }
+
+    #[test]
+    fn fast_read_on_fresh_register_returns_initial() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Fast, 3);
+        sim.schedule_external(SimTime::ZERO, ProcessId::reader(0), Msg::InvokeRead).unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, OpResult::Read(TaggedValue::initial()));
+    }
+
+    #[test]
+    fn sequential_slow_writes_get_increasing_timestamps() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Slow, 4);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(1)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::writer(1), Msg::InvokeWrite(Value::new(2)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(200), ProcessId::writer(0), Msg::InvokeWrite(Value::new(3)))
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        let tags: Vec<Tag> = done
+            .iter()
+            .map(|(_, r)| match r {
+                OpResult::Written(tv) => tv.tag(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(tags[0], Tag::new(1, WriterId::new(0)));
+        assert_eq!(tags[1], Tag::new(2, WriterId::new(1)));
+        assert_eq!(tags[2], Tag::new(3, WriterId::new(0)));
+    }
+
+    #[test]
+    fn client_queues_overlapping_invocations() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Slow, 5);
+        // Two invocations at the same instant on the same writer: the second
+        // must wait for the first (well-formed executions).
+        for v in [10, 20] {
+            sim.schedule_external(
+                SimTime::ZERO,
+                ProcessId::writer(0),
+                Msg::InvokeWrite(Value::new(v)),
+            )
+            .unwrap();
+        }
+        sim.run_until_quiescent().unwrap();
+        let events = sim.drain_notifications();
+        // Ordering: Invoked(10) … Completed(10) … Invoked(20) … Completed(20),
+        // with SecondRound markers interspersed (slow writes have two
+        // round-trips).
+        let seq: Vec<&ClientEvent> = events
+            .iter()
+            .map(|(_, e)| e)
+            .filter(|e| !matches!(e, ClientEvent::SecondRound { .. }))
+            .collect();
+        match (seq[0], seq[1], seq[2], seq[3]) {
+            (
+                ClientEvent::Invoked { op: o1, .. },
+                ClientEvent::Completed { op: c1, .. },
+                ClientEvent::Invoked { op: o2, .. },
+                ClientEvent::Completed { op: c2, .. },
+            ) => {
+                assert_eq!(o1, c1);
+                assert_eq!(o2, c2);
+                assert_ne!(o1, o2);
+            }
+            other => panic!("unexpected event order: {other:?}"),
+        }
+        let done = completions(&events);
+        let OpResult::Written(t1) = done[0].1 else { panic!() };
+        let OpResult::Written(t2) = done[1].1 else { panic!() };
+        assert!(t2 > t1, "second write must supersede the first");
+    }
+
+    #[test]
+    fn fast_write_uses_local_counter() {
+        let mut sim = build_sim(WriteMode::Fast, ReadMode::Slow, 6);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(1)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(50), ProcessId::writer(0), Msg::InvokeWrite(Value::new(2)))
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        let OpResult::Written(t1) = done[0].1 else { panic!() };
+        let OpResult::Written(t2) = done[1].1 else { panic!() };
+        assert_eq!(t1.tag(), Tag::new(1, WriterId::new(0)));
+        assert_eq!(t2.tag(), Tag::new(2, WriterId::new(0)));
+    }
+
+    #[test]
+    fn operations_complete_despite_t_crashes() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Fast, 7);
+        sim.schedule_crash(SimTime::ZERO, ProcessId::server(4));
+        sim.schedule_external(SimTime::from_ticks(1), ProcessId::writer(0), Msg::InvokeWrite(Value::new(9)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        assert_eq!(done.len(), 2, "wait-freedom with t = 1 crash");
+        let OpResult::Read(rv) = done[1].1 else { panic!() };
+        assert_eq!(rv.value(), Value::new(9));
+    }
+
+    #[test]
+    fn reader_val_queue_accumulates_across_reads() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Fast, 8);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(1)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(200), ProcessId::writer(1), Msg::InvokeWrite(Value::new(2)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(300), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let done = completions(&sim.drain_notifications());
+        let reads: Vec<TaggedValue> = done
+            .iter()
+            .filter_map(|(_, r)| match r {
+                OpResult::Read(tv) => Some(*tv),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].value(), Value::new(1));
+        assert_eq!(reads[1].value(), Value::new(2));
+        assert!(reads[1] > reads[0]);
+    }
+
+    #[test]
+    fn adaptive_read_is_fast_when_the_maximum_is_settled() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Adaptive, 11);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(5)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let events = sim.drain_notifications();
+        let read_second_rounds = events
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e, ClientEvent::SecondRound { op } if op.client.as_reader().is_some())
+            })
+            .count();
+        assert_eq!(read_second_rounds, 0, "a settled read takes one round-trip");
+        let done = completions(&events);
+        let OpResult::Read(rv) = done[1].1 else { panic!() };
+        assert_eq!(rv.value(), Value::new(5));
+    }
+
+    #[test]
+    fn adaptive_read_falls_back_when_the_maximum_is_unsettled() {
+        // A write parked on all but one server: its value is the global
+        // maximum in the reader's snapshots but is nowhere near admissible,
+        // so the adaptive read pays a write-back round and returns it.
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Adaptive, 12);
+        // Let the write's query round finish, then hold its updates to all
+        // servers except s0 (constant 1-tick delays: update broadcast at
+        // t = 2).
+        for srv in 1..5u32 {
+            sim.schedule_hold(
+                SimTime::from_ticks(1),
+                mwr_sim::LinkSelector::directed(ProcessId::writer(0), ProcessId::server(srv)),
+            );
+        }
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeWrite(Value::new(9)))
+            .unwrap();
+        sim.schedule_external(SimTime::from_ticks(100), ProcessId::reader(0), Msg::InvokeRead)
+            .unwrap();
+        sim.run_until_quiescent().unwrap();
+        let events = sim.drain_notifications();
+        let read_second_rounds = events
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e, ClientEvent::SecondRound { op } if op.client.as_reader().is_some())
+            })
+            .count();
+        assert_eq!(read_second_rounds, 1, "the unsettled maximum forces the fallback");
+        let read = events
+            .iter()
+            .find_map(|(_, e)| match e {
+                ClientEvent::Completed { result: OpResult::Read(tv), .. } => Some(*tv),
+                _ => None,
+            })
+            .expect("read completed");
+        assert_eq!(read.value(), Value::new(9), "the fallback returns the secured maximum");
+    }
+
+    #[test]
+    #[should_panic(expected = "writers cannot invoke read()")]
+    fn writer_rejects_read_invocation() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Slow, 9);
+        sim.schedule_external(SimTime::ZERO, ProcessId::writer(0), Msg::InvokeRead).unwrap();
+        let _ = sim.run_until_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "readers cannot invoke write()")]
+    fn reader_rejects_write_invocation() {
+        let mut sim = build_sim(WriteMode::Slow, ReadMode::Slow, 10);
+        sim.schedule_external(SimTime::ZERO, ProcessId::reader(0), Msg::InvokeWrite(Value::new(0)))
+            .unwrap();
+        let _ = sim.run_until_quiescent();
+    }
+}

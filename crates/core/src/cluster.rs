@@ -1,0 +1,201 @@
+//! One-call assembly of a simulated register cluster, plus schedule-driven
+//! execution helpers used by tests and experiments.
+
+use mwr_sim::{SimError, SimTime, Simulation};
+use mwr_types::{ClusterConfig, ProcessId, Value};
+
+use crate::client::RegisterClient;
+use crate::events::ClientEvent;
+use crate::msg::Msg;
+use crate::protocol::Protocol;
+use crate::server::RegisterServer;
+
+/// A cluster blueprint: configuration plus protocol choice.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::{Cluster, Protocol, ScheduledOp};
+/// use mwr_sim::SimTime;
+/// use mwr_types::{ClusterConfig, Value};
+///
+/// let config = ClusterConfig::new(5, 1, 2, 2)?;
+/// let cluster = Cluster::new(config, Protocol::W2R1);
+/// let events = cluster.run_schedule(
+///     7,
+///     &[
+///         (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
+///         (SimTime::from_ticks(100), ScheduledOp::Read { reader: 0 }),
+///     ],
+/// )?;
+/// assert_eq!(events.len(), 5); // 2 invocations, 2 completions, 1 second-round marker
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    config: ClusterConfig,
+    protocol: Protocol,
+}
+
+/// One operation in a harness-provided schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduledOp {
+    /// Reader `reader` invokes `read()`.
+    Read {
+        /// Zero-based reader index.
+        reader: u32,
+    },
+    /// Writer `writer` invokes `write(value)`.
+    Write {
+        /// Zero-based writer index.
+        writer: u32,
+        /// The value to write.
+        value: Value,
+    },
+}
+
+impl Cluster {
+    /// Creates a blueprint.
+    pub fn new(config: ClusterConfig, protocol: Protocol) -> Self {
+        Cluster { config, protocol }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Adds all servers, writers and readers to a simulation.
+    pub fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
+        for s in self.config.server_ids() {
+            sim.add_process(ProcessId::Server(s), RegisterServer::new());
+        }
+        for w in self.config.writer_ids() {
+            sim.add_process(
+                w.into(),
+                RegisterClient::writer(w, self.config, self.protocol.write_mode()),
+            );
+        }
+        for r in self.config.reader_ids() {
+            sim.add_process(
+                r.into(),
+                RegisterClient::reader(r, self.config, self.protocol.read_mode()),
+            );
+        }
+    }
+
+    /// Builds a fresh simulation with this cluster installed.
+    pub fn build_sim(&self, seed: u64) -> Simulation<Msg, ClientEvent> {
+        let mut sim = Simulation::new(seed);
+        self.install(&mut sim);
+        sim
+    }
+
+    /// Schedules one operation invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
+    /// out of range for the configuration.
+    pub fn schedule(
+        &self,
+        sim: &mut Simulation<Msg, ClientEvent>,
+        at: SimTime,
+        op: ScheduledOp,
+    ) -> Result<(), SimError> {
+        match op {
+            ScheduledOp::Read { reader } => {
+                sim.schedule_external(at, ProcessId::reader(reader), Msg::InvokeRead)
+            }
+            ScheduledOp::Write { writer, value } => {
+                sim.schedule_external(at, ProcessId::writer(writer), Msg::InvokeWrite(value))
+            }
+        }
+    }
+
+    /// Runs a full schedule to quiescence and returns the client events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run_schedule(
+        &self,
+        seed: u64,
+        ops: &[(SimTime, ScheduledOp)],
+    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
+        let mut sim = self.build_sim(seed);
+        for (at, op) in ops {
+            self.schedule(&mut sim, *at, *op)?;
+        }
+        sim.run_until_quiescent()?;
+        Ok(sim.drain_notifications())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::OpResult;
+    use mwr_types::TaggedValue;
+
+    fn reads_of(events: &[(SimTime, ClientEvent)]) -> Vec<TaggedValue> {
+        events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ClientEvent::Completed { result: OpResult::Read(tv), .. } => Some(*tv),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_protocol_completes_a_simple_schedule() {
+        let schedule = [
+            (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(11) }),
+            (SimTime::from_ticks(100), ScheduledOp::Read { reader: 0 }),
+            (SimTime::from_ticks(200), ScheduledOp::Read { reader: 1 }),
+        ];
+        for protocol in Protocol::ALL {
+            let writers = if protocol.is_single_writer() { 1 } else { 2 };
+            let config = ClusterConfig::new(5, 1, 2, writers).unwrap();
+            let cluster = Cluster::new(config, protocol);
+            let events = cluster.run_schedule(1, &schedule).unwrap();
+            let reads = reads_of(&events);
+            assert_eq!(reads.len(), 2, "{protocol}: both reads complete");
+            assert!(
+                reads.iter().all(|tv| tv.value() == Value::new(11)),
+                "{protocol}: sequential read after write returns the write"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_client_is_reported() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let cluster = Cluster::new(config, Protocol::W2R2);
+        let err = cluster
+            .run_schedule(0, &[(SimTime::ZERO, ScheduledOp::Read { reader: 5 })])
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownProcess { .. }));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_event_streams() {
+        let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+        let cluster = Cluster::new(config, Protocol::W2R1);
+        let schedule = [
+            (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
+            (SimTime::ZERO, ScheduledOp::Write { writer: 1, value: Value::new(2) }),
+            (SimTime::from_ticks(3), ScheduledOp::Read { reader: 0 }),
+            (SimTime::from_ticks(4), ScheduledOp::Read { reader: 1 }),
+        ];
+        let a = cluster.run_schedule(99, &schedule).unwrap();
+        let b = cluster.run_schedule(99, &schedule).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Notifications emitted by client automata to the harness.
+//!
+//! The harness (workload drivers, the checker, experiment binaries)
+//! reconstructs the *execution history* of the register from these events:
+//! each operation contributes an invocation and a response event, stamped
+//! with virtual time by the simulator.
+
+use mwr_types::{ClientId, TaggedValue, Value};
+
+use crate::msg::OpId;
+
+/// What kind of operation a client ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `read()` — only readers invoke it.
+    Read,
+    /// `write(v)` — only writers invoke it.
+    Write(Value),
+}
+
+/// The outcome of a completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// A write completed; the protocol assigned it this tagged value.
+    Written(TaggedValue),
+    /// A read completed, returning this tagged value.
+    Read(TaggedValue),
+}
+
+impl OpResult {
+    /// The tagged value carried by the result.
+    pub fn tagged_value(self) -> TaggedValue {
+        match self {
+            OpResult::Written(tv) | OpResult::Read(tv) => tv,
+        }
+    }
+}
+
+/// Events emitted by [`RegisterClient`](crate::RegisterClient) automata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// An operation started executing (it was dequeued and its first
+    /// round-trip was sent). Histories are well-formed by construction:
+    /// clients serialize their own operations.
+    Invoked {
+        /// The operation.
+        op: OpId,
+        /// What it does.
+        kind: OpKind,
+    },
+    /// An operation launched a second round-trip. Slow writes and slow
+    /// reads always emit this; adaptive reads emit it exactly when they
+    /// fall back to the write-back path — experiments count it to measure
+    /// the fast-read fraction.
+    SecondRound {
+        /// The operation.
+        op: OpId,
+    },
+    /// An operation completed.
+    Completed {
+        /// The operation.
+        op: OpId,
+        /// What it did.
+        kind: OpKind,
+        /// Its outcome.
+        result: OpResult,
+    },
+}
+
+impl ClientEvent {
+    /// The client this event belongs to.
+    pub fn client(&self) -> ClientId {
+        self.op().client
+    }
+
+    /// The operation this event belongs to.
+    pub fn op(&self) -> OpId {
+        match self {
+            ClientEvent::Invoked { op, .. }
+            | ClientEvent::SecondRound { op }
+            | ClientEvent::Completed { op, .. } => *op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::{Tag, WriterId};
+
+    #[test]
+    fn accessors() {
+        let op = OpId { client: ClientId::reader(0), seq: 1 };
+        let tv = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(3));
+        let inv = ClientEvent::Invoked { op, kind: OpKind::Read };
+        let done = ClientEvent::Completed { op, kind: OpKind::Read, result: OpResult::Read(tv) };
+        assert_eq!(inv.client(), ClientId::reader(0));
+        assert_eq!(done.op(), op);
+        assert_eq!(OpResult::Read(tv).tagged_value(), tv);
+        assert_eq!(OpResult::Written(tv).tagged_value(), tv);
+    }
+}

@@ -1,0 +1,334 @@
+//! Protocol messages exchanged between clients and servers.
+//!
+//! Every protocol in the design space is built from the two round-trip
+//! primitives of the paper's algorithm schema (§2.2): *query* (collect
+//! information from all servers) and *update* (send information to all
+//! servers). The fast read of Algorithm 1 uses a combined round-trip that
+//! both updates (the reader's `valQueue`, plus registering the reader in the
+//! `updated` bookkeeping) and queries (the server's value store).
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use mwr_types::codec::{DecodeError, Wire};
+use mwr_types::{ClientId, TaggedValue, Value};
+
+/// Identifier of one operation instance: the invoking client plus a
+/// per-client sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId {
+    /// The invoking client.
+    pub client: ClientId,
+    /// The client-local sequence number (0, 1, 2, …).
+    pub seq: u64,
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+/// Identifies one *phase* (round-trip) of one operation, so that late
+/// replies from an earlier phase or operation are discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpHandle {
+    /// The operation.
+    pub op: OpId,
+    /// The round-trip number within the operation (1 or 2).
+    pub phase: u8,
+}
+
+impl std::fmt::Display for OpHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.op, self.phase)
+    }
+}
+
+/// One entry of a server's value store as reported to a fast read: a tagged
+/// value plus the set of clients recorded in its `updated` set
+/// (Algorithm 2's `valuevector`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueRecord {
+    /// The stored tagged value.
+    pub value: TaggedValue,
+    /// Clients that have been registered on this value, in sorted order.
+    pub updated: Vec<ClientId>,
+}
+
+/// A server's reply to the fast-read round-trip: its full value store.
+///
+/// This follows the paper's *full-info* inclination (§4.1): servers report
+/// everything they hold; practical deployments would prune, which is an
+/// optimization the analysis deliberately ignores.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All stored values with their `updated` sets, sorted by tag.
+    pub entries: Vec<ValueRecord>,
+}
+
+impl Snapshot {
+    /// The largest tagged value in the snapshot, if any.
+    pub fn max_value(&self) -> Option<TaggedValue> {
+        self.entries.iter().map(|e| e.value).max()
+    }
+
+    /// The `updated` set recorded for `value`, if present.
+    pub fn updated_for(&self, value: TaggedValue) -> Option<&[ClientId]> {
+        self.entries
+            .iter()
+            .find(|e| e.value == value)
+            .map(|e| e.updated.as_slice())
+    }
+
+    /// Whether the snapshot contains `value`.
+    pub fn contains(&self, value: TaggedValue) -> bool {
+        self.entries.iter().any(|e| e.value == value)
+    }
+}
+
+/// Protocol messages. One enum serves every protocol variant; which subset
+/// is exercised depends on the chosen write/read modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // -- external inputs (harness → client) --------------------------------
+    /// Invoke a read operation on a reader client.
+    InvokeRead,
+    /// Invoke a write of `Value` on a writer client.
+    InvokeWrite(Value),
+
+    // -- client → server ----------------------------------------------------
+    /// Query the server's state (first round of slow writes / slow reads).
+    Query {
+        /// Operation phase this query belongs to.
+        handle: OpHandle,
+    },
+    /// Store `value` on the server (second round of writes, and the
+    /// write-back round of slow reads).
+    Update {
+        /// Operation phase this update belongs to.
+        handle: OpHandle,
+        /// The tagged value to store.
+        value: TaggedValue,
+    },
+    /// The combined fast-read round-trip (Algorithm 1, line 19): carries the
+    /// reader's accumulated `valQueue`; the server registers the reader and
+    /// replies with its store.
+    ReadFast {
+        /// Operation phase this round belongs to.
+        handle: OpHandle,
+        /// Every tagged value the reader has ever observed.
+        val_queue: Vec<TaggedValue>,
+    },
+
+    // -- server → client ----------------------------------------------------
+    /// Reply to [`Msg::Query`] with the server's current maximum value.
+    QueryAck {
+        /// Echo of the query's handle.
+        handle: OpHandle,
+        /// The server's current maximum tagged value (`vali`).
+        latest: TaggedValue,
+    },
+    /// Acknowledgement of an [`Msg::Update`].
+    UpdateAck {
+        /// Echo of the update's handle.
+        handle: OpHandle,
+    },
+    /// Reply to [`Msg::ReadFast`] with the server's full store.
+    ReadFastAck {
+        /// Echo of the round's handle.
+        handle: OpHandle,
+        /// The server's store at reply time.
+        snapshot: Snapshot,
+    },
+}
+
+// --- wire codec -------------------------------------------------------------
+
+impl Wire for OpId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.seq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(OpId { client: ClientId::decode(buf)?, seq: u64::decode(buf)? })
+    }
+}
+
+impl Wire for OpHandle {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.op.encode(buf);
+        self.phase.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(OpHandle { op: OpId::decode(buf)?, phase: u8::decode(buf)? })
+    }
+}
+
+impl Wire for ValueRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.value.encode(buf);
+        self.updated.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(ValueRecord {
+            value: TaggedValue::decode(buf)?,
+            updated: Vec::<ClientId>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.entries.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(Snapshot { entries: Vec::<ValueRecord>::decode(buf)? })
+    }
+}
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut BytesMut) {
+        use bytes::BufMut;
+        match self {
+            Msg::InvokeRead => buf.put_u8(0),
+            Msg::InvokeWrite(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            Msg::Query { handle } => {
+                buf.put_u8(2);
+                handle.encode(buf);
+            }
+            Msg::Update { handle, value } => {
+                buf.put_u8(3);
+                handle.encode(buf);
+                value.encode(buf);
+            }
+            Msg::ReadFast { handle, val_queue } => {
+                buf.put_u8(4);
+                handle.encode(buf);
+                val_queue.encode(buf);
+            }
+            Msg::QueryAck { handle, latest } => {
+                buf.put_u8(5);
+                handle.encode(buf);
+                latest.encode(buf);
+            }
+            Msg::UpdateAck { handle } => {
+                buf.put_u8(6);
+                handle.encode(buf);
+            }
+            Msg::ReadFastAck { handle, snapshot } => {
+                buf.put_u8(7);
+                handle.encode(buf);
+                snapshot.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::InvokeRead),
+            1 => Ok(Msg::InvokeWrite(Value::decode(buf)?)),
+            2 => Ok(Msg::Query { handle: OpHandle::decode(buf)? }),
+            3 => Ok(Msg::Update {
+                handle: OpHandle::decode(buf)?,
+                value: TaggedValue::decode(buf)?,
+            }),
+            4 => Ok(Msg::ReadFast {
+                handle: OpHandle::decode(buf)?,
+                val_queue: Vec::<TaggedValue>::decode(buf)?,
+            }),
+            5 => Ok(Msg::QueryAck {
+                handle: OpHandle::decode(buf)?,
+                latest: TaggedValue::decode(buf)?,
+            }),
+            6 => Ok(Msg::UpdateAck { handle: OpHandle::decode(buf)? }),
+            7 => Ok(Msg::ReadFastAck {
+                handle: OpHandle::decode(buf)?,
+                snapshot: Snapshot::decode(buf)?,
+            }),
+            value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::{Tag, WriterId};
+
+    fn handle() -> OpHandle {
+        OpHandle { op: OpId { client: ClientId::reader(1), seq: 3 }, phase: 2 }
+    }
+
+    fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+    }
+
+    #[test]
+    fn snapshot_queries() {
+        let snap = Snapshot {
+            entries: vec![
+                ValueRecord { value: tv(1, 0, 10), updated: vec![ClientId::writer(0)] },
+                ValueRecord {
+                    value: tv(2, 1, 20),
+                    updated: vec![ClientId::writer(1), ClientId::reader(0)],
+                },
+            ],
+        };
+        assert_eq!(snap.max_value(), Some(tv(2, 1, 20)));
+        assert!(snap.contains(tv(1, 0, 10)));
+        assert!(!snap.contains(tv(3, 0, 0)));
+        assert_eq!(snap.updated_for(tv(1, 0, 10)).unwrap().len(), 1);
+        assert!(snap.updated_for(tv(9, 9, 9)).is_none());
+        assert_eq!(Snapshot::default().max_value(), None);
+    }
+
+    #[test]
+    fn all_messages_round_trip_on_the_wire() {
+        let msgs = vec![
+            Msg::InvokeRead,
+            Msg::InvokeWrite(Value::new(5)),
+            Msg::Query { handle: handle() },
+            Msg::Update { handle: handle(), value: tv(4, 1, 44) },
+            Msg::ReadFast { handle: handle(), val_queue: vec![tv(1, 0, 1), tv(2, 1, 2)] },
+            Msg::QueryAck { handle: handle(), latest: tv(9, 0, 99) },
+            Msg::UpdateAck { handle: handle() },
+            Msg::ReadFastAck {
+                handle: handle(),
+                snapshot: Snapshot {
+                    entries: vec![ValueRecord {
+                        value: tv(1, 1, 7),
+                        updated: vec![ClientId::reader(0), ClientId::writer(1)],
+                    }],
+                },
+            },
+        ];
+        for msg in msgs {
+            let mut bytes = msg.to_bytes();
+            let decoded = Msg::decode(&mut bytes).expect("decode");
+            assert_eq!(decoded, msg);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_discriminant_is_rejected() {
+        let mut bytes = Bytes::from_static(&[99]);
+        assert!(matches!(
+            Msg::decode(&mut bytes),
+            Err(DecodeError::InvalidDiscriminant { context: "Msg", value: 99 })
+        ));
+    }
+
+    #[test]
+    fn display_formats_handles() {
+        assert_eq!(handle().to_string(), "r2#3(2)");
+    }
+}

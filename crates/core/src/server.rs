@@ -1,0 +1,338 @@
+//! The register server automaton — Algorithm 2 of the paper, extended to
+//! serve every protocol variant in the design space.
+//!
+//! The server keeps a *value store* (`valuevector` in the paper): every
+//! tagged value it has ever received, each with an `updated` set recording
+//! the clients registered on it. Three request types exist:
+//!
+//! - **Query** (pure): reply with the current maximum value `vali`. Used by
+//!   the first round of slow writes and slow reads.
+//! - **Update** (mutating): `update(val, c)` per Algorithm 2 — insert or
+//!   merge the value, track the maximum, register the sender. Used by the
+//!   second round of writes and by slow-read write-backs.
+//! - **ReadFast** (mutating + query): apply `update(val, rj)` for every
+//!   value in the reader's `valQueue`, register the reader on the current
+//!   maximum value, then reply with the full store. This is the fast-read
+//!   round of Algorithm 1/2; registering the reader before replying is what
+//!   the admissibility degrees count (Lemma 8: *"every server which replies
+//!   to r2 … adds r2 to its updated set before replying"*).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mwr_sim::{Automaton, Context};
+use mwr_types::{ClientId, ProcessId, TaggedValue};
+
+use crate::events::ClientEvent;
+use crate::msg::{Msg, Snapshot, ValueRecord};
+
+/// One stored value's bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Entry {
+    updated: BTreeSet<ClientId>,
+}
+
+/// The state of a register server, independent of any transport.
+///
+/// [`RegisterServer`] wraps this for the simulator; `mwr-runtime` drives the
+/// same logic over threads and sockets.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::ServerState;
+/// use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+///
+/// let mut s = ServerState::new();
+/// let v1 = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(10));
+/// s.update(v1, ClientId::writer(0));
+/// assert_eq!(s.latest(), v1);
+/// let snap = s.snapshot();
+/// assert!(snap.contains(v1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    latest: TaggedValue,
+    store: BTreeMap<TaggedValue, Entry>,
+}
+
+impl ServerState {
+    /// A fresh server holding only the initial value `((0, ⊥), 0)` with an
+    /// empty `updated` set (Algorithm 2, initialization).
+    pub fn new() -> Self {
+        let mut store = BTreeMap::new();
+        store.insert(TaggedValue::initial(), Entry::default());
+        ServerState { latest: TaggedValue::initial(), store }
+    }
+
+    /// The current maximum value `vali`.
+    pub fn latest(&self) -> TaggedValue {
+        self.latest
+    }
+
+    /// Algorithm 2's `update(val, c)`: insert `val` if new, advance the
+    /// maximum if it is larger, and register `c` on it.
+    ///
+    /// The paper's pseudocode resets `updated` to `{c}` when a strictly
+    /// larger value arrives and merges `c` otherwise; values below the
+    /// current maximum that were never seen before are still stored (the
+    /// store is append-only in the full-info spirit).
+    pub fn update(&mut self, val: TaggedValue, c: ClientId) {
+        let entry = self.store.entry(val).or_default();
+        entry.updated.insert(c);
+        if val > self.latest {
+            self.latest = val;
+        }
+    }
+
+    /// Registers `c` on the current maximum value without changing it —
+    /// the fast-read bookkeeping applied before a `ReadFastAck`.
+    pub fn register_on_latest(&mut self, c: ClientId) {
+        let latest = self.latest;
+        self.update(latest, c);
+    }
+
+    /// The full store as reported to fast reads.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .store
+                .iter()
+                .map(|(value, entry)| ValueRecord {
+                    value: *value,
+                    updated: entry.updated.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of distinct values stored.
+    pub fn stored_values(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The `updated` set registered for `val`, if stored.
+    pub fn updated_set(&self, val: TaggedValue) -> Option<Vec<ClientId>> {
+        self.store.get(&val).map(|e| e.updated.iter().copied().collect())
+    }
+
+    /// Garbage-collects values strictly below `floor`, keeping the current
+    /// maximum unconditionally. Returns how many entries were dropped.
+    ///
+    /// The paper's full-info model is deliberately append-only ("the server
+    /// just appends everything … never deleting any information", §4.1);
+    /// real deployments bound the store instead. Pruning is safe once every
+    /// reader has observed a value `≥ floor`: the fast read's fallback loop
+    /// then never needs the pruned entries. The experiments leave pruning
+    /// off to stay faithful to the analysis.
+    pub fn prune_below(&mut self, floor: TaggedValue) -> usize {
+        let latest = self.latest;
+        let before = self.store.len();
+        self.store.retain(|val, _| *val >= floor || *val == latest);
+        before - self.store.len()
+    }
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState::new()
+    }
+}
+
+/// The server automaton for the simulator: [`ServerState`] plus the message
+/// handling of Algorithm 2.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterServer {
+    state: ServerState,
+}
+
+impl RegisterServer {
+    /// Creates a fresh server.
+    pub fn new() -> Self {
+        RegisterServer { state: ServerState::new() }
+    }
+
+    /// Read access to the server's state (useful in tests).
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Computes the reply for one request, mutating state as required.
+    ///
+    /// Returns `None` for messages a server never receives (acks, invokes);
+    /// those indicate a routing bug and are ignored defensively here — the
+    /// simulator's topology enforcement catches genuine mistakes loudly.
+    pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        let client = from.as_client()?;
+        match msg {
+            Msg::Query { handle } => Some(Msg::QueryAck {
+                handle: *handle,
+                latest: self.state.latest(),
+            }),
+            Msg::Update { handle, value } => {
+                self.state.update(*value, client);
+                Some(Msg::UpdateAck { handle: *handle })
+            }
+            Msg::ReadFast { handle, val_queue } => {
+                for val in val_queue {
+                    self.state.update(*val, client);
+                }
+                self.state.register_on_latest(client);
+                Some(Msg::ReadFastAck {
+                    handle: *handle,
+                    snapshot: self.state.snapshot(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Automaton<Msg, ClientEvent> for RegisterServer {
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg, ClientEvent>) {
+        if let Some(reply) = self.handle(from, &msg) {
+            ctx.send(from, reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::{Tag, Value, WriterId};
+
+    fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+    }
+
+    #[test]
+    fn initial_state_stores_bottom() {
+        let s = ServerState::new();
+        assert!(s.latest().tag().is_initial());
+        assert_eq!(s.stored_values(), 1);
+        assert_eq!(s.updated_set(TaggedValue::initial()), Some(vec![]));
+    }
+
+    #[test]
+    fn update_advances_latest_monotonically() {
+        let mut s = ServerState::new();
+        s.update(tv(2, 0, 20), ClientId::writer(0));
+        assert_eq!(s.latest(), tv(2, 0, 20));
+        // A smaller value arrives late: stored, but latest unchanged.
+        s.update(tv(1, 1, 10), ClientId::writer(1));
+        assert_eq!(s.latest(), tv(2, 0, 20));
+        assert_eq!(s.stored_values(), 3);
+    }
+
+    #[test]
+    fn update_merges_updated_sets() {
+        let mut s = ServerState::new();
+        let v = tv(1, 0, 10);
+        s.update(v, ClientId::writer(0));
+        s.update(v, ClientId::reader(1));
+        assert_eq!(
+            s.updated_set(v),
+            Some(vec![ClientId::reader(1), ClientId::writer(0)])
+        );
+    }
+
+    #[test]
+    fn register_on_latest_targets_current_maximum() {
+        let mut s = ServerState::new();
+        s.update(tv(3, 0, 30), ClientId::writer(0));
+        s.register_on_latest(ClientId::reader(0));
+        assert!(s
+            .updated_set(tv(3, 0, 30))
+            .unwrap()
+            .contains(&ClientId::reader(0)));
+        // The initial value's set is untouched.
+        assert_eq!(s.updated_set(TaggedValue::initial()), Some(vec![]));
+    }
+
+    #[test]
+    fn query_does_not_mutate() {
+        let mut srv = RegisterServer::new();
+        let before = srv.state().clone();
+        let handle = crate::msg::OpHandle {
+            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
+            phase: 1,
+        };
+        let reply = srv.handle(ProcessId::reader(0), &Msg::Query { handle });
+        assert_eq!(
+            reply,
+            Some(Msg::QueryAck { handle, latest: TaggedValue::initial() })
+        );
+        assert_eq!(srv.state(), &before);
+    }
+
+    #[test]
+    fn read_fast_applies_val_queue_then_registers_then_snapshots() {
+        let mut srv = RegisterServer::new();
+        let w = ProcessId::writer(0);
+        let r = ProcessId::reader(0);
+        let handle = crate::msg::OpHandle {
+            op: crate::msg::OpId { client: ClientId::writer(0), seq: 0 },
+            phase: 2,
+        };
+        srv.handle(w, &Msg::Update { handle, value: tv(1, 0, 11) });
+
+        let rhandle = crate::msg::OpHandle {
+            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
+            phase: 1,
+        };
+        let reply = srv
+            .handle(r, &Msg::ReadFast { handle: rhandle, val_queue: vec![TaggedValue::initial()] })
+            .unwrap();
+        let Msg::ReadFastAck { snapshot, .. } = reply else {
+            panic!("expected ReadFastAck");
+        };
+        // The reader is registered on the current maximum before the reply
+        // (the property Lemma 8 relies on).
+        assert!(snapshot
+            .updated_for(tv(1, 0, 11))
+            .unwrap()
+            .contains(&ClientId::reader(0)));
+        // The val_queue registration landed on the initial value too.
+        assert!(snapshot
+            .updated_for(TaggedValue::initial())
+            .unwrap()
+            .contains(&ClientId::reader(0)));
+    }
+
+    #[test]
+    fn server_ignores_client_only_messages() {
+        let mut srv = RegisterServer::new();
+        assert_eq!(srv.handle(ProcessId::reader(0), &Msg::InvokeRead), None);
+        let handle = crate::msg::OpHandle {
+            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
+            phase: 1,
+        };
+        assert_eq!(srv.handle(ProcessId::reader(0), &Msg::UpdateAck { handle }), None);
+    }
+
+    #[test]
+    fn prune_below_drops_stale_entries_but_keeps_latest() {
+        let mut s = ServerState::new();
+        for i in 1..=5 {
+            s.update(tv(i, 0, i * 10), ClientId::writer(0));
+        }
+        assert_eq!(s.stored_values(), 6); // initial + 5
+        let dropped = s.prune_below(tv(4, 0, 40));
+        assert_eq!(dropped, 4); // initial, ts1..ts3
+        assert_eq!(s.latest(), tv(5, 0, 50));
+        assert!(s.updated_set(tv(4, 0, 40)).is_some());
+        assert!(s.updated_set(tv(3, 0, 30)).is_none());
+        // The latest survives even a floor above it.
+        let dropped = s.prune_below(tv(9, 0, 0));
+        assert_eq!(dropped, 1);
+        assert!(s.updated_set(s.latest()).is_some());
+    }
+
+    #[test]
+    fn concurrent_tags_from_two_writers_order_by_writer_id() {
+        let mut s = ServerState::new();
+        s.update(tv(1, 1, 200), ClientId::writer(1));
+        s.update(tv(1, 0, 100), ClientId::writer(0));
+        // (1, w2) > (1, w1): latest stays with the higher writer id.
+        assert_eq!(s.latest(), tv(1, 1, 200));
+    }
+}

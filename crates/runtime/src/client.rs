@@ -1,0 +1,429 @@
+//! The blocking client API: the round-trip schema of §2.2 over a live
+//! transport.
+//!
+//! Unlike the simulator's event-driven [`RegisterClient`], the live client
+//! blocks the calling thread until a quorum of `S − t` replies arrives —
+//! the shape a downstream application actually programs against. The
+//! decision logic is shared with the simulator: tags, quorum sizes and the
+//! fast read's `admissible(·)` selection all come from `mwr-core`.
+//!
+//! [`RegisterClient`]: mwr_core::RegisterClient
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use mwr_core::{Admissibility, Msg, OpHandle, OpId, ReadMode, Snapshot, WriteMode};
+use mwr_types::{
+    ClientId, ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId,
+};
+
+use crate::transport::{Endpoint, TransportError};
+
+/// Errors returned by live operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A quorum did not assemble within the timeout (more than `t` servers
+    /// down, or a partition).
+    Timeout {
+        /// How long the client waited.
+        waited: Duration,
+        /// Replies collected before giving up.
+        collected: usize,
+        /// Replies required.
+        required: usize,
+    },
+    /// The transport failed.
+    Transport(TransportError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Timeout { waited, collected, required } => write!(
+                f,
+                "quorum timeout after {waited:?}: {collected}/{required} replies"
+            ),
+            RuntimeError::Transport(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<TransportError> for RuntimeError {
+    fn from(e: TransportError) -> Self {
+        RuntimeError::Transport(e)
+    }
+}
+
+/// A blocking writer client.
+///
+/// # Examples
+///
+/// See [`LiveCluster`](crate::LiveCluster) for an end-to-end example.
+#[derive(Debug)]
+pub struct LiveWriter<E: Endpoint> {
+    endpoint: E,
+    id: WriterId,
+    config: ClusterConfig,
+    mode: WriteMode,
+    local_ts: u64,
+    next_seq: u64,
+    timeout: Duration,
+}
+
+impl<E: Endpoint> LiveWriter<E> {
+    /// Creates a writer over an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint's identity is not the given writer.
+    pub fn new(endpoint: E, id: WriterId, config: ClusterConfig, mode: WriteMode) -> Self {
+        assert_eq!(endpoint.id(), ProcessId::from(id), "endpoint identity mismatch");
+        LiveWriter {
+            endpoint,
+            id,
+            config,
+            mode,
+            local_ts: 0,
+            next_seq: 0,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the per-round-trip quorum timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Writes `value`, blocking until the protocol's round-trips complete.
+    /// Returns the tagged value the register now holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if a quorum cannot be assembled.
+    pub fn write(&mut self, value: Value) -> Result<TaggedValue, RuntimeError> {
+        let op = OpId { client: ClientId::Writer(self.id), seq: self.next_seq };
+        self.next_seq += 1;
+        let tag = match self.mode {
+            WriteMode::Fast => {
+                self.local_ts += 1;
+                Tag::new(self.local_ts, self.id)
+            }
+            WriteMode::Slow => {
+                let handle = OpHandle { op, phase: 1 };
+                let acks = round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::Query { handle },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::QueryAck { handle: h, latest } if *h == handle => Some(latest.tag()),
+                        _ => None,
+                    },
+                )?;
+                let max_tag = acks.values().copied().max().unwrap_or_else(Tag::initial);
+                max_tag.next(self.id)
+            }
+        };
+        let tagged = TaggedValue::new(tag, value);
+        let phase = if self.mode == WriteMode::Fast { 1 } else { 2 };
+        let handle = OpHandle { op, phase };
+        round_trip(
+            &self.endpoint,
+            &self.config,
+            Msg::Update { handle, value: tagged },
+            self.timeout,
+            |msg| match msg {
+                Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                _ => None,
+            },
+        )?;
+        Ok(tagged)
+    }
+}
+
+/// A blocking reader client.
+#[derive(Debug)]
+pub struct LiveReader<E: Endpoint> {
+    endpoint: E,
+    id: ReaderId,
+    config: ClusterConfig,
+    mode: ReadMode,
+    val_queue: BTreeSet<TaggedValue>,
+    next_seq: u64,
+    timeout: Duration,
+}
+
+impl<E: Endpoint> LiveReader<E> {
+    /// Creates a reader over an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint's identity is not the given reader.
+    pub fn new(endpoint: E, id: ReaderId, config: ClusterConfig, mode: ReadMode) -> Self {
+        assert_eq!(endpoint.id(), ProcessId::from(id), "endpoint identity mismatch");
+        let mut val_queue = BTreeSet::new();
+        val_queue.insert(TaggedValue::initial());
+        LiveReader {
+            endpoint,
+            id,
+            config,
+            mode,
+            val_queue,
+            next_seq: 0,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the per-round-trip quorum timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Reads the register, blocking until the protocol's round-trips
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if a quorum cannot be assembled.
+    pub fn read(&mut self) -> Result<TaggedValue, RuntimeError> {
+        let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
+        self.next_seq += 1;
+        match self.mode {
+            ReadMode::Slow => {
+                let handle = OpHandle { op, phase: 1 };
+                let acks = round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::Query { handle },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::QueryAck { handle: h, latest } if *h == handle => Some(*latest),
+                        _ => None,
+                    },
+                )?;
+                let best = acks.values().copied().max().unwrap_or_default();
+                let handle = OpHandle { op, phase: 2 };
+                round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::Update { handle, value: best },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                        _ => None,
+                    },
+                )?;
+                Ok(best)
+            }
+            ReadMode::Fast | ReadMode::Adaptive => {
+                let handle = OpHandle { op, phase: 1 };
+                let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
+                let acks = round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::ReadFast { handle, val_queue },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::ReadFastAck { handle: h, snapshot } if *h == handle => {
+                            Some(snapshot.clone())
+                        }
+                        _ => None,
+                    },
+                )?;
+                let snaps: Vec<Snapshot> = acks.into_values().collect();
+                for s in &snaps {
+                    self.val_queue.extend(s.entries.iter().map(|e| e.value));
+                }
+                if self.mode == ReadMode::Fast {
+                    let adm = Admissibility::new(
+                        &snaps,
+                        self.config.servers(),
+                        self.config.max_faults(),
+                        self.config.readers() + 1,
+                    );
+                    return Ok(adm.select_return_value());
+                }
+                // Adaptive: return the maximum fast when it is safely
+                // admissible; secure it with a write-back otherwise.
+                let cap = mwr_core::adaptive_degree_cap(
+                    self.config.servers(),
+                    self.config.max_faults(),
+                    self.config.readers(),
+                );
+                let adm =
+                    Admissibility::new(&snaps, self.config.servers(), self.config.max_faults(), cap);
+                let max_v = adm
+                    .candidates_descending()
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(TaggedValue::initial);
+                if adm.degree(max_v).is_some() {
+                    return Ok(max_v);
+                }
+                let handle = OpHandle { op, phase: 2 };
+                round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::Update { handle, value: max_v },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                        _ => None,
+                    },
+                )?;
+                Ok(max_v)
+            }
+        }
+    }
+}
+
+/// Broadcasts one request to all servers and blocks until `S − t` matching
+/// replies arrive, discarding stale or non-matching messages.
+fn round_trip<E: Endpoint, T>(
+    endpoint: &E,
+    config: &ClusterConfig,
+    request: Msg,
+    timeout: Duration,
+    mut matcher: impl FnMut(&Msg) -> Option<T>,
+) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
+    for s in config.server_ids() {
+        // A dead server is exactly the failure the quorum tolerates.
+        let _ = endpoint.send(ProcessId::Server(s), request.clone());
+    }
+    let required = config.quorum_size();
+    let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();
+    let deadline = Instant::now() + timeout;
+    while acks.len() < required {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(RuntimeError::Timeout {
+                waited: timeout,
+                collected: acks.len(),
+                required,
+            });
+        }
+        match endpoint.inbox().recv_timeout(deadline - now) {
+            Ok((from, msg)) => {
+                if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(&msg)) {
+                    acks.insert(sid, payload);
+                }
+            }
+            Err(_) => {
+                return Err(RuntimeError::Timeout {
+                    waited: timeout,
+                    collected: acks.len(),
+                    required,
+                })
+            }
+        }
+    }
+    Ok(acks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::spawn_server;
+    use crate::transport::InMemoryTransport;
+
+    fn cluster(
+        config: ClusterConfig,
+    ) -> (InMemoryTransport, Vec<crate::server::ServerHandle>) {
+        let transport = InMemoryTransport::new();
+        let servers = config
+            .server_ids()
+            .map(|s| spawn_server(transport.register(ProcessId::Server(s))))
+            .collect();
+        (transport, servers)
+    }
+
+    #[test]
+    fn slow_write_then_fast_read_round_trips() {
+        let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+        let (transport, servers) = cluster(config);
+        let mut writer = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        );
+        let mut reader = LiveReader::new(
+            transport.register(ProcessId::reader(0)),
+            ReaderId::new(0),
+            config,
+            ReadMode::Fast,
+        );
+        let written = writer.write(Value::new(42)).unwrap();
+        assert_eq!(written.tag(), Tag::new(1, WriterId::new(0)));
+        let read = reader.read().unwrap();
+        assert_eq!(read, written);
+        for s in servers {
+            assert!(s.shutdown() > 0);
+        }
+    }
+
+    #[test]
+    fn quorum_survives_t_dead_servers() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let transport = InMemoryTransport::new();
+        // Only bring up 2 of 3 servers: the third is "crashed".
+        let s0 = spawn_server(transport.register(ProcessId::server(0)));
+        let s1 = spawn_server(transport.register(ProcessId::server(1)));
+        let mut writer = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        );
+        let written = writer.write(Value::new(7)).unwrap();
+        assert_eq!(written.value(), Value::new(7));
+        s0.shutdown();
+        s1.shutdown();
+    }
+
+    #[test]
+    fn timeout_when_quorum_is_unreachable() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let transport = InMemoryTransport::new();
+        // Only 1 of 3 servers up: quorum of 2 can never assemble.
+        let s0 = spawn_server(transport.register(ProcessId::server(0)));
+        let mut writer = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        );
+        writer.set_timeout(Duration::from_millis(100));
+        let err = writer.write(Value::new(1)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Timeout { collected: 1, required: 2, .. }), "{err}");
+        s0.shutdown();
+    }
+
+    #[test]
+    fn sequential_writers_get_increasing_tags() {
+        let config = ClusterConfig::new(5, 1, 1, 2).unwrap();
+        let (transport, servers) = cluster(config);
+        let mut w0 = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        );
+        let mut w1 = LiveWriter::new(
+            transport.register(ProcessId::writer(1)),
+            WriterId::new(1),
+            config,
+            WriteMode::Slow,
+        );
+        let t1 = w0.write(Value::new(1)).unwrap();
+        let t2 = w1.write(Value::new(2)).unwrap();
+        let t3 = w0.write(Value::new(3)).unwrap();
+        assert!(t1 < t2 && t2 < t3, "MWA0 over the live runtime");
+        drop(servers);
+    }
+}

@@ -1,0 +1,210 @@
+//! One-call live clusters over either transport.
+
+use mwr_core::Protocol;
+use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
+
+use crate::client::{LiveReader, LiveWriter};
+use crate::server::{spawn_server, ServerHandle};
+use crate::tcp::{TcpEndpoint, TcpRegistry};
+use crate::transport::{InMemoryEndpoint, InMemoryTransport, TransportError};
+
+/// A running in-memory cluster: all servers up, clients on demand.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::Protocol;
+/// use mwr_runtime::LiveCluster;
+/// use mwr_types::{ClusterConfig, Value};
+///
+/// let config = ClusterConfig::new(5, 1, 2, 2)?;
+/// let cluster = LiveCluster::start(config, Protocol::W2R1);
+/// let mut writer = cluster.writer(0);
+/// let mut reader = cluster.reader(0);
+/// let written = writer.write(Value::new(9))?;
+/// assert_eq!(reader.read()?, written);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LiveCluster {
+    config: ClusterConfig,
+    protocol: Protocol,
+    transport: InMemoryTransport,
+    servers: Vec<ServerHandle>,
+}
+
+impl LiveCluster {
+    /// Starts every server of `config` on its own thread.
+    pub fn start(config: ClusterConfig, protocol: Protocol) -> Self {
+        let transport = InMemoryTransport::new();
+        let servers = config
+            .server_ids()
+            .map(|s| spawn_server(transport.register(ProcessId::Server(s))))
+            .collect();
+        LiveCluster { config, protocol, transport, servers }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// The protocol clients will run.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Creates writer `idx`'s blocking client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the writer was already created.
+    pub fn writer(&self, idx: u32) -> LiveWriter<InMemoryEndpoint> {
+        assert!((idx as usize) < self.config.writers(), "writer {idx} out of range");
+        let id = WriterId::new(idx);
+        LiveWriter::new(
+            self.transport.register(id.into()),
+            id,
+            self.config,
+            self.protocol.write_mode(),
+        )
+    }
+
+    /// Creates reader `idx`'s blocking client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the reader was already created.
+    pub fn reader(&self, idx: u32) -> LiveReader<InMemoryEndpoint> {
+        assert!((idx as usize) < self.config.readers(), "reader {idx} out of range");
+        let id = ReaderId::new(idx);
+        LiveReader::new(
+            self.transport.register(id.into()),
+            id,
+            self.config,
+            self.protocol.read_mode(),
+        )
+    }
+
+    /// Crashes server `idx` (stops its thread). At most `t` crashes keep
+    /// the register wait-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was already crashed.
+    pub fn crash_server(&mut self, idx: u32) {
+        let pos = self
+            .servers
+            .iter()
+            .position(|h| h.id() == ProcessId::server(idx))
+            .unwrap_or_else(|| panic!("server {idx} already crashed or unknown"));
+        let handle = self.servers.swap_remove(pos);
+        self.transport.deregister(ProcessId::server(idx));
+        handle.shutdown();
+    }
+
+    /// Shuts down all remaining servers; returns total requests handled.
+    pub fn shutdown(self) -> u64 {
+        self.servers.into_iter().map(ServerHandle::shutdown).sum()
+    }
+}
+
+/// A running TCP cluster on loopback: same shape as [`LiveCluster`] with
+/// sockets underneath.
+#[derive(Debug)]
+pub struct TcpCluster {
+    config: ClusterConfig,
+    protocol: Protocol,
+    registry: TcpRegistry,
+    servers: Vec<ServerHandle>,
+}
+
+impl TcpCluster {
+    /// Binds and starts every server of `config` on loopback sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if a socket cannot be bound.
+    pub fn start(config: ClusterConfig, protocol: Protocol) -> Result<Self, TransportError> {
+        let registry = TcpRegistry::new();
+        let mut servers = Vec::new();
+        for s in config.server_ids() {
+            let endpoint = TcpEndpoint::bind(ProcessId::Server(s), &registry)?;
+            servers.push(spawn_server(endpoint));
+        }
+        Ok(TcpCluster { config, protocol, registry, servers })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Creates writer `idx`'s blocking client over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client socket cannot be bound.
+    pub fn writer(&self, idx: u32) -> Result<LiveWriter<TcpEndpoint>, TransportError> {
+        let id = WriterId::new(idx);
+        let endpoint = TcpEndpoint::bind(id.into(), &self.registry)?;
+        Ok(LiveWriter::new(endpoint, id, self.config, self.protocol.write_mode()))
+    }
+
+    /// Creates reader `idx`'s blocking client over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client socket cannot be bound.
+    pub fn reader(&self, idx: u32) -> Result<LiveReader<TcpEndpoint>, TransportError> {
+        let id = ReaderId::new(idx);
+        let endpoint = TcpEndpoint::bind(id.into(), &self.registry)?;
+        Ok(LiveReader::new(endpoint, id, self.config, self.protocol.read_mode()))
+    }
+
+    /// Shuts down all servers; returns total requests handled.
+    pub fn shutdown(self) -> u64 {
+        self.servers.into_iter().map(ServerHandle::shutdown).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::Value;
+
+    #[test]
+    fn in_memory_cluster_end_to_end() {
+        let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+        let cluster = LiveCluster::start(config, Protocol::W2R1);
+        let mut w = cluster.writer(0);
+        let mut r = cluster.reader(0);
+        let written = w.write(Value::new(11)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        assert!(cluster.shutdown() > 0);
+    }
+
+    #[test]
+    fn cluster_survives_t_crashes() {
+        let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+        let mut cluster = LiveCluster::start(config, Protocol::W2R2);
+        let mut w = cluster.writer(0);
+        let mut r = cluster.reader(0);
+        w.write(Value::new(1)).unwrap();
+        cluster.crash_server(4);
+        let written = w.write(Value::new(2)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_cluster_end_to_end() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let cluster = TcpCluster::start(config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        let written = w.write(Value::new(33)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        assert!(cluster.shutdown() > 0);
+    }
+}

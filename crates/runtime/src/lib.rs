@@ -1,0 +1,48 @@
+//! Live thread-per-process runtime for the `mwr` register protocols.
+//!
+//! The simulator (`mwr-sim`) answers *analysis* questions deterministically;
+//! this crate runs the same protocols for real: each server is a thread
+//! executing `mwr-core`'s Algorithm 2 [`RegisterServer`] verbatim, and
+//! clients are blocking handles implementing the round-trip schema of §2.2
+//! over a pluggable [`Endpoint`]:
+//!
+//! - [`InMemoryTransport`] — crossbeam channels, for tests and examples;
+//! - [`TcpEndpoint`] / [`TcpRegistry`] — real sockets with length-prefixed
+//!   frames over the hand-rolled wire codec from `mwr-types`.
+//!
+//! [`RegisterServer`]: mwr_core::RegisterServer
+//!
+//! # Examples
+//!
+//! The paper's W2R1 register over an in-memory cluster:
+//!
+//! ```
+//! use mwr_core::Protocol;
+//! use mwr_runtime::LiveCluster;
+//! use mwr_types::{ClusterConfig, Value};
+//!
+//! let config = ClusterConfig::new(5, 1, 2, 2)?;
+//! let cluster = LiveCluster::start(config, Protocol::W2R1);
+//! let mut writer = cluster.writer(0);
+//! let mut reader = cluster.reader(0);
+//! writer.write(Value::new(1))?;
+//! let tagged = reader.read()?; // one round-trip
+//! assert_eq!(tagged.value(), Value::new(1));
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod cluster;
+mod server;
+mod tcp;
+mod transport;
+
+pub use client::{LiveReader, LiveWriter, RuntimeError};
+pub use cluster::{LiveCluster, TcpCluster};
+pub use server::{spawn_server, ServerHandle};
+pub use tcp::{TcpEndpoint, TcpRegistry};
+pub use transport::{Endpoint, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError};

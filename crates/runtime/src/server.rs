@@ -1,0 +1,120 @@
+//! Thread-per-server execution of the Algorithm 2 server.
+
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{bounded, select, Sender};
+
+use mwr_core::RegisterServer;
+use mwr_types::ProcessId;
+
+use crate::transport::Endpoint;
+
+/// A running server thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    id: ProcessId,
+    shutdown: Sender<()>,
+    join: Option<JoinHandle<u64>>,
+}
+
+impl ServerHandle {
+    /// The server's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Signals shutdown and waits for the thread; returns the number of
+    /// requests the server handled.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.shutdown.send(());
+        self.join
+            .take()
+            .expect("handle joined twice")
+            .join()
+            .expect("server thread panicked")
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort shutdown; never block or fail in Drop (C-DTOR-FAIL).
+        let _ = self.shutdown.send(());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns a register server serving requests from `endpoint`.
+///
+/// The server logic is exactly `mwr-core`'s [`RegisterServer`] (Algorithm
+/// 2); only the transport differs from the simulator.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_runtime::{spawn_server, InMemoryTransport};
+/// use mwr_types::ProcessId;
+///
+/// let transport = InMemoryTransport::new();
+/// let endpoint = transport.register(ProcessId::server(0));
+/// let handle = spawn_server(endpoint);
+/// assert_eq!(handle.id(), ProcessId::server(0));
+/// assert_eq!(handle.shutdown(), 0);
+/// ```
+pub fn spawn_server(endpoint: impl Endpoint + 'static) -> ServerHandle {
+    let id = endpoint.id();
+    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let join = thread::Builder::new()
+        .name(format!("mwr-server-{id}"))
+        .spawn(move || {
+            let mut server = RegisterServer::new();
+            let mut handled: u64 = 0;
+            loop {
+                select! {
+                    recv(endpoint.inbox()) -> inbound => {
+                        let Ok((from, msg)) = inbound else { return handled };
+                        if let Some(reply) = server.handle(from, &msg) {
+                            handled += 1;
+                            // A dead client is not a server error.
+                            let _ = endpoint.send(from, reply);
+                        }
+                    }
+                    recv(shutdown_rx) -> _ => return handled,
+                }
+            }
+        })
+        .expect("failed to spawn server thread");
+    ServerHandle { id, shutdown: shutdown_tx, join: Some(join) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InMemoryTransport;
+    use mwr_core::{Msg, OpHandle, OpId};
+    use mwr_types::{ClientId, TaggedValue};
+    use std::time::Duration;
+
+    #[test]
+    fn server_replies_to_queries() {
+        let transport = InMemoryTransport::new();
+        let server_ep = transport.register(ProcessId::server(0));
+        let client_ep = transport.register(ProcessId::reader(0));
+        let handle = spawn_server(server_ep);
+
+        let op = OpHandle { op: OpId { client: ClientId::reader(0), seq: 0 }, phase: 1 };
+        client_ep.send(ProcessId::server(0), Msg::Query { handle: op }).unwrap();
+        let (from, reply) = client_ep
+            .inbox()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reply");
+        assert_eq!(from, ProcessId::server(0));
+        assert_eq!(reply, Msg::QueryAck { handle: op, latest: TaggedValue::initial() });
+        assert_eq!(handle.shutdown(), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! A TCP transport: length-prefixed frames carrying the hand-rolled wire
+//! codec from `mwr-types`.
+//!
+//! Every process owns a listening socket; a registry maps process ids to
+//! socket addresses. Outbound connections are cached per destination and
+//! re-established on failure. Frames are `u32` big-endian length followed
+//! by `Wire`-encoded `(ProcessId, Msg)`.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use mwr_core::Msg;
+use mwr_types::codec::Wire;
+use mwr_types::ProcessId;
+
+use crate::transport::{Endpoint, Inbound, TransportError};
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupt peers.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io { message: e.to_string() }
+}
+
+/// Shared process-id → address registry.
+#[derive(Debug, Clone, Default)]
+pub struct TcpRegistry {
+    addrs: Arc<Mutex<HashMap<ProcessId, SocketAddr>>>,
+}
+
+impl TcpRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records where a process listens.
+    pub fn insert(&self, id: ProcessId, addr: SocketAddr) {
+        self.addrs.lock().insert(id, addr);
+    }
+
+    /// Looks up a process's address.
+    pub fn lookup(&self, id: ProcessId) -> Option<SocketAddr> {
+        self.addrs.lock().get(&id).copied()
+    }
+}
+
+/// One process's TCP endpoint: a listener thread feeding an inbox, plus
+/// cached outbound connections.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    id: ProcessId,
+    registry: TcpRegistry,
+    inbox: Receiver<Inbound>,
+    outbound: Mutex<HashMap<ProcessId, TcpStream>>,
+    local_addr: SocketAddr,
+}
+
+impl TcpEndpoint {
+    /// Binds a listener on `127.0.0.1` (ephemeral port), registers it, and
+    /// spawns the acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if binding fails.
+    pub fn bind(id: ProcessId, registry: &TcpRegistry) -> Result<TcpEndpoint, TransportError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+        let local_addr = listener.local_addr().map_err(io_err)?;
+        registry.insert(id, local_addr);
+        let (tx, rx) = unbounded();
+        thread::Builder::new()
+            .name(format!("tcp-acceptor-{id}"))
+            .spawn(move || acceptor_loop(listener, tx))
+            .map_err(io_err)?;
+        Ok(TcpEndpoint {
+            id,
+            registry: registry.clone(),
+            inbox: rx,
+            outbound: Mutex::new(HashMap::new()),
+            local_addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn write_frame(stream: &mut TcpStream, from: ProcessId, msg: &Msg) -> std::io::Result<()> {
+        let mut body = BytesMut::new();
+        from.encode(&mut body);
+        msg.encode(&mut body);
+        let len = body.len() as u32;
+        stream.write_all(&len.to_be_bytes())?;
+        stream.write_all(&body)?;
+        stream.flush()
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { break };
+        let tx = tx.clone();
+        let _ = thread::Builder::new()
+            .name("tcp-reader".into())
+            .spawn(move || reader_loop(stream, tx));
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<Inbound>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_FRAME {
+            return;
+        }
+        let mut body = vec![0u8; len as usize];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        let mut bytes = Bytes::from(body);
+        let Ok(from) = ProcessId::decode(&mut bytes) else { return };
+        let Ok(msg) = Msg::decode(&mut bytes) else { return };
+        if tx.send((from, msg)).is_err() {
+            return;
+        }
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        let addr = self
+            .registry
+            .lookup(to)
+            .ok_or(TransportError::UnknownDestination { to })?;
+        let mut cache = self.outbound.lock();
+        // Try the cached connection first; on failure, reconnect once.
+        if let Some(stream) = cache.get_mut(&to) {
+            if TcpEndpoint::write_frame(stream, self.id, &msg).is_ok() {
+                return Ok(());
+            }
+            cache.remove(&to);
+        }
+        let mut stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        TcpEndpoint::write_frame(&mut stream, self.id, &msg).map_err(io_err)?;
+        cache.insert(to, stream);
+        Ok(())
+    }
+
+    fn inbox(&self) -> &Receiver<Inbound> {
+        &self.inbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::Value;
+    use std::time::Duration;
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let registry = TcpRegistry::new();
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        a.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(7))).unwrap();
+        let (from, msg) = b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, ProcessId::writer(0));
+        assert_eq!(msg, Msg::InvokeWrite(Value::new(7)));
+    }
+
+    #[test]
+    fn bidirectional_traffic_reuses_connections() {
+        let registry = TcpRegistry::new();
+        let a = TcpEndpoint::bind(ProcessId::reader(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(1), &registry).unwrap();
+        for i in 0..10 {
+            a.send(ProcessId::server(1), Msg::InvokeWrite(Value::new(i))).unwrap();
+        }
+        for _ in 0..10 {
+            b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        b.send(ProcessId::reader(0), Msg::InvokeRead).unwrap();
+        let (from, _) = a.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, ProcessId::server(1));
+    }
+
+    #[test]
+    fn unknown_process_is_reported() {
+        let registry = TcpRegistry::new();
+        let a = TcpEndpoint::bind(ProcessId::reader(0), &registry).unwrap();
+        assert!(matches!(
+            a.send(ProcessId::server(42), Msg::InvokeRead),
+            Err(TransportError::UnknownDestination { .. })
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Message transports for the live runtime.
+
+use std::fmt;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mwr_core::Msg;
+use mwr_types::ProcessId;
+
+/// Errors raised by transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination process is not registered with the transport.
+    UnknownDestination {
+        /// The unreachable process.
+        to: ProcessId,
+    },
+    /// The destination's inbox is gone (process shut down).
+    Disconnected {
+        /// The closed process.
+        to: ProcessId,
+    },
+    /// An I/O error (TCP transport).
+    Io {
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownDestination { to } => {
+                write!(f, "no transport endpoint registered for {to}")
+            }
+            TransportError::Disconnected { to } => write!(f, "endpoint {to} is disconnected"),
+            TransportError::Io { message } => write!(f, "transport i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// An inbound message: sender plus payload.
+pub type Inbound = (ProcessId, Msg);
+
+/// A process's endpoint on a transport: an inbox and the ability to send.
+pub trait Endpoint: Send {
+    /// This endpoint's process identity.
+    fn id(&self) -> ProcessId;
+
+    /// Sends `msg` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the destination is unknown or gone.
+    fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError>;
+
+    /// The receiving side of this endpoint's inbox.
+    fn inbox(&self) -> &Receiver<Inbound>;
+}
+
+/// A process-addressed in-memory transport over crossbeam channels.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_runtime::{Endpoint, InMemoryTransport};
+/// use mwr_core::Msg;
+/// use mwr_types::ProcessId;
+///
+/// let transport = InMemoryTransport::new();
+/// let a = transport.register(ProcessId::reader(0));
+/// let b = transport.register(ProcessId::server(0));
+/// a.send(ProcessId::server(0), Msg::InvokeRead)?;
+/// let (from, msg) = b.inbox().recv().unwrap();
+/// assert_eq!(from, ProcessId::reader(0));
+/// assert_eq!(msg, Msg::InvokeRead);
+/// # Ok::<(), mwr_runtime::TransportError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryTransport {
+    inboxes: Arc<RwLock<HashMap<ProcessId, Sender<Inbound>>>>,
+}
+
+impl InMemoryTransport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a process and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is already registered.
+    pub fn register(&self, id: ProcessId) -> InMemoryEndpoint {
+        let (tx, rx) = unbounded();
+        let prev = self.inboxes.write().insert(id, tx);
+        assert!(prev.is_none(), "duplicate endpoint {id}");
+        InMemoryEndpoint { id, transport: self.clone(), inbox: rx }
+    }
+
+    /// Removes a process's inbox (future sends to it fail).
+    pub fn deregister(&self, id: ProcessId) {
+        self.inboxes.write().remove(&id);
+    }
+
+    fn send_from(&self, from: ProcessId, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        let guard = self.inboxes.read();
+        let tx = guard
+            .get(&to)
+            .ok_or(TransportError::UnknownDestination { to })?;
+        tx.send((from, msg))
+            .map_err(|_| TransportError::Disconnected { to })
+    }
+}
+
+/// One process's handle on an [`InMemoryTransport`].
+#[derive(Debug)]
+pub struct InMemoryEndpoint {
+    id: ProcessId,
+    transport: InMemoryTransport,
+    inbox: Receiver<Inbound>,
+}
+
+impl Endpoint for InMemoryEndpoint {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        self.transport.send_from(self.id, to, msg)
+    }
+
+    fn inbox(&self) -> &Receiver<Inbound> {
+        &self.inbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::Value;
+
+    #[test]
+    fn messages_flow_between_endpoints() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        let server = t.register(ProcessId::server(0));
+        client.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(1))).unwrap();
+        client.send(ProcessId::server(0), Msg::InvokeRead).unwrap();
+        assert_eq!(server.inbox().len(), 2);
+        let (from, _) = server.inbox().recv().unwrap();
+        assert_eq!(from, ProcessId::writer(0));
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        assert_eq!(
+            client.send(ProcessId::server(9), Msg::InvokeRead),
+            Err(TransportError::UnknownDestination { to: ProcessId::server(9) })
+        );
+    }
+
+    #[test]
+    fn deregistered_endpoint_becomes_unreachable() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        let _server = t.register(ProcessId::server(0));
+        t.deregister(ProcessId::server(0));
+        assert!(client.send(ProcessId::server(0), Msg::InvokeRead).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicate_registration_panics() {
+        let t = InMemoryTransport::new();
+        let _a = t.register(ProcessId::server(0));
+        let _b = t.register(ProcessId::server(0));
+    }
+}

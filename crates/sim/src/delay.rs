@@ -1,0 +1,243 @@
+//! Message delay models for simulated links.
+
+use rand::Rng;
+
+use mwr_types::ProcessId;
+
+use crate::time::SimTime;
+
+/// How long a message spends in flight on a link.
+///
+/// The paper's channels are asynchronous and reliable: messages may be
+/// delayed arbitrarily but are never lost. Delay models capture the
+/// "arbitrary" part in a controlled, seedable way.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_sim::{DelayModel, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let d = DelayModel::Uniform { lo: SimTime::from_ticks(10), hi: SimTime::from_ticks(20) };
+/// let sample = d.sample(&mut rng);
+/// assert!(sample >= SimTime::from_ticks(10) && sample <= SimTime::from_ticks(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Constant(SimTime),
+    /// Delay drawn uniformly from `[lo, hi]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        lo: SimTime,
+        /// Maximum delay.
+        hi: SimTime,
+    },
+    /// A fixed propagation delay plus uniform jitter in `[0, jitter]`;
+    /// convenient for geo-replication matrices.
+    ConstantPlusJitter {
+        /// Fixed propagation component.
+        base: SimTime,
+        /// Maximum additive jitter.
+        jitter: SimTime,
+    },
+}
+
+impl DelayModel {
+    /// Samples a delay using the provided RNG.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform delay with lo > hi");
+                SimTime::from_ticks(rng.gen_range(lo.ticks()..=hi.ticks()))
+            }
+            DelayModel::ConstantPlusJitter { base, jitter } => {
+                base + SimTime::from_ticks(rng.gen_range(0..=jitter.ticks()))
+            }
+        }
+    }
+
+    /// The smallest delay this model can produce.
+    pub fn min_delay(&self) -> SimTime {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, .. } => lo,
+            DelayModel::ConstantPlusJitter { base, .. } => base,
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// One tick, constant: the fastest nontrivial network.
+    fn default() -> Self {
+        DelayModel::Constant(SimTime::from_ticks(1))
+    }
+}
+
+/// A geo-replication latency matrix assigning one-way delays between client
+/// *regions* and server *regions*.
+///
+/// This reproduces the paper's motivating deployment (§1: Cassandra-style
+/// quorum stores routing queries to nearby replicas): each process lives in a
+/// region and the link delay is the inter-region one-way latency plus jitter.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_sim::{GeoMatrix, SimTime};
+/// use mwr_types::ProcessId;
+///
+/// // Two regions, 3 ticks apart, 1 tick local.
+/// let mut geo = GeoMatrix::new(vec![
+///     vec![SimTime::from_ticks(1), SimTime::from_ticks(3)],
+///     vec![SimTime::from_ticks(3), SimTime::from_ticks(1)],
+/// ]);
+/// geo.place(ProcessId::reader(0), 0);
+/// geo.place(ProcessId::server(0), 1);
+/// let model = geo.link_model(ProcessId::reader(0), ProcessId::server(0), SimTime::from_ticks(1));
+/// assert_eq!(model.min_delay(), SimTime::from_ticks(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeoMatrix {
+    /// `latency[a][b]` = one-way delay from region `a` to region `b`.
+    latency: Vec<Vec<SimTime>>,
+    placement: std::collections::BTreeMap<ProcessId, usize>,
+}
+
+impl GeoMatrix {
+    /// Creates a matrix from one-way inter-region latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(latency: Vec<Vec<SimTime>>) -> Self {
+        let n = latency.len();
+        assert!(
+            latency.iter().all(|row| row.len() == n),
+            "geo matrix must be square"
+        );
+        GeoMatrix {
+            latency,
+            placement: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.latency.len()
+    }
+
+    /// Places a process in a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of bounds.
+    pub fn place(&mut self, process: ProcessId, region: usize) -> &mut Self {
+        assert!(region < self.regions(), "region {region} out of bounds");
+        self.placement.insert(process, region);
+        self
+    }
+
+    /// Returns the region a process was placed in, if any.
+    pub fn region_of(&self, process: ProcessId) -> Option<usize> {
+        self.placement.get(&process).copied()
+    }
+
+    /// Builds the delay model for the directed link `from → to`.
+    ///
+    /// Unplaced processes default to region 0.
+    pub fn link_model(&self, from: ProcessId, to: ProcessId, jitter: SimTime) -> DelayModel {
+        let a = self.region_of(from).unwrap_or(0);
+        let b = self.region_of(to).unwrap_or(0);
+        DelayModel::ConstantPlusJitter {
+            base: self.latency[a][b],
+            jitter,
+        }
+    }
+
+    /// Iterates over all placed processes.
+    pub fn placements(&self) -> impl Iterator<Item = (ProcessId, usize)> + '_ {
+        self.placement.iter().map(|(p, r)| (*p, *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = DelayModel::Constant(SimTime::from_ticks(4));
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimTime::from_ticks(4));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_varies() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let d = DelayModel::Uniform {
+            lo: SimTime::from_ticks(5),
+            hi: SimTime::from_ticks(9),
+        };
+        let samples: Vec<u64> = (0..200).map(|_| d.sample(&mut rng).ticks()).collect();
+        assert!(samples.iter().all(|&s| (5..=9).contains(&s)));
+        assert!(samples.iter().any(|&s| s != samples[0]), "should vary");
+    }
+
+    #[test]
+    fn jitter_adds_to_base() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = DelayModel::ConstantPlusJitter {
+            base: SimTime::from_ticks(100),
+            jitter: SimTime::from_ticks(10),
+        };
+        for _ in 0..100 {
+            let s = d.sample(&mut rng).ticks();
+            assert!((100..=110).contains(&s));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = DelayModel::Uniform {
+            lo: SimTime::from_ticks(0),
+            hi: SimTime::from_ticks(1000),
+        };
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..50).map(|_| d.sample(&mut rng).ticks()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_panics() {
+        let _ = GeoMatrix::new(vec![vec![SimTime::ZERO], vec![]]);
+    }
+
+    #[test]
+    fn geo_matrix_places_and_builds_models() {
+        let mut geo = GeoMatrix::new(vec![
+            vec![SimTime::from_ticks(1), SimTime::from_ticks(40)],
+            vec![SimTime::from_ticks(40), SimTime::from_ticks(1)],
+        ]);
+        geo.place(ProcessId::writer(0), 0).place(ProcessId::server(0), 0);
+        geo.place(ProcessId::server(1), 1);
+        assert_eq!(geo.regions(), 2);
+        assert_eq!(geo.region_of(ProcessId::writer(0)), Some(0));
+        assert_eq!(geo.placements().count(), 3);
+
+        let near = geo.link_model(ProcessId::writer(0), ProcessId::server(0), SimTime::ZERO);
+        let far = geo.link_model(ProcessId::writer(0), ProcessId::server(1), SimTime::ZERO);
+        assert_eq!(near.min_delay(), SimTime::from_ticks(1));
+        assert_eq!(far.min_delay(), SimTime::from_ticks(40));
+    }
+}

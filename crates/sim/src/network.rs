@@ -1,0 +1,281 @@
+//! Network state: topology policy, per-link delays, holds, crashes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mwr_types::ProcessId;
+
+use crate::delay::{DelayModel, GeoMatrix};
+use crate::event::LinkSelector;
+use crate::time::SimTime;
+
+/// Which communication pattern the network permits.
+///
+/// The paper's model (Fig 1) has channels only between clients and servers:
+/// *"There is no communication among the servers"*, and clients likewise do
+/// not talk to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Only client↔server links exist (the paper's model). Sends violating
+    /// the pattern are a programming error and panic.
+    #[default]
+    ClientServerOnly,
+    /// Any process may message any other; useful for auxiliary tooling, not
+    /// used by the protocols.
+    Unrestricted,
+}
+
+impl Topology {
+    /// Whether the directed link `from → to` exists under this topology.
+    pub fn allows(self, from: ProcessId, to: ProcessId) -> bool {
+        match self {
+            Topology::Unrestricted => from != to,
+            Topology::ClientServerOnly => {
+                (from.is_client() && to.is_server()) || (from.is_server() && to.is_client())
+            }
+        }
+    }
+}
+
+/// The status of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkStatus {
+    /// Messages flow with the configured delay.
+    Open,
+    /// Messages are parked until a matching release.
+    Held,
+}
+
+/// Mutable network state shared by the simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_sim::{DelayModel, Network, SimTime, Topology};
+/// use mwr_types::ProcessId;
+///
+/// let mut net = Network::new(Topology::ClientServerOnly);
+/// net.set_default_delay(DelayModel::Constant(SimTime::from_ticks(5)));
+/// let r = ProcessId::reader(0);
+/// let s = ProcessId::server(0);
+/// assert_eq!(net.delay_for(r, s).min_delay(), SimTime::from_ticks(5));
+///
+/// net.hold_between(r, s);
+/// assert!(net.is_held(r, s));
+/// assert!(net.is_held(s, r));
+/// net.release_between(r, s);
+/// assert!(!net.is_held(r, s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    default_delay: DelayModel,
+    link_delays: BTreeMap<(ProcessId, ProcessId), DelayModel>,
+    holds: Vec<LinkSelector>,
+    crashed: BTreeSet<ProcessId>,
+}
+
+impl Network {
+    /// Creates a network with the given topology and a one-tick default
+    /// delay on every link.
+    pub fn new(topology: Topology) -> Self {
+        Network {
+            topology,
+            default_delay: DelayModel::default(),
+            link_delays: BTreeMap::new(),
+            holds: Vec::new(),
+            crashed: BTreeSet::new(),
+        }
+    }
+
+    /// The topology policy.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Sets the delay model used by links without a specific override.
+    pub fn set_default_delay(&mut self, model: DelayModel) -> &mut Self {
+        self.default_delay = model;
+        self
+    }
+
+    /// Overrides the delay model of the directed link `from → to`.
+    pub fn set_link_delay(&mut self, from: ProcessId, to: ProcessId, model: DelayModel) -> &mut Self {
+        self.link_delays.insert((from, to), model);
+        self
+    }
+
+    /// Applies a [`GeoMatrix`] to every directed pair among `processes`,
+    /// with the given jitter.
+    pub fn apply_geo_matrix(&mut self, geo: &GeoMatrix, processes: &[ProcessId], jitter: SimTime) {
+        for &a in processes {
+            for &b in processes {
+                if a != b && self.topology.allows(a, b) {
+                    self.set_link_delay(a, b, geo.link_model(a, b, jitter));
+                }
+            }
+        }
+    }
+
+    /// The delay model in effect for the directed link `from → to`.
+    pub fn delay_for(&self, from: ProcessId, to: ProcessId) -> DelayModel {
+        self.link_delays
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_delay)
+    }
+
+    /// Starts holding messages on the selected links.
+    pub fn hold(&mut self, selector: LinkSelector) {
+        self.holds.push(selector);
+    }
+
+    /// Holds both directed links between `a` and `b` — the shape used to
+    /// make an operation "skip" a server in the impossibility constructions.
+    pub fn hold_between(&mut self, a: ProcessId, b: ProcessId) {
+        self.hold(LinkSelector::directed(a, b));
+        self.hold(LinkSelector::directed(b, a));
+    }
+
+    /// Removes previously installed holds equal to `selector`.
+    ///
+    /// Returns `true` if at least one hold was removed. The simulation layer
+    /// is responsible for re-injecting parked messages afterwards.
+    pub fn release(&mut self, selector: LinkSelector) -> bool {
+        let before = self.holds.len();
+        self.holds.retain(|h| *h != selector);
+        self.holds.len() != before
+    }
+
+    /// Releases both directed links between `a` and `b`.
+    pub fn release_between(&mut self, a: ProcessId, b: ProcessId) {
+        self.release(LinkSelector::directed(a, b));
+        self.release(LinkSelector::directed(b, a));
+    }
+
+    /// Whether the directed link `from → to` is currently held.
+    pub fn is_held(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.holds.iter().any(|h| h.matches(from, to))
+    }
+
+    /// The status of the directed link `from → to`.
+    pub fn link_status(&self, from: ProcessId, to: ProcessId) -> LinkStatus {
+        if self.is_held(from, to) {
+            LinkStatus::Held
+        } else {
+            LinkStatus::Open
+        }
+    }
+
+    /// Marks a process as crashed. Crashed processes silently drop all
+    /// subsequent deliveries and timers; channels stay reliable.
+    pub fn crash(&mut self, process: ProcessId) {
+        self.crashed.insert(process);
+    }
+
+    /// Whether a process has crashed.
+    pub fn is_crashed(&self, process: ProcessId) -> bool {
+        self.crashed.contains(&process)
+    }
+
+    /// The set of crashed processes.
+    pub fn crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashed.iter().copied()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new(Topology::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_server_topology_matches_paper_model() {
+        let t = Topology::ClientServerOnly;
+        let r = ProcessId::reader(0);
+        let w = ProcessId::writer(0);
+        let s0 = ProcessId::server(0);
+        let s1 = ProcessId::server(1);
+        assert!(t.allows(r, s0));
+        assert!(t.allows(s0, w));
+        assert!(!t.allows(s0, s1), "no server-to-server channel");
+        assert!(!t.allows(r, w), "no client-to-client channel");
+        assert!(!t.allows(r, r), "no self channel");
+    }
+
+    #[test]
+    fn unrestricted_allows_everything_but_self() {
+        let t = Topology::Unrestricted;
+        assert!(t.allows(ProcessId::server(0), ProcessId::server(1)));
+        assert!(!t.allows(ProcessId::server(0), ProcessId::server(0)));
+    }
+
+    #[test]
+    fn link_delay_overrides_default() {
+        let mut net = Network::default();
+        let r = ProcessId::reader(0);
+        let s = ProcessId::server(0);
+        net.set_default_delay(DelayModel::Constant(SimTime::from_ticks(2)));
+        net.set_link_delay(r, s, DelayModel::Constant(SimTime::from_ticks(9)));
+        assert_eq!(net.delay_for(r, s).min_delay(), SimTime::from_ticks(9));
+        assert_eq!(net.delay_for(s, r).min_delay(), SimTime::from_ticks(2));
+    }
+
+    #[test]
+    fn hold_and_release_are_symmetric_helpers() {
+        let mut net = Network::default();
+        let r = ProcessId::reader(1);
+        let s = ProcessId::server(2);
+        assert_eq!(net.link_status(r, s), LinkStatus::Open);
+        net.hold_between(r, s);
+        assert_eq!(net.link_status(r, s), LinkStatus::Held);
+        assert_eq!(net.link_status(s, r), LinkStatus::Held);
+        net.release_between(r, s);
+        assert_eq!(net.link_status(r, s), LinkStatus::Open);
+    }
+
+    #[test]
+    fn wildcard_hold_covers_all_links_into_server() {
+        let mut net = Network::default();
+        let s = ProcessId::server(0);
+        net.hold(LinkSelector::into(s));
+        assert!(net.is_held(ProcessId::reader(0), s));
+        assert!(net.is_held(ProcessId::writer(3), s));
+        assert!(!net.is_held(s, ProcessId::reader(0)));
+        assert!(net.release(LinkSelector::into(s)));
+        assert!(!net.release(LinkSelector::into(s)), "double release is a no-op");
+    }
+
+    #[test]
+    fn crash_is_sticky() {
+        let mut net = Network::default();
+        let s = ProcessId::server(1);
+        assert!(!net.is_crashed(s));
+        net.crash(s);
+        assert!(net.is_crashed(s));
+        assert_eq!(net.crashed().collect::<Vec<_>>(), vec![s]);
+    }
+
+    #[test]
+    fn geo_matrix_application_respects_topology() {
+        let mut geo = GeoMatrix::new(vec![
+            vec![SimTime::from_ticks(1), SimTime::from_ticks(30)],
+            vec![SimTime::from_ticks(30), SimTime::from_ticks(1)],
+        ]);
+        let r = ProcessId::reader(0);
+        let s0 = ProcessId::server(0);
+        let s1 = ProcessId::server(1);
+        geo.place(r, 0).place(s0, 0);
+        geo.place(s1, 1);
+        let mut net = Network::default();
+        net.apply_geo_matrix(&geo, &[r, s0, s1], SimTime::ZERO);
+        assert_eq!(net.delay_for(r, s1).min_delay(), SimTime::from_ticks(30));
+        // server→server link never configured (not allowed by topology):
+        // falls back to default.
+        assert_eq!(net.delay_for(s0, s1), DelayModel::default());
+    }
+}

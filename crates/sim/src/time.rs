@@ -1,0 +1,111 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract *ticks*.
+///
+/// The simulator's clock is discrete and only advances when events fire.
+/// Experiments conventionally interpret one tick as one microsecond when
+/// rendering latencies, but nothing in the engine depends on that reading.
+///
+/// Processes in the paper's model cannot read the global clock; automata get
+/// access to [`SimTime`] only for metrics and must not branch on it for
+/// protocol decisions (none of the protocols in `mwr-core` do).
+///
+/// # Examples
+///
+/// ```
+/// use mwr_sim::SimTime;
+///
+/// let t = SimTime::from_ticks(5) + SimTime::from_ticks(10);
+/// assert_eq!(t.ticks(), 15);
+/// assert!(SimTime::ZERO < t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time far beyond any experiment horizon; used to park "skipped"
+    /// messages (the proofs delay them "a sufficiently long period").
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX / 4);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference between two times.
+    #[must_use]
+    pub const fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ticks(3);
+        let b = SimTime::from_ticks(5);
+        assert_eq!((a + b).ticks(), 8);
+        assert_eq!((b - a).ticks(), 2);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert!(a < b);
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+
+    #[test]
+    fn addition_saturates_at_far_future_scale() {
+        let far = SimTime::FAR_FUTURE;
+        assert!(far + far > far);
+        assert_eq!(SimTime::from_ticks(u64::MAX) + SimTime::from_ticks(1), SimTime::from_ticks(u64::MAX));
+    }
+
+    #[test]
+    fn display_suffixes_ticks() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "42t");
+    }
+}

@@ -1,0 +1,321 @@
+//! Cluster configuration: the `(S, t, R, W)` parameters of the paper's
+//! system model, with quorum arithmetic and feasibility predicates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ReaderId, ServerId, WriterId};
+
+/// Errors produced when validating a [`ClusterConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The model requires at least two servers (`S ≥ 2`, paper §2.1).
+    TooFewServers {
+        /// The offending server count.
+        servers: usize,
+    },
+    /// Quorum intersection requires `t < S` even to assemble one quorum;
+    /// atomic W2R2 emulation additionally requires `t < S/2` (checked by
+    /// [`ClusterConfig::majority_quorums_intersect`], not here).
+    TooManyFaults {
+        /// The offending fault bound.
+        max_faults: usize,
+        /// The server count it was checked against.
+        servers: usize,
+    },
+    /// The multi-writer analysis assumes at least one reader and one writer;
+    /// the paper's theorems use `R ≥ 2, W ≥ 2` but degenerate single-client
+    /// clusters are permitted for the single-writer baselines.
+    NoClients,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewServers { servers } => {
+                write!(f, "replicated system needs at least 2 servers, got {servers}")
+            }
+            ConfigError::TooManyFaults { max_faults, servers } => write!(
+                f,
+                "fault bound t={max_faults} leaves no quorum among S={servers} servers"
+            ),
+            ConfigError::NoClients => write!(f, "cluster needs at least one reader or writer"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The static parameters of a register emulation: `S` servers of which at
+/// most `t` may crash, `R` readers and `W` writers.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_types::ClusterConfig;
+///
+/// // S = 5, t = 1, R = 2, W = 2: fast reads are feasible (1·(2+2) < 5).
+/// let c = ClusterConfig::new(5, 1, 2, 2)?;
+/// assert_eq!(c.quorum_size(), 4);
+/// assert!(c.fast_read_feasible());
+///
+/// // S = 4, t = 1, R = 2: boundary case — 1·(2+2) = 4, not < 4.
+/// let c = ClusterConfig::new(4, 1, 2, 2)?;
+/// assert!(!c.fast_read_feasible());
+/// # Ok::<(), mwr_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    servers: usize,
+    max_faults: usize,
+    readers: usize,
+    writers: usize,
+}
+
+impl ClusterConfig {
+    /// Creates and validates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `S < 2`, if `t ≥ S` (no quorum can ever be
+    /// assembled), or if there are no clients at all.
+    pub fn new(
+        servers: usize,
+        max_faults: usize,
+        readers: usize,
+        writers: usize,
+    ) -> Result<Self, ConfigError> {
+        if servers < 2 {
+            return Err(ConfigError::TooFewServers { servers });
+        }
+        if max_faults >= servers {
+            return Err(ConfigError::TooManyFaults { max_faults, servers });
+        }
+        if readers == 0 && writers == 0 {
+            return Err(ConfigError::NoClients);
+        }
+        Ok(ClusterConfig {
+            servers,
+            max_faults,
+            readers,
+            writers,
+        })
+    }
+
+    /// Starts building a configuration fluently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwr_types::ClusterConfig;
+    ///
+    /// let c = ClusterConfig::builder()
+    ///     .servers(7)
+    ///     .max_faults(2)
+    ///     .readers(1)
+    ///     .writers(2)
+    ///     .build()?;
+    /// assert_eq!(c.quorum_size(), 5);
+    /// # Ok::<(), mwr_types::ConfigError>(())
+    /// ```
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
+    /// Number of servers `S`.
+    pub const fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Fault bound `t`: the number of servers that may crash.
+    pub const fn max_faults(&self) -> usize {
+        self.max_faults
+    }
+
+    /// Number of readers `R`.
+    pub const fn readers(&self) -> usize {
+        self.readers
+    }
+
+    /// Number of writers `W`.
+    pub const fn writers(&self) -> usize {
+        self.writers
+    }
+
+    /// The quorum size `S − t`: every round-trip waits for this many replies
+    /// so that it terminates despite `t` crashes (wait-freedom, §2.1).
+    pub const fn quorum_size(&self) -> usize {
+        self.servers - self.max_faults
+    }
+
+    /// Whether any two quorums of size `S − t` intersect, i.e. `t < S/2`,
+    /// equivalently `2t < S`. This is the classical requirement for the
+    /// two-round-trip emulations (Table 1, row W2R2).
+    pub const fn majority_quorums_intersect(&self) -> bool {
+        2 * self.max_faults < self.servers
+    }
+
+    /// The paper's fast-read feasibility condition `R < S/t − 2`, evaluated
+    /// exactly as `t·(R + 2) < S` to avoid integer-division pitfalls
+    /// (Table 1, row W2R1; §5).
+    ///
+    /// When `t = 0` no server ever crashes and the condition is vacuously
+    /// satisfied.
+    pub const fn fast_read_feasible(&self) -> bool {
+        self.max_faults == 0 || self.max_faults * (self.readers + 2) < self.servers
+    }
+
+    /// Whether this is a genuinely multi-writer configuration (`W ≥ 2`), the
+    /// setting of the paper's impossibility theorems.
+    pub const fn is_multi_writer(&self) -> bool {
+        self.writers >= 2
+    }
+
+    /// Iterates over all server identifiers `s1 … sS`.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.servers as u32).map(ServerId::new)
+    }
+
+    /// Iterates over all reader identifiers `r1 … rR`.
+    pub fn reader_ids(&self) -> impl Iterator<Item = ReaderId> + '_ {
+        (0..self.readers as u32).map(ReaderId::new)
+    }
+
+    /// Iterates over all writer identifiers `w1 … wW`.
+    pub fn writer_ids(&self) -> impl Iterator<Item = WriterId> + '_ {
+        (0..self.writers as u32).map(WriterId::new)
+    }
+
+    /// Total number of processes `S + R + W`.
+    pub const fn processes(&self) -> usize {
+        self.servers + self.readers + self.writers
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "S={} t={} R={} W={}",
+            self.servers, self.max_faults, self.readers, self.writers
+        )
+    }
+}
+
+/// Builder for [`ClusterConfig`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfigBuilder {
+    servers: usize,
+    max_faults: usize,
+    readers: usize,
+    writers: usize,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the number of servers `S`.
+    pub fn servers(&mut self, servers: usize) -> &mut Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Sets the fault bound `t`.
+    pub fn max_faults(&mut self, max_faults: usize) -> &mut Self {
+        self.max_faults = max_faults;
+        self
+    }
+
+    /// Sets the number of readers `R`.
+    pub fn readers(&mut self, readers: usize) -> &mut Self {
+        self.readers = readers;
+        self
+    }
+
+    /// Sets the number of writers `W`.
+    pub fn writers(&mut self, writers: usize) -> &mut Self {
+        self.writers = writers;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusterConfig::new`].
+    pub fn build(&self) -> Result<ClusterConfig, ConfigError> {
+        ClusterConfig::new(self.servers, self.max_faults, self.readers, self.writers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        assert_eq!(
+            ClusterConfig::new(1, 0, 1, 1),
+            Err(ConfigError::TooFewServers { servers: 1 })
+        );
+        assert_eq!(
+            ClusterConfig::new(3, 3, 1, 1),
+            Err(ConfigError::TooManyFaults { max_faults: 3, servers: 3 })
+        );
+        assert_eq!(ClusterConfig::new(3, 1, 0, 0), Err(ConfigError::NoClients));
+    }
+
+    #[test]
+    fn quorum_arithmetic() {
+        let c = ClusterConfig::new(7, 2, 3, 2).unwrap();
+        assert_eq!(c.quorum_size(), 5);
+        assert!(c.majority_quorums_intersect());
+
+        let c = ClusterConfig::new(4, 2, 1, 1).unwrap();
+        assert_eq!(c.quorum_size(), 2);
+        assert!(!c.majority_quorums_intersect()); // 2t = S
+    }
+
+    #[test]
+    fn fast_read_condition_matches_exact_inequality() {
+        // Paper: R < S/t − 2  ⟺  t(R+2) < S.
+        // S=5, t=1: feasible for R ≤ 2 (t(R+2) = R+2 < 5 ⟺ R < 3).
+        assert!(ClusterConfig::new(5, 1, 2, 2).unwrap().fast_read_feasible());
+        assert!(!ClusterConfig::new(5, 1, 3, 2).unwrap().fast_read_feasible());
+        // S=9, t=2: t(R+2) < 9 ⟺ R+2 < 4.5 ⟺ R ≤ 2.
+        assert!(ClusterConfig::new(9, 2, 2, 2).unwrap().fast_read_feasible());
+        assert!(!ClusterConfig::new(9, 2, 3, 2).unwrap().fast_read_feasible());
+        // t = 0: vacuously feasible.
+        assert!(ClusterConfig::new(2, 0, 100, 1).unwrap().fast_read_feasible());
+    }
+
+    #[test]
+    fn boundary_r_equals_s_over_t_minus_2_is_infeasible() {
+        // S=8, t=2 ⇒ S/t − 2 = 2; R = 2 must be infeasible (strict <).
+        assert!(!ClusterConfig::new(8, 2, 2, 2).unwrap().fast_read_feasible());
+        // R = 1 is feasible: 2·3 = 6 < 8.
+        assert!(ClusterConfig::new(8, 2, 1, 2).unwrap().fast_read_feasible());
+    }
+
+    #[test]
+    fn id_iterators_cover_all_processes() {
+        let c = ClusterConfig::new(3, 1, 2, 2).unwrap();
+        assert_eq!(c.server_ids().count(), 3);
+        assert_eq!(c.reader_ids().count(), 2);
+        assert_eq!(c.writer_ids().count(), 2);
+        assert_eq!(c.processes(), 7);
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let direct = ClusterConfig::new(5, 1, 2, 3).unwrap();
+        let built = ClusterConfig::builder()
+            .servers(5)
+            .max_faults(1)
+            .readers(2)
+            .writers(3)
+            .build()
+            .unwrap();
+        assert_eq!(direct, built);
+        assert_eq!(built.to_string(), "S=5 t=1 R=2 W=3");
+    }
+}

@@ -1,0 +1,277 @@
+//! Process identifiers for the three disjoint process sets of the system
+//! model (paper §2.1): servers `Σsv`, readers `Σrd` and writers `Σwr`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a zero-based index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use mwr_types::ServerId;
+            /// let s = ServerId::new(0);
+            /// assert_eq!(s.index(), 0);
+            /// ```
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the zero-based index backing this identifier.
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the index as a `usize`, convenient for slice access.
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Paper numbering is 1-based (s1..sS, r1..rR, w1..wW). The
+                // widening avoids overflow for sentinel indices like
+                // `u32::MAX` (used by forged Byzantine identities).
+                write!(f, concat!($prefix, "{}"), self.0 as u64 + 1)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a server replica (`s1 … sS` in the paper).
+    ServerId,
+    "s"
+);
+id_newtype!(
+    /// Identifier of a reading client (`r1 … rR` in the paper).
+    ReaderId,
+    "r"
+);
+id_newtype!(
+    /// Identifier of a writing client (`w1 … wW` in the paper).
+    ///
+    /// Writer identifiers are totally ordered; the multi-writer algorithms
+    /// break ties between equal timestamps using this order (paper §5.2).
+    WriterId,
+    "w"
+);
+
+/// A client process: either a reader or a writer.
+///
+/// Readers may only invoke `read()`; writers may only invoke `write(v)`
+/// (paper §2.1). The fast-read bookkeeping of Algorithm 2 stores `ClientId`s
+/// in per-value `updated` sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ClientId {
+    /// A reading client.
+    Reader(ReaderId),
+    /// A writing client.
+    Writer(WriterId),
+}
+
+impl ClientId {
+    /// Convenience constructor for a reader client.
+    pub const fn reader(index: u32) -> Self {
+        ClientId::Reader(ReaderId::new(index))
+    }
+
+    /// Convenience constructor for a writer client.
+    pub const fn writer(index: u32) -> Self {
+        ClientId::Writer(WriterId::new(index))
+    }
+
+    /// Returns the reader identifier if this client is a reader.
+    pub fn as_reader(self) -> Option<ReaderId> {
+        match self {
+            ClientId::Reader(r) => Some(r),
+            ClientId::Writer(_) => None,
+        }
+    }
+
+    /// Returns the writer identifier if this client is a writer.
+    pub fn as_writer(self) -> Option<WriterId> {
+        match self {
+            ClientId::Writer(w) => Some(w),
+            ClientId::Reader(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientId::Reader(r) => write!(f, "{r}"),
+            ClientId::Writer(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+impl From<ReaderId> for ClientId {
+    fn from(r: ReaderId) -> Self {
+        ClientId::Reader(r)
+    }
+}
+
+impl From<WriterId> for ClientId {
+    fn from(w: WriterId) -> Self {
+        ClientId::Writer(w)
+    }
+}
+
+/// Any process in the system: a server or a client.
+///
+/// The network layer of the simulator and the live runtime address messages
+/// by `ProcessId`. The topology of the paper's model (Fig 1) permits only
+/// client↔server links; `mwr-sim` rejects server↔server and client↔client
+/// sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcessId {
+    /// A server replica.
+    Server(ServerId),
+    /// A client (reader or writer).
+    Client(ClientId),
+}
+
+impl ProcessId {
+    /// Convenience constructor for a server process.
+    pub const fn server(index: u32) -> Self {
+        ProcessId::Server(ServerId::new(index))
+    }
+
+    /// Convenience constructor for a reader process.
+    pub const fn reader(index: u32) -> Self {
+        ProcessId::Client(ClientId::reader(index))
+    }
+
+    /// Convenience constructor for a writer process.
+    pub const fn writer(index: u32) -> Self {
+        ProcessId::Client(ClientId::writer(index))
+    }
+
+    /// Returns `true` if this process is a server.
+    pub fn is_server(self) -> bool {
+        matches!(self, ProcessId::Server(_))
+    }
+
+    /// Returns `true` if this process is a client (reader or writer).
+    pub fn is_client(self) -> bool {
+        matches!(self, ProcessId::Client(_))
+    }
+
+    /// Returns the server identifier if this process is a server.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            ProcessId::Server(s) => Some(s),
+            ProcessId::Client(_) => None,
+        }
+    }
+
+    /// Returns the client identifier if this process is a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            ProcessId::Client(c) => Some(c),
+            ProcessId::Server(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessId::Server(s) => write!(f, "{s}"),
+            ProcessId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<ServerId> for ProcessId {
+    fn from(s: ServerId) -> Self {
+        ProcessId::Server(s)
+    }
+}
+
+impl From<ClientId> for ProcessId {
+    fn from(c: ClientId) -> Self {
+        ProcessId::Client(c)
+    }
+}
+
+impl From<ReaderId> for ProcessId {
+    fn from(r: ReaderId) -> Self {
+        ProcessId::Client(ClientId::Reader(r))
+    }
+}
+
+impl From<WriterId> for ProcessId {
+    fn from(w: WriterId) -> Self {
+        ProcessId::Client(ClientId::Writer(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(ServerId::new(0).to_string(), "s1");
+        assert_eq!(ReaderId::new(1).to_string(), "r2");
+        assert_eq!(WriterId::new(2).to_string(), "w3");
+        assert_eq!(ProcessId::server(4).to_string(), "s5");
+        assert_eq!(ClientId::reader(0).to_string(), "r1");
+    }
+
+    #[test]
+    fn writer_ids_are_totally_ordered() {
+        let mut ws: Vec<WriterId> = (0..5).rev().map(WriterId::new).collect();
+        ws.sort();
+        let indices: Vec<u32> = ws.iter().map(|w| w.index()).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn client_id_accessors() {
+        let r = ClientId::reader(3);
+        let w = ClientId::writer(1);
+        assert_eq!(r.as_reader(), Some(ReaderId::new(3)));
+        assert_eq!(r.as_writer(), None);
+        assert_eq!(w.as_writer(), Some(WriterId::new(1)));
+        assert_eq!(w.as_reader(), None);
+    }
+
+    #[test]
+    fn process_id_accessors_and_conversions() {
+        let s: ProcessId = ServerId::new(2).into();
+        assert!(s.is_server());
+        assert!(!s.is_client());
+        assert_eq!(s.as_server(), Some(ServerId::new(2)));
+        assert_eq!(s.as_client(), None);
+
+        let r: ProcessId = ReaderId::new(0).into();
+        assert!(r.is_client());
+        assert_eq!(r.as_client(), Some(ClientId::reader(0)));
+    }
+
+    #[test]
+    fn readers_and_writers_are_distinct_clients() {
+        assert_ne!(ClientId::reader(0), ClientId::writer(0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Version tags `(ts, wid)` ordering the values written by multiple writers.
+//!
+//! The paper's multi-writer algorithms (§5.2) denote a written value by the
+//! pair `(ts, wi)` — a timestamp plus the writer's identifier — and order all
+//! values lexicographically: `(ts1, wi) < (ts2, wj) ⟺ ts1 < ts2 ∨ (ts1 = ts2
+//! ∧ wi < wj)`. The two-round-trip write ensures that non-concurrent writes
+//! get increasing timestamps, so equal timestamps imply concurrent writes and
+//! the writer-id tiebreak is safe (Lemma MWA0).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::WriterId;
+
+/// The writer component of a [`Tag`]: either the initial pseudo-writer `⊥`
+/// (no write has happened) or a real writer.
+///
+/// `⊥` orders strictly below every real writer, matching the paper's initial
+/// value `(0, ⊥)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum WriterSlot {
+    /// The initial pseudo-writer `⊥`; smaller than every real writer.
+    #[default]
+    Bottom,
+    /// A real writer.
+    Writer(WriterId),
+}
+
+impl fmt::Display for WriterSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriterSlot::Bottom => write!(f, "⊥"),
+            WriterSlot::Writer(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+impl From<WriterId> for WriterSlot {
+    fn from(w: WriterId) -> Self {
+        WriterSlot::Writer(w)
+    }
+}
+
+/// A totally ordered version tag `(ts, wid)`.
+///
+/// Tags are the backbone of every protocol in `mwr-core`: queries return the
+/// highest tag a quorum has seen, writes propose `(maxTS + 1, wi)`, and reads
+/// return the value attached to the winning tag.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_types::{Tag, WriterId};
+///
+/// let initial = Tag::initial();
+/// let w0 = Tag::new(1, WriterId::new(0));
+/// let w1 = Tag::new(1, WriterId::new(1));
+/// assert!(initial < w0);
+/// assert!(w0 < w1); // same timestamp: writer id breaks the tie
+/// assert_eq!(w1.next(WriterId::new(0)), Tag::new(2, WriterId::new(0)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tag {
+    ts: u64,
+    wid: WriterSlot,
+}
+
+impl Tag {
+    /// Creates a tag for a value written by `writer` at timestamp `ts`.
+    pub const fn new(ts: u64, writer: WriterId) -> Self {
+        Tag {
+            ts,
+            wid: WriterSlot::Writer(writer),
+        }
+    }
+
+    /// The initial tag `(0, ⊥)` carried by the register before any write.
+    pub const fn initial() -> Self {
+        Tag {
+            ts: 0,
+            wid: WriterSlot::Bottom,
+        }
+    }
+
+    /// Returns the timestamp component.
+    pub const fn ts(self) -> u64 {
+        self.ts
+    }
+
+    /// Returns the writer component.
+    pub const fn writer(self) -> WriterSlot {
+        self.wid
+    }
+
+    /// Returns `true` if this is the initial tag `(0, ⊥)`.
+    pub fn is_initial(self) -> bool {
+        self == Tag::initial()
+    }
+
+    /// The tag a writer proposes after observing this tag as the maximum:
+    /// `(ts + 1, writer)` (Algorithm 1, line 9).
+    #[must_use]
+    pub fn next(self, writer: WriterId) -> Tag {
+        Tag::new(self.ts + 1, writer)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.ts, self.wid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_tag_is_smallest() {
+        let init = Tag::initial();
+        assert!(init.is_initial());
+        assert!(init < Tag::new(0, WriterId::new(0)));
+        assert!(init < Tag::new(1, WriterId::new(7)));
+        assert_eq!(init, Tag::default());
+    }
+
+    #[test]
+    fn lexicographic_order_matches_paper_definition() {
+        // (ts1, wi) < (ts2, wj) iff ts1 < ts2 or (ts1 = ts2 and wi < wj).
+        let cases = [
+            (Tag::new(1, WriterId::new(5)), Tag::new(2, WriterId::new(0))),
+            (Tag::new(3, WriterId::new(0)), Tag::new(3, WriterId::new(1))),
+            (Tag::initial(), Tag::new(0, WriterId::new(0))),
+        ];
+        for (lo, hi) in cases {
+            assert!(lo < hi, "{lo} should be < {hi}");
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn next_increments_timestamp_and_takes_ownership_of_writer() {
+        let t = Tag::new(4, WriterId::new(1));
+        let n = t.next(WriterId::new(0));
+        assert_eq!(n.ts(), 5);
+        assert_eq!(n.writer(), WriterSlot::Writer(WriterId::new(0)));
+        assert!(n > t);
+    }
+
+    #[test]
+    fn display_renders_bottom() {
+        assert_eq!(Tag::initial().to_string(), "(0, ⊥)");
+        assert_eq!(Tag::new(2, WriterId::new(0)).to_string(), "(2, w1)");
+    }
+
+    #[test]
+    fn concurrent_writes_with_equal_ts_are_ordered_by_writer() {
+        // The correctness hinge of §5.2: equal ts values can only arise from
+        // concurrent writes, which the writer-id order may order arbitrarily.
+        let a = Tag::new(7, WriterId::new(0));
+        let b = Tag::new(7, WriterId::new(1));
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generation and measurement for `mwr` experiments.
+//!
+//! - [`run_closed_loop`] — closed-loop clients over the simulator, with
+//!   per-operation latency capture; the engine behind the latency figures
+//!   in `EXPERIMENTS.md`.
+//! - [`LatencyStats`] / [`LatencySummary`] — exact percentile statistics.
+//! - [`TextTable`] — aligned text tables the experiment binaries print.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwr_core::{Cluster, Protocol};
+//! use mwr_sim::SimTime;
+//! use mwr_types::ClusterConfig;
+//! use mwr_workload::{run_closed_loop, WorkloadSpec};
+//!
+//! let config = ClusterConfig::new(5, 1, 2, 2)?;
+//! let cluster = Cluster::new(config, Protocol::W2R1);
+//! let report = run_closed_loop(&cluster, WorkloadSpec::default())?;
+//! assert!(report.throughput_per_kilotick() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod stats;
+mod table;
+
+pub use driver::{
+    drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
+};
+pub use stats::{LatencyStats, LatencySummary};
+pub use table::TextTable;

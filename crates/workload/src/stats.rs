@@ -1,0 +1,189 @@
+//! Latency statistics.
+
+use std::fmt;
+
+use mwr_sim::SimTime;
+
+/// A collection of latency samples with exact percentile queries.
+///
+/// Experiment scales in this workspace are ≤ 10⁶ samples, so samples are
+/// stored exactly and sorted lazily; no bucketing error is introduced.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_sim::SimTime;
+/// use mwr_workload::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for t in [10, 20, 30, 40, 50] {
+///     stats.record(SimTime::from_ticks(t));
+/// }
+/// assert_eq!(stats.count(), 5);
+/// assert_eq!(stats.percentile(50.0), SimTime::from_ticks(30));
+/// assert_eq!(stats.max(), SimTime::from_ticks(50));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency.ticks());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sorted_samples(&mut self) -> &[u64] {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// The `p`-th percentile (nearest-rank), or zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let samples = self.sorted_samples();
+        if samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+        SimTime::from_ticks(samples[rank - 1])
+    }
+
+    /// The arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimTime::from_ticks((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The largest sample, or zero when empty.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_ticks(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The smallest sample, or zero when empty.
+    pub fn min(&self) -> SimTime {
+        SimTime::from_ticks(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// A one-line summary (count, mean, p50/p95/p99, max).
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max(),
+        }
+    }
+}
+
+/// A snapshot of the interesting latency aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: SimTime,
+    /// Median.
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99.0), SimTime::ZERO);
+        assert_eq!(s.mean(), SimTime::ZERO);
+        assert_eq!(s.max(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for t in 1..=100 {
+            s.record(SimTime::from_ticks(t));
+        }
+        assert_eq!(s.percentile(1.0), SimTime::from_ticks(1));
+        assert_eq!(s.percentile(50.0), SimTime::from_ticks(50));
+        assert_eq!(s.percentile(99.0), SimTime::from_ticks(99));
+        assert_eq!(s.percentile(100.0), SimTime::from_ticks(100));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut s = LatencyStats::new();
+        for t in [2, 4, 6] {
+            s.record(SimTime::from_ticks(t));
+        }
+        assert_eq!(s.min(), SimTime::from_ticks(2));
+        let sum = s.summary();
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.mean, SimTime::from_ticks(4));
+        assert_eq!(sum.max, SimTime::from_ticks(6));
+        assert!(sum.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn recording_after_query_resorts() {
+        let mut s = LatencyStats::new();
+        s.record(SimTime::from_ticks(10));
+        assert_eq!(s.percentile(50.0), SimTime::from_ticks(10));
+        s.record(SimTime::from_ticks(1));
+        assert_eq!(s.percentile(50.0), SimTime::from_ticks(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        LatencyStats::new().percentile(101.0);
+    }
+}

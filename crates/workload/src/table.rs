@@ -1,0 +1,116 @@
+//! Minimal aligned text tables for experiment output.
+
+use std::fmt;
+
+/// A text table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_workload::TextTable;
+///
+/// let mut t = TextTable::new(vec!["protocol", "verdict"]);
+/// t.row(vec!["W2R2".into(), "atomic".into()]);
+/// t.row(vec!["W1R2-MW".into(), "violation".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("W2R2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxxx".into(), "y".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The second column starts at the same offset in header and row.
+        let header_off = lines[0].find("long-header").unwrap();
+        let row_off = lines[2].find('y').unwrap();
+        assert_eq!(header_off, row_off, "{text}");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Almost-strong consistency: what you actually get from a fast,
+//! Cassandra-style tunable-quorum register — and how to measure it.
+//!
+//! The paper proves fast multi-writer writes can never be atomic
+//! (Theorem 1) and bounds fast reads by `R < S/t − 2`; its future work (§7)
+//! asks to *quantify* the inconsistency of fast implementations. This
+//! example runs the same contended workload through three configurations
+//! and prints each one's consistency class and staleness profile.
+//!
+//! Run with: `cargo run --example almost_strong`
+
+use mwr::almost::{ConsistencyProfile, TunableCluster, TunableSpec};
+use mwr::check::History;
+use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::sim::{DelayModel, SimTime};
+use mwr::types::{ClusterConfig, Value};
+
+/// A contended schedule: both writers and both readers fire every few
+/// ticks, with link delays long enough that rounds interleave.
+fn contended_schedule() -> Vec<(SimTime, ScheduledOp)> {
+    let mut ops = Vec::new();
+    let mut value = 0;
+    for i in 0..12u64 {
+        value += 1;
+        ops.push((
+            SimTime::from_ticks(i * 7),
+            ScheduledOp::Write { writer: (i % 2) as u32, value: Value::new(value) },
+        ));
+        ops.push((SimTime::from_ticks(i * 7 + 3), ScheduledOp::Read { reader: (i % 2) as u32 }));
+    }
+    ops
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ClusterConfig::new(5, 1, 2, 2)?;
+    let schedule = contended_schedule();
+    let delay = DelayModel::Uniform { lo: SimTime::from_ticks(2), hi: SimTime::from_ticks(25) };
+
+    println!("workload: 12 writes + 12 reads, interleaved, on {config}\n");
+
+    // --- 1. The fastest thing quorum stores offer: ONE/ONE, local tags. --
+    let fastest = TunableCluster::new(config, TunableSpec::fastest());
+    let mut worst_seed = None;
+    for seed in 1..=20u64 {
+        let mut sim = fastest.build_sim(seed);
+        sim.network_mut().set_default_delay(delay);
+        for (at, op) in &schedule {
+            fastest.schedule(&mut sim, *at, *op)?;
+        }
+        sim.run_until_quiescent()?;
+        let events = sim.drain_notifications();
+        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        if !profile.staleness.is_fresh() {
+            worst_seed = Some((seed, profile));
+            break;
+        }
+    }
+    match worst_seed {
+        Some((seed, profile)) => {
+            println!("ONE/ONE lww (both ops 1 RTT), seed {seed}:");
+            println!("  {profile}");
+            if let Some(worst) = profile.staleness.worst() {
+                println!(
+                    "  stalest read: {} returned {} but {} newer write(s) had completed",
+                    worst.op, worst.returned, worst.staleness
+                );
+            }
+        }
+        None => println!("ONE/ONE lww: no violation in 20 seeds (try a longer schedule)"),
+    }
+
+    // --- 2. Majority levels + read repair: better, still not atomic. -----
+    let repaired = TunableCluster::new(
+        config,
+        TunableSpec { read_repair: true, ..TunableSpec::quorum_lww() },
+    );
+    let mut stale_total = 0usize;
+    let mut reads_total = 0usize;
+    let mut weakest: Option<ConsistencyProfile> = None;
+    for seed in 1..=20u64 {
+        let mut sim = repaired.build_sim(seed);
+        sim.network_mut().set_default_delay(delay);
+        for (at, op) in &schedule {
+            repaired.schedule(&mut sim, *at, *op)?;
+        }
+        sim.run_until_quiescent()?;
+        let events = sim.drain_notifications();
+        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        stale_total += profile.staleness.stale_reads();
+        reads_total += profile.staleness.reads();
+        if weakest.as_ref().map_or(true, |w| profile.class < w.class) {
+            weakest = Some(profile);
+        }
+    }
+    println!("\nMAJ/MAJ lww + read repair (writes still 1 RTT), 20 seeds:");
+    println!(
+        "  {} of {} reads stale; weakest class observed: {}",
+        stale_total,
+        reads_total,
+        weakest.expect("at least one run").class
+    );
+
+    // --- 3. The paper's answer: W2R1 — atomic with 1-RTT reads. ----------
+    let w2r1 = Cluster::new(config, Protocol::W2R1);
+    let mut all_atomic = true;
+    for seed in 1..=20u64 {
+        let mut sim = w2r1.build_sim(seed);
+        sim.network_mut().set_default_delay(delay);
+        for (at, op) in &schedule {
+            w2r1.schedule(&mut sim, *at, *op)?;
+        }
+        sim.run_until_quiescent()?;
+        let events = sim.drain_notifications();
+        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        assert!(profile.staleness.is_fresh(), "W2R1 reads are always fresh");
+        all_atomic &= matches!(profile.class, mwr::almost::ConsistencyClass::Atomic);
+    }
+    println!("\nW2R1 (paper, writes 2 RTT, reads 1 RTT), 20 seeds:");
+    println!("  atomic in every run: {all_atomic} — the R < S/t − 2 fee buys freshness");
+
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Geo-replication scenario from the paper's motivation (§1): a quorum
+//! store spread over three regions, comparing the read latency of the
+//! classical W2R2 emulation against the paper's W2R1 fast read at equal
+//! (atomic) consistency.
+//!
+//! Run with: `cargo run --example geo_replication`
+
+use mwr::check::check_events;
+use mwr::core::{Cluster, Protocol};
+use mwr::sim::{GeoMatrix, SimTime};
+use mwr::types::{ClusterConfig, ProcessId};
+use mwr::workload::{run_closed_loop_customized, TextTable, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One-way latencies between three regions, in virtual ticks (~µs):
+    // local 2, nearby 40, far 120 — a US/EU/APAC feel.
+    let regions = vec![
+        vec![SimTime::from_ticks(2), SimTime::from_ticks(40), SimTime::from_ticks(120)],
+        vec![SimTime::from_ticks(40), SimTime::from_ticks(2), SimTime::from_ticks(80)],
+        vec![SimTime::from_ticks(120), SimTime::from_ticks(80), SimTime::from_ticks(2)],
+    ];
+
+    let config = ClusterConfig::new(5, 1, 2, 2)?;
+    println!("geo-replicated register, {config}; clients in region 0\n");
+
+    let mut table =
+        TextTable::new(vec!["protocol", "read p50", "read p99", "write p50", "atomic"]);
+    for protocol in [Protocol::W2R2, Protocol::W2R1] {
+        let cluster = Cluster::new(config, protocol);
+        let spec = WorkloadSpec {
+            duration: SimTime::from_ticks(25_000),
+            think_time: SimTime::from_ticks(120),
+            seed: 17,
+        };
+        let regions = regions.clone();
+        let mut report = run_closed_loop_customized(&cluster, spec, move |sim| {
+            let mut geo = GeoMatrix::new(regions);
+            let mut processes = Vec::new();
+            for (i, s) in config.server_ids().enumerate() {
+                geo.place(ProcessId::Server(s), i % 3);
+                processes.push(ProcessId::Server(s));
+            }
+            for r in config.reader_ids() {
+                geo.place(r.into(), 0);
+                processes.push(r.into());
+            }
+            for w in config.writer_ids() {
+                geo.place(w.into(), 0);
+                processes.push(w.into());
+            }
+            sim.network_mut().apply_geo_matrix(&geo, &processes, SimTime::from_ticks(5));
+        })?;
+        let atomic = check_events(&report.events)?.is_ok();
+        let (w, r) = report.summaries();
+        table.row(vec![
+            protocol.name().to_string(),
+            r.p50.to_string(),
+            r.p99.to_string(),
+            w.p50.to_string(),
+            atomic.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("Both protocols are atomic here (R < S/t − 2 holds); the fast read");
+    println!("pays one wide-area round-trip instead of two — roughly halving p50.");
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! Integration tests for `mwr-almost`: the tunable-quorum clients, the
+//! staleness quantification, and their agreement with the checkers of
+//! `mwr-check` — the executable form of the paper's §7 future work.
+
+use mwr::almost::{
+    ConsistencyClass, ConsistencyProfile, StalenessReport, TunableCluster, TunableSpec,
+};
+use mwr::check::History;
+use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::sim::{DelayModel, SimTime};
+use mwr::types::{ClusterConfig, ProcessId, Value};
+
+fn contended_schedule(rounds: u64) -> Vec<(SimTime, ScheduledOp)> {
+    let mut ops = Vec::new();
+    for i in 0..rounds {
+        ops.push((
+            SimTime::from_ticks(i * 7),
+            ScheduledOp::Write { writer: (i % 2) as u32, value: Value::new(i + 1) },
+        ));
+        ops.push((SimTime::from_ticks(i * 7 + 3), ScheduledOp::Read { reader: (i % 2) as u32 }));
+    }
+    ops
+}
+
+fn run_with_jitter(
+    cluster: &TunableCluster,
+    seed: u64,
+    schedule: &[(SimTime, ScheduledOp)],
+) -> History {
+    let mut sim = cluster.build_sim(seed);
+    sim.network_mut().set_default_delay(DelayModel::Uniform {
+        lo: SimTime::from_ticks(2),
+        hi: SimTime::from_ticks(25),
+    });
+    for (at, op) in schedule {
+        cluster.schedule(&mut sim, *at, *op).unwrap();
+    }
+    sim.run_until_quiescent().unwrap();
+    History::from_events(&sim.drain_notifications()).unwrap()
+}
+
+#[test]
+fn one_one_lww_exhibits_violations_under_contention() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let cluster = TunableCluster::new(config, TunableSpec::fastest());
+    let schedule = contended_schedule(12);
+    let mut any_anomaly = false;
+    let mut any_non_atomic = false;
+    for seed in 1..=25 {
+        let history = run_with_jitter(&cluster, seed, &schedule);
+        let profile = ConsistencyProfile::measure(&history);
+        any_anomaly |= !profile.staleness.anomaly_free();
+        any_non_atomic |= profile.class != ConsistencyClass::Atomic;
+    }
+    assert!(any_anomaly, "ONE/ONE LWW must surface anomalies under contention");
+    assert!(any_non_atomic, "ONE/ONE LWW must lose atomicity somewhere in 25 seeds");
+}
+
+#[test]
+fn majority_levels_guarantee_zero_staleness() {
+    // With read + write acks > S, a read's ack set intersects every
+    // completed write's ack set, and per-server maxima are monotone: the
+    // read's returned tag dominates every completed write. Staleness is
+    // structurally zero even though atomicity is NOT guaranteed.
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let schedule = contended_schedule(12);
+    for spec in [TunableSpec::quorum_lww(), TunableSpec::strong()] {
+        assert!(spec.quorums_intersect(&config));
+        let cluster = TunableCluster::new(config, spec);
+        for seed in 1..=15 {
+            let history = run_with_jitter(&cluster, seed, &schedule);
+            let report = StalenessReport::analyze(&history);
+            assert_eq!(report.max_staleness(), 0, "{spec}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn queried_tags_never_invert_write_order() {
+    // The two-round-trip tag discipline (the paper's §5.2) orders
+    // non-concurrent writes by construction — MWA0. Local LWW tags do not.
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let schedule = contended_schedule(12);
+    let strong = TunableCluster::new(config, TunableSpec::strong());
+    for seed in 1..=15 {
+        let history = run_with_jitter(&strong, seed, &schedule);
+        let report = StalenessReport::analyze(&history);
+        assert_eq!(report.write_order_violations(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn atomic_verdicts_imply_freshness_for_tag_disciplined_protocols() {
+    // For mwr-core protocols (tags respect real time, reads return settled
+    // values), the checkers' ATOMIC verdict implies the staleness report is
+    // clean — cross-validation between the two judgement layers.
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let schedule = contended_schedule(10);
+    for protocol in [Protocol::W2R2, Protocol::W2R1] {
+        let cluster = Cluster::new(config, protocol);
+        for seed in 1..=10 {
+            let mut sim = cluster.build_sim(seed);
+            sim.network_mut().set_default_delay(DelayModel::Uniform {
+                lo: SimTime::from_ticks(2),
+                hi: SimTime::from_ticks(25),
+            });
+            for (at, op) in &schedule {
+                cluster.schedule(&mut sim, *at, *op).unwrap();
+            }
+            sim.run_until_quiescent().unwrap();
+            let history = History::from_events(&sim.drain_notifications()).unwrap();
+            let profile = ConsistencyProfile::measure(&history);
+            assert_eq!(profile.class, ConsistencyClass::Atomic, "{protocol}, seed {seed}");
+            assert!(profile.staleness.anomaly_free(), "{protocol}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn read_repair_reduces_staleness_of_one_one() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let schedule = contended_schedule(12);
+    let mut stale_plain = 0usize;
+    let mut stale_repaired = 0usize;
+    for seed in 1..=25 {
+        let plain = run_with_jitter(
+            &TunableCluster::new(config, TunableSpec::fastest()),
+            seed,
+            &schedule,
+        );
+        let repaired = run_with_jitter(
+            &TunableCluster::new(config, TunableSpec::fastest_with_repair()),
+            seed,
+            &schedule,
+        );
+        stale_plain += StalenessReport::analyze(&plain).stale_reads();
+        stale_repaired += StalenessReport::analyze(&repaired).stale_reads();
+    }
+    assert!(
+        stale_repaired <= stale_plain,
+        "read repair must not increase staleness ({stale_repaired} vs {stale_plain})"
+    );
+    assert!(stale_plain > 0, "the baseline must exhibit staleness for the comparison to bind");
+}
+
+#[test]
+fn crashed_server_does_not_block_wait_free_levels() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let spec = TunableSpec::quorum_lww();
+    assert!(spec.wait_free(&config));
+    let cluster = TunableCluster::new(config, spec);
+    let mut sim = cluster.build_sim(3);
+    sim.schedule_crash(SimTime::ZERO, ProcessId::server(0));
+    for (at, op) in contended_schedule(6) {
+        cluster.schedule(&mut sim, at, op).unwrap();
+    }
+    sim.run_until_quiescent().unwrap();
+    let history = History::from_events(&sim.drain_notifications()).unwrap();
+    assert_eq!(history.len(), 12, "all ops complete despite the crash");
+}
+
+#[test]
+fn staleness_report_is_deterministic_per_seed() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let cluster = TunableCluster::new(config, TunableSpec::fastest());
+    let schedule = contended_schedule(8);
+    let a = StalenessReport::analyze(&run_with_jitter(&cluster, 9, &schedule));
+    let b = StalenessReport::analyze(&run_with_jitter(&cluster, 9, &schedule));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,119 @@
+//! Integration: the mechanized impossibility results line up with the
+//! feasibility conditions and with the implementations.
+
+use mwr::chains::fastread::{fig9_outcome, Fig9Outcome};
+use mwr::chains::sieve::sieve_chain;
+use mwr::chains::{
+    refute_strategy, verify_w1r2_impossibility, AlwaysOne, FirstServerRules, MajorityLastWrite,
+    RefutationKind, W1R2Strategy,
+};
+use mwr::types::ClusterConfig;
+
+/// Theorem 1 certificates verify for every small cluster size.
+#[test]
+fn w1r2_certificates_verify() {
+    for servers in 3..=10 {
+        let cert = verify_w1r2_impossibility(servers)
+            .unwrap_or_else(|e| panic!("S={servers}: {e}"));
+        assert_eq!(cert.cases.len(), 2 * servers);
+        assert!(cert.total_links() >= 2 * servers * (5 * (servers - 1) + 3));
+    }
+}
+
+/// Every example strategy is refuted, and the refutations are genuine
+/// atomicity violations (never the non-determinism escape hatch).
+#[test]
+fn every_example_strategy_is_refuted() {
+    let strategies: Vec<Box<dyn W1R2Strategy>> = vec![
+        Box::new(MajorityLastWrite),
+        Box::new(FirstServerRules),
+        Box::new(AlwaysOne),
+    ];
+    for servers in 3..=6 {
+        for strategy in &strategies {
+            let refutation = refute_strategy(servers, strategy.as_ref());
+            assert_ne!(
+                refutation.kind,
+                RefutationKind::NonDeterministic,
+                "{} at S={servers}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// The sieve composes with the chain argument whenever ≥ 3 servers
+/// survive, and flags the degenerate case otherwise.
+#[test]
+fn sieve_composes_with_chains() {
+    use std::collections::BTreeSet;
+    for servers in 4..=8 {
+        for affected in 0..servers {
+            let sigma1: BTreeSet<usize> = (0..affected).collect();
+            let report = sieve_chain(servers, &sigma1);
+            assert_eq!(report.sigma2.len(), servers - affected);
+            assert_eq!(report.viable, servers - affected >= 3);
+            assert_eq!(report.surviving_certificate().is_ok(), report.viable);
+        }
+    }
+}
+
+/// The Fig 9 engine and the paper's feasibility condition never disagree:
+/// a derived contradiction implies infeasibility (the engine is sound),
+/// and the constructive band `S ≤ (R+1)t` always yields one.
+#[test]
+fn fig9_engine_is_sound_and_constructively_complete() {
+    for s in 2..=10usize {
+        for t in 1..s {
+            for r in 1..=5usize {
+                let Ok(config) = ClusterConfig::new(s, t, r, 1) else { continue };
+                let outcome = fig9_outcome(s, t, r);
+                if let Fig9Outcome::Impossible(_) = &outcome {
+                    assert!(
+                        !config.fast_read_feasible(),
+                        "engine contradicted a feasible config S={s} t={t} R={r}"
+                    );
+                }
+                if s <= (r + 1) * t {
+                    assert!(
+                        matches!(outcome, Fig9Outcome::Impossible(_)),
+                        "constructive band must derive: S={s} t={t} R={r}: {outcome}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The W2R1 implementation and the impossibility engine partition the
+/// parameter space: wherever the engine derives a contradiction, the
+/// implementation's feasibility predicate must already say "no".
+#[test]
+fn implementation_and_impossibility_partition_the_space() {
+    for s in 3..=9usize {
+        for t in 1..=2usize {
+            if t >= s {
+                continue;
+            }
+            for r in 1..=4usize {
+                let Ok(config) = ClusterConfig::new(s, t, r, 2) else { continue };
+                let feasible = config.fast_read_feasible();
+                let derived = fig9_outcome(s, t, r).is_impossible();
+                assert!(
+                    !(feasible && derived),
+                    "S={s} t={t} R={r}: both feasible and impossible"
+                );
+            }
+        }
+    }
+}
+
+trait OutcomeExt {
+    fn is_impossible(&self) -> bool;
+}
+
+impl OutcomeExt for Fig9Outcome {
+    fn is_impossible(&self) -> bool {
+        matches!(self, Fig9Outcome::Impossible(_))
+    }
+}

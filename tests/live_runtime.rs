@@ -1,0 +1,91 @@
+//! Integration: the live runtime (threads + channels, threads + TCP) runs
+//! the same protocols with the same observable guarantees.
+
+use std::time::Duration;
+
+use mwr::core::Protocol;
+use mwr::runtime::{LiveCluster, RuntimeError, TcpCluster};
+use mwr::types::{ClusterConfig, TaggedValue, Value};
+
+#[test]
+fn read_your_writes_and_monotonic_reads_in_memory() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let cluster = LiveCluster::start(config, Protocol::W2R1);
+    let mut w0 = cluster.writer(0);
+    let mut w1 = cluster.writer(1);
+    let mut r0 = cluster.reader(0);
+    let mut r1 = cluster.reader(1);
+
+    let mut last_seen = TaggedValue::initial();
+    for round in 1..=10u64 {
+        let t0 = w0.write(Value::new(round * 10)).unwrap();
+        let t1 = w1.write(Value::new(round * 10 + 1)).unwrap();
+        assert!(t1 > t0, "two-round writes order sequential writes (MWA0)");
+        let a = r0.read().unwrap();
+        let b = r1.read().unwrap();
+        assert!(a >= t1, "read sees the last completed write (MWA2)");
+        assert!(b >= a, "sequential reads never regress (MWA4)");
+        assert!(b >= last_seen);
+        last_seen = b;
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn w2r2_and_w2r1_agree_over_tcp() {
+    for protocol in [Protocol::W2R2, Protocol::W2R1] {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let cluster = TcpCluster::start(config, protocol).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        for i in 1..=5u64 {
+            let written = w.write(Value::new(i)).unwrap();
+            let read = r.read().unwrap();
+            assert_eq!(read, written, "{protocol} over TCP");
+        }
+        assert!(cluster.shutdown() > 0);
+    }
+}
+
+#[test]
+fn interleaved_writers_over_tcp_keep_tag_order() {
+    let config = ClusterConfig::new(3, 1, 1, 2).unwrap();
+    let cluster = TcpCluster::start(config, Protocol::W2R1).unwrap();
+    let mut w0 = cluster.writer(0).unwrap();
+    let mut w1 = cluster.writer(1).unwrap();
+    let mut tags = Vec::new();
+    for i in 0..6u64 {
+        let t = if i % 2 == 0 {
+            w0.write(Value::new(i)).unwrap()
+        } else {
+            w1.write(Value::new(i)).unwrap()
+        };
+        tags.push(t);
+    }
+    for pair in tags.windows(2) {
+        assert!(pair[0] < pair[1], "sequential writes get increasing tags");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn liveness_boundary_at_t_crashes() {
+    let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+    let mut cluster = LiveCluster::start(config, Protocol::W2R1);
+    let mut w = cluster.writer(0);
+    let mut r = cluster.reader(0);
+
+    w.write(Value::new(1)).unwrap();
+    cluster.crash_server(2);
+    // t = 1 crash: still wait-free.
+    let tagged = w.write(Value::new(2)).unwrap();
+    assert_eq!(r.read().unwrap(), tagged);
+
+    // Beyond t: operations must block (and time out) rather than weaken
+    // consistency — the paper's premise that fast+atomic+fault-tolerant
+    // cannot all hold.
+    cluster.crash_server(3);
+    w.set_timeout(Duration::from_millis(150));
+    assert!(matches!(w.write(Value::new(3)), Err(RuntimeError::Timeout { .. })));
+    cluster.shutdown();
+}

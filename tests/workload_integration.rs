@@ -1,0 +1,68 @@
+//! Integration: closed-loop workloads stay atomic for endorsed protocols,
+//! and the latency ordering of Fig 2 holds under load.
+
+use mwr::check::{check_atomicity, History};
+use mwr::core::{Cluster, Protocol};
+use mwr::sim::SimTime;
+use mwr::types::ClusterConfig;
+use mwr::workload::{run_closed_loop, WorkloadSpec};
+
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        duration: SimTime::from_ticks(5_000),
+        think_time: SimTime::from_ticks(9),
+        seed,
+    }
+}
+
+#[test]
+fn endorsed_protocols_stay_atomic_under_sustained_load() {
+    for (protocol, writers) in [
+        (Protocol::W2R2, 2),
+        (Protocol::W2R1, 2),
+        (Protocol::AbdSwmrW1R2, 1),
+        (Protocol::DuttaSwmrW1R1, 1),
+    ] {
+        let config = ClusterConfig::new(5, 1, 2, writers).unwrap();
+        assert!(protocol.expected_atomic(&config));
+        let cluster = Cluster::new(config, protocol);
+        for seed in 0..5u64 {
+            let report = run_closed_loop(&cluster, spec(seed)).unwrap();
+            let history = History::from_events(&report.events).unwrap();
+            assert!(history.len() > 50, "{protocol}: enough load");
+            assert!(
+                check_atomicity(&history).is_ok(),
+                "{protocol} seed {seed} violated under load"
+            );
+        }
+    }
+}
+
+#[test]
+fn read_latency_orders_by_round_trips() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let mut w2r2 = run_closed_loop(&Cluster::new(config, Protocol::W2R2), spec(11)).unwrap();
+    let mut w2r1 = run_closed_loop(&Cluster::new(config, Protocol::W2R1), spec(11)).unwrap();
+    let slow = w2r2.reads.summary();
+    let fast = w2r1.reads.summary();
+    assert!(
+        fast.p50 < slow.p50,
+        "one-round reads must beat two-round reads: {fast} vs {slow}"
+    );
+    // Writes are two-round in both protocols: no material difference.
+    let sw = w2r2.writes.summary();
+    let fw = w2r1.writes.summary();
+    let ratio = fw.p50.ticks() as f64 / sw.p50.ticks().max(1) as f64;
+    assert!((0.5..=2.0).contains(&ratio), "write latency should be similar: {sw} vs {fw}");
+}
+
+#[test]
+fn throughput_scales_with_faster_reads() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let slow = run_closed_loop(&Cluster::new(config, Protocol::W2R2), spec(4)).unwrap();
+    let fast = run_closed_loop(&Cluster::new(config, Protocol::W2R1), spec(4)).unwrap();
+    assert!(
+        fast.throughput_per_kilotick() > slow.throughput_per_kilotick(),
+        "closed-loop throughput rises when reads take one round-trip"
+    );
+}

@@ -70,7 +70,7 @@ impl ByzBehavior {
             ByzBehavior::StaleReplier => Some(stale_version(reply)),
             ByzBehavior::TagInflater { boost } => Some(inflated_version(reply, boost)),
             ByzBehavior::Equivocator => {
-                if client_index(client) % 2 == 0 {
+                if client_index(client).is_multiple_of(2) {
                     Some(reply)
                 } else {
                     Some(stale_version(reply))

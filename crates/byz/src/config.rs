@@ -129,7 +129,7 @@ impl ByzConfig {
     /// Whether the construction is live *and* safe: two quorums share at
     /// least `2b + 1` servers (`S ≥ 4b + 1`, guaranteed by construction).
     pub fn masking_feasible(&self) -> bool {
-        2 * self.quorum_size() >= self.servers + 2 * self.byz + 1
+        2 * self.quorum_size() > self.servers + 2 * self.byz
     }
 
     /// The natural generalization of the paper's fast-read condition
@@ -172,7 +172,7 @@ mod tests {
         for (s, b, expected) in [(5, 1, 4), (9, 2, 7), (13, 3, 10), (4, 0, 4), (2, 0, 2)] {
             let c = ByzConfig::new(s, b, 1, 1).unwrap();
             assert_eq!(c.quorum_size(), expected, "S={s}, b={b}");
-            assert!(2 * c.quorum_size() - s >= 2 * b + 1);
+            assert!(2 * c.quorum_size() - s > 2 * b);
             assert!(c.masking_feasible());
         }
     }

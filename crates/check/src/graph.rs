@@ -181,8 +181,8 @@ impl BitMatrix {
             for i in 0..c.n {
                 if c.get(i, k) {
                     let base = i * c.words;
-                    for w in 0..c.words {
-                        c.rows[base + w] |= krow[w];
+                    for (w, &bits) in krow.iter().enumerate() {
+                        c.rows[base + w] |= bits;
                     }
                 }
             }
@@ -351,54 +351,54 @@ pub fn check_atomicity(history: &History) -> Verdict {
     }
 }
 
-/// Recovers a concrete cycle through `start` for the witness.
+/// Recovers a *shortest* concrete cycle through `start` for the witness.
+///
+/// BFS from `start` over the direct edges, stopping at the first dequeued
+/// node with an edge back to `start`; the parent chain reconstructs the
+/// cycle. O(V²) on the bitset adjacency — a path-enumerating DFS here is
+/// exponential on the dense contradiction graphs that non-atomic
+/// high-contention histories produce, and shortest witnesses read better
+/// anyway.
 fn extract_cycle(edges: &BitMatrix, start: usize, ops: &[&Operation]) -> Vec<WitnessNode> {
-    // Iterative DFS from `start` looking for a path back to `start`.
     let n = edges.n;
-    let mut stack = vec![(start, 0usize)];
-    let mut path = vec![start];
-    let mut on_path = vec![false; n];
-    on_path[start] = true;
-    while let Some((v, next)) = stack.last_mut() {
-        let v = *v;
-        let mut advanced = false;
-        for j in *next..n {
-            *next = j + 1;
-            if !edges.get(v, j) {
-                continue;
-            }
-            if j == start {
-                return path
-                    .iter()
-                    .map(|&i| {
-                        if i == 0 {
-                            WitnessNode::InitialWrite
-                        } else {
-                            WitnessNode::Op(ops[i - 1].id)
-                        }
-                    })
-                    .collect();
-            }
-            if !on_path[j] {
-                on_path[j] = true;
-                path.push(j);
-                stack.push((j, 0));
-                advanced = true;
-                break;
-            }
-        }
-        if !advanced {
-            let last = stack.pop().map(|(v, _)| v);
-            if let Some(last) = last {
-                if path.last() == Some(&last) {
-                    path.pop();
-                    on_path[last] = false;
+    let as_witness = |path: &[usize]| {
+        path.iter()
+            .map(|&i| {
+                if i == 0 {
+                    WitnessNode::InitialWrite
+                } else {
+                    WitnessNode::Op(ops[i - 1].id)
                 }
+            })
+            .collect()
+    };
+    let mut parent = vec![usize::MAX; n];
+    parent[start] = start;
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        if v != start && edges.get(v, start) {
+            // Reconstruct start → … → v; the edge v → start closes it.
+            let mut path = vec![v];
+            let mut at = v;
+            while at != start {
+                at = parent[at];
+                path.push(at);
+            }
+            path.reverse();
+            return as_witness(&path);
+        }
+        // `j` is a graph-node id probed through the bitset, not a slice
+        // traversal.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..n {
+            if edges.get(v, j) && parent[j] == usize::MAX {
+                parent[j] = v;
+                queue.push_back(j);
             }
         }
     }
-    // The caller only invokes this when a cycle exists in the closure; a
-    // cycle through `start` must therefore be discoverable.
+    // The caller only invokes this when the closure has `start ⇝ start`, so
+    // a cycle through `start` must have been found above.
     vec![WitnessNode::InitialWrite]
 }
 

@@ -221,8 +221,8 @@ mod tests {
                     let mut clock = rng.gen_range(0..20);
                     for k in 0..*count {
                         let start = clock;
-                        let end = start + rng.gen_range(1..15);
-                        clock = end + rng.gen_range(1..10);
+                        let end = start + rng.gen_range(1u64..15);
+                        clock = end + rng.gen_range(1u64..10);
                         let tag = tv(k as u64 + 1, w as u32, rng.gen_range(0..100));
                         tags.push(tag);
                         ops.push(write(w as u32, k as u64, tag, start, end));
@@ -232,8 +232,8 @@ mod tests {
                     let mut clock = rng.gen_range(0..20);
                     for k in 0..*count {
                         let start = clock;
-                        let end = start + rng.gen_range(1..15);
-                        clock = end + rng.gen_range(1..10);
+                        let end = start + rng.gen_range(1u64..15);
+                        clock = end + rng.gen_range(1u64..10);
                         let tag = tags[rng.gen_range(0..tags.len())];
                         ops.push(read(r as u32, k as u64, tag, start, end));
                     }

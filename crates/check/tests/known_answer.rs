@@ -1,0 +1,130 @@
+//! Known-answer tests: tiny hand-written histories with verdicts derivable
+//! on paper, pinning the graph checker, the Wing–Gong oracle, and the
+//! MWA judge to each other and to the definitions.
+
+use mwr_check::{check_atomicity, check_mwa, search_atomicity, History, MwaViolation, Operation, Timestamp};
+use mwr_core::{OpId, OpKind, OpResult};
+use mwr_sim::SimTime;
+use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp { time: SimTime::from_ticks(t), seq: t }
+}
+
+fn tv(ts_: u64, w: u32, v: u64) -> TaggedValue {
+    TaggedValue::new(Tag::new(ts_, WriterId::new(w)), Value::new(v))
+}
+
+fn write(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+    Operation {
+        id: OpId { client: ClientId::writer(client), seq },
+        kind: OpKind::Write(val.value()),
+        result: OpResult::Written(val),
+        invoked: ts(s),
+        completed: ts(f),
+    }
+}
+
+fn read(client: u32, seq: u64, val: TaggedValue, s: u64, f: u64) -> Operation {
+    Operation {
+        id: OpId { client: ClientId::reader(client), seq },
+        kind: OpKind::Read,
+        result: OpResult::Read(val),
+        invoked: ts(s),
+        completed: ts(f),
+    }
+}
+
+/// Sequential writes, each read returning the latest completed write, with
+/// one read overlapping a write and legally returning the older value.
+fn atomic_history() -> History {
+    let v1 = tv(1, 0, 10);
+    let v2 = tv(2, 1, 20);
+    History::from_operations(vec![
+        write(0, 0, v1, 0, 10),
+        read(0, 0, v1, 12, 18),
+        // Overlaps the second write; returning the pre-state is atomic.
+        read(1, 0, v1, 19, 27),
+        write(1, 0, v2, 20, 30),
+        read(0, 1, v2, 32, 40),
+        read(1, 1, v2, 42, 50),
+    ])
+    .expect("well-formed")
+}
+
+/// The canonical new/old inversion: reader 1 sees the new value, then
+/// reader 2 — strictly later — sees the old one. The inverting write is
+/// still open, so MWA2 (read after a *completed* write) does not bind and
+/// the violation is exactly MWA4.
+fn new_old_inversion_mwa4() -> History {
+    let v1 = tv(1, 0, 10);
+    let v2 = tv(2, 1, 20);
+    History::from_operations(vec![
+        write(0, 0, v1, 0, 10),
+        write(1, 0, v2, 20, 100), // open past both reads
+        read(0, 0, v2, 30, 40),   // new…
+        read(1, 0, v1, 50, 60),   // …then old: inversion
+    ])
+    .expect("well-formed")
+}
+
+/// The same inversion, but the newer write completes before the stale
+/// read, so the first violated obligation is MWA2.
+fn new_old_inversion_mwa2() -> History {
+    let v1 = tv(1, 0, 10);
+    let v2 = tv(2, 1, 20);
+    History::from_operations(vec![
+        write(0, 0, v1, 0, 10),
+        write(1, 0, v2, 20, 30),
+        read(0, 0, v2, 32, 40),
+        read(1, 0, v1, 50, 60),
+    ])
+    .expect("well-formed")
+}
+
+#[test]
+fn hand_written_atomic_history_passes_every_judge() {
+    let h = atomic_history();
+    assert!(check_atomicity(&h).is_ok(), "graph checker");
+    assert!(search_atomicity(&h).is_ok(), "exhaustive oracle");
+    assert!(check_mwa(&h).is_ok(), "MWA0–MWA4");
+}
+
+#[test]
+fn new_old_inversion_fails_atomicity_and_mwa4() {
+    let h = new_old_inversion_mwa4();
+    assert!(!check_atomicity(&h).is_ok(), "graph checker must reject");
+    assert!(!search_atomicity(&h).is_ok(), "oracle must reject");
+    assert!(
+        matches!(check_mwa(&h), Err(MwaViolation::Mwa4 { .. })),
+        "expected MWA4, got {:?}",
+        check_mwa(&h)
+    );
+}
+
+#[test]
+fn completed_write_turns_the_inversion_into_mwa2() {
+    let h = new_old_inversion_mwa2();
+    assert!(!check_atomicity(&h).is_ok());
+    assert!(!search_atomicity(&h).is_ok());
+    assert!(
+        matches!(check_mwa(&h), Err(MwaViolation::Mwa2 { .. })),
+        "expected MWA2, got {:?}",
+        check_mwa(&h)
+    );
+}
+
+#[test]
+fn mwa_and_atomicity_verdicts_match_on_all_known_answers() {
+    // For tag-disciplined histories the MWA obligations imply atomicity and
+    // vice versa; the three known answers must agree judge-for-judge.
+    for (history, expect_ok) in [
+        (atomic_history(), true),
+        (new_old_inversion_mwa4(), false),
+        (new_old_inversion_mwa2(), false),
+    ] {
+        assert_eq!(check_atomicity(&history).is_ok(), expect_ok, "graph: {history}");
+        assert_eq!(search_atomicity(&history).is_ok(), expect_ok, "oracle: {history}");
+        assert_eq!(check_mwa(&history).is_ok(), expect_ok, "mwa: {history}");
+    }
+}

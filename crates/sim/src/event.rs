@@ -52,7 +52,7 @@ impl LinkSelector {
 
     /// Whether this selector matches the directed link `from → to`.
     pub fn matches(&self, from: ProcessId, to: ProcessId) -> bool {
-        self.from.map_or(true, |f| f == from) && self.to.map_or(true, |t| t == to)
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
     }
 }
 

@@ -128,7 +128,17 @@ pub struct Simulation<M, N> {
     automata: BTreeMap<ProcessId, Box<dyn Automaton<M, N>>>,
     network: Network,
     parked: Vec<ParkedMsg<M>>,
+    seed: u64,
     rng: SmallRng,
+    /// One independent delay stream per directed link (lazily created).
+    ///
+    /// Sampling per-link rather than from the shared engine RNG means the
+    /// traffic on one link can never perturb the delays drawn on another:
+    /// adding or removing messages between a disjoint pair of processes
+    /// leaves every other link's delay sequence bit-identical. Paired
+    /// experiments (same seed, protocol variants differing only in extra
+    /// messages) stay comparable.
+    link_rngs: BTreeMap<(ProcessId, ProcessId), SmallRng>,
     next_timer_id: u64,
     notifications: Vec<(SimTime, N)>,
     trace: Option<Trace>,
@@ -167,7 +177,9 @@ impl<M: Clone + fmt::Debug, N> Simulation<M, N> {
             automata: BTreeMap::new(),
             network: Network::new(topology),
             parked: Vec::new(),
+            seed,
             rng: SmallRng::seed_from_u64(seed),
+            link_rngs: BTreeMap::new(),
             next_timer_id: 0,
             notifications: Vec::new(),
             trace: None,
@@ -444,9 +456,25 @@ impl<M: Clone + fmt::Debug, N> Simulation<M, N> {
             self.parked.push(ParkedMsg { from, to, msg });
             self.stats.messages_parked += 1;
         } else {
-            let delay = self.network.delay_for(from, to).sample(&mut self.rng);
+            let model = self.network.delay_for(from, to);
+            let delay = model.sample(self.link_rng(from, to));
             self.push_event(self.now + delay, EventKind::Deliver { from, to, msg });
         }
+    }
+
+    /// The delay stream of the directed link `from → to`, derived from the
+    /// run seed and the link identity alone (see the field docs on
+    /// `link_rngs` for why delays are not drawn from the shared RNG).
+    fn link_rng(&mut self, from: ProcessId, to: ProcessId) -> &mut SmallRng {
+        let seed = self.seed;
+        self.link_rngs.entry((from, to)).or_insert_with(|| {
+            let mut h = seed ^ 0x6c77_6c69_6e6b_7321; // "lwlink s!" domain tag
+            for word in [process_key(from), process_key(to)] {
+                h ^= word;
+                h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(23);
+            }
+            SmallRng::seed_from_u64(h)
+        })
     }
 
     fn reinject_parked(&mut self) {
@@ -456,7 +484,8 @@ impl<M: Clone + fmt::Debug, N> Simulation<M, N> {
             if self.network.is_held(p.from, p.to) {
                 still_parked.push(p);
             } else {
-                let delay = self.network.delay_for(p.from, p.to).sample(&mut self.rng);
+                let model = self.network.delay_for(p.from, p.to);
+                let delay = model.sample(self.link_rng(p.from, p.to));
                 self.push_event(
                     self.now + delay,
                     EventKind::Deliver { from: p.from, to: p.to, msg: p.msg },
@@ -470,6 +499,19 @@ impl<M: Clone + fmt::Debug, N> Simulation<M, N> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { at: at.max(self.now), seq, kind }));
+    }
+}
+
+
+/// A stable 64-bit key for a process identity, used to derive per-link
+/// delay streams.
+fn process_key(p: ProcessId) -> u64 {
+    match p {
+        ProcessId::Server(s) => u64::from(s.index()),
+        ProcessId::Client(c) => match c {
+            mwr_types::ClientId::Reader(r) => (1 << 32) | u64::from(r.index()),
+            mwr_types::ClientId::Writer(w) => (2 << 32) | u64::from(w.index()),
+        },
     }
 }
 

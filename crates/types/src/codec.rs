@@ -417,6 +417,23 @@ mod tests {
         }
 
         #[test]
+        fn prop_composite_with_bottom_tags_round_trips(
+            raw in proptest::collection::vec((0u64..100, 0u32..8, any::<bool>(), 0u64..1000), 0..16),
+        ) {
+            // Mixed payload exercising every branch of the Tag encoding,
+            // including the (0, ⊥) bottom discriminant, nested in the
+            // length-prefixed Vec and Option codecs.
+            let values: Vec<Option<TaggedValue>> = raw
+                .iter()
+                .map(|&(ts, w, bottom, payload)| {
+                    let tag = if bottom { Tag::initial() } else { Tag::new(ts, WriterId::new(w)) };
+                    (payload % 3 != 0).then_some(TaggedValue::new(tag, Value::new(payload)))
+                })
+                .collect();
+            round_trip(&values);
+        }
+
+        #[test]
         fn prop_vec_of_process_ids_round_trips(ids in proptest::collection::vec(0u32..100, 0..20)) {
             let v: Vec<ProcessId> = ids
                 .iter()

@@ -167,4 +167,76 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.max(b), b);
     }
+
+    mod order_properties {
+        //! Fast-path property tests: `Tag`'s `Ord` is the total order the
+        //! protocols rely on (every quorum max, admissibility check, and
+        //! checker verdict reduces to tag comparisons).
+
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_tag() -> impl Strategy<Value = Tag> {
+            (0u64..50, 0u32..8, any::<bool>()).prop_map(|(ts, w, bottom)| {
+                if bottom {
+                    Tag::initial()
+                } else {
+                    Tag::new(ts, WriterId::new(w))
+                }
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn totality(a in arb_tag(), b in arb_tag()) {
+                // Exactly one of <, ==, > holds.
+                let relations =
+                    [a < b, a == b, a > b].iter().filter(|&&r| r).count();
+                prop_assert_eq!(relations, 1);
+            }
+
+            #[test]
+            fn antisymmetry(a in arb_tag(), b in arb_tag()) {
+                if a <= b && b <= a {
+                    prop_assert_eq!(a, b);
+                }
+            }
+
+            #[test]
+            fn transitivity(a in arb_tag(), b in arb_tag(), c in arb_tag()) {
+                let (x, y, z) = {
+                    let mut v = [a, b, c];
+                    v.sort();
+                    (v[0], v[1], v[2])
+                };
+                prop_assert!(x <= y && y <= z && x <= z);
+            }
+
+            #[test]
+            fn order_is_lexicographic_with_writer_tiebreak(
+                a in arb_tag(),
+                b in arb_tag(),
+            ) {
+                // The paper's definition, restated independently of the
+                // derived impl: ts first, writer slot (⊥ smallest) second.
+                let expected = a.ts().cmp(&b.ts()).then(a.writer().cmp(&b.writer()));
+                prop_assert_eq!(a.cmp(&b), expected);
+            }
+
+            #[test]
+            fn bottom_is_the_unique_minimum(a in arb_tag()) {
+                prop_assert!(Tag::initial() <= a);
+                if a != Tag::initial() {
+                    prop_assert!(Tag::initial() < a);
+                }
+            }
+
+            #[test]
+            fn next_is_strictly_increasing(a in arb_tag(), w in 0u32..8) {
+                // Algorithm 1 line 9: the proposed tag dominates the
+                // observed maximum regardless of writer ids.
+                prop_assert!(a.next(WriterId::new(w)) > a);
+            }
+        }
+    }
 }

@@ -88,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
         stale_total += profile.staleness.stale_reads();
         reads_total += profile.staleness.reads();
-        if weakest.as_ref().map_or(true, |w| profile.class < w.class) {
+        if weakest.as_ref().is_none_or(|w| profile.class < w.class) {
             weakest = Some(profile);
         }
     }

@@ -37,7 +37,7 @@ fn adaptive_reads_survive_a_crash_at_every_instant() {
     let cluster = Cluster::new(config, Protocol::W2Ra);
     let ops = schedule(5, 3);
     for crash_at in (0..60).step_by(7) {
-        let mut sim = cluster.build_sim(crash_at as u64 + 1);
+        let mut sim = cluster.build_sim(crash_at + 1);
         sim.schedule_crash(SimTime::from_ticks(crash_at), ProcessId::server(0));
         for (at, op) in &ops {
             cluster.schedule(&mut sim, *at, *op).unwrap();

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Accepts the real crate's bench-authoring API (`criterion_group!`,
+//! `criterion_main!`, groups, `BenchmarkId`, `Bencher::iter`) so the bench
+//! sources compile unchanged, and runs each benchmark as a short
+//! warm-up + timed loop, printing mean wall-clock per iteration. There is
+//! no statistics engine, HTML report, or regression store; when run with
+//! `--test` (as `cargo test` does for bench targets) each benchmark
+//! executes exactly one iteration.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (std's hint on recent Rust).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Puts the driver in smoke-test mode: one iteration per benchmark.
+    #[doc(hidden)]
+    pub fn test_mode(mut self) -> Self {
+        self.test_mode = true;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Registers and immediately runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id.id, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let crit =
+            Criterion { sample_size: self.sample_size.unwrap_or(self.criterion.sample_size), ..self.criterion.clone() };
+        run_one(&crit, Some(&self.name), &id.id, &mut f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(crit: &Criterion, group: Option<&str>, id: &str, f: &mut F) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if crit.test_mode {
+        let mut b = Bencher { iters: 1, total: Duration::ZERO };
+        f(&mut b);
+        println!("test-mode {label}: ok");
+        return;
+    }
+    // Warm-up: run single iterations until the warm-up budget elapses, and
+    // estimate a per-iteration cost for sizing the measured batch.
+    let warm_start = Instant::now();
+    let mut warm_iters: u32 = 0;
+    let mut b = Bencher { iters: 1, total: Duration::ZERO };
+    while warm_start.elapsed() < crit.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1);
+    // Measure: `sample_size` samples within the measurement budget.
+    let budget_per_sample = crit.measurement_time / crit.sample_size as u32;
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let measure_start = Instant::now();
+    for _ in 0..crit.sample_size {
+        let mut b = Bencher { iters, total: Duration::ZERO };
+        f(&mut b);
+        let mean = b.total / iters as u32;
+        best = best.min(mean);
+        worst = worst.max(mean);
+        total += b.total;
+        if measure_start.elapsed() > crit.measurement_time * 4 {
+            break;
+        }
+    }
+    let mean = total / (crit.sample_size as u32 * iters as u32).max(1);
+    println!("bench {label}: mean {mean:?} (best {best:?}, worst {worst:?}, {iters} iters/sample)");
+}
+
+/// Declares a group of benchmark functions, in both the list and the
+/// `name/config/targets` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            if ::std::env::args().any(|a| a == "--test") {
+                criterion = criterion.test_mode();
+            }
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

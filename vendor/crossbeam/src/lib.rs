@@ -1,0 +1,67 @@
+//! Offline stand-in for `crossbeam` — just the `channel` module.
+//!
+//! Multi-producer multi-consumer channels built on `Mutex` + `Condvar`,
+//! with crossbeam's disconnect semantics: sends fail once every receiver is
+//! gone, receives fail once the queue is empty and every sender is gone.
+//! The [`select!`] macro supports `recv(rx) -> pat => body` arms only (the
+//! only form this workspace uses) and is implemented by polling with a
+//! short sleep rather than by parking on multiple queues — adequate for the
+//! live-runtime tests, not tuned for microsecond fairness.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+
+/// Selects over `recv` arms by polling each receiver in turn, parking on
+/// the first arm's channel between rounds.
+///
+/// Supported arm form: `recv(receiver_expr) -> pattern => body`. The bound
+/// value is a `Result<T, RecvError>`: `Err` when that channel is
+/// disconnected and drained, mirroring crossbeam. A message on the *first*
+/// arm wakes the select immediately (condvar); other arms are observed
+/// within the 200µs re-poll bound — so put the hot channel first, as
+/// server loops naturally do.
+#[macro_export]
+macro_rules! select {
+    (@arms [$($done:tt)*] recv($rx:expr) -> $pat:pat => $body:block $($rest:tt)*) => {
+        $crate::select!(@arms [$($done)* {($rx) ($pat) ($body)}] $($rest)*)
+    };
+    (@arms [$($done:tt)*] recv($rx:expr) -> $pat:pat => $body:expr, $($rest:tt)*) => {
+        $crate::select!(@arms [$($done)* {($rx) ($pat) ($body)}] $($rest)*)
+    };
+    (@arms [$($done:tt)*] recv($rx:expr) -> $pat:pat => $body:expr) => {
+        $crate::select!(@arms [$($done)* {($rx) ($pat) ($body)}])
+    };
+    (@arms [{($rx0:expr) ($pat0:pat) ($body0:expr)} $({($rx:expr) ($pat:pat) ($body:expr)})*]) => {
+        loop {
+            if let ::std::option::Option::Some(__select_res) =
+                $crate::channel::poll_for_select(&$rx0)
+            {
+                let $pat0 = __select_res;
+                // A diverging arm body (e.g. `return`) makes the break
+                // itself unreachable; that is expected, not a bug.
+                #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                {
+                    break { $body0 };
+                }
+            }
+            $(
+                if let ::std::option::Option::Some(__select_res) =
+                    $crate::channel::poll_for_select(&$rx)
+                {
+                    let $pat = __select_res;
+                    #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                    {
+                        break { $body };
+                    }
+                }
+            )*
+            // Nothing ready: park on the first arm (woken instantly by its
+            // senders), re-polling the rest at least every 200µs.
+            ($rx0).wait_ready(::std::time::Duration::from_micros(200));
+        }
+    };
+    ($($arms:tt)+) => {
+        $crate::select!(@arms [] $($arms)+)
+    };
+}

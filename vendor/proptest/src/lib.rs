@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use, with the same
+//! call syntax as the real crate:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, [`strategy::Just`], and boxed unions;
+//! - [`collection::vec`] with exact, `Range`, and `RangeInclusive` sizes;
+//! - [`arbitrary::any`] for the primitive types;
+//! - the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], and [`prop_oneof!`] macros;
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from the real crate: generation is a fixed deterministic
+//! stream per test (no `PROPTEST_` env handling, no persisted regressions)
+//! and failing cases are reported **without shrinking** — the full
+//! generated input is printed instead.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests over generated inputs.
+///
+/// Accepts the real crate's syntax: an optional
+/// `#![proptest_config(expr)]`, then `#[test]` functions whose parameters
+/// are either `name in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::proptest!(@parse ($cfg, $name) [$($params)*] [] [] $body);
+            }
+        )*
+    };
+    // Parameter muncher: accumulate `(pattern)` and `(strategy)` lists.
+    (@parse ($cfg:expr, $fname:ident) [$n:ident in $s:expr] [$($pats:tt)*] [$($strats:tt)*] $body:block) => {
+        $crate::proptest!(@parse ($cfg, $fname) [] [$($pats)* ($n)] [$($strats)* ($s)] $body);
+    };
+    (@parse ($cfg:expr, $fname:ident) [$n:ident in $s:expr, $($rest:tt)*] [$($pats:tt)*] [$($strats:tt)*] $body:block) => {
+        $crate::proptest!(@parse ($cfg, $fname) [$($rest)*] [$($pats)* ($n)] [$($strats)* ($s)] $body);
+    };
+    (@parse ($cfg:expr, $fname:ident) [$n:ident : $t:ty] [$($pats:tt)*] [$($strats:tt)*] $body:block) => {
+        $crate::proptest!(@parse ($cfg, $fname) [] [$($pats)* ($n)]
+            [$($strats)* ($crate::arbitrary::any::<$t>())] $body);
+    };
+    (@parse ($cfg:expr, $fname:ident) [$n:ident : $t:ty, $($rest:tt)*] [$($pats:tt)*] [$($strats:tt)*] $body:block) => {
+        $crate::proptest!(@parse ($cfg, $fname) [$($rest)*] [$($pats)* ($n)]
+            [$($strats)* ($crate::arbitrary::any::<$t>())] $body);
+    };
+    (@parse ($cfg:expr, $fname:ident) [] [$(($pat:ident))+] [$(($strat:expr))+] $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let __strategy = ($($strat,)+);
+        // Seed from the full test identity, not the parameter names alone:
+        // distinct tests sharing a parameter list must not share a sample
+        // stream, or they all test the exact same generated inputs.
+        let mut __rng = $crate::test_runner::TestRng::deterministic(
+            concat!(module_path!(), "::", stringify!($fname), "(", stringify!($($pat)+), ")"),
+        );
+        for __case in 0..__config.cases {
+            let __inputs = $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+            let __described = format!("{:?}", __inputs);
+            let ($($pat,)+) = __inputs;
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            if let ::std::result::Result::Err(e) = __outcome {
+                panic!(
+                    "proptest case {}/{} failed: {}\ninputs ({}): {}",
+                    __case + 1,
+                    __config.cases,
+                    e,
+                    stringify!(($($pat),+)),
+                    __described,
+                );
+            }
+        }
+    }};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current property test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed: {} == {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current property test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "assertion failed: {} != {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{}\n  both: {:?}", format!($($fmt)+), __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Chooses uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

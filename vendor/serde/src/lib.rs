@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op [`Serialize`]/[`Deserialize`] derive macros and defines
+//! same-named marker traits, so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` both compile unchanged. Nothing in
+//! this workspace serializes through serde — the wire format is the explicit
+//! codec in `mwr-types` — so no methods are needed.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de>: Sized {}

@@ -130,7 +130,12 @@ impl TunableClient {
                     *local_ts += 1;
                     let value = TaggedValue::new(Tag::new(*local_ts, *id), v);
                     let handle = OpHandle { op, phase: 1 };
-                    ctx.broadcast_to_servers(servers, Msg::Update { handle, value });
+                    ctx.broadcast_to_servers(
+                        servers,
+                        // Almost-consistency clusters never enable GC; the
+                        // floor piggyback stays inert.
+                        Msg::Update { handle, value, floor: TaggedValue::initial() },
+                    );
                     Phase::WriteUpdate { value, acks: BTreeSet::new() }
                 }
                 WriteTagging::Queried { .. } => {
@@ -179,7 +184,11 @@ impl TunableClient {
                     let handle = OpHandle { op: inflight.op, phase: 2 };
                     inflight.phase_no = 2;
                     inflight.phase = Phase::WriteUpdate { value: tagged, acks: BTreeSet::new() };
-                    return Some(AckAction::Broadcast(Msg::Update { handle, value: tagged }));
+                    return Some(AckAction::Broadcast(Msg::Update {
+                        handle,
+                        value: tagged,
+                        floor: TaggedValue::initial(),
+                    }));
                 }
                 None
             }
@@ -204,7 +213,7 @@ impl TunableClient {
                         let handle = OpHandle { op: inflight.op, phase: 2 };
                         return Some(AckAction::CompleteAndRepair(
                             OpResult::Read(chosen),
-                            Msg::Update { handle, value: chosen },
+                            Msg::Update { handle, value: chosen, floor: TaggedValue::initial() },
                         ));
                     }
                     return Some(AckAction::Complete(OpResult::Read(chosen)));

@@ -1,31 +1,38 @@
-//! Experiment L1 — wall-clock operation latency on the *live* runtime.
+//! Experiment L1 — wall-clock operation latency *and payload growth* on the
+//! live runtime.
 //!
 //! The simulator binaries measure cost in round-trips (the paper's
-//! currency); this one measures microseconds on real threads, over both
-//! transports: in-memory channels and loopback TCP. For each protocol in
-//! the design space it runs concurrent writer/reader threads against a
-//! live cluster and reports per-operation latency percentiles.
+//! currency); this one measures microseconds and wire bytes on real
+//! threads, over both transports: in-memory channels and loopback TCP.
 //!
-//! What it surfaces (and the paper's cost model abstracts away): W2R1's
-//! fast read is one round-trip but carries *full-information* payloads —
-//! the reader forwards its accumulated `val_queue` and every server
-//! returns its whole registered-value snapshot — so its wire cost grows
-//! with history length, while W2R2's two round-trips exchange only
-//! constant-size tag/value pairs. On real hardware the payload effect
-//! dominates the round-trip effect as the run gets longer; bounding server
-//! state (`RegisterServer::prune_below`) and the reader's `val_queue` is
-//! the optimization that would let the round-trip advantage show, and this
-//! binary is the regression harness for it.
+//! Two sections:
+//!
+//! 1. **Latency table** — for each protocol in the design space, concurrent
+//!    writer/reader threads against a live cluster; per-operation latency
+//!    percentiles plus average fast-read payload bytes. W2R1 appears twice:
+//!    on the paper's full-info wire and on the bounded-state delta wire.
+//! 2. **Payload growth** — a single writer/reader pair alternating write
+//!    and read for many operations; per-read payload bytes and latency in
+//!    the first and last windows. Full-info payloads grow linearly with
+//!    history; the delta wire with acknowledged-floor GC stays flat, which
+//!    is what lets W2R1's one-round-trip advantage survive long runs.
+//!
+//! Emits `BENCH_live_latency.json`. With `--assert-bounded`, exits non-zero
+//! if the delta wire's bytes-per-fast-read grew materially across the run —
+//! the CI regression gate for the bounded-state fast path.
 
+use std::fmt::Write as _;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mwr_core::Protocol;
+use mwr_core::{FastWire, Protocol};
 use mwr_runtime::{LiveCluster, TcpCluster};
 use mwr_types::{ClusterConfig, Value};
 use mwr_workload::TextTable;
 
 const OPS_PER_CLIENT: usize = 200;
+const GROWTH_OPS: usize = 600;
+const WINDOW: usize = 100;
 
 /// Latency percentiles in microseconds over a set of samples.
 fn percentiles(mut samples: Vec<Duration>) -> (u128, u128, u128) {
@@ -43,18 +50,24 @@ fn percentiles(mut samples: Vec<Duration>) -> (u128, u128, u128) {
 struct Measured {
     write: Vec<Duration>,
     read: Vec<Duration>,
+    read_bytes: Vec<u64>,
     write_attempts: usize,
     read_attempts: usize,
 }
 
 /// Runs `writers`+`readers` concurrent client threads; returns latencies of
 /// the *successful* operations plus attempt counts, so a partially failing
-/// transport cannot masquerade as a fast one.
+/// transport cannot masquerade as a fast one. Readers also report the wire
+/// bytes each successful read moved (0 for slow reads).
 fn drive<W, R>(writers: Vec<W>, readers: Vec<R>) -> Measured
 where
     W: FnMut(Value) -> bool + Send + 'static,
-    R: FnMut() -> bool + Send + 'static,
+    R: FnMut() -> Option<u64> + Send + 'static,
 {
+    enum Outcome {
+        Writes(Vec<Duration>),
+        Reads(Vec<(Duration, u64)>),
+    }
     let mut handles = Vec::new();
     for (w, mut do_write) in writers.into_iter().enumerate() {
         handles.push(thread::spawn(move || {
@@ -66,7 +79,7 @@ where
                     lat.push(t0.elapsed());
                 }
             }
-            (true, lat)
+            Outcome::Writes(lat)
         }));
     }
     for mut do_read in readers {
@@ -74,53 +87,87 @@ where
             let mut lat = Vec::with_capacity(OPS_PER_CLIENT);
             for _ in 0..OPS_PER_CLIENT {
                 let t0 = Instant::now();
-                if do_read() {
-                    lat.push(t0.elapsed());
+                if let Some(bytes) = do_read() {
+                    lat.push((t0.elapsed(), bytes));
                 }
             }
-            (false, lat)
+            Outcome::Reads(lat)
         }));
     }
-    let mut measured =
-        Measured { write: Vec::new(), read: Vec::new(), write_attempts: 0, read_attempts: 0 };
+    let mut measured = Measured {
+        write: Vec::new(),
+        read: Vec::new(),
+        read_bytes: Vec::new(),
+        write_attempts: 0,
+        read_attempts: 0,
+    };
     for h in handles {
-        let (is_write, lat) = h.join().expect("client thread");
-        if is_write {
-            measured.write_attempts += OPS_PER_CLIENT;
-            measured.write.extend(lat);
-        } else {
-            measured.read_attempts += OPS_PER_CLIENT;
-            measured.read.extend(lat);
+        match h.join().expect("client thread") {
+            Outcome::Writes(lat) => {
+                measured.write_attempts += OPS_PER_CLIENT;
+                measured.write.extend(lat);
+            }
+            Outcome::Reads(lat) => {
+                measured.read_attempts += OPS_PER_CLIENT;
+                measured.read.extend(lat.iter().map(|(d, _)| *d));
+                measured.read_bytes.extend(lat.iter().map(|(_, b)| *b));
+            }
         }
     }
     measured
 }
 
-const COLUMNS: [&str; 8] =
-    ["protocol", "ok", "wr p50µs", "wr p95", "wr p99", "rd p50µs", "rd p95", "rd p99"];
+const COLUMNS: [&str; 9] = [
+    "protocol", "ok", "wr p50µs", "wr p95", "wr p99", "rd p50µs", "rd p95", "rd p99", "rd B/op",
+];
 
-/// Drives one protocol's clients and formats the shared table row. Used by
-/// both transports so the columns can never drift apart.
-fn measure_row<W, R>(protocol: Protocol, writers: Vec<W>, readers: Vec<R>) -> Vec<String>
+/// One latency-table row, shared by both transports and mirrored into the
+/// JSON report.
+struct Row {
+    label: String,
+    ok: String,
+    wr: (u128, u128, u128),
+    rd: (u128, u128, u128),
+    rd_bytes_avg: u64,
+}
+
+impl Row {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.label.clone(),
+            self.ok.clone(),
+            self.wr.0.to_string(),
+            self.wr.1.to_string(),
+            self.wr.2.to_string(),
+            self.rd.0.to_string(),
+            self.rd.1.to_string(),
+            self.rd.2.to_string(),
+            self.rd_bytes_avg.to_string(),
+        ]
+    }
+}
+
+/// Drives one protocol's clients and computes the shared row.
+fn measure_row<W, R>(label: &str, writers: Vec<W>, readers: Vec<R>) -> Row
 where
     W: FnMut(Value) -> bool + Send + 'static,
-    R: FnMut() -> bool + Send + 'static,
+    R: FnMut() -> Option<u64> + Send + 'static,
 {
     let m = drive(writers, readers);
     let ok = m.write.len() + m.read.len();
     let attempts = m.write_attempts + m.read_attempts;
-    let (wp50, wp95, wp99) = percentiles(m.write);
-    let (rp50, rp95, rp99) = percentiles(m.read);
-    vec![
-        protocol.name().to_string(),
-        format!("{ok}/{attempts}"),
-        wp50.to_string(),
-        wp95.to_string(),
-        wp99.to_string(),
-        rp50.to_string(),
-        rp95.to_string(),
-        rp99.to_string(),
-    ]
+    let rd_bytes_avg = if m.read_bytes.is_empty() {
+        0
+    } else {
+        m.read_bytes.iter().sum::<u64>() / m.read_bytes.len() as u64
+    };
+    Row {
+        label: label.to_string(),
+        ok: format!("{ok}/{attempts}"),
+        wr: percentiles(m.write),
+        rd: percentiles(m.read),
+        rd_bytes_avg,
+    }
 }
 
 fn protocols(config: &ClusterConfig) -> Vec<Protocol> {
@@ -133,13 +180,174 @@ fn protocols(config: &ClusterConfig) -> Vec<Protocol> {
         .collect()
 }
 
+/// Rows to measure per transport: every endorsed protocol on its default
+/// wire, plus W2R1 pinned to full-info for the before/after comparison.
+fn row_plan(config: &ClusterConfig) -> Vec<(Protocol, FastWire, String)> {
+    let mut plan = Vec::new();
+    for protocol in protocols(config) {
+        let label = if protocol == Protocol::W2R1 {
+            format!("{} delta+gc", protocol.name())
+        } else {
+            protocol.name().to_string()
+        };
+        plan.push((protocol, FastWire::Delta, label));
+        if protocol == Protocol::W2R1 {
+            plan.push((protocol, FastWire::FullInfo, format!("{} full-info", protocol.name())));
+        }
+    }
+    plan
+}
+
+/// One window of the growth experiment.
+#[derive(Debug, Clone, Copy)]
+struct GrowthWindow {
+    lat_p50_us: u128,
+    bytes_avg: u64,
+}
+
+/// One growth-experiment run: `GROWTH_OPS` alternating write/read pairs.
+#[derive(Debug)]
+struct Growth {
+    transport: &'static str,
+    wire: &'static str,
+    first: GrowthWindow,
+    last: GrowthWindow,
+}
+
+impl Growth {
+    fn bytes_ratio(&self) -> f64 {
+        self.last.bytes_avg as f64 / self.first.bytes_avg.max(1) as f64
+    }
+
+    fn latency_ratio(&self) -> f64 {
+        self.last.lat_p50_us as f64 / self.first.lat_p50_us.max(1) as f64
+    }
+}
+
+fn window(samples: &[(Duration, u64)]) -> GrowthWindow {
+    let (p50, _, _) = percentiles(samples.iter().map(|(d, _)| *d).collect());
+    let bytes_avg = samples.iter().map(|(_, b)| *b).sum::<u64>() / samples.len().max(1) as u64;
+    GrowthWindow { lat_p50_us: p50, bytes_avg }
+}
+
+/// Alternates write/read on a dedicated S=5, t=1, R=1, W=1 cluster so the
+/// GC population is exactly the two driving clients and every operation
+/// advances a floor.
+fn growth_run(
+    transport: &'static str,
+    wire: FastWire,
+    mut write: impl FnMut(Value) -> bool,
+    mut read: impl FnMut() -> Option<u64>,
+) -> Growth {
+    let mut samples: Vec<(Duration, u64)> = Vec::with_capacity(GROWTH_OPS);
+    for i in 0..GROWTH_OPS {
+        assert!(write(Value::new(i as u64 + 1)), "growth write {i} failed");
+        let t0 = Instant::now();
+        let bytes = read().expect("growth read failed");
+        samples.push((t0.elapsed(), bytes));
+    }
+    Growth {
+        transport,
+        wire: match wire {
+            FastWire::FullInfo => "full-info",
+            FastWire::Delta => "delta+gc",
+        },
+        first: window(&samples[..WINDOW]),
+        last: window(&samples[GROWTH_OPS - WINDOW..]),
+    }
+}
+
+fn growth_experiments() -> Vec<Growth> {
+    let config = ClusterConfig::new(5, 1, 1, 1).expect("valid growth config");
+    let mut out = Vec::new();
+    for wire in [FastWire::FullInfo, FastWire::Delta] {
+        let cluster = LiveCluster::start(config, Protocol::W2R1);
+        let mut w = cluster.writer(0);
+        let mut r = cluster.reader_with_wire(0, wire);
+        r.set_measure_payload(true);
+        out.push(growth_run(
+            "in-memory",
+            wire,
+            move |v| w.write(v).is_ok(),
+            move || r.read().ok().map(|_| r.last_read_payload_bytes()),
+        ));
+        cluster.shutdown();
+
+        let cluster = TcpCluster::start(config, Protocol::W2R1).expect("tcp cluster");
+        let mut w = cluster.writer(0).expect("writer endpoint");
+        let mut r = cluster.reader_with_wire(0, wire).expect("reader endpoint");
+        r.set_measure_payload(true);
+        out.push(growth_run(
+            "tcp",
+            wire,
+            move |v| w.write(v).is_ok(),
+            move || r.read().ok().map(|_| r.last_read_payload_bytes()),
+        ));
+        cluster.shutdown();
+    }
+    out
+}
+
+/// Hand-rolled JSON (the workspace vendors no serde_json).
+fn to_json(table: &[(&str, Vec<Row>)], growth: &[Growth]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"experiment\": \"live_latency\",\n");
+    let _ = writeln!(s, "  \"ops_per_client\": {OPS_PER_CLIENT},");
+    let _ = writeln!(s, "  \"growth_ops\": {GROWTH_OPS},");
+    s.push_str("  \"growth\": [\n");
+    for (i, g) in growth.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"transport\": \"{}\", \"wire\": \"{}\", \"first_p50_us\": {}, \"last_p50_us\": {}, \"first_bytes_avg\": {}, \"last_bytes_avg\": {}, \"bytes_ratio\": {:.2}, \"latency_ratio\": {:.2}}}",
+            g.transport,
+            g.wire,
+            g.first.lat_p50_us,
+            g.last.lat_p50_us,
+            g.first.bytes_avg,
+            g.last.bytes_avg,
+            g.bytes_ratio(),
+            g.latency_ratio(),
+        );
+        s.push_str(if i + 1 < growth.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"latency\": [\n");
+    let total: usize = table.iter().map(|(_, rows)| rows.len()).sum();
+    let mut emitted = 0;
+    for (transport, rows) in table {
+        for row in rows {
+            emitted += 1;
+            let _ = write!(
+                s,
+                "    {{\"transport\": \"{}\", \"protocol\": \"{}\", \"ok\": \"{}\", \"wr_p50_us\": {}, \"wr_p95_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p95_us\": {}, \"rd_p99_us\": {}, \"rd_bytes_avg\": {}}}",
+                transport,
+                row.label,
+                row.ok,
+                row.wr.0,
+                row.wr.1,
+                row.wr.2,
+                row.rd.0,
+                row.rd.1,
+                row.rd.2,
+                row.rd_bytes_avg,
+            );
+            s.push_str(if emitted < total { ",\n" } else { "\n" });
+        }
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
+    let assert_bounded = std::env::args().any(|a| a == "--assert-bounded");
     let config = ClusterConfig::new(5, 1, 2, 2).expect("valid config");
     println!("== L1: live wall-clock latency (S=5 t=1 R=2 W=2, {OPS_PER_CLIENT} ops/client) ==\n");
 
+    let mut table_json: Vec<(&str, Vec<Row>)> = Vec::new();
+
     println!("-- transport: in-memory channels --");
     let mut table = TextTable::new(COLUMNS.to_vec());
-    for protocol in protocols(&config) {
+    let mut rows = Vec::new();
+    for (protocol, wire, label) in row_plan(&config) {
         let cluster = LiveCluster::start(config, protocol);
         let writers = (0..config.writers() as u32)
             .map(|w| {
@@ -149,18 +357,23 @@ fn main() {
             .collect();
         let readers = (0..config.readers() as u32)
             .map(|r| {
-                let mut client = cluster.reader(r);
-                move || client.read().is_ok()
+                let mut client = cluster.reader_with_wire(r, wire);
+                client.set_measure_payload(true);
+                move || client.read().ok().map(|_| client.last_read_payload_bytes())
             })
             .collect();
-        table.row(measure_row(protocol, writers, readers));
+        let row = measure_row(&label, writers, readers);
+        table.row(row.cells());
+        rows.push(row);
         cluster.shutdown();
     }
     println!("{table}");
+    table_json.push(("in-memory", rows));
 
     println!("-- transport: loopback TCP --");
     let mut table = TextTable::new(COLUMNS.to_vec());
-    for protocol in protocols(&config) {
+    let mut rows = Vec::new();
+    for (protocol, wire, label) in row_plan(&config) {
         let cluster = TcpCluster::start(config, protocol).expect("tcp cluster");
         let writers = (0..config.writers() as u32)
             .map(|w| {
@@ -170,18 +383,70 @@ fn main() {
             .collect();
         let readers = (0..config.readers() as u32)
             .map(|r| {
-                let mut client = cluster.reader(r).expect("reader endpoint");
-                move || client.read().is_ok()
+                let mut client = cluster.reader_with_wire(r, wire).expect("reader endpoint");
+                client.set_measure_payload(true);
+                move || client.read().ok().map(|_| client.last_read_payload_bytes())
             })
             .collect();
-        table.row(measure_row(protocol, writers, readers));
+        let row = measure_row(&label, writers, readers);
+        table.row(row.cells());
+        rows.push(row);
         cluster.shutdown();
     }
     println!("{table}");
+    table_json.push(("tcp", rows));
 
-    println!("Shape: W2R2's constant-size messages make its two round-trips cheap;");
-    println!("W2R1's single fast-read round-trip ships full-information payloads");
-    println!("(val_queue out, whole snapshots back) that grow with history, so its");
-    println!("wall-clock read latency exceeds the round-trip ratio the simulator");
-    println!("reports. Bounding server/reader state is the open fast-path win.");
+    println!(
+        "-- payload growth: W2R1, {GROWTH_OPS} write+read pairs (S=5 t=1 R=1 W=1), \
+         first vs last {WINDOW} reads --"
+    );
+    let growth = growth_experiments();
+    let mut gt = TextTable::new(vec![
+        "transport", "wire", "1st p50µs", "last p50µs", "1st B/read", "last B/read", "B ratio",
+    ]);
+    for g in &growth {
+        gt.row(vec![
+            g.transport.to_string(),
+            g.wire.to_string(),
+            g.first.lat_p50_us.to_string(),
+            g.last.lat_p50_us.to_string(),
+            g.first.bytes_avg.to_string(),
+            g.last.bytes_avg.to_string(),
+            format!("{:.2}", g.bytes_ratio()),
+        ]);
+    }
+    println!("{gt}");
+
+    let json = to_json(&table_json, &growth);
+    std::fs::write("BENCH_live_latency.json", &json).expect("write BENCH_live_latency.json");
+    println!("wrote BENCH_live_latency.json");
+
+    println!("\nShape: full-info fast reads ship the whole valQueue out and whole");
+    println!("snapshots back, so bytes/read grows linearly with history and the");
+    println!("wall-clock latency grows with it. The delta wire with acknowledged-");
+    println!("floor GC moves O(new information) per read: bytes/read and latency");
+    println!("stay flat, and the 1-vs-2 round-trip advantage survives long runs.");
+
+    if assert_bounded {
+        let mut failed = false;
+        for g in growth.iter().filter(|g| g.wire == "delta+gc") {
+            // Flat means "does not keep growing with history": allow noise
+            // but fail on anything resembling linear growth (full-info
+            // measures ~5-6x over this run length).
+            if g.bytes_ratio() > 1.5 {
+                eprintln!(
+                    "FAIL: delta fast-read payload grew {}x on {} ({} -> {} bytes)",
+                    g.bytes_ratio(),
+                    g.transport,
+                    g.first.bytes_avg,
+                    g.last.bytes_avg,
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("payload-growth assertion passed: delta fast reads stay bounded");
+    }
 }

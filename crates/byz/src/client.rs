@@ -14,6 +14,16 @@
 //!    vouched values, so a reader never launders a forgery into the
 //!    correct servers' stores.
 //!
+//! Unlike `mwr-core` and `mwr-runtime`, this client deliberately stays on
+//! the *full-info* fast-read wire: the delta protocol trusts each server's
+//! version accounting (what the reader "already knows" is whatever that
+//! server previously claimed to have sent), and a Byzantine server could
+//! equivocate about its version window to starve the reader of vouchable
+//! copies. Full snapshots keep the `b + 1`-identical-copies vouching sound.
+//! For the same reason the acknowledged-floor GC piggyback stays inert here
+//! (floors are reported as the initial tag and Byzantine-era servers never
+//! prune).
+//!
 //! [`safe_max_tag`]: crate::safe_max_tag
 //! [`vouched_values`]: crate::vouched_values
 
@@ -197,7 +207,11 @@ impl ByzClient {
                     inflight.phase_no = 2;
                     inflight.phase =
                         Phase::Update { value: tagged, is_read_back: false, acks: BTreeSet::new() };
-                    return Some(AckAction::Broadcast(Msg::Update { handle, value: tagged }));
+                    return Some(AckAction::Broadcast(Msg::Update {
+                        handle,
+                        value: tagged,
+                        floor: TaggedValue::initial(),
+                    }));
                 }
                 None
             }
@@ -252,7 +266,11 @@ impl ByzClient {
                                 is_read_back: true,
                                 acks: BTreeSet::new(),
                             };
-                            Some(AckAction::Broadcast(Msg::Update { handle, value: chosen }))
+                            Some(AckAction::Broadcast(Msg::Update {
+                                handle,
+                                value: chosen,
+                                floor: TaggedValue::initial(),
+                            }))
                         }
                     }
                 } else {

@@ -68,6 +68,7 @@ mod tests {
                 phase: 1,
             },
             value: TaggedValue::new(Tag::new(ts, WriterId::new(0)), Value::new(v)),
+            floor: TaggedValue::initial(),
         }
     }
 

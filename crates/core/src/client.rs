@@ -20,7 +20,7 @@ use mwr_types::ClientId;
 
 use crate::admissible::Admissibility;
 use crate::events::{ClientEvent, OpKind, OpResult};
-use crate::msg::{Msg, OpHandle, OpId, Snapshot};
+use crate::msg::{Msg, OpHandle, OpId, Snapshot, SnapshotCache};
 
 /// How writes acquire their tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,22 @@ pub enum ReadMode {
     Adaptive,
 }
 
+/// How fast-read rounds move information on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastWire {
+    /// Full-information payloads, faithful to the paper's model (§4.1):
+    /// the whole `valQueue` out, whole server snapshots back. O(history)
+    /// per read.
+    FullInfo,
+    /// Delta payloads: only unacknowledged `valQueue` entries out, only
+    /// store changes above the reader's per-server acknowledged version
+    /// back ([`Msg::ReadFastDelta`]). The reader reconstructs each
+    /// server's logical snapshot from cached state, so `admissible(·)`
+    /// selection is byte-for-byte unchanged. O(new information) per read.
+    #[default]
+    Delta,
+}
+
 /// Role-specific client state.
 #[derive(Debug)]
 enum Role {
@@ -72,8 +88,16 @@ enum Role {
         id: ReaderId,
         mode: ReadMode,
         /// Algorithm 1's `valQueue`: every tagged value this reader has
-        /// ever observed, re-sent on each fast read.
+        /// observed and not yet GC-pruned; re-sent (in full or as a delta)
+        /// on each fast read.
         val_queue: BTreeSet<TaggedValue>,
+        /// Fast-read wire format.
+        wire: FastWire,
+        /// Per-server snapshot caches (delta wire only).
+        caches: BTreeMap<ServerId, SnapshotCache>,
+        /// The largest server-announced GC floor seen; local state below it
+        /// is pruned (every client has completed an operation above it).
+        gc_floor: TaggedValue,
     },
 }
 
@@ -124,6 +148,9 @@ pub struct RegisterClient {
     pending: VecDeque<OpKind>,
     current: Option<InFlight>,
     next_seq: u64,
+    /// Completed-operation floor: the largest tag this client has returned
+    /// or written, piggybacked on requests for acknowledged-floor GC.
+    floor: TaggedValue,
 }
 
 impl RegisterClient {
@@ -135,19 +162,39 @@ impl RegisterClient {
             pending: VecDeque::new(),
             current: None,
             next_seq: 0,
+            floor: TaggedValue::initial(),
         }
     }
 
-    /// Creates a reader client with the given read mode.
+    /// Creates a reader client with the given read mode and the default
+    /// [`FastWire::Delta`] wire format.
     pub fn reader(id: ReaderId, config: ClusterConfig, mode: ReadMode) -> Self {
+        Self::reader_with_wire(id, config, mode, FastWire::default())
+    }
+
+    /// Creates a reader client with an explicit fast-read wire format.
+    pub fn reader_with_wire(
+        id: ReaderId,
+        config: ClusterConfig,
+        mode: ReadMode,
+        wire: FastWire,
+    ) -> Self {
         let mut val_queue = BTreeSet::new();
         val_queue.insert(TaggedValue::initial());
         RegisterClient {
             config,
-            role: Role::Reader { id, mode, val_queue },
+            role: Role::Reader {
+                id,
+                mode,
+                val_queue,
+                wire,
+                caches: BTreeMap::new(),
+                gc_floor: TaggedValue::initial(),
+            },
             pending: VecDeque::new(),
             current: None,
             next_seq: 0,
+            floor: TaggedValue::initial(),
         }
     }
 
@@ -182,12 +229,13 @@ impl RegisterClient {
         ctx.notify(ClientEvent::Invoked { op, kind });
 
         let servers = self.config.servers();
+        let floor = self.floor;
         let phase = match (&mut self.role, kind) {
             (Role::Writer { id, mode: WriteMode::Fast, local_ts }, OpKind::Write(v)) => {
                 *local_ts += 1;
                 let value = TaggedValue::new(Tag::new(*local_ts, *id), v);
                 let handle = OpHandle { op, phase: 1 };
-                ctx.broadcast_to_servers(servers, Msg::Update { handle, value });
+                ctx.broadcast_to_servers(servers, Msg::Update { handle, value, floor });
                 Phase::WriteUpdate { value, acks: BTreeSet::new() }
             }
             (Role::Writer { mode: WriteMode::Slow, .. }, OpKind::Write(v)) => {
@@ -201,12 +249,44 @@ impl RegisterClient {
                 Phase::ReadQuery { best: TaggedValue::initial(), acks: BTreeSet::new() }
             }
             (
-                Role::Reader { mode: ReadMode::Fast | ReadMode::Adaptive, val_queue, .. },
+                Role::Reader {
+                    mode: ReadMode::Fast | ReadMode::Adaptive,
+                    val_queue,
+                    wire,
+                    caches,
+                    ..
+                },
                 OpKind::Read,
             ) => {
                 let handle = OpHandle { op, phase: 1 };
-                let val_queue: Vec<TaggedValue> = val_queue.iter().copied().collect();
-                ctx.broadcast_to_servers(servers, Msg::ReadFast { handle, val_queue });
+                match wire {
+                    FastWire::FullInfo => {
+                        let val_queue: Vec<TaggedValue> = val_queue.iter().copied().collect();
+                        ctx.broadcast_to_servers(servers, Msg::ReadFast { handle, val_queue });
+                    }
+                    FastWire::Delta => {
+                        // Per-server payloads: only what this server has not
+                        // acknowledged yet.
+                        for s in 0..servers as u32 {
+                            let cache =
+                                caches.entry(ServerId::new(s)).or_default();
+                            let new_values: Vec<TaggedValue> = val_queue
+                                .iter()
+                                .filter(|v| !cache.knows(**v))
+                                .copied()
+                                .collect();
+                            ctx.send(
+                                ProcessId::server(s),
+                                Msg::ReadFastDelta {
+                                    handle,
+                                    acked: cache.acked_version(),
+                                    floor,
+                                    new_values,
+                                },
+                            );
+                        }
+                    }
+                }
                 Phase::ReadFast { replies: BTreeMap::new() }
             }
             (Role::Writer { .. }, OpKind::Read) => {
@@ -221,6 +301,8 @@ impl RegisterClient {
 
     fn complete(&mut self, result: OpResult, ctx: &mut Context<'_, Msg, ClientEvent>) {
         let inflight = self.current.take().expect("completing without an op");
+        let (OpResult::Read(tv) | OpResult::Written(tv)) = result;
+        self.floor = self.floor.max(tv);
         ctx.notify(ClientEvent::Completed { op: inflight.op, kind: inflight.kind, result });
         self.start_next(ctx);
     }
@@ -229,6 +311,7 @@ impl RegisterClient {
     fn on_ack(&mut self, server: ServerId, msg: &Msg) -> Option<AckAction> {
         let quorum = self.quorum();
         let config = self.config;
+        let floor = self.floor;
         let inflight = self.current.as_mut()?;
         let expected = OpHandle { op: inflight.op, phase: inflight.phase_no };
 
@@ -244,7 +327,11 @@ impl RegisterClient {
                     let handle = OpHandle { op: inflight.op, phase: 2 };
                     inflight.phase_no = 2;
                     inflight.phase = Phase::WriteUpdate { value: tagged, acks: BTreeSet::new() };
-                    return Some(AckAction::Broadcast(Msg::Update { handle, value: tagged }));
+                    return Some(AckAction::Broadcast(Msg::Update {
+                        handle,
+                        value: tagged,
+                        floor,
+                    }));
                 }
                 None
             }
@@ -258,7 +345,11 @@ impl RegisterClient {
                     let handle = OpHandle { op: inflight.op, phase: 2 };
                     inflight.phase_no = 2;
                     inflight.phase = Phase::ReadWriteBack { best: chosen, acks: BTreeSet::new() };
-                    return Some(AckAction::Broadcast(Msg::Update { handle, value: chosen }));
+                    return Some(AckAction::Broadcast(Msg::Update {
+                        handle,
+                        value: chosen,
+                        floor,
+                    }));
                 }
                 None
             }
@@ -280,57 +371,98 @@ impl RegisterClient {
                 replies.insert(server, snapshot.clone());
                 if replies.len() >= quorum {
                     let snaps: Vec<Snapshot> = replies.values().cloned().collect();
-                    let Role::Reader { mode, val_queue, .. } = &mut self.role else {
-                        unreachable!()
-                    };
-                    for s in &snaps {
-                        val_queue.extend(s.entries.iter().map(|e| e.value));
-                    }
-                    match mode {
-                        ReadMode::Fast => {
-                            let adm = Admissibility::new(
-                                &snaps,
-                                config.servers(),
-                                config.max_faults(),
-                                config.readers() + 1,
-                            );
-                            let chosen = adm.select_return_value();
-                            return Some(AckAction::Complete(OpResult::Read(chosen)));
-                        }
-                        ReadMode::Adaptive => {
-                            let cap = crate::admissible::adaptive_degree_cap(
-                                config.servers(),
-                                config.max_faults(),
-                                config.readers(),
-                            );
-                            let adm =
-                                Admissibility::new(&snaps, config.servers(), config.max_faults(), cap);
-                            let max_v = adm
-                                .candidates_descending()
-                                .into_iter()
-                                .next()
-                                .unwrap_or_else(TaggedValue::initial);
-                            if adm.degree(max_v).is_some() {
-                                // The maximum is safely confirmed: fast path.
-                                return Some(AckAction::Complete(OpResult::Read(max_v)));
-                            }
-                            // Slow path: secure the maximum with a
-                            // write-back round before returning it.
-                            let handle = OpHandle { op: inflight.op, phase: 2 };
-                            inflight.phase_no = 2;
-                            inflight.phase =
-                                Phase::ReadWriteBack { best: max_v, acks: BTreeSet::new() };
-                            return Some(AckAction::Broadcast(Msg::Update {
-                                handle,
-                                value: max_v,
-                            }));
-                        }
-                        ReadMode::Slow => unreachable!("slow reads never use ReadFast"),
-                    }
+                    return Some(Self::finish_fast_read(
+                        &mut self.role,
+                        inflight,
+                        snaps,
+                        &config,
+                        floor,
+                    ));
+                }
+                None
+            }
+            (Msg::ReadFastDeltaAck { handle, delta }, Phase::ReadFast { replies })
+                if *handle == expected =>
+            {
+                let Role::Reader { caches, gc_floor, .. } = &mut self.role else {
+                    unreachable!()
+                };
+                let cache = caches.entry(server).or_default();
+                cache.merge(delta);
+                *gc_floor = (*gc_floor).max(delta.pruned);
+                replies.insert(server, cache.reconstruct());
+                if replies.len() >= quorum {
+                    let snaps: Vec<Snapshot> = replies.values().cloned().collect();
+                    return Some(Self::finish_fast_read(
+                        &mut self.role,
+                        inflight,
+                        snaps,
+                        &config,
+                        floor,
+                    ));
                 }
                 None
             }
             _ => None, // stale ack from an earlier phase or operation
+        }
+    }
+
+    /// Shared tail of a fast read once a quorum of (logical) snapshots is
+    /// in: fold them into the `valQueue`, apply GC pruning to local state,
+    /// then run the mode's selection.
+    fn finish_fast_read(
+        role: &mut Role,
+        inflight: &mut InFlight,
+        snaps: Vec<Snapshot>,
+        config: &ClusterConfig,
+        floor: TaggedValue,
+    ) -> AckAction {
+        let Role::Reader { mode, val_queue, gc_floor, .. } = role else { unreachable!() };
+        for s in &snaps {
+            val_queue.extend(s.entries.iter().map(|e| e.value));
+        }
+        // Entries below the announced GC floor are below every client's
+        // completed-operation floor: no read can ever return them again
+        // (see the GC argument in the server module docs), so they can be
+        // dropped from the valQueue. Per-server caches self-prune on merge.
+        if *gc_floor > TaggedValue::initial() {
+            let keep = *gc_floor;
+            val_queue.retain(|v| *v >= keep);
+        }
+        match mode {
+            ReadMode::Fast => {
+                let adm = Admissibility::new(
+                    &snaps,
+                    config.servers(),
+                    config.max_faults(),
+                    config.readers() + 1,
+                );
+                AckAction::Complete(OpResult::Read(adm.select_return_value()))
+            }
+            ReadMode::Adaptive => {
+                let cap = crate::admissible::adaptive_degree_cap(
+                    config.servers(),
+                    config.max_faults(),
+                    config.readers(),
+                );
+                let adm = Admissibility::new(&snaps, config.servers(), config.max_faults(), cap);
+                let max_v = adm
+                    .candidates_descending()
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(TaggedValue::initial);
+                if adm.degree(max_v).is_some() {
+                    // The maximum is safely confirmed: fast path.
+                    return AckAction::Complete(OpResult::Read(max_v));
+                }
+                // Slow path: secure the maximum with a write-back round
+                // before returning it.
+                let handle = OpHandle { op: inflight.op, phase: 2 };
+                inflight.phase_no = 2;
+                inflight.phase = Phase::ReadWriteBack { best: max_v, acks: BTreeSet::new() };
+                AckAction::Broadcast(Msg::Update { handle, value: max_v, floor })
+            }
+            ReadMode::Slow => unreachable!("slow reads never use ReadFast"),
         }
     }
 }

@@ -4,7 +4,7 @@
 use mwr_sim::{SimError, SimTime, Simulation};
 use mwr_types::{ClusterConfig, ProcessId, Value};
 
-use crate::client::RegisterClient;
+use crate::client::{FastWire, RegisterClient};
 use crate::events::ClientEvent;
 use crate::msg::Msg;
 use crate::protocol::Protocol;
@@ -35,6 +35,8 @@ use crate::server::RegisterServer;
 pub struct Cluster {
     config: ClusterConfig,
     protocol: Protocol,
+    wire: FastWire,
+    gc: bool,
 }
 
 /// One operation in a harness-provided schedule.
@@ -55,9 +57,25 @@ pub enum ScheduledOp {
 }
 
 impl Cluster {
-    /// Creates a blueprint.
+    /// Creates a blueprint with the bounded-state defaults: delta-snapshot
+    /// fast reads and acknowledged-floor GC on the servers. Use
+    /// [`with_fast_wire`](Self::with_fast_wire) /
+    /// [`with_gc`](Self::with_gc) for the paper-faithful full-info model.
     pub fn new(config: ClusterConfig, protocol: Protocol) -> Self {
-        Cluster { config, protocol }
+        Cluster { config, protocol, wire: FastWire::default(), gc: true }
+    }
+
+    /// Selects the fast-read wire format ([`FastWire::FullInfo`] restores
+    /// the paper's O(history) payloads).
+    pub fn with_fast_wire(mut self, wire: FastWire) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Enables or disables acknowledged-floor GC on the servers.
+    pub fn with_gc(mut self, gc: bool) -> Self {
+        self.gc = gc;
+        self
     }
 
     /// The cluster configuration.
@@ -70,10 +88,21 @@ impl Cluster {
         self.protocol
     }
 
+    /// The fast-read wire format clients will use.
+    pub fn fast_wire(&self) -> FastWire {
+        self.wire
+    }
+
     /// Adds all servers, writers and readers to a simulation.
     pub fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
+        let population = self.config.readers() + self.config.writers();
         for s in self.config.server_ids() {
-            sim.add_process(ProcessId::Server(s), RegisterServer::new());
+            let server = if self.gc {
+                RegisterServer::with_gc(population)
+            } else {
+                RegisterServer::new()
+            };
+            sim.add_process(ProcessId::Server(s), server);
         }
         for w in self.config.writer_ids() {
             sim.add_process(
@@ -84,7 +113,12 @@ impl Cluster {
         for r in self.config.reader_ids() {
             sim.add_process(
                 r.into(),
-                RegisterClient::reader(r, self.config, self.protocol.read_mode()),
+                RegisterClient::reader_with_wire(
+                    r,
+                    self.config,
+                    self.protocol.read_mode(),
+                    self.wire,
+                ),
             );
         }
     }

@@ -71,9 +71,9 @@ mod protocol;
 mod server;
 
 pub use admissible::{adaptive_degree_cap, Admissibility};
-pub use client::{ReadMode, RegisterClient, WriteMode};
+pub use client::{FastWire, ReadMode, RegisterClient, WriteMode};
 pub use cluster::{Cluster, ScheduledOp};
 pub use events::{ClientEvent, OpKind, OpResult};
-pub use msg::{Msg, OpHandle, OpId, Snapshot, ValueRecord};
+pub use msg::{DeltaSnapshot, Msg, OpHandle, OpId, Snapshot, SnapshotCache, ValueRecord};
 pub use protocol::{ParseProtocolError, Protocol};
 pub use server::{RegisterServer, ServerState};

@@ -7,6 +7,8 @@
 //! both updates (the reader's `valQueue`, plus registering the reader in the
 //! `updated` bookkeeping) and queries (the server's value store).
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use bytes::{Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
@@ -60,7 +62,10 @@ pub struct ValueRecord {
 ///
 /// This follows the paper's *full-info* inclination (§4.1): servers report
 /// everything they hold; practical deployments would prune, which is an
-/// optimization the analysis deliberately ignores.
+/// optimization the analysis deliberately ignores. The delta protocol
+/// ([`Msg::ReadFastDelta`]/[`DeltaSnapshot`]) is that optimization: clients
+/// reconstruct this exact snapshot from cached per-server state instead of
+/// receiving it whole on every read.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     /// All stored values with their `updated` sets, sorted by tag.
@@ -87,6 +92,105 @@ impl Snapshot {
     }
 }
 
+/// The incremental form of a [`Snapshot`]: everything the server learned
+/// since the reader's acknowledged version, plus enough header state for the
+/// reader to keep its cached copy of the server's store exact.
+///
+/// Versions count *registrations* — every `(value, client)` pair the server
+/// records bumps a per-server monotone counter — so the half-open window
+/// `(from, version]` identifies precisely the store mutations this delta
+/// carries. A reader that merges deltas contiguously (its acknowledged
+/// version always equals the previous delta's `version`; per-link FIFO and
+/// one-operation-at-a-time clients guarantee this) reconstructs the server's
+/// full store byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSnapshot {
+    /// The reader-acknowledged version this delta starts from (exclusive).
+    pub from: u64,
+    /// The server's registration version after handling the request; the
+    /// reader's next acknowledged floor.
+    pub version: u64,
+    /// The server's current maximum value `vali`.
+    pub latest: TaggedValue,
+    /// The server's garbage-collection floor: every value strictly below it
+    /// has been pruned server-side and may be pruned from reader state too
+    /// (it is below every client's completed-operation floor).
+    pub pruned: TaggedValue,
+    /// Values with registrations in `(from, version]`, sorted by tag; each
+    /// record lists only the *newly registered* clients.
+    pub entries: Vec<ValueRecord>,
+}
+
+/// A reader's cached copy of one server's store, maintained by merging
+/// [`DeltaSnapshot`]s — the client-side dual of the delta wire, shared by
+/// the simulator client and `mwr-runtime`'s live client so the two can
+/// never drift.
+///
+/// Contiguous versioned deltas over FIFO links keep the cache an exact
+/// mirror of the server's store (including server-side GC pruning, which
+/// always retains the server's `latest`), so [`reconstruct`](Self::reconstruct)
+/// equals the full-info [`Snapshot`] byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct SnapshotCache {
+    /// The last merged [`DeltaSnapshot::version`]; sent back as `acked`.
+    version: u64,
+    /// value → registered clients, as far as this reader knows.
+    entries: BTreeMap<TaggedValue, BTreeSet<ClientId>>,
+}
+
+impl SnapshotCache {
+    /// Seeded like a fresh server's store: the initial value with an empty
+    /// `updated` set, version 0.
+    pub fn new() -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(TaggedValue::initial(), BTreeSet::new());
+        SnapshotCache { version: 0, entries }
+    }
+
+    /// The acknowledged version to send with the next [`Msg::ReadFastDelta`].
+    pub fn acked_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether the server is known to hold `value` (such entries are
+    /// omitted from the request's `new_values`).
+    pub fn knows(&self, value: TaggedValue) -> bool {
+        self.entries.contains_key(&value)
+    }
+
+    /// Merges one delta; idempotent (set unions), monotone in version.
+    pub fn merge(&mut self, delta: &DeltaSnapshot) {
+        for rec in &delta.entries {
+            self.entries.entry(rec.value).or_default().extend(rec.updated.iter().copied());
+        }
+        self.version = self.version.max(delta.version);
+        // Mirror the server's GC: drop what it dropped (it keeps `latest`
+        // unconditionally), so the reconstruction stays exact.
+        let (pruned, latest) = (delta.pruned, delta.latest);
+        self.entries.retain(|v, _| *v >= pruned || *v == latest);
+    }
+
+    /// The server's logical full-info snapshot, reconstructed.
+    pub fn reconstruct(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(value, updated)| ValueRecord {
+                    value: *value,
+                    updated: updated.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for SnapshotCache {
+    fn default() -> Self {
+        SnapshotCache::new()
+    }
+}
+
 /// Protocol messages. One enum serves every protocol variant; which subset
 /// is exercised depends on the chosen write/read modes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +214,9 @@ pub enum Msg {
         handle: OpHandle,
         /// The tagged value to store.
         value: TaggedValue,
+        /// The sender's completed-operation floor — the largest tag it has
+        /// returned or written — piggybacked for acknowledged-floor GC.
+        floor: TaggedValue,
     },
     /// The combined fast-read round-trip (Algorithm 1, line 19): carries the
     /// reader's accumulated `valQueue`; the server registers the reader and
@@ -119,6 +226,21 @@ pub enum Msg {
         handle: OpHandle,
         /// Every tagged value the reader has ever observed.
         val_queue: Vec<TaggedValue>,
+    },
+    /// The bounded-state fast read: only `valQueue` entries the reader does
+    /// not already know this server holds, plus the reader's acknowledged
+    /// snapshot version and completed-operation floor. The server replies
+    /// with a [`DeltaSnapshot`] instead of its full store.
+    ReadFastDelta {
+        /// Operation phase this round belongs to.
+        handle: OpHandle,
+        /// The last [`DeltaSnapshot::version`] the reader merged from this
+        /// server; the reply covers `(acked, now]`.
+        acked: u64,
+        /// The reader's completed-operation floor (GC piggyback).
+        floor: TaggedValue,
+        /// `valQueue` entries not yet acknowledged by this server.
+        new_values: Vec<TaggedValue>,
     },
 
     // -- server → client ----------------------------------------------------
@@ -140,6 +262,14 @@ pub enum Msg {
         handle: OpHandle,
         /// The server's store at reply time.
         snapshot: Snapshot,
+    },
+    /// Reply to [`Msg::ReadFastDelta`] with the store changes above the
+    /// reader's acknowledged version.
+    ReadFastDeltaAck {
+        /// Echo of the round's handle.
+        handle: OpHandle,
+        /// The incremental snapshot.
+        delta: DeltaSnapshot,
     },
 }
 
@@ -191,6 +321,26 @@ impl Wire for Snapshot {
     }
 }
 
+impl Wire for DeltaSnapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.version.encode(buf);
+        self.latest.encode(buf);
+        self.pruned.encode(buf);
+        self.entries.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(DeltaSnapshot {
+            from: u64::decode(buf)?,
+            version: u64::decode(buf)?,
+            latest: TaggedValue::decode(buf)?,
+            pruned: TaggedValue::decode(buf)?,
+            entries: Vec::<ValueRecord>::decode(buf)?,
+        })
+    }
+}
+
 impl Wire for Msg {
     fn encode(&self, buf: &mut BytesMut) {
         use bytes::BufMut;
@@ -204,10 +354,11 @@ impl Wire for Msg {
                 buf.put_u8(2);
                 handle.encode(buf);
             }
-            Msg::Update { handle, value } => {
+            Msg::Update { handle, value, floor } => {
                 buf.put_u8(3);
                 handle.encode(buf);
                 value.encode(buf);
+                floor.encode(buf);
             }
             Msg::ReadFast { handle, val_queue } => {
                 buf.put_u8(4);
@@ -228,6 +379,18 @@ impl Wire for Msg {
                 handle.encode(buf);
                 snapshot.encode(buf);
             }
+            Msg::ReadFastDelta { handle, acked, floor, new_values } => {
+                buf.put_u8(8);
+                handle.encode(buf);
+                acked.encode(buf);
+                floor.encode(buf);
+                new_values.encode(buf);
+            }
+            Msg::ReadFastDeltaAck { handle, delta } => {
+                buf.put_u8(9);
+                handle.encode(buf);
+                delta.encode(buf);
+            }
         }
     }
 
@@ -239,6 +402,7 @@ impl Wire for Msg {
             3 => Ok(Msg::Update {
                 handle: OpHandle::decode(buf)?,
                 value: TaggedValue::decode(buf)?,
+                floor: TaggedValue::decode(buf)?,
             }),
             4 => Ok(Msg::ReadFast {
                 handle: OpHandle::decode(buf)?,
@@ -252,6 +416,16 @@ impl Wire for Msg {
             7 => Ok(Msg::ReadFastAck {
                 handle: OpHandle::decode(buf)?,
                 snapshot: Snapshot::decode(buf)?,
+            }),
+            8 => Ok(Msg::ReadFastDelta {
+                handle: OpHandle::decode(buf)?,
+                acked: u64::decode(buf)?,
+                floor: TaggedValue::decode(buf)?,
+                new_values: Vec::<TaggedValue>::decode(buf)?,
+            }),
+            9 => Ok(Msg::ReadFastDeltaAck {
+                handle: OpHandle::decode(buf)?,
+                delta: DeltaSnapshot::decode(buf)?,
             }),
             value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
         }
@@ -296,7 +470,7 @@ mod tests {
             Msg::InvokeRead,
             Msg::InvokeWrite(Value::new(5)),
             Msg::Query { handle: handle() },
-            Msg::Update { handle: handle(), value: tv(4, 1, 44) },
+            Msg::Update { handle: handle(), value: tv(4, 1, 44), floor: tv(3, 0, 33) },
             Msg::ReadFast { handle: handle(), val_queue: vec![tv(1, 0, 1), tv(2, 1, 2)] },
             Msg::QueryAck { handle: handle(), latest: tv(9, 0, 99) },
             Msg::UpdateAck { handle: handle() },
@@ -306,6 +480,25 @@ mod tests {
                     entries: vec![ValueRecord {
                         value: tv(1, 1, 7),
                         updated: vec![ClientId::reader(0), ClientId::writer(1)],
+                    }],
+                },
+            },
+            Msg::ReadFastDelta {
+                handle: handle(),
+                acked: 17,
+                floor: tv(2, 1, 2),
+                new_values: vec![tv(3, 0, 3)],
+            },
+            Msg::ReadFastDeltaAck {
+                handle: handle(),
+                delta: DeltaSnapshot {
+                    from: 17,
+                    version: 21,
+                    latest: tv(3, 0, 3),
+                    pruned: tv(1, 0, 1),
+                    entries: vec![ValueRecord {
+                        value: tv(3, 0, 3),
+                        updated: vec![ClientId::reader(1)],
                     }],
                 },
             },

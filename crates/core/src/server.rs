@@ -1,34 +1,110 @@
 //! The register server automaton — Algorithm 2 of the paper, extended to
-//! serve every protocol variant in the design space.
+//! serve every protocol variant in the design space, plus the bounded-state
+//! machinery (delta snapshots and acknowledged-floor GC) that makes the
+//! fast read O(new information) instead of O(history).
 //!
 //! The server keeps a *value store* (`valuevector` in the paper): every
 //! tagged value it has ever received, each with an `updated` set recording
-//! the clients registered on it. Three request types exist:
+//! the clients registered on it. Request types:
 //!
 //! - **Query** (pure): reply with the current maximum value `vali`. Used by
 //!   the first round of slow writes and slow reads.
 //! - **Update** (mutating): `update(val, c)` per Algorithm 2 — insert or
 //!   merge the value, track the maximum, register the sender. Used by the
-//!   second round of writes and by slow-read write-backs.
+//!   second round of writes and by slow-read write-backs. Carries the
+//!   sender's completed-operation floor for GC.
 //! - **ReadFast** (mutating + query): apply `update(val, rj)` for every
 //!   value in the reader's `valQueue`, register the reader on the current
 //!   maximum value, then reply with the full store. This is the fast-read
 //!   round of Algorithm 1/2; registering the reader before replying is what
 //!   the admissibility degrees count (Lemma 8: *"every server which replies
 //!   to r2 … adds r2 to its updated set before replying"*).
+//! - **ReadFastDelta** (mutating + query): the bounded-state fast read.
+//!   Semantically identical to **ReadFast** — the reader ends up registered
+//!   on exactly its `valQueue` and receives (logically) the full store —
+//!   but only *new information* crosses the wire in either direction.
+//!
+//! # The delta protocol
+//!
+//! Every registration the server records — each `(value, client)` pair —
+//! bumps a monotone per-server *version* counter. A reader remembers, per
+//! server, the last version it merged (`acked`); the server's reply covers
+//! exactly the registrations in `(acked, now]`. Because links are FIFO and
+//! clients run one operation at a time, the deltas a reader merges are
+//! contiguous, so its cached copy of the server's store is always exact:
+//! the reconstruction equals the full-info [`Snapshot`] byte-for-byte, and
+//! `admissible(·)` selection is unchanged.
+//!
+//! Two details keep the *registration* behavior identical to full-info:
+//!
+//! 1. The reader sends only `valQueue` entries the server does not already
+//!    know it has (`val_queue ∖ cache`), so the server applies
+//!    `update(val, rj)` just for those; and
+//! 2. for the rest of the `valQueue` — values the reader learned from
+//!    deltas up to `acked` — the server *re-registers* the reader itself
+//!    ([`ServerState::catch_up_registrations`]): any value first added at
+//!    version ≤ `acked` is provably in the reader's `valQueue` (the reader
+//!    merged the delta that introduced it), exactly the set full-info
+//!    re-sends would have registered.
+//!
+//! # Acknowledged-floor GC — correctness argument
+//!
+//! Clients piggyback their *completed-operation floor* — the largest tag
+//! they have returned or written — on every `Update` and `ReadFastDelta`.
+//! Once **all** `R + W` clients have reported a floor to this server, the
+//! server prunes every stored value strictly below the minimum reported
+//! floor (keeping `vali` unconditionally), and refuses to re-insert values
+//! below that line (late duplicates, stale write-backs).
+//!
+//! Why this is safe: let `f = min` reported floor. Every reader has
+//! completed an operation returning (or writing back) a value `≥ f`, and a
+//! completed read's return value enters the reader's `valQueue`. A fast
+//! read sends its whole `valQueue` (logically) to every server, and every
+//! replying server registers the reader on each entry before replying — so
+//! each `valQueue` entry is contained in all `S − t` replies with the
+//! reader as a common witness, i.e. admissible with degree 1. The selection
+//! loop returns the *largest* admissible value, hence always a value
+//! `≥ max(valQueue) ≥` the reader's own floor `≥ f`. The fast read's
+//! fallback therefore never needs a pruned entry, and no future read of
+//! any client can return a value below `f`: entries below `f` are dead.
+//! (Readers prune their own `valQueue` and per-server caches below the
+//! server-announced floor for the same reason — see
+//! [`DeltaSnapshot::pruned`](crate::msg::DeltaSnapshot).)
+//!
+//! A client that crashes (or simply never completes an operation) before
+//! reporting a floor pins `f` at the initial tag, i.e. GC stays off — the
+//! conservative direction. The paper's full-info model is deliberately
+//! append-only ("the server just appends everything … never deleting any
+//! information", §4.1); this module is the practical counterpoint the
+//! analysis abstracts away.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use mwr_sim::{Automaton, Context};
 use mwr_types::{ClientId, ProcessId, TaggedValue};
 
 use crate::events::ClientEvent;
-use crate::msg::{Msg, Snapshot, ValueRecord};
+use crate::msg::{DeltaSnapshot, Msg, Snapshot, ValueRecord};
 
-/// One stored value's bookkeeping.
+/// One stored value's bookkeeping: which clients are registered on it and
+/// when (in registration-version terms) each one arrived.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Entry {
-    updated: BTreeSet<ClientId>,
+    /// Registered clients, each with the version its registration got.
+    updated: BTreeMap<ClientId, u64>,
+    /// The version at which this value first entered the store.
+    first_added: u64,
+}
+
+/// Acknowledged-floor GC bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GcState {
+    /// Clients that must report a floor before pruning may start (R + W).
+    required: usize,
+    /// Latest floor reported per client.
+    floors: BTreeMap<ClientId, TaggedValue>,
+    /// Everything strictly below this has been pruned.
+    pruned_floor: TaggedValue,
 }
 
 /// The state of a register server, independent of any transport.
@@ -53,20 +129,65 @@ struct Entry {
 pub struct ServerState {
     latest: TaggedValue,
     store: BTreeMap<TaggedValue, Entry>,
+    /// Monotone registration counter; every new `(value, client)` pair gets
+    /// the next version.
+    version: u64,
+    /// Registration log ordered by version, for O(new) delta assembly.
+    reg_log: Vec<(u64, TaggedValue, ClientId)>,
+    /// Value-addition log ordered by version, for reader catch-up.
+    additions: Vec<(u64, TaggedValue)>,
+    /// Per-reader catch-up high-water mark: the largest acknowledged
+    /// version whose values this reader has already been re-registered on.
+    registered_up_to: BTreeMap<ClientId, u64>,
+    /// `Some` iff acknowledged-floor GC is enabled.
+    gc: Option<GcState>,
 }
 
 impl ServerState {
     /// A fresh server holding only the initial value `((0, ⊥), 0)` with an
-    /// empty `updated` set (Algorithm 2, initialization).
+    /// empty `updated` set (Algorithm 2, initialization). GC is off.
     pub fn new() -> Self {
         let mut store = BTreeMap::new();
         store.insert(TaggedValue::initial(), Entry::default());
-        ServerState { latest: TaggedValue::initial(), store }
+        ServerState {
+            latest: TaggedValue::initial(),
+            store,
+            version: 0,
+            reg_log: Vec::new(),
+            additions: Vec::new(),
+            registered_up_to: BTreeMap::new(),
+            gc: None,
+        }
+    }
+
+    /// A fresh server with acknowledged-floor GC enabled: pruning starts
+    /// once `population` distinct clients have reported completed-operation
+    /// floors (pass the cluster's `R + W`).
+    pub fn with_gc(population: usize) -> Self {
+        let mut state = ServerState::new();
+        state.gc = Some(GcState {
+            required: population,
+            floors: BTreeMap::new(),
+            pruned_floor: TaggedValue::initial(),
+        });
+        state
     }
 
     /// The current maximum value `vali`.
     pub fn latest(&self) -> TaggedValue {
         self.latest
+    }
+
+    /// The server's GC floor: everything strictly below it has been pruned.
+    /// Stays at the initial value while GC is off or not yet engaged.
+    pub fn pruned_floor(&self) -> TaggedValue {
+        self.gc.as_ref().map_or_else(TaggedValue::initial, |g| g.pruned_floor)
+    }
+
+    /// The current registration version (grows with every new
+    /// `(value, client)` registration).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Algorithm 2's `update(val, c)`: insert `val` if new, advance the
@@ -75,10 +196,28 @@ impl ServerState {
     /// The paper's pseudocode resets `updated` to `{c}` when a strictly
     /// larger value arrives and merges `c` otherwise; values below the
     /// current maximum that were never seen before are still stored (the
-    /// store is append-only in the full-info spirit).
+    /// store is append-only in the full-info spirit). With GC engaged,
+    /// values strictly below the pruned floor that would not advance the
+    /// maximum are ignored — they are below every client's completed floor,
+    /// so no future read can return them (see the module docs).
     pub fn update(&mut self, val: TaggedValue, c: ClientId) {
-        let entry = self.store.entry(val).or_default();
-        entry.updated.insert(c);
+        if val < self.pruned_floor() && val <= self.latest && !self.store.contains_key(&val) {
+            return; // dead on arrival: a late duplicate below the GC floor
+        }
+        let version = &mut self.version;
+        let is_new_value = !self.store.contains_key(&val);
+        let entry = self.store.entry(val).or_insert_with(|| {
+            *version += 1;
+            Entry { updated: BTreeMap::new(), first_added: *version }
+        });
+        if is_new_value {
+            self.additions.push((entry.first_added, val));
+        }
+        if let std::collections::btree_map::Entry::Vacant(slot) = entry.updated.entry(c) {
+            *version += 1;
+            slot.insert(*version);
+            self.reg_log.push((*version, val, c));
+        }
         if val > self.latest {
             self.latest = val;
         }
@@ -91,7 +230,52 @@ impl ServerState {
         self.update(latest, c);
     }
 
-    /// The full store as reported to fast reads.
+    /// Re-registers `reader` on every stored value it provably knows —
+    /// those first added at a version `≤ acked` (the reader merged the
+    /// delta that introduced them, so they are in its `valQueue`). This is
+    /// the delta protocol's stand-in for full-info's `valQueue` re-send;
+    /// amortized O(new values) via the per-reader high-water mark.
+    pub fn catch_up_registrations(&mut self, reader: ClientId, acked: u64) {
+        // The initial value is in every reader's `valQueue` from birth and
+        // never enters the addition log; full-info re-sends it every read.
+        if self.store.contains_key(&TaggedValue::initial()) {
+            self.update(TaggedValue::initial(), reader);
+        }
+        let from = self.registered_up_to.get(&reader).copied().unwrap_or(0);
+        if acked <= from {
+            return; // late duplicate request: nothing new to catch up on
+        }
+        let start = self.additions.partition_point(|&(v, _)| v <= from);
+        let values: Vec<TaggedValue> = self.additions[start..]
+            .iter()
+            .take_while(|&&(v, _)| v <= acked)
+            .map(|&(_, val)| val)
+            .collect();
+        for val in values {
+            if self.store.contains_key(&val) {
+                self.update(val, reader);
+            }
+        }
+        self.registered_up_to.insert(reader, acked);
+    }
+
+    /// Records `client`'s completed-operation floor and prunes once every
+    /// one of the configured population has reported. No-op when GC is off.
+    pub fn record_floor(&mut self, client: ClientId, floor: TaggedValue) {
+        let Some(gc) = &mut self.gc else { return };
+        let known = gc.floors.entry(client).or_insert(floor);
+        *known = (*known).max(floor);
+        if gc.floors.len() < gc.required {
+            return;
+        }
+        let min = gc.floors.values().copied().min().unwrap_or_default();
+        if min > gc.pruned_floor {
+            gc.pruned_floor = min;
+            self.prune_below(min);
+        }
+    }
+
+    /// The full store as reported to full-info fast reads.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             entries: self
@@ -99,8 +283,33 @@ impl ServerState {
                 .iter()
                 .map(|(value, entry)| ValueRecord {
                     value: *value,
-                    updated: entry.updated.iter().copied().collect(),
+                    updated: entry.updated.keys().copied().collect(),
                 })
+                .collect(),
+        }
+    }
+
+    /// The store changes above registration version `from`, as reported to
+    /// delta fast reads. O(changes), not O(store).
+    pub fn delta_since(&self, from: u64) -> DeltaSnapshot {
+        let start = self.reg_log.partition_point(|&(v, _, _)| v <= from);
+        let mut entries: BTreeMap<TaggedValue, Vec<ClientId>> = BTreeMap::new();
+        for &(_, val, client) in &self.reg_log[start..] {
+            if self.store.contains_key(&val) {
+                entries.entry(val).or_default().push(client);
+            }
+        }
+        for clients in entries.values_mut() {
+            clients.sort_unstable();
+        }
+        DeltaSnapshot {
+            from,
+            version: self.version,
+            latest: self.latest,
+            pruned: self.pruned_floor(),
+            entries: entries
+                .into_iter()
+                .map(|(value, updated)| ValueRecord { value, updated })
                 .collect(),
         }
     }
@@ -112,22 +321,22 @@ impl ServerState {
 
     /// The `updated` set registered for `val`, if stored.
     pub fn updated_set(&self, val: TaggedValue) -> Option<Vec<ClientId>> {
-        self.store.get(&val).map(|e| e.updated.iter().copied().collect())
+        self.store.get(&val).map(|e| e.updated.keys().copied().collect())
     }
 
     /// Garbage-collects values strictly below `floor`, keeping the current
     /// maximum unconditionally. Returns how many entries were dropped.
     ///
-    /// The paper's full-info model is deliberately append-only ("the server
-    /// just appends everything … never deleting any information", §4.1);
-    /// real deployments bound the store instead. Pruning is safe once every
-    /// reader has observed a value `≥ floor`: the fast read's fallback loop
-    /// then never needs the pruned entries. The experiments leave pruning
-    /// off to stay faithful to the analysis.
+    /// Called by [`record_floor`](Self::record_floor) once every client has
+    /// acknowledged a completed operation `≥ floor`; see the module docs
+    /// for why the fast read's fallback never needs the pruned entries.
     pub fn prune_below(&mut self, floor: TaggedValue) -> usize {
         let latest = self.latest;
         let before = self.store.len();
         self.store.retain(|val, _| *val >= floor || *val == latest);
+        let store = &self.store;
+        self.reg_log.retain(|(_, val, _)| store.contains_key(val));
+        self.additions.retain(|(_, val)| store.contains_key(val));
         before - self.store.len()
     }
 }
@@ -146,9 +355,16 @@ pub struct RegisterServer {
 }
 
 impl RegisterServer {
-    /// Creates a fresh server.
+    /// Creates a fresh server (GC off — faithful to the paper's full-info
+    /// model).
     pub fn new() -> Self {
         RegisterServer { state: ServerState::new() }
+    }
+
+    /// Creates a server with acknowledged-floor GC enabled for a cluster of
+    /// `population` clients (`R + W`).
+    pub fn with_gc(population: usize) -> Self {
+        RegisterServer { state: ServerState::with_gc(population) }
     }
 
     /// Read access to the server's state (useful in tests).
@@ -168,7 +384,8 @@ impl RegisterServer {
                 handle: *handle,
                 latest: self.state.latest(),
             }),
-            Msg::Update { handle, value } => {
+            Msg::Update { handle, value, floor } => {
+                self.state.record_floor(client, *floor);
                 self.state.update(*value, client);
                 Some(Msg::UpdateAck { handle: *handle })
             }
@@ -180,6 +397,18 @@ impl RegisterServer {
                 Some(Msg::ReadFastAck {
                     handle: *handle,
                     snapshot: self.state.snapshot(),
+                })
+            }
+            Msg::ReadFastDelta { handle, acked, floor, new_values } => {
+                self.state.record_floor(client, *floor);
+                for val in new_values {
+                    self.state.update(*val, client);
+                }
+                self.state.catch_up_registrations(client, *acked);
+                self.state.register_on_latest(client);
+                Some(Msg::ReadFastDeltaAck {
+                    handle: *handle,
+                    delta: self.state.delta_since(*acked),
                 })
             }
             _ => None,
@@ -198,10 +427,16 @@ impl Automaton<Msg, ClientEvent> for RegisterServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msg::{OpHandle, OpId};
     use mwr_types::{Tag, Value, WriterId};
+    use std::collections::BTreeSet;
 
     fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
         TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+    }
+
+    fn rhandle(seq: u64) -> OpHandle {
+        OpHandle { op: OpId { client: ClientId::reader(0), seq }, phase: 1 }
     }
 
     #[test]
@@ -210,6 +445,7 @@ mod tests {
         assert!(s.latest().tag().is_initial());
         assert_eq!(s.stored_values(), 1);
         assert_eq!(s.updated_set(TaggedValue::initial()), Some(vec![]));
+        assert_eq!(s.version(), 0);
     }
 
     #[test]
@@ -252,10 +488,7 @@ mod tests {
     fn query_does_not_mutate() {
         let mut srv = RegisterServer::new();
         let before = srv.state().clone();
-        let handle = crate::msg::OpHandle {
-            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
-            phase: 1,
-        };
+        let handle = rhandle(0);
         let reply = srv.handle(ProcessId::reader(0), &Msg::Query { handle });
         assert_eq!(
             reply,
@@ -269,18 +502,17 @@ mod tests {
         let mut srv = RegisterServer::new();
         let w = ProcessId::writer(0);
         let r = ProcessId::reader(0);
-        let handle = crate::msg::OpHandle {
-            op: crate::msg::OpId { client: ClientId::writer(0), seq: 0 },
-            phase: 2,
-        };
-        srv.handle(w, &Msg::Update { handle, value: tv(1, 0, 11) });
+        let handle = OpHandle { op: OpId { client: ClientId::writer(0), seq: 0 }, phase: 2 };
+        srv.handle(
+            w,
+            &Msg::Update { handle, value: tv(1, 0, 11), floor: TaggedValue::initial() },
+        );
 
-        let rhandle = crate::msg::OpHandle {
-            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
-            phase: 1,
-        };
         let reply = srv
-            .handle(r, &Msg::ReadFast { handle: rhandle, val_queue: vec![TaggedValue::initial()] })
+            .handle(
+                r,
+                &Msg::ReadFast { handle: rhandle(0), val_queue: vec![TaggedValue::initial()] },
+            )
             .unwrap();
         let Msg::ReadFastAck { snapshot, .. } = reply else {
             panic!("expected ReadFastAck");
@@ -298,14 +530,118 @@ mod tests {
             .contains(&ClientId::reader(0)));
     }
 
+    /// The delta protocol and the full-info protocol leave the server in
+    /// identical registration state, and the delta stream reconstructs the
+    /// full snapshot exactly.
+    #[test]
+    fn delta_stream_reconstructs_the_full_snapshot() {
+        let mut full = RegisterServer::new();
+        let mut delta = RegisterServer::new();
+        let w = ProcessId::writer(0);
+        let r = ProcessId::reader(0);
+        let wfloor = TaggedValue::initial();
+
+        // Reconstructed view: seeded like the store's initial state.
+        let mut cache: BTreeMap<TaggedValue, BTreeSet<ClientId>> = BTreeMap::new();
+        cache.insert(TaggedValue::initial(), BTreeSet::new());
+        let mut acked = 0u64;
+
+        for round in 0..5u64 {
+            let value = tv(round + 1, 0, round + 1);
+            let wh = OpHandle { op: OpId { client: ClientId::writer(0), seq: round }, phase: 2 };
+            full.handle(w, &Msg::Update { handle: wh, value, floor: wfloor });
+            delta.handle(w, &Msg::Update { handle: wh, value, floor: wfloor });
+
+            // Full-info read re-sends everything it knows (= the cache).
+            let val_queue: Vec<TaggedValue> = cache.keys().copied().collect();
+            let f = full
+                .handle(r, &Msg::ReadFast { handle: rhandle(round), val_queue })
+                .unwrap();
+            // Delta read sends nothing new (the cache tracks the server).
+            let d = delta
+                .handle(
+                    r,
+                    &Msg::ReadFastDelta {
+                        handle: rhandle(round),
+                        acked,
+                        floor: TaggedValue::initial(),
+                        new_values: vec![],
+                    },
+                )
+                .unwrap();
+            let Msg::ReadFastAck { snapshot, .. } = f else { panic!() };
+            let Msg::ReadFastDeltaAck { delta: ds, .. } = d else { panic!() };
+            assert_eq!(ds.from, acked);
+            assert!(ds.version > acked, "reply must cover the new registrations");
+            for rec in &ds.entries {
+                cache.entry(rec.value).or_default().extend(rec.updated.iter().copied());
+            }
+            acked = ds.version;
+            let reconstructed = Snapshot {
+                entries: cache
+                    .iter()
+                    .map(|(value, updated)| ValueRecord {
+                        value: *value,
+                        updated: updated.iter().copied().collect(),
+                    })
+                    .collect(),
+            };
+            assert_eq!(reconstructed, snapshot, "round {round}: byte-for-byte");
+            assert_eq!(ds.latest, value);
+        }
+        assert_eq!(full.state().snapshot(), delta.state().snapshot());
+    }
+
+    /// A late duplicate `ReadFastDelta` (old acked version) is harmless:
+    /// registrations are idempotent and the reply simply re-covers the
+    /// already-delivered window.
+    #[test]
+    fn late_duplicate_read_fast_delta_is_idempotent() {
+        let mut srv = RegisterServer::new();
+        let r = ProcessId::reader(0);
+        srv.handle(
+            ProcessId::writer(0),
+            &Msg::Update {
+                handle: OpHandle { op: OpId { client: ClientId::writer(0), seq: 0 }, phase: 2 },
+                value: tv(1, 0, 5),
+                floor: TaggedValue::initial(),
+            },
+        );
+        let fresh = srv
+            .handle(
+                r,
+                &Msg::ReadFastDelta {
+                    handle: rhandle(0),
+                    acked: 0,
+                    floor: TaggedValue::initial(),
+                    new_values: vec![TaggedValue::initial()],
+                },
+            )
+            .unwrap();
+        let Msg::ReadFastDeltaAck { delta: first, .. } = fresh else { panic!() };
+        let state_after = srv.state().clone();
+        // The duplicate re-sends the same request with the old acked floor.
+        let dup = srv
+            .handle(
+                r,
+                &Msg::ReadFastDelta {
+                    handle: rhandle(0),
+                    acked: 0,
+                    floor: TaggedValue::initial(),
+                    new_values: vec![TaggedValue::initial()],
+                },
+            )
+            .unwrap();
+        let Msg::ReadFastDeltaAck { delta: second, .. } = dup else { panic!() };
+        assert_eq!(srv.state(), &state_after, "no state change on duplicate");
+        assert_eq!(first, second, "same window, same delta");
+    }
+
     #[test]
     fn server_ignores_client_only_messages() {
         let mut srv = RegisterServer::new();
         assert_eq!(srv.handle(ProcessId::reader(0), &Msg::InvokeRead), None);
-        let handle = crate::msg::OpHandle {
-            op: crate::msg::OpId { client: ClientId::reader(0), seq: 0 },
-            phase: 1,
-        };
+        let handle = rhandle(0);
         assert_eq!(srv.handle(ProcessId::reader(0), &Msg::UpdateAck { handle }), None);
     }
 
@@ -325,6 +661,59 @@ mod tests {
         let dropped = s.prune_below(tv(9, 0, 0));
         assert_eq!(dropped, 1);
         assert!(s.updated_set(s.latest()).is_some());
+    }
+
+    /// Floors from the whole population trigger pruning; one silent client
+    /// (crashed before its floor could advance) holds GC off forever.
+    #[test]
+    fn gc_waits_for_the_full_population() {
+        let mut s = ServerState::with_gc(3);
+        for i in 1..=4 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        assert_eq!(s.stored_values(), 5);
+        s.record_floor(ClientId::writer(0), tv(4, 0, 4));
+        s.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        // Reader 1 never reports: nothing may be pruned.
+        assert_eq!(s.stored_values(), 5, "GC must wait for every client");
+        assert_eq!(s.pruned_floor(), TaggedValue::initial());
+        s.record_floor(ClientId::reader(1), tv(2, 0, 2));
+        // min floor = (2, w1): initial and ts1 go.
+        assert_eq!(s.pruned_floor(), tv(2, 0, 2));
+        assert_eq!(s.stored_values(), 3);
+        assert!(s.updated_set(tv(2, 0, 2)).is_some());
+        assert!(s.updated_set(tv(1, 0, 1)).is_none());
+    }
+
+    /// Floors only ever advance; a stale (smaller) floor report cannot
+    /// regress the GC line.
+    #[test]
+    fn stale_floor_reports_do_not_regress() {
+        let mut s = ServerState::with_gc(1);
+        for i in 1..=3 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        s.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        assert_eq!(s.pruned_floor(), tv(3, 0, 3));
+        s.record_floor(ClientId::reader(0), tv(1, 0, 1));
+        assert_eq!(s.pruned_floor(), tv(3, 0, 3), "floor is monotone");
+    }
+
+    /// Once pruned, a value stays dead: late duplicates below the GC floor
+    /// are not re-inserted (they are below every client's completed floor).
+    #[test]
+    fn pruned_values_cannot_be_resurrected() {
+        let mut s = ServerState::with_gc(1);
+        for i in 1..=3 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        s.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        assert_eq!(s.stored_values(), 1);
+        s.update(tv(1, 0, 1), ClientId::writer(1)); // late duplicate
+        assert_eq!(s.stored_values(), 1, "below-floor values stay dead");
+        // …but a *new maximum* is always accepted.
+        s.update(tv(9, 0, 9), ClientId::writer(1));
+        assert_eq!(s.latest(), tv(9, 0, 9));
     }
 
     #[test]

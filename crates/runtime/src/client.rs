@@ -13,7 +13,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use mwr_core::{Admissibility, Msg, OpHandle, OpId, ReadMode, Snapshot, WriteMode};
+use mwr_core::{
+    Admissibility, FastWire, Msg, OpHandle, OpId, ReadMode, Snapshot, SnapshotCache, WriteMode,
+};
+use mwr_types::codec::Wire;
 use mwr_types::{
     ClientId, ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId,
 };
@@ -71,6 +74,8 @@ pub struct LiveWriter<E: Endpoint> {
     local_ts: u64,
     next_seq: u64,
     timeout: Duration,
+    /// Completed-operation floor, piggybacked on updates for GC.
+    floor: TaggedValue,
 }
 
 impl<E: Endpoint> LiveWriter<E> {
@@ -89,6 +94,7 @@ impl<E: Endpoint> LiveWriter<E> {
             local_ts: 0,
             next_seq: 0,
             timeout: Duration::from_secs(5),
+            floor: TaggedValue::initial(),
         }
     }
 
@@ -134,13 +140,14 @@ impl<E: Endpoint> LiveWriter<E> {
         round_trip(
             &self.endpoint,
             &self.config,
-            Msg::Update { handle, value: tagged },
+            Msg::Update { handle, value: tagged, floor: self.floor },
             self.timeout,
             |msg| match msg {
                 Msg::UpdateAck { handle: h } if *h == handle => Some(()),
                 _ => None,
             },
         )?;
+        self.floor = self.floor.max(tagged);
         Ok(tagged)
     }
 }
@@ -152,18 +159,40 @@ pub struct LiveReader<E: Endpoint> {
     id: ReaderId,
     config: ClusterConfig,
     mode: ReadMode,
+    wire: FastWire,
     val_queue: BTreeSet<TaggedValue>,
+    caches: BTreeMap<ServerId, SnapshotCache>,
+    gc_floor: TaggedValue,
+    floor: TaggedValue,
     next_seq: u64,
     timeout: Duration,
+    measure_payload: bool,
+    last_payload: u64,
 }
 
 impl<E: Endpoint> LiveReader<E> {
-    /// Creates a reader over an endpoint.
+    /// Creates a reader over an endpoint with the default
+    /// [`FastWire::Delta`] wire format.
     ///
     /// # Panics
     ///
     /// Panics if the endpoint's identity is not the given reader.
     pub fn new(endpoint: E, id: ReaderId, config: ClusterConfig, mode: ReadMode) -> Self {
+        Self::with_wire(endpoint, id, config, mode, FastWire::default())
+    }
+
+    /// Creates a reader with an explicit fast-read wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint's identity is not the given reader.
+    pub fn with_wire(
+        endpoint: E,
+        id: ReaderId,
+        config: ClusterConfig,
+        mode: ReadMode,
+        wire: FastWire,
+    ) -> Self {
         assert_eq!(endpoint.id(), ProcessId::from(id), "endpoint identity mismatch");
         let mut val_queue = BTreeSet::new();
         val_queue.insert(TaggedValue::initial());
@@ -172,9 +201,15 @@ impl<E: Endpoint> LiveReader<E> {
             id,
             config,
             mode,
+            wire,
             val_queue,
+            caches: BTreeMap::new(),
+            gc_floor: TaggedValue::initial(),
+            floor: TaggedValue::initial(),
             next_seq: 0,
             timeout: Duration::from_secs(5),
+            measure_payload: false,
+            last_payload: 0,
         }
     }
 
@@ -182,6 +217,28 @@ impl<E: Endpoint> LiveReader<E> {
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Enables payload accounting: each fast read additionally encodes its
+    /// requests and processed replies to count logical wire bytes (the
+    /// bench harness turns this on; it is off by default because the extra
+    /// encode costs O(payload) inside the operation).
+    pub fn set_measure_payload(&mut self, on: bool) -> &mut Self {
+        self.measure_payload = on;
+        self
+    }
+
+    /// Wire bytes the last fast read moved (encoded requests to all servers
+    /// plus every processed reply); 0 for slow reads or when payload
+    /// accounting is off. The regression signal for payload growth:
+    /// full-info grows with history, delta stays flat.
+    pub fn last_read_payload_bytes(&self) -> u64 {
+        self.last_payload
+    }
+
+    /// Number of `valQueue` entries currently held (bounded under GC).
+    pub fn val_queue_len(&self) -> usize {
+        self.val_queue.len()
     }
 
     /// Reads the register, blocking until the protocol's round-trips
@@ -193,7 +250,7 @@ impl<E: Endpoint> LiveReader<E> {
     pub fn read(&mut self) -> Result<TaggedValue, RuntimeError> {
         let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
         self.next_seq += 1;
-        match self.mode {
+        let returned = match self.mode {
             ReadMode::Slow => {
                 let handle = OpHandle { op, phase: 1 };
                 let acks = round_trip(
@@ -211,33 +268,24 @@ impl<E: Endpoint> LiveReader<E> {
                 round_trip(
                     &self.endpoint,
                     &self.config,
-                    Msg::Update { handle, value: best },
+                    Msg::Update { handle, value: best, floor: self.floor },
                     self.timeout,
                     |msg| match msg {
                         Msg::UpdateAck { handle: h } if *h == handle => Some(()),
                         _ => None,
                     },
                 )?;
-                Ok(best)
+                best
             }
             ReadMode::Fast | ReadMode::Adaptive => {
                 let handle = OpHandle { op, phase: 1 };
-                let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
-                let acks = round_trip(
-                    &self.endpoint,
-                    &self.config,
-                    Msg::ReadFast { handle, val_queue },
-                    self.timeout,
-                    |msg| match msg {
-                        Msg::ReadFastAck { handle: h, snapshot } if *h == handle => {
-                            Some(snapshot.clone())
-                        }
-                        _ => None,
-                    },
-                )?;
-                let snaps: Vec<Snapshot> = acks.into_values().collect();
+                let snaps = self.fast_round(handle)?;
                 for s in &snaps {
                     self.val_queue.extend(s.entries.iter().map(|e| e.value));
+                }
+                if self.gc_floor > TaggedValue::initial() {
+                    let keep = self.gc_floor;
+                    self.val_queue.retain(|v| *v >= keep);
                 }
                 if self.mode == ReadMode::Fast {
                     let adm = Admissibility::new(
@@ -246,39 +294,126 @@ impl<E: Endpoint> LiveReader<E> {
                         self.config.max_faults(),
                         self.config.readers() + 1,
                     );
-                    return Ok(adm.select_return_value());
+                    adm.select_return_value()
+                } else {
+                    // Adaptive: return the maximum fast when it is safely
+                    // admissible; secure it with a write-back otherwise.
+                    let cap = mwr_core::adaptive_degree_cap(
+                        self.config.servers(),
+                        self.config.max_faults(),
+                        self.config.readers(),
+                    );
+                    let adm = Admissibility::new(
+                        &snaps,
+                        self.config.servers(),
+                        self.config.max_faults(),
+                        cap,
+                    );
+                    let max_v = adm
+                        .candidates_descending()
+                        .into_iter()
+                        .next()
+                        .unwrap_or_else(TaggedValue::initial);
+                    if adm.degree(max_v).is_none() {
+                        let handle = OpHandle { op, phase: 2 };
+                        round_trip(
+                            &self.endpoint,
+                            &self.config,
+                            Msg::Update { handle, value: max_v, floor: self.floor },
+                            self.timeout,
+                            |msg| match msg {
+                                Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                                _ => None,
+                            },
+                        )?;
+                    }
+                    max_v
                 }
-                // Adaptive: return the maximum fast when it is safely
-                // admissible; secure it with a write-back otherwise.
-                let cap = mwr_core::adaptive_degree_cap(
-                    self.config.servers(),
-                    self.config.max_faults(),
-                    self.config.readers(),
-                );
-                let adm =
-                    Admissibility::new(&snaps, self.config.servers(), self.config.max_faults(), cap);
-                let max_v = adm
-                    .candidates_descending()
-                    .into_iter()
-                    .next()
-                    .unwrap_or_else(TaggedValue::initial);
-                if adm.degree(max_v).is_some() {
-                    return Ok(max_v);
+            }
+        };
+        self.floor = self.floor.max(returned);
+        Ok(returned)
+    }
+
+    /// Runs the fast-read round-trip on the configured wire and returns the
+    /// quorum's (logical, full-info) snapshots, accounting payload bytes.
+    fn fast_round(&mut self, handle: OpHandle) -> Result<Vec<Snapshot>, RuntimeError> {
+        let measure = self.measure_payload;
+        let mut bytes = 0u64;
+        let snaps = match self.wire {
+            FastWire::FullInfo => {
+                let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
+                let request = Msg::ReadFast { handle, val_queue };
+                if measure {
+                    bytes += request.to_bytes().len() as u64 * self.config.servers() as u64;
                 }
-                let handle = OpHandle { op, phase: 2 };
-                round_trip(
+                let acks = round_trip(
                     &self.endpoint,
                     &self.config,
-                    Msg::Update { handle, value: max_v },
+                    request,
                     self.timeout,
                     |msg| match msg {
-                        Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                        Msg::ReadFastAck { handle: h, snapshot } if *h == handle => {
+                            if measure {
+                                bytes += msg.to_bytes().len() as u64;
+                            }
+                            Some(snapshot.clone())
+                        }
                         _ => None,
                     },
                 )?;
-                Ok(max_v)
+                acks.into_values().collect()
             }
-        }
+            FastWire::Delta => {
+                let moved = std::cell::Cell::new(0u64);
+                let caches = &mut self.caches;
+                let val_queue = &self.val_queue;
+                let floor = self.floor;
+                let acks = round_trip_per_server(
+                    &self.endpoint,
+                    &self.config,
+                    |sid| {
+                        let cache = caches.entry(sid).or_default();
+                        let new_values: Vec<TaggedValue> = val_queue
+                            .iter()
+                            .filter(|v| !cache.knows(**v))
+                            .copied()
+                            .collect();
+                        let request = Msg::ReadFastDelta {
+                            handle,
+                            acked: cache.acked_version(),
+                            floor,
+                            new_values,
+                        };
+                        if measure {
+                            moved.set(moved.get() + request.to_bytes().len() as u64);
+                        }
+                        request
+                    },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::ReadFastDeltaAck { handle: h, delta } if *h == handle => {
+                            if measure {
+                                moved.set(moved.get() + msg.to_bytes().len() as u64);
+                            }
+                            Some(delta.clone())
+                        }
+                        _ => None,
+                    },
+                )?;
+                bytes += moved.get();
+                let mut snaps = Vec::with_capacity(acks.len());
+                for (sid, delta) in &acks {
+                    let cache = self.caches.get_mut(sid).expect("cache exists for contacted server");
+                    cache.merge(delta);
+                    self.gc_floor = self.gc_floor.max(delta.pruned);
+                    snaps.push(cache.reconstruct());
+                }
+                snaps
+            }
+        };
+        self.last_payload = bytes;
+        Ok(snaps)
     }
 }
 
@@ -289,11 +424,23 @@ fn round_trip<E: Endpoint, T>(
     config: &ClusterConfig,
     request: Msg,
     timeout: Duration,
+    matcher: impl FnMut(&Msg) -> Option<T>,
+) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
+    round_trip_per_server(endpoint, config, |_| request.clone(), timeout, matcher)
+}
+
+/// Like [`round_trip`], but with a per-server request — the delta fast read
+/// sends each server only what that server has not acknowledged.
+fn round_trip_per_server<E: Endpoint, T>(
+    endpoint: &E,
+    config: &ClusterConfig,
+    mut request_for: impl FnMut(ServerId) -> Msg,
+    timeout: Duration,
     mut matcher: impl FnMut(&Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
     for s in config.server_ids() {
         // A dead server is exactly the failure the quorum tolerates.
-        let _ = endpoint.send(ProcessId::Server(s), request.clone());
+        let _ = endpoint.send(ProcessId::Server(s), request_for(s));
     }
     let required = config.quorum_size();
     let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();

@@ -1,12 +1,19 @@
 //! One-call live clusters over either transport.
 
-use mwr_core::Protocol;
+use mwr_core::{FastWire, Protocol, RegisterServer};
 use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
 
 use crate::client::{LiveReader, LiveWriter};
-use crate::server::{spawn_server, ServerHandle};
+use crate::server::{spawn_server_with, ServerHandle};
 use crate::tcp::{TcpEndpoint, TcpRegistry};
 use crate::transport::{InMemoryEndpoint, InMemoryTransport, TransportError};
+
+/// The server blueprint live clusters spawn: acknowledged-floor GC sized to
+/// the cluster's client population, so server stores stay bounded once
+/// every client keeps completing operations.
+fn gc_server(config: &ClusterConfig) -> RegisterServer {
+    RegisterServer::with_gc(config.readers() + config.writers())
+}
 
 /// A running in-memory cluster: all servers up, clients on demand.
 ///
@@ -34,12 +41,15 @@ pub struct LiveCluster {
 }
 
 impl LiveCluster {
-    /// Starts every server of `config` on its own thread.
+    /// Starts every server of `config` on its own thread, with
+    /// acknowledged-floor GC enabled.
     pub fn start(config: ClusterConfig, protocol: Protocol) -> Self {
         let transport = InMemoryTransport::new();
         let servers = config
             .server_ids()
-            .map(|s| spawn_server(transport.register(ProcessId::Server(s))))
+            .map(|s| {
+                spawn_server_with(transport.register(ProcessId::Server(s)), gc_server(&config))
+            })
             .collect();
         LiveCluster { config, protocol, transport, servers }
     }
@@ -70,19 +80,32 @@ impl LiveCluster {
         )
     }
 
-    /// Creates reader `idx`'s blocking client.
+    /// Creates reader `idx`'s blocking client on the default
+    /// [`FastWire::Delta`] wire.
     ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range or the reader was already created.
     pub fn reader(&self, idx: u32) -> LiveReader<InMemoryEndpoint> {
+        self.reader_with_wire(idx, FastWire::default())
+    }
+
+    /// Creates reader `idx`'s blocking client with an explicit fast-read
+    /// wire format ([`FastWire::FullInfo`] restores the paper's O(history)
+    /// payloads, for comparison runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the reader was already created.
+    pub fn reader_with_wire(&self, idx: u32, wire: FastWire) -> LiveReader<InMemoryEndpoint> {
         assert!((idx as usize) < self.config.readers(), "reader {idx} out of range");
         let id = ReaderId::new(idx);
-        LiveReader::new(
+        LiveReader::with_wire(
             self.transport.register(id.into()),
             id,
             self.config,
             self.protocol.read_mode(),
+            wire,
         )
     }
 
@@ -120,7 +143,8 @@ pub struct TcpCluster {
 }
 
 impl TcpCluster {
-    /// Binds and starts every server of `config` on loopback sockets.
+    /// Binds and starts every server of `config` on loopback sockets, with
+    /// acknowledged-floor GC enabled.
     ///
     /// # Errors
     ///
@@ -130,7 +154,7 @@ impl TcpCluster {
         let mut servers = Vec::new();
         for s in config.server_ids() {
             let endpoint = TcpEndpoint::bind(ProcessId::Server(s), &registry)?;
-            servers.push(spawn_server(endpoint));
+            servers.push(spawn_server_with(endpoint, gc_server(&config)));
         }
         Ok(TcpCluster { config, protocol, registry, servers })
     }
@@ -151,15 +175,30 @@ impl TcpCluster {
         Ok(LiveWriter::new(endpoint, id, self.config, self.protocol.write_mode()))
     }
 
-    /// Creates reader `idx`'s blocking client over TCP.
+    /// Creates reader `idx`'s blocking client over TCP on the default
+    /// [`FastWire::Delta`] wire.
     ///
     /// # Errors
     ///
     /// Returns a [`TransportError`] if the client socket cannot be bound.
     pub fn reader(&self, idx: u32) -> Result<LiveReader<TcpEndpoint>, TransportError> {
+        self.reader_with_wire(idx, FastWire::default())
+    }
+
+    /// Creates reader `idx`'s blocking client over TCP with an explicit
+    /// fast-read wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client socket cannot be bound.
+    pub fn reader_with_wire(
+        &self,
+        idx: u32,
+        wire: FastWire,
+    ) -> Result<LiveReader<TcpEndpoint>, TransportError> {
         let id = ReaderId::new(idx);
         let endpoint = TcpEndpoint::bind(id.into(), &self.registry)?;
-        Ok(LiveReader::new(endpoint, id, self.config, self.protocol.read_mode()))
+        Ok(LiveReader::with_wire(endpoint, id, self.config, self.protocol.read_mode(), wire))
     }
 
     /// Shuts down all servers; returns total requests handled.

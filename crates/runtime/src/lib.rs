@@ -43,6 +43,6 @@ mod transport;
 
 pub use client::{LiveReader, LiveWriter, RuntimeError};
 pub use cluster::{LiveCluster, TcpCluster};
-pub use server::{spawn_server, ServerHandle};
+pub use server::{spawn_server, spawn_server_with, ServerHandle};
 pub use tcp::{TcpEndpoint, TcpRegistry};
 pub use transport::{Endpoint, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError};

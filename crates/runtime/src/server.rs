@@ -67,12 +67,24 @@ impl Drop for ServerHandle {
 /// assert_eq!(handle.shutdown(), 0);
 /// ```
 pub fn spawn_server(endpoint: impl Endpoint + 'static) -> ServerHandle {
+    spawn_server_with(endpoint, RegisterServer::new())
+}
+
+/// Spawns a register server with explicit initial state — e.g.
+/// [`RegisterServer::with_gc`] to enable acknowledged-floor GC.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_server_with(
+    endpoint: impl Endpoint + 'static,
+    mut server: RegisterServer,
+) -> ServerHandle {
     let id = endpoint.id();
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
     let join = thread::Builder::new()
         .name(format!("mwr-server-{id}"))
         .spawn(move || {
-            let mut server = RegisterServer::new();
             let mut handled: u64 = 0;
             loop {
                 select! {

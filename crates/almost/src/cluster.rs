@@ -1,8 +1,8 @@
-//! One-call assembly of a tunable-quorum cluster, mirroring
-//! [`mwr_core::Cluster`].
+//! One-call assembly of a tunable-quorum cluster, plugging into
+//! [`mwr_core::SimCluster`].
 
-use mwr_core::{ClientEvent, Msg, RegisterServer, ScheduledOp};
-use mwr_sim::{SimError, SimTime, Simulation};
+use mwr_core::{ClientEvent, Msg, RegisterServer, SimCluster};
+use mwr_sim::Simulation;
 use mwr_types::{ClusterConfig, ProcessId};
 
 use crate::client::TunableClient;
@@ -18,7 +18,7 @@ use crate::level::TunableSpec;
 ///
 /// ```
 /// use mwr_almost::{TunableCluster, TunableSpec};
-/// use mwr_core::ScheduledOp;
+/// use mwr_core::{ScheduledOp, SimCluster};
 /// use mwr_sim::SimTime;
 /// use mwr_types::{ClusterConfig, Value};
 ///
@@ -55,9 +55,10 @@ impl TunableCluster {
     pub fn spec(&self) -> TunableSpec {
         self.spec
     }
+}
 
-    /// Adds all servers, writers and readers to a simulation.
-    pub fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
+impl SimCluster for TunableCluster {
+    fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
         for s in self.config.server_ids() {
             sim.add_process(ProcessId::Server(s), RegisterServer::new());
         }
@@ -69,58 +70,16 @@ impl TunableCluster {
         }
     }
 
-    /// Builds a fresh simulation with this cluster installed.
-    pub fn build_sim(&self, seed: u64) -> Simulation<Msg, ClientEvent> {
-        let mut sim = Simulation::new(seed);
-        self.install(&mut sim);
-        sim
-    }
-
-    /// Schedules one operation invocation.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
-    /// out of range for the configuration.
-    pub fn schedule(
-        &self,
-        sim: &mut Simulation<Msg, ClientEvent>,
-        at: SimTime,
-        op: ScheduledOp,
-    ) -> Result<(), SimError> {
-        match op {
-            ScheduledOp::Read { reader } => {
-                sim.schedule_external(at, ProcessId::reader(reader), Msg::InvokeRead)
-            }
-            ScheduledOp::Write { writer, value } => {
-                sim.schedule_external(at, ProcessId::writer(writer), Msg::InvokeWrite(value))
-            }
-        }
-    }
-
-    /// Runs a full schedule to quiescence and returns the client events.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling and simulation errors.
-    pub fn run_schedule(
-        &self,
-        seed: u64,
-        ops: &[(SimTime, ScheduledOp)],
-    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
-        let mut sim = self.build_sim(seed);
-        for (at, op) in ops {
-            self.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        Ok(sim.drain_notifications())
+    fn client_config(&self) -> ClusterConfig {
+        self.config
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mwr_core::OpResult;
+    use mwr_core::{OpResult, ScheduledOp};
+    use mwr_sim::{SimError, SimTime};
     use mwr_types::{TaggedValue, Value};
 
     fn reads_of(events: &[(SimTime, ClientEvent)]) -> Vec<TaggedValue> {

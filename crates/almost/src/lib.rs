@@ -41,7 +41,7 @@
 //! ```
 //! use mwr_almost::{ConsistencyLevel, StalenessReport, TunableCluster, TunableSpec, WriteTagging};
 //! use mwr_check::History;
-//! use mwr_core::ScheduledOp;
+//! use mwr_core::{ScheduledOp, SimCluster};
 //! use mwr_sim::SimTime;
 //! use mwr_types::{ClusterConfig, Value};
 //!

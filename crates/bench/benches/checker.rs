@@ -4,12 +4,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mwr_bench::random_schedule;
 use mwr_check::{check_atomicity, search_atomicity, History};
-use mwr_core::{Cluster, Protocol};
+use mwr_core::{Protocol, SimCluster};
+use mwr_register::Deployment;
 use mwr_types::ClusterConfig;
 
 fn history_of(ops_per_client: usize) -> History {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2R1);
+    let cluster = Deployment::new(config).protocol(Protocol::W2R1).sim_cluster().unwrap();
     let schedule = random_schedule(&config, ops_per_client, 1_000, 42);
     let events = cluster.run_schedule(11, &schedule).unwrap();
     History::from_events(&events).unwrap()

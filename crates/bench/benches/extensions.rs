@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mwr_almost::StalenessReport;
 use mwr_byz::{safe_max_tag, vouched_snapshots};
 use mwr_check::History;
-use mwr_core::{Admissibility, Cluster, Protocol, Snapshot, ValueRecord};
+use mwr_core::{Admissibility, Protocol, Snapshot, ValueRecord};
+use mwr_register::Deployment;
 use mwr_types::{ClientId, ClusterConfig, Tag, TaggedValue, Value, WriterId};
 use mwr_workload::{run_closed_loop, WorkloadSpec};
 
@@ -71,7 +72,7 @@ fn bench_staleness_analysis(c: &mut Criterion) {
     group.sample_size(10);
     // A realistic history from a closed-loop run.
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2R1);
+    let cluster = Deployment::new(config).protocol(Protocol::W2R1).sim_cluster().unwrap();
     for ticks in [2_000u64, 8_000] {
         let report = run_closed_loop(
             &cluster,

@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mwr_core::{Cluster, Protocol, ScheduledOp};
+use mwr_core::{Protocol, ScheduledOp, SimCluster};
+use mwr_register::Deployment;
 use mwr_sim::SimTime;
 use mwr_types::{ClusterConfig, Value};
 
@@ -28,7 +29,7 @@ fn bench_protocols(c: &mut Criterion) {
     for protocol in Protocol::ALL {
         let writers = if protocol.is_single_writer() { 1 } else { 2 };
         let config = ClusterConfig::new(5, 1, 2, writers).unwrap();
-        let cluster = Cluster::new(config, protocol);
+        let cluster = Deployment::new(config).protocol(protocol).sim_cluster().unwrap();
         let sched: Vec<_> = schedule
             .iter()
             .filter(|(_, op)| match op {

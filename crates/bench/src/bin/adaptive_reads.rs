@@ -20,7 +20,8 @@
 //!    fast) and W2R2 (all slow) while staying atomic everywhere.
 
 use mwr_check::{check_atomicity, History};
-use mwr_core::{ClientEvent, Cluster, OpKind, Protocol};
+use mwr_core::{ClientEvent, OpKind, Protocol};
+use mwr_register::Deployment;
 use mwr_sim::{DelayModel, SimTime};
 use mwr_types::ClusterConfig;
 use mwr_workload::{run_closed_loop_customized, TextTable, WorkloadSpec};
@@ -39,7 +40,7 @@ fn measure(config: ClusterConfig, protocol: Protocol, think: u64, seeds: &[u64])
     let mut p50 = SimTime::ZERO;
     let mut atomic = true;
     for &seed in seeds {
-        let cluster = Cluster::new(config, protocol);
+        let cluster = Deployment::new(config).protocol(protocol).sim_cluster().expect("core sim");
         let spec = WorkloadSpec {
             duration: SimTime::from_ticks(1_500),
             think_time: SimTime::from_ticks(think),

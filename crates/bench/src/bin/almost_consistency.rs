@@ -23,12 +23,13 @@
 //! with one-round-trip reads by paying two-round-trip writes *and* the
 //! `R < S/t − 2` constraint.
 
-use mwr_almost::{ConsistencyClass, ConsistencyProfile, TunableCluster, TunableSpec};
+use mwr_almost::{ConsistencyClass, ConsistencyProfile, TunableSpec};
 use mwr_check::History;
-use mwr_core::{Cluster, Protocol};
+use mwr_core::Protocol;
+use mwr_register::{Deployment, Spec};
 use mwr_sim::{DelayModel, SimTime};
 use mwr_types::ClusterConfig;
-use mwr_workload::{drive_closed_loop, run_closed_loop_customized, TextTable, WorkloadSpec};
+use mwr_workload::{run_closed_loop_customized, TextTable, WorkloadSpec};
 
 /// A row candidate: either a tunable spec or one of the paper's protocols.
 enum Candidate {
@@ -48,6 +49,13 @@ impl Candidate {
         match self {
             Candidate::Tunable(spec) => (spec.write_round_trips(), spec.read_round_trips()),
             Candidate::Paper(p) => (p.write_round_trips(), p.read_round_trips()),
+        }
+    }
+
+    fn spec(&self) -> Spec {
+        match self {
+            Candidate::Tunable(t) => Spec::Tunable(*t),
+            Candidate::Paper(p) => Spec::Core(*p),
         }
     }
 }
@@ -85,21 +93,16 @@ fn measure(
     };
     for &seed in seeds {
         let spec = WorkloadSpec { duration: SimTime::from_ticks(1_500), think_time, seed };
-        let mut report = match candidate {
-            Candidate::Tunable(t) => {
-                let cluster = TunableCluster::new(config, *t);
-                let mut sim = cluster.build_sim(seed);
-                sim.network_mut().set_default_delay(delay);
-                drive_closed_loop(&mut sim, config, spec).expect("closed loop")
-            }
-            Candidate::Paper(p) => {
-                let cluster = Cluster::new(config, *p);
-                run_closed_loop_customized(&cluster, spec, |sim| {
-                    sim.network_mut().set_default_delay(delay);
-                })
-                .expect("closed loop")
-            }
-        };
+        // Both families run through the one facade-built blueprint: the
+        // driver no longer cares which kind of client it is driving.
+        let cluster = Deployment::new(config)
+            .protocol(candidate.spec())
+            .sim_cluster()
+            .expect("sim deployment");
+        let mut report = run_closed_loop_customized(&cluster, spec, |sim| {
+            sim.network_mut().set_default_delay(delay);
+        })
+        .expect("closed loop");
         let history =
             History::from_events(&report.events).expect("quiescent run yields complete history");
         let profile = ConsistencyProfile::measure(&history);

@@ -17,12 +17,13 @@
 //! 3. **The price of masking** — read/write latency of Byzantine-proof
 //!    quorums vs the crash-only baseline.
 
-use mwr_byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
+use mwr_byz::{ByzBehavior, ByzConfig, ByzReadMode};
 use mwr_check::{check_atomicity, History};
-use mwr_core::{ClientEvent, Cluster, OpResult, Protocol, ScheduledOp};
+use mwr_core::{ClientEvent, OpResult, Protocol, ScheduledOp};
+use mwr_register::{Backend, Deployment};
 use mwr_sim::{SimTime, Simulation};
 use mwr_types::{ClusterConfig, Value};
-use mwr_workload::{drive_closed_loop, TextTable, WorkloadSpec};
+use mwr_workload::{run_closed_loop, TextTable, WorkloadSpec};
 
 /// A concurrent schedule with `rounds` write/read pairs, cycling through
 /// `readers` readers and two writers.
@@ -93,8 +94,10 @@ fn part1_behavior_grid() {
         // cluster whose server 0 is Byzantine instead of honest.
         let crash = probe(
             |seed| {
+                // A hand-assembled hybrid (one Byzantine automaton inside
+                // an honest W2R2 cluster) — deliberately not a supported
+                // deployment, so it is built from automata directly.
                 let mut sim: Simulation<_, _> = Simulation::new(seed);
-                let cluster = Cluster::new(crash_config, Protocol::W2R2);
                 sim.add_process(
                     mwr_types::ProcessId::server(0),
                     mwr_byz::ByzRegisterServer::new(behavior),
@@ -108,7 +111,7 @@ fn part1_behavior_grid() {
                         mwr_core::RegisterClient::writer(
                             w,
                             crash_config,
-                            cluster.protocol().write_mode(),
+                            Protocol::W2R2.write_mode(),
                         ),
                     );
                 }
@@ -118,12 +121,12 @@ fn part1_behavior_grid() {
                         mwr_core::RegisterClient::reader(
                             r,
                             crash_config,
-                            cluster.protocol().read_mode(),
+                            Protocol::W2R2.read_mode(),
                         ),
                     );
                 }
                 for (at, op) in &sched {
-                    cluster.schedule(&mut sim, *at, *op).expect("schedule");
+                    op.schedule_into(&mut sim, *at).expect("schedule");
                 }
                 sim.run_until_quiescent().expect("quiescent");
                 sim.drain_notifications()
@@ -132,16 +135,22 @@ fn part1_behavior_grid() {
         );
         let slow = probe(
             |seed| {
-                ByzCluster::new(byz_config, ByzReadMode::Slow, behavior)
-                    .run_schedule(seed, &sched)
+                Deployment::byz(byz_config, ByzReadMode::Slow, behavior)
+                    .backend(Backend::Sim { seed })
+                    .sim()
+                    .expect("byz sim deployment")
+                    .run_schedule(&sched)
                     .expect("run")
             },
             1..=20,
         );
         let fast = probe(
             |seed| {
-                ByzCluster::new(byz_config, ByzReadMode::Fast, behavior)
-                    .run_schedule(seed, &sched)
+                Deployment::byz(byz_config, ByzReadMode::Fast, behavior)
+                    .backend(Backend::Sim { seed })
+                    .sim()
+                    .expect("byz sim deployment")
+                    .run_schedule(&sched)
                     .expect("run")
             },
             1..=20,
@@ -176,17 +185,17 @@ fn part2_fast_read_boundary() {
             for behavior in behaviors {
                 let (n, v, f) = probe(
                     |seed| {
-                        let cluster = ByzCluster::new(config, ByzReadMode::Fast, behavior);
-                        let mut sim = cluster.build_sim(seed);
-                        sim.network_mut().set_default_delay(mwr_sim::DelayModel::Uniform {
-                            lo: SimTime::from_ticks(1),
-                            hi: SimTime::from_ticks(40),
-                        });
-                        for (at, op) in &sched {
-                            cluster.schedule(&mut sim, *at, *op).expect("schedule");
-                        }
-                        sim.run_until_quiescent().expect("quiescent");
-                        sim.drain_notifications()
+                        let mut handle = Deployment::byz(config, ByzReadMode::Fast, behavior)
+                            .backend(Backend::Sim { seed })
+                            .sim()
+                            .expect("byz sim deployment");
+                        handle.sim_mut().network_mut().set_default_delay(
+                            mwr_sim::DelayModel::Uniform {
+                                lo: SimTime::from_ticks(1),
+                                hi: SimTime::from_ticks(40),
+                            },
+                        );
+                        handle.run_schedule(&sched).expect("run")
                     },
                     1..=15,
                 );
@@ -219,8 +228,11 @@ fn part2b_constructed_witness() {
     println!("-- Part 2b: constructed below-frontier witness (S = 5, b = 1, R = 2) --");
     let config = ByzConfig::new(5, 1, 2, 2).expect("valid");
     assert!(!config.fast_read_conjecture());
-    let cluster = ByzCluster::new(config, ByzReadMode::Fast, ByzBehavior::StaleReplier);
-    let mut sim = cluster.build_sim(1);
+    let mut handle = Deployment::byz(config, ByzReadMode::Fast, ByzBehavior::StaleReplier)
+        .backend(Backend::Sim { seed: 1 })
+        .sim()
+        .expect("byz sim deployment");
+    let sim = handle.sim_mut();
     sim.network_mut().hold_between(mwr_types::ProcessId::reader(0), mwr_types::ProcessId::server(1));
     sim.network_mut().hold_between(mwr_types::ProcessId::reader(1), mwr_types::ProcessId::server(4));
     for srv in [1u32, 2] {
@@ -229,16 +241,14 @@ fn part2b_constructed_witness() {
             mwr_sim::LinkSelector::directed(mwr_types::ProcessId::writer(1), mwr_types::ProcessId::server(srv)),
         );
     }
-    for (at, op) in [
-        (0u64, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
-        (20, ScheduledOp::Write { writer: 1, value: Value::new(2) }),
-        (30, ScheduledOp::Read { reader: 0 }),
-        (40, ScheduledOp::Read { reader: 1 }),
-    ] {
-        cluster.schedule(&mut sim, SimTime::from_ticks(at), op).expect("schedule");
-    }
-    sim.run_until_quiescent().expect("quiescent");
-    let events = sim.drain_notifications();
+    let events = handle
+        .run_schedule(&[
+            (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
+            (SimTime::from_ticks(20), ScheduledOp::Write { writer: 1, value: Value::new(2) }),
+            (SimTime::from_ticks(30), ScheduledOp::Read { reader: 0 }),
+            (SimTime::from_ticks(40), ScheduledOp::Read { reader: 1 }),
+        ])
+        .expect("run");
     let reads: Vec<u64> = events
         .iter()
         .filter_map(|(_, e)| match e {
@@ -264,8 +274,11 @@ fn part3_masking_price() {
     };
     // Crash-tolerant baseline: t = 2 → quorum 7.
     let crash_config = ClusterConfig::new(9, 2, 2, 2).expect("valid");
-    let cluster = Cluster::new(crash_config, Protocol::W2R2);
-    let mut report = mwr_workload::run_closed_loop(&cluster, spec).expect("run");
+    let cluster = Deployment::new(crash_config)
+        .protocol(Protocol::W2R2)
+        .sim_cluster()
+        .expect("core sim");
+    let mut report = run_closed_loop(&cluster, spec).expect("run");
     let (w, r) = report.summaries();
     table.row(vec![
         "W2R2 (crash, t=2)".to_string(),
@@ -276,10 +289,13 @@ fn part3_masking_price() {
     // Byzantine: b = 2 → same quorum size, but vouching and safe maxima.
     let byz_config = ByzConfig::new(9, 2, 2, 2).expect("valid");
     for (label, mode) in [("Byz W2R2 (b=2)", ByzReadMode::Slow), ("Byz W2R1 (b=2)", ByzReadMode::Fast)] {
-        let cluster = ByzCluster::new(byz_config, mode, ByzBehavior::Honest);
-        let mut sim = cluster.build_sim(spec.seed);
-        let scheduling_config = ClusterConfig::new(9, 2, 2, 2).expect("valid");
-        let mut report = drive_closed_loop(&mut sim, scheduling_config, spec).expect("run");
+        // The generic driver gets the scheduling population from the
+        // blueprint itself (SimCluster::client_config) — no hand-derived
+        // scheduling config anymore.
+        let cluster = Deployment::byz(byz_config, mode, ByzBehavior::Honest)
+            .sim_cluster()
+            .expect("byz sim deployment");
+        let mut report = run_closed_loop(&cluster, spec).expect("run");
         let (w, r) = report.summaries();
         table.row(vec![
             label.to_string(),

@@ -3,6 +3,7 @@
 //! paper's condition `R < S/t − 2` flips exactly once; the mechanized
 //! engines and the implementation verdicts flip with it.
 
+use mwr_bench::args::Args;
 use mwr_bench::probe_protocol;
 use mwr_chains::fastread::{fig9_outcome, Fig9Outcome};
 use mwr_core::Protocol;
@@ -10,7 +11,9 @@ use mwr_types::ClusterConfig;
 use mwr_workload::TextTable;
 
 fn main() {
-    const RUNS: usize = 25;
+    let args = Args::parse();
+    args.expect_known("crossover_threshold", &[], &["runs"]);
+    let runs = args.get_u64("runs", 25) as usize;
     println!("== Crossover at R = S/t − 2 (W2R1 feasibility boundary) ==\n");
 
     for (s, t) in [(6usize, 1usize), (9, 2)] {
@@ -20,7 +23,7 @@ fn main() {
         ]);
         for r in 1..=(s / t) {
             let Ok(config) = ClusterConfig::new(s, t, r, 2) else { continue };
-            let outcome = probe_protocol(config, Protocol::W2R1, RUNS).expect("simulation");
+            let outcome = probe_protocol(config, Protocol::W2R1, runs).expect("simulation");
             let probe = if outcome.violations > 0 {
                 format!("violations {}/{}", outcome.violations, outcome.runs)
             } else {

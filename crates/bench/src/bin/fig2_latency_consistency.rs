@@ -4,7 +4,8 @@
 //! atomic ⊃ regular ⊃ safe.
 
 use mwr_check::{check_atomicity, check_regular, check_safe, History};
-use mwr_core::{Cluster, Protocol};
+use mwr_core::Protocol;
+use mwr_register::Deployment;
 use mwr_sim::SimTime;
 use mwr_types::ClusterConfig;
 use mwr_workload::{run_closed_loop, TextTable, WorkloadSpec};
@@ -24,7 +25,7 @@ fn main() {
     for protocol in Protocol::ALL {
         let writers = if protocol.is_single_writer() { 1 } else { 2 };
         let config = ClusterConfig::new(5, 1, 2, writers).unwrap();
-        let cluster = Cluster::new(config, protocol);
+        let cluster = Deployment::new(config).protocol(protocol).sim_cluster().expect("core sim");
         let mut report = run_closed_loop(&cluster, spec).expect("workload");
         let history = History::from_events(&report.events).expect("complete history");
         let (w, r) = report.summaries();

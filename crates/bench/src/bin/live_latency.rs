@@ -25,8 +25,10 @@ use std::fmt::Write as _;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use mwr_bench::args::Args;
 use mwr_core::{FastWire, Protocol};
-use mwr_runtime::{LiveCluster, TcpCluster};
+use mwr_register::{Backend, Deployment, LiveHandle};
+use mwr_runtime::EndpointFactory;
 use mwr_types::{ClusterConfig, Value};
 use mwr_workload::TextTable;
 
@@ -257,33 +259,40 @@ fn growth_run(
     }
 }
 
+/// Runs one growth experiment on an already-deployed live handle; works
+/// identically for both transports because the handle is generic.
+fn growth_on<F: EndpointFactory>(
+    handle: LiveHandle<F>,
+    transport: &'static str,
+    wire: FastWire,
+) -> Growth {
+    let mut w = handle.writer(0).expect("writer endpoint");
+    let mut r = handle.reader(0).expect("reader endpoint").with_measure_payload(true);
+    let growth = growth_run(
+        transport,
+        wire,
+        move |v| w.write(v).is_ok(),
+        move || r.read().ok().map(|_| r.last_read_payload_bytes()),
+    );
+    handle.shutdown();
+    growth
+}
+
 fn growth_experiments() -> Vec<Growth> {
     let config = ClusterConfig::new(5, 1, 1, 1).expect("valid growth config");
     let mut out = Vec::new();
     for wire in [FastWire::FullInfo, FastWire::Delta] {
-        let cluster = LiveCluster::start(config, Protocol::W2R1);
-        let mut w = cluster.writer(0);
-        let mut r = cluster.reader_with_wire(0, wire);
-        r.set_measure_payload(true);
-        out.push(growth_run(
+        let deployment = Deployment::new(config).protocol(Protocol::W2R1).fast_wire(wire);
+        out.push(growth_on(
+            deployment.backend(Backend::InMemory).in_memory().expect("in-memory cluster"),
             "in-memory",
             wire,
-            move |v| w.write(v).is_ok(),
-            move || r.read().ok().map(|_| r.last_read_payload_bytes()),
         ));
-        cluster.shutdown();
-
-        let cluster = TcpCluster::start(config, Protocol::W2R1).expect("tcp cluster");
-        let mut w = cluster.writer(0).expect("writer endpoint");
-        let mut r = cluster.reader_with_wire(0, wire).expect("reader endpoint");
-        r.set_measure_payload(true);
-        out.push(growth_run(
+        out.push(growth_on(
+            deployment.backend(Backend::Tcp).tcp().expect("tcp cluster"),
             "tcp",
             wire,
-            move |v| w.write(v).is_ok(),
-            move || r.read().ok().map(|_| r.last_read_payload_bytes()),
         ));
-        cluster.shutdown();
     }
     out
 }
@@ -337,64 +346,55 @@ fn to_json(table: &[(&str, Vec<Row>)], growth: &[Growth]) -> String {
     s
 }
 
+/// Measures one latency-table row on an already-deployed live handle;
+/// generic over the transport.
+fn row_on<F: EndpointFactory>(handle: LiveHandle<F>, label: &str) -> Row {
+    let config = handle.config();
+    let writers = (0..config.writers() as u32)
+        .map(|w| {
+            let mut client = handle.writer(w).expect("writer endpoint");
+            move |v: Value| client.write(v).is_ok()
+        })
+        .collect();
+    let readers = (0..config.readers() as u32)
+        .map(|r| {
+            let mut client = handle.reader(r).expect("reader endpoint").with_measure_payload(true);
+            move || client.read().ok().map(|_| client.last_read_payload_bytes())
+        })
+        .collect();
+    let row = measure_row(label, writers, readers);
+    handle.shutdown();
+    row
+}
+
 fn main() {
-    let assert_bounded = std::env::args().any(|a| a == "--assert-bounded");
+    let args = Args::parse();
+    args.expect_known("live_latency", &["assert-bounded"], &[]);
+    let assert_bounded = args.flag("assert-bounded");
     let config = ClusterConfig::new(5, 1, 2, 2).expect("valid config");
     println!("== L1: live wall-clock latency (S=5 t=1 R=2 W=2, {OPS_PER_CLIENT} ops/client) ==\n");
 
     let mut table_json: Vec<(&str, Vec<Row>)> = Vec::new();
-
-    println!("-- transport: in-memory channels --");
-    let mut table = TextTable::new(COLUMNS.to_vec());
-    let mut rows = Vec::new();
-    for (protocol, wire, label) in row_plan(&config) {
-        let cluster = LiveCluster::start(config, protocol);
-        let writers = (0..config.writers() as u32)
-            .map(|w| {
-                let mut client = cluster.writer(w);
-                move |v: Value| client.write(v).is_ok()
-            })
-            .collect();
-        let readers = (0..config.readers() as u32)
-            .map(|r| {
-                let mut client = cluster.reader_with_wire(r, wire);
-                client.set_measure_payload(true);
-                move || client.read().ok().map(|_| client.last_read_payload_bytes())
-            })
-            .collect();
-        let row = measure_row(&label, writers, readers);
-        table.row(row.cells());
-        rows.push(row);
-        cluster.shutdown();
+    for (transport, backend) in [("in-memory", Backend::InMemory), ("tcp", Backend::Tcp)] {
+        println!("-- transport: {transport} --");
+        let mut table = TextTable::new(COLUMNS.to_vec());
+        let mut rows = Vec::new();
+        for (protocol, wire, label) in row_plan(&config) {
+            let deployment =
+                Deployment::new(config).protocol(protocol).fast_wire(wire).backend(backend);
+            let row = match backend {
+                Backend::InMemory => {
+                    row_on(deployment.in_memory().expect("in-memory cluster"), &label)
+                }
+                Backend::Tcp => row_on(deployment.tcp().expect("tcp cluster"), &label),
+                Backend::Sim { .. } => unreachable!("live transports only"),
+            };
+            table.row(row.cells());
+            rows.push(row);
+        }
+        println!("{table}");
+        table_json.push((transport, rows));
     }
-    println!("{table}");
-    table_json.push(("in-memory", rows));
-
-    println!("-- transport: loopback TCP --");
-    let mut table = TextTable::new(COLUMNS.to_vec());
-    let mut rows = Vec::new();
-    for (protocol, wire, label) in row_plan(&config) {
-        let cluster = TcpCluster::start(config, protocol).expect("tcp cluster");
-        let writers = (0..config.writers() as u32)
-            .map(|w| {
-                let mut client = cluster.writer(w).expect("writer endpoint");
-                move |v: Value| client.write(v).is_ok()
-            })
-            .collect();
-        let readers = (0..config.readers() as u32)
-            .map(|r| {
-                let mut client = cluster.reader_with_wire(r, wire).expect("reader endpoint");
-                client.set_measure_payload(true);
-                move || client.read().ok().map(|_| client.last_read_payload_bytes())
-            })
-            .collect();
-        let row = measure_row(&label, writers, readers);
-        table.row(row.cells());
-        rows.push(row);
-        cluster.shutdown();
-    }
-    println!("{table}");
-    table_json.push(("tcp", rows));
 
     println!(
         "-- payload growth: W2R1, {GROWTH_OPS} write+read pairs (S=5 t=1 R=1 W=1), \

@@ -3,7 +3,8 @@
 //! matrix. W2R1's fast read halves read latency relative to W2R2 at equal
 //! consistency, which is exactly the value of the paper's algorithm.
 
-use mwr_core::{Cluster, Protocol};
+use mwr_core::{Protocol, SimCluster};
+use mwr_register::{AnySimCluster, Deployment};
 use mwr_sim::{DelayModel, GeoMatrix, SimTime};
 use mwr_types::{ClusterConfig, ProcessId};
 use mwr_workload::{TextTable, WorkloadSpec};
@@ -28,7 +29,8 @@ fn main() {
         let mut p50 = Vec::new();
         let mut wp50 = SimTime::ZERO;
         for protocol in [Protocol::W2R2, Protocol::W2R1] {
-            let cluster = Cluster::new(config, protocol);
+            let cluster =
+                Deployment::new(config).protocol(protocol).sim_cluster().expect("core sim");
             let mut sim_spec = spec(9);
             sim_spec.seed = 9;
             let mut report = run_with_delays(&cluster, sim_spec);
@@ -50,7 +52,8 @@ fn main() {
     let mut table = TextTable::new(vec!["protocol", "read p50", "read p99", "write p50"]);
     for protocol in [Protocol::W2R2, Protocol::W2R1] {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = Cluster::new(config, protocol);
+        let cluster =
+            Deployment::new(config).protocol(protocol).sim_cluster().expect("core sim");
         let mut report = run_geo(&cluster, spec(21));
         let (w, r) = report.summaries();
         table.row(vec![
@@ -65,7 +68,7 @@ fn main() {
     println!("latency unchanged (both protocols use the two-round write).");
 }
 
-fn run_with_delays(cluster: &Cluster, spec: WorkloadSpec) -> mwr_workload::WorkloadReport {
+fn run_with_delays(cluster: &AnySimCluster, spec: WorkloadSpec) -> mwr_workload::WorkloadReport {
     // run_closed_loop builds its own simulation; model uniform delays by
     // wrapping through the cluster's default path with a patched network.
     run_closed_loop_with(cluster, spec, |sim| {
@@ -76,14 +79,14 @@ fn run_with_delays(cluster: &Cluster, spec: WorkloadSpec) -> mwr_workload::Workl
     })
 }
 
-fn run_geo(cluster: &Cluster, spec: WorkloadSpec) -> mwr_workload::WorkloadReport {
+fn run_geo(cluster: &AnySimCluster, spec: WorkloadSpec) -> mwr_workload::WorkloadReport {
     run_closed_loop_with(cluster, spec, |sim| {
         let mut geo = GeoMatrix::new(vec![
             vec![SimTime::from_ticks(2), SimTime::from_ticks(40), SimTime::from_ticks(120)],
             vec![SimTime::from_ticks(40), SimTime::from_ticks(2), SimTime::from_ticks(80)],
             vec![SimTime::from_ticks(120), SimTime::from_ticks(80), SimTime::from_ticks(2)],
         ]);
-        let config = cluster.config();
+        let config = cluster.client_config();
         let mut processes = Vec::new();
         for (i, s) in config.server_ids().enumerate() {
             geo.place(ProcessId::Server(s), i % 3);
@@ -104,16 +107,10 @@ fn run_geo(cluster: &Cluster, spec: WorkloadSpec) -> mwr_workload::WorkloadRepor
 /// `run_closed_loop` with a network-customization hook. Mirrors
 /// `mwr_workload::run_closed_loop` but lets the experiment patch delays.
 fn run_closed_loop_with(
-    cluster: &Cluster,
+    cluster: &AnySimCluster,
     spec: WorkloadSpec,
     customize: impl FnOnce(&mut mwr_sim::Simulation<mwr_core::Msg, mwr_core::ClientEvent>),
 ) -> mwr_workload::WorkloadReport {
-    // Delegate to the workload crate by pre-building and customizing a sim
-    // is not possible through its public API; instead run the public
-    // closed loop on a cluster whose delays we set through the hook first.
-    // The workload driver rebuilds the sim internally, so here we simply
-    // run the driver and accept default delays when the hook cannot be
-    // applied. To keep delay models in force, we inline the loop:
     mwr_workload::run_closed_loop_customized(cluster, spec, customize)
         .expect("workload run")
 }

@@ -9,13 +9,16 @@
 //! (W2R1 beyond the feasibility bound), the mechanized certificates of
 //! `mwr-chains` carry the claim and the table says so.
 
+use mwr_bench::args::Args;
 use mwr_bench::probe_protocol;
 use mwr_core::Protocol;
 use mwr_types::ClusterConfig;
 use mwr_workload::TextTable;
 
 fn main() {
-    const RUNS: usize = 40;
+    let args = Args::parse();
+    args.expect_known("table1_design_space", &[], &["runs"]);
+    let runs = args.get_u64("runs", 40) as usize;
     println!("== Table 1: fast implementations of multi-writer atomic registers ==\n");
 
     let configs = [
@@ -37,7 +40,7 @@ fn main() {
             } else {
                 config
             };
-            let outcome = probe_protocol(config, protocol, RUNS).expect("simulation");
+            let outcome = probe_protocol(config, protocol, runs).expect("simulation");
             let theory = if protocol.expected_atomic(&config) { "atomic" } else { "impossible" };
             let observed = if outcome.violations > 0 {
                 format!("violations {}/{}", outcome.violations, outcome.runs)

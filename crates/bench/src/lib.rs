@@ -2,15 +2,20 @@
 //!
 //! The binaries in `src/bin/` regenerate the paper's tables and figures;
 //! see `EXPERIMENTS.md` at the workspace root for the index. This library
-//! hosts the pieces they share: schedule generators and verdict helpers.
+//! hosts the pieces they share: argument parsing ([`args`]), schedule
+//! generators and verdict helpers. Clusters are constructed through the
+//! `mwr-register` facade throughout.
 
 #![warn(missing_docs)]
+
+pub mod args;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use mwr_check::{check_atomicity, History, Verdict};
-use mwr_core::{Cluster, Protocol, ScheduledOp};
+use mwr_core::{Protocol, ScheduledOp, SimCluster};
+use mwr_register::Deployment;
 use mwr_sim::{SimError, SimTime};
 use mwr_types::{ClusterConfig, Value};
 
@@ -62,14 +67,15 @@ pub fn inversion_schedule() -> Vec<(SimTime, ScheduledOp)> {
     ]
 }
 
-/// The verdict of running one schedule through a protocol and the checker.
+/// The verdict of running one schedule through a cluster (any protocol
+/// family) and the checker.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors; history assembly errors are reported as a
 /// panic since generated schedules always run to quiescence.
-pub fn run_and_check(
-    cluster: &Cluster,
+pub fn run_and_check<C: SimCluster>(
+    cluster: &C,
     seed: u64,
     schedule: &[(SimTime, ScheduledOp)],
 ) -> Result<Verdict, SimError> {
@@ -100,7 +106,10 @@ pub fn probe_protocol(
     protocol: Protocol,
     runs: usize,
 ) -> Result<CellOutcome, SimError> {
-    let cluster = Cluster::new(config, protocol);
+    let cluster = Deployment::new(config)
+        .protocol(protocol)
+        .sim_cluster()
+        .expect("core protocols always deploy on the simulator");
     let mut violations = 0;
     let mut witness = None;
     let mut record = |verdict: Verdict| {
@@ -150,7 +159,8 @@ mod tests {
     #[test]
     fn naive_fast_write_is_caught_by_the_inversion_schedule() {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = Cluster::new(config, Protocol::NaiveW1R2);
+        let cluster =
+            Deployment::new(config).protocol(Protocol::NaiveW1R2).sim_cluster().unwrap();
         let verdict = run_and_check(&cluster, 0, &inversion_schedule()).unwrap();
         assert!(!verdict.is_ok(), "Theorem 1 witness");
     }

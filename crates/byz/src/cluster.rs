@@ -1,8 +1,9 @@
-//! One-call assembly of a Byzantine register cluster.
+//! One-call assembly of a Byzantine register cluster, plugging into
+//! [`mwr_core::SimCluster`].
 
-use mwr_core::{ClientEvent, Msg, ScheduledOp};
-use mwr_sim::{SimError, SimTime, Simulation};
-use mwr_types::{ProcessId, ReaderId, WriterId};
+use mwr_core::{ClientEvent, Msg, SimCluster};
+use mwr_sim::Simulation;
+use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
 
 use crate::behavior::ByzBehavior;
 use crate::client::{ByzClient, ByzReadMode};
@@ -21,7 +22,7 @@ use crate::server::ByzRegisterServer;
 ///
 /// ```
 /// use mwr_byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
-/// use mwr_core::ScheduledOp;
+/// use mwr_core::{ScheduledOp, SimCluster};
 /// use mwr_sim::SimTime;
 /// use mwr_types::Value;
 ///
@@ -64,10 +65,12 @@ impl ByzCluster {
     pub fn behavior(&self) -> ByzBehavior {
         self.behavior
     }
+}
 
+impl SimCluster for ByzCluster {
     /// Adds all servers (the first `b` Byzantine) and clients to a
     /// simulation.
-    pub fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
+    fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
         for s in 0..self.config.servers() {
             let behavior = if s < self.config.byz() { self.behavior } else { ByzBehavior::Honest };
             sim.add_process(ProcessId::server(s as u32), ByzRegisterServer::new(behavior));
@@ -86,58 +89,25 @@ impl ByzCluster {
         }
     }
 
-    /// Builds a fresh simulation with this cluster installed.
-    pub fn build_sim(&self, seed: u64) -> Simulation<Msg, ClientEvent> {
-        let mut sim = Simulation::new(seed);
-        self.install(&mut sim);
-        sim
-    }
-
-    /// Schedules one operation invocation.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
-    /// out of range.
-    pub fn schedule(
-        &self,
-        sim: &mut Simulation<Msg, ClientEvent>,
-        at: SimTime,
-        op: ScheduledOp,
-    ) -> Result<(), SimError> {
-        match op {
-            ScheduledOp::Read { reader } => {
-                sim.schedule_external(at, ProcessId::reader(reader), Msg::InvokeRead)
-            }
-            ScheduledOp::Write { writer, value } => {
-                sim.schedule_external(at, ProcessId::writer(writer), Msg::InvokeWrite(value))
-            }
-        }
-    }
-
-    /// Runs a full schedule to quiescence and returns the client events.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling and simulation errors.
-    pub fn run_schedule(
-        &self,
-        seed: u64,
-        ops: &[(SimTime, ScheduledOp)],
-    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
-        let mut sim = self.build_sim(seed);
-        for (at, op) in ops {
-            self.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        Ok(sim.drain_notifications())
+    /// The crash-view of the Byzantine configuration: `t = b`, so the
+    /// scheduling harnesses address the same population the masking
+    /// quorums are sized for.
+    fn client_config(&self) -> ClusterConfig {
+        ClusterConfig::new(
+            self.config.servers(),
+            self.config.byz(),
+            self.config.readers(),
+            self.config.writers(),
+        )
+        .expect("every valid ByzConfig has a valid crash view (S ≥ 4b + 1 > b)")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mwr_core::OpResult;
+    use mwr_core::{OpResult, ScheduledOp};
+    use mwr_sim::SimTime;
     use mwr_types::Value;
 
     #[test]
@@ -153,6 +123,17 @@ mod tests {
         let a = cluster.run_schedule(5, &schedule).unwrap();
         let b = cluster.run_schedule(5, &schedule).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn client_config_is_the_crash_view() {
+        let config = ByzConfig::new(9, 2, 3, 2).unwrap();
+        let cluster = ByzCluster::new(config, ByzReadMode::Fast, ByzBehavior::Honest);
+        let cc = cluster.client_config();
+        assert_eq!(cc.servers(), 9);
+        assert_eq!(cc.max_faults(), 2);
+        assert_eq!(cc.readers(), 3);
+        assert_eq!(cc.writers(), 2);
     }
 
     #[test]

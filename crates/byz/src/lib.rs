@@ -39,7 +39,7 @@
 //!
 //! ```
 //! use mwr_byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
-//! use mwr_core::ScheduledOp;
+//! use mwr_core::{ScheduledOp, SimCluster};
 //! use mwr_sim::SimTime;
 //! use mwr_types::Value;
 //!

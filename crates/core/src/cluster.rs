@@ -1,5 +1,6 @@
-//! One-call assembly of a simulated register cluster, plus schedule-driven
-//! execution helpers used by tests and experiments.
+//! One-call assembly of a simulated register cluster, plus the
+//! [`SimCluster`] trait: schedule-driven execution shared by every
+//! protocol family (core, tunable-quorum, Byzantine).
 
 use mwr_sim::{SimError, SimTime, Simulation};
 use mwr_types::{ClusterConfig, ProcessId, Value};
@@ -10,12 +11,142 @@ use crate::msg::Msg;
 use crate::protocol::Protocol;
 use crate::server::RegisterServer;
 
-/// A cluster blueprint: configuration plus protocol choice.
+/// One operation in a harness-provided schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduledOp {
+    /// Reader `reader` invokes `read()`.
+    Read {
+        /// Zero-based reader index.
+        reader: u32,
+    },
+    /// Writer `writer` invokes `write(value)`.
+    Write {
+        /// Zero-based writer index.
+        writer: u32,
+        /// The value to write.
+        value: Value,
+    },
+}
+
+impl ScheduledOp {
+    /// Schedules this operation's invocation into a simulation at `at`.
+    ///
+    /// This is the single translation point from harness schedules to
+    /// client-automaton messages; every cluster family uses it, as can
+    /// hand-assembled simulations that mix automata from several crates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
+    /// out of range for the installed processes.
+    pub fn schedule_into(
+        self,
+        sim: &mut Simulation<Msg, ClientEvent>,
+        at: SimTime,
+    ) -> Result<(), SimError> {
+        match self {
+            ScheduledOp::Read { reader } => {
+                sim.schedule_external(at, ProcessId::reader(reader), Msg::InvokeRead)
+            }
+            ScheduledOp::Write { writer, value } => {
+                sim.schedule_external(at, ProcessId::writer(writer), Msg::InvokeWrite(value))
+            }
+        }
+    }
+}
+
+/// A cluster blueprint that can be installed into the deterministic
+/// simulator: the one interface every protocol family implements.
+///
+/// Implementors provide [`install`](SimCluster::install) (which processes
+/// make up the cluster) and [`client_config`](SimCluster::client_config)
+/// (the population the harness schedules against); simulation assembly and
+/// schedule-driven execution are shared default methods, so a new protocol
+/// family written against this trait gets `build_sim`/`schedule`/
+/// `run_schedule` — and with them every schedule-driven harness in the
+/// workspace — for free.
 ///
 /// # Examples
 ///
 /// ```
-/// use mwr_core::{Cluster, Protocol, ScheduledOp};
+/// use mwr_core::{Cluster, Protocol, ScheduledOp, SimCluster};
+/// use mwr_sim::SimTime;
+/// use mwr_types::{ClusterConfig, Value};
+///
+/// let config = ClusterConfig::new(5, 1, 2, 2)?;
+/// let cluster = Cluster::new(config, Protocol::W2R1);
+/// let events = cluster.run_schedule(
+///     7,
+///     &[
+///         (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
+///         (SimTime::from_ticks(100), ScheduledOp::Read { reader: 0 }),
+///     ],
+/// )?;
+/// assert_eq!(events.len(), 5); // 2 invocations, 2 completions, 1 second-round marker
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait SimCluster {
+    /// Adds all servers, writers and readers to a simulation.
+    fn install(&self, sim: &mut Simulation<Msg, ClientEvent>);
+
+    /// The client/server population as a crash-model [`ClusterConfig`]:
+    /// what the scheduling and workload harnesses address operations
+    /// against. Families with richer configurations (e.g. Byzantine
+    /// clusters) report their crash-view here.
+    fn client_config(&self) -> ClusterConfig;
+
+    /// Builds a fresh simulation with this cluster installed.
+    fn build_sim(&self, seed: u64) -> Simulation<Msg, ClientEvent> {
+        let mut sim = Simulation::new(seed);
+        self.install(&mut sim);
+        sim
+    }
+
+    /// Schedules one operation invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
+    /// out of range for the configuration.
+    fn schedule(
+        &self,
+        sim: &mut Simulation<Msg, ClientEvent>,
+        at: SimTime,
+        op: ScheduledOp,
+    ) -> Result<(), SimError> {
+        op.schedule_into(sim, at)
+    }
+
+    /// Runs a full schedule to quiescence and returns the client events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    fn run_schedule(
+        &self,
+        seed: u64,
+        ops: &[(SimTime, ScheduledOp)],
+    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
+        let mut sim = self.build_sim(seed);
+        for (at, op) in ops {
+            op.schedule_into(&mut sim, *at)?;
+        }
+        sim.run_until_quiescent()?;
+        Ok(sim.drain_notifications())
+    }
+}
+
+/// A cluster blueprint: configuration plus protocol choice.
+///
+/// This is the low-level, paper-faithful assembly of the core protocols.
+/// Applications normally go through the `mwr-register` facade
+/// (`mwr::register::Deployment`), which builds these blueprints behind a
+/// single API for every protocol family and backend.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::{Cluster, Protocol, ScheduledOp, SimCluster};
 /// use mwr_sim::SimTime;
 /// use mwr_types::{ClusterConfig, Value};
 ///
@@ -37,23 +168,6 @@ pub struct Cluster {
     protocol: Protocol,
     wire: FastWire,
     gc: bool,
-}
-
-/// One operation in a harness-provided schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScheduledOp {
-    /// Reader `reader` invokes `read()`.
-    Read {
-        /// Zero-based reader index.
-        reader: u32,
-    },
-    /// Writer `writer` invokes `write(value)`.
-    Write {
-        /// Zero-based writer index.
-        writer: u32,
-        /// The value to write.
-        value: Value,
-    },
 }
 
 impl Cluster {
@@ -92,9 +206,10 @@ impl Cluster {
     pub fn fast_wire(&self) -> FastWire {
         self.wire
     }
+}
 
-    /// Adds all servers, writers and readers to a simulation.
-    pub fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
+impl SimCluster for Cluster {
+    fn install(&self, sim: &mut Simulation<Msg, ClientEvent>) {
         let population = self.config.readers() + self.config.writers();
         for s in self.config.server_ids() {
             let server = if self.gc {
@@ -123,51 +238,8 @@ impl Cluster {
         }
     }
 
-    /// Builds a fresh simulation with this cluster installed.
-    pub fn build_sim(&self, seed: u64) -> Simulation<Msg, ClientEvent> {
-        let mut sim = Simulation::new(seed);
-        self.install(&mut sim);
-        sim
-    }
-
-    /// Schedules one operation invocation.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
-    /// out of range for the configuration.
-    pub fn schedule(
-        &self,
-        sim: &mut Simulation<Msg, ClientEvent>,
-        at: SimTime,
-        op: ScheduledOp,
-    ) -> Result<(), SimError> {
-        match op {
-            ScheduledOp::Read { reader } => {
-                sim.schedule_external(at, ProcessId::reader(reader), Msg::InvokeRead)
-            }
-            ScheduledOp::Write { writer, value } => {
-                sim.schedule_external(at, ProcessId::writer(writer), Msg::InvokeWrite(value))
-            }
-        }
-    }
-
-    /// Runs a full schedule to quiescence and returns the client events.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling and simulation errors.
-    pub fn run_schedule(
-        &self,
-        seed: u64,
-        ops: &[(SimTime, ScheduledOp)],
-    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
-        let mut sim = self.build_sim(seed);
-        for (at, op) in ops {
-            self.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        Ok(sim.drain_notifications())
+    fn client_config(&self) -> ClusterConfig {
+        self.config
     }
 }
 

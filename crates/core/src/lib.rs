@@ -40,7 +40,7 @@
 //! # Examples
 //!
 //! ```
-//! use mwr_core::{Cluster, Protocol, ScheduledOp};
+//! use mwr_core::{Cluster, Protocol, ScheduledOp, SimCluster};
 //! use mwr_sim::SimTime;
 //! use mwr_types::{ClusterConfig, Value};
 //!
@@ -72,7 +72,7 @@ mod server;
 
 pub use admissible::{adaptive_degree_cap, Admissibility};
 pub use client::{FastWire, ReadMode, RegisterClient, WriteMode};
-pub use cluster::{Cluster, ScheduledOp};
+pub use cluster::{Cluster, ScheduledOp, SimCluster};
 pub use events::{ClientEvent, OpKind, OpResult};
 pub use msg::{DeltaSnapshot, Msg, OpHandle, OpId, Snapshot, SnapshotCache, ValueRecord};
 pub use protocol::{ParseProtocolError, Protocol};

@@ -1,0 +1,103 @@
+//! Deployment-time and run-time errors of the facade.
+
+use std::fmt;
+
+use mwr_runtime::{RuntimeError, TransportError};
+use mwr_sim::SimError;
+
+/// Why a [`Deployment`](crate::Deployment) could not be built or run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// The protocol family is not wired to the requested backend (yet).
+    Unsupported {
+        /// The spec's family (`core`, `tunable`, `byzantine`).
+        family: &'static str,
+        /// The requested backend (`sim`, `in-memory`, `tcp`).
+        backend: &'static str,
+        /// What is missing.
+        reason: &'static str,
+    },
+    /// A knob was set that the chosen protocol/backend combination does
+    /// not accept.
+    Knob {
+        /// The offending knob (`fast_wire`, `gc`, `timeout`).
+        knob: &'static str,
+        /// Why the combination rejects it.
+        reason: &'static str,
+    },
+    /// The Byzantine spec's own configuration disagrees with the
+    /// deployment's cluster configuration.
+    ByzMismatch {
+        /// Rendered description of the disagreement.
+        detail: String,
+    },
+    /// A typed start method was called for a backend other than the one
+    /// configured with [`Deployment::backend`](crate::Deployment::backend).
+    WrongBackend {
+        /// The backend the start method builds.
+        requested: &'static str,
+        /// The backend the deployment is configured for.
+        configured: &'static str,
+    },
+    /// `run_closed_loop` was called on a live handle that had already
+    /// minted `writer()`/`reader()` clients; the closed-loop driver needs
+    /// the client endpoints for itself. Deploy a fresh handle (or use
+    /// `Deployment::run_closed_loop`, which always does).
+    HandlesInUse,
+    /// The live transport failed while starting servers or opening client
+    /// endpoints.
+    Transport(TransportError),
+    /// The simulator reported an error while driving a workload.
+    Sim(SimError),
+    /// A live client operation failed while driving a workload.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Unsupported { family, backend, reason } => {
+                write!(f, "the {family} family is not supported on the {backend} backend: {reason}")
+            }
+            DeployError::Knob { knob, reason } => {
+                write!(f, "the {knob} knob does not apply here: {reason}")
+            }
+            DeployError::ByzMismatch { detail } => {
+                write!(f, "byzantine spec disagrees with the deployment config: {detail}")
+            }
+            DeployError::WrongBackend { requested, configured } => write!(
+                f,
+                "deployment is configured for the {configured} backend, not {requested}; \
+                 adjust .backend(..) or call the matching start method"
+            ),
+            DeployError::HandlesInUse => write!(
+                f,
+                "run_closed_loop needs a freshly deployed live handle: writer()/reader() \
+                 clients were already minted on this one"
+            ),
+            DeployError::Transport(e) => write!(f, "transport: {e}"),
+            DeployError::Sim(e) => write!(f, "simulator: {e}"),
+            DeployError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<TransportError> for DeployError {
+    fn from(e: TransportError) -> Self {
+        DeployError::Transport(e)
+    }
+}
+
+impl From<SimError> for DeployError {
+    fn from(e: SimError) -> Self {
+        DeployError::Sim(e)
+    }
+}
+
+impl From<RuntimeError> for DeployError {
+    fn from(e: RuntimeError) -> Self {
+        DeployError::Runtime(e)
+    }
+}

@@ -1,0 +1,290 @@
+//! What a deployment yields: a schedule-driven [`SimHandle`] on the
+//! simulator backend, a [`LiveHandle`] minting blocking [`Writer`]/
+//! [`Reader`] clients on the live backends.
+
+use std::time::Duration;
+
+use mwr_core::{ClientEvent, FastWire, Msg, ScheduledOp, SimCluster};
+use mwr_runtime::{
+    EndpointFactory, InMemoryTransport, LiveReader, LiveWriter, RuntimeCluster, TcpRegistry,
+};
+use mwr_sim::{SimError, SimTime, Simulation};
+use mwr_types::ClusterConfig;
+use mwr_workload::{drive_closed_loop, run_closed_loop_live, WorkloadReport, WorkloadSpec};
+
+use crate::deploy::AnySimCluster;
+use crate::error::DeployError;
+
+/// A blocking writer handle on a live backend: `write(value)` returns the
+/// tagged value the register now holds.
+pub type Writer<E> = LiveWriter<E>;
+
+/// A blocking reader handle on a live backend: `read()` returns the
+/// current tagged value.
+pub type Reader<E> = LiveReader<E>;
+
+/// A deployed register on the simulator backend: an assembled simulation
+/// plus schedule-driven execution.
+///
+/// Obtained from [`Deployment::sim`](crate::Deployment::sim). The
+/// underlying [`Simulation`] is exposed through
+/// [`sim_mut`](Self::sim_mut) for delay models, geo matrices, crash and
+/// partition schedules.
+#[derive(Debug)]
+pub struct SimHandle {
+    config: ClusterConfig,
+    sim: Simulation<Msg, ClientEvent>,
+}
+
+impl SimHandle {
+    pub(crate) fn new(cluster: &AnySimCluster, seed: u64) -> Self {
+        SimHandle { config: cluster.client_config(), sim: cluster.build_sim(seed) }
+    }
+
+    /// The crash-view cluster configuration operations are scheduled
+    /// against.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// The assembled simulation.
+    pub fn sim(&self) -> &Simulation<Msg, ClientEvent> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulation, for delay models, geo matrices,
+    /// crash schedules and link holds before (or between) runs.
+    pub fn sim_mut(&mut self) -> &mut Simulation<Msg, ClientEvent> {
+        &mut self.sim
+    }
+
+    /// Schedules one operation invocation at virtual time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if the reader/writer index is
+    /// out of range for the configuration.
+    pub fn schedule(&mut self, at: SimTime, op: ScheduledOp) -> Result<(), SimError> {
+        op.schedule_into(&mut self.sim, at)
+    }
+
+    /// Runs the simulation to quiescence and returns the client events
+    /// emitted since the last drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (livelock guard).
+    pub fn run_to_quiescence(&mut self) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
+        self.sim.run_until_quiescent()?;
+        Ok(self.sim.drain_notifications())
+    }
+
+    /// Schedules a full harness schedule and runs it to quiescence — the
+    /// facade's equivalent of `SimCluster::run_schedule`, on the seed the
+    /// deployment's backend fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run_schedule(
+        &mut self,
+        ops: &[(SimTime, ScheduledOp)],
+    ) -> Result<Vec<(SimTime, ClientEvent)>, SimError> {
+        for (at, op) in ops {
+            op.schedule_into(&mut self.sim, *at)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Drives this simulation with closed-loop clients (see
+    /// [`mwr_workload::run_closed_loop`]). The simulation must be fresh:
+    /// each handle supports one closed-loop run.
+    ///
+    /// The spec's `seed` is ignored here — delays were already seeded by
+    /// [`Backend::Sim`](crate::Backend::Sim) when the handle was built.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_closed_loop(&mut self, spec: WorkloadSpec) -> Result<WorkloadReport, SimError> {
+        drive_closed_loop(&mut self.sim, self.config, spec)
+    }
+}
+
+/// A deployed register on a live backend: servers running, blocking
+/// clients on demand, with the deployment's wire and timeout knobs applied
+/// to every handle it mints.
+///
+/// Obtained from [`Deployment::in_memory`](crate::Deployment::in_memory)
+/// or [`Deployment::tcp`](crate::Deployment::tcp).
+#[derive(Debug)]
+pub struct LiveHandle<F: EndpointFactory> {
+    cluster: RuntimeCluster<F>,
+    wire: FastWire,
+    timeout: Option<Duration>,
+    /// Whether `writer()`/`reader()` has minted a client — the closed-loop
+    /// driver needs the client endpoints exclusively, so it refuses to run
+    /// once this is set (uniformly on both transports).
+    minted: std::cell::Cell<bool>,
+    /// Whether `run_closed_loop` has driven this cluster — its driver
+    /// opened every client endpoint, so later minting (or a second run)
+    /// is refused (uniformly on both transports).
+    driven: std::cell::Cell<bool>,
+}
+
+impl<F: EndpointFactory> LiveHandle<F> {
+    pub(crate) fn new(
+        cluster: RuntimeCluster<F>,
+        wire: FastWire,
+        timeout: Option<Duration>,
+    ) -> Self {
+        LiveHandle {
+            cluster,
+            wire,
+            timeout,
+            minted: std::cell::Cell::new(false),
+            driven: std::cell::Cell::new(false),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.cluster.config()
+    }
+
+    /// The underlying runtime cluster, for transport-level access.
+    pub fn cluster(&self) -> &RuntimeCluster<F> {
+        &self.cluster
+    }
+
+    /// Creates writer `idx`'s blocking client, with the deployment's
+    /// timeout applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::HandlesInUse`] after
+    /// [`run_closed_loop`](Self::run_closed_loop) has driven this handle
+    /// (its driver holds every client endpoint), or a
+    /// [`DeployError::Transport`] if the client endpoint cannot be
+    /// opened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the writer was already created.
+    pub fn writer(&self, idx: u32) -> Result<Writer<F::Endpoint>, DeployError> {
+        if self.driven.get() {
+            return Err(DeployError::HandlesInUse);
+        }
+        let mut writer = self.cluster.writer(idx)?;
+        self.minted.set(true);
+        if let Some(t) = self.timeout {
+            writer = writer.with_timeout(t);
+        }
+        Ok(writer)
+    }
+
+    /// Creates reader `idx`'s blocking client, with the deployment's wire
+    /// format and timeout applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::HandlesInUse`] after
+    /// [`run_closed_loop`](Self::run_closed_loop) has driven this handle,
+    /// or a [`DeployError::Transport`] if the client endpoint cannot be
+    /// opened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the reader was already created.
+    pub fn reader(&self, idx: u32) -> Result<Reader<F::Endpoint>, DeployError> {
+        if self.driven.get() {
+            return Err(DeployError::HandlesInUse);
+        }
+        let mut reader = self.cluster.reader_with_wire(idx, self.wire)?;
+        self.minted.set(true);
+        if let Some(t) = self.timeout {
+            reader = reader.with_timeout(t);
+        }
+        Ok(reader)
+    }
+
+    /// Crashes server `idx` (removes it from delivery and stops its
+    /// thread) — fault injection, identical on both live backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was already crashed.
+    pub fn crash_server(&mut self, idx: u32) {
+        self.cluster.crash_server(idx);
+    }
+
+    /// Drives this cluster with closed-loop clients (see
+    /// [`mwr_workload::run_closed_loop_live`]; ticks are microseconds).
+    /// The driver opens every client endpoint itself, so the handle must
+    /// be freshly deployed — [`Deployment::run_closed_loop`](crate::Deployment::run_closed_loop)
+    /// always satisfies this.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::HandlesInUse`] if `writer()`/`reader()` already
+    /// minted a client on this handle; otherwise the first client's
+    /// [`RuntimeError`](mwr_runtime::RuntimeError) on endpoint or quorum
+    /// failures.
+    pub fn run_closed_loop(&self, spec: WorkloadSpec) -> Result<WorkloadReport, DeployError> {
+        if self.minted.get() || self.driven.get() {
+            return Err(DeployError::HandlesInUse);
+        }
+        self.driven.set(true);
+        Ok(run_closed_loop_live(&self.cluster, self.wire, self.timeout, spec)?)
+    }
+
+    /// Shuts down all remaining servers; returns total requests handled.
+    pub fn shutdown(self) -> u64 {
+        self.cluster.shutdown()
+    }
+}
+
+/// A deployed register on whichever backend the deployment selected —
+/// the result of [`Deployment::deploy`](crate::Deployment::deploy), for
+/// callers that dispatch over backends at run time. Callers that know the
+/// backend statically should prefer the typed
+/// [`sim`](crate::Deployment::sim) /
+/// [`in_memory`](crate::Deployment::in_memory) /
+/// [`tcp`](crate::Deployment::tcp) constructors, which skip the enum.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one short-lived dispatcher per deployment
+pub enum Handle {
+    /// The simulator backend.
+    Sim(SimHandle),
+    /// The in-memory live backend.
+    InMemory(LiveHandle<InMemoryTransport>),
+    /// The TCP live backend.
+    Tcp(LiveHandle<TcpRegistry>),
+}
+
+impl Handle {
+    /// Extracts the simulator handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::WrongBackend`] if another backend was
+    /// deployed.
+    pub fn into_sim(self) -> Result<SimHandle, DeployError> {
+        match self {
+            Handle::Sim(h) => Ok(h),
+            other => Err(DeployError::WrongBackend {
+                requested: "sim",
+                configured: other.backend_name(),
+            }),
+        }
+    }
+
+    /// The deployed backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Handle::Sim(_) => "sim",
+            Handle::InMemory(_) => "in-memory",
+            Handle::Tcp(_) => "tcp",
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! What to deploy ([`Spec`]) and where to run it ([`Backend`]).
+
+use mwr_almost::TunableSpec;
+use mwr_byz::{ByzBehavior, ByzConfig, ByzReadMode};
+use mwr_core::Protocol;
+
+/// The protocol family and its parameters: which register emulation the
+/// deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Spec {
+    /// A core crash-tolerant protocol from the paper's design space
+    /// (W2R2, W2R1, W2Ra, the single-writer points, or the naive
+    /// impossibility witnesses).
+    Core(Protocol),
+    /// Tunable-quorum clients (Cassandra-style consistency levels, §7
+    /// future work). Simulator-only for now.
+    Tunable(TunableSpec),
+    /// Byzantine masking-quorum clusters (§5 extension). Simulator-only
+    /// for now.
+    Byz {
+        /// Masking-quorum arithmetic: `S`, `b`, `R`, `W`. Must agree with
+        /// the deployment's [`ClusterConfig`](mwr_types::ClusterConfig)
+        /// under `t = b`.
+        config: ByzConfig,
+        /// Vouched slow (two round-trips) or vouched fast (one) reads.
+        read_mode: ByzReadMode,
+        /// The behavior assigned to the `b` Byzantine servers.
+        behavior: ByzBehavior,
+    },
+}
+
+impl Spec {
+    /// The family name, used in error messages.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Spec::Core(_) => "core",
+            Spec::Tunable(_) => "tunable",
+            Spec::Byz { .. } => "byzantine",
+        }
+    }
+}
+
+impl From<Protocol> for Spec {
+    fn from(protocol: Protocol) -> Self {
+        Spec::Core(protocol)
+    }
+}
+
+impl From<TunableSpec> for Spec {
+    fn from(spec: TunableSpec) -> Self {
+        Spec::Tunable(spec)
+    }
+}
+
+/// The execution backend: where the deployed register runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator — schedule-driven,
+    /// reproducible, checkable.
+    Sim {
+        /// RNG seed for message delays and delivery order.
+        seed: u64,
+    },
+    /// The live runtime over in-memory crossbeam channels: one thread per
+    /// server, blocking clients.
+    InMemory,
+    /// The live runtime over loopback TCP sockets with length-prefixed
+    /// frames.
+    Tcp,
+}
+
+impl Backend {
+    /// The backend name, used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim { .. } => "sim",
+            Backend::InMemory => "in-memory",
+            Backend::Tcp => "tcp",
+        }
+    }
+}

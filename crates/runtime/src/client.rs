@@ -98,7 +98,15 @@ impl<E: Endpoint> LiveWriter<E> {
         }
     }
 
+    /// Selects the per-round-trip quorum timeout (builder-style, like
+    /// `Cluster::with_gc`).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
     /// Sets the per-round-trip quorum timeout.
+    #[deprecated(since = "0.2.0", note = "use the builder-style with_timeout")]
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.timeout = timeout;
         self
@@ -213,16 +221,32 @@ impl<E: Endpoint> LiveReader<E> {
         }
     }
 
+    /// Selects the per-round-trip quorum timeout (builder-style, like
+    /// `Cluster::with_gc`).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
     /// Sets the per-round-trip quorum timeout.
+    #[deprecated(since = "0.2.0", note = "use the builder-style with_timeout")]
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.timeout = timeout;
         self
     }
 
-    /// Enables payload accounting: each fast read additionally encodes its
-    /// requests and processed replies to count logical wire bytes (the
-    /// bench harness turns this on; it is off by default because the extra
-    /// encode costs O(payload) inside the operation).
+    /// Enables payload accounting (builder-style): each fast read
+    /// additionally encodes its requests and processed replies to count
+    /// logical wire bytes (the bench harness turns this on; it is off by
+    /// default because the extra encode costs O(payload) inside the
+    /// operation).
+    pub fn with_measure_payload(mut self, on: bool) -> Self {
+        self.measure_payload = on;
+        self
+    }
+
+    /// Enables payload accounting.
+    #[deprecated(since = "0.2.0", note = "use the builder-style with_measure_payload")]
     pub fn set_measure_payload(&mut self, on: bool) -> &mut Self {
         self.measure_payload = on;
         self
@@ -544,8 +568,8 @@ mod tests {
             WriterId::new(0),
             config,
             WriteMode::Slow,
-        );
-        writer.set_timeout(Duration::from_millis(100));
+        )
+        .with_timeout(Duration::from_millis(100));
         let err = writer.write(Value::new(1)).unwrap_err();
         assert!(matches!(err, RuntimeError::Timeout { collected: 1, required: 2, .. }), "{err}");
         s0.shutdown();

@@ -1,12 +1,18 @@
-//! One-call live clusters over either transport.
+//! One-call live clusters, generic over the transport.
+//!
+//! [`RuntimeCluster`] is written once against [`EndpointFactory`]; the two
+//! transports instantiate it as [`LiveCluster`] (crossbeam channels) and
+//! [`TcpCluster`] (loopback sockets). Handle construction, fault injection
+//! and shutdown therefore behave identically on both — a crashed TCP
+//! server and a crashed in-memory server are the same operation.
 
 use mwr_core::{FastWire, Protocol, RegisterServer};
 use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
 
 use crate::client::{LiveReader, LiveWriter};
 use crate::server::{spawn_server_with, ServerHandle};
-use crate::tcp::{TcpEndpoint, TcpRegistry};
-use crate::transport::{InMemoryEndpoint, InMemoryTransport, TransportError};
+use crate::tcp::TcpRegistry;
+use crate::transport::{EndpointFactory, InMemoryTransport, TransportError};
 
 /// The server blueprint live clusters spawn: acknowledged-floor GC sized to
 /// the cluster's client population, so server stores stay bounded once
@@ -15,43 +21,62 @@ fn gc_server(config: &ClusterConfig) -> RegisterServer {
     RegisterServer::with_gc(config.readers() + config.writers())
 }
 
-/// A running in-memory cluster: all servers up, clients on demand.
+/// A running live cluster over any [`EndpointFactory`]: all servers up,
+/// clients on demand.
+///
+/// Most callers should not name this type: construct clusters through the
+/// `mwr-register` facade (`mwr::register::Deployment`), which picks the
+/// factory from its backend knob and layers wire/timeout configuration on
+/// top.
 ///
 /// # Examples
 ///
 /// ```
 /// use mwr_core::Protocol;
-/// use mwr_runtime::LiveCluster;
+/// use mwr_runtime::{InMemoryTransport, RuntimeCluster};
 /// use mwr_types::{ClusterConfig, Value};
 ///
 /// let config = ClusterConfig::new(5, 1, 2, 2)?;
-/// let cluster = LiveCluster::start(config, Protocol::W2R1);
-/// let mut writer = cluster.writer(0);
-/// let mut reader = cluster.reader(0);
+/// let cluster = RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1)?;
+/// let mut writer = cluster.writer(0)?;
+/// let mut reader = cluster.reader(0)?;
 /// let written = writer.write(Value::new(9))?;
 /// assert_eq!(reader.read()?, written);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct LiveCluster {
+pub struct RuntimeCluster<F: EndpointFactory> {
     config: ClusterConfig,
     protocol: Protocol,
-    transport: InMemoryTransport,
+    factory: F,
     servers: Vec<ServerHandle>,
 }
 
-impl LiveCluster {
-    /// Starts every server of `config` on its own thread, with
-    /// acknowledged-floor GC enabled.
-    pub fn start(config: ClusterConfig, protocol: Protocol) -> Self {
-        let transport = InMemoryTransport::new();
-        let servers = config
-            .server_ids()
-            .map(|s| {
-                spawn_server_with(transport.register(ProcessId::Server(s)), gc_server(&config))
-            })
-            .collect();
-        LiveCluster { config, protocol, transport, servers }
+/// A running in-memory cluster: [`RuntimeCluster`] over crossbeam channels.
+pub type LiveCluster = RuntimeCluster<InMemoryTransport>;
+
+/// A running TCP cluster on loopback: [`RuntimeCluster`] over sockets.
+pub type TcpCluster = RuntimeCluster<TcpRegistry>;
+
+impl<F: EndpointFactory> RuntimeCluster<F> {
+    /// Starts every server of `config` on its own thread over endpoints
+    /// from `factory`, with acknowledged-floor GC enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if a server endpoint cannot be opened
+    /// (e.g. a socket cannot be bound).
+    pub fn start_on(
+        factory: F,
+        config: ClusterConfig,
+        protocol: Protocol,
+    ) -> Result<Self, TransportError> {
+        let mut servers = Vec::with_capacity(config.servers());
+        for s in config.server_ids() {
+            let endpoint = factory.open(ProcessId::Server(s))?;
+            servers.push(spawn_server_with(endpoint, gc_server(&config)));
+        }
+        Ok(RuntimeCluster { config, protocol, factory, servers })
     }
 
     /// The cluster configuration.
@@ -64,29 +89,44 @@ impl LiveCluster {
         self.protocol
     }
 
+    /// The transport factory, for opening auxiliary endpoints.
+    pub fn factory(&self) -> &F {
+        &self.factory
+    }
+
     /// Creates writer `idx`'s blocking client.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client endpoint cannot be
+    /// opened.
     ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range or the writer was already created.
-    pub fn writer(&self, idx: u32) -> LiveWriter<InMemoryEndpoint> {
+    pub fn writer(&self, idx: u32) -> Result<LiveWriter<F::Endpoint>, TransportError> {
         assert!((idx as usize) < self.config.writers(), "writer {idx} out of range");
         let id = WriterId::new(idx);
-        LiveWriter::new(
-            self.transport.register(id.into()),
+        Ok(LiveWriter::new(
+            self.factory.open(id.into())?,
             id,
             self.config,
             self.protocol.write_mode(),
-        )
+        ))
     }
 
     /// Creates reader `idx`'s blocking client on the default
     /// [`FastWire::Delta`] wire.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client endpoint cannot be
+    /// opened.
+    ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range or the reader was already created.
-    pub fn reader(&self, idx: u32) -> LiveReader<InMemoryEndpoint> {
+    pub fn reader(&self, idx: u32) -> Result<LiveReader<F::Endpoint>, TransportError> {
         self.reader_with_wire(idx, FastWire::default())
     }
 
@@ -94,23 +134,34 @@ impl LiveCluster {
     /// wire format ([`FastWire::FullInfo`] restores the paper's O(history)
     /// payloads, for comparison runs).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the client endpoint cannot be
+    /// opened.
+    ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range or the reader was already created.
-    pub fn reader_with_wire(&self, idx: u32, wire: FastWire) -> LiveReader<InMemoryEndpoint> {
+    pub fn reader_with_wire(
+        &self,
+        idx: u32,
+        wire: FastWire,
+    ) -> Result<LiveReader<F::Endpoint>, TransportError> {
         assert!((idx as usize) < self.config.readers(), "reader {idx} out of range");
         let id = ReaderId::new(idx);
-        LiveReader::with_wire(
-            self.transport.register(id.into()),
+        Ok(LiveReader::with_wire(
+            self.factory.open(id.into())?,
             id,
             self.config,
             self.protocol.read_mode(),
             wire,
-        )
+        ))
     }
 
-    /// Crashes server `idx` (stops its thread). At most `t` crashes keep
-    /// the register wait-free.
+    /// Crashes server `idx`: removes it from the transport's delivery map
+    /// and stops its thread. At most `t` crashes keep the register
+    /// wait-free; on TCP the crashed server's listener closes, so cached
+    /// client connections fail exactly like connections to a dead host.
     ///
     /// # Panics
     ///
@@ -122,7 +173,7 @@ impl LiveCluster {
             .position(|h| h.id() == ProcessId::server(idx))
             .unwrap_or_else(|| panic!("server {idx} already crashed or unknown"));
         let handle = self.servers.swap_remove(pos);
-        self.transport.deregister(ProcessId::server(idx));
+        self.factory.close(ProcessId::server(idx));
         handle.shutdown();
     }
 
@@ -132,78 +183,33 @@ impl LiveCluster {
     }
 }
 
-/// A running TCP cluster on loopback: same shape as [`LiveCluster`] with
-/// sockets underneath.
-#[derive(Debug)]
-pub struct TcpCluster {
-    config: ClusterConfig,
-    protocol: Protocol,
-    registry: TcpRegistry,
-    servers: Vec<ServerHandle>,
+impl RuntimeCluster<InMemoryTransport> {
+    /// Starts an in-memory cluster on a fresh transport.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct clusters through mwr::register::Deployment (Backend::InMemory), \
+                or RuntimeCluster::start_on(InMemoryTransport::new(), ..)"
+    )]
+    pub fn start(config: ClusterConfig, protocol: Protocol) -> Self {
+        Self::start_on(InMemoryTransport::new(), config, protocol)
+            .expect("in-memory endpoints cannot fail to open")
+    }
 }
 
-impl TcpCluster {
-    /// Binds and starts every server of `config` on loopback sockets, with
-    /// acknowledged-floor GC enabled.
+impl RuntimeCluster<TcpRegistry> {
+    /// Binds and starts every server on loopback sockets in a fresh
+    /// registry.
     ///
     /// # Errors
     ///
     /// Returns a [`TransportError`] if a socket cannot be bound.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct clusters through mwr::register::Deployment (Backend::Tcp), \
+                or RuntimeCluster::start_on(TcpRegistry::new(), ..)"
+    )]
     pub fn start(config: ClusterConfig, protocol: Protocol) -> Result<Self, TransportError> {
-        let registry = TcpRegistry::new();
-        let mut servers = Vec::new();
-        for s in config.server_ids() {
-            let endpoint = TcpEndpoint::bind(ProcessId::Server(s), &registry)?;
-            servers.push(spawn_server_with(endpoint, gc_server(&config)));
-        }
-        Ok(TcpCluster { config, protocol, registry, servers })
-    }
-
-    /// The cluster configuration.
-    pub fn config(&self) -> ClusterConfig {
-        self.config
-    }
-
-    /// Creates writer `idx`'s blocking client over TCP.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`TransportError`] if the client socket cannot be bound.
-    pub fn writer(&self, idx: u32) -> Result<LiveWriter<TcpEndpoint>, TransportError> {
-        let id = WriterId::new(idx);
-        let endpoint = TcpEndpoint::bind(id.into(), &self.registry)?;
-        Ok(LiveWriter::new(endpoint, id, self.config, self.protocol.write_mode()))
-    }
-
-    /// Creates reader `idx`'s blocking client over TCP on the default
-    /// [`FastWire::Delta`] wire.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`TransportError`] if the client socket cannot be bound.
-    pub fn reader(&self, idx: u32) -> Result<LiveReader<TcpEndpoint>, TransportError> {
-        self.reader_with_wire(idx, FastWire::default())
-    }
-
-    /// Creates reader `idx`'s blocking client over TCP with an explicit
-    /// fast-read wire format.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`TransportError`] if the client socket cannot be bound.
-    pub fn reader_with_wire(
-        &self,
-        idx: u32,
-        wire: FastWire,
-    ) -> Result<LiveReader<TcpEndpoint>, TransportError> {
-        let id = ReaderId::new(idx);
-        let endpoint = TcpEndpoint::bind(id.into(), &self.registry)?;
-        Ok(LiveReader::with_wire(endpoint, id, self.config, self.protocol.read_mode(), wire))
-    }
-
-    /// Shuts down all servers; returns total requests handled.
-    pub fn shutdown(self) -> u64 {
-        self.servers.into_iter().map(ServerHandle::shutdown).sum()
+        Self::start_on(TcpRegistry::new(), config, protocol)
     }
 }
 
@@ -215,9 +221,10 @@ mod tests {
     #[test]
     fn in_memory_cluster_end_to_end() {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = LiveCluster::start(config, Protocol::W2R1);
-        let mut w = cluster.writer(0);
-        let mut r = cluster.reader(0);
+        let cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
         let written = w.write(Value::new(11)).unwrap();
         assert_eq!(r.read().unwrap(), written);
         assert!(cluster.shutdown() > 0);
@@ -226,9 +233,10 @@ mod tests {
     #[test]
     fn cluster_survives_t_crashes() {
         let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
-        let mut cluster = LiveCluster::start(config, Protocol::W2R2);
-        let mut w = cluster.writer(0);
-        let mut r = cluster.reader(0);
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R2).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
         w.write(Value::new(1)).unwrap();
         cluster.crash_server(4);
         let written = w.write(Value::new(2)).unwrap();
@@ -239,11 +247,43 @@ mod tests {
     #[test]
     fn tcp_cluster_end_to_end() {
         let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
-        let cluster = TcpCluster::start(config, Protocol::W2R1).unwrap();
+        let cluster =
+            RuntimeCluster::start_on(TcpRegistry::new(), config, Protocol::W2R1).unwrap();
         let mut w = cluster.writer(0).unwrap();
         let mut r = cluster.reader(0).unwrap();
         let written = w.write(Value::new(33)).unwrap();
         assert_eq!(r.read().unwrap(), written);
         assert!(cluster.shutdown() > 0);
+    }
+
+    #[test]
+    fn tcp_cluster_survives_t_crashes() {
+        let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(TcpRegistry::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        w.write(Value::new(1)).unwrap();
+        cluster.crash_server(0);
+        let written = w.write(Value::new(2)).unwrap();
+        assert_eq!(r.read().unwrap(), written, "fast read completes with a crashed minority");
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let cluster = LiveCluster::start(config, Protocol::W2R2);
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        let written = w.write(Value::new(5)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        cluster.shutdown();
+
+        let cluster = TcpCluster::start(config, Protocol::W2R2).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        assert!(w.write(Value::new(6)).is_ok());
+        cluster.shutdown();
     }
 }

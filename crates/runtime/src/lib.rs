@@ -18,19 +18,23 @@
 //!
 //! ```
 //! use mwr_core::Protocol;
-//! use mwr_runtime::LiveCluster;
+//! use mwr_runtime::{InMemoryTransport, RuntimeCluster};
 //! use mwr_types::{ClusterConfig, Value};
 //!
 //! let config = ClusterConfig::new(5, 1, 2, 2)?;
-//! let cluster = LiveCluster::start(config, Protocol::W2R1);
-//! let mut writer = cluster.writer(0);
-//! let mut reader = cluster.reader(0);
+//! let cluster = RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1)?;
+//! let mut writer = cluster.writer(0)?;
+//! let mut reader = cluster.reader(0)?;
 //! writer.write(Value::new(1))?;
 //! let tagged = reader.read()?; // one round-trip
 //! assert_eq!(tagged.value(), Value::new(1));
 //! cluster.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Applications normally construct live clusters through the
+//! `mwr-register` facade (`mwr::register::Deployment`), which selects the
+//! transport with a backend knob instead of a type.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,7 +46,9 @@ mod tcp;
 mod transport;
 
 pub use client::{LiveReader, LiveWriter, RuntimeError};
-pub use cluster::{LiveCluster, TcpCluster};
+pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
 pub use server::{spawn_server, spawn_server_with, ServerHandle};
 pub use tcp::{TcpEndpoint, TcpRegistry};
-pub use transport::{Endpoint, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError};
+pub use transport::{
+    Endpoint, EndpointFactory, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError,
+};

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -20,7 +21,7 @@ use mwr_core::Msg;
 use mwr_types::codec::Wire;
 use mwr_types::ProcessId;
 
-use crate::transport::{Endpoint, Inbound, TransportError};
+use crate::transport::{Endpoint, EndpointFactory, Inbound, TransportError};
 
 /// Maximum accepted frame size (16 MiB) — guards against corrupt peers.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -50,6 +51,24 @@ impl TcpRegistry {
     pub fn lookup(&self, id: ProcessId) -> Option<SocketAddr> {
         self.addrs.lock().get(&id).copied()
     }
+
+    /// Forgets a process's address: peers without a cached connection get
+    /// [`TransportError::UnknownDestination`] from then on.
+    pub fn remove(&self, id: ProcessId) {
+        self.addrs.lock().remove(&id);
+    }
+}
+
+impl EndpointFactory for TcpRegistry {
+    type Endpoint = TcpEndpoint;
+
+    fn open(&self, id: ProcessId) -> Result<TcpEndpoint, TransportError> {
+        TcpEndpoint::bind(id, self)
+    }
+
+    fn close(&self, id: ProcessId) {
+        self.remove(id);
+    }
 }
 
 /// One process's TCP endpoint: a listener thread feeding an inbox, plus
@@ -61,6 +80,7 @@ pub struct TcpEndpoint {
     inbox: Receiver<Inbound>,
     outbound: Mutex<HashMap<ProcessId, TcpStream>>,
     local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
 }
 
 impl TcpEndpoint {
@@ -75,9 +95,11 @@ impl TcpEndpoint {
         let local_addr = listener.local_addr().map_err(io_err)?;
         registry.insert(id, local_addr);
         let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor_stop = Arc::clone(&stop);
         thread::Builder::new()
             .name(format!("tcp-acceptor-{id}"))
-            .spawn(move || acceptor_loop(listener, tx))
+            .spawn(move || acceptor_loop(listener, tx, acceptor_stop))
             .map_err(io_err)?;
         Ok(TcpEndpoint {
             id,
@@ -85,6 +107,7 @@ impl TcpEndpoint {
             inbox: rx,
             outbound: Mutex::new(HashMap::new()),
             local_addr,
+            stop,
         })
     }
 
@@ -104,8 +127,21 @@ impl TcpEndpoint {
     }
 }
 
-fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>) {
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Stop the acceptor so the listener closes and the port is freed:
+        // set the flag, then poke the listener awake with a throwaway
+        // connection. Best-effort — never fail in Drop.
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>, stop: Arc<AtomicBool>) {
     for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
         let Ok(stream) = stream else { break };
         let tx = tx.clone();
         let _ = thread::Builder::new()

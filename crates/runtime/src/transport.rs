@@ -47,6 +47,28 @@ impl std::error::Error for TransportError {}
 /// An inbound message: sender plus payload.
 pub type Inbound = (ProcessId, Msg);
 
+/// A transport that can mint [`Endpoint`]s on demand: the one seam the
+/// generic live cluster needs. [`InMemoryTransport`] and
+/// [`TcpRegistry`](crate::TcpRegistry) both implement it, which is how
+/// `RuntimeCluster` (and the `mwr-register` facade above it) run the same
+/// cluster logic over channels and over sockets.
+pub trait EndpointFactory: Clone {
+    /// The endpoint type this factory produces.
+    type Endpoint: Endpoint + 'static;
+
+    /// Opens the endpoint for process `id` and registers it for delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if the endpoint cannot be created
+    /// (e.g. a socket cannot be bound).
+    fn open(&self, id: ProcessId) -> Result<Self::Endpoint, TransportError>;
+
+    /// Removes process `id` from the delivery map: future sends to it fail
+    /// (in-memory) or are black-holed (TCP) — the crash model either way.
+    fn close(&self, id: ProcessId);
+}
+
 /// A process's endpoint on a transport: an inbox and the ability to send.
 pub trait Endpoint: Send {
     /// This endpoint's process identity.
@@ -116,6 +138,23 @@ impl InMemoryTransport {
             .ok_or(TransportError::UnknownDestination { to })?;
         tx.send((from, msg))
             .map_err(|_| TransportError::Disconnected { to })
+    }
+}
+
+impl EndpointFactory for InMemoryTransport {
+    type Endpoint = InMemoryEndpoint;
+
+    /// Opens an endpoint; infallible for the in-memory transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is already registered.
+    fn open(&self, id: ProcessId) -> Result<InMemoryEndpoint, TransportError> {
+        Ok(self.register(id))
+    }
+
+    fn close(&self, id: ProcessId) {
+        self.deregister(id);
     }
 }
 

@@ -6,7 +6,7 @@
 //! driver steps the simulation, reacts to completion notifications, and
 //! stops issuing at the deadline, letting in-flight operations drain.
 
-use mwr_core::{ClientEvent, Cluster, Msg, OpKind};
+use mwr_core::{ClientEvent, Msg, OpKind, SimCluster};
 use mwr_sim::{SimError, SimTime};
 use mwr_types::{ClientId, Value};
 
@@ -38,7 +38,11 @@ impl Default for WorkloadSpec {
 /// The outcome of a closed-loop run.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
-    /// All client events, for history checking.
+    /// All client events, for history checking. Populated by the simulator
+    /// drivers; empty for live-runtime runs (see
+    /// [`run_closed_loop_live`](crate::run_closed_loop_live)), which
+    /// measure wall-clock latency without a checkable virtual-time
+    /// history.
     pub events: Vec<(SimTime, ClientEvent)>,
     /// Read operation latencies.
     pub reads: LatencyStats,
@@ -62,7 +66,9 @@ impl WorkloadReport {
     }
 }
 
-/// Runs a closed-loop workload against a simulated cluster.
+/// Runs a closed-loop workload against any simulated cluster family
+/// (core, tunable-quorum, Byzantine — anything implementing
+/// [`SimCluster`]).
 ///
 /// # Errors
 ///
@@ -90,8 +96,8 @@ impl WorkloadReport {
 /// assert!(reads.p50 <= writes.p50, "W2R1: fast reads beat slow writes");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn run_closed_loop(
-    cluster: &Cluster,
+pub fn run_closed_loop<C: SimCluster>(
+    cluster: &C,
     spec: WorkloadSpec,
 ) -> Result<WorkloadReport, SimError> {
     run_closed_loop_customized(cluster, spec, |_| {})
@@ -103,14 +109,14 @@ pub fn run_closed_loop(
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run_closed_loop_customized(
-    cluster: &Cluster,
+pub fn run_closed_loop_customized<C: SimCluster>(
+    cluster: &C,
     spec: WorkloadSpec,
     customize: impl FnOnce(&mut mwr_sim::Simulation<Msg, ClientEvent>),
 ) -> Result<WorkloadReport, SimError> {
     let mut sim = cluster.build_sim(spec.seed);
     customize(&mut sim);
-    drive_closed_loop(&mut sim, cluster.config(), spec)
+    drive_closed_loop(&mut sim, cluster.client_config(), spec)
 }
 
 /// Drives an already-assembled simulation closed-loop.
@@ -196,7 +202,7 @@ pub fn drive_closed_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mwr_core::Protocol;
+    use mwr_core::{Cluster, Protocol};
     use mwr_types::ClusterConfig;
 
     fn spec() -> WorkloadSpec {

@@ -1,8 +1,10 @@
 //! Workload generation and measurement for `mwr` experiments.
 //!
-//! - [`run_closed_loop`] — closed-loop clients over the simulator, with
-//!   per-operation latency capture; the engine behind the latency figures
-//!   in `EXPERIMENTS.md`.
+//! - [`run_closed_loop`] — closed-loop clients over the simulator, generic
+//!   over every [`SimCluster`](mwr_core::SimCluster) protocol family; the
+//!   engine behind the latency figures in `EXPERIMENTS.md`.
+//! - [`run_closed_loop_live`] — the same closed-loop [`WorkloadSpec`] over
+//!   the live runtime (threads, channels or TCP), one tick = 1 µs.
 //! - [`LatencyStats`] / [`LatencySummary`] — exact percentile statistics.
 //! - [`TextTable`] — aligned text tables the experiment binaries print.
 //!
@@ -25,11 +27,13 @@
 #![warn(missing_debug_implementations)]
 
 mod driver;
+mod live;
 mod stats;
 mod table;
 
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };
+pub use live::run_closed_loop_live;
 pub use stats::{LatencyStats, LatencySummary};
 pub use table::TextTable;

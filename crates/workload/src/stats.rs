@@ -46,6 +46,12 @@ impl LatencyStats {
         self.samples.len()
     }
 
+    /// Absorbs every sample of `other` (used to combine per-thread stats).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

@@ -4,14 +4,15 @@
 //! The paper proves fast multi-writer writes can never be atomic
 //! (Theorem 1) and bounds fast reads by `R < S/t − 2`; its future work (§7)
 //! asks to *quantify* the inconsistency of fast implementations. This
-//! example runs the same contended workload through three configurations
-//! and prints each one's consistency class and staleness profile.
+//! example runs the same contended workload through three deployments —
+//! two tunable-quorum configurations and the paper's W2R1 — and prints
+//! each one's consistency class and staleness profile.
 //!
 //! Run with: `cargo run --example almost_strong`
 
-use mwr::almost::{ConsistencyProfile, TunableCluster, TunableSpec};
+use mwr::almost::{ConsistencyProfile, TunableSpec};
 use mwr::check::History;
-use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::register::{Backend, Deployment, Protocol, ScheduledOp, Spec};
 use mwr::sim::{DelayModel, SimTime};
 use mwr::types::{ClusterConfig, Value};
 
@@ -31,6 +32,20 @@ fn contended_schedule() -> Vec<(SimTime, ScheduledOp)> {
     ops
 }
 
+/// Runs one seed of a deployment under the contended schedule and jittered
+/// links, returning its measured consistency profile.
+fn profile_at(
+    deployment: Deployment,
+    seed: u64,
+    schedule: &[(SimTime, ScheduledOp)],
+    delay: DelayModel,
+) -> Result<ConsistencyProfile, Box<dyn std::error::Error>> {
+    let mut sim = deployment.backend(Backend::Sim { seed }).sim()?;
+    sim.sim_mut().network_mut().set_default_delay(delay);
+    let events = sim.run_schedule(schedule)?;
+    Ok(ConsistencyProfile::measure(&History::from_events(&events)?))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ClusterConfig::new(5, 1, 2, 2)?;
     let schedule = contended_schedule();
@@ -39,17 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload: 12 writes + 12 reads, interleaved, on {config}\n");
 
     // --- 1. The fastest thing quorum stores offer: ONE/ONE, local tags. --
-    let fastest = TunableCluster::new(config, TunableSpec::fastest());
+    let fastest = Deployment::new(config).protocol(TunableSpec::fastest());
     let mut worst_seed = None;
     for seed in 1..=20u64 {
-        let mut sim = fastest.build_sim(seed);
-        sim.network_mut().set_default_delay(delay);
-        for (at, op) in &schedule {
-            fastest.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        let events = sim.drain_notifications();
-        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        let profile = profile_at(fastest, seed, &schedule, delay)?;
         if !profile.staleness.is_fresh() {
             worst_seed = Some((seed, profile));
             break;
@@ -70,22 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- 2. Majority levels + read repair: better, still not atomic. -----
-    let repaired = TunableCluster::new(
-        config,
-        TunableSpec { read_repair: true, ..TunableSpec::quorum_lww() },
-    );
+    let repaired = Deployment::new(config)
+        .protocol(Spec::Tunable(TunableSpec { read_repair: true, ..TunableSpec::quorum_lww() }));
     let mut stale_total = 0usize;
     let mut reads_total = 0usize;
     let mut weakest: Option<ConsistencyProfile> = None;
     for seed in 1..=20u64 {
-        let mut sim = repaired.build_sim(seed);
-        sim.network_mut().set_default_delay(delay);
-        for (at, op) in &schedule {
-            repaired.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        let events = sim.drain_notifications();
-        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        let profile = profile_at(repaired, seed, &schedule, delay)?;
         stale_total += profile.staleness.stale_reads();
         reads_total += profile.staleness.reads();
         if weakest.as_ref().is_none_or(|w| profile.class < w.class) {
@@ -101,17 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. The paper's answer: W2R1 — atomic with 1-RTT reads. ----------
-    let w2r1 = Cluster::new(config, Protocol::W2R1);
+    let w2r1 = Deployment::new(config).protocol(Protocol::W2R1);
     let mut all_atomic = true;
     for seed in 1..=20u64 {
-        let mut sim = w2r1.build_sim(seed);
-        sim.network_mut().set_default_delay(delay);
-        for (at, op) in &schedule {
-            w2r1.schedule(&mut sim, *at, *op)?;
-        }
-        sim.run_until_quiescent()?;
-        let events = sim.drain_notifications();
-        let profile = ConsistencyProfile::measure(&History::from_events(&events)?);
+        let profile = profile_at(w2r1, seed, &schedule, delay)?;
         assert!(profile.staleness.is_fresh(), "W2R1 reads are always fresh");
         all_atomic &= matches!(profile.class, mwr::almost::ConsistencyClass::Atomic);
     }

@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --example byzantine`
 
-use mwr::byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode, ByzRegisterServer};
+use mwr::byz::{ByzBehavior, ByzConfig, ByzReadMode, ByzRegisterServer};
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, OpResult, Protocol, RegisterClient, RegisterServer, ScheduledOp};
+use mwr::core::{OpResult, Protocol, RegisterClient, RegisterServer};
+use mwr::register::{Backend, Deployment, ScheduledOp, Spec};
 use mwr::sim::{SimTime, Simulation};
 use mwr::types::{ClusterConfig, ProcessId, Value};
 
@@ -34,9 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let forger = ByzBehavior::TagInflater { boost: 1_000_000 };
 
     // --- 1. Crash-tolerant W2R2 meets a forging server. -----------------
+    // This hybrid (one Byzantine automaton inside an honest W2R2 cluster)
+    // is hand-assembled: deliberately *not* a supported deployment.
     println!("crash-tolerant W2R2 (S = 5, t = 1), server 0 forges tags:");
     let crash_config = ClusterConfig::new(5, 1, 2, 2)?;
-    let cluster = Cluster::new(crash_config, Protocol::W2R2);
     let mut sim: Simulation<_, _> = Simulation::new(7);
     sim.add_process(ProcessId::server(0), ByzRegisterServer::new(forger));
     for s in crash_config.server_ids().skip(1) {
@@ -49,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.add_process(r.into(), RegisterClient::reader(r, crash_config, Protocol::W2R2.read_mode()));
     }
     for (at, op) in schedule() {
-        cluster.schedule(&mut sim, at, op)?;
+        op.schedule_into(&mut sim, at)?;
     }
     sim.run_until_quiescent()?;
     let events = sim.drain_notifications();
@@ -60,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. The masking-quorum clients shrug it off. ---------------------
     println!("\nByzantine W2R1 (S = 5, b = 1, vouched fast reads), same forger:");
     let byz_config = ByzConfig::new(5, 1, 2, 2)?;
-    let byz_cluster = ByzCluster::new(byz_config, ByzReadMode::Fast, forger);
-    let events = byz_cluster.run_schedule(7, &schedule())?;
+    let events = Deployment::new(crash_config)
+        .protocol(Spec::Byz { config: byz_config, read_mode: ByzReadMode::Fast, behavior: forger })
+        .backend(Backend::Sim { seed: 7 })
+        .sim()?
+        .run_schedule(&schedule())?;
     print_reads(&events);
     let verdict = check_atomicity(&History::from_events(&events)?);
     println!("  checker: {}", if verdict.is_ok() { "atomic — b + 1 vouching rejects the forgery" } else { "violated" });

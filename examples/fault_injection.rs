@@ -1,38 +1,36 @@
 //! Fault injection: the register stays wait-free and atomic with up to `t`
-//! server crashes, and stalls (without ever lying) beyond them.
+//! server crashes, and stalls (without ever lying) beyond them — the same
+//! `Deployment`, simulated and live.
 //!
 //! Run with: `cargo run --example fault_injection`
 
 use std::time::Duration;
 
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp};
-use mwr::runtime::{LiveCluster, RuntimeError};
+use mwr::register::{Backend, Deployment, Protocol, ScheduledOp};
+use mwr::runtime::RuntimeError;
 use mwr::sim::SimTime;
 use mwr::types::{ClusterConfig, ProcessId, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ClusterConfig::new(5, 1, 2, 2)?;
+    let deployment = Deployment::new(config).protocol(Protocol::W2R1);
 
     // --- Simulated: crash exactly t = 1 server mid-run. -----------------
     println!("== simulator: crash s5 at t=50, keep operating ==\n");
-    let cluster = Cluster::new(config, Protocol::W2R1);
-    let mut sim = cluster.build_sim(9);
-    sim.schedule_crash(SimTime::from_ticks(50), ProcessId::server(4));
+    let mut sim = deployment.backend(Backend::Sim { seed: 9 }).sim()?;
+    sim.sim_mut().schedule_crash(SimTime::from_ticks(50), ProcessId::server(4));
     for (i, at) in [0u64, 40, 80, 120, 160].into_iter().enumerate() {
-        cluster.schedule(
-            &mut sim,
+        sim.schedule(
             SimTime::from_ticks(at),
             ScheduledOp::Write { writer: (i % 2) as u32, value: Value::new(i as u64 + 1) },
         )?;
-        cluster.schedule(
-            &mut sim,
+        sim.schedule(
             SimTime::from_ticks(at + 20),
             ScheduledOp::Read { reader: (i % 2) as u32 },
         )?;
     }
-    sim.run_until_quiescent()?;
-    let events = sim.drain_notifications();
+    let events = sim.run_to_quiescence()?;
     let history = History::from_events(&events)?;
     println!("{history}");
     assert!(check_atomicity(&history).is_ok());
@@ -41,16 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Live: crashing beyond t makes quorums unreachable — operations
     //     time out rather than return stale data. ------------------------
     println!("== live runtime: crash beyond t and observe the stall ==\n");
-    let mut live = LiveCluster::start(config, Protocol::W2R1);
-    let mut writer = live.writer(0);
-    let mut reader = live.reader(0);
+    let mut live = deployment.backend(Backend::InMemory).in_memory()?;
+    let mut writer = live.writer(0)?;
+    let mut reader = live.reader(0)?;
     writer.write(Value::new(1))?;
     live.crash_server(0);
     let tagged = reader.read()?;
     println!("after 1 crash (= t): read still returns {tagged}");
 
     live.crash_server(1); // second crash exceeds t = 1
-    writer.set_timeout(Duration::from_millis(200));
+    let mut writer = writer.with_timeout(Duration::from_millis(200));
     match writer.write(Value::new(2)) {
         Err(RuntimeError::Timeout { collected, required, .. }) => {
             println!("after 2 crashes (> t): write times out ({collected}/{required} acks) — safety over availability");

@@ -6,10 +6,10 @@
 //! Run with: `cargo run --example geo_replication`
 
 use mwr::check::check_events;
-use mwr::core::{Cluster, Protocol};
+use mwr::register::{Backend, Deployment, Protocol};
 use mwr::sim::{GeoMatrix, SimTime};
 use mwr::types::{ClusterConfig, ProcessId};
-use mwr::workload::{run_closed_loop_customized, TextTable, WorkloadSpec};
+use mwr::workload::{TextTable, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One-way latencies between three regions, in virtual ticks (~µs):
@@ -26,30 +26,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table =
         TextTable::new(vec!["protocol", "read p50", "read p99", "write p50", "atomic"]);
     for protocol in [Protocol::W2R2, Protocol::W2R1] {
-        let cluster = Cluster::new(config, protocol);
         let spec = WorkloadSpec {
             duration: SimTime::from_ticks(25_000),
             think_time: SimTime::from_ticks(120),
             seed: 17,
         };
-        let regions = regions.clone();
-        let mut report = run_closed_loop_customized(&cluster, spec, move |sim| {
-            let mut geo = GeoMatrix::new(regions);
-            let mut processes = Vec::new();
-            for (i, s) in config.server_ids().enumerate() {
-                geo.place(ProcessId::Server(s), i % 3);
-                processes.push(ProcessId::Server(s));
-            }
-            for r in config.reader_ids() {
-                geo.place(r.into(), 0);
-                processes.push(r.into());
-            }
-            for w in config.writer_ids() {
-                geo.place(w.into(), 0);
-                processes.push(w.into());
-            }
-            sim.network_mut().apply_geo_matrix(&geo, &processes, SimTime::from_ticks(5));
-        })?;
+        let mut sim = Deployment::new(config)
+            .protocol(protocol)
+            .backend(Backend::Sim { seed: spec.seed })
+            .sim()?;
+        let mut geo = GeoMatrix::new(regions.clone());
+        let mut processes = Vec::new();
+        for (i, s) in config.server_ids().enumerate() {
+            geo.place(ProcessId::Server(s), i % 3);
+            processes.push(ProcessId::Server(s));
+        }
+        for r in config.reader_ids() {
+            geo.place(r.into(), 0);
+            processes.push(r.into());
+        }
+        for w in config.writer_ids() {
+            geo.place(w.into(), 0);
+            processes.push(w.into());
+        }
+        sim.sim_mut().network_mut().apply_geo_matrix(&geo, &processes, SimTime::from_ticks(5));
+        let mut report = sim.run_closed_loop(spec)?;
         let atomic = check_events(&report.events)?.is_ok();
         let (w, r) = report.summaries();
         table.row(vec![

@@ -6,7 +6,7 @@
 
 use mwr::chains::{refute_strategy, verify_w1r2_impossibility, MajorityLastWrite};
 use mwr::check::{check_atomicity, check_regular, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::register::{Backend, Deployment, Protocol, ScheduledOp};
 use mwr::sim::SimTime;
 use mwr::types::{ClusterConfig, Value};
 
@@ -18,15 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (1, ·), so the *earlier* write by the larger writer id wins and
     //    readers return the overwritten value.
     println!("== 1. naive fast-write (W1R2) violating atomicity ==\n");
-    let cluster = Cluster::new(config, Protocol::NaiveW1R2);
-    let events = cluster.run_schedule(
-        3,
-        &[
+    let events = Deployment::new(config)
+        .protocol(Protocol::NaiveW1R2)
+        .backend(Backend::Sim { seed: 3 })
+        .sim()?
+        .run_schedule(&[
             (SimTime::ZERO, ScheduledOp::Write { writer: 1, value: Value::new(2) }),
             (SimTime::from_ticks(500), ScheduledOp::Write { writer: 0, value: Value::new(1) }),
             (SimTime::from_ticks(1_000), ScheduledOp::Read { reader: 0 }),
-        ],
-    )?;
+        ])?;
     let history = History::from_events(&events)?;
     println!("{history}");
     let verdict = check_atomicity(&history);

@@ -1,12 +1,12 @@
-//! Quickstart: the paper's W2R1 atomic register, both as a live
-//! thread-backed cluster you can call like a library, and as a simulated
-//! cluster whose execution history is machine-checked for atomicity.
+//! Quickstart: the paper's W2R1 atomic register through the `Deployment`
+//! facade — as a live thread-backed cluster you can call like a library,
+//! and as a simulated cluster whose execution history is machine-checked
+//! for atomicity.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp};
-use mwr::runtime::LiveCluster;
+use mwr::register::{Backend, Deployment, Protocol, ScheduledOp};
 use mwr::sim::SimTime;
 use mwr::types::{ClusterConfig, Value};
 
@@ -16,13 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // t·(R + 2) = 4 < 5 = S.
     let config = ClusterConfig::new(5, 1, 2, 2)?;
     assert!(config.fast_read_feasible());
+    let deployment = Deployment::new(config).protocol(Protocol::W2R1);
 
     // --- Live cluster: every server is a thread running Algorithm 2. ----
     println!("starting a live W2R1 cluster ({config})…");
-    let cluster = LiveCluster::start(config, Protocol::W2R1);
-    let mut alice = cluster.writer(0);
-    let mut bob = cluster.writer(1);
-    let mut carol = cluster.reader(0);
+    let cluster = deployment.backend(Backend::InMemory).in_memory()?;
+    let mut alice = cluster.writer(0)?;
+    let mut bob = cluster.writer(1)?;
+    let mut carol = cluster.reader(0)?;
 
     let t1 = alice.write(Value::new(100))?;
     println!("alice wrote 100 as {t1}");
@@ -36,17 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Simulated cluster: deterministic, checkable. -------------------
     println!("replaying a concurrent schedule in the simulator…");
-    let sim_cluster = Cluster::new(config, Protocol::W2R1);
-    let events = sim_cluster.run_schedule(
-        42,
-        &[
-            (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
-            (SimTime::from_ticks(2), ScheduledOp::Write { writer: 1, value: Value::new(2) }),
-            (SimTime::from_ticks(3), ScheduledOp::Read { reader: 0 }),
-            (SimTime::from_ticks(30), ScheduledOp::Read { reader: 1 }),
-            (SimTime::from_ticks(60), ScheduledOp::Read { reader: 0 }),
-        ],
-    )?;
+    let events = deployment.backend(Backend::Sim { seed: 42 }).sim()?.run_schedule(&[
+        (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
+        (SimTime::from_ticks(2), ScheduledOp::Write { writer: 1, value: Value::new(2) }),
+        (SimTime::from_ticks(3), ScheduledOp::Read { reader: 0 }),
+        (SimTime::from_ticks(30), ScheduledOp::Read { reader: 1 }),
+        (SimTime::from_ticks(60), ScheduledOp::Read { reader: 0 }),
+    ])?;
     let history = History::from_events(&events)?;
     println!("{history}");
     let verdict = check_atomicity(&history);

@@ -3,12 +3,16 @@
 //! the `R < S/t − 2` constraint of Algorithm 1.
 
 use mwr::check::{check_atomicity, History};
-use mwr::core::{ClientEvent, Cluster, OpKind, Protocol, ScheduledOp};
+use mwr::core::{ClientEvent, OpKind, Protocol, ScheduledOp, SimCluster};
+use mwr::register::{AnySimCluster, Backend, Deployment};
 use mwr::sim::{DelayModel, SimTime};
 use mwr::types::{ClusterConfig, ProcessId, Value};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+mod common;
+use common::{sim_cluster};
 
 fn random_schedule(config: &ClusterConfig, ops_per_client: usize, seed: u64) -> Vec<(SimTime, ScheduledOp)> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -37,7 +41,7 @@ fn random_schedule(config: &ClusterConfig, ops_per_client: usize, seed: u64) -> 
 /// Runs one schedule under jittered delays and returns (history, fast
 /// reads, slow reads).
 fn run(
-    cluster: &Cluster,
+    cluster: &AnySimCluster,
     seed: u64,
     schedule: &[(SimTime, ScheduledOp)],
     crash: Option<u32>,
@@ -82,7 +86,7 @@ fn adaptive_reads_stay_atomic_beyond_the_feasibility_boundary() {
     // jitter and crashes.
     for (s, t, r) in [(5, 1, 2), (5, 1, 3), (5, 1, 4), (3, 1, 2), (7, 2, 2), (9, 2, 4)] {
         let config = ClusterConfig::new(s, t, r, 2).unwrap();
-        let cluster = Cluster::new(config, Protocol::W2Ra);
+        let cluster = sim_cluster(config, Protocol::W2Ra);
         for seed in 1..=8 {
             let schedule = random_schedule(&config, 3, seed * 13 + 1);
             let crash = (seed % 2 == 0).then_some(0);
@@ -98,7 +102,7 @@ fn adaptive_reads_stay_atomic_beyond_the_feasibility_boundary() {
 #[test]
 fn uncontended_adaptive_reads_are_all_fast() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2Ra);
+    let cluster = sim_cluster(config, Protocol::W2Ra);
     // Strictly sequential: every read sees a settled maximum.
     let mut schedule = Vec::new();
     for i in 0..6u64 {
@@ -132,8 +136,8 @@ fn adaptive_matches_w2r1_in_feasible_configs() {
     assert!(config.fast_read_feasible());
     for seed in 1..=10 {
         let schedule = random_schedule(&config, 3, seed);
-        let (h_fast, _, _) = run(&Cluster::new(config, Protocol::W2R1), seed, &schedule, None);
-        let (h_adaptive, _, slow) = run(&Cluster::new(config, Protocol::W2Ra), seed, &schedule, None);
+        let (h_fast, _, _) = run(&sim_cluster(config, Protocol::W2R1), seed, &schedule, None);
+        let (h_adaptive, _, slow) = run(&sim_cluster(config, Protocol::W2Ra), seed, &schedule, None);
         assert!(check_atomicity(&h_fast).is_ok());
         assert!(check_atomicity(&h_adaptive).is_ok());
         // Both are atomic; when no fallback fired the adaptive run is
@@ -154,7 +158,7 @@ fn contention_triggers_the_slow_fallback_but_never_unsafety() {
     // the adaptive mode pays second round-trips instead.
     let config = ClusterConfig::new(5, 1, 4, 2).unwrap();
     assert!(!config.fast_read_feasible());
-    let cluster = Cluster::new(config, Protocol::W2Ra);
+    let cluster = sim_cluster(config, Protocol::W2Ra);
     let mut total_fast = 0;
     let mut total_slow = 0;
     for seed in 1..=10 {
@@ -170,11 +174,14 @@ fn contention_triggers_the_slow_fallback_but_never_unsafety() {
 
 #[test]
 fn live_runtime_supports_adaptive_reads() {
-    use mwr::runtime::LiveCluster;
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = LiveCluster::start(config, Protocol::W2Ra);
-    let mut writer = cluster.writer(0);
-    let mut reader = cluster.reader(0);
+    let cluster = Deployment::new(config)
+        .protocol(Protocol::W2Ra)
+        .backend(Backend::InMemory)
+        .in_memory()
+        .unwrap();
+    let mut writer = cluster.writer(0).unwrap();
+    let mut reader = cluster.reader(0).unwrap();
     let written = writer.write(Value::new(77)).unwrap();
     let read = reader.read().unwrap();
     assert_eq!(read, written);

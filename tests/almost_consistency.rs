@@ -2,13 +2,15 @@
 //! staleness quantification, and their agreement with the checkers of
 //! `mwr-check` — the executable form of the paper's §7 future work.
 
-use mwr::almost::{
-    ConsistencyClass, ConsistencyProfile, StalenessReport, TunableCluster, TunableSpec,
-};
+use mwr::almost::{ConsistencyClass, ConsistencyProfile, StalenessReport, TunableSpec};
 use mwr::check::History;
-use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::core::{Protocol, ScheduledOp, SimCluster};
+use mwr::register::AnySimCluster;
 use mwr::sim::{DelayModel, SimTime};
 use mwr::types::{ClusterConfig, ProcessId, Value};
+
+mod common;
+use common::{sim_cluster, tunable_cluster};
 
 fn contended_schedule(rounds: u64) -> Vec<(SimTime, ScheduledOp)> {
     let mut ops = Vec::new();
@@ -23,7 +25,7 @@ fn contended_schedule(rounds: u64) -> Vec<(SimTime, ScheduledOp)> {
 }
 
 fn run_with_jitter(
-    cluster: &TunableCluster,
+    cluster: &AnySimCluster,
     seed: u64,
     schedule: &[(SimTime, ScheduledOp)],
 ) -> History {
@@ -42,7 +44,7 @@ fn run_with_jitter(
 #[test]
 fn one_one_lww_exhibits_violations_under_contention() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = TunableCluster::new(config, TunableSpec::fastest());
+    let cluster = tunable_cluster(config, TunableSpec::fastest());
     let schedule = contended_schedule(12);
     let mut any_anomaly = false;
     let mut any_non_atomic = false;
@@ -66,7 +68,7 @@ fn majority_levels_guarantee_zero_staleness() {
     let schedule = contended_schedule(12);
     for spec in [TunableSpec::quorum_lww(), TunableSpec::strong()] {
         assert!(spec.quorums_intersect(&config));
-        let cluster = TunableCluster::new(config, spec);
+        let cluster = tunable_cluster(config, spec);
         for seed in 1..=15 {
             let history = run_with_jitter(&cluster, seed, &schedule);
             let report = StalenessReport::analyze(&history);
@@ -81,7 +83,7 @@ fn queried_tags_never_invert_write_order() {
     // non-concurrent writes by construction — MWA0. Local LWW tags do not.
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
     let schedule = contended_schedule(12);
-    let strong = TunableCluster::new(config, TunableSpec::strong());
+    let strong = tunable_cluster(config, TunableSpec::strong());
     for seed in 1..=15 {
         let history = run_with_jitter(&strong, seed, &schedule);
         let report = StalenessReport::analyze(&history);
@@ -97,7 +99,7 @@ fn atomic_verdicts_imply_freshness_for_tag_disciplined_protocols() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
     let schedule = contended_schedule(10);
     for protocol in [Protocol::W2R2, Protocol::W2R1] {
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         for seed in 1..=10 {
             let mut sim = cluster.build_sim(seed);
             sim.network_mut().set_default_delay(DelayModel::Uniform {
@@ -136,7 +138,7 @@ fn read_repair_reduces_staleness_of_one_one() {
     let far = SimTime::from_ticks(30);
 
     let run = |spec: TunableSpec| -> usize {
-        let cluster = TunableCluster::new(config, spec);
+        let cluster = tunable_cluster(config, spec);
         let mut sim = cluster.build_sim(1);
         sim.network_mut().set_default_delay(DelayModel::Constant(near));
         for s in [2u32, 3, 4] {
@@ -192,7 +194,7 @@ fn crashed_server_does_not_block_wait_free_levels() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
     let spec = TunableSpec::quorum_lww();
     assert!(spec.wait_free(&config));
-    let cluster = TunableCluster::new(config, spec);
+    let cluster = tunable_cluster(config, spec);
     let mut sim = cluster.build_sim(3);
     sim.schedule_crash(SimTime::ZERO, ProcessId::server(0));
     for (at, op) in contended_schedule(6) {
@@ -206,7 +208,7 @@ fn crashed_server_does_not_block_wait_free_levels() {
 #[test]
 fn staleness_report_is_deterministic_per_seed() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = TunableCluster::new(config, TunableSpec::fastest());
+    let cluster = tunable_cluster(config, TunableSpec::fastest());
     let schedule = contended_schedule(8);
     let a = StalenessReport::analyze(&run_with_jitter(&cluster, 9, &schedule));
     let b = StalenessReport::analyze(&run_with_jitter(&cluster, 9, &schedule));

@@ -6,12 +6,15 @@
 //! checker-visible violations.
 
 use mwr::check::{check_atomicity, check_regular, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::core::{Protocol, ScheduledOp, SimCluster};
 use mwr::sim::SimTime;
 use mwr::types::{ClusterConfig, Value};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+mod common;
+use common::{sim_cluster};
 
 fn random_schedule(
     config: &ClusterConfig,
@@ -56,7 +59,7 @@ fn endorsed_protocols_stay_atomic_under_random_schedules() {
     ];
     for (config, protocol) in cells {
         assert!(protocol.expected_atomic(&config), "precondition: {protocol} on {config}");
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         for seed in 0..30u64 {
             let schedule = random_schedule(&config, 3, 400, seed);
             let events = cluster.run_schedule(seed, &schedule).unwrap();
@@ -82,7 +85,7 @@ fn naive_fast_write_violates_on_inversion() {
         (SimTime::from_ticks(2_000), ScheduledOp::Read { reader: 0 }),
     ];
     for protocol in [Protocol::NaiveW1R2, Protocol::NaiveW1R1] {
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         let events = cluster.run_schedule(0, &schedule).unwrap();
         let history = History::from_events(&events).unwrap();
         assert!(!check_atomicity(&history).is_ok(), "{protocol} must violate");
@@ -99,7 +102,7 @@ fn naive_fast_write_violates_on_inversion() {
 #[test]
 fn single_writer_fast_write_is_atomic() {
     let config = ClusterConfig::new(5, 1, 2, 1).unwrap();
-    let cluster = Cluster::new(config, Protocol::AbdSwmrW1R2);
+    let cluster = sim_cluster(config, Protocol::AbdSwmrW1R2);
     for seed in 0..20u64 {
         let schedule = random_schedule(&config, 4, 300, seed);
         let events = cluster.run_schedule(seed, &schedule).unwrap();
@@ -118,7 +121,7 @@ fn runs_are_deterministic() {
         } else {
             config
         };
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         let schedule = random_schedule(&config, 3, 200, 77);
         let a = cluster.run_schedule(5, &schedule).unwrap();
         let b = cluster.run_schedule(5, &schedule).unwrap();

@@ -2,11 +2,14 @@
 //! reply-corrupting adversaries, judged by the `mwr-check` checkers — the
 //! executable form of the paper's §5 Byzantine remark.
 
-use mwr::byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode, ByzRegisterServer};
+use mwr::byz::{ByzBehavior, ByzConfig, ByzReadMode, ByzRegisterServer};
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, OpResult, Protocol, RegisterClient, RegisterServer, ScheduledOp};
+use mwr::core::{OpResult, Protocol, RegisterClient, RegisterServer, ScheduledOp, SimCluster};
 use mwr::sim::{SimTime, Simulation};
 use mwr::types::{ClusterConfig, ProcessId, Value};
+
+mod common;
+use common::{byz_cluster};
 
 fn contended_schedule(rounds: u64, readers: u64) -> Vec<(SimTime, ScheduledOp)> {
     let mut ops = Vec::new();
@@ -29,7 +32,7 @@ fn masking_clients_stay_atomic_under_every_behavior() {
     let schedule = contended_schedule(6, 2);
     for behavior in ByzBehavior::ADVERSARIAL {
         for mode in [ByzReadMode::Slow, ByzReadMode::Fast] {
-            let cluster = ByzCluster::new(config, mode, behavior);
+            let cluster = byz_cluster(config, mode, behavior);
             for seed in 1..=10 {
                 let events = cluster.run_schedule(seed, &schedule).unwrap();
                 let history = History::from_events(&events).unwrap();
@@ -48,7 +51,6 @@ fn crash_tolerant_w2r2_is_broken_by_forgery_but_not_by_omission() {
     let schedule = contended_schedule(5, 2);
     let run = |behavior: ByzBehavior, seed: u64| {
         let mut sim: Simulation<_, _> = Simulation::new(seed);
-        let cluster = Cluster::new(config, Protocol::W2R2);
         sim.add_process(ProcessId::server(0), ByzRegisterServer::new(behavior));
         for s in config.server_ids().skip(1) {
             sim.add_process(s.into(), RegisterServer::new());
@@ -60,7 +62,7 @@ fn crash_tolerant_w2r2_is_broken_by_forgery_but_not_by_omission() {
             sim.add_process(r.into(), RegisterClient::reader(r, config, Protocol::W2R2.read_mode()));
         }
         for (at, op) in &schedule {
-            cluster.schedule(&mut sim, *at, *op).unwrap();
+            op.schedule_into(&mut sim, *at).unwrap();
         }
         sim.run_until_quiescent().unwrap();
         sim.drain_notifications()
@@ -99,7 +101,7 @@ fn crash_tolerant_w2r2_is_broken_by_forgery_but_not_by_omission() {
 fn constructed_witness_breaks_vouched_fast_reads_below_the_frontier() {
     let config = ByzConfig::new(5, 1, 2, 2).unwrap();
     assert!(!config.fast_read_conjecture());
-    let cluster = ByzCluster::new(config, ByzReadMode::Fast, ByzBehavior::StaleReplier);
+    let cluster = byz_cluster(config, ByzReadMode::Fast, ByzBehavior::StaleReplier);
     let mut sim = cluster.build_sim(1);
 
     // Reader 0 never talks to s1; reader 1 never talks to s4.
@@ -162,7 +164,7 @@ fn byzantine_budget_subsumes_crashes() {
     let config = ByzConfig::new(9, 2, 3, 2).unwrap();
     let schedule = contended_schedule(6, 3);
     for mode in [ByzReadMode::Slow, ByzReadMode::Fast] {
-        let cluster = ByzCluster::new(config, mode, ByzBehavior::Mute);
+        let cluster = byz_cluster(config, mode, ByzBehavior::Mute);
         let events = cluster.run_schedule(3, &schedule).unwrap();
         let history = History::from_events(&events).unwrap();
         assert_eq!(history.len(), 12, "{mode:?}: wait-freedom with 2 silent servers");
@@ -175,7 +177,7 @@ fn forged_values_never_reach_any_client() {
     let config = ByzConfig::new(9, 2, 2, 2).unwrap();
     let schedule = contended_schedule(8, 2);
     for mode in [ByzReadMode::Slow, ByzReadMode::Fast] {
-        let cluster = ByzCluster::new(config, mode, ByzBehavior::TagInflater { boost: 1 << 40 });
+        let cluster = byz_cluster(config, mode, ByzBehavior::TagInflater { boost: 1 << 40 });
         for seed in 1..=10 {
             let events = cluster.run_schedule(seed, &schedule).unwrap();
             for (_, e) in &events {

@@ -3,12 +3,15 @@
 //! clients. The paper's model allows `t` server crashes at *any* moment;
 //! these tests make sure the extensions inherit that discipline.
 
-use mwr::almost::{TunableCluster, TunableSpec};
-use mwr::byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
+use mwr::almost::TunableSpec;
+use mwr::byz::{ByzBehavior, ByzConfig, ByzReadMode};
 use mwr::check::{check_atomicity, History};
-use mwr::core::{ClientEvent, Cluster, Protocol, ScheduledOp};
+use mwr::core::{ClientEvent, Protocol, ScheduledOp, SimCluster};
 use mwr::sim::{DelayModel, SimTime};
 use mwr::types::{ClusterConfig, ProcessId, Value};
+
+mod common;
+use common::{byz_cluster, sim_cluster, tunable_cluster};
 
 fn schedule(rounds: u64, readers: u64) -> Vec<(SimTime, ScheduledOp)> {
     let mut ops = Vec::new();
@@ -34,7 +37,7 @@ fn adaptive_reads_survive_a_crash_at_every_instant() {
     // Crash server 0 at each of a sweep of instants, including mid-round;
     // every operation still completes and every history is atomic.
     let config = ClusterConfig::new(5, 1, 3, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2Ra);
+    let cluster = sim_cluster(config, Protocol::W2Ra);
     let ops = schedule(5, 3);
     for crash_at in (0..60).step_by(7) {
         let mut sim = cluster.build_sim(crash_at + 1);
@@ -56,7 +59,7 @@ fn adaptive_reads_survive_held_links_per_server() {
     // paper's "skip"): operations still complete (quorums route around it)
     // and histories stay atomic.
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2Ra);
+    let cluster = sim_cluster(config, Protocol::W2Ra);
     let ops = schedule(5, 2);
     for skipped in 0..5u32 {
         let mut sim = cluster.build_sim(skipped as u64 + 11);
@@ -81,7 +84,7 @@ fn byzantine_plus_jitter_plus_heavy_interleaving_stays_atomic() {
     for behavior in ByzBehavior::ADVERSARIAL {
         for mode in [ByzReadMode::Slow, ByzReadMode::Fast] {
             for seed in 1..=5 {
-                let cluster = ByzCluster::new(config, mode, behavior);
+                let cluster = byz_cluster(config, mode, behavior);
                 let mut sim = cluster.build_sim(seed);
                 sim.network_mut().set_default_delay(DelayModel::Uniform {
                     lo: SimTime::from_ticks(1),
@@ -108,7 +111,7 @@ fn tunable_register_remains_live_when_a_crash_spares_the_quorum() {
     // MAJ levels need 3 of 5 acks: one crash leaves 4 live servers, so the
     // closed schedule completes even with the crash landing mid-write.
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = TunableCluster::new(config, TunableSpec::quorum_lww());
+    let cluster = tunable_cluster(config, TunableSpec::quorum_lww());
     for crash_at in [0u64, 3, 12, 30] {
         let mut sim = cluster.build_sim(crash_at + 5);
         sim.schedule_crash(SimTime::from_ticks(crash_at), ProcessId::server(2));
@@ -128,7 +131,7 @@ fn byzantine_fast_reads_tolerate_an_additional_skip() {
     // clears the forgeries.
     let config = ByzConfig::new(9, 2, 2, 2).unwrap();
     let cluster =
-        ByzCluster::new(config, ByzReadMode::Fast, ByzBehavior::TagInflater { boost: 12_345 });
+        byz_cluster(config, ByzReadMode::Fast, ByzBehavior::TagInflater { boost: 12_345 });
     let mut sim = cluster.build_sim(3);
     sim.network_mut().hold_between(ProcessId::reader(0), ProcessId::server(8));
     for (at, op) in schedule(4, 2) {
@@ -150,7 +153,7 @@ fn second_round_markers_are_consistent_with_protocol_structure() {
     // SecondRound, fast ops none, adaptive reads at most one.
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
     for protocol in [Protocol::W2R2, Protocol::W2R1, Protocol::W2Ra, Protocol::NaiveW1R1] {
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         let mut sim = cluster.build_sim(9);
         sim.network_mut().set_default_delay(DelayModel::Uniform {
             lo: SimTime::from_ticks(1),

@@ -6,12 +6,15 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use mwr::almost::{StalenessReport, TunableCluster, TunableSpec};
+use mwr::almost::{StalenessReport, TunableSpec};
 use mwr::byz::{safe_max_tag, vouched_snapshots, vouched_values};
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp, Snapshot, ValueRecord};
+use mwr::core::{Protocol, ScheduledOp, SimCluster, Snapshot, ValueRecord};
 use mwr::sim::{DelayModel, SimTime};
 use mwr::types::{ClientId, ClusterConfig, Tag, TaggedValue, Value, WriterId};
+
+mod common;
+use common::{sim_cluster, tunable_cluster};
 
 // --- generators --------------------------------------------------------------
 
@@ -149,7 +152,7 @@ proptest! {
         seed in 1u64..500,
     ) {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = TunableCluster::new(config, TunableSpec::fastest());
+        let cluster = tunable_cluster(config, TunableSpec::fastest());
         let mut sim = cluster.build_sim(seed);
         sim.network_mut().set_default_delay(DelayModel::Uniform {
             lo: SimTime::from_ticks(1),
@@ -190,7 +193,7 @@ proptest! {
         ],
     ) {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         let mut sim = cluster.build_sim(seed);
         sim.network_mut().set_default_delay(DelayModel::Uniform {
             lo: SimTime::from_ticks(1),

@@ -13,7 +13,7 @@
 //!    bounded.
 
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, FastWire, Protocol, ScheduledOp};
+use mwr::core::{Cluster, FastWire, Protocol, ScheduledOp, SimCluster};
 use mwr::sim::SimTime;
 use mwr::types::{ClusterConfig, Value};
 

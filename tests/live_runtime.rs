@@ -1,20 +1,25 @@
 //! Integration: the live runtime (threads + channels, threads + TCP) runs
-//! the same protocols with the same observable guarantees.
+//! the same protocols with the same observable guarantees, deployed
+//! through the `Deployment` facade.
 
 use std::time::Duration;
 
-use mwr::core::Protocol;
-use mwr::runtime::{LiveCluster, RuntimeError, TcpCluster};
+use mwr::register::{Backend, Deployment, Protocol};
+use mwr::runtime::RuntimeError;
 use mwr::types::{ClusterConfig, TaggedValue, Value};
 
 #[test]
 fn read_your_writes_and_monotonic_reads_in_memory() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = LiveCluster::start(config, Protocol::W2R1);
-    let mut w0 = cluster.writer(0);
-    let mut w1 = cluster.writer(1);
-    let mut r0 = cluster.reader(0);
-    let mut r1 = cluster.reader(1);
+    let cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::InMemory)
+        .in_memory()
+        .unwrap();
+    let mut w0 = cluster.writer(0).unwrap();
+    let mut w1 = cluster.writer(1).unwrap();
+    let mut r0 = cluster.reader(0).unwrap();
+    let mut r1 = cluster.reader(1).unwrap();
 
     let mut last_seen = TaggedValue::initial();
     for round in 1..=10u64 {
@@ -35,7 +40,8 @@ fn read_your_writes_and_monotonic_reads_in_memory() {
 fn w2r2_and_w2r1_agree_over_tcp() {
     for protocol in [Protocol::W2R2, Protocol::W2R1] {
         let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
-        let cluster = TcpCluster::start(config, protocol).unwrap();
+        let cluster =
+            Deployment::new(config).protocol(protocol).backend(Backend::Tcp).tcp().unwrap();
         let mut w = cluster.writer(0).unwrap();
         let mut r = cluster.reader(0).unwrap();
         for i in 1..=5u64 {
@@ -50,7 +56,8 @@ fn w2r2_and_w2r1_agree_over_tcp() {
 #[test]
 fn interleaved_writers_over_tcp_keep_tag_order() {
     let config = ClusterConfig::new(3, 1, 1, 2).unwrap();
-    let cluster = TcpCluster::start(config, Protocol::W2R1).unwrap();
+    let cluster =
+        Deployment::new(config).protocol(Protocol::W2R1).backend(Backend::Tcp).tcp().unwrap();
     let mut w0 = cluster.writer(0).unwrap();
     let mut w1 = cluster.writer(1).unwrap();
     let mut tags = Vec::new();
@@ -71,9 +78,13 @@ fn interleaved_writers_over_tcp_keep_tag_order() {
 #[test]
 fn liveness_boundary_at_t_crashes() {
     let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
-    let mut cluster = LiveCluster::start(config, Protocol::W2R1);
-    let mut w = cluster.writer(0);
-    let mut r = cluster.reader(0);
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::InMemory)
+        .in_memory()
+        .unwrap();
+    let mut w = cluster.writer(0).unwrap();
+    let mut r = cluster.reader(0).unwrap();
 
     w.write(Value::new(1)).unwrap();
     cluster.crash_server(2);
@@ -85,7 +96,32 @@ fn liveness_boundary_at_t_crashes() {
     // consistency — the paper's premise that fast+atomic+fault-tolerant
     // cannot all hold.
     cluster.crash_server(3);
-    w.set_timeout(Duration::from_millis(150));
+    let mut w = w.with_timeout(Duration::from_millis(150));
     assert!(matches!(w.write(Value::new(3)), Err(RuntimeError::Timeout { .. })));
+    cluster.shutdown();
+}
+
+/// Fault injection now works on the TCP backend too: a crashed minority
+/// (≤ t servers) does not block W2R1's one-round-trip read.
+#[test]
+fn tcp_crashed_minority_does_not_block_fast_reads() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_secs(5))
+        .tcp()
+        .unwrap();
+    let mut w = cluster.writer(0).unwrap();
+    let mut r = cluster.reader(0).unwrap();
+
+    let before = w.write(Value::new(1)).unwrap();
+    assert_eq!(r.read().unwrap(), before);
+
+    cluster.crash_server(0);
+    // The quorum S − t = 4 still assembles: the write completes and the
+    // fast read returns it in one round-trip, exactly as in-memory.
+    let after = w.write(Value::new(2)).unwrap();
+    assert_eq!(r.read().unwrap(), after, "crashed TCP minority must not block the fast read");
     cluster.shutdown();
 }

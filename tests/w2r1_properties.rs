@@ -3,11 +3,14 @@
 //! imply the checker's atomicity verdict.
 
 use mwr::check::{check_atomicity, check_mwa, search_atomicity, History};
-use mwr::core::{Cluster, Protocol, ScheduledOp};
+use mwr::core::{Protocol, ScheduledOp, SimCluster};
 use mwr::sim::{LinkSelector, SimTime};
 use mwr::types::{ClusterConfig, ProcessId, Value};
 
 use proptest::prelude::*;
+
+mod common;
+use common::{sim_cluster};
 
 fn schedule_strategy(
     writers: u32,
@@ -47,7 +50,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-        let cluster = Cluster::new(config, Protocol::W2R1);
+        let cluster = sim_cluster(config, Protocol::W2R1);
         let events = cluster.run_schedule(seed, &schedule).unwrap();
         let history = History::from_events(&events).unwrap();
         prop_assert!(check_mwa(&history).is_ok(), "MWA violated:\n{}", history);
@@ -63,7 +66,7 @@ proptest! {
     ) {
         let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
         for protocol in [Protocol::W2R1, Protocol::NaiveW1R2] {
-            let cluster = Cluster::new(config, protocol);
+            let cluster = sim_cluster(config, protocol);
             let events = cluster.run_schedule(seed, &schedule).unwrap();
             let history = History::from_events(&events).unwrap();
             prop_assert_eq!(
@@ -80,7 +83,7 @@ proptest! {
 #[test]
 fn w2r1_atomic_under_targeted_link_holds() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2R1);
+    let cluster = sim_cluster(config, Protocol::W2R1);
     for slow_server in 0..5u32 {
         let mut sim = cluster.build_sim(13);
         // The slow server answers nobody until t = 5000.
@@ -125,7 +128,7 @@ fn w2r1_atomic_under_targeted_link_holds() {
 #[test]
 fn w2r1_atomic_under_crash_sweep() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let cluster = Cluster::new(config, Protocol::W2R1);
+    let cluster = sim_cluster(config, Protocol::W2R1);
     let schedule = [
         (SimTime::ZERO, ScheduledOp::Write { writer: 0, value: Value::new(1) }),
         (SimTime::from_ticks(30), ScheduledOp::Read { reader: 0 }),

@@ -2,10 +2,13 @@
 //! and the latency ordering of Fig 2 holds under load.
 
 use mwr::check::{check_atomicity, History};
-use mwr::core::{Cluster, Protocol};
+use mwr::core::Protocol;
 use mwr::sim::SimTime;
 use mwr::types::ClusterConfig;
 use mwr::workload::{run_closed_loop, WorkloadSpec};
+
+mod common;
+use common::{sim_cluster};
 
 fn spec(seed: u64) -> WorkloadSpec {
     WorkloadSpec {
@@ -25,7 +28,7 @@ fn endorsed_protocols_stay_atomic_under_sustained_load() {
     ] {
         let config = ClusterConfig::new(5, 1, 2, writers).unwrap();
         assert!(protocol.expected_atomic(&config));
-        let cluster = Cluster::new(config, protocol);
+        let cluster = sim_cluster(config, protocol);
         for seed in 0..5u64 {
             let report = run_closed_loop(&cluster, spec(seed)).unwrap();
             let history = History::from_events(&report.events).unwrap();
@@ -41,8 +44,8 @@ fn endorsed_protocols_stay_atomic_under_sustained_load() {
 #[test]
 fn read_latency_orders_by_round_trips() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let mut w2r2 = run_closed_loop(&Cluster::new(config, Protocol::W2R2), spec(11)).unwrap();
-    let mut w2r1 = run_closed_loop(&Cluster::new(config, Protocol::W2R1), spec(11)).unwrap();
+    let mut w2r2 = run_closed_loop(&sim_cluster(config, Protocol::W2R2), spec(11)).unwrap();
+    let mut w2r1 = run_closed_loop(&sim_cluster(config, Protocol::W2R1), spec(11)).unwrap();
     let slow = w2r2.reads.summary();
     let fast = w2r1.reads.summary();
     assert!(
@@ -59,8 +62,8 @@ fn read_latency_orders_by_round_trips() {
 #[test]
 fn throughput_scales_with_faster_reads() {
     let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
-    let slow = run_closed_loop(&Cluster::new(config, Protocol::W2R2), spec(4)).unwrap();
-    let fast = run_closed_loop(&Cluster::new(config, Protocol::W2R1), spec(4)).unwrap();
+    let slow = run_closed_loop(&sim_cluster(config, Protocol::W2R2), spec(4)).unwrap();
+    let fast = run_closed_loop(&sim_cluster(config, Protocol::W2R1), spec(4)).unwrap();
     assert!(
         fast.throughput_per_kilotick() > slow.throughput_per_kilotick(),
         "closed-loop throughput rises when reads take one round-trip"

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use mwr_types::codec::{DecodeError, Wire};
@@ -281,7 +281,11 @@ impl Wire for OpId {
         self.seq.encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len() + self.seq.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(OpId { client: ClientId::decode(buf)?, seq: u64::decode(buf)? })
     }
 }
@@ -292,7 +296,11 @@ impl Wire for OpHandle {
         self.phase.encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.op.encoded_len() + self.phase.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(OpHandle { op: OpId::decode(buf)?, phase: u8::decode(buf)? })
     }
 }
@@ -303,7 +311,11 @@ impl Wire for ValueRecord {
         self.updated.encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.value.encoded_len() + self.updated.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(ValueRecord {
             value: TaggedValue::decode(buf)?,
             updated: Vec::<ClientId>::decode(buf)?,
@@ -316,7 +328,11 @@ impl Wire for Snapshot {
         self.entries.encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.entries.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(Snapshot { entries: Vec::<ValueRecord>::decode(buf)? })
     }
 }
@@ -330,7 +346,15 @@ impl Wire for DeltaSnapshot {
         self.entries.encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.from.encoded_len()
+            + self.version.encoded_len()
+            + self.latest.encoded_len()
+            + self.pruned.encoded_len()
+            + self.entries.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(DeltaSnapshot {
             from: u64::decode(buf)?,
             version: u64::decode(buf)?,
@@ -394,7 +418,31 @@ impl Wire for Msg {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Msg::InvokeRead => 0,
+            Msg::InvokeWrite(v) => v.encoded_len(),
+            Msg::Query { handle } => handle.encoded_len(),
+            Msg::Update { handle, value, floor } => {
+                handle.encoded_len() + value.encoded_len() + floor.encoded_len()
+            }
+            Msg::ReadFast { handle, val_queue } => handle.encoded_len() + val_queue.encoded_len(),
+            Msg::QueryAck { handle, latest } => handle.encoded_len() + latest.encoded_len(),
+            Msg::UpdateAck { handle } => handle.encoded_len(),
+            Msg::ReadFastAck { handle, snapshot } => {
+                handle.encoded_len() + snapshot.encoded_len()
+            }
+            Msg::ReadFastDelta { handle, acked, floor, new_values } => {
+                handle.encoded_len()
+                    + acked.encoded_len()
+                    + floor.encoded_len()
+                    + new_values.encoded_len()
+            }
+            Msg::ReadFastDeltaAck { handle, delta } => handle.encoded_len() + delta.encoded_len(),
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(Msg::InvokeRead),
             1 => Ok(Msg::InvokeWrite(Value::decode(buf)?)),
@@ -505,6 +553,10 @@ mod tests {
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
+            assert_eq!(msg.encoded_len(), bytes.len(), "encoded_len matches encode: {msg:?}");
+            let mut cursor: &[u8] = &bytes;
+            assert_eq!(Msg::decode(&mut cursor).expect("decode from slice"), msg);
+            assert!(cursor.is_empty());
             let decoded = Msg::decode(&mut bytes).expect("decode");
             assert_eq!(decoded, msg);
             assert!(bytes.is_empty());
@@ -513,7 +565,7 @@ mod tests {
 
     #[test]
     fn corrupted_discriminant_is_rejected() {
-        let mut bytes = Bytes::from_static(&[99]);
+        let mut bytes: &[u8] = &[99];
         assert!(matches!(
             Msg::decode(&mut bytes),
             Err(DecodeError::InvalidDiscriminant { context: "Msg", value: 99 })

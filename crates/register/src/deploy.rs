@@ -6,7 +6,7 @@ use std::time::Duration;
 use mwr_almost::TunableCluster;
 use mwr_byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
 use mwr_core::{ClientEvent, Cluster, FastWire, Msg, Protocol, SimCluster};
-use mwr_runtime::{InMemoryTransport, RuntimeCluster, TcpRegistry};
+use mwr_runtime::{InMemoryTransport, RuntimeCluster, TcpRegistry, TcpTuning};
 use mwr_sim::Simulation;
 use mwr_types::ClusterConfig;
 use mwr_workload::{WorkloadReport, WorkloadSpec};
@@ -45,6 +45,7 @@ pub struct Deployment {
     wire: Option<FastWire>,
     gc: Option<bool>,
     timeout: Option<Duration>,
+    tcp_tuning: Option<TcpTuning>,
 }
 
 impl Deployment {
@@ -58,6 +59,7 @@ impl Deployment {
             wire: None,
             gc: None,
             timeout: None,
+            tcp_tuning: None,
         }
     }
 
@@ -109,6 +111,16 @@ impl Deployment {
     /// backends only — the simulator runs in virtual time.
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Tunes the TCP send path: writer-pipeline coalescing batch, bounded
+    /// per-peer queue depth, reconnect backoff, and the legacy direct-write
+    /// toggle benchmarks compare against. TCP backend only — the in-memory
+    /// transport delivers straight into the destination's channel with no
+    /// pipeline to tune, and the simulator has no sockets at all.
+    pub fn tcp_tuning(mut self, tuning: TcpTuning) -> Self {
+        self.tcp_tuning = Some(tuning);
         self
     }
 
@@ -199,6 +211,23 @@ impl Deployment {
                          and never blocks",
             });
         }
+        if let Some(tuning) = self.tcp_tuning {
+            if self.backend != Backend::Tcp {
+                return Err(DeployError::Knob {
+                    knob: "tcp_tuning",
+                    reason: "writer pipelines and frame coalescing exist only on the TCP \
+                             transport; the in-memory transport delivers directly and the \
+                             simulator has no sockets",
+                });
+            }
+            if tuning.batch == 0 || tuning.queue_depth == 0 {
+                return Err(DeployError::Knob {
+                    knob: "tcp_tuning",
+                    reason: "batch and queue_depth must both be at least 1 \
+                             (a zero-capacity pipeline could never move a frame)",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -212,9 +241,15 @@ impl Deployment {
     /// Validation errors; the backend is *not* consulted, so this also
     /// works for live-backed deployments that want a simulated twin.
     pub fn sim_cluster(&self) -> Result<AnySimCluster, DeployError> {
-        // Validate with the backend forced to sim: this path exists
-        // precisely to give live deployments a simulated twin.
-        let sim_view = Deployment { backend: Backend::Sim { seed: 0 }, timeout: None, ..*self };
+        // Validate with the backend forced to sim (shedding the live-only
+        // knobs): this path exists precisely to give live deployments a
+        // simulated twin.
+        let sim_view = Deployment {
+            backend: Backend::Sim { seed: 0 },
+            timeout: None,
+            tcp_tuning: None,
+            ..*self
+        };
         sim_view.validate()?;
         Ok(match self.spec {
             Spec::Core(protocol) => {
@@ -285,7 +320,7 @@ impl Deployment {
                 configured: self.backend.name(),
             });
         }
-        self.live_on(TcpRegistry::new())
+        self.live_on(TcpRegistry::new().with_tuning(self.tcp_tuning.unwrap_or_default()))
     }
 
     fn live_on<F: mwr_runtime::EndpointFactory>(
@@ -464,6 +499,54 @@ mod tests {
             .in_memory()
             .unwrap_err();
         assert!(matches!(err, DeployError::Knob { knob: "gc", .. }), "{err}");
+    }
+
+    #[test]
+    fn tcp_tuning_is_validated_per_backend() {
+        // TCP-only: the other backends have no writer pipelines.
+        for backend in [Backend::Sim { seed: 0 }, Backend::InMemory] {
+            let err = Deployment::new(config())
+                .backend(backend)
+                .tcp_tuning(TcpTuning::default())
+                .deploy()
+                .unwrap_err();
+            assert!(matches!(err, DeployError::Knob { knob: "tcp_tuning", .. }), "{err}");
+        }
+        // Degenerate pipeline dimensions are rejected up front.
+        let err = Deployment::new(config())
+            .backend(Backend::Tcp)
+            .tcp_tuning(TcpTuning { batch: 0, ..TcpTuning::default() })
+            .tcp()
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "tcp_tuning", .. }), "{err}");
+        // A valid tuning reaches the registry and the cluster works.
+        let handle = Deployment::new(config())
+            .protocol(Protocol::W2R1)
+            .backend(Backend::Tcp)
+            .tcp_tuning(TcpTuning { batch: 8, queue_depth: 32, ..TcpTuning::default() })
+            .tcp()
+            .unwrap();
+        let mut w = handle.writer(0).unwrap();
+        let mut r = handle.reader(0).unwrap();
+        let written = w.write(Value::new(3)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        handle.shutdown();
+        // And a live deployment carrying the knob still gets a sim twin.
+        let dep = Deployment::new(config())
+            .backend(Backend::Tcp)
+            .tcp_tuning(TcpTuning::default());
+        assert!(dep.sim_cluster().is_ok());
+    }
+
+    #[test]
+    fn open_loop_drive_runs_on_a_fresh_handle_only() {
+        let handle =
+            Deployment::new(config()).backend(Backend::InMemory).in_memory().unwrap();
+        let report = handle.run_open_loop(Duration::from_millis(20)).unwrap();
+        assert!(report.ops() > 0, "saturating clients complete operations");
+        let err = handle.run_open_loop(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, DeployError::HandlesInUse), "{err}");
+        handle.shutdown();
     }
 
     #[test]

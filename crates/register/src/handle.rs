@@ -10,7 +10,10 @@ use mwr_runtime::{
 };
 use mwr_sim::{SimError, SimTime, Simulation};
 use mwr_types::ClusterConfig;
-use mwr_workload::{drive_closed_loop, run_closed_loop_live, WorkloadReport, WorkloadSpec};
+use mwr_workload::{
+    drive_closed_loop, run_closed_loop_live, run_open_loop_live, ThroughputReport, WorkloadReport,
+    WorkloadSpec,
+};
 
 use crate::deploy::AnySimCluster;
 use crate::error::DeployError;
@@ -236,6 +239,26 @@ impl<F: EndpointFactory> LiveHandle<F> {
         }
         self.driven.set(true);
         Ok(run_closed_loop_live(&self.cluster, self.wire, self.timeout, spec)?)
+    }
+
+    /// Drives this cluster with open-loop (saturating) clients for
+    /// `duration` (see [`mwr_workload::run_open_loop_live`]): every
+    /// configured reader and writer issues back-to-back operations, so the
+    /// offered load is set by the deployment's client population. Like
+    /// [`run_closed_loop`](Self::run_closed_loop), the driver needs every
+    /// client endpoint, so the handle must be freshly deployed.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::HandlesInUse`] if clients were already minted or a
+    /// drive already ran; otherwise the first client's
+    /// [`RuntimeError`](mwr_runtime::RuntimeError).
+    pub fn run_open_loop(&self, duration: Duration) -> Result<ThroughputReport, DeployError> {
+        if self.minted.get() || self.driven.get() {
+            return Err(DeployError::HandlesInUse);
+        }
+        self.driven.set(true);
+        Ok(run_open_loop_live(&self.cluster, self.wire, self.timeout, duration)?)
     }
 
     /// Shuts down all remaining servers; returns total requests handled.

@@ -73,3 +73,4 @@ pub use spec::{Backend, Spec};
 
 // The vocabulary a facade user needs without naming the member crates.
 pub use mwr_core::{FastWire, Protocol, ScheduledOp, SimCluster};
+pub use mwr_runtime::TcpTuning;

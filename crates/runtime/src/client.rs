@@ -369,7 +369,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
                 let request = Msg::ReadFast { handle, val_queue };
                 if measure {
-                    bytes += request.to_bytes().len() as u64 * self.config.servers() as u64;
+                    bytes += request.encoded_len() as u64 * self.config.servers() as u64;
                 }
                 let acks = round_trip(
                     &self.endpoint,
@@ -379,7 +379,7 @@ impl<E: Endpoint> LiveReader<E> {
                     |msg| match msg {
                         Msg::ReadFastAck { handle: h, snapshot } if *h == handle => {
                             if measure {
-                                bytes += msg.to_bytes().len() as u64;
+                                bytes += msg.encoded_len() as u64;
                             }
                             Some(snapshot.clone())
                         }
@@ -410,7 +410,7 @@ impl<E: Endpoint> LiveReader<E> {
                             new_values,
                         };
                         if measure {
-                            moved.set(moved.get() + request.to_bytes().len() as u64);
+                            moved.set(moved.get() + request.encoded_len() as u64);
                         }
                         request
                     },
@@ -418,7 +418,7 @@ impl<E: Endpoint> LiveReader<E> {
                     |msg| match msg {
                         Msg::ReadFastDeltaAck { handle: h, delta } if *h == handle => {
                             if measure {
-                                moved.set(moved.get() + msg.to_bytes().len() as u64);
+                                moved.set(moved.get() + msg.encoded_len() as u64);
                             }
                             Some(delta.clone())
                         }
@@ -462,10 +462,14 @@ fn round_trip_per_server<E: Endpoint, T>(
     timeout: Duration,
     mut matcher: impl FnMut(&Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    for s in config.server_ids() {
-        // A dead server is exactly the failure the quorum tolerates.
-        let _ = endpoint.send(ProcessId::Server(s), request_for(s));
-    }
+    // One batched broadcast: the transport amortizes its locking over the
+    // whole fan-out, and a dead server is exactly the failure the quorum
+    // tolerates (send_batch is best-effort by contract).
+    let batch: Vec<(ProcessId, Msg)> = config
+        .server_ids()
+        .map(|s| (ProcessId::Server(s), request_for(s)))
+        .collect();
+    endpoint.send_batch(batch);
     let required = config.quorum_size();
     let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();
     let deadline = Instant::now() + timeout;

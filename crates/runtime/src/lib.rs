@@ -48,7 +48,7 @@ mod transport;
 pub use client::{LiveReader, LiveWriter, RuntimeError};
 pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
 pub use server::{spawn_server, spawn_server_with, ServerHandle};
-pub use tcp::{TcpEndpoint, TcpRegistry};
+pub use tcp::{PeerStats, TcpEndpoint, TcpRegistry, TcpTuning};
 pub use transport::{
     Endpoint, EndpointFactory, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError,
 };

@@ -1,20 +1,61 @@
 //! A TCP transport: length-prefixed frames carrying the hand-rolled wire
-//! codec from `mwr-types`.
+//! codec from `mwr-types`, sent through per-peer writer pipelines.
 //!
 //! Every process owns a listening socket; a registry maps process ids to
-//! socket addresses. Outbound connections are cached per destination and
-//! re-established on failure. Frames are `u32` big-endian length followed
-//! by `Wire`-encoded `(ProcessId, Msg)`.
+//! socket addresses. Frames are `u32` big-endian length followed by
+//! `Wire`-encoded `(ProcessId, Msg)`.
+//!
+//! # Hot path
+//!
+//! The transport is built for throughput:
+//!
+//! - **Per-peer writer pipelines.** Each destination gets its own I/O
+//!   state (connection + reusable encode buffer) behind its own lock,
+//!   plus a bounded queue drained by a dedicated thread. When the peer is
+//!   idle, a send writes **inline** on the sender's thread — one lock,
+//!   one encode, one `write_all`, no handoff. When the peer's I/O is busy
+//!   (another thread mid-write, a write blocked on a slow peer, a
+//!   reconnect in progress), the sender enqueues and moves on: one
+//!   stalled destination cannot stall the rest of a broadcast, which the
+//!   pre-pipeline path's endpoint-wide lock guaranteed it would.
+//! - **Frame coalescing.** Whatever backlog accumulates for one peer
+//!   (up to [`TcpTuning::batch`] frames) is encoded into one reusable
+//!   buffer and written with a single `write_all` — one syscall per
+//!   batch, sized exactly via `Wire::encoded_len`, no per-message buffer.
+//!   The inline path writes length-prefix and body as one syscall too,
+//!   where the old path issued two.
+//! - **Reconnect backoff + stall bounding.** Connection management lives
+//!   inside the pipeline: a failed `connect` is negative-cached for
+//!   [`TcpTuning::reconnect_backoff`], so a crashed peer costs one failed
+//!   syscall per backoff window instead of one per message, and pipeline
+//!   sockets carry a [`TcpTuning::write_timeout`] so a stalled peer
+//!   (connected but not reading) can block a sender for at most the
+//!   timeout before being negative-cached too. Frames to an unreachable
+//!   peer are dropped — precisely the crash model the quorum protocols
+//!   tolerate.
+//! - **Receive-buffer reuse.** Connections are read through a buffered
+//!   reader (many frames per syscall) into one per-connection body buffer,
+//!   decoded in place (`Wire::decode` works on `&mut &[u8]`) — no
+//!   allocation per frame.
+//!
+//! Dropping the endpoint tears the pipelines down cleanly: queued frames
+//! are flushed, writer threads join, and the acceptor stops. The
+//! pre-pipeline hot path (direct-write sends under one endpoint-wide
+//! lock, per-frame receive allocations) is kept behind
+//! [`TcpTuning::legacy_send`] so `live_throughput` can measure the
+//! before/after on the same build.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
-use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use bytes::{BufMut as _, Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
 
 use mwr_core::Msg;
@@ -26,20 +67,113 @@ use crate::transport::{Endpoint, EndpointFactory, Inbound, TransportError};
 /// Maximum accepted frame size (16 MiB) — guards against corrupt peers.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Largest buffer capacity a pipeline or reader retains across frames;
+/// anything bigger (a full-info burst) is released after use.
+const BUF_RETAIN: usize = 1024 * 1024;
+
 fn io_err(e: std::io::Error) -> TransportError {
-    TransportError::Io { message: e.to_string() }
+    TransportError::Io { kind: e.kind() }
 }
 
-/// Shared process-id → address registry.
+/// Tuning knobs for the TCP send path.
+///
+/// The defaults are right for the loopback clusters the workspace runs;
+/// the `mwr-register` facade exposes them as a TCP-only deployment knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTuning {
+    /// Maximum frames one writer-pipeline batch coalesces into a single
+    /// `write_all` syscall.
+    pub batch: usize,
+    /// Bounded per-peer queue depth; senders block (backpressure) while a
+    /// live peer's queue is full.
+    pub queue_depth: usize,
+    /// After a failed `connect` (or a failed/timed-out write cycle),
+    /// frames to that peer are dropped without another syscall until this
+    /// much time has passed.
+    pub reconnect_backoff: Duration,
+    /// Socket write timeout for pipeline connections, bounding how long a
+    /// stalled peer (connected but not reading, TCP window full) can
+    /// block a sender or a teardown flush; the frames are then dropped
+    /// and the peer negative-cached like a failed connect.
+    /// `Duration::ZERO` disables the timeout.
+    pub write_timeout: Duration,
+    /// Restore the pre-pipeline transport hot path: direct-write sends
+    /// under one endpoint-wide lock (two syscalls and a fresh buffer per
+    /// message, connect-per-message on a dead peer) and the per-frame
+    /// allocating receive loop. Exists so benchmarks can measure the
+    /// pipeline against its predecessor on the same binary.
+    pub legacy_send: bool,
+}
+
+impl Default for TcpTuning {
+    fn default() -> Self {
+        TcpTuning {
+            batch: 64,
+            queue_depth: 1024,
+            reconnect_backoff: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(1),
+            legacy_send: false,
+        }
+    }
+}
+
+/// Counters of one peer pipeline, for tests and diagnostics. Snapshot via
+/// [`TcpEndpoint::peer_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeerStats {
+    /// `connect` syscalls attempted (capped by the reconnect backoff).
+    pub connect_attempts: u64,
+    /// Frames written to the socket.
+    pub frames_sent: u64,
+    /// Coalesced `write_all` batches issued (≤ `frames_sent`).
+    pub batches: u64,
+    /// Frames dropped because the peer stayed unreachable.
+    pub frames_dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct PipelineStats {
+    connect_attempts: AtomicU64,
+    frames_sent: AtomicU64,
+    batches: AtomicU64,
+    frames_dropped: AtomicU64,
+}
+
+impl PipelineStats {
+    fn snapshot(&self) -> PeerStats {
+        PeerStats {
+            connect_attempts: self.connect_attempts.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared process-id → address registry, carrying the send-path tuning its
+/// endpoints are opened with.
 #[derive(Debug, Clone, Default)]
 pub struct TcpRegistry {
     addrs: Arc<Mutex<HashMap<ProcessId, SocketAddr>>>,
+    tuning: TcpTuning,
 }
 
 impl TcpRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with default [`TcpTuning`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects the send-path tuning for endpoints opened through this
+    /// registry (builder-style).
+    pub fn with_tuning(mut self, tuning: TcpTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The send-path tuning endpoints are opened with.
+    pub fn tuning(&self) -> TcpTuning {
+        self.tuning
     }
 
     /// Records where a process listens.
@@ -52,8 +186,9 @@ impl TcpRegistry {
         self.addrs.lock().get(&id).copied()
     }
 
-    /// Forgets a process's address: peers without a cached connection get
-    /// [`TransportError::UnknownDestination`] from then on.
+    /// Forgets a process's address: peers get
+    /// [`TransportError::UnknownDestination`] from then on, without a
+    /// single connect syscall.
     pub fn remove(&self, id: ProcessId) {
         self.addrs.lock().remove(&id);
     }
@@ -71,14 +206,311 @@ impl EndpointFactory for TcpRegistry {
     }
 }
 
-/// One process's TCP endpoint: a listener thread feeding an inbox, plus
-/// cached outbound connections.
+/// The I/O half of a peer pipeline: the connection, the reusable encode
+/// buffer, and the reconnect negative cache. Shared by the inline fast
+/// path (sender thread) and the drain thread, under one per-peer mutex.
+#[derive(Debug)]
+struct PeerIo {
+    from: ProcessId,
+    to: ProcessId,
+    registry: TcpRegistry,
+    tuning: TcpTuning,
+    conn: Option<TcpStream>,
+    buf: BytesMut,
+    last_failed: Option<Instant>,
+}
+
+impl PeerIo {
+    /// Encodes `msgs` as one coalesced frame batch and writes it with a
+    /// single `write_all`. Reconnects (under the negative-cache backoff)
+    /// inside the pipeline; on a dead cached connection, reconnects once
+    /// and retries the whole batch (parity with the old per-message
+    /// retry). An unreachable peer drops the batch — the crash model's
+    /// message loss.
+    fn write_frames(&mut self, msgs: &[Msg], stats: &PipelineStats) {
+        self.buf.clear();
+        let mut framed = 0u64;
+        for msg in msgs {
+            let len = self.from.encoded_len() + msg.encoded_len();
+            // Enforce the receiver's frame bound on the send side too: an
+            // oversized message would make the peer drop the connection
+            // (taking every coalesced neighbour with it) on every retry.
+            if len as u64 > u64::from(MAX_FRAME) {
+                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            framed += 1;
+            self.buf.put_u32(len as u32);
+            self.from.encode(&mut self.buf);
+            msg.encode(&mut self.buf);
+        }
+        if framed == 0 {
+            return;
+        }
+        let mut delivered = false;
+        for _ in 0..2 {
+            if self.conn.is_none() {
+                self.conn = self.try_connect(stats);
+            }
+            let Some(stream) = self.conn.as_mut() else { break };
+            if stream.write_all(&self.buf).and_then(|()| stream.flush()).is_ok() {
+                delivered = true;
+                break;
+            }
+            self.conn = None;
+        }
+        if delivered {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.frames_sent.fetch_add(framed, Ordering::Relaxed);
+        } else {
+            // Failed delivery (dead socket, stalled peer hitting the
+            // write timeout) negative-caches the peer like a failed
+            // connect, so the next batches drop fast instead of stalling
+            // the sender for another timeout each.
+            self.last_failed = Some(Instant::now());
+            stats.frames_dropped.fetch_add(framed, Ordering::Relaxed);
+        }
+        // Don't let one full-info burst pin its high-water capacity for
+        // the pipeline's lifetime.
+        if self.buf.capacity() > BUF_RETAIN {
+            self.buf = BytesMut::new();
+        }
+    }
+
+    /// Attempts one connection, respecting the negative cache: after a
+    /// failed connect, no syscall is issued until the backoff has elapsed.
+    fn try_connect(&mut self, stats: &PipelineStats) -> Option<TcpStream> {
+        if let Some(at) = self.last_failed {
+            if at.elapsed() < self.tuning.reconnect_backoff {
+                return None;
+            }
+        }
+        // A deregistered peer (crashed server) costs a map lookup, never a
+        // connect syscall.
+        let addr = self.registry.lookup(self.to)?;
+        stats.connect_attempts.fetch_add(1, Ordering::Relaxed);
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                if !self.tuning.write_timeout.is_zero() {
+                    let _ = stream.set_write_timeout(Some(self.tuning.write_timeout));
+                }
+                self.last_failed = None;
+                Some(stream)
+            }
+            Err(_) => {
+                self.last_failed = Some(Instant::now());
+                None
+            }
+        }
+    }
+}
+
+/// The drain thread's spawn-once state: the queue's receiver is parked
+/// here until the first fallback enqueue needs a drain thread.
+#[derive(Debug)]
+struct DrainState {
+    rx: Option<Receiver<Msg>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// One destination's writer pipeline: per-peer I/O state behind its own
+/// lock, a bounded overflow queue, and a lazily-spawned drain thread.
+///
+/// The fast path writes **inline** on the sender's thread — when the peer
+/// is idle (queue empty, I/O lock free) a send is one lock, one encode
+/// into the reusable buffer, one `write_all`. The queue + drain thread
+/// take over exactly when that would hurt: the peer's I/O is busy (another
+/// thread mid-write, or a write blocked on a slow peer), so the sender
+/// enqueues and moves on — one stalled destination cannot stall the rest
+/// of a broadcast — and the drain thread coalesces the backlog into
+/// batched writes. The drain thread is spawned on the first fallback, so
+/// uncontended endpoints (the common case: one sending thread per
+/// endpoint) never pay a parked thread per peer.
+#[derive(Debug)]
+struct PeerPipeline {
+    from: ProcessId,
+    to: ProcessId,
+    tuning: TcpTuning,
+    tx: Sender<Msg>,
+    /// Frames enqueued but not yet written/dropped by the drain thread.
+    /// Checked (under the I/O lock) by the inline path: writing inline
+    /// while a queued frame is pending would reorder the peer's stream.
+    pending: Arc<AtomicU64>,
+    io: Arc<Mutex<PeerIo>>,
+    stats: Arc<PipelineStats>,
+    drain: Arc<Mutex<DrainState>>,
+}
+
+impl PeerPipeline {
+    fn new(
+        from: ProcessId,
+        to: ProcessId,
+        registry: TcpRegistry,
+        tuning: TcpTuning,
+    ) -> PeerPipeline {
+        // Clamp at the transport layer, not just in the facade's knob
+        // validation: a zero-capacity bounded channel can never accept a
+        // frame, which would wedge the first fallback send forever.
+        let (tx, rx) = bounded(tuning.queue_depth.max(1));
+        PeerPipeline {
+            from,
+            to,
+            tuning,
+            tx,
+            pending: Arc::new(AtomicU64::new(0)),
+            io: Arc::new(Mutex::new(PeerIo {
+                from,
+                to,
+                registry,
+                tuning,
+                conn: None,
+                buf: BytesMut::new(),
+                last_failed: None,
+            })),
+            stats: Arc::new(PipelineStats::default()),
+            drain: Arc::new(Mutex::new(DrainState { rx: Some(rx), join: None })),
+        }
+    }
+
+    /// The cheaply-cloneable pieces a sender needs, so the endpoint's
+    /// pipeline map lock is released before any I/O or enqueue happens.
+    fn handles(&self) -> PipelineHandles {
+        PipelineHandles {
+            from: self.from,
+            to: self.to,
+            tuning: self.tuning,
+            tx: self.tx.clone(),
+            pending: Arc::clone(&self.pending),
+            io: Arc::clone(&self.io),
+            stats: Arc::clone(&self.stats),
+            drain: Arc::clone(&self.drain),
+        }
+    }
+
+    /// Drops the queue's sender (letting any drain thread flush what is
+    /// queued and exit) and joins it.
+    fn shutdown(self) {
+        let PeerPipeline { tx, drain, .. } = self;
+        drop(tx);
+        let join = drain.lock().join.take();
+        if let Some(join) = join {
+            let _ = join.join();
+        }
+    }
+}
+
+/// A sender's view of one pipeline, detached from the endpoint's map.
+struct PipelineHandles {
+    from: ProcessId,
+    to: ProcessId,
+    tuning: TcpTuning,
+    tx: Sender<Msg>,
+    pending: Arc<AtomicU64>,
+    io: Arc<Mutex<PeerIo>>,
+    stats: Arc<PipelineStats>,
+    drain: Arc<Mutex<DrainState>>,
+}
+
+impl PipelineHandles {
+    /// Sends `msg` through the fast inline path when the peer is idle,
+    /// falling back to the queue + drain thread when it is busy. Blocks
+    /// only when a live peer's bounded queue is full (backpressure); a
+    /// dead peer's pipeline drains by dropping, so it cannot exert
+    /// backpressure on the sender.
+    fn send(&self, msg: Msg) -> Result<(), SendError<Msg>> {
+        if let Some(mut io) = self.io.try_lock() {
+            // Holding the I/O lock proves the drain thread is not
+            // mid-write; zero pending frames proves none are waiting to
+            // be written. Together they make the inline write FIFO-safe.
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                io.write_frames(std::slice::from_ref(&msg), &self.stats);
+                return Ok(());
+            }
+        }
+        // The drain thread must exist before anything is queued behind the
+        // bounded channel, or a full queue would have no consumer. If the
+        // OS refuses the thread, the frame is dropped like any other
+        // unreachable-peer loss rather than wedging the sender.
+        if self.ensure_drain().is_err() {
+            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.tx.send(msg)
+    }
+
+    /// Spawns the drain thread on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS refuses the thread — including on every later
+    /// call once a spawn has failed (the receiver was consumed by the
+    /// failed attempt), so fallback sends keep dropping instead of
+    /// queueing onto a consumer-less channel.
+    fn ensure_drain(&self) -> std::io::Result<()> {
+        let mut drain = self.drain.lock();
+        if let Some(rx) = drain.rx.take() {
+            // Deliberately never touches the per-peer io lock: the drain
+            // thread is being spawned precisely because that lock may be
+            // held across a stalled write right now.
+            let io = Arc::clone(&self.io);
+            let pending = Arc::clone(&self.pending);
+            let stats = Arc::clone(&self.stats);
+            let (from, to, tuning) = (self.from, self.to, self.tuning);
+            drain.join = Some(
+                thread::Builder::new()
+                    .name(format!("tcp-writer-{from}-{to}"))
+                    .spawn(move || drain_loop(&rx, tuning, &io, &pending, &stats))?,
+            );
+        } else if drain.join.is_none() {
+            // A previous spawn failed and consumed the receiver: this
+            // pipeline can never drain a queue, so the caller must keep
+            // dropping.
+            return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+        }
+        Ok(())
+    }
+}
+
+fn drain_loop(
+    rx: &Receiver<Msg>,
+    tuning: TcpTuning,
+    io: &Mutex<PeerIo>,
+    pending: &AtomicU64,
+    stats: &PipelineStats,
+) {
+    let mut batch: Vec<Msg> = Vec::with_capacity(tuning.batch);
+    // `recv` keeps yielding queued frames after the endpoint drops its
+    // sender, so teardown flushes the queue before the thread exits.
+    while let Ok(first) = rx.recv() {
+        let mut io = io.lock();
+        batch.push(first);
+        while batch.len() < tuning.batch {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        io.write_frames(&batch, stats);
+        // Decrement before releasing the I/O lock: an inline sender that
+        // acquires it next must see these frames accounted as written.
+        pending.fetch_sub(batch.len() as u64, Ordering::SeqCst);
+        batch.clear();
+    }
+}
+
+/// One process's TCP endpoint: a listener thread feeding an inbox, plus a
+/// writer pipeline per destination.
 #[derive(Debug)]
 pub struct TcpEndpoint {
     id: ProcessId,
     registry: TcpRegistry,
     inbox: Receiver<Inbound>,
-    outbound: Mutex<HashMap<ProcessId, TcpStream>>,
+    tuning: TcpTuning,
+    pipelines: Mutex<HashMap<ProcessId, PeerPipeline>>,
+    /// Cached connections for the [`TcpTuning::legacy_send`] path only.
+    legacy_outbound: Mutex<HashMap<ProcessId, TcpStream>>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
 }
@@ -97,15 +529,18 @@ impl TcpEndpoint {
         let (tx, rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor_stop = Arc::clone(&stop);
+        let legacy = registry.tuning().legacy_send;
         thread::Builder::new()
             .name(format!("tcp-acceptor-{id}"))
-            .spawn(move || acceptor_loop(listener, tx, acceptor_stop))
+            .spawn(move || acceptor_loop(listener, tx, acceptor_stop, legacy))
             .map_err(io_err)?;
         Ok(TcpEndpoint {
             id,
             registry: registry.clone(),
             inbox: rx,
-            outbound: Mutex::new(HashMap::new()),
+            tuning: registry.tuning(),
+            pipelines: Mutex::new(HashMap::new()),
+            legacy_outbound: Mutex::new(HashMap::new()),
             local_addr,
             stop,
         })
@@ -114,6 +549,64 @@ impl TcpEndpoint {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// A snapshot of the writer-pipeline counters for `to`, or `None` if
+    /// nothing was ever sent there (or the endpoint runs the legacy path).
+    pub fn peer_stats(&self, to: ProcessId) -> Option<PeerStats> {
+        self.pipelines.lock().get(&to).map(|p| p.stats.snapshot())
+    }
+
+    /// Hands `msg` to the writer pipeline for `to`, spawning it on first
+    /// use.
+    ///
+    /// Destinations that were never registered fail synchronously with
+    /// [`TransportError::UnknownDestination`] (a map probe, never a
+    /// syscall). Once a pipeline exists, the process-global registry is
+    /// not consulted again on the hot path: a peer that crashes later is
+    /// detected inside the pipeline (dropped frames, reconnect backoff)
+    /// rather than by re-checking the shared registry lock per send.
+    fn pipeline_send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        // Stage the pipeline's handles under the map lock, but do all I/O
+        // and enqueueing outside it: one peer's backpressure must not
+        // serialize sends to the others.
+        let handles = {
+            let mut pipelines = self.pipelines.lock();
+            match pipelines.entry(to) {
+                Entry::Occupied(e) => e.get().handles(),
+                Entry::Vacant(e) => {
+                    if self.registry.lookup(to).is_none() {
+                        return Err(TransportError::UnknownDestination { to });
+                    }
+                    e.insert(PeerPipeline::new(self.id, to, self.registry.clone(), self.tuning))
+                        .handles()
+                }
+            }
+        };
+        handles.send(msg).map_err(|_| TransportError::Disconnected { to })
+    }
+
+    /// The pre-pipeline send path: one endpoint-wide lock held across
+    /// every syscall, a fresh encode buffer and two `write` syscalls per
+    /// message, and a connect attempt per message when the peer is down.
+    fn legacy_send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        let addr = self
+            .registry
+            .lookup(to)
+            .ok_or(TransportError::UnknownDestination { to })?;
+        let mut cache = self.legacy_outbound.lock();
+        // Try the cached connection first; on failure, reconnect once.
+        if let Some(stream) = cache.get_mut(&to) {
+            if TcpEndpoint::write_frame(stream, self.id, &msg).is_ok() {
+                return Ok(());
+            }
+            cache.remove(&to);
+        }
+        let mut stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        TcpEndpoint::write_frame(&mut stream, self.id, &msg).map_err(io_err)?;
+        cache.insert(to, stream);
+        Ok(())
     }
 
     fn write_frame(stream: &mut TcpStream, from: ProcessId, msg: &Msg) -> std::io::Result<()> {
@@ -134,23 +627,70 @@ impl Drop for TcpEndpoint {
         // connection. Best-effort — never fail in Drop.
         self.stop.store(true, Ordering::Release);
         let _ = TcpStream::connect(self.local_addr);
+        // Tear down the writer pipelines: each drains its queued frames
+        // and exits once its sender is gone; joining bounds the teardown
+        // so no writer thread outlives the endpoint.
+        let pipelines: Vec<PeerPipeline> =
+            self.pipelines.lock().drain().map(|(_, p)| p).collect();
+        for pipeline in pipelines {
+            pipeline.shutdown();
+        }
     }
 }
 
-fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>, stop: Arc<AtomicBool>) {
+fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>, stop: Arc<AtomicBool>, legacy: bool) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { break };
         let tx = tx.clone();
-        let _ = thread::Builder::new()
-            .name("tcp-reader".into())
-            .spawn(move || reader_loop(stream, tx));
+        let _ = thread::Builder::new().name("tcp-reader".into()).spawn(move || {
+            if legacy {
+                reader_loop_legacy(stream, &tx);
+            } else {
+                reader_loop(stream, &tx);
+            }
+        });
     }
 }
 
-fn reader_loop(mut stream: TcpStream, tx: Sender<Inbound>) {
+fn reader_loop(stream: TcpStream, tx: &Sender<Inbound>) {
+    // Buffered reads pull many frames per syscall, and one body buffer
+    // lives for the connection's lifetime (grown to the largest frame
+    // seen) with frames decoded from it in place — no read syscall for
+    // the 4-byte length prefix, no allocation per frame.
+    let mut stream = std::io::BufReader::with_capacity(64 * 1024, stream);
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_FRAME {
+            return;
+        }
+        body.resize(len as usize, 0);
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        let mut cursor: &[u8] = &body;
+        let Ok(from) = ProcessId::decode(&mut cursor) else { return };
+        let Ok(msg) = Msg::decode(&mut cursor) else { return };
+        if tx.send((from, msg)).is_err() {
+            return;
+        }
+        if body.capacity() > BUF_RETAIN {
+            body = Vec::new();
+        }
+    }
+}
+
+/// The pre-pipeline receive path: two read syscalls and a fresh
+/// allocation per frame. Kept for [`TcpTuning::legacy_send`]'s
+/// before/after measurements.
+fn reader_loop_legacy(mut stream: TcpStream, tx: &Sender<Inbound>) {
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -179,23 +719,41 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
-        let addr = self
-            .registry
-            .lookup(to)
-            .ok_or(TransportError::UnknownDestination { to })?;
-        let mut cache = self.outbound.lock();
-        // Try the cached connection first; on failure, reconnect once.
-        if let Some(stream) = cache.get_mut(&to) {
-            if TcpEndpoint::write_frame(stream, self.id, &msg).is_ok() {
-                return Ok(());
-            }
-            cache.remove(&to);
+        if self.tuning.legacy_send {
+            self.legacy_send(to, msg)
+        } else {
+            self.pipeline_send(to, msg)
         }
-        let mut stream = TcpStream::connect(addr).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
-        TcpEndpoint::write_frame(&mut stream, self.id, &msg).map_err(io_err)?;
-        cache.insert(to, stream);
-        Ok(())
+    }
+
+    /// A broadcast takes the pipeline map lock once for the whole batch,
+    /// then sends with the lock released.
+    fn send_batch(&self, batch: Vec<(ProcessId, Msg)>) {
+        if self.tuning.legacy_send {
+            for (to, msg) in batch {
+                let _ = self.legacy_send(to, msg);
+            }
+            return;
+        }
+        let mut staged = Vec::with_capacity(batch.len());
+        {
+            let mut pipelines = self.pipelines.lock();
+            for (to, msg) in batch {
+                let pipeline = match pipelines.entry(to) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(e) => {
+                        if self.registry.lookup(to).is_none() {
+                            continue; // dead peer: the tolerated failure
+                        }
+                        e.insert(PeerPipeline::new(self.id, to, self.registry.clone(), self.tuning))
+                    }
+                };
+                staged.push((pipeline.handles(), msg));
+            }
+        }
+        for (handles, msg) in staged {
+            let _ = handles.send(msg);
+        }
     }
 
     fn inbox(&self) -> &Receiver<Inbound> {
@@ -234,6 +792,10 @@ mod tests {
         b.send(ProcessId::reader(0), Msg::InvokeRead).unwrap();
         let (from, _) = a.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(from, ProcessId::server(1));
+        let stats = a.peer_stats(ProcessId::server(1)).unwrap();
+        assert_eq!(stats.frames_sent, 10, "all frames delivered: {stats:?}");
+        assert_eq!(stats.connect_attempts, 1, "one connection reused: {stats:?}");
+        assert!(stats.batches <= stats.frames_sent);
     }
 
     #[test]
@@ -244,5 +806,101 @@ mod tests {
             a.send(ProcessId::server(42), Msg::InvokeRead),
             Err(TransportError::UnknownDestination { .. })
         ));
+    }
+
+    #[test]
+    fn removed_registry_entry_fails_fast_without_a_pipeline() {
+        let registry = TcpRegistry::new();
+        let a = TcpEndpoint::bind(ProcessId::reader(0), &registry).unwrap();
+        let _b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        registry.remove(ProcessId::server(0));
+        for _ in 0..20 {
+            assert!(matches!(
+                a.send(ProcessId::server(0), Msg::InvokeRead),
+                Err(TransportError::UnknownDestination { .. })
+            ));
+        }
+        // No pipeline was ever spawned for the deregistered peer, so not
+        // one connect syscall was spent on the 20 sends.
+        assert!(a.peer_stats(ProcessId::server(0)).is_none());
+    }
+
+    #[test]
+    fn failed_connects_are_negative_cached() {
+        let tuning = TcpTuning { reconnect_backoff: Duration::from_secs(30), ..TcpTuning::default() };
+        let registry = TcpRegistry::new().with_tuning(tuning);
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        // Register an address nobody listens on: grab an ephemeral port,
+        // then close the listener so connects are refused.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        registry.insert(ProcessId::server(9), dead_addr);
+        for _ in 0..50 {
+            a.send(ProcessId::server(9), Msg::InvokeRead).unwrap();
+        }
+        // Give the pipeline time to drain the queue against the dead peer.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = a.peer_stats(ProcessId::server(9)).unwrap();
+            if stats.frames_dropped + stats.frames_sent == 50 {
+                assert!(
+                    stats.connect_attempts <= 2,
+                    "negative cache must stop the connect storm: {stats:?}"
+                );
+                assert!(stats.frames_dropped > 0, "dead peer drops frames: {stats:?}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "pipeline never drained: {stats:?}");
+            thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn legacy_send_path_still_works() {
+        let tuning = TcpTuning { legacy_send: true, ..TcpTuning::default() };
+        let registry = TcpRegistry::new().with_tuning(tuning);
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        for i in 0..5 {
+            a.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(i))).unwrap();
+        }
+        for _ in 0..5 {
+            b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(a.peer_stats(ProcessId::server(0)).is_none(), "legacy path has no pipeline");
+    }
+
+    #[test]
+    fn drop_flushes_queued_frames() {
+        let registry = TcpRegistry::new();
+        let b = TcpEndpoint::bind(ProcessId::server(3), &registry).unwrap();
+        {
+            let a = TcpEndpoint::bind(ProcessId::writer(1), &registry).unwrap();
+            for i in 0..100 {
+                a.send(ProcessId::server(3), Msg::InvokeWrite(Value::new(i))).unwrap();
+            }
+            // `a` drops here: the pipeline must deliver everything queued
+            // before its writer thread exits.
+        }
+        for i in 0..100 {
+            let (_, msg) = b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg, Msg::InvokeWrite(Value::new(i)), "FIFO preserved through teardown");
+        }
+    }
+
+    #[test]
+    fn send_batch_fans_out_in_one_call() {
+        let registry = TcpRegistry::new();
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        let c = TcpEndpoint::bind(ProcessId::server(1), &registry).unwrap();
+        a.send_batch(vec![
+            (ProcessId::server(0), Msg::InvokeRead),
+            (ProcessId::server(1), Msg::InvokeRead),
+            (ProcessId::server(7), Msg::InvokeRead), // unknown: dropped
+        ]);
+        assert!(b.inbox().recv_timeout(Duration::from_secs(5)).is_ok());
+        assert!(c.inbox().recv_timeout(Duration::from_secs(5)).is_ok());
     }
 }

@@ -23,10 +23,14 @@ pub enum TransportError {
         /// The closed process.
         to: ProcessId,
     },
-    /// An I/O error (TCP transport).
+    /// An I/O error (TCP transport). Carries the [`std::io::ErrorKind`]
+    /// instead of a rendered string: classifying the failure stays a
+    /// `match`, and the hot path never allocates a message that nobody
+    /// reads.
     Io {
-        /// Rendered error message.
-        message: String,
+        /// The failure's kind, preserved from the originating
+        /// [`std::io::Error`].
+        kind: std::io::ErrorKind,
     },
 }
 
@@ -37,7 +41,7 @@ impl fmt::Display for TransportError {
                 write!(f, "no transport endpoint registered for {to}")
             }
             TransportError::Disconnected { to } => write!(f, "endpoint {to} is disconnected"),
-            TransportError::Io { message } => write!(f, "transport i/o error: {message}"),
+            TransportError::Io { kind } => write!(f, "transport i/o error: {kind}"),
         }
     }
 }
@@ -76,10 +80,36 @@ pub trait Endpoint: Send {
 
     /// Sends `msg` to `to`.
     ///
+    /// Delivery is best-effort past the transport's bookkeeping: a
+    /// destination the transport has never heard of fails with
+    /// [`TransportError::UnknownDestination`], but a known peer that has
+    /// since crashed may be reported asynchronously — on TCP the writer
+    /// pipeline accepts the frame and later drops it when the connection
+    /// cannot be (re)established, which is exactly the crash model's
+    /// message loss. Callers that need to *observe* a dead peer must use
+    /// timeouts (as the quorum round-trips do), not this result.
+    ///
     /// # Errors
     ///
-    /// Returns a [`TransportError`] if the destination is unknown or gone.
+    /// Returns a [`TransportError`] if the destination is unknown or its
+    /// endpoint is already closed.
     fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError>;
+
+    /// Sends every `(destination, message)` pair of `batch`, best-effort:
+    /// per-destination failures are dropped rather than reported, because a
+    /// dead peer is exactly the failure the quorum protocols tolerate (the
+    /// single-destination [`send`](Endpoint::send) is the error-reporting
+    /// path).
+    ///
+    /// This is the transport's batching seam: a round-trip broadcast is one
+    /// call, so implementations can amortize their lookup locking across
+    /// the whole fan-out (and, on TCP, hand all frames to the per-peer
+    /// writer pipelines in one pass). The default just loops over `send`.
+    fn send_batch(&self, batch: Vec<(ProcessId, Msg)>) {
+        for (to, msg) in batch {
+            let _ = self.send(to, msg);
+        }
+    }
 
     /// The receiving side of this endpoint's inbox.
     fn inbox(&self) -> &Receiver<Inbound>;
@@ -175,6 +205,17 @@ impl Endpoint for InMemoryEndpoint {
         self.transport.send_from(self.id, to, msg)
     }
 
+    /// One read-lock acquisition for the whole broadcast instead of one
+    /// per destination.
+    fn send_batch(&self, batch: Vec<(ProcessId, Msg)>) {
+        let guard = self.transport.inboxes.read();
+        for (to, msg) in batch {
+            if let Some(tx) = guard.get(&to) {
+                let _ = tx.send((self.id, msg));
+            }
+        }
+    }
+
     fn inbox(&self) -> &Receiver<Inbound> {
         &self.inbox
     }
@@ -205,6 +246,30 @@ mod tests {
             client.send(ProcessId::server(9), Msg::InvokeRead),
             Err(TransportError::UnknownDestination { to: ProcessId::server(9) })
         );
+    }
+
+    #[test]
+    fn send_batch_is_best_effort_across_destinations() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        let s0 = t.register(ProcessId::server(0));
+        let s2 = t.register(ProcessId::server(2));
+        // server(1) is never registered: its message is dropped, the rest
+        // of the broadcast still lands.
+        client.send_batch(vec![
+            (ProcessId::server(0), Msg::InvokeRead),
+            (ProcessId::server(1), Msg::InvokeRead),
+            (ProcessId::server(2), Msg::InvokeRead),
+        ]);
+        assert_eq!(s0.inbox().len(), 1);
+        assert_eq!(s2.inbox().len(), 1);
+    }
+
+    #[test]
+    fn io_error_display_keeps_the_transport_prefix() {
+        let e = TransportError::Io { kind: std::io::ErrorKind::ConnectionRefused };
+        let rendered = e.to_string();
+        assert!(rendered.starts_with("transport i/o error: "), "{rendered}");
     }
 
     #[test]

@@ -79,10 +79,21 @@ pub const MAX_COLLECTION_LEN: u64 = 1 << 24;
 /// Binary encoding/decoding of a value for network transport.
 ///
 /// Implementations must be deterministic: `decode(encode(x)) == x` for every
-/// `x` (checked by property tests in this module and in `mwr-runtime`).
+/// `x`, and [`encoded_len`](Wire::encoded_len) must equal the number of
+/// bytes [`encode`](Wire::encode) appends (checked by property tests in
+/// this module and in `mwr-runtime`).
+///
+/// Decoding is generic over [`Buf`], so hot paths can decode straight out
+/// of a reusable read buffer (`&mut &[u8]`) without first copying the frame
+/// into an owned [`Bytes`].
 pub trait Wire: Sized {
     /// Appends the encoded representation of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
+
+    /// The exact number of bytes [`encode`](Wire::encode) appends for
+    /// `self` — lets framing code size buffers and write length prefixes
+    /// without encoding twice or allocating.
+    fn encoded_len(&self) -> usize;
 
     /// Decodes a value from the front of `buf`, consuming exactly the bytes
     /// written by [`encode`](Wire::encode).
@@ -91,17 +102,17 @@ pub trait Wire: Sized {
     ///
     /// Returns a [`DecodeError`] if the buffer is truncated or contains an
     /// invalid discriminant or length.
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError>;
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError>;
 
-    /// Encodes `self` into a fresh buffer.
+    /// Encodes `self` into a fresh, exactly-sized buffer.
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
         self.encode(&mut buf);
         buf.freeze()
     }
 }
 
-fn need(buf: &Bytes, n: usize, context: &'static str) -> Result<(), DecodeError> {
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::UnexpectedEof { context })
     } else {
@@ -114,7 +125,11 @@ impl Wire for u8 {
         buf.put_u8(*self);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        1
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         need(buf, 1, "u8")?;
         Ok(buf.get_u8())
     }
@@ -125,7 +140,11 @@ impl Wire for u32 {
         buf.put_u32(*self);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        4
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         need(buf, 4, "u32")?;
         Ok(buf.get_u32())
     }
@@ -136,7 +155,11 @@ impl Wire for u64 {
         buf.put_u64(*self);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         need(buf, 8, "u64")?;
         Ok(buf.get_u64())
     }
@@ -147,7 +170,11 @@ impl Wire for bool {
         buf.put_u8(u8::from(*self));
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        1
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(false),
             1 => Ok(true),
@@ -167,7 +194,11 @@ impl<T: Wire> Wire for Option<T> {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
@@ -184,7 +215,11 @@ impl<T: Wire> Wire for Vec<T> {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        8 + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let len = u64::decode(buf)?;
         if len > MAX_COLLECTION_LEN {
             return Err(DecodeError::LengthOverflow { declared: len });
@@ -204,7 +239,11 @@ macro_rules! wire_id {
                 self.index().encode(buf);
             }
 
-            fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+            fn encoded_len(&self) -> usize {
+                4
+            }
+
+            fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
                 Ok($name::new(u32::decode(buf)?))
             }
         }
@@ -229,7 +268,11 @@ impl Wire for ClientId {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        5
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(ClientId::Reader(ReaderId::decode(buf)?)),
             1 => Ok(ClientId::Writer(WriterId::decode(buf)?)),
@@ -252,7 +295,14 @@ impl Wire for ProcessId {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ProcessId::Server(s) => s.encoded_len(),
+            ProcessId::Client(c) => c.encoded_len(),
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(ProcessId::Server(ServerId::decode(buf)?)),
             1 => Ok(ProcessId::Client(ClientId::decode(buf)?)),
@@ -272,7 +322,14 @@ impl Wire for WriterSlot {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        match self {
+            WriterSlot::Bottom => 1,
+            WriterSlot::Writer(w) => 1 + w.encoded_len(),
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         match u8::decode(buf)? {
             0 => Ok(WriterSlot::Bottom),
             1 => Ok(WriterSlot::Writer(WriterId::decode(buf)?)),
@@ -287,7 +344,11 @@ impl Wire for Tag {
         self.writer().encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        8 + self.writer().encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let ts = u64::decode(buf)?;
         let writer = WriterSlot::decode(buf)?;
         Ok(match writer {
@@ -312,7 +373,11 @@ impl Wire for Value {
         self.get().encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(Value::new(u64::decode(buf)?))
     }
 }
@@ -323,7 +388,11 @@ impl Wire for TaggedValue {
         self.value().encode(buf);
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+    fn encoded_len(&self) -> usize {
+        self.tag().encoded_len() + self.value().encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let tag = Tag::decode(buf)?;
         let value = Value::decode(buf)?;
         Ok(TaggedValue::new(tag, value))
@@ -337,6 +406,13 @@ mod tests {
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
         let mut bytes = value.to_bytes();
+        assert_eq!(value.encoded_len(), bytes.len(), "encoded_len must match encode");
+        // Decode from a borrowed slice cursor (the transport's reusable
+        // read-buffer path) and from an owned `Bytes`: both must agree.
+        let mut cursor: &[u8] = &bytes;
+        let from_slice = T::decode(&mut cursor).expect("decode from slice");
+        assert_eq!(&from_slice, value);
+        assert!(cursor.is_empty(), "slice decode must consume the whole encoding");
         let decoded = T::decode(&mut bytes).expect("decode");
         assert_eq!(&decoded, value);
         assert!(bytes.is_empty(), "decode must consume the whole encoding");

@@ -5,6 +5,9 @@
 //!   engine behind the latency figures in `EXPERIMENTS.md`.
 //! - [`run_closed_loop_live`] — the same closed-loop [`WorkloadSpec`] over
 //!   the live runtime (threads, channels or TCP), one tick = 1 µs.
+//! - [`run_open_loop_live`] — the saturating throughput driver: every
+//!   client issues back-to-back, load is swept via the client population,
+//!   and the [`ThroughputReport`] carries ops/sec plus latency-under-load.
 //! - [`LatencyStats`] / [`LatencySummary`] — exact percentile statistics.
 //! - [`TextTable`] — aligned text tables the experiment binaries print.
 //!
@@ -34,6 +37,6 @@ mod table;
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };
-pub use live::run_closed_loop_live;
+pub use live::{run_closed_loop_live, run_open_loop_live, ThroughputReport};
 pub use stats::{LatencyStats, LatencySummary};
 pub use table::TextTable;

@@ -60,9 +60,82 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     spec: WorkloadSpec,
 ) -> Result<WorkloadReport, RuntimeError> {
-    let config = cluster.config();
     let duration = Duration::from_micros(spec.duration.ticks());
     let think = Duration::from_micros(spec.think_time.ticks());
+    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, think)?;
+    Ok(WorkloadReport {
+        events: Vec::new(),
+        reads,
+        writes,
+        end_time: SimTime::from_ticks(elapsed.as_micros() as u64),
+    })
+}
+
+/// A measured run of the open-loop (saturating) live driver: per-operation
+/// latency under load plus the completed-operation counts the throughput
+/// figures derive from.
+#[derive(Debug)]
+pub struct ThroughputReport {
+    /// Completed-read latencies, in microseconds.
+    pub reads: LatencyStats,
+    /// Completed-write latencies, in microseconds.
+    pub writes: LatencyStats,
+    /// Wall-clock time the drive took.
+    pub elapsed: Duration,
+}
+
+impl ThroughputReport {
+    /// Total operations completed (reads plus writes).
+    pub fn ops(&self) -> usize {
+        self.reads.count() + self.writes.count()
+    }
+
+    /// Aggregate completed operations per second of wall-clock time.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs an open-loop throughput drive against a running live cluster: one
+/// thread per reader and writer, each issuing its next operation the moment
+/// the previous one completes (zero think time), for `duration` of
+/// wall-clock time.
+///
+/// "Open loop" here means the offered load is fixed externally — by the
+/// cluster's client population, the experiment's sweep axis — rather than
+/// throttled to a think-time schedule: sweeping `R`/`W` in the
+/// [`ClusterConfig`](mwr_types::ClusterConfig) sweeps the load, and the
+/// report's latencies are latency-*under-load*, the second half of the
+/// latency/throughput story the closed-loop driver cannot tell.
+///
+/// # Errors
+///
+/// Returns the first client's [`RuntimeError`] if an endpoint cannot be
+/// opened or an operation fails (e.g. a quorum timeout).
+pub fn run_open_loop_live<F: EndpointFactory>(
+    cluster: &RuntimeCluster<F>,
+    wire: FastWire,
+    timeout: Option<Duration>,
+    duration: Duration,
+) -> Result<ThroughputReport, RuntimeError> {
+    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, Duration::ZERO)?;
+    Ok(ThroughputReport { reads, writes, elapsed })
+}
+
+/// The shared drive: spawns every configured client, issues operations with
+/// `think` between completions until `duration` elapses, and merges
+/// per-thread latency stats (in microseconds).
+fn drive_live<F: EndpointFactory>(
+    cluster: &RuntimeCluster<F>,
+    wire: FastWire,
+    timeout: Option<Duration>,
+    duration: Duration,
+    think: Duration,
+) -> Result<(LatencyStats, LatencyStats, Duration), RuntimeError> {
+    let config = cluster.config();
 
     // Open every client endpoint up front so setup failures surface before
     // any thread spawns.
@@ -98,7 +171,9 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
                     client.write(Value::new(value))?;
                     lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
                     value += 1;
-                    thread::sleep(think);
+                    if !think.is_zero() {
+                        thread::sleep(think);
+                    }
                 }
                 Ok::<LatencyStats, RuntimeError>(lat)
             }));
@@ -111,7 +186,9 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
                     let t0 = Instant::now();
                     client.read()?;
                     lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
-                    thread::sleep(think);
+                    if !think.is_zero() {
+                        thread::sleep(think);
+                    }
                 }
                 Ok::<LatencyStats, RuntimeError>(lat)
             }));
@@ -136,12 +213,7 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
     if let Some(e) = first_error {
         return Err(e);
     }
-    Ok(WorkloadReport {
-        events: Vec::new(),
-        reads,
-        writes,
-        end_time: SimTime::from_ticks(start.elapsed().as_micros() as u64),
-    })
+    Ok((reads, writes, start.elapsed()))
 }
 
 #[cfg(test)]
@@ -150,6 +222,24 @@ mod tests {
     use mwr_core::Protocol;
     use mwr_runtime::InMemoryTransport;
     use mwr_types::ClusterConfig;
+
+    #[test]
+    fn open_loop_drive_saturates_and_reports_throughput() {
+        let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+        let cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let report = run_open_loop_live(
+            &cluster,
+            FastWire::default(),
+            None,
+            Duration::from_millis(30),
+        )
+        .unwrap();
+        assert!(report.reads.count() > 0 && report.writes.count() > 0);
+        assert!(report.ops_per_sec() > 0.0);
+        assert!(report.elapsed >= Duration::from_millis(30));
+        cluster.shutdown();
+    }
 
     #[test]
     fn live_closed_loop_measures_both_op_types() {

@@ -2,11 +2,13 @@
 //! the same protocols with the same observable guarantees, deployed
 //! through the `Deployment` facade.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
+use mwr::core::{Msg, OpHandle, OpId};
 use mwr::register::{Backend, Deployment, Protocol};
-use mwr::runtime::RuntimeError;
-use mwr::types::{ClusterConfig, TaggedValue, Value};
+use mwr::runtime::{Endpoint as _, RuntimeError, TcpEndpoint, TcpRegistry, TcpTuning};
+use mwr::types::{ClientId, ClusterConfig, ProcessId, Tag, TaggedValue, Value, WriterId};
 
 #[test]
 fn read_your_writes_and_monotonic_reads_in_memory() {
@@ -98,6 +100,128 @@ fn liveness_boundary_at_t_crashes() {
     cluster.crash_server(3);
     let mut w = w.with_timeout(Duration::from_millis(150));
     assert!(matches!(w.write(Value::new(3)), Err(RuntimeError::Timeout { .. })));
+    cluster.shutdown();
+}
+
+/// Transport-level stress on the batched writer pipelines: many senders
+/// hammer one endpoint concurrently — both through their own endpoints
+/// (one connection each) and through one *shared* endpoint (contending on
+/// its per-peer pipeline, which forces the queue + drain-thread path and
+/// coalesced batches). Every frame must decode cleanly (no torn or
+/// interleaved writes) and per-sender FIFO must hold.
+#[test]
+fn tcp_pipeline_stress_keeps_frames_whole_and_fifo() {
+    const SENDERS: usize = 6;
+    const MSGS: u64 = 300;
+    let registry = TcpRegistry::new().with_tuning(TcpTuning {
+        // A small queue keeps the drain thread engaged under contention.
+        queue_depth: 64,
+        batch: 16,
+        ..TcpTuning::default()
+    });
+    let hub = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+
+    // Lane ids 0..SENDERS use dedicated endpoints; lanes SENDERS..2*SENDERS
+    // share one endpoint across threads.
+    let make_msg = |lane: u64, seq: u64| Msg::Update {
+        handle: OpHandle {
+            op: OpId { client: ClientId::writer(lane as u32), seq },
+            phase: 1,
+        },
+        value: TaggedValue::new(Tag::new(seq + 1, WriterId::new(lane as u32)), Value::new(seq)),
+        floor: TaggedValue::initial(),
+    };
+    let shared = TcpEndpoint::bind(ProcessId::writer(SENDERS as u32), &registry).unwrap();
+    std::thread::scope(|scope| {
+        for lane in 0..SENDERS as u64 {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let ep =
+                    TcpEndpoint::bind(ProcessId::writer(lane as u32), &registry).unwrap();
+                for seq in 0..MSGS {
+                    ep.send(ProcessId::server(0), make_msg(lane, seq)).unwrap();
+                }
+            });
+        }
+        for lane in SENDERS as u64..2 * SENDERS as u64 {
+            let shared = &shared;
+            scope.spawn(move || {
+                for seq in 0..MSGS {
+                    shared.send(ProcessId::server(0), make_msg(lane, seq)).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut next_seq: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..2 * SENDERS as u64 * MSGS {
+        let (_, msg) = hub
+            .inbox()
+            .recv_timeout(Duration::from_secs(30))
+            .expect("every frame arrives intact");
+        let Msg::Update { handle, value, .. } = msg else {
+            panic!("torn or foreign frame decoded: {msg:?}");
+        };
+        let ClientId::Writer(w) = handle.op.client else { panic!("unexpected sender") };
+        let lane = u64::from(w.index());
+        assert_eq!(value.value(), Value::new(handle.op.seq), "frame payload intact");
+        let expected = next_seq.entry(lane).or_insert(0);
+        assert_eq!(
+            handle.op.seq, *expected,
+            "per-sender FIFO violated on lane {lane}"
+        );
+        *expected += 1;
+    }
+    assert!(hub.inbox().is_empty(), "no duplicated frames");
+    // The shared endpoint funneled 6 threads through one pipeline: its
+    // stats must account for every frame, coalesced into fewer batches.
+    let stats = shared.peer_stats(ProcessId::server(0)).unwrap();
+    assert_eq!(stats.frames_sent, SENDERS as u64 * MSGS, "{stats:?}");
+    assert!(stats.batches <= stats.frames_sent, "{stats:?}");
+    assert_eq!(stats.frames_dropped, 0, "{stats:?}");
+}
+
+/// Crashing a server mid-hammer must neither wedge the survivors'
+/// pipelines nor the cluster teardown: all client operations keep
+/// completing against the surviving quorum, and shutdown joins cleanly.
+#[test]
+fn tcp_pipeline_graceful_under_crash_load() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_secs(10))
+        .tcp()
+        .unwrap();
+    let mut writers: Vec<_> = (0..2).map(|w| cluster.writer(w).unwrap()).collect();
+    let mut readers: Vec<_> = (0..2).map(|r| cluster.reader(r).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        let crash = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            cluster.crash_server(1);
+        });
+        for (w, writer) in writers.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for i in 0..60u64 {
+                    writer
+                        .write(Value::new(w as u64 * 1_000 + i))
+                        .expect("writes survive a crashed minority");
+                }
+            });
+        }
+        for reader in readers.iter_mut() {
+            scope.spawn(move || {
+                let mut last = TaggedValue::initial();
+                for _ in 0..60 {
+                    let got = reader.read().expect("reads survive a crashed minority");
+                    assert!(got >= last, "monotonic reads under crash load");
+                    last = got;
+                }
+            });
+        }
+        crash.join().unwrap();
+    });
     cluster.shutdown();
 }
 

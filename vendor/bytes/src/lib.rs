@@ -132,6 +132,11 @@ impl BytesMut {
         self.inner.len()
     }
 
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
@@ -252,6 +257,21 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
 /// Write access to a byte buffer: big-endian appenders.
 pub trait BufMut {
     /// Appends raw bytes.
@@ -293,6 +313,15 @@ impl BufMut for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slices_are_consuming_cursors() {
+        let data = [7u8, 0, 0, 0, 42];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32(), 42);
+        assert_eq!(Buf::remaining(&cur), 0);
+    }
 
     #[test]
     fn round_trip_and_slice() {

@@ -13,6 +13,9 @@ struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// A `select!` parked across this and other channels; bumped on every
+    /// push and on disconnect so the selector wakes without polling.
+    select_waker: Option<Arc<WakerInner>>,
 }
 
 struct Shared<T> {
@@ -20,6 +23,71 @@ struct Shared<T> {
     /// Signalled on every enqueue, dequeue, and endpoint drop.
     activity: Condvar,
     capacity: Option<usize>,
+}
+
+struct WakerInner {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// The parking primitive behind [`select!`](crate::select): an epoch
+/// counter bumped by activity on any registered channel, so a selector
+/// sleeps until something actually happens instead of re-polling on a
+/// timer.
+///
+/// One waker serves one selecting thread; registering a channel into a
+/// second thread's waker displaces the first (the displaced selector falls
+/// back to its re-poll timeout). This workspace never selects on one
+/// channel from two threads.
+#[derive(Clone)]
+pub struct SelectWaker {
+    inner: Arc<WakerInner>,
+}
+
+impl SelectWaker {
+    /// Creates an independent waker.
+    pub fn new() -> Self {
+        SelectWaker { inner: Arc::new(WakerInner { epoch: Mutex::new(0), cv: Condvar::new() }) }
+    }
+
+    /// The current activity epoch; pass to [`wait_changed`](Self::wait_changed).
+    pub fn epoch(&self) -> u64 {
+        *self.inner.epoch.lock().unwrap()
+    }
+
+    /// Parks until the epoch moves past `seen` (some registered channel saw
+    /// activity) or `timeout` elapses.
+    pub fn wait_changed(&self, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut epoch = self.inner.epoch.lock().unwrap();
+        while *epoch == seen {
+            let Some(left) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return;
+            };
+            let (guard, _) = self.inner.cv.wait_timeout(epoch, left).unwrap();
+            epoch = guard;
+        }
+    }
+}
+
+impl Default for SelectWaker {
+    fn default() -> Self {
+        SelectWaker::new()
+    }
+}
+
+impl fmt::Debug for SelectWaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SelectWaker { .. }")
+    }
+}
+
+fn bump_waker<T>(state: &State<T>) {
+    if let Some(waker) = &state.select_waker {
+        *waker.epoch.lock().unwrap() += 1;
+        waker.cv.notify_all();
+    }
 }
 
 /// Creates an unbounded channel.
@@ -35,7 +103,12 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 
 fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            select_waker: None,
+        }),
         activity: Condvar::new(),
         capacity,
     });
@@ -138,6 +211,7 @@ impl<T> Sender<T> {
             if !full {
                 state.queue.push_back(msg);
                 self.shared.activity.notify_all();
+                bump_waker(&state);
                 return Ok(());
             }
             state = self.shared.activity.wait(state).unwrap();
@@ -147,6 +221,7 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        // A rising sender count can never unblock a waiter: no notify.
         self.shared.state.lock().unwrap().senders += 1;
         Sender { shared: Arc::clone(&self.shared) }
     }
@@ -154,8 +229,15 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().senders -= 1;
-        self.shared.activity.notify_all();
+        // Waiters only observe the transition to zero senders (channel
+        // disconnect); notifying on every clone's drop would wake parked
+        // receivers once per transient clone for nothing.
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.shared.activity.notify_all();
+            bump_waker(&state);
+        }
     }
 }
 
@@ -181,7 +263,11 @@ impl<T> Receiver<T> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if let Some(msg) = state.queue.pop_front() {
-                self.shared.activity.notify_all();
+                // A pop can only unblock a sender waiting on a full
+                // bounded channel; unbounded pops notify nobody.
+                if self.shared.capacity.is_some() {
+                    self.shared.activity.notify_all();
+                }
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -202,7 +288,9 @@ impl<T> Receiver<T> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if let Some(msg) = state.queue.pop_front() {
-                self.shared.activity.notify_all();
+                if self.shared.capacity.is_some() {
+                    self.shared.activity.notify_all();
+                }
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -225,7 +313,9 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.state.lock().unwrap();
         if let Some(msg) = state.queue.pop_front() {
-            self.shared.activity.notify_all();
+            if self.shared.capacity.is_some() {
+                self.shared.activity.notify_all();
+            }
             return Ok(msg);
         }
         if state.senders == 0 {
@@ -250,6 +340,23 @@ impl<T> Receiver<T> {
         std::iter::from_fn(move || self.try_recv().ok())
     }
 
+    /// Registers `waker` to be bumped by every push into (and disconnect
+    /// of) this channel, replacing any previous registration; `select!`
+    /// registers its calling thread's waker on every arm so it can park
+    /// until one of them has activity. Idempotent (and cheap) when `waker`
+    /// is already the registered one.
+    #[doc(hidden)]
+    pub fn set_select_waker(&self, waker: &SelectWaker) {
+        let mut state = self.shared.state.lock().unwrap();
+        if state
+            .select_waker
+            .as_ref()
+            .is_none_or(|w| !Arc::ptr_eq(w, &waker.inner))
+        {
+            state.select_waker = Some(Arc::clone(&waker.inner));
+        }
+    }
+
     /// Blocks until the channel is non-empty, disconnected, or `timeout`
     /// elapses — without consuming anything. Used by `select!` to park on
     /// its hottest arm instead of busy-polling.
@@ -264,6 +371,7 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
+        // A rising receiver count can never unblock a waiter: no notify.
         self.shared.state.lock().unwrap().receivers += 1;
         Receiver { shared: Arc::clone(&self.shared) }
     }
@@ -271,8 +379,16 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().receivers -= 1;
-        self.shared.activity.notify_all();
+        // Senders (blocked on a full bounded channel) only observe the
+        // transition to zero receivers; see `Sender::drop`.
+        let receivers = {
+            let mut state = self.shared.state.lock().unwrap();
+            state.receivers -= 1;
+            state.receivers
+        };
+        if receivers == 0 {
+            self.shared.activity.notify_all();
+        }
     }
 }
 

@@ -4,23 +4,24 @@
 //! with crossbeam's disconnect semantics: sends fail once every receiver is
 //! gone, receives fail once the queue is empty and every sender is gone.
 //! The [`select!`] macro supports `recv(rx) -> pat => body` arms only (the
-//! only form this workspace uses) and is implemented by polling with a
-//! short sleep rather than by parking on multiple queues — adequate for the
-//! live-runtime tests, not tuned for microsecond fairness.
+//! only form this workspace uses); it parks the selecting thread on a
+//! per-thread [`channel::SelectWaker`] registered with every arm, so a
+//! message on *any* arm wakes it immediately — no timed re-polling burning
+//! CPU on otherwise idle server threads.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 
-/// Selects over `recv` arms by polling each receiver in turn, parking on
-/// the first arm's channel between rounds.
+/// Selects over `recv` arms: polls each receiver in turn and, when none is
+/// ready, parks on the calling thread's [`channel::SelectWaker`] (bumped
+/// by every registered arm's sends and disconnects).
 ///
 /// Supported arm form: `recv(receiver_expr) -> pattern => body`. The bound
 /// value is a `Result<T, RecvError>`: `Err` when that channel is
-/// disconnected and drained, mirroring crossbeam. A message on the *first*
-/// arm wakes the select immediately (condvar); other arms are observed
-/// within the 200µs re-poll bound — so put the hot channel first, as
-/// server loops naturally do.
+/// disconnected and drained, mirroring crossbeam. A long re-poll fallback
+/// guards the one unsupported topology (two threads selecting on one
+/// channel displace each other's waker registration).
 #[macro_export]
 macro_rules! select {
     (@arms [$($done:tt)*] recv($rx:expr) -> $pat:pat => $body:block $($rest:tt)*) => {
@@ -32,33 +33,39 @@ macro_rules! select {
     (@arms [$($done:tt)*] recv($rx:expr) -> $pat:pat => $body:expr) => {
         $crate::select!(@arms [$($done)* {($rx) ($pat) ($body)}])
     };
-    (@arms [{($rx0:expr) ($pat0:pat) ($body0:expr)} $({($rx:expr) ($pat:pat) ($body:expr)})*]) => {
+    (@arms [$({($rx:expr) ($pat:pat) ($body:expr)})+]) => {
         loop {
-            if let ::std::option::Option::Some(__select_res) =
-                $crate::channel::poll_for_select(&$rx0)
-            {
-                let $pat0 = __select_res;
-                // A diverging arm body (e.g. `return`) makes the break
-                // itself unreachable; that is expected, not a bug.
-                #[allow(unreachable_code, clippy::diverging_sub_expression)]
-                {
-                    break { $body0 };
-                }
+            // Register the waker on every arm *before* reading the epoch:
+            // a push that races with the polls below bumps the epoch and
+            // makes the wait return immediately, so no wakeup is lost.
+            ::std::thread_local! {
+                static __SELECT_WAKER: $crate::channel::SelectWaker =
+                    $crate::channel::SelectWaker::new();
             }
+            let __select_epoch = __SELECT_WAKER.with(|waker| {
+                $(
+                    ($rx).set_select_waker(waker);
+                )+
+                waker.epoch()
+            });
             $(
                 if let ::std::option::Option::Some(__select_res) =
                     $crate::channel::poll_for_select(&$rx)
                 {
                     let $pat = __select_res;
+                    // A diverging arm body (e.g. `return`) makes the break
+                    // itself unreachable; that is expected, not a bug.
                     #[allow(unreachable_code, clippy::diverging_sub_expression)]
                     {
                         break { $body };
                     }
                 }
-            )*
-            // Nothing ready: park on the first arm (woken instantly by its
-            // senders), re-polling the rest at least every 200µs.
-            ($rx0).wait_ready(::std::time::Duration::from_micros(200));
+            )+
+            // Nothing ready: park until any arm has activity (long re-poll
+            // only as the displaced-waker fallback).
+            __SELECT_WAKER.with(|waker| {
+                waker.wait_changed(__select_epoch, ::std::time::Duration::from_millis(50));
+            });
         }
     };
     ($($arms:tt)+) => {

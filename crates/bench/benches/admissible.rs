@@ -1,51 +1,30 @@
 //! Criterion bench: the `admissible(·)` predicate (ablation of the fast
-//! read's extra decision cost over a plain max-tag slow read).
+//! read's extra decision cost over a plain max-tag slow read), for both
+//! evaluators:
+//!
+//! - `admissible_select` — the naive reference ([`Admissibility`]), which
+//!   rebuilds witness bitmasks per (candidate, degree) probe;
+//! - `witness_build_select` — `WitnessIndex::from_views` + one selection
+//!   walk (the full-info wire's per-read cost);
+//! - `witness_incremental_select` — selection over a standing index (the
+//!   delta wire's steady-state cost, with index maintenance amortized into
+//!   merges).
+//!
+//! `admissible_smoke --assert-admissible-floor` is the CI-gated subset of
+//! these curves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mwr_core::{Admissibility, Snapshot, ValueRecord};
-use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
-
-/// Builds quorum replies where `values` distinct tagged values are spread
-/// across `quorum` snapshots with `witnesses` registered clients each. As
-/// in any real protocol state, the value's own writer is registered
-/// everywhere the value is stored (so something is always admissible); the
-/// remaining witnesses vary per snapshot, which is what makes the
-/// intersection search non-trivial.
-fn replies(quorum: usize, values: usize, witnesses: usize) -> Vec<Snapshot> {
-    (0..quorum)
-        .map(|s| Snapshot {
-            entries: (0..values)
-                .map(|v| {
-                    let mut updated: Vec<ClientId> =
-                        vec![ClientId::writer((v % 2) as u32)];
-                    updated.extend((0..witnesses).map(|w| {
-                        if (s + w) % 2 == 0 {
-                            ClientId::reader(w as u32)
-                        } else {
-                            ClientId::reader((w + witnesses) as u32)
-                        }
-                    }));
-                    updated.sort_unstable();
-                    updated.dedup();
-                    ValueRecord {
-                        value: TaggedValue::new(
-                            Tag::new(v as u64 + 1, WriterId::new((v % 2) as u32)),
-                            Value::new(v as u64),
-                        ),
-                        updated,
-                    }
-                })
-                .collect(),
-        })
-        .collect()
-}
+use mwr_bench::synthetic_replies;
+use mwr_core::{Admissibility, Snapshot, SnapshotSource, WitnessIndex};
 
 fn bench_admissible(c: &mut Criterion) {
+    let shapes = [(5usize, 1usize, 2usize), (9, 2, 2), (13, 3, 2), (25, 4, 2)];
+
     let mut group = c.benchmark_group("admissible_select");
-    for (servers, t, readers) in [(5usize, 1usize, 2usize), (9, 2, 2), (13, 3, 2), (25, 4, 2)] {
+    for (servers, t, readers) in shapes {
         let quorum = servers - t;
-        let snaps = replies(quorum, 8, readers + 2);
+        let snaps = synthetic_replies(quorum, 8, readers + 2);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("S{servers}_t{t}")),
             &snaps,
@@ -58,9 +37,42 @@ fn bench_admissible(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("witness_build_select");
+    for (servers, t, readers) in shapes {
+        let quorum = servers - t;
+        let snaps = synthetic_replies(quorum, 8, readers + 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S{servers}_t{t}")),
+            &snaps,
+            |b, snaps| {
+                b.iter(|| {
+                    let (index, mask) =
+                        WitnessIndex::from_views(snaps.iter().map(SnapshotSource::view));
+                    index.selector(mask, servers, t, readers + 1).select_return_value()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("witness_incremental_select");
+    for (servers, t, readers) in shapes {
+        let quorum = servers - t;
+        let snaps = synthetic_replies(quorum, 8, readers + 2);
+        let (index, mask) = WitnessIndex::from_views(snaps.iter().map(SnapshotSource::view));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S{servers}_t{t}")),
+            &(index, mask),
+            |b, (index, mask)| {
+                b.iter(|| index.selector(*mask, servers, t, readers + 1).select_return_value())
+            },
+        );
+    }
+    group.finish();
+
     // Slow-read baseline for the ablation: picking the max tag only.
     let mut group = c.benchmark_group("slow_read_max_baseline");
-    let snaps = replies(12, 8, 4);
+    let snaps = synthetic_replies(12, 8, 4);
     group.bench_function("max_tag", |b| {
         b.iter(|| snaps.iter().filter_map(Snapshot::max_value).max())
     });

@@ -1,0 +1,58 @@
+//! CI helper: render the perf-regression delta table between two
+//! `BENCH_live_throughput.json` reports.
+//!
+//! The CI perf job snapshots the committed artifact, re-runs
+//! `live_throughput --quick`, and calls this bin to write a markdown table
+//! of per-sweep-point throughput deltas to `$GITHUB_STEP_SUMMARY`. The
+//! table is the *trend* signal; the hard pass/fail gate stays
+//! `live_throughput --assert-floor` (noise-tolerant on the ±10–20%
+//! run-to-run variance of the 1-core CI box). With `--fail-below R` the
+//! bin additionally exits non-zero if the geomean fresh/baseline ratio
+//! over matched points drops under `R` percent — off by default.
+
+use mwr_bench::args::Args;
+use mwr_bench::report::{delta_table, parse_live_throughput};
+
+fn main() {
+    let args = Args::parse();
+    args.expect_known(
+        "bench_delta",
+        &[],
+        &["baseline", "fresh", "markdown", "fail-below"],
+    );
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_live_throughput.baseline.json");
+    let fresh_path = args.get("fresh").unwrap_or("BENCH_live_throughput.json");
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_live_throughput(&read(baseline_path))
+        .unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+    let fresh = parse_live_throughput(&read(fresh_path))
+        .unwrap_or_else(|e| panic!("{fresh_path}: {e}"));
+
+    let (table, geomean) = delta_table(&baseline, &fresh);
+    let doc = format!(
+        "## live_throughput: fresh vs committed baseline\n\n\
+         baseline `{baseline_path}` · fresh `{fresh_path}`\n\n{table}"
+    );
+    match args.get("markdown") {
+        Some(path) => {
+            std::fs::write(path, &doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote delta table to {path} (geomean {geomean:.3}x)");
+        }
+        None => println!("{doc}"),
+    }
+
+    if let Some(pct) = args.get("fail-below") {
+        let pct: f64 = pct.parse().expect("--fail-below takes a percentage, e.g. 50");
+        if geomean * 100.0 < pct {
+            eprintln!(
+                "FAIL: geomean throughput ratio {:.1}% is below --fail-below {pct}%",
+                geomean * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

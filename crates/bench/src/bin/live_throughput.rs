@@ -184,7 +184,7 @@ fn main() {
     args.expect_known(
         "live_throughput",
         &["quick", "assert-floor", "legacy-send"],
-        &["duration-ms", "floor"],
+        &["duration-ms", "floor", "protocol", "transport"],
     );
     let quick = args.flag("quick");
     let assert_floor = args.flag("assert-floor");
@@ -192,6 +192,19 @@ fn main() {
     let duration =
         Duration::from_millis(args.get_u64("duration-ms", if quick { 120 } else { 250 }));
     let floor = args.get_u64("floor", 50) as f64;
+    // Optional sweep filters for focused (re)measurement; the committed
+    // artifact is always produced by the unfiltered sweep.
+    let protocols: Vec<Protocol> = match args.get("protocol") {
+        None => vec![Protocol::W2R1, Protocol::W2R2],
+        Some(p) => vec![p.parse().expect("--protocol W2R1|W2R2")],
+    };
+    let transport_filter = args.get("transport").map(str::to_owned);
+    if let Some(t) = transport_filter.as_deref() {
+        assert!(
+            matches!(t, "in-memory" | "tcp"),
+            "--transport must be in-memory or tcp, got {t}"
+        );
+    }
 
     let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let max_clients = *client_counts.last().expect("non-empty sweep");
@@ -204,12 +217,16 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
-    for protocol in [Protocol::W2R1, Protocol::W2R2] {
+    for &protocol in &protocols {
         for &writers in client_counts {
             for &readers in client_counts {
-                rows.push(measure_point("in-memory", "channel", protocol, writers, readers, duration));
-                for path in tcp_paths {
-                    rows.push(measure_point("tcp", path, protocol, writers, readers, duration));
+                if transport_filter.as_deref() != Some("tcp") {
+                    rows.push(measure_point("in-memory", "channel", protocol, writers, readers, duration));
+                }
+                if transport_filter.as_deref() != Some("in-memory") {
+                    for path in tcp_paths {
+                        rows.push(measure_point("tcp", path, protocol, writers, readers, duration));
+                    }
                 }
             }
         }
@@ -279,9 +296,14 @@ fn main() {
         }
     }
 
-    let json = to_json(duration, &rows, &headline, geomean);
-    std::fs::write("BENCH_live_throughput.json", &json).expect("write BENCH_live_throughput.json");
-    println!("wrote BENCH_live_throughput.json");
+    if protocols.len() == 2 && transport_filter.is_none() {
+        let json = to_json(duration, &rows, &headline, geomean);
+        std::fs::write("BENCH_live_throughput.json", &json)
+            .expect("write BENCH_live_throughput.json");
+        println!("wrote BENCH_live_throughput.json");
+    } else {
+        println!("filtered sweep: BENCH_live_throughput.json left untouched");
+    }
 
     println!("\nShape: closed-loop latency hides what happens when clients pile up;");
     println!("sweeping the population shows it. The per-peer writer pipelines keep");

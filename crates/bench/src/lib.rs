@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod report;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,49 @@ pub fn inversion_schedule() -> Vec<(SimTime, ScheduledOp)> {
         (SimTime::from_ticks(2_000), ScheduledOp::Read { reader: 0 }),
         (SimTime::from_ticks(3_000), ScheduledOp::Read { reader: 1 }),
     ]
+}
+
+/// Builds quorum replies for the admissibility benches: `values` distinct
+/// tagged values spread across `quorum` snapshots with `witnesses`
+/// registered clients each. As in any real protocol state, the value's own
+/// writer is registered everywhere the value is stored (so something is
+/// always admissible); the remaining witnesses vary per snapshot, which is
+/// what makes the intersection search non-trivial.
+///
+/// Shared by the criterion `admissible` bench and the `admissible_smoke`
+/// CI floor so the two measure identical shapes.
+pub fn synthetic_replies(
+    quorum: usize,
+    values: usize,
+    witnesses: usize,
+) -> Vec<mwr_core::Snapshot> {
+    use mwr_core::{Snapshot, ValueRecord};
+    use mwr_types::{ClientId, Tag, TaggedValue, WriterId};
+    (0..quorum)
+        .map(|s| Snapshot {
+            entries: (0..values)
+                .map(|v| {
+                    let mut updated: Vec<ClientId> = vec![ClientId::writer((v % 2) as u32)];
+                    updated.extend((0..witnesses).map(|w| {
+                        if (s + w) % 2 == 0 {
+                            ClientId::reader(w as u32)
+                        } else {
+                            ClientId::reader((w + witnesses) as u32)
+                        }
+                    }));
+                    updated.sort_unstable();
+                    updated.dedup();
+                    ValueRecord {
+                        value: TaggedValue::new(
+                            Tag::new(v as u64 + 1, WriterId::new((v % 2) as u32)),
+                            Value::new(v as u64),
+                        ),
+                        updated,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// The verdict of running one schedule through a cluster (any protocol

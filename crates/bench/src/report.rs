@@ -1,0 +1,220 @@
+//! Minimal parser for the `BENCH_live_throughput.json` artifact and the
+//! markdown delta table the CI perf-regression step renders from two of
+//! them.
+//!
+//! The workspace vendors no `serde_json`, and the artifact is written by
+//! `live_throughput::to_json` in a fixed, line-oriented shape (one sweep
+//! point per line). This module parses exactly that shape — it is a
+//! companion to the writer, not a general JSON parser — and is unit-tested
+//! against the writer's output format.
+
+use std::fmt::Write as _;
+
+/// One sweep point of a `live_throughput` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// `"in-memory"` or `"tcp"`.
+    pub transport: String,
+    /// `"channel"`, `"pipeline"` or `"legacy"`.
+    pub send_path: String,
+    /// Protocol display name, e.g. `"W2R1 (this paper)"`.
+    pub protocol: String,
+    /// Writer count of the point.
+    pub writers: u64,
+    /// Reader count of the point.
+    pub readers: u64,
+    /// Measured throughput.
+    pub ops_per_sec: f64,
+    /// Read latency-under-load p50 (µs).
+    pub rd_p50_us: u64,
+}
+
+impl SweepPoint {
+    /// The identity a point is matched on across two reports.
+    pub fn key(&self) -> (String, String, String, u64, u64) {
+        (
+            self.transport.clone(),
+            self.send_path.clone(),
+            self.protocol.clone(),
+            self.writers,
+            self.readers,
+        )
+    }
+
+    /// Human-readable point label for tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {} {}x{}",
+            self.transport, self.send_path, self.protocol, self.writers, self.readers
+        )
+    }
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123` or `"key": 123.4` from a
+/// JSON line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the sweep points out of a `BENCH_live_throughput.json` document.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed sweep line, or of a
+/// document with no sweep points at all.
+pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
+    let mut points = Vec::new();
+    for line in json.lines() {
+        // Sweep lines (and only they) carry a "transport" field.
+        if !line.contains("\"transport\"") {
+            continue;
+        }
+        let point = (|| {
+            Some(SweepPoint {
+                transport: str_field(line, "transport")?,
+                send_path: str_field(line, "send_path")?,
+                protocol: str_field(line, "protocol")?,
+                writers: num_field(line, "writers")? as u64,
+                readers: num_field(line, "readers")? as u64,
+                ops_per_sec: num_field(line, "ops_per_sec")?,
+                rd_p50_us: num_field(line, "rd_p50_us")? as u64,
+            })
+        })()
+        .ok_or_else(|| format!("malformed sweep line: {}", line.trim()))?;
+        points.push(point);
+    }
+    if points.is_empty() {
+        return Err("no sweep points found (not a live_throughput report?)".into());
+    }
+    Ok(points)
+}
+
+/// Renders the markdown delta table comparing `fresh` against `baseline`,
+/// matching points by (transport, send path, protocol, W, R). Returns the
+/// table plus the geometric-mean throughput ratio over matched points.
+pub fn delta_table(baseline: &[SweepPoint], fresh: &[SweepPoint]) -> (String, f64) {
+    let mut out = String::new();
+    out.push_str("| point | baseline ops/s | fresh ops/s | Δ ops/s | rd p50 µs |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    let mut log_sum = 0.0f64;
+    let mut matched = 0usize;
+    for f in fresh {
+        let Some(b) = baseline.iter().find(|b| b.key() == f.key()) else {
+            let _ = writeln!(
+                out,
+                "| {} | — | {:.0} | new | {} |",
+                f.label(),
+                f.ops_per_sec,
+                f.rd_p50_us
+            );
+            continue;
+        };
+        let ratio = f.ops_per_sec / b.ops_per_sec.max(1e-9);
+        log_sum += ratio.ln();
+        matched += 1;
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {:.0} | {:+.1}% | {} → {} |",
+            f.label(),
+            b.ops_per_sec,
+            f.ops_per_sec,
+            (ratio - 1.0) * 100.0,
+            b.rd_p50_us,
+            f.rd_p50_us
+        );
+    }
+    let geomean = if matched > 0 { (log_sum / matched as f64).exp() } else { 1.0 };
+    let _ = writeln!(
+        out,
+        "\n**geomean fresh/baseline over {matched} matched points: {geomean:.3}x** \
+         (run-to-run noise on the 1-core CI box is ±10–20%; the hard gate is \
+         `--assert-floor`, this table is the trend signal)"
+    );
+    (out, geomean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "experiment": "live_throughput",
+  "duration_ms": 500,
+  "servers": 11,
+  "geomean_pipeline_over_legacy": 1.26,
+  "contended_tcp": [
+    {"protocol": "W2R1 (this paper)", "pipeline_ops_per_sec": 2151.0, "legacy_ops_per_sec": 1739.7, "speedup": 1.24}
+  ],
+  "sweep": [
+    {"transport": "in-memory", "send_path": "channel", "protocol": "W2R1 (this paper)", "writers": 1, "readers": 1, "ops": 10001, "ops_per_sec": 19992.9, "wr_p50_us": 104, "wr_p99_us": 230, "rd_p50_us": 80, "rd_p99_us": 191},
+    {"transport": "tcp", "send_path": "pipeline", "protocol": "W2R1 (this paper)", "writers": 8, "readers": 8, "ops": 1105, "ops_per_sec": 2151.0, "wr_p50_us": 8025, "wr_p99_us": 22922, "rd_p50_us": 6071, "rd_p99_us": 14903}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_sweep_points_and_skips_headline_lines() {
+        let points = parse_live_throughput(SAMPLE).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].transport, "in-memory");
+        assert_eq!(points[0].protocol, "W2R1 (this paper)");
+        assert_eq!(points[0].writers, 1);
+        assert_eq!(points[0].ops_per_sec, 19992.9);
+        assert_eq!(points[1].send_path, "pipeline");
+        assert_eq!(points[1].rd_p50_us, 6071);
+    }
+
+    #[test]
+    fn rejects_documents_without_sweep_points() {
+        assert!(parse_live_throughput("{}").is_err());
+        assert!(parse_live_throughput("{\"transport\": 3}").is_err());
+    }
+
+    #[test]
+    fn delta_table_matches_points_and_reports_geomean() {
+        let baseline = parse_live_throughput(SAMPLE).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[0].ops_per_sec *= 1.10;
+        fresh[1].ops_per_sec *= 0.90;
+        fresh.push(SweepPoint {
+            transport: "tcp".into(),
+            send_path: "pipeline".into(),
+            protocol: "W2R2 (LS97)".into(),
+            writers: 4,
+            readers: 4,
+            ops_per_sec: 100.0,
+            rd_p50_us: 5,
+        });
+        let (table, geomean) = delta_table(&baseline, &fresh);
+        assert!(table.contains("+10.0%"), "{table}");
+        assert!(table.contains("-10.0%"), "{table}");
+        assert!(table.contains("| new |"), "{table}");
+        assert!((geomean - (1.10f64 * 0.90).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_sweeps_compare_against_full_baselines() {
+        // --quick measures a subset of points; every quick point must still
+        // match its counterpart in the committed full-sweep baseline.
+        let baseline = parse_live_throughput(SAMPLE).unwrap();
+        let fresh = vec![baseline[1].clone()];
+        let (table, geomean) = delta_table(&baseline, &fresh);
+        assert!(table.contains("8x8"));
+        assert!(!table.contains("| new |"), "{table}");
+        assert!((geomean - 1.0).abs() < 1e-9);
+    }
+}

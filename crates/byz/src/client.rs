@@ -245,6 +245,15 @@ impl ByzClient {
                     val_queue.extend(vouched.iter().copied());
                     match mode {
                         ByzReadMode::Fast => {
+                            // Deliberately the naive `Admissibility`
+                            // evaluator (via the `SnapshotSource` seam, like
+                            // every reply shape): the vouch filter
+                            // synthesizes these snapshots fresh each read,
+                            // so there is no standing per-server cache for
+                            // the incremental `WitnessIndex` to ride on, and
+                            // the reference implementation keeps the
+                            // Byzantine path trivially aligned with the
+                            // specification the proptests pin.
                             let filtered = vouched_snapshots(&snaps, threshold);
                             let chosen = Admissibility::new(
                                 &filtered,

@@ -18,21 +18,45 @@
 //! reads. The feasibility condition `R < S/t − 2` guarantees that degrees up
 //! to `R + 1` still leave non-empty quorums (`S − (R+1)t > t ≥ 1`).
 //!
+//! # Two evaluators, one seam
+//!
+//! Reply data reaches the predicate through the [`SnapshotSource`] /
+//! [`SnapshotView`] seam, which borrows either a full-info wire
+//! [`Snapshot`] or a reader-side [`SnapshotCache`](crate::SnapshotCache)
+//! mirror without cloning. Over that seam sit two implementations:
+//!
+//! - [`Admissibility`] — the naive reference: rebuilds its witness bitmasks
+//!   per `(candidate, degree)` probe. Kept as the executable specification
+//!   (property tests pin the fast path against it) and used by the
+//!   Byzantine reader, whose vouch-filtered snapshots are synthesized fresh
+//!   each read anyway.
+//! - [`WitnessIndex`] + [`WitnessSelector`] — the production fast path: the
+//!   per-value masks are built **once** (per read via
+//!   [`WitnessIndex::from_views`], or maintained **incrementally across
+//!   reads** by [`FastReadState`](crate::FastReadState) as delta snapshots
+//!   merge) and shared across every candidate and every degree of the
+//!   selection walk.
+//!
 //! # Complexity
 //!
 //! The naive check is exponential in the client population (choose the
-//! witness set `C`). This implementation represents, for each candidate
-//! client, the set of replies containing it as a bitmask, and searches for
-//! `a` clients whose mask intersection has popcount `≥ S − a·t`, pruning
+//! witness set `C`). Both evaluators represent, for each candidate client,
+//! the set of replies containing it as a bitmask, and search for `a`
+//! clients whose mask intersection has popcount `≥ S − a·t`, pruning
 //! subsets whose running intersection is already too small. With the
 //! protocol's small degrees (`a ≤ R + 1`) and client populations this is
-//! microseconds in practice — the `admissible` Criterion bench quantifies it.
+//! microseconds in practice — the `admissible` Criterion bench quantifies
+//! both evaluators, and `admissible_smoke --assert-admissible-floor` gates
+//! the fast path's scaling in CI.
 
 use std::collections::BTreeMap;
 
 use mwr_types::{ClientId, TaggedValue};
 
-use crate::msg::Snapshot;
+use crate::msg::{ClientSet, Snapshot, SnapshotCache, ValueRecord};
+
+/// The widest reply set / server population the bitmask evaluators support.
+pub const MAX_SLOTS: usize = 128;
 
 /// The largest admissibility degree an *adaptive* read may trust for its
 /// fast path: `a ≤ R + 1` (the algorithm's degree range) **and**
@@ -63,7 +87,90 @@ pub fn adaptive_degree_cap(servers: usize, max_faults: usize, readers: usize) ->
     lemma9.min(readers + 1)
 }
 
-/// Evaluates admissibility over the replies of one fast read.
+// --- the borrowed reply seam ------------------------------------------------
+
+/// A borrowed view of one server's logical snapshot: either a full-info
+/// wire [`Snapshot`] or a reader-side [`SnapshotCache`] mirror.
+///
+/// Admissibility evaluation consumes replies through this seam, so neither
+/// evaluator ever needs the cache reconstructed into an owned `Snapshot`
+/// (the clone that used to dominate W2R1's read cost at high `R`).
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotView<'a> {
+    /// A full-info snapshot as received on the wire.
+    Full(&'a Snapshot),
+    /// A reader's cached mirror of one server's store (delta wire).
+    Cached(&'a SnapshotCache),
+}
+
+impl<'a> SnapshotView<'a> {
+    /// The clients registered on `value`, if the snapshot contains it.
+    pub fn updated_for(&self, value: TaggedValue) -> Option<&'a [ClientId]> {
+        match self {
+            SnapshotView::Full(s) => s.updated_for(value),
+            SnapshotView::Cached(c) => c.updated_for(value).map(ClientSet::as_slice),
+        }
+    }
+
+    /// Iterates every `(value, registered clients)` entry in ascending tag
+    /// order.
+    pub fn entries(&self) -> Entries<'a> {
+        match self {
+            SnapshotView::Full(s) => Entries::Full(s.entries.iter()),
+            SnapshotView::Cached(c) => Entries::Cached(c.iter()),
+        }
+    }
+}
+
+/// Iterator over the `(value, clients)` entries of a [`SnapshotView`].
+#[derive(Debug, Clone)]
+pub enum Entries<'a> {
+    /// Entries of a full-info [`Snapshot`].
+    Full(std::slice::Iter<'a, ValueRecord>),
+    /// Entries of a [`SnapshotCache`].
+    Cached(std::slice::Iter<'a, (TaggedValue, ClientSet)>),
+}
+
+impl<'a> Iterator for Entries<'a> {
+    type Item = (TaggedValue, &'a [ClientId]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Entries::Full(it) => it.next().map(|r| (r.value, r.updated.as_slice())),
+            Entries::Cached(it) => it.next().map(|(v, u)| (*v, u.as_slice())),
+        }
+    }
+}
+
+/// Anything that can lend a [`SnapshotView`] of one server's reply.
+pub trait SnapshotSource {
+    /// Borrows this reply as a view.
+    fn view(&self) -> SnapshotView<'_>;
+}
+
+impl SnapshotSource for Snapshot {
+    fn view(&self) -> SnapshotView<'_> {
+        SnapshotView::Full(self)
+    }
+}
+
+impl SnapshotSource for SnapshotCache {
+    fn view(&self) -> SnapshotView<'_> {
+        SnapshotView::Cached(self)
+    }
+}
+
+impl SnapshotSource for SnapshotView<'_> {
+    fn view(&self) -> SnapshotView<'_> {
+        *self
+    }
+}
+
+// --- the naive reference evaluator ------------------------------------------
+
+/// Evaluates admissibility over the replies of one fast read — the naive
+/// reference implementation (see the module docs for how it relates to
+/// [`WitnessIndex`]).
 ///
 /// # Examples
 ///
@@ -85,14 +192,14 @@ pub fn adaptive_degree_cap(servers: usize, max_faults: usize, readers: usize) ->
 /// assert_eq!(adm.degree(v), Some(1));
 /// ```
 #[derive(Debug)]
-pub struct Admissibility<'a> {
-    replies: &'a [Snapshot],
+pub struct Admissibility<'a, S: SnapshotSource = Snapshot> {
+    replies: &'a [S],
     servers: usize,
     max_faults: usize,
     max_degree: usize,
 }
 
-impl<'a> Admissibility<'a> {
+impl<'a, S: SnapshotSource> Admissibility<'a, S> {
     /// Creates an evaluator over `replies` (one snapshot per distinct
     /// server) for a cluster with `servers` servers and `max_faults` crash
     /// tolerance; degrees range over `1 ..= max_degree` (the algorithm uses
@@ -101,13 +208,11 @@ impl<'a> Admissibility<'a> {
     /// # Panics
     ///
     /// Panics if more than 128 replies are supplied (bitmask width).
-    pub fn new(
-        replies: &'a [Snapshot],
-        servers: usize,
-        max_faults: usize,
-        max_degree: usize,
-    ) -> Self {
-        assert!(replies.len() <= 128, "at most 128 server replies supported");
+    pub fn new(replies: &'a [S], servers: usize, max_faults: usize, max_degree: usize) -> Self {
+        assert!(
+            replies.len() <= MAX_SLOTS,
+            "at most 128 server replies supported"
+        );
         Admissibility { replies, servers, max_faults, max_degree }
     }
 
@@ -125,7 +230,7 @@ impl<'a> Admissibility<'a> {
         let mut masks: BTreeMap<ClientId, u128> = BTreeMap::new();
         let mut containing = 0usize;
         for (i, snap) in self.replies.iter().enumerate() {
-            if let Some(updated) = snap.updated_for(v) {
+            if let Some(updated) = snap.view().updated_for(v) {
                 containing += 1;
                 for &c in updated {
                     *masks.entry(c).or_insert(0) |= 1u128 << i;
@@ -144,29 +249,7 @@ impl<'a> Admissibility<'a> {
         if candidates.len() < a {
             return false;
         }
-        Self::search(&candidates, 0, u128::MAX, a, needed)
-    }
-
-    /// Depth-first search for `remaining` more clients whose combined mask
-    /// intersection keeps at least `needed` replies.
-    fn search(candidates: &[u128], start: usize, acc: u128, remaining: usize, needed: usize) -> bool {
-        if remaining == 0 {
-            return acc.count_ones() as usize >= needed;
-        }
-        for i in start..candidates.len() {
-            // Not enough candidates left to pick `remaining`.
-            if candidates.len() - i < remaining {
-                return false;
-            }
-            let next = acc & candidates[i];
-            if (next.count_ones() as usize) < needed {
-                continue;
-            }
-            if Self::search(candidates, i + 1, next, remaining - 1, needed) {
-                return true;
-            }
-        }
-        false
+        search(&candidates, 0, u128::MAX, a, needed)
     }
 
     /// The smallest degree `a ∈ [1, max_degree]` with which `v` is
@@ -181,7 +264,7 @@ impl<'a> Admissibility<'a> {
         let mut vals: Vec<TaggedValue> = self
             .replies
             .iter()
-            .flat_map(|s| s.entries.iter().map(|e| e.value))
+            .flat_map(|s| s.view().entries().map(|(v, _)| v))
             .collect();
         vals.sort_unstable();
         vals.dedup();
@@ -213,6 +296,312 @@ impl<'a> Admissibility<'a> {
     }
 }
 
+/// Depth-first search for `remaining` more clients whose combined mask
+/// intersection keeps at least `needed` replies.
+///
+/// Shared by both evaluators; the result is independent of candidate order,
+/// which is why the selector may sort its candidates for pruning without
+/// diverging from the reference.
+fn search(candidates: &[u128], start: usize, acc: u128, remaining: usize, needed: usize) -> bool {
+    if remaining == 0 {
+        return acc.count_ones() as usize >= needed;
+    }
+    for i in start..candidates.len() {
+        // Not enough candidates left to pick `remaining`.
+        if candidates.len() - i < remaining {
+            return false;
+        }
+        let next = acc & candidates[i];
+        if (next.count_ones() as usize) < needed {
+            continue;
+        }
+        if search(candidates, i + 1, next, remaining - 1, needed) {
+            return true;
+        }
+    }
+    false
+}
+
+// --- the incremental fast path ----------------------------------------------
+
+/// Per-value witness bitmasks over up to 128 reply *slots* (one slot per
+/// server or per reply position).
+///
+/// For every candidate value the index records (a) which slots currently
+/// hold the value (`containing`) and (b), per registered client, the slots
+/// where that client is registered on it. Every candidate walk, degree
+/// probe and witness-subset search of the selection runs over these masks,
+/// so they are computed exactly once:
+///
+/// - per read, for full-info replies, via [`WitnessIndex::from_views`];
+/// - across reads, for the delta wire, maintained incrementally by
+///   [`FastReadState`](crate::FastReadState) as deltas merge — the per-read
+///   cost of selection no longer rebuilds anything at all.
+///
+/// Values whose `containing` mask goes empty (GC eviction) are dropped, so
+/// the index stays bounded by live protocol state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WitnessIndex {
+    /// value → witness masks, sorted by value ascending. Post-GC the live
+    /// value population is small, so a flat sorted Vec keeps both the
+    /// merge-path probes and the descending selection walk cache-local.
+    entries: Vec<(TaggedValue, ValueWitness)>,
+}
+
+/// The masks recorded for one candidate value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct ValueWitness {
+    /// Bit `s`: slot `s` currently holds this value.
+    pub(crate) containing: u128,
+    /// Client → slots where the client is registered on this value, sorted
+    /// by client. Every set bit here is also set in `containing` (a
+    /// registration implies the slot holds the value).
+    pub(crate) witnesses: Vec<(ClientId, u128)>,
+}
+
+impl ValueWitness {
+    /// Marks `client` registered on this value at `slot` (which therefore
+    /// holds the value).
+    pub(crate) fn record(&mut self, slot: usize, client: ClientId) {
+        let bit = 1u128 << slot;
+        self.containing |= bit;
+        match self.witnesses.binary_search_by_key(&client, |e| e.0) {
+            Ok(i) => self.witnesses[i].1 |= bit,
+            Err(i) => self.witnesses.insert(i, (client, bit)),
+        }
+    }
+}
+
+impl WitnessIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        WitnessIndex::default()
+    }
+
+    /// Builds the index once over borrowed reply data (slot `i` = the
+    /// `i`-th view) and returns it with the mask covering all slots — the
+    /// per-read path for full-info replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 views are supplied.
+    pub fn from_views<'a, I>(views: I) -> (Self, u128)
+    where
+        I: IntoIterator<Item = SnapshotView<'a>>,
+    {
+        let mut index = WitnessIndex::new();
+        let mut slots = 0usize;
+        for (slot, view) in views.into_iter().enumerate() {
+            assert!(slot < MAX_SLOTS, "at most 128 server replies supported");
+            slots = slot + 1;
+            for (value, clients) in view.entries() {
+                let w = index.witness_entry(value);
+                w.containing |= 1u128 << slot;
+                for &c in clients {
+                    w.record(slot, c);
+                }
+            }
+        }
+        (index, mask_of(slots))
+    }
+
+    /// Records that slot `slot` holds `value` (with no new registrations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot ≥ 128`.
+    pub fn record_value(&mut self, slot: usize, value: TaggedValue) {
+        assert!(slot < MAX_SLOTS, "slot {slot} out of bitmask range");
+        self.witness_entry(value).containing |= 1u128 << slot;
+    }
+
+    /// Records that slot `slot` registers `client` on `value` (implies the
+    /// slot holds the value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot ≥ 128`.
+    pub fn record_witness(&mut self, slot: usize, value: TaggedValue, client: ClientId) {
+        assert!(slot < MAX_SLOTS, "slot {slot} out of bitmask range");
+        self.witness_entry(value).record(slot, client);
+    }
+
+    /// The mutable witness entry for `value` — one probe that a merge
+    /// amortizes over a whole record's registrations.
+    pub(crate) fn witness_entry(&mut self, value: TaggedValue) -> &mut ValueWitness {
+        match self.entries.binary_search_by_key(&value, |e| e.0) {
+            Ok(i) => &mut self.entries[i].1,
+            Err(i) => {
+                self.entries.insert(i, (value, ValueWitness::default()));
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// Forgets everything slot `slot` recorded about `value` (the slot's
+    /// store pruned it); drops the value entirely once no slot holds it.
+    pub fn evict(&mut self, slot: usize, value: TaggedValue) {
+        assert!(slot < MAX_SLOTS, "slot {slot} out of bitmask range");
+        let keep = !(1u128 << slot);
+        if let Ok(i) = self.entries.binary_search_by_key(&value, |e| e.0) {
+            let w = &mut self.entries[i].1;
+            w.containing &= keep;
+            if w.containing == 0 {
+                self.entries.remove(i);
+                return;
+            }
+            w.witnesses.retain_mut(|e| {
+                e.1 &= keep;
+                e.1 != 0
+            });
+        }
+    }
+
+    /// The values some slot in `mask` currently holds, ascending — what a
+    /// fast read folds into its `valQueue`.
+    pub fn values_in(&self, mask: u128) -> impl Iterator<Item = TaggedValue> + '_ {
+        self.entries
+            .iter()
+            .filter(move |(_, w)| w.containing & mask != 0)
+            .map(|(v, _)| *v)
+    }
+
+    /// Number of indexed values (across all slots).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no values at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A selection evaluator restricted to the slots in `mask` (the servers
+    /// that actually replied to this read), for a cluster with `servers`
+    /// servers, `max_faults` crash tolerance and degrees `1 ..= max_degree`.
+    pub fn selector(
+        &self,
+        mask: u128,
+        servers: usize,
+        max_faults: usize,
+        max_degree: usize,
+    ) -> WitnessSelector<'_> {
+        WitnessSelector { index: self, mask, servers, max_faults, max_degree, scratch: Vec::new() }
+    }
+}
+
+/// The mask covering slots `0 .. slots`.
+///
+/// # Panics
+///
+/// Panics if `slots > 128`.
+pub fn mask_of(slots: usize) -> u128 {
+    assert!(slots <= MAX_SLOTS, "at most 128 slots supported");
+    if slots == MAX_SLOTS {
+        u128::MAX
+    } else {
+        (1u128 << slots) - 1
+    }
+}
+
+/// One read's return-value selection over a [`WitnessIndex`]: Algorithm 1's
+/// candidate walk and `admissible(·)` probes, restricted to the reply slots
+/// in the selector's mask.
+///
+/// Selection is a single descending walk over the index (the candidates are
+/// already distinct and tag-ordered — no per-read collect/sort/dedup), and
+/// each candidate's masked witness masks are materialized once and shared
+/// across all of its degree probes. The scratch buffer is the only
+/// allocation, reused across every candidate of the walk.
+#[derive(Debug)]
+pub struct WitnessSelector<'a> {
+    index: &'a WitnessIndex,
+    mask: u128,
+    servers: usize,
+    max_faults: usize,
+    max_degree: usize,
+    /// Masked witness masks of the candidate under evaluation, sorted by
+    /// descending popcount; refilled per candidate, reused across degrees.
+    scratch: Vec<u128>,
+}
+
+impl WitnessSelector<'_> {
+    /// The smallest degree `a ∈ [1, max_degree]` with which `v` is
+    /// admissible within the replied slots, or `None`.
+    pub fn degree(&mut self, v: TaggedValue) -> Option<usize> {
+        let index = self.index;
+        index
+            .entries
+            .binary_search_by_key(&v, |e| e.0)
+            .ok()
+            .and_then(|i| self.degree_of(&index.entries[i].1))
+    }
+
+    /// The largest candidate value any replied slot holds — Algorithm 1's
+    /// `maxV`, the adaptive read's fast-path candidate.
+    pub fn max_candidate(&self) -> Option<TaggedValue> {
+        self.index
+            .entries
+            .iter()
+            .rev()
+            .find(|(_, w)| w.containing & self.mask != 0)
+            .map(|(v, _)| *v)
+    }
+
+    /// Algorithm 1's read return value: the largest admissible value, found
+    /// in one descending walk over the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no value is admissible (impossible in a protocol run; see
+    /// [`Admissibility::select_return_value`]).
+    pub fn select_return_value(&mut self) -> TaggedValue {
+        let index = self.index;
+        for (v, w) in index.entries.iter().rev() {
+            if self.degree_of(w).is_some() {
+                return *v;
+            }
+        }
+        panic!(
+            "no admissible value among {} replies — protocol invariant broken",
+            self.mask.count_ones()
+        );
+    }
+
+    /// Degree probe sharing one masked-and-sorted witness list across all
+    /// degrees of this candidate.
+    fn degree_of(&mut self, w: &ValueWitness) -> Option<usize> {
+        let containing = (w.containing & self.mask).count_ones() as usize;
+        if containing == 0 {
+            return None;
+        }
+        self.scratch.clear();
+        self.scratch
+            .extend(w.witnesses.iter().map(|e| e.1 & self.mask).filter(|m| *m != 0));
+        self.scratch
+            .sort_unstable_by_key(|m| std::cmp::Reverse(m.count_ones()));
+        for a in 1..=self.max_degree {
+            let needed = self.servers.saturating_sub(a * self.max_faults).max(1);
+            if containing < needed {
+                continue;
+            }
+            // Only clients whose own mask reaches the threshold can join a
+            // witness set; sorted by popcount, they form a prefix that only
+            // grows as the degree rises (needed falls).
+            let eligible = self
+                .scratch
+                .partition_point(|m| m.count_ones() as usize >= needed);
+            if eligible < a {
+                continue;
+            }
+            if search(&self.scratch[..eligible], 0, u128::MAX, a, needed) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +622,17 @@ mod tests {
         }
     }
 
+    /// The indexed evaluation of the same replies, for the paired asserts.
+    fn indexed(replies: &[Snapshot], servers: usize, t: usize, max_degree: usize) -> (WitnessIndex, u128, usize, usize, usize) {
+        let (index, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        (index, mask, servers, t, max_degree)
+    }
+
+    fn indexed_degree(replies: &[Snapshot], servers: usize, t: usize, max_degree: usize, v: TaggedValue) -> Option<usize> {
+        let (index, mask, s, t, d) = indexed(replies, servers, t, max_degree);
+        index.selector(mask, s, t, d).degree(v)
+    }
+
     const W0: ClientId = ClientId::writer(0);
     const R0: ClientId = ClientId::reader(0);
     const R1: ClientId = ClientId::reader(1);
@@ -249,6 +649,7 @@ mod tests {
         ];
         let adm = Admissibility::new(&replies, 5, 1, 3);
         assert_eq!(adm.degree(v), Some(1));
+        assert_eq!(indexed_degree(&replies, 5, 1, 3, v), Some(1));
     }
 
     #[test]
@@ -267,6 +668,7 @@ mod tests {
         assert!(!adm.admissible_with_degree(v, 1));
         assert!(adm.admissible_with_degree(v, 2));
         assert_eq!(adm.degree(v), Some(2));
+        assert_eq!(indexed_degree(&replies, 5, 1, 3, v), Some(2));
     }
 
     #[test]
@@ -284,6 +686,7 @@ mod tests {
         assert!(!adm.admissible_with_degree(v, 2));
         // …but degree 1 also fails (only 3 < S − t = 4 replies contain v).
         assert_eq!(adm.degree(v), None);
+        assert_eq!(indexed_degree(&replies, 5, 1, 3, v), None);
     }
 
     #[test]
@@ -299,6 +702,7 @@ mod tests {
         ];
         let adm = Admissibility::new(&replies, 4, 1, 3);
         assert!(adm.admissible_with_degree(v, 2));
+        assert_eq!(indexed_degree(&replies, 4, 1, 3, v), adm.degree(v));
     }
 
     #[test]
@@ -309,6 +713,8 @@ mod tests {
         let adm = Admissibility::new(&replies, 5, 1, 3);
         assert_eq!(adm.degree(init), Some(1));
         assert_eq!(adm.select_return_value(), init);
+        let (index, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        assert_eq!(index.selector(mask, 5, 1, 3).select_return_value(), init);
     }
 
     #[test]
@@ -327,6 +733,11 @@ mod tests {
         assert_eq!(adm.degree(new), None);
         assert_eq!(adm.select_return_value(), old);
         assert_eq!(adm.candidates_descending(), vec![new, old]);
+        let (index, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        let mut sel = index.selector(mask, 5, 1, 3);
+        assert_eq!(sel.degree(new), None);
+        assert_eq!(sel.max_candidate(), Some(new));
+        assert_eq!(sel.select_return_value(), old);
     }
 
     #[test]
@@ -344,9 +755,11 @@ mod tests {
         let replies = vec![snap(&[(v, &[W0])]), snap(&[(v, &[W0])]), snap(&[])];
         let adm = Admissibility::new(&replies, 3, 0, 2);
         assert_eq!(adm.degree(v), None);
+        assert_eq!(indexed_degree(&replies, 3, 0, 2, v), None);
         let full: Vec<Snapshot> = (0..3).map(|_| snap(&[(v, &[W0])])).collect();
         let adm = Admissibility::new(&full, 3, 0, 2);
         assert_eq!(adm.degree(v), Some(1));
+        assert_eq!(indexed_degree(&full, 3, 0, 2, v), Some(1));
     }
 
     #[test]
@@ -354,5 +767,98 @@ mod tests {
     fn empty_replies_panic_on_selection() {
         let replies: Vec<Snapshot> = vec![Snapshot::default()];
         Admissibility::new(&replies, 3, 1, 2).select_return_value();
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible value")]
+    fn selector_panics_like_the_reference_on_empty_replies() {
+        let replies: Vec<Snapshot> = vec![Snapshot::default()];
+        let (index, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        index.selector(mask, 3, 1, 2).select_return_value();
+    }
+
+    #[test]
+    fn naive_evaluator_reads_cached_views_too() {
+        // The seam: the reference evaluator runs directly over caches.
+        let v = tv(1, 0, 7);
+        let mut cache = SnapshotCache::new();
+        cache.merge(&crate::msg::DeltaSnapshot {
+            from: 0,
+            version: 1,
+            latest: v,
+            pruned: TaggedValue::initial(),
+            entries: vec![ValueRecord { value: v, updated: vec![W0] }],
+        });
+        let caches = vec![cache.clone(), cache.clone()];
+        let adm = Admissibility::new(&caches, 3, 1, 2);
+        assert_eq!(adm.degree(v), Some(1));
+        assert_eq!(adm.select_return_value(), v);
+    }
+
+    #[test]
+    fn index_masks_out_slots_that_did_not_reply() {
+        let v = tv(1, 0, 10);
+        // 4 slots hold v, but only slots {0, 1} replied: S = 5, t = 1 needs
+        // 4 containing replies for degree 1 — masked down to 2, nothing is
+        // admissible; with all slots it is.
+        let replies: Vec<Snapshot> = (0..4).map(|_| snap(&[(v, &[W0])])).collect();
+        let (index, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        assert_eq!(index.selector(mask, 5, 1, 3).degree(v), Some(1));
+        assert_eq!(index.selector(0b11, 5, 1, 3).degree(v), None);
+        assert_eq!(index.selector(0b11, 5, 1, 3).max_candidate(), Some(v));
+        assert_eq!(index.selector(0, 5, 1, 3).max_candidate(), None);
+    }
+
+    #[test]
+    fn eviction_drops_masks_and_empty_values() {
+        let v = tv(1, 0, 10);
+        let mut index = WitnessIndex::new();
+        index.record_witness(0, v, W0);
+        index.record_witness(1, v, W0);
+        index.record_witness(1, v, R0);
+        assert_eq!(index.len(), 1);
+        index.evict(1, v);
+        // Slot 0 still holds it, with w0 only.
+        assert_eq!(index.selector(0b1, 1, 0, 1).degree(v), Some(1));
+        assert_eq!(index.selector(0b10, 2, 1, 1).degree(v), None);
+        index.evict(0, v);
+        assert!(index.is_empty(), "no slot holds the value any more");
+        assert_eq!(index.values_in(u128::MAX).count(), 0);
+    }
+
+    #[test]
+    fn bitmask_boundary_slot_127_works_and_128_panics() {
+        let v = tv(1, 0, 1);
+        let mut index = WitnessIndex::new();
+        index.record_witness(127, v, W0);
+        assert_eq!(index.selector(mask_of(128), 128, 0, 1).max_candidate(), Some(v));
+        // 128 one-reply snapshots is the widest supported read.
+        let replies: Vec<Snapshot> = (0..128).map(|_| snap(&[(v, &[W0])])).collect();
+        let (wide, mask) = WitnessIndex::from_views(replies.iter().map(SnapshotSource::view));
+        assert_eq!(mask, u128::MAX);
+        assert_eq!(wide.selector(mask, 128, 0, 1).degree(v), Some(1));
+        assert!(std::panic::catch_unwind(|| {
+            let mut index = WitnessIndex::new();
+            index.record_value(128, v);
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| mask_of(129)).is_err());
+        let too_many: Vec<Snapshot> = (0..129).map(|_| snap(&[])).collect();
+        assert!(std::panic::catch_unwind(|| {
+            WitnessIndex::from_views(too_many.iter().map(SnapshotSource::view))
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn values_in_respects_the_mask() {
+        let a = tv(1, 0, 1);
+        let b = tv(2, 0, 2);
+        let mut index = WitnessIndex::new();
+        index.record_value(0, a);
+        index.record_value(1, b);
+        assert_eq!(index.values_in(0b01).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(index.values_in(0b10).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(index.values_in(0b11).collect::<Vec<_>>(), vec![a, b]);
     }
 }

@@ -18,9 +18,9 @@ use mwr_sim::{Automaton, Context};
 use mwr_types::{ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId};
 use mwr_types::ClientId;
 
-use crate::admissible::Admissibility;
+use crate::admissible::{SnapshotView, WitnessIndex};
 use crate::events::{ClientEvent, OpKind, OpResult};
-use crate::msg::{Msg, OpHandle, OpId, Snapshot, SnapshotCache};
+use crate::msg::{FastReadState, Msg, OpHandle, OpId, Snapshot};
 
 /// How writes acquire their tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,8 +93,9 @@ enum Role {
         val_queue: BTreeSet<TaggedValue>,
         /// Fast-read wire format.
         wire: FastWire,
-        /// Per-server snapshot caches (delta wire only).
-        caches: BTreeMap<ServerId, SnapshotCache>,
+        /// Per-server snapshot caches plus the incrementally-maintained
+        /// witness index over them (delta wire only).
+        state: FastReadState,
         /// The largest server-announced GC floor seen; local state below it
         /// is pruned (every client has completed an operation above it).
         gc_floor: TaggedValue,
@@ -112,8 +113,11 @@ enum Phase {
     ReadQuery { best: TaggedValue, acks: BTreeSet<ServerId> },
     /// Slow read, round 2: writing the maximum back.
     ReadWriteBack { best: TaggedValue, acks: BTreeSet<ServerId> },
-    /// Fast read, single round: collecting snapshots.
+    /// Fast read over the full-info wire: collecting whole snapshots.
     ReadFast { replies: BTreeMap<ServerId, Snapshot> },
+    /// Fast read over the delta wire: the deltas merge straight into the
+    /// reader's caches/index, so only the replied-server mask is tracked.
+    ReadFastDelta { replied: u128 },
 }
 
 #[derive(Debug)]
@@ -188,7 +192,7 @@ impl RegisterClient {
                 mode,
                 val_queue,
                 wire,
-                caches: BTreeMap::new(),
+                state: FastReadState::new(),
                 gc_floor: TaggedValue::initial(),
             },
             pending: VecDeque::new(),
@@ -253,7 +257,7 @@ impl RegisterClient {
                     mode: ReadMode::Fast | ReadMode::Adaptive,
                     val_queue,
                     wire,
-                    caches,
+                    state,
                     ..
                 },
                 OpKind::Read,
@@ -263,18 +267,14 @@ impl RegisterClient {
                     FastWire::FullInfo => {
                         let val_queue: Vec<TaggedValue> = val_queue.iter().copied().collect();
                         ctx.broadcast_to_servers(servers, Msg::ReadFast { handle, val_queue });
+                        Phase::ReadFast { replies: BTreeMap::new() }
                     }
                     FastWire::Delta => {
                         // Per-server payloads: only what this server has not
                         // acknowledged yet.
                         for s in 0..servers as u32 {
-                            let cache =
-                                caches.entry(ServerId::new(s)).or_default();
-                            let new_values: Vec<TaggedValue> = val_queue
-                                .iter()
-                                .filter(|v| !cache.knows(**v))
-                                .copied()
-                                .collect();
+                            let cache = state.cache(ServerId::new(s));
+                            let new_values = cache.unacknowledged(val_queue);
                             ctx.send(
                                 ProcessId::server(s),
                                 Msg::ReadFastDelta {
@@ -285,9 +285,9 @@ impl RegisterClient {
                                 },
                             );
                         }
+                        Phase::ReadFastDelta { replied: 0 }
                     }
                 }
-                Phase::ReadFast { replies: BTreeMap::new() }
             }
             (Role::Writer { .. }, OpKind::Read) => {
                 panic!("writers cannot invoke read() (paper §2.1)")
@@ -308,7 +308,7 @@ impl RegisterClient {
     }
 
     /// Processes one ack; returns what to do once a quorum is assembled.
-    fn on_ack(&mut self, server: ServerId, msg: &Msg) -> Option<AckAction> {
+    fn on_ack(&mut self, server: ServerId, msg: Msg) -> Option<AckAction> {
         let quorum = self.quorum();
         let config = self.config;
         let floor = self.floor;
@@ -317,7 +317,7 @@ impl RegisterClient {
 
         match (msg, &mut inflight.phase) {
             (Msg::QueryAck { handle, latest }, Phase::WriteQuery { value, max_tag, acks })
-                if *handle == expected =>
+                if handle == expected =>
             {
                 *max_tag = (*max_tag).max(latest.tag());
                 acks.insert(server);
@@ -336,9 +336,9 @@ impl RegisterClient {
                 None
             }
             (Msg::QueryAck { handle, latest }, Phase::ReadQuery { best, acks })
-                if *handle == expected =>
+                if handle == expected =>
             {
-                *best = (*best).max(*latest);
+                *best = (*best).max(latest);
                 acks.insert(server);
                 if acks.len() >= quorum {
                     let chosen = *best;
@@ -354,49 +354,48 @@ impl RegisterClient {
                 None
             }
             (Msg::UpdateAck { handle }, Phase::WriteUpdate { value, acks })
-                if *handle == expected =>
+                if handle == expected =>
             {
                 acks.insert(server);
                 (acks.len() >= quorum).then_some(AckAction::Complete(OpResult::Written(*value)))
             }
             (Msg::UpdateAck { handle }, Phase::ReadWriteBack { best, acks })
-                if *handle == expected =>
+                if handle == expected =>
             {
                 acks.insert(server);
                 (acks.len() >= quorum).then_some(AckAction::Complete(OpResult::Read(*best)))
             }
             (Msg::ReadFastAck { handle, snapshot }, Phase::ReadFast { replies })
-                if *handle == expected =>
+                if handle == expected =>
             {
-                replies.insert(server, snapshot.clone());
+                replies.insert(server, snapshot);
                 if replies.len() >= quorum {
-                    let snaps: Vec<Snapshot> = replies.values().cloned().collect();
-                    return Some(Self::finish_fast_read(
+                    let replies = std::mem::take(replies);
+                    return Some(Self::finish_fast_read_full(
                         &mut self.role,
                         inflight,
-                        snaps,
+                        &replies,
                         &config,
                         floor,
                     ));
                 }
                 None
             }
-            (Msg::ReadFastDeltaAck { handle, delta }, Phase::ReadFast { replies })
-                if *handle == expected =>
+            (Msg::ReadFastDeltaAck { handle, delta }, Phase::ReadFastDelta { replied })
+                if handle == expected =>
             {
-                let Role::Reader { caches, gc_floor, .. } = &mut self.role else {
+                let Role::Reader { state, gc_floor, .. } = &mut self.role else {
                     unreachable!()
                 };
-                let cache = caches.entry(server).or_default();
-                cache.merge(delta);
+                state.merge(server, &delta);
                 *gc_floor = (*gc_floor).max(delta.pruned);
-                replies.insert(server, cache.reconstruct());
-                if replies.len() >= quorum {
-                    let snaps: Vec<Snapshot> = replies.values().cloned().collect();
-                    return Some(Self::finish_fast_read(
+                *replied |= FastReadState::mask_bit(server);
+                if replied.count_ones() as usize >= quorum {
+                    let replied = *replied;
+                    return Some(Self::finish_fast_read_delta(
                         &mut self.role,
                         inflight,
-                        snaps,
+                        replied,
                         &config,
                         floor,
                     ));
@@ -407,37 +406,76 @@ impl RegisterClient {
         }
     }
 
-    /// Shared tail of a fast read once a quorum of (logical) snapshots is
-    /// in: fold them into the `valQueue`, apply GC pruning to local state,
-    /// then run the mode's selection.
-    fn finish_fast_read(
+    /// Tail of a full-info fast read once a quorum of snapshots is in:
+    /// fold them into the `valQueue`, apply GC pruning, index the borrowed
+    /// replies once, then run the mode's selection.
+    fn finish_fast_read_full(
         role: &mut Role,
         inflight: &mut InFlight,
-        snaps: Vec<Snapshot>,
+        replies: &BTreeMap<ServerId, Snapshot>,
         config: &ClusterConfig,
         floor: TaggedValue,
     ) -> AckAction {
-        let Role::Reader { mode, val_queue, gc_floor, .. } = role else { unreachable!() };
-        for s in &snaps {
+        let Role::Reader { mode, val_queue, gc_floor, .. } = &mut *role else { unreachable!() };
+        let mode = *mode;
+        for s in replies.values() {
             val_queue.extend(s.entries.iter().map(|e| e.value));
         }
-        // Entries below the announced GC floor are below every client's
-        // completed-operation floor: no read can ever return them again
-        // (see the GC argument in the server module docs), so they can be
-        // dropped from the valQueue. Per-server caches self-prune on merge.
-        if *gc_floor > TaggedValue::initial() {
-            let keep = *gc_floor;
-            val_queue.retain(|v| *v >= keep);
+        Self::prune_val_queue(val_queue, *gc_floor);
+        let (index, mask) = WitnessIndex::from_views(replies.values().map(SnapshotView::Full));
+        Self::decide_fast_read(mode, inflight, &index, mask, config, floor)
+    }
+
+    /// Tail of a delta fast read: the quorum's deltas already merged into
+    /// the caches and the standing witness index, so the selection runs
+    /// straight over the index masked down to the replied servers.
+    fn finish_fast_read_delta(
+        role: &mut Role,
+        inflight: &mut InFlight,
+        replied: u128,
+        config: &ClusterConfig,
+        floor: TaggedValue,
+    ) -> AckAction {
+        let Role::Reader { mode, val_queue, state, gc_floor, .. } = &mut *role else {
+            unreachable!()
+        };
+        let mode = *mode;
+        for v in state.index().values_in(replied) {
+            val_queue.insert(v);
         }
+        Self::prune_val_queue(val_queue, *gc_floor);
+        Self::decide_fast_read(mode, inflight, state.index(), replied, config, floor)
+    }
+
+    /// Entries below the announced GC floor are below every client's
+    /// completed-operation floor: no read can ever return them again (see
+    /// the GC argument in the server module docs), so they can be dropped
+    /// from the valQueue. Per-server caches self-prune on merge.
+    fn prune_val_queue(val_queue: &mut BTreeSet<TaggedValue>, gc_floor: TaggedValue) {
+        if gc_floor > TaggedValue::initial() {
+            val_queue.retain(|v| *v >= gc_floor);
+        }
+    }
+
+    /// The mode's return-value selection over an already-built witness
+    /// index, shared by both wires.
+    fn decide_fast_read(
+        mode: ReadMode,
+        inflight: &mut InFlight,
+        index: &WitnessIndex,
+        mask: u128,
+        config: &ClusterConfig,
+        floor: TaggedValue,
+    ) -> AckAction {
         match mode {
             ReadMode::Fast => {
-                let adm = Admissibility::new(
-                    &snaps,
+                let mut sel = index.selector(
+                    mask,
                     config.servers(),
                     config.max_faults(),
                     config.readers() + 1,
                 );
-                AckAction::Complete(OpResult::Read(adm.select_return_value()))
+                AckAction::Complete(OpResult::Read(sel.select_return_value()))
             }
             ReadMode::Adaptive => {
                 let cap = crate::admissible::adaptive_degree_cap(
@@ -445,13 +483,9 @@ impl RegisterClient {
                     config.max_faults(),
                     config.readers(),
                 );
-                let adm = Admissibility::new(&snaps, config.servers(), config.max_faults(), cap);
-                let max_v = adm
-                    .candidates_descending()
-                    .into_iter()
-                    .next()
-                    .unwrap_or_else(TaggedValue::initial);
-                if adm.degree(max_v).is_some() {
+                let mut sel = index.selector(mask, config.servers(), config.max_faults(), cap);
+                let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
+                if sel.degree(max_v).is_some() {
                     // The maximum is safely confirmed: fast path.
                     return AckAction::Complete(OpResult::Read(max_v));
                 }
@@ -492,7 +526,7 @@ impl Automaton<Msg, ClientEvent> for RegisterClient {
         let Some(server) = from.as_server() else {
             return; // clients only hear from servers
         };
-        match self.on_ack(server, &msg) {
+        match self.on_ack(server, msg) {
             None => {}
             Some(AckAction::Broadcast(next_round)) => {
                 let op = self.current.as_ref().expect("broadcasting mid-operation").op;

@@ -70,10 +70,16 @@ mod msg;
 mod protocol;
 mod server;
 
-pub use admissible::{adaptive_degree_cap, Admissibility};
+pub use admissible::{
+    adaptive_degree_cap, mask_of, Admissibility, Entries, SnapshotSource, SnapshotView,
+    WitnessIndex, WitnessSelector, MAX_SLOTS,
+};
 pub use client::{FastWire, ReadMode, RegisterClient, WriteMode};
 pub use cluster::{Cluster, ScheduledOp, SimCluster};
 pub use events::{ClientEvent, OpKind, OpResult};
-pub use msg::{DeltaSnapshot, Msg, OpHandle, OpId, Snapshot, SnapshotCache, ValueRecord};
+pub use msg::{
+    ClientSet, DeltaSnapshot, FastReadState, Msg, OpHandle, OpId, ReaderCache, Snapshot,
+    SnapshotCache, ValueRecord,
+};
 pub use protocol::{ParseProtocolError, Protocol};
 pub use server::{RegisterServer, ServerState};

@@ -13,7 +13,9 @@ use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use mwr_types::codec::{DecodeError, Wire};
-use mwr_types::{ClientId, TaggedValue, Value};
+use mwr_types::{ClientId, ServerId, TaggedValue, Value};
+
+use crate::admissible::WitnessIndex;
 
 /// Identifier of one operation instance: the invoking client plus a
 /// per-client sequence number.
@@ -121,6 +123,80 @@ pub struct DeltaSnapshot {
     pub entries: Vec<ValueRecord>,
 }
 
+/// The entries of `val_queue` not present in the sorted `known` sequence —
+/// the `new_values` of the next delta request, shared by both cache kinds.
+/// A single merge-join over the two sorted sequences
+/// (`O(|queue| + |known|)`), instead of a tree probe per queue entry per
+/// server.
+fn unacknowledged_from<'a>(
+    known: impl Iterator<Item = &'a TaggedValue>,
+    val_queue: &BTreeSet<TaggedValue>,
+) -> Vec<TaggedValue> {
+    let mut out = Vec::new();
+    let mut known = known.peekable();
+    for &v in val_queue {
+        while known.next_if(|k| **k < v).is_some() {}
+        if known.peek().copied() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// A sorted, deduplicated set of client identifiers, Vec-backed: at
+/// protocol populations (tens of clients) a binary search plus memmove
+/// beats a tree's node allocations on the delta-merge flood path, and the
+/// admissibility evaluators read it as a plain slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientSet(Vec<ClientId>);
+
+impl ClientSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ClientSet::default()
+    }
+
+    /// Inserts `client`, returning whether it was new.
+    pub fn insert(&mut self, client: ClientId) -> bool {
+        match self.0.binary_search(&client) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, client);
+                true
+            }
+        }
+    }
+
+    /// Whether `client` is in the set.
+    pub fn contains(&self, client: ClientId) -> bool {
+        self.0.binary_search(&client).is_ok()
+    }
+
+    /// The clients in ascending order.
+    pub fn as_slice(&self) -> &[ClientId] {
+        &self.0
+    }
+
+    /// Number of clients in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl FromIterator<ClientId> for ClientSet {
+    fn from_iter<I: IntoIterator<Item = ClientId>>(iter: I) -> Self {
+        let mut v: Vec<ClientId> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        ClientSet(v)
+    }
+}
+
 /// A reader's cached copy of one server's store, maintained by merging
 /// [`DeltaSnapshot`]s — the client-side dual of the delta wire, shared by
 /// the simulator client and `mwr-runtime`'s live client so the two can
@@ -134,17 +210,16 @@ pub struct DeltaSnapshot {
 pub struct SnapshotCache {
     /// The last merged [`DeltaSnapshot::version`]; sent back as `acked`.
     version: u64,
-    /// value → registered clients, as far as this reader knows.
-    entries: BTreeMap<TaggedValue, BTreeSet<ClientId>>,
+    /// value → registered clients, as far as this reader knows; sorted by
+    /// value (small post-GC, so a flat Vec beats a tree on the merge path).
+    entries: Vec<(TaggedValue, ClientSet)>,
 }
 
 impl SnapshotCache {
     /// Seeded like a fresh server's store: the initial value with an empty
     /// `updated` set, version 0.
     pub fn new() -> Self {
-        let mut entries = BTreeMap::new();
-        entries.insert(TaggedValue::initial(), BTreeSet::new());
-        SnapshotCache { version: 0, entries }
+        SnapshotCache { version: 0, entries: vec![(TaggedValue::initial(), ClientSet::new())] }
     }
 
     /// The acknowledged version to send with the next [`Msg::ReadFastDelta`].
@@ -155,19 +230,62 @@ impl SnapshotCache {
     /// Whether the server is known to hold `value` (such entries are
     /// omitted from the request's `new_values`).
     pub fn knows(&self, value: TaggedValue) -> bool {
-        self.entries.contains_key(&value)
+        self.entries.binary_search_by_key(&value, |e| e.0).is_ok()
+    }
+
+    /// The entries of `val_queue` this server is *not* known to hold — the
+    /// `new_values` of the next delta request.
+    pub fn unacknowledged(&self, val_queue: &BTreeSet<TaggedValue>) -> Vec<TaggedValue> {
+        unacknowledged_from(self.entries.iter().map(|e| &e.0), val_queue)
+    }
+
+    /// The registered clients cached for `value`, if the server is known to
+    /// hold it.
+    pub fn updated_for(&self, value: TaggedValue) -> Option<&ClientSet> {
+        self.entries
+            .binary_search_by_key(&value, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Iterates the cached `(value, registered clients)` entries in
+    /// ascending tag order — the borrowed form of [`reconstruct`]
+    /// (`SnapshotView::Cached` reads through this).
+    ///
+    /// [`reconstruct`]: Self::reconstruct
+    pub fn iter(&self) -> std::slice::Iter<'_, (TaggedValue, ClientSet)> {
+        self.entries.iter()
+    }
+
+    /// The mutable client set for `value`, created empty if absent.
+    fn set_mut(&mut self, value: TaggedValue) -> &mut ClientSet {
+        match self.entries.binary_search_by_key(&value, |e| e.0) {
+            Ok(i) => &mut self.entries[i].1,
+            Err(i) => {
+                self.entries.insert(i, (value, ClientSet::new()));
+                &mut self.entries[i].1
+            }
+        }
     }
 
     /// Merges one delta; idempotent (set unions), monotone in version.
+    ///
+    /// [`FastReadState::merge`] is the indexed twin of this method: the two
+    /// must apply identical store semantics, which
+    /// `tests/witness_equivalence.rs` pins by rebuilding the index from
+    /// caches merged through this method.
     pub fn merge(&mut self, delta: &DeltaSnapshot) {
         for rec in &delta.entries {
-            self.entries.entry(rec.value).or_default().extend(rec.updated.iter().copied());
+            let clients = self.set_mut(rec.value);
+            for &c in &rec.updated {
+                clients.insert(c);
+            }
         }
         self.version = self.version.max(delta.version);
         // Mirror the server's GC: drop what it dropped (it keeps `latest`
         // unconditionally), so the reconstruction stays exact.
         let (pruned, latest) = (delta.pruned, delta.latest);
-        self.entries.retain(|v, _| *v >= pruned || *v == latest);
+        self.entries.retain(|(v, _)| *v >= pruned || *v == latest);
     }
 
     /// The server's logical full-info snapshot, reconstructed.
@@ -178,7 +296,7 @@ impl SnapshotCache {
                 .iter()
                 .map(|(value, updated)| ValueRecord {
                     value: *value,
-                    updated: updated.iter().copied().collect(),
+                    updated: updated.as_slice().to_vec(),
                 })
                 .collect(),
         }
@@ -188,6 +306,149 @@ impl SnapshotCache {
 impl Default for SnapshotCache {
     fn default() -> Self {
         SnapshotCache::new()
+    }
+}
+
+/// Slim per-server state for the indexed fast-read path: the acknowledged
+/// version plus the sorted list of values the server is known to hold.
+///
+/// Client registrations live only in the shared [`WitnessIndex`] (as slot
+/// bits) — the witness bit *is* the membership test — so the merge flood
+/// pays one binary search per registration instead of maintaining a
+/// parallel client set per server (that duplicate lives on in
+/// [`SnapshotCache`] for the naive/standalone path).
+#[derive(Debug, Clone, Default)]
+pub struct ReaderCache {
+    /// The last merged [`DeltaSnapshot::version`]; sent back as `acked`.
+    version: u64,
+    /// Values the server is known to hold, sorted ascending.
+    values: Vec<TaggedValue>,
+}
+
+impl ReaderCache {
+    /// Seeded like a fresh server's store: the initial value, version 0.
+    fn new() -> Self {
+        ReaderCache { version: 0, values: vec![TaggedValue::initial()] }
+    }
+
+    /// The acknowledged version to send with the next
+    /// [`Msg::ReadFastDelta`].
+    pub fn acked_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether the server is known to hold `value` (such entries are
+    /// omitted from the request's `new_values`).
+    pub fn knows(&self, value: TaggedValue) -> bool {
+        self.values.binary_search(&value).is_ok()
+    }
+
+    /// The entries of `val_queue` this server is *not* known to hold — the
+    /// `new_values` of the next delta request.
+    pub fn unacknowledged(&self, val_queue: &BTreeSet<TaggedValue>) -> Vec<TaggedValue> {
+        unacknowledged_from(self.values.iter(), val_queue)
+    }
+
+    /// Records that the server holds `value`.
+    fn add_value(&mut self, value: TaggedValue) {
+        if let Err(i) = self.values.binary_search(&value) {
+            self.values.insert(i, value);
+        }
+    }
+}
+
+/// A reader's complete fast-read state for the delta wire: slim per-server
+/// [`ReaderCache`]s plus a [`WitnessIndex`] over all of them, maintained
+/// *incrementally* as deltas merge.
+///
+/// Index slot `s` is server `s` (at most 128 servers). Because every cache
+/// mutation — registration, value arrival, GC eviction, even lazy cache
+/// creation — updates the index in the same call, a read's return-value
+/// selection needs no per-read reconstruction or indexing at all: it masks
+/// the standing index down to the servers that replied
+/// ([`WitnessIndex::selector`]) and walks it once. Shared by the simulator
+/// client and `mwr-runtime`'s live client so the two cannot drift.
+#[derive(Debug, Clone, Default)]
+pub struct FastReadState {
+    caches: BTreeMap<ServerId, ReaderCache>,
+    index: WitnessIndex,
+}
+
+impl FastReadState {
+    /// Empty state: no server contacted yet.
+    pub fn new() -> Self {
+        FastReadState::default()
+    }
+
+    /// The index slot backing `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server.index() ≥ 128` (bitmask width).
+    pub fn slot(server: ServerId) -> usize {
+        let slot = server.as_usize();
+        assert!(slot < crate::admissible::MAX_SLOTS, "server {server} beyond bitmask width");
+        slot
+    }
+
+    /// The reply-mask bit for `server`.
+    pub fn mask_bit(server: ServerId) -> u128 {
+        1u128 << Self::slot(server)
+    }
+
+    /// The cache mirroring `server`'s store, created on first use (a fresh
+    /// cache mirrors a fresh store: the initial value, no registrations —
+    /// and the index learns that entry immediately).
+    pub fn cache(&mut self, server: ServerId) -> &ReaderCache {
+        self.cache_mut(server)
+    }
+
+    fn cache_mut(&mut self, server: ServerId) -> &mut ReaderCache {
+        let slot = Self::slot(server);
+        let index = &mut self.index;
+        self.caches.entry(server).or_insert_with(|| {
+            index.record_value(slot, TaggedValue::initial());
+            ReaderCache::new()
+        })
+    }
+
+    /// Merges one delta from `server`, keeping cache and index exact in one
+    /// pass: new registrations set witness bits, GC evictions clear them.
+    ///
+    /// Applies exactly [`SnapshotCache::merge`]'s store semantics (pinned
+    /// by `tests/witness_equivalence.rs` against a from-scratch rebuild
+    /// over `SnapshotCache` mirrors), with one index probe per record and
+    /// one idempotent witness-bit probe per registration.
+    pub fn merge(&mut self, server: ServerId, delta: &DeltaSnapshot) {
+        let slot = Self::slot(server);
+        let bit = 1u128 << slot;
+        self.cache_mut(server);
+        let FastReadState { caches, index } = self;
+        let cache = caches.get_mut(&server).expect("cache_mut created the entry");
+        for rec in &delta.entries {
+            cache.add_value(rec.value);
+            let w = index.witness_entry(rec.value);
+            w.containing |= bit;
+            for &c in &rec.updated {
+                w.record(slot, c);
+            }
+        }
+        cache.version = cache.version.max(delta.version);
+        // Mirror the server's GC: drop what it dropped (it keeps `latest`
+        // unconditionally), evicting the dropped entries' index bits too.
+        let (pruned, latest) = (delta.pruned, delta.latest);
+        cache.values.retain(|v| {
+            let keep = *v >= pruned || *v == latest;
+            if !keep {
+                index.evict(slot, *v);
+            }
+            keep
+        });
+    }
+
+    /// The standing witness index over every cached server store.
+    pub fn index(&self) -> &WitnessIndex {
+        &self.index
     }
 }
 
@@ -575,5 +836,87 @@ mod tests {
     #[test]
     fn display_formats_handles() {
         assert_eq!(handle().to_string(), "r2#3(2)");
+    }
+
+    #[test]
+    fn client_set_stays_sorted_and_deduplicated() {
+        let mut set = ClientSet::new();
+        assert!(set.insert(ClientId::writer(1)));
+        assert!(set.insert(ClientId::reader(0)));
+        assert!(!set.insert(ClientId::writer(1)), "duplicate insert is a no-op");
+        assert!(set.contains(ClientId::reader(0)));
+        assert!(!set.contains(ClientId::reader(9)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        let sorted: Vec<ClientId> = set.as_slice().to_vec();
+        let mut expect = sorted.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect, "as_slice is ascending");
+        let from_iter: ClientSet =
+            [ClientId::writer(1), ClientId::reader(0), ClientId::writer(1)].into_iter().collect();
+        assert_eq!(from_iter, set);
+    }
+
+    fn delta(version: u64, latest: TaggedValue, pruned: TaggedValue, entries: Vec<ValueRecord>) -> DeltaSnapshot {
+        DeltaSnapshot { from: 0, version, latest, pruned, entries }
+    }
+
+    #[test]
+    fn unacknowledged_is_the_set_difference_on_both_cache_kinds() {
+        let (a, b, c) = (tv(1, 0, 1), tv(2, 0, 2), tv(3, 1, 3));
+        let mut cache = SnapshotCache::new();
+        cache.merge(&delta(
+            1,
+            b,
+            TaggedValue::initial(),
+            vec![ValueRecord { value: b, updated: vec![ClientId::writer(0)] }],
+        ));
+        let mut state = FastReadState::new();
+        state.merge(
+            ServerId::new(0),
+            &delta(1, b, TaggedValue::initial(), vec![ValueRecord { value: b, updated: vec![] }]),
+        );
+
+        let queue: std::collections::BTreeSet<TaggedValue> =
+            [TaggedValue::initial(), a, b, c].into_iter().collect();
+        let expect: Vec<TaggedValue> =
+            queue.iter().filter(|v| !cache.knows(**v)).copied().collect();
+        assert_eq!(cache.unacknowledged(&queue), expect);
+        assert_eq!(state.cache(ServerId::new(0)).unacknowledged(&queue), expect);
+        assert_eq!(expect, vec![a, c], "initial and b are known, a and c are not");
+    }
+
+    #[test]
+    fn fast_read_state_merge_tracks_values_and_evicts_on_gc() {
+        let (v1, v2) = (tv(1, 0, 1), tv(2, 0, 2));
+        let mut state = FastReadState::new();
+        let s0 = ServerId::new(0);
+        state.merge(
+            s0,
+            &delta(
+                2,
+                v1,
+                TaggedValue::initial(),
+                vec![ValueRecord { value: v1, updated: vec![ClientId::reader(0)] }],
+            ),
+        );
+        assert!(state.cache(s0).knows(v1));
+        assert_eq!(state.cache(s0).acked_version(), 2);
+        assert_eq!(state.index().values_in(1).collect::<Vec<_>>(), vec![TaggedValue::initial(), v1]);
+
+        // GC floor v2 with latest v2: both the initial value and v1 drop
+        // from cache and index alike.
+        state.merge(
+            s0,
+            &delta(3, v2, v2, vec![ValueRecord { value: v2, updated: vec![ClientId::writer(0)] }]),
+        );
+        assert!(!state.cache(s0).knows(v1));
+        assert!(state.cache(s0).knows(v2));
+        assert_eq!(state.index().values_in(1).collect::<Vec<_>>(), vec![v2]);
+        assert_eq!(
+            state.index().selector(1, 1, 0, 1).max_candidate(),
+            Some(v2),
+            "selection sees exactly the surviving state"
+        );
     }
 }

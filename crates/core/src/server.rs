@@ -90,8 +90,10 @@ use crate::msg::{DeltaSnapshot, Msg, Snapshot, ValueRecord};
 /// when (in registration-version terms) each one arrived.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Entry {
-    /// Registered clients, each with the version its registration got.
-    updated: BTreeMap<ClientId, u64>,
+    /// Registered clients, sorted, each with the version its registration
+    /// got (a flat Vec: populations are tens of clients, and this is the
+    /// hottest per-registration probe on the server).
+    updated: Vec<(ClientId, u64)>,
     /// The version at which this value first entered the store.
     first_added: u64,
 }
@@ -205,17 +207,17 @@ impl ServerState {
             return; // dead on arrival: a late duplicate below the GC floor
         }
         let version = &mut self.version;
-        let is_new_value = !self.store.contains_key(&val);
-        let entry = self.store.entry(val).or_insert_with(|| {
+        let entry = match self.store.entry(val) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                *version += 1;
+                self.additions.push((*version, val));
+                e.insert(Entry { updated: Vec::new(), first_added: *version })
+            }
+        };
+        if let Err(i) = entry.updated.binary_search_by_key(&c, |r| r.0) {
             *version += 1;
-            Entry { updated: BTreeMap::new(), first_added: *version }
-        });
-        if is_new_value {
-            self.additions.push((entry.first_added, val));
-        }
-        if let std::collections::btree_map::Entry::Vacant(slot) = entry.updated.entry(c) {
-            *version += 1;
-            slot.insert(*version);
+            entry.updated.insert(i, (c, *version));
             self.reg_log.push((*version, val, c));
         }
         if val > self.latest {
@@ -246,16 +248,19 @@ impl ServerState {
             return; // late duplicate request: nothing new to catch up on
         }
         let start = self.additions.partition_point(|&(v, _)| v <= from);
-        let values: Vec<TaggedValue> = self.additions[start..]
-            .iter()
-            .take_while(|&&(v, _)| v <= acked)
-            .map(|&(_, val)| val)
-            .collect();
-        for val in values {
+        // `update` on an already-stored value never touches `additions`
+        // (and pruned values are skipped), so the log can be lent out for
+        // the walk instead of collected into a fresh Vec per request.
+        let additions = std::mem::take(&mut self.additions);
+        for &(_, val) in
+            additions[start..].iter().take_while(|&&(v, _)| v <= acked)
+        {
             if self.store.contains_key(&val) {
                 self.update(val, reader);
             }
         }
+        debug_assert!(self.additions.is_empty());
+        self.additions = additions;
         self.registered_up_to.insert(reader, acked);
     }
 
@@ -283,34 +288,43 @@ impl ServerState {
                 .iter()
                 .map(|(value, entry)| ValueRecord {
                     value: *value,
-                    updated: entry.updated.keys().copied().collect(),
+                    updated: entry.updated.iter().map(|r| r.0).collect(),
                 })
                 .collect(),
         }
     }
 
     /// The store changes above registration version `from`, as reported to
-    /// delta fast reads. O(changes), not O(store).
+    /// delta fast reads. O(changes), not O(store): one flat collect and
+    /// sort over the registration window, grouped into records without any
+    /// per-value tree or allocation churn.
     pub fn delta_since(&self, from: u64) -> DeltaSnapshot {
         let start = self.reg_log.partition_point(|&(v, _, _)| v <= from);
-        let mut entries: BTreeMap<TaggedValue, Vec<ClientId>> = BTreeMap::new();
-        for &(_, val, client) in &self.reg_log[start..] {
-            if self.store.contains_key(&val) {
-                entries.entry(val).or_default().push(client);
+        let mut regs: Vec<(TaggedValue, ClientId)> = self.reg_log[start..]
+            .iter()
+            .map(|&(_, val, client)| (val, client))
+            .collect();
+        regs.sort_unstable();
+        let mut entries: Vec<ValueRecord> = Vec::new();
+        let mut skip: Option<TaggedValue> = None;
+        for (val, client) in regs {
+            if skip == Some(val) {
+                continue; // GC already dropped this value from the store
             }
-        }
-        for clients in entries.values_mut() {
-            clients.sort_unstable();
+            match entries.last_mut() {
+                Some(rec) if rec.value == val => rec.updated.push(client),
+                _ if self.store.contains_key(&val) => {
+                    entries.push(ValueRecord { value: val, updated: vec![client] })
+                }
+                _ => skip = Some(val),
+            }
         }
         DeltaSnapshot {
             from,
             version: self.version,
             latest: self.latest,
             pruned: self.pruned_floor(),
-            entries: entries
-                .into_iter()
-                .map(|(value, updated)| ValueRecord { value, updated })
-                .collect(),
+            entries,
         }
     }
 
@@ -321,7 +335,7 @@ impl ServerState {
 
     /// The `updated` set registered for `val`, if stored.
     pub fn updated_set(&self, val: TaggedValue) -> Option<Vec<ClientId>> {
-        self.store.get(&val).map(|e| e.updated.keys().copied().collect())
+        self.store.get(&val).map(|e| e.updated.iter().map(|r| r.0).collect())
     }
 
     /// Garbage-collects values strictly below `floor`, keeping the current

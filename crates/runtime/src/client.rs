@@ -14,7 +14,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use mwr_core::{
-    Admissibility, FastWire, Msg, OpHandle, OpId, ReadMode, Snapshot, SnapshotCache, WriteMode,
+    FastReadState, FastWire, Msg, OpHandle, OpId, ReadMode, Snapshot, SnapshotView, WitnessIndex,
+    WriteMode,
 };
 use mwr_types::codec::Wire;
 use mwr_types::{
@@ -134,7 +135,7 @@ impl<E: Endpoint> LiveWriter<E> {
                     Msg::Query { handle },
                     self.timeout,
                     |msg| match msg {
-                        Msg::QueryAck { handle: h, latest } if *h == handle => Some(latest.tag()),
+                        Msg::QueryAck { handle: h, latest } if h == handle => Some(latest.tag()),
                         _ => None,
                     },
                 )?;
@@ -151,7 +152,7 @@ impl<E: Endpoint> LiveWriter<E> {
             Msg::Update { handle, value: tagged, floor: self.floor },
             self.timeout,
             |msg| match msg {
-                Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                Msg::UpdateAck { handle: h } if h == handle => Some(()),
                 _ => None,
             },
         )?;
@@ -169,7 +170,9 @@ pub struct LiveReader<E: Endpoint> {
     mode: ReadMode,
     wire: FastWire,
     val_queue: BTreeSet<TaggedValue>,
-    caches: BTreeMap<ServerId, SnapshotCache>,
+    /// Per-server snapshot caches plus the incrementally-maintained
+    /// witness index over them (delta wire only).
+    state: FastReadState,
     gc_floor: TaggedValue,
     floor: TaggedValue,
     next_seq: u64,
@@ -211,7 +214,7 @@ impl<E: Endpoint> LiveReader<E> {
             mode,
             wire,
             val_queue,
-            caches: BTreeMap::new(),
+            state: FastReadState::new(),
             gc_floor: TaggedValue::initial(),
             floor: TaggedValue::initial(),
             next_seq: 0,
@@ -283,7 +286,7 @@ impl<E: Endpoint> LiveReader<E> {
                     Msg::Query { handle },
                     self.timeout,
                     |msg| match msg {
-                        Msg::QueryAck { handle: h, latest } if *h == handle => Some(*latest),
+                        Msg::QueryAck { handle: h, latest } if h == handle => Some(latest),
                         _ => None,
                     },
                 )?;
@@ -295,7 +298,7 @@ impl<E: Endpoint> LiveReader<E> {
                     Msg::Update { handle, value: best, floor: self.floor },
                     self.timeout,
                     |msg| match msg {
-                        Msg::UpdateAck { handle: h } if *h == handle => Some(()),
+                        Msg::UpdateAck { handle: h } if h == handle => Some(()),
                         _ => None,
                     },
                 )?;
@@ -303,55 +306,28 @@ impl<E: Endpoint> LiveReader<E> {
             }
             ReadMode::Fast | ReadMode::Adaptive => {
                 let handle = OpHandle { op, phase: 1 };
-                let snaps = self.fast_round(handle)?;
-                for s in &snaps {
-                    self.val_queue.extend(s.entries.iter().map(|e| e.value));
-                }
-                if self.gc_floor > TaggedValue::initial() {
-                    let keep = self.gc_floor;
-                    self.val_queue.retain(|v| *v >= keep);
-                }
-                if self.mode == ReadMode::Fast {
-                    let adm = Admissibility::new(
-                        &snaps,
-                        self.config.servers(),
-                        self.config.max_faults(),
-                        self.config.readers() + 1,
-                    );
-                    adm.select_return_value()
-                } else {
-                    // Adaptive: return the maximum fast when it is safely
-                    // admissible; secure it with a write-back otherwise.
-                    let cap = mwr_core::adaptive_degree_cap(
-                        self.config.servers(),
-                        self.config.max_faults(),
-                        self.config.readers(),
-                    );
-                    let adm = Admissibility::new(
-                        &snaps,
-                        self.config.servers(),
-                        self.config.max_faults(),
-                        cap,
-                    );
-                    let max_v = adm
-                        .candidates_descending()
-                        .into_iter()
-                        .next()
-                        .unwrap_or_else(TaggedValue::initial);
-                    if adm.degree(max_v).is_none() {
-                        let handle = OpHandle { op, phase: 2 };
-                        round_trip(
-                            &self.endpoint,
-                            &self.config,
-                            Msg::Update { handle, value: max_v, floor: self.floor },
-                            self.timeout,
-                            |msg| match msg {
-                                Msg::UpdateAck { handle: h } if *h == handle => Some(()),
-                                _ => None,
-                            },
-                        )?;
+                match self.fast_round(handle)? {
+                    FastReplies::Full(snaps) => {
+                        for s in &snaps {
+                            self.val_queue.extend(s.entries.iter().map(|e| e.value));
+                        }
+                        self.prune_val_queue();
+                        let (index, mask) =
+                            WitnessIndex::from_views(snaps.iter().map(SnapshotView::Full));
+                        self.decide_fast_read(op, &index, mask)?
                     }
-                    max_v
+                    FastReplies::Delta { replied } => {
+                        // The deltas already merged into the caches and the
+                        // standing index; fold the replied servers' values
+                        // into the valQueue and select straight off the
+                        // index, masked to this read's quorum.
+                        let LiveReader { val_queue, state, .. } = &mut *self;
+                        for v in state.index().values_in(replied) {
+                            val_queue.insert(v);
+                        }
+                        self.prune_val_queue();
+                        self.decide_fast_read(op, self.state.index(), replied)?
+                    }
                 }
             }
         };
@@ -359,50 +335,103 @@ impl<E: Endpoint> LiveReader<E> {
         Ok(returned)
     }
 
-    /// Runs the fast-read round-trip on the configured wire and returns the
-    /// quorum's (logical, full-info) snapshots, accounting payload bytes.
-    fn fast_round(&mut self, handle: OpHandle) -> Result<Vec<Snapshot>, RuntimeError> {
+    /// Drops `valQueue` entries below the announced GC floor: they are
+    /// below every client's completed-operation floor, so no read can ever
+    /// return them again (see the GC argument in the server module docs).
+    fn prune_val_queue(&mut self) {
+        if self.gc_floor > TaggedValue::initial() {
+            let keep = self.gc_floor;
+            self.val_queue.retain(|v| *v >= keep);
+        }
+    }
+
+    /// The mode's return-value selection over an already-built witness
+    /// index; the adaptive slow path pays its write-back round here.
+    fn decide_fast_read(
+        &self,
+        op: OpId,
+        index: &WitnessIndex,
+        mask: u128,
+    ) -> Result<TaggedValue, RuntimeError> {
+        if self.mode == ReadMode::Fast {
+            let mut sel = index.selector(
+                mask,
+                self.config.servers(),
+                self.config.max_faults(),
+                self.config.readers() + 1,
+            );
+            return Ok(sel.select_return_value());
+        }
+        // Adaptive: return the maximum fast when it is safely admissible;
+        // secure it with a write-back otherwise.
+        let cap = mwr_core::adaptive_degree_cap(
+            self.config.servers(),
+            self.config.max_faults(),
+            self.config.readers(),
+        );
+        let mut sel = index.selector(mask, self.config.servers(), self.config.max_faults(), cap);
+        let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
+        if sel.degree(max_v).is_none() {
+            let handle = OpHandle { op, phase: 2 };
+            round_trip(
+                &self.endpoint,
+                &self.config,
+                Msg::Update { handle, value: max_v, floor: self.floor },
+                self.timeout,
+                |msg| match msg {
+                    Msg::UpdateAck { handle: h } if h == handle => Some(()),
+                    _ => None,
+                },
+            )?;
+        }
+        Ok(max_v)
+    }
+
+    /// Runs the fast-read round-trip on the configured wire, accounting
+    /// payload bytes. On the delta wire the quorum's deltas merge straight
+    /// into the reader's caches and standing witness index — nothing is
+    /// reconstructed or cloned.
+    fn fast_round(&mut self, handle: OpHandle) -> Result<FastReplies, RuntimeError> {
         let measure = self.measure_payload;
         let mut bytes = 0u64;
-        let snaps = match self.wire {
+        let replies = match self.wire {
             FastWire::FullInfo => {
                 let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
                 let request = Msg::ReadFast { handle, val_queue };
                 if measure {
                     bytes += request.encoded_len() as u64 * self.config.servers() as u64;
                 }
+                let moved = std::cell::Cell::new(0u64);
                 let acks = round_trip(
                     &self.endpoint,
                     &self.config,
                     request,
                     self.timeout,
-                    |msg| match msg {
-                        Msg::ReadFastAck { handle: h, snapshot } if *h == handle => {
-                            if measure {
-                                bytes += msg.encoded_len() as u64;
-                            }
-                            Some(snapshot.clone())
+                    |msg| {
+                        if !matches!(&msg, Msg::ReadFastAck { handle: h, .. } if *h == handle) {
+                            return None;
                         }
-                        _ => None,
+                        if measure {
+                            moved.set(moved.get() + msg.encoded_len() as u64);
+                        }
+                        let Msg::ReadFastAck { snapshot, .. } = msg else { unreachable!() };
+                        Some(snapshot)
                     },
                 )?;
-                acks.into_values().collect()
+                bytes += moved.get();
+                FastReplies::Full(acks.into_values().collect())
             }
             FastWire::Delta => {
                 let moved = std::cell::Cell::new(0u64);
-                let caches = &mut self.caches;
+                let state = &mut self.state;
                 let val_queue = &self.val_queue;
                 let floor = self.floor;
                 let acks = round_trip_per_server(
                     &self.endpoint,
                     &self.config,
                     |sid| {
-                        let cache = caches.entry(sid).or_default();
-                        let new_values: Vec<TaggedValue> = val_queue
-                            .iter()
-                            .filter(|v| !cache.knows(**v))
-                            .copied()
-                            .collect();
+                        let cache = state.cache(sid);
+                        let new_values = cache.unacknowledged(val_queue);
                         let request = Msg::ReadFastDelta {
                             handle,
                             acked: cache.acked_version(),
@@ -415,40 +444,51 @@ impl<E: Endpoint> LiveReader<E> {
                         request
                     },
                     self.timeout,
-                    |msg| match msg {
-                        Msg::ReadFastDeltaAck { handle: h, delta } if *h == handle => {
-                            if measure {
-                                moved.set(moved.get() + msg.encoded_len() as u64);
-                            }
-                            Some(delta.clone())
+                    |msg| {
+                        if !matches!(&msg, Msg::ReadFastDeltaAck { handle: h, .. } if *h == handle)
+                        {
+                            return None;
                         }
-                        _ => None,
+                        if measure {
+                            moved.set(moved.get() + msg.encoded_len() as u64);
+                        }
+                        let Msg::ReadFastDeltaAck { delta, .. } = msg else { unreachable!() };
+                        Some(delta)
                     },
                 )?;
                 bytes += moved.get();
-                let mut snaps = Vec::with_capacity(acks.len());
+                let mut replied = 0u128;
                 for (sid, delta) in &acks {
-                    let cache = self.caches.get_mut(sid).expect("cache exists for contacted server");
-                    cache.merge(delta);
+                    self.state.merge(*sid, delta);
                     self.gc_floor = self.gc_floor.max(delta.pruned);
-                    snaps.push(cache.reconstruct());
+                    replied |= FastReadState::mask_bit(*sid);
                 }
-                snaps
+                FastReplies::Delta { replied }
             }
         };
         self.last_payload = bytes;
-        Ok(snaps)
+        Ok(replies)
     }
 }
 
+/// What one fast-read round-trip produced, per wire format.
+enum FastReplies {
+    /// Full-info: the quorum's owned snapshots.
+    Full(Vec<Snapshot>),
+    /// Delta: the deltas already merged into the reader state; only the
+    /// replied-server mask matters.
+    Delta { replied: u128 },
+}
+
 /// Broadcasts one request to all servers and blocks until `S − t` matching
-/// replies arrive, discarding stale or non-matching messages.
+/// replies arrive, discarding stale or non-matching messages. The matcher
+/// consumes each message, so matched payloads move out without cloning.
 fn round_trip<E: Endpoint, T>(
     endpoint: &E,
     config: &ClusterConfig,
     request: Msg,
     timeout: Duration,
-    matcher: impl FnMut(&Msg) -> Option<T>,
+    matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
     round_trip_per_server(endpoint, config, |_| request.clone(), timeout, matcher)
 }
@@ -460,7 +500,7 @@ fn round_trip_per_server<E: Endpoint, T>(
     config: &ClusterConfig,
     mut request_for: impl FnMut(ServerId) -> Msg,
     timeout: Duration,
-    mut matcher: impl FnMut(&Msg) -> Option<T>,
+    mut matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
     // One batched broadcast: the transport amortizes its locking over the
     // whole fan-out, and a dead server is exactly the failure the quorum
@@ -484,7 +524,7 @@ fn round_trip_per_server<E: Endpoint, T>(
         }
         match endpoint.inbox().recv_timeout(deadline - now) {
             Ok((from, msg)) => {
-                if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(&msg)) {
+                if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(msg)) {
                     acks.insert(sid, payload);
                 }
             }

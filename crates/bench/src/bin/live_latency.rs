@@ -17,6 +17,11 @@
 //!    history; the delta wire with acknowledged-floor GC stays flat, which
 //!    is what lets W2R1's one-round-trip advantage survive long runs.
 //!
+//! With `--audit` every latency-table deployment also carries the
+//! streaming linearizability auditor at sample rate 1.0 (closed-loop
+//! traffic is cheap to audit in full); the run fails on any violation and
+//! the per-row audit counters are mirrored into the JSON.
+//!
 //! Emits `BENCH_live_latency.json`. With `--assert-bounded`, exits non-zero
 //! if the delta wire's bytes-per-fast-read grew materially across the run —
 //! the CI regression gate for the bounded-state fast path.
@@ -27,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use mwr_bench::args::Args;
 use mwr_core::{FastWire, Protocol};
-use mwr_register::{Backend, Deployment, LiveHandle};
+use mwr_register::{AuditConfig, AuditReport, Backend, Deployment, LiveHandle};
 use mwr_runtime::EndpointFactory;
 use mwr_types::{ClusterConfig, Value};
 use mwr_workload::TextTable;
@@ -131,6 +136,7 @@ struct Row {
     wr: (u128, u128, u128),
     rd: (u128, u128, u128),
     rd_bytes_avg: u64,
+    audit: Option<AuditReport>,
 }
 
 impl Row {
@@ -169,6 +175,7 @@ where
         wr: percentiles(m.write),
         rd: percentiles(m.read),
         rd_bytes_avg,
+        audit: None,
     }
 }
 
@@ -327,7 +334,7 @@ fn to_json(table: &[(&str, Vec<Row>)], growth: &[Growth]) -> String {
             emitted += 1;
             let _ = write!(
                 s,
-                "    {{\"transport\": \"{}\", \"protocol\": \"{}\", \"ok\": \"{}\", \"wr_p50_us\": {}, \"wr_p95_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p95_us\": {}, \"rd_p99_us\": {}, \"rd_bytes_avg\": {}}}",
+                "    {{\"transport\": \"{}\", \"protocol\": \"{}\", \"ok\": \"{}\", \"wr_p50_us\": {}, \"wr_p95_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p95_us\": {}, \"rd_p99_us\": {}, \"rd_bytes_avg\": {}",
                 transport,
                 row.label,
                 row.ok,
@@ -339,6 +346,16 @@ fn to_json(table: &[(&str, Vec<Row>)], growth: &[Growth]) -> String {
                 row.rd.2,
                 row.rd_bytes_avg,
             );
+            if let Some(audit) = &row.audit {
+                let _ = write!(
+                    s,
+                    ", \"ops_audited\": {}, \"audit_window_hwm\": {}, \"audit_ok\": {}",
+                    audit.stats.audited,
+                    audit.stats.window_high_water,
+                    audit.verdict.is_ok(),
+                );
+            }
+            s.push('}');
             s.push_str(if emitted < total { ",\n" } else { "\n" });
         }
     }
@@ -362,15 +379,17 @@ fn row_on<F: EndpointFactory>(handle: LiveHandle<F>, label: &str) -> Row {
             move || client.read().ok().map(|_| client.last_read_payload_bytes())
         })
         .collect();
-    let row = measure_row(label, writers, readers);
-    handle.shutdown();
+    let mut row = measure_row(label, writers, readers);
+    let (_handled, audit) = handle.shutdown_audited();
+    row.audit = audit;
     row
 }
 
 fn main() {
     let args = Args::parse();
-    args.expect_known("live_latency", &["assert-bounded"], &[]);
+    args.expect_known("live_latency", &["assert-bounded", "audit"], &[]);
     let assert_bounded = args.flag("assert-bounded");
+    let audit = args.flag("audit");
     let config = ClusterConfig::new(5, 1, 2, 2).expect("valid config");
     println!("== L1: live wall-clock latency (S=5 t=1 R=2 W=2, {OPS_PER_CLIENT} ops/client) ==\n");
 
@@ -380,8 +399,11 @@ fn main() {
         let mut table = TextTable::new(COLUMNS.to_vec());
         let mut rows = Vec::new();
         for (protocol, wire, label) in row_plan(&config) {
-            let deployment =
+            let mut deployment =
                 Deployment::new(config).protocol(protocol).fast_wire(wire).backend(backend);
+            if audit {
+                deployment = deployment.audit(AuditConfig::default());
+            }
             let row = match backend {
                 Backend::InMemory => {
                     row_on(deployment.in_memory().expect("in-memory cluster"), &label)
@@ -394,6 +416,31 @@ fn main() {
         }
         println!("{table}");
         table_json.push((transport, rows));
+    }
+
+    if audit {
+        let reports: Vec<&AuditReport> = table_json
+            .iter()
+            .flat_map(|(_, rows)| rows.iter().filter_map(|r| r.audit.as_ref()))
+            .collect();
+        let audited: u64 = reports.iter().map(|r| r.stats.audited).sum();
+        let hwm = reports.iter().map(|r| r.stats.window_high_water).max().unwrap_or(0);
+        let violations = reports.iter().filter(|r| !r.verdict.is_ok()).count();
+        println!(
+            "audit (every op): {audited} ops audited across {} rows, \
+             max window high-water {hwm}, {violations} violation(s)\n",
+            reports.len(),
+        );
+        if violations > 0 {
+            for (transport, rows) in &table_json {
+                for row in rows {
+                    if let Some(v) = row.audit.as_ref().and_then(|a| a.verdict.violation()) {
+                        eprintln!("VIOLATION [{transport} {}]: {v}", row.label);
+                    }
+                }
+            }
+            std::process::exit(1);
+        }
     }
 
     println!(

@@ -18,6 +18,13 @@
 //! The cluster is S = 11, t = 1: large enough that W2R1's fast-read
 //! condition `R < S/t − 2 = 9` still holds at the sweep's maximum R = 8.
 //!
+//! With `--audit` every sweep point additionally carries the streaming
+//! linearizability auditor (`--audit-sample`, default 0.1 of reads; writes
+//! are always sampled) and the run fails on any violation. The unfiltered
+//! run always measures the auditor's overhead — the most contended
+//! in-memory point driven twice, bare and audited — and reports it in the
+//! output and the JSON artifact.
+//!
 //! Emits `BENCH_live_throughput.json`. With `--assert-floor`, exits
 //! non-zero if any pipeline/channel sweep point completes fewer than
 //! `--floor` ops/sec (default 50) — the CI liveness-under-load gate.
@@ -27,7 +34,7 @@ use std::time::Duration;
 
 use mwr_bench::args::Args;
 use mwr_core::Protocol;
-use mwr_register::{Backend, Deployment, LiveHandle, TcpTuning};
+use mwr_register::{AuditConfig, AuditReport, Backend, Deployment, LiveHandle, TcpTuning};
 use mwr_runtime::EndpointFactory;
 use mwr_types::ClusterConfig;
 use mwr_workload::{TextTable, ThroughputReport};
@@ -48,6 +55,7 @@ struct Row {
     wr_p99_us: u64,
     rd_p50_us: u64,
     rd_p99_us: u64,
+    audit: Option<AuditReport>,
 }
 
 impl Row {
@@ -58,6 +66,7 @@ impl Row {
         writers: usize,
         readers: usize,
         mut report: ThroughputReport,
+        audit: Option<AuditReport>,
     ) -> Row {
         Row {
             transport,
@@ -71,6 +80,7 @@ impl Row {
             wr_p99_us: report.writes.percentile(99.0).ticks(),
             rd_p50_us: report.reads.percentile(50.0).ticks(),
             rd_p99_us: report.reads.percentile(99.0).ticks(),
+            audit,
         }
     }
 
@@ -91,10 +101,13 @@ impl Row {
 }
 
 /// Deploys, drives open-loop, shuts down; generic over the transport.
-fn drive_on<F: EndpointFactory>(handle: LiveHandle<F>, duration: Duration) -> ThroughputReport {
+fn drive_on<F: EndpointFactory>(
+    handle: LiveHandle<F>,
+    duration: Duration,
+) -> (ThroughputReport, Option<AuditReport>) {
     let report = handle.run_open_loop(duration).expect("open-loop drive");
-    handle.shutdown();
-    report
+    let (_handled, audit) = handle.shutdown_audited();
+    (report, audit)
 }
 
 fn measure_point(
@@ -104,10 +117,14 @@ fn measure_point(
     writers: usize,
     readers: usize,
     duration: Duration,
+    audit: Option<AuditConfig>,
 ) -> Row {
     let config = ClusterConfig::new(SERVERS, FAULTS, readers, writers).expect("valid sweep config");
-    let deployment = Deployment::new(config).protocol(protocol);
-    let report = match send_path {
+    let mut deployment = Deployment::new(config).protocol(protocol);
+    if let Some(cfg) = audit {
+        deployment = deployment.audit(cfg);
+    }
+    let (report, audit) = match send_path {
         "channel" => drive_on(
             deployment.backend(Backend::InMemory).in_memory().expect("in-memory cluster"),
             duration,
@@ -126,7 +143,47 @@ fn measure_point(
         ),
         other => unreachable!("unknown send path {other}"),
     };
-    Row::from_report(transport, send_path, protocol, writers, readers, report)
+    Row::from_report(transport, send_path, protocol, writers, readers, report, audit)
+}
+
+/// The audit-overhead pair: the most contended in-memory point driven
+/// bare and then audited at `rate`, same duration.
+struct AuditOverhead {
+    rate: f64,
+    base_ops_per_sec: f64,
+    audited_ops_per_sec: f64,
+    report: AuditReport,
+}
+
+impl AuditOverhead {
+    fn overhead_pct(&self) -> f64 {
+        (1.0 - self.audited_ops_per_sec / self.base_ops_per_sec.max(1e-9)) * 100.0
+    }
+}
+
+fn measure_audit_overhead(
+    protocol: Protocol,
+    clients: usize,
+    duration: Duration,
+    rate: f64,
+) -> AuditOverhead {
+    let bare = measure_point("in-memory", "channel", protocol, clients, clients, duration, None);
+    let audited = measure_point(
+        "in-memory",
+        "channel",
+        protocol,
+        clients,
+        clients,
+        duration,
+        Some(AuditConfig::sampled(rate)),
+    );
+    let report = audited.audit.expect("audited point carries a report");
+    AuditOverhead {
+        rate,
+        base_ops_per_sec: bare.ops_per_sec,
+        audited_ops_per_sec: audited.ops_per_sec,
+        report,
+    }
 }
 
 /// Hand-rolled JSON (the workspace vendors no serde_json).
@@ -135,12 +192,29 @@ fn to_json(
     rows: &[Row],
     headline: &[(Protocol, f64, f64, f64)],
     geomean: f64,
+    audit: Option<&AuditOverhead>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"experiment\": \"live_throughput\",\n");
     let _ = writeln!(s, "  \"duration_ms\": {},", duration.as_millis());
     let _ = writeln!(s, "  \"servers\": {SERVERS},");
     let _ = writeln!(s, "  \"geomean_pipeline_over_legacy\": {geomean:.2},");
+    if let Some(a) = audit {
+        let _ = writeln!(
+            s,
+            "  \"audit\": {{\"sample_rate\": {:.2}, \"base_ops_per_sec\": {:.1}, \
+             \"audited_ops_per_sec\": {:.1}, \"overhead_pct\": {:.1}, \"ops_audited\": {}, \
+             \"truncated\": {}, \"window_high_water\": {}, \"violations\": {}}},",
+            a.rate,
+            a.base_ops_per_sec,
+            a.audited_ops_per_sec,
+            a.overhead_pct(),
+            a.report.stats.audited,
+            a.report.stats.truncated,
+            a.report.stats.window_high_water,
+            usize::from(!a.report.verdict.is_ok()),
+        );
+    }
     s.push_str("  \"contended_tcp\": [\n");
     for (i, (protocol, pipeline, legacy, speedup)) in headline.iter().enumerate() {
         let _ = write!(
@@ -160,7 +234,7 @@ fn to_json(
             s,
             "    {{\"transport\": \"{}\", \"send_path\": \"{}\", \"protocol\": \"{}\", \
              \"writers\": {}, \"readers\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
-             \"wr_p50_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p99_us\": {}}}",
+             \"wr_p50_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p99_us\": {}",
             row.transport,
             row.send_path,
             row.protocol.name(),
@@ -173,6 +247,16 @@ fn to_json(
             row.rd_p50_us,
             row.rd_p99_us,
         );
+        if let Some(a) = &row.audit {
+            let _ = write!(
+                s,
+                ", \"ops_audited\": {}, \"audit_window_hwm\": {}, \"audit_ok\": {}",
+                a.stats.audited,
+                a.stats.window_high_water,
+                a.verdict.is_ok(),
+            );
+        }
+        s.push('}');
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
@@ -183,12 +267,18 @@ fn main() {
     let args = Args::parse();
     args.expect_known(
         "live_throughput",
-        &["quick", "assert-floor", "legacy-send"],
-        &["duration-ms", "floor", "protocol", "transport"],
+        &["quick", "assert-floor", "legacy-send", "audit"],
+        &["duration-ms", "floor", "protocol", "transport", "audit-sample"],
     );
     let quick = args.flag("quick");
     let assert_floor = args.flag("assert-floor");
     let legacy_only = args.flag("legacy-send");
+    let audit_sweep = args.flag("audit");
+    let audit_rate = args
+        .get("audit-sample")
+        .map_or(0.1, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
+    let sweep_audit =
+        audit_sweep.then(|| AuditConfig { sample_rate: audit_rate, ..AuditConfig::default() });
     let duration =
         Duration::from_millis(args.get_u64("duration-ms", if quick { 120 } else { 250 }));
     let floor = args.get_u64("floor", 50) as f64;
@@ -221,11 +311,15 @@ fn main() {
         for &writers in client_counts {
             for &readers in client_counts {
                 if transport_filter.as_deref() != Some("tcp") {
-                    rows.push(measure_point("in-memory", "channel", protocol, writers, readers, duration));
+                    rows.push(measure_point(
+                        "in-memory", "channel", protocol, writers, readers, duration, sweep_audit,
+                    ));
                 }
                 if transport_filter.as_deref() != Some("in-memory") {
                     for path in tcp_paths {
-                        rows.push(measure_point("tcp", path, protocol, writers, readers, duration));
+                        rows.push(measure_point(
+                            "tcp", path, protocol, writers, readers, duration, sweep_audit,
+                        ));
                     }
                 }
             }
@@ -240,6 +334,43 @@ fn main() {
         table.row(row.cells());
     }
     println!("{table}");
+
+    if audit_sweep {
+        let audited: u64 = rows.iter().filter_map(|r| r.audit.as_ref()).map(|a| a.stats.audited).sum();
+        let hwm = rows
+            .iter()
+            .filter_map(|r| r.audit.as_ref())
+            .map(|a| a.stats.window_high_water)
+            .max()
+            .unwrap_or(0);
+        let violations: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.audit.as_ref().is_some_and(|a| !a.verdict.is_ok()))
+            .collect();
+        println!(
+            "audit (sample rate {audit_rate}): {audited} ops audited across {} points, \
+             max window high-water {hwm}, {} violation(s)",
+            rows.len(),
+            violations.len(),
+        );
+        for row in &violations {
+            eprintln!(
+                "AUDIT VIOLATION: {} {} {} {}x{}: {}",
+                row.transport,
+                row.send_path,
+                row.protocol.name(),
+                row.writers,
+                row.readers,
+                row.audit
+                    .as_ref()
+                    .and_then(|a| a.verdict.violation())
+                    .expect("filtered on violating rows"),
+            );
+        }
+        if !violations.is_empty() {
+            std::process::exit(1);
+        }
+    }
 
     // Headline: the most contended TCP point per protocol, pipeline vs
     // legacy, plus the geometric-mean speedup over every matched TCP point
@@ -297,7 +428,26 @@ fn main() {
     }
 
     if protocols.len() == 2 && transport_filter.is_none() {
-        let json = to_json(duration, &rows, &headline, geomean);
+        // The auditor's cost, measured where it hurts most: the most
+        // contended in-memory point (TCP points are transport-bound and
+        // would understate it), bare vs audited at the sample rate.
+        let overhead =
+            measure_audit_overhead(Protocol::W2R1, max_clients, duration, audit_rate);
+        assert!(
+            overhead.report.verdict.is_ok(),
+            "audited overhead run found a violation: {}",
+            overhead.report
+        );
+        println!(
+            "audit overhead (in-memory {max_clients}x{max_clients}, sample rate {:.2}): \
+             {:.0} ops/s bare vs {:.0} ops/s audited ({:+.1}%), {}",
+            overhead.rate,
+            overhead.base_ops_per_sec,
+            overhead.audited_ops_per_sec,
+            -overhead.overhead_pct(),
+            overhead.report,
+        );
+        let json = to_json(duration, &rows, &headline, geomean, Some(&overhead));
         std::fs::write("BENCH_live_throughput.json", &json)
             .expect("write BENCH_live_throughput.json");
         println!("wrote BENCH_live_throughput.json");

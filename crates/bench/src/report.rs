@@ -106,6 +106,12 @@ pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
 /// Renders the markdown delta table comparing `fresh` against `baseline`,
 /// matching points by (transport, send path, protocol, W, R). Returns the
 /// table plus the geometric-mean throughput ratio over matched points.
+///
+/// Points only one side measured are listed (`new point`) or counted (a
+/// quick sweep legitimately re-measures a subset of the full baseline)
+/// rather than silently shifting the comparison, and a point with a zero
+/// or non-finite throughput on either side renders as `n/a` and stays out
+/// of the geomean instead of exploding it.
 pub fn delta_table(baseline: &[SweepPoint], fresh: &[SweepPoint]) -> (String, f64) {
     let mut out = String::new();
     out.push_str("| point | baseline ops/s | fresh ops/s | Δ ops/s | rd p50 µs |\n");
@@ -116,14 +122,29 @@ pub fn delta_table(baseline: &[SweepPoint], fresh: &[SweepPoint]) -> (String, f6
         let Some(b) = baseline.iter().find(|b| b.key() == f.key()) else {
             let _ = writeln!(
                 out,
-                "| {} | — | {:.0} | new | {} |",
+                "| {} | — | {:.0} | new point | {} |",
                 f.label(),
                 f.ops_per_sec,
                 f.rd_p50_us
             );
             continue;
         };
-        let ratio = f.ops_per_sec / b.ops_per_sec.max(1e-9);
+        let usable = |ops: f64| ops.is_finite() && ops > 0.0;
+        if !usable(b.ops_per_sec) || !usable(f.ops_per_sec) {
+            // A side that recorded no ops (crashed run, zero duration) has
+            // no meaningful ratio.
+            let _ = writeln!(
+                out,
+                "| {} | {:.0} | {:.0} | n/a | {} → {} |",
+                f.label(),
+                b.ops_per_sec,
+                f.ops_per_sec,
+                b.rd_p50_us,
+                f.rd_p50_us
+            );
+            continue;
+        }
+        let ratio = f.ops_per_sec / b.ops_per_sec;
         log_sum += ratio.ln();
         matched += 1;
         let _ = writeln!(
@@ -137,6 +158,10 @@ pub fn delta_table(baseline: &[SweepPoint], fresh: &[SweepPoint]) -> (String, f6
             f.rd_p50_us
         );
     }
+    let unmeasured = baseline
+        .iter()
+        .filter(|b| !fresh.iter().any(|f| f.key() == b.key()))
+        .count();
     let geomean = if matched > 0 { (log_sum / matched as f64).exp() } else { 1.0 };
     let _ = writeln!(
         out,
@@ -144,6 +169,12 @@ pub fn delta_table(baseline: &[SweepPoint], fresh: &[SweepPoint]) -> (String, f6
          (run-to-run noise on the 1-core CI box is ±10–20%; the hard gate is \
          `--assert-floor`, this table is the trend signal)"
     );
+    if unmeasured > 0 {
+        let _ = writeln!(
+            out,
+            "\n{unmeasured} baseline point(s) not re-measured in this run."
+        );
+    }
     (out, geomean)
 }
 
@@ -202,8 +233,38 @@ mod tests {
         let (table, geomean) = delta_table(&baseline, &fresh);
         assert!(table.contains("+10.0%"), "{table}");
         assert!(table.contains("-10.0%"), "{table}");
-        assert!(table.contains("| new |"), "{table}");
+        assert!(table.contains("| new point |"), "{table}");
         assert!((geomean - (1.10f64 * 0.90).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_throughput_points_render_na_and_stay_out_of_the_geomean() {
+        let baseline = parse_live_throughput(SAMPLE).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[0].ops_per_sec *= 1.10;
+        // A crashed baseline point must not divide-by-zero its ratio into
+        // the geomean.
+        let mut dead_baseline = baseline.clone();
+        dead_baseline[1].ops_per_sec = 0.0;
+        let (table, geomean) = delta_table(&dead_baseline, &fresh);
+        assert!(table.contains("| n/a |"), "{table}");
+        assert!((geomean - 1.10).abs() < 1e-9, "geomean {geomean} should only see the live point");
+        // Same for a crashed fresh point.
+        let mut dead_fresh = fresh.clone();
+        dead_fresh[1].ops_per_sec = f64::NAN;
+        let (table, geomean) = delta_table(&baseline, &dead_fresh);
+        assert!(table.contains("| n/a |"), "{table}");
+        assert!((geomean - 1.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmeasured_baseline_points_are_counted_not_silently_dropped() {
+        let baseline = parse_live_throughput(SAMPLE).unwrap();
+        let fresh = vec![baseline[0].clone()];
+        let (table, _) = delta_table(&baseline, &fresh);
+        assert!(table.contains("1 baseline point(s) not re-measured"), "{table}");
+        let (full_table, _) = delta_table(&baseline, &baseline.clone());
+        assert!(!full_table.contains("not re-measured"), "{full_table}");
     }
 
     #[test]

@@ -47,12 +47,16 @@ mod history;
 mod mwa;
 mod search;
 mod spectrum;
+mod stream;
 
 pub use graph::{check_atomicity, Verdict, Violation, WitnessNode};
 pub use history::{History, HistoryError, Operation, Timestamp};
 pub use mwa::{check_mwa, MwaViolation};
 pub use search::{search_atomicity, MAX_SEARCH_OPS};
 pub use spectrum::{check_regular, check_safe};
+pub use stream::{AuditReport, AuditStats, StreamConfig, StreamingAuditor};
+
+pub use mwr_core::AuditRecord;
 
 use mwr_core::ClientEvent;
 use mwr_sim::SimTime;

@@ -1,0 +1,813 @@
+//! Streaming linearizability auditing over a bounded window.
+//!
+//! [`StreamingAuditor`] consumes sampled [`AuditRecord`]s from a live
+//! deployment and maintains the order-graph atomicity check *online*: every
+//! few completions it re-judges the retained window with
+//! [`check_atomicity`], then truncates the settled prefix so the window
+//! stays bounded while traffic runs indefinitely.
+//!
+//! # Why truncation is sound
+//!
+//! Records arrive through one channel, and each client emits its `Invoked`
+//! record before the operation takes effect and its `Completed` record
+//! after. Channel arrival order is therefore a faithful real-time witness:
+//! if `a`'s completion record arrived before `b`'s invocation record, then
+//! `a` really finished before `b` started. The auditor stamps every record
+//! with `(at_micros, arrival index)`, so every op in the window
+//! real-time-precedes every op that will ever arrive later.
+//!
+//! A completed operation `o` is dropped from the window only when all of:
+//!
+//! 1. **`o` precedes everything open** — `o.completed` is below the
+//!    earliest invocation among pending and source-awaiting ops. Retained
+//!    completed ops may overlap `o`, but every `o`-versus-retained
+//!    constraint was already judged by the check that just passed, with
+//!    both intervals final. Open ops and all future arrivals get even
+//!    later stamps, so `o` real-time-precedes every op the checker will
+//!    ever see again: no future edge *into* `o` can form, and `o`'s only
+//!    remaining obligations point forward — which the floors below carry.
+//! 2. **(writes) nobody in the window reads it** — a retained read of a
+//!    dropped write would turn into a spurious `ReadWithoutSource`.
+//! 3. **(writes) a settled read dominates it** — there exists a completed
+//!    read `fr` with `tag(fr) > tag(o)` that `o` real-time-precedes
+//!    (`fr.invoked > o.completed`) and that itself precedes every pending
+//!    op and all future arrivals (`fr.completed` below the earliest
+//!    pending/awaiting invocation). Any later read returning `tag(o)` then
+//!    closes the cycle `fr → w(tag(o)) → fr` (rule 4 plus real time), i.e.
+//!    it is a *genuine* new/old inversion — which is exactly how the
+//!    auditor reports it: a read returning a tag at or below the truncated
+//!    line is flagged without needing the dropped write back.
+//!
+//! What the future still owes the dropped prefix is carried by two
+//! *floors*, judged when later reads are admitted:
+//!
+//! - The **write floor** (the truncated line) is the highest dropped write
+//!   tag. A later read returning a tag at or below it — with no matching
+//!   source retained or in flight — is a new/old inversion: the dominating
+//!   frontier read of condition 3 finished before that read started.
+//! - The **read floor** is the highest value any dropped read observed. A
+//!   later read returning strictly less (again with no source retained or
+//!   in flight) regresses behind that settled observation; equality is
+//!   legal — one source may serve many reads.
+//!
+//! Writes are *not* judged against the floors: a write may legally mint a
+//! tag below values already observed so long as nobody reads it — it
+//! linearizes right after its invocation with no observer, and tag order
+//! between writes is only constrained through reads. Reads of such a
+//! write are legal too (the write intervenes between the old observation
+//! and the new read), which is why a below-floor read first looks for a
+//! retained or in-flight source and is flagged only when neither can
+//! exist. The one write flagged outright is an exact re-mint of the
+//! truncated line — a certain duplicate of a dropped tag. (Duplicates of
+//! dropped tags strictly below the line are the one post-hoc judgment
+//! truncation gives up: remembering every dropped tag forever would
+//! unbound the auditor's memory.)
+//!
+//! Floor violations are genuine, not conservative: every dropped op
+//! completed before each later op was invoked (condition 1 plus arrival
+//! order), so the real-time edge the dropped witness would have
+//! contributed is certain — only the witness itself is gone, which is why
+//! these violations carry a compressed, single-node witness.
+//!
+//! Condition 3 is the stream-observed form of "settled at the GC
+//! acknowledged floor": once the cluster floor reaches `f`, every reader
+//! has completed a read at or above `f` (readers only read), so the
+//! dominating read exists and the frontier tracks the floor. The auditor
+//! uses the in-stream read frontier as the exact witness and records
+//! [`AuditRecord::FloorAdvance`] announcements as corroboration (and as a
+//! cue to attempt truncation).
+//!
+//! # Window-boundary (pending) operations
+//!
+//! Ops that started before the truncation line but have not finished are
+//! *never* dropped: they are held outside the checked history (so the
+//! checker's [`Timestamp::MAX`] open-op rejection never fires), their
+//! invocation stamps hold the truncation line back (condition 1), and they
+//! re-enter the window at their true interval when they complete. Reads
+//! whose source write is still in flight (the value is visible at servers
+//! before the writer's second round finishes) wait in a side pocket and are
+//! spliced into the window when the write completes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mwr_core::{AuditRecord, OpId, OpKind, OpResult};
+use mwr_sim::SimTime;
+use mwr_types::TaggedValue;
+
+use crate::graph::{check_atomicity, Verdict, Violation, WitnessNode};
+use crate::history::{History, HistoryError, Operation, Timestamp};
+
+/// Tuning for a [`StreamingAuditor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Soft cap on retained completed ops; the high-water mark in
+    /// [`AuditStats`] reports how close traffic came to it. Truncation is
+    /// driven by settledness, not by this cap — the cap only forces an
+    /// early check-and-truncate attempt when exceeded.
+    pub window: usize,
+    /// Completions between incremental [`check_atomicity`] passes.
+    pub check_interval: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { window: 4096, check_interval: 64 }
+    }
+}
+
+/// Counters describing what a [`StreamingAuditor`] has seen and done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditStats {
+    /// Total records observed (including any after a violation).
+    pub records: u64,
+    /// Completed operations admitted to the checked window.
+    pub audited: u64,
+    /// Settled operations dropped from the window.
+    pub truncated: u64,
+    /// Peak live footprint: retained + pending + source-awaiting ops.
+    pub window_high_water: usize,
+    /// Incremental checker passes run.
+    pub checks: u64,
+    /// Highest GC floor announced via [`AuditRecord::FloorAdvance`].
+    pub announced_floor: Option<TaggedValue>,
+    /// Highest tag returned by a completed read (the truncation frontier).
+    pub read_frontier: Option<TaggedValue>,
+    /// Completions with no matching invocation record (dropped samples).
+    pub orphaned: u64,
+}
+
+/// Final report from [`StreamingAuditor::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The verdict over everything observed.
+    pub verdict: Verdict,
+    /// Stream counters.
+    pub stats: AuditStats,
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} audited, {} truncated, window hwm {}, {} checks)",
+            if self.verdict.is_ok() { "ok" } else { "VIOLATION" },
+            self.stats.audited,
+            self.stats.truncated,
+            self.stats.window_high_water,
+            self.stats.checks,
+        )
+    }
+}
+
+/// Online atomicity judge over a floor-truncated window of live traffic.
+///
+/// Feed records with [`observe`](Self::observe); poll
+/// [`verdict`](Self::verdict) between batches; call
+/// [`finish`](Self::finish) at shutdown for the final report. The first
+/// violation is sticky: subsequent records are counted but not checked.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_check::{AuditRecord, StreamingAuditor};
+/// use mwr_core::{OpKind, OpResult};
+/// use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+///
+/// let mut auditor = StreamingAuditor::default();
+/// let w = ClientId::writer(0);
+/// let tv = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(7));
+/// auditor.observe(AuditRecord::Invoked {
+///     client: w, seq: 0, kind: OpKind::Write(Value::new(7)), at_micros: 0,
+/// });
+/// auditor.observe(AuditRecord::Completed {
+///     client: w, seq: 0, result: OpResult::Written(tv), at_micros: 5,
+/// });
+/// let report = auditor.finish();
+/// assert!(report.verdict.is_ok());
+/// assert_eq!(report.stats.audited, 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamingAuditor {
+    cfg: StreamConfig,
+    /// Arrival counter; doubles as the timestamp tiebreaker (starts at 1 so
+    /// [`Timestamp::MIN`] stays strictly first).
+    arrivals: u64,
+    /// Invoked but not completed: op → (kind, invocation stamp).
+    pending: BTreeMap<OpId, (OpKind, Timestamp)>,
+    /// Completed ops retained for checking, sorted by completion stamp.
+    window: Vec<Operation>,
+    /// Completed reads whose source write has not completed yet.
+    awaiting_source: BTreeMap<TaggedValue, Vec<Operation>>,
+    /// Tags of writes currently in the window.
+    window_write_tags: BTreeMap<TaggedValue, ()>,
+    /// Highest tag among truncated writes; a later read at or below this
+    /// line is a genuine new/old inversion (see module docs).
+    truncated_line: Option<TaggedValue>,
+    /// Highest value observed by a truncated read; a later sourceless read
+    /// strictly below it regresses behind a settled observation (see
+    /// module docs).
+    read_floor: Option<TaggedValue>,
+    since_check: usize,
+    verdict: Verdict,
+    error: Option<HistoryError>,
+    stats: AuditStats,
+}
+
+impl Default for StreamingAuditor {
+    fn default() -> Self {
+        Self::new(StreamConfig::default())
+    }
+}
+
+impl StreamingAuditor {
+    /// A fresh auditor with the given tuning.
+    pub fn new(cfg: StreamConfig) -> Self {
+        StreamingAuditor {
+            cfg: StreamConfig {
+                window: cfg.window.max(1),
+                check_interval: cfg.check_interval.max(1),
+            },
+            arrivals: 0,
+            pending: BTreeMap::new(),
+            window: Vec::new(),
+            awaiting_source: BTreeMap::new(),
+            window_write_tags: BTreeMap::new(),
+            truncated_line: None,
+            read_floor: None,
+            since_check: 0,
+            verdict: Verdict::Ok,
+            error: None,
+            stats: AuditStats::default(),
+        }
+    }
+
+    /// The verdict so far. Sticky: once a violation is recorded the auditor
+    /// stops checking and keeps only counting.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// Stream counters so far.
+    pub fn stats(&self) -> &AuditStats {
+        &self.stats
+    }
+
+    /// A malformed-stream error, if one occurred (a client overlapping its
+    /// own ops — impossible for the blocking runtime clients).
+    pub fn error(&self) -> Option<&HistoryError> {
+        self.error.as_ref()
+    }
+
+    /// Current live footprint: retained + pending + source-awaiting ops.
+    pub fn live_ops(&self) -> usize {
+        self.window.len()
+            + self.pending.len()
+            + self.awaiting_source.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Consume one record.
+    pub fn observe(&mut self, record: AuditRecord) {
+        self.stats.records += 1;
+        if !self.verdict.is_ok() || self.error.is_some() {
+            return;
+        }
+        self.arrivals += 1;
+        let stamp = |arrivals: u64, at_micros: u64| Timestamp {
+            time: SimTime::from_ticks(at_micros),
+            seq: arrivals,
+        };
+        match record {
+            AuditRecord::Invoked { client, seq, kind, at_micros } => {
+                let id = OpId { client, seq };
+                self.pending.insert(id, (kind, stamp(self.arrivals, at_micros)));
+            }
+            AuditRecord::Completed { client, seq, result, at_micros } => {
+                let id = OpId { client, seq };
+                let Some((kind, invoked)) = self.pending.remove(&id) else {
+                    // The invocation record was sampled away or dropped by
+                    // a full channel; without an interval there is nothing
+                    // sound to check.
+                    self.stats.orphaned += 1;
+                    return;
+                };
+                let op = Operation {
+                    id,
+                    kind,
+                    result,
+                    invoked,
+                    completed: stamp(self.arrivals, at_micros),
+                };
+                self.admit(op);
+                self.since_check += 1;
+                if self.since_check >= self.cfg.check_interval
+                    || self.window.len() > self.cfg.window
+                {
+                    self.check_and_truncate();
+                }
+            }
+            AuditRecord::FloorAdvance { floor } => {
+                let advanced = self.stats.announced_floor.is_none_or(|f| floor > f);
+                if advanced {
+                    self.stats.announced_floor = Some(floor);
+                    // The floor moving is the natural moment to try to
+                    // shed settled history.
+                    self.check_and_truncate();
+                }
+            }
+        }
+        self.stats.window_high_water = self.stats.window_high_water.max(self.live_ops());
+    }
+
+    /// Admit a completed op to the window (or park a read that arrived
+    /// before its source write completed).
+    fn admit(&mut self, op: Operation) {
+        match op.result {
+            OpResult::Written(tv) => {
+                if self.truncated_line == Some(tv) {
+                    // An exact re-mint of the highest truncated write tag:
+                    // a duplicate whose original witness is gone, so the
+                    // pair collapses (the post-hoc checker does the same
+                    // for a write producing the initial tag).
+                    self.verdict = Verdict::Violation(Violation::DuplicateWriteTag {
+                        value: tv,
+                        writes: (op.id, op.id),
+                    });
+                    return;
+                }
+                self.window_write_tags.insert(tv, ());
+                self.push_sorted(op);
+                if let Some(readers) = self.awaiting_source.remove(&tv) {
+                    for read in readers {
+                        self.note_read(read.tagged_value());
+                        self.push_sorted(read);
+                        self.stats.audited += 1;
+                    }
+                }
+                self.stats.audited += 1;
+            }
+            OpResult::Read(tv) => {
+                self.note_read(tv);
+                let source_in_flight = self
+                    .pending
+                    .values()
+                    .any(|(kind, _)| matches!(kind, OpKind::Write(v) if *v == tv.value()));
+                if tv == TaggedValue::initial() || self.window_write_tags.contains_key(&tv) {
+                    self.push_sorted(op);
+                    self.stats.audited += 1;
+                } else if source_in_flight {
+                    // The value is visible at the servers before the
+                    // writer's second round completes: park the read and
+                    // splice it in when the write lands. Even a write
+                    // minting a tag below the floors is a legal source for
+                    // reads that overlap it, so this gate comes first.
+                    self.awaiting_source.entry(tv).or_default().push(op);
+                } else if self.truncated_line.is_some_and(|line| tv <= line) {
+                    // No source retained or in flight, and the tag sits at
+                    // or below the truncated line: a dominating read
+                    // completed before this one was even invoked, so
+                    // returning this value is a new/old inversion
+                    // regardless of which write carried it (or whether one
+                    // did).
+                    self.verdict =
+                        Verdict::Violation(Violation::ReadWithoutSource { read: op.id, value: tv });
+                } else if self.read_floor.is_some_and(|floor| tv < floor) {
+                    // A truncated read observed a strictly newer value
+                    // before this read was invoked: new/old inversion with
+                    // the witness compressed to the offending op.
+                    self.verdict =
+                        Verdict::Violation(Violation::Cycle { nodes: vec![WitnessNode::Op(op.id)] });
+                } else {
+                    // No completed source yet and nothing rules one out:
+                    // wait for it.
+                    self.awaiting_source.entry(tv).or_default().push(op);
+                }
+            }
+        }
+    }
+
+    /// Insert keeping the window sorted by completion stamp. Ops almost
+    /// always arrive in completion order; only reads resolved out of
+    /// `awaiting_source` land in the interior.
+    fn push_sorted(&mut self, op: Operation) {
+        let at = self
+            .window
+            .iter()
+            .rposition(|o| o.completed <= op.completed)
+            .map_or(0, |i| i + 1);
+        self.window.insert(at, op);
+    }
+
+    fn note_read(&mut self, tv: TaggedValue) {
+        if self.stats.read_frontier.is_none_or(|f| tv > f) {
+            self.stats.read_frontier = Some(tv);
+        }
+    }
+
+    fn check_and_truncate(&mut self) {
+        self.since_check = 0;
+        self.stats.checks += 1;
+        match History::from_operations(self.window.clone()) {
+            Ok(history) => match check_atomicity(&history) {
+                Verdict::Ok => self.truncate(),
+                violation => self.verdict = violation,
+            },
+            Err(err) => self.error = Some(err),
+        }
+    }
+
+    /// Drop the settled prefix of the window (see module docs for the
+    /// three conditions and why they are exact).
+    fn truncate(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
+        // Earliest invocation among ops that are still open: pending ops
+        // and reads waiting on their source.
+        let open_min = self
+            .pending
+            .values()
+            .map(|(_, invoked)| *invoked)
+            .chain(self.awaiting_source.values().flatten().map(|o| o.invoked))
+            .min()
+            .unwrap_or(Timestamp::MAX);
+        // Condition 1: the settled prefix — ops that completed before any
+        // open op was invoked (the window is completion-sorted, so this is
+        // a prefix). Retained completed ops may overlap the prefix, but
+        // those pairs were judged by the check that just passed; open and
+        // future ops only ever follow it.
+        let settled = self.window.partition_point(|o| o.completed < open_min);
+        if settled == 0 {
+            return;
+        }
+        // Settled dominating reads: completed before every open op, so they
+        // also precede every future arrival. Sorted by invocation with a
+        // suffix max of tags, so "is there a dominating read invoked after
+        // this write completed" is a binary search.
+        let mut frontier: Vec<(Timestamp, TaggedValue)> = self.window[..settled]
+            .iter()
+            .filter(|o| o.is_read())
+            .map(|o| (o.invoked, o.tagged_value()))
+            .collect();
+        frontier.sort_by_key(|&(invoked, _)| invoked);
+        let mut frontier_max = vec![None::<TaggedValue>; frontier.len() + 1];
+        for i in (0..frontier.len()).rev() {
+            let below = frontier_max[i + 1];
+            frontier_max[i] = Some(below.map_or(frontier[i].1, |b: TaggedValue| b.max(frontier[i].1)));
+        }
+        let dominated = |w: &Operation| -> bool {
+            let tag = w.tagged_value();
+            let from = frontier.partition_point(|&(invoked, _)| invoked <= w.completed);
+            frontier_max[from].is_some_and(|best| best > tag)
+        };
+        // Condition 3 bounds the prefix at the first undominated write.
+        let mut cut = self.window[..settled]
+            .iter()
+            .position(|op| op.is_write() && !dominated(op))
+            .unwrap_or(settled);
+        // Condition 2: every retained read's source must stay retained, so
+        // a write whose reader survives the cut pins the prefix at itself.
+        // Shrinking the cut can orphan further writes; iterate to fixpoint
+        // (the cut strictly decreases, so this terminates).
+        let mut reads_of: BTreeMap<TaggedValue, usize> = BTreeMap::new();
+        for op in self.window.iter().filter(|o| o.is_read()) {
+            *reads_of.entry(op.tagged_value()).or_default() += 1;
+        }
+        loop {
+            let mut reads_inside: BTreeMap<TaggedValue, usize> = BTreeMap::new();
+            for op in self.window[..cut].iter().filter(|o| o.is_read()) {
+                *reads_inside.entry(op.tagged_value()).or_default() += 1;
+            }
+            let pinned = self.window[..cut].iter().position(|op| {
+                op.is_write() && {
+                    let tag = op.tagged_value();
+                    reads_of.get(&tag).copied().unwrap_or(0)
+                        > reads_inside.get(&tag).copied().unwrap_or(0)
+                }
+            });
+            match pinned {
+                Some(at) => cut = at,
+                None => break,
+            }
+        }
+        if cut == 0 {
+            return;
+        }
+        for op in &self.window[..cut] {
+            let tv = op.tagged_value();
+            if op.is_write() {
+                self.window_write_tags.remove(&tv);
+                if self.truncated_line.is_none_or(|line| tv > line) {
+                    self.truncated_line = Some(tv);
+                }
+            } else if self.read_floor.is_none_or(|floor| tv > floor) {
+                self.read_floor = Some(tv);
+            }
+        }
+        self.window.drain(..cut);
+        self.stats.truncated += cut as u64;
+    }
+
+    /// Run a final check and produce the report. Reads still waiting for a
+    /// source write that never completed in the stream are reported as
+    /// [`Violation::ReadWithoutSource`] — exactly what the post-hoc checker
+    /// says about the same records.
+    pub fn finish(mut self) -> AuditReport {
+        if self.verdict.is_ok() && self.error.is_none() {
+            self.check_and_truncate();
+        }
+        if self.verdict.is_ok() && self.error.is_none() {
+            if let Some((&value, reads)) = self.awaiting_source.iter().next() {
+                self.verdict =
+                    Verdict::Violation(Violation::ReadWithoutSource { read: reads[0].id, value });
+            }
+        }
+        AuditReport { verdict: self.verdict, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::{ClientId, Tag, Value, WriterId};
+
+    fn tv(ts: u64, writer: u32, value: u64) -> TaggedValue {
+        TaggedValue::new(Tag::new(ts, WriterId::new(writer)), Value::new(value))
+    }
+
+    struct Feed {
+        auditor: StreamingAuditor,
+        micros: u64,
+        seqs: BTreeMap<ClientId, u64>,
+    }
+
+    impl Feed {
+        fn new(cfg: StreamConfig) -> Self {
+            Feed { auditor: StreamingAuditor::new(cfg), micros: 0, seqs: BTreeMap::new() }
+        }
+
+        fn invoke(&mut self, client: ClientId, kind: OpKind) -> u64 {
+            let seq = *self.seqs.entry(client).or_insert(0);
+            self.seqs.insert(client, seq + 1);
+            self.micros += 1;
+            self.auditor.observe(AuditRecord::Invoked {
+                client,
+                seq,
+                kind,
+                at_micros: self.micros,
+            });
+            seq
+        }
+
+        fn complete(&mut self, client: ClientId, seq: u64, result: OpResult) {
+            self.micros += 1;
+            self.auditor.observe(AuditRecord::Completed {
+                client,
+                seq,
+                result,
+                at_micros: self.micros,
+            });
+        }
+
+        fn write(&mut self, writer: u32, value: TaggedValue) {
+            let client = ClientId::writer(writer);
+            let seq = self.invoke(client, OpKind::Write(value.value()));
+            self.complete(client, seq, OpResult::Written(value));
+        }
+
+        fn read(&mut self, reader: u32, value: TaggedValue) {
+            let client = ClientId::reader(reader);
+            let seq = self.invoke(client, OpKind::Read);
+            self.complete(client, seq, OpResult::Read(value));
+        }
+    }
+
+    /// Sequential write/read pairs truncate down to a bounded window.
+    #[test]
+    fn settled_history_is_truncated() {
+        let mut feed = Feed::new(StreamConfig { window: 64, check_interval: 8 });
+        for i in 1..=200u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        let stats = *feed.auditor.stats();
+        assert!(stats.truncated > 300, "truncated {}", stats.truncated);
+        assert!(
+            stats.window_high_water <= 64,
+            "window high-water {} should stay near the check interval",
+            stats.window_high_water
+        );
+        let report = feed.auditor.finish();
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+    }
+
+    /// A pending op invoked before the truncation line pins the window:
+    /// nothing behind its invocation is dropped, and it is judged at its
+    /// true interval once it completes.
+    #[test]
+    fn pending_op_holds_the_window_open() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 4 });
+        let reader = ClientId::reader(1);
+        feed.write(0, tv(1, 0, 1));
+        let slow = feed.invoke(reader, OpKind::Read);
+        for i in 2..=40u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        // The slow read's invocation stamp fences truncation.
+        assert_eq!(feed.auditor.stats().truncated, 0);
+        assert!(feed.auditor.pending.len() == 1);
+        // It completes with the value current at its invocation: legal
+        // (concurrent with everything since), and now history can settle.
+        feed.complete(reader, slow, OpResult::Read(tv(1, 0, 1)));
+        for i in 41..=60u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        let report = feed.auditor.finish();
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+        assert!(report.stats.truncated > 0);
+    }
+
+    /// A stale read arriving after its source write was truncated is still
+    /// flagged: the truncated line stands in for the dropped write.
+    #[test]
+    fn stale_read_below_truncated_line_is_flagged() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 2 });
+        for i in 1..=30u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        assert!(feed.auditor.stats().truncated > 0, "history should have settled");
+        assert!(
+            feed.auditor.truncated_line.is_some_and(|line| line >= tv(5, 0, 5)),
+            "the truncated line should cover the stale tag"
+        );
+        feed.read(1, tv(5, 0, 5));
+        let report = feed.auditor.finish();
+        match report.verdict {
+            Verdict::Violation(Violation::ReadWithoutSource { value, .. }) => {
+                assert_eq!(value, tv(5, 0, 5));
+            }
+            other => panic!("expected stale-read violation, got {other:?}"),
+        }
+    }
+
+    /// A read may legally return a write that is still in flight; the read
+    /// waits in the side pocket and is judged when the write completes.
+    #[test]
+    fn read_of_inflight_write_waits_for_the_source() {
+        let mut feed = Feed::new(StreamConfig::default());
+        feed.write(0, tv(1, 0, 1));
+        let writer = ClientId::writer(1);
+        let value = tv(2, 1, 7);
+        let wseq = feed.invoke(writer, OpKind::Write(value.value()));
+        feed.read(0, value); // sees the in-flight write at the servers
+        assert!(feed.auditor.verdict().is_ok());
+        feed.complete(writer, wseq, OpResult::Written(value));
+        let report = feed.auditor.finish();
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+    }
+
+    /// A read of a value nobody ever wrote is a violation at finish.
+    #[test]
+    fn thin_air_read_is_flagged_at_finish() {
+        let mut feed = Feed::new(StreamConfig::default());
+        feed.write(0, tv(1, 0, 1));
+        feed.read(0, tv(9, 1, 99));
+        let report = feed.auditor.finish();
+        match report.verdict {
+            Verdict::Violation(Violation::ReadWithoutSource { value, .. }) => {
+                assert_eq!(value, tv(9, 1, 99));
+            }
+            other => panic!("expected thin-air violation, got {other:?}"),
+        }
+    }
+
+    /// New/old inversion inside the window is caught by the incremental
+    /// check, before any truncation.
+    #[test]
+    fn inversion_in_window_is_caught() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 1 });
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        // Two concurrent writes, then sequential reads seeing new-then-old.
+        let w0 = ClientId::writer(0);
+        let w1 = ClientId::writer(1);
+        let s0 = feed.invoke(w0, OpKind::Write(v1.value()));
+        let s1 = feed.invoke(w1, OpKind::Write(v2.value()));
+        feed.complete(w0, s0, OpResult::Written(v1));
+        feed.complete(w1, s1, OpResult::Written(v2));
+        // Overlapping reads (new then old) keep both in the window: the
+        // pending second read fences truncation until it completes.
+        let r0 = ClientId::reader(0);
+        let r1 = ClientId::reader(1);
+        let t0 = feed.invoke(r0, OpKind::Read);
+        let t1 = feed.invoke(r1, OpKind::Read);
+        feed.complete(r0, t0, OpResult::Read(v2));
+        feed.complete(r1, t1, OpResult::Read(v1));
+        let report = feed.auditor.finish();
+        assert!(
+            matches!(report.verdict, Verdict::Violation(Violation::Cycle { .. })),
+            "expected a cycle, got {:?}",
+            report.verdict
+        );
+    }
+
+    /// A fresh write minting a tag below the truncated line is legal — it
+    /// linearizes after its invocation with no observer — and so is a
+    /// subsequent read of it (the write intervenes between the settled
+    /// observations and the read).
+    #[test]
+    fn fresh_write_below_the_line_is_legal_and_readable() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 2 });
+        for i in 10..=40u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        assert!(feed.auditor.stats().truncated > 0, "history should have settled");
+        assert!(feed.auditor.truncated_line.is_some_and(|line| line > tv(5, 1, 5)));
+        feed.write(1, tv(5, 1, 5));
+        feed.read(1, tv(5, 1, 5));
+        let report = feed.auditor.finish();
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+    }
+
+    /// A write re-minting the truncated line exactly is a duplicate of a
+    /// dropped tag and is flagged outright.
+    #[test]
+    fn duplicate_of_a_truncated_write_tag_is_flagged() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 2 });
+        for i in 1..=30u64 {
+            let value = tv(i, 0, i);
+            feed.write(0, value);
+            feed.read(0, value);
+        }
+        let line = feed.auditor.truncated_line.expect("history should have settled");
+        feed.write(0, line);
+        let report = feed.auditor.finish();
+        assert!(
+            matches!(report.verdict, Verdict::Violation(Violation::DuplicateWriteTag { .. })),
+            "expected a duplicate-tag violation, got {:?}",
+            report.verdict
+        );
+    }
+
+    /// A read regressing strictly behind a truncated read's observation is
+    /// flagged even when the observed value's *write* is still retained:
+    /// the read floor stands in for the dropped read.
+    #[test]
+    fn read_regressing_behind_a_truncated_read_is_flagged() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 1 });
+        feed.write(0, tv(1, 0, 1));
+        // A read returns the in-flight write's value (legal: visible at the
+        // servers first), completing before the write does; once the write
+        // lands, the read settles and is truncated while its source stays.
+        let writer = ClientId::writer(1);
+        let v5 = tv(5, 1, 5);
+        let wseq = feed.invoke(writer, OpKind::Write(v5.value()));
+        feed.read(0, v5);
+        feed.complete(writer, wseq, OpResult::Written(v5));
+        assert!(feed.auditor.stats().truncated > 0, "the settled read should be dropped");
+        assert_eq!(feed.auditor.read_floor, Some(v5));
+        assert!(feed.auditor.window_write_tags.contains_key(&v5), "source stays retained");
+        // Older than the dropped read's observation, newer than any
+        // truncated write: only the read floor can catch this.
+        feed.read(1, tv(3, 0, 3));
+        let report = feed.auditor.finish();
+        assert!(
+            matches!(report.verdict, Verdict::Violation(Violation::Cycle { .. })),
+            "expected a read-floor violation, got {:?}",
+            report.verdict
+        );
+    }
+
+    /// Violations are sticky: later records only bump counters.
+    #[test]
+    fn verdict_is_sticky() {
+        let mut feed = Feed::new(StreamConfig { window: 1024, check_interval: 1 });
+        let v1 = tv(1, 0, 1);
+        let v2 = tv(2, 1, 2);
+        let w0 = ClientId::writer(0);
+        let w1 = ClientId::writer(1);
+        let s0 = feed.invoke(w0, OpKind::Write(v1.value()));
+        let s1 = feed.invoke(w1, OpKind::Write(v2.value()));
+        feed.complete(w0, s0, OpResult::Written(v1));
+        feed.complete(w1, s1, OpResult::Written(v2));
+        feed.read(0, v2);
+        feed.read(1, v1);
+        let frozen = feed.auditor.verdict().clone();
+        assert!(!frozen.is_ok());
+        feed.write(0, tv(3, 0, 3));
+        feed.read(0, tv(3, 0, 3));
+        assert_eq!(*feed.auditor.verdict(), frozen);
+        let report = feed.auditor.finish();
+        assert_eq!(report.verdict, frozen);
+        assert!(report.stats.records >= 12);
+    }
+}

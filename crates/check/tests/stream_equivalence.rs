@@ -1,0 +1,193 @@
+//! Property pin for the streaming auditor: over random interleavings,
+//! random floor-advance points, and randomly corrupted read values, the
+//! online [`StreamingAuditor`] verdict must agree with the post-hoc
+//! [`check_atomicity`] judgment of the full recorded history — truncation
+//! must neither hide a violation nor invent one.
+//!
+//! The generator drives four clients (two writers, two readers) through an
+//! arbitrary invoke/complete interleaving against a simple linearizable
+//! register model, so uncorrupted histories are atomic by construction;
+//! corruption rewrites a read's return to a stale or thin-air tag, or a
+//! write's tag to a stale timestamp, which may or may not be a violation
+//! depending on the surrounding concurrency — exactly the boundary the
+//! auditor has to get right.
+
+use std::collections::BTreeMap;
+
+use mwr_check::{
+    check_atomicity, AuditRecord, History, Operation, StreamConfig, StreamingAuditor, Timestamp,
+};
+use mwr_core::{OpId, OpKind, OpResult};
+use mwr_sim::SimTime;
+use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generator step: which client acts (invoke if idle, complete if
+/// busy), how a completing read picks its value, and whether/how that
+/// value is corrupted.
+type Step = (u8, bool, u8);
+
+fn client_of(index: u8) -> ClientId {
+    match index % 4 {
+        0 => ClientId::writer(0),
+        1 => ClientId::writer(1),
+        2 => ClientId::reader(0),
+        _ => ClientId::reader(1),
+    }
+}
+
+struct InFlight {
+    seq: u64,
+    kind: OpKind,
+    /// Register contents (max completed write tag) at invocation.
+    at_invoke: TaggedValue,
+    /// Timestamp minted at invocation (writes only).
+    ts: u64,
+}
+
+/// Replay the records exactly the way `StreamingAuditor::observe` stamps
+/// them, producing the completed operations of the full history.
+fn replay(records: &[AuditRecord]) -> Vec<Operation> {
+    let mut open: BTreeMap<OpId, (OpKind, Timestamp)> = BTreeMap::new();
+    let mut ops = Vec::new();
+    for (arrivals, record) in (1u64..).zip(records) {
+        match *record {
+            AuditRecord::Invoked { client, seq, kind, at_micros } => {
+                let stamp = Timestamp { time: SimTime::from_ticks(at_micros), seq: arrivals };
+                open.insert(OpId { client, seq }, (kind, stamp));
+            }
+            AuditRecord::Completed { client, seq, result, at_micros } => {
+                let stamp = Timestamp { time: SimTime::from_ticks(at_micros), seq: arrivals };
+                let (kind, invoked) = open
+                    .remove(&OpId { client, seq })
+                    .expect("generator only completes invoked ops");
+                ops.push(Operation {
+                    id: OpId { client, seq },
+                    kind,
+                    result,
+                    invoked,
+                    completed: stamp,
+                });
+            }
+            AuditRecord::FloorAdvance { .. } => {}
+        }
+    }
+    ops
+}
+
+/// Drive the step list against the register model, returning the record
+/// stream (with floor advances spliced in at every eighth step).
+fn record_stream(steps: &[Step]) -> Vec<AuditRecord> {
+    let mut records = Vec::new();
+    let mut next_ts = 0u64;
+    let mut seqs: BTreeMap<ClientId, u64> = BTreeMap::new();
+    let mut inflight: BTreeMap<ClientId, InFlight> = BTreeMap::new();
+    let mut register = TaggedValue::initial();
+    let mut completed_writes: Vec<TaggedValue> = Vec::new();
+
+    for (index, &(who, read_at_invoke, corrupt)) in steps.iter().enumerate() {
+        let client = client_of(who);
+        let micros = index as u64 + 1;
+        if let Some(op) = inflight.remove(&client) {
+            let result = match op.kind {
+                OpKind::Write(value) => {
+                    // The tag was minted at invocation; the write becomes
+                    // visible (joins the register) at completion. Overlap
+                    // can complete tags out of order — legal, the writes
+                    // are concurrent — while non-concurrent writes always
+                    // carry increasing timestamps. Corruption re-mints a
+                    // stale timestamp: depending on surrounding concurrency
+                    // that is a duplicate tag, a write that fails to
+                    // dominate a read that preceded it, or (early enough)
+                    // perfectly legal.
+                    let ts = if corrupt == 2 { op.ts.saturating_sub(4).max(1) } else { op.ts };
+                    let tag = TaggedValue::new(
+                        Tag::new(ts, client.as_writer().expect("writes come from writers")),
+                        value,
+                    );
+                    register = register.max(tag);
+                    completed_writes.push(tag);
+                    OpResult::Written(tag)
+                }
+                OpKind::Read => {
+                    let honest = if read_at_invoke { op.at_invoke } else { register };
+                    let value = match corrupt {
+                        // Stale: the oldest completed write (or initial).
+                        0 => completed_writes
+                            .first()
+                            .copied()
+                            .unwrap_or_else(TaggedValue::initial),
+                        // Thin air: a tag nobody ever wrote.
+                        1 => TaggedValue::new(
+                            Tag::new(900 + index as u64, WriterId::new(0)),
+                            Value::new(999),
+                        ),
+                        _ => honest,
+                    };
+                    OpResult::Read(value)
+                }
+            };
+            records.push(AuditRecord::Completed {
+                client,
+                seq: op.seq,
+                result,
+                at_micros: micros,
+            });
+        } else {
+            let seq = *seqs.entry(client).or_insert(0);
+            seqs.insert(client, seq + 1);
+            let (kind, ts) = if let Some(w) = client.as_writer() {
+                next_ts += 1;
+                (OpKind::Write(Value::new(next_ts * 10 + u64::from(w.index()))), next_ts)
+            } else {
+                (OpKind::Read, 0)
+            };
+            records.push(AuditRecord::Invoked { client, seq, kind, at_micros: micros });
+            inflight.insert(client, InFlight { seq, kind, at_invoke: register, ts });
+        }
+        if index % 8 == 7 {
+            records.push(AuditRecord::FloorAdvance { floor: register });
+        }
+    }
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Streaming and post-hoc verdicts agree on every interleaving, with
+    /// truncation forced as aggressively as possible (check every
+    /// completion, tiny window).
+    #[test]
+    fn streaming_verdict_matches_post_hoc(
+        steps in vec((0u8..4, any::<bool>(), 0u8..40), 0..160),
+    ) {
+        let records = record_stream(&steps);
+        let full: Vec<Operation> = replay(&records);
+
+        let reference = History::from_operations(full).expect("replayed history is well-formed");
+        let post_hoc = check_atomicity(&reference);
+
+        let mut auditor = StreamingAuditor::new(StreamConfig { window: 8, check_interval: 1 });
+        for &record in &records {
+            auditor.observe(record);
+        }
+        let report = auditor.finish();
+
+        prop_assert_eq!(
+            report.verdict.is_ok(),
+            post_hoc.is_ok(),
+            "streaming {:?} vs post-hoc {:?} over {} records (truncated {})",
+            report.verdict,
+            post_hoc,
+            records.len(),
+            report.stats.truncated
+        );
+        // When the history is clean the agreement is byte-equal: both Ok.
+        if post_hoc.is_ok() {
+            prop_assert_eq!(report.verdict, mwr_check::Verdict::Ok);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Sampled operation records for streaming linearizability auditing.
+//!
+//! The live runtime (`mwr-runtime`) taps its blocking clients and emits one
+//! [`AuditRecord`] per sampled operation boundary; `mwr-check`'s streaming
+//! auditor consumes them to maintain an online order-graph over a bounded
+//! window of recent operations. The type lives here — not in either of
+//! those crates — because it is pure protocol data: what happened, to whom,
+//! when, with no transport or checker machinery attached.
+//!
+//! The live runtime has no virtual clock, so records carry wall-clock
+//! microseconds measured from an arbitrary per-deployment epoch. Only the
+//! *order* of the stamps matters (real-time precedence between operations);
+//! the epoch itself is never interpreted.
+
+use mwr_types::{ClientId, TaggedValue};
+
+use crate::events::{OpKind, OpResult};
+
+/// One sampled event from a live client, as fed to the streaming auditor.
+///
+/// Records from a single client arrive in program order (each client is one
+/// thread issuing one operation at a time), so per-client histories are
+/// well-formed by construction. Records from different clients may be
+/// interleaved arbitrarily by the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditRecord {
+    /// An operation started executing.
+    Invoked {
+        /// The invoking client.
+        client: ClientId,
+        /// The client's operation sequence number (unique per client).
+        seq: u64,
+        /// What the operation does.
+        kind: OpKind,
+        /// Microseconds since the deployment's audit epoch.
+        at_micros: u64,
+    },
+    /// An operation completed.
+    Completed {
+        /// The invoking client.
+        client: ClientId,
+        /// The sequence number of the matching [`AuditRecord::Invoked`].
+        seq: u64,
+        /// Its outcome.
+        result: OpResult,
+        /// Microseconds since the deployment's audit epoch.
+        at_micros: u64,
+    },
+    /// A client observed the cluster's acknowledged GC floor advancing (the
+    /// `pruned` field of a delta fast-read reply). Every client has
+    /// completed an operation at or above `floor`, which is what licenses
+    /// the auditor to truncate settled history below it.
+    FloorAdvance {
+        /// The announced acknowledged floor.
+        floor: TaggedValue,
+    },
+}
+
+impl AuditRecord {
+    /// The client the record belongs to, if it is an operation record.
+    pub fn client(&self) -> Option<ClientId> {
+        match self {
+            AuditRecord::Invoked { client, .. } | AuditRecord::Completed { client, .. } => {
+                Some(*client)
+            }
+            AuditRecord::FloorAdvance { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_types::{Tag, Value, WriterId};
+
+    #[test]
+    fn accessors() {
+        let tv = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(3));
+        let inv = AuditRecord::Invoked {
+            client: ClientId::reader(0),
+            seq: 0,
+            kind: OpKind::Read,
+            at_micros: 10,
+        };
+        assert_eq!(inv.client(), Some(ClientId::reader(0)));
+        assert_eq!(AuditRecord::FloorAdvance { floor: tv }.client(), None);
+    }
+}

@@ -423,7 +423,7 @@ impl RegisterClient {
         }
         Self::prune_val_queue(val_queue, *gc_floor);
         let (index, mask) = WitnessIndex::from_views(replies.values().map(SnapshotView::Full));
-        Self::decide_fast_read(mode, inflight, &index, mask, config, floor)
+        Self::decide_fast_read(mode, inflight, &index, mask, config, floor, *gc_floor)
     }
 
     /// Tail of a delta fast read: the quorum's deltas already merged into
@@ -444,7 +444,7 @@ impl RegisterClient {
             val_queue.insert(v);
         }
         Self::prune_val_queue(val_queue, *gc_floor);
-        Self::decide_fast_read(mode, inflight, state.index(), replied, config, floor)
+        Self::decide_fast_read(mode, inflight, state.index(), replied, config, floor, *gc_floor)
     }
 
     /// Entries below the announced GC floor are below every client's
@@ -466,6 +466,7 @@ impl RegisterClient {
         mask: u128,
         config: &ClusterConfig,
         floor: TaggedValue,
+        gc_floor: TaggedValue,
     ) -> AckAction {
         match mode {
             ReadMode::Fast => {
@@ -475,6 +476,22 @@ impl RegisterClient {
                     config.max_faults(),
                     config.readers() + 1,
                 );
+                if gc_floor > floor {
+                    // Late join: the announced GC floor has passed everything
+                    // this reader ever completed, so its valQueue anchor may
+                    // have been pruned server-side and `admissible(·)` has no
+                    // degree-1 guarantee to stand on. Secure the snapshot
+                    // maximum with a write-back round instead (see the GC
+                    // argument in the server module docs); afterwards this
+                    // reader's floor is at or above the announced one and
+                    // the fast path resumes.
+                    let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
+                    let handle = OpHandle { op: inflight.op, phase: 2 };
+                    inflight.phase_no = 2;
+                    inflight.phase =
+                        Phase::ReadWriteBack { best: max_v, acks: BTreeSet::new() };
+                    return AckAction::Broadcast(Msg::Update { handle, value: max_v, floor });
+                }
                 AckAction::Complete(OpResult::Read(sel.select_return_value()))
             }
             ReadMode::Adaptive => {
@@ -485,7 +502,12 @@ impl RegisterClient {
                 );
                 let mut sel = index.selector(mask, config.servers(), config.max_faults(), cap);
                 let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
-                if sel.degree(max_v).is_some() {
+                // The degree-based fast accept stands on the same valQueue
+                // anchor as the Fast mode's admissibility check, so the same
+                // late-join caveat applies: once the announced GC floor passes
+                // this reader's completed floor the anchor may have been
+                // pruned server-side, and only the write-back round is sound.
+                if gc_floor <= floor && sel.degree(max_v).is_some() {
                     // The maximum is safely confirmed: fast path.
                     return AckAction::Complete(OpResult::Read(max_v));
                 }

@@ -63,12 +63,15 @@
 #![warn(missing_debug_implementations)]
 
 mod admissible;
+mod audit;
 mod client;
 mod cluster;
 mod events;
 mod msg;
 mod protocol;
 mod server;
+
+pub use audit::AuditRecord;
 
 pub use admissible::{
     adaptive_degree_cap, mask_of, Admissibility, Entries, SnapshotSource, SnapshotView,

@@ -51,10 +51,18 @@
 //!
 //! Clients piggyback their *completed-operation floor* — the largest tag
 //! they have returned or written — on every `Update` and `ReadFastDelta`.
-//! Once **all** `R + W` clients have reported a floor to this server, the
-//! server prunes every stored value strictly below the minimum reported
-//! floor (keeping `vali` unconditionally), and refuses to re-insert values
-//! below that line (late duplicates, stale write-backs).
+//! Pruning is **membership-aware**: once every client *this server has
+//! heard any message from* has reported a floor, the server prunes every
+//! stored value strictly below the minimum reported floor (keeping `vali`
+//! unconditionally), and refuses to re-insert values below that line (late
+//! duplicates, stale write-backs). Membership is what keeps a client that
+//! crashes before its first message — or a handle that is configured but
+//! never used — from wedging GC forever: clients the server has never
+//! heard from simply do not participate in the minimum. A *contacted*
+//! client that never reports (e.g. a full-info reader, whose `ReadFast`
+//! carries no floor) still holds pruning off — the conservative direction
+//! — unless the [`ServerState::with_gc_quorum`] escape hatch is configured
+//! for such permanently-silent members.
 //!
 //! Why this is safe: let `f = min` reported floor. Every reader has
 //! completed an operation returning (or writing back) a value `≥ f`, and a
@@ -71,14 +79,25 @@
 //! server-announced floor for the same reason — see
 //! [`DeltaSnapshot::pruned`](crate::msg::DeltaSnapshot).)
 //!
-//! A client that crashes (or simply never completes an operation) before
-//! reporting a floor pins `f` at the initial tag, i.e. GC stays off — the
-//! conservative direction. The paper's full-info model is deliberately
-//! append-only ("the server just appends everything … never deleting any
-//! information", §4.1); this module is the practical counterpoint the
-//! analysis abstracts away.
+//! The one case the argument above does not cover is a client whose
+//! *first* contact with a server arrives after pruning has engaged: its
+//! whole `valQueue` (just the initial value) is below `f`, so the plain
+//! `update` path would drop it dead on arrival and the degree-1 guarantee
+//! would evaporate. Two mechanisms close the gap. Full-info `ReadFast`
+//! re-registration is exempt from the dead-on-arrival rule (the reader
+//! cannot learn the floor from a `ReadFastAck`, and its `valQueue` is
+//! re-sent wholesale every read anyway, so the exemption does not unbound
+//! memory). Delta readers *do* learn the floor (`DeltaSnapshot::pruned`),
+//! detect `pruned > own floor` after their first round, and secure the
+//! snapshot maximum with an ABD-style write-back round instead of trusting
+//! `admissible(·)` over registrations the floor may have eaten; from then
+//! on they report floors like everyone else and the standard argument
+//! applies. The paper's full-info model is deliberately append-only ("the
+//! server just appends everything … never deleting any information",
+//! §4.1); this module is the practical counterpoint the analysis
+//! abstracts away.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mwr_sim::{Automaton, Context};
 use mwr_types::{ClientId, ProcessId, TaggedValue};
@@ -101,8 +120,17 @@ struct Entry {
 /// Acknowledged-floor GC bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct GcState {
-    /// Clients that must report a floor before pruning may start (R + W).
-    required: usize,
+    /// The cluster's full client population (R + W), kept for diagnostics
+    /// and as the upper bound a floor quorum is validated against.
+    population: usize,
+    /// Optional floor-report quorum: pruning additionally engages once this
+    /// many clients have reported, even if other *contacted* clients never
+    /// report — the documented escape hatch for permanently-silent members
+    /// (see the module docs).
+    quorum: Option<usize>,
+    /// Every client this server has heard any message from. Pruning is
+    /// membership-aware: it engages once `floors` covers `seen`.
+    seen: BTreeSet<ClientId>,
     /// Latest floor reported per client.
     floors: BTreeMap<ClientId, TaggedValue>,
     /// Everything strictly below this has been pruned.
@@ -162,16 +190,40 @@ impl ServerState {
         }
     }
 
-    /// A fresh server with acknowledged-floor GC enabled: pruning starts
-    /// once `population` distinct clients have reported completed-operation
-    /// floors (pass the cluster's `R + W`).
+    /// A fresh server with acknowledged-floor GC enabled for a cluster of
+    /// `population` clients (`R + W`). Pruning is membership-aware: it
+    /// starts once every client *this server has heard from* has reported a
+    /// completed-operation floor, so a client that crashes before sending
+    /// its first message cannot wedge GC (see the module docs).
     pub fn with_gc(population: usize) -> Self {
         let mut state = ServerState::new();
         state.gc = Some(GcState {
-            required: population,
+            population,
+            quorum: None,
+            seen: BTreeSet::new(),
             floors: BTreeMap::new(),
             pruned_floor: TaggedValue::initial(),
         });
+        state
+    }
+
+    /// Like [`with_gc`](Self::with_gc), with a floor-report quorum: pruning
+    /// additionally engages once `quorum` clients have reported, even if
+    /// other *contacted* clients never report a floor.
+    ///
+    /// This is the escape hatch for permanently-silent members — clients
+    /// that keep sending messages but never complete operations, or
+    /// full-info readers (whose `ReadFast` carries no floor). The tradeoff:
+    /// a client excluded from the quorum's minimum may find its entire
+    /// `valQueue` below the pruned floor; delta readers detect this
+    /// (`pruned > floor`) and pay a write-back round, but full-info readers
+    /// never learn the floor, so the quorum should only be used with
+    /// delta-wire clients. `quorum` is clamped to at least 1.
+    pub fn with_gc_quorum(population: usize, quorum: usize) -> Self {
+        let mut state = ServerState::with_gc(population);
+        if let Some(gc) = &mut state.gc {
+            gc.quorum = Some(quorum.clamp(1, population.max(1)));
+        }
         state
     }
 
@@ -203,7 +255,27 @@ impl ServerState {
     /// maximum are ignored — they are below every client's completed floor,
     /// so no future read can return them (see the module docs).
     pub fn update(&mut self, val: TaggedValue, c: ClientId) {
-        if val < self.pruned_floor() && val <= self.latest && !self.store.contains_key(&val) {
+        self.update_impl(val, c, false);
+    }
+
+    /// `update` with the dead-on-arrival rule suspended, for full-info
+    /// `ReadFast` re-registration: the full-info wire carries no floor
+    /// announcement, so a reader whose whole `valQueue` fell below the
+    /// pruned floor (its first contact arrived after membership-aware
+    /// pruning engaged) cannot detect it and fall back; re-inserting its
+    /// `valQueue` restores the degree-1 admissibility guarantee the module
+    /// docs rely on. Bounded because a full-info `valQueue` is what the
+    /// reader re-sends every read anyway.
+    fn update_resurrecting(&mut self, val: TaggedValue, c: ClientId) {
+        self.update_impl(val, c, true);
+    }
+
+    fn update_impl(&mut self, val: TaggedValue, c: ClientId, force: bool) {
+        if !force
+            && val < self.pruned_floor()
+            && val <= self.latest
+            && !self.store.contains_key(&val)
+        {
             return; // dead on arrival: a late duplicate below the GC floor
         }
         let version = &mut self.version;
@@ -264,13 +336,29 @@ impl ServerState {
         self.registered_up_to.insert(reader, acked);
     }
 
-    /// Records `client`'s completed-operation floor and prunes once every
-    /// one of the configured population has reported. No-op when GC is off.
+    /// Records that `client` has contacted this server (any message).
+    /// Membership-aware pruning engages once every *contacted* client has
+    /// reported a floor, so contact without a floor report holds GC off —
+    /// the conservative direction. No-op when GC is off.
+    pub fn note_contact(&mut self, client: ClientId) {
+        if let Some(gc) = &mut self.gc {
+            gc.seen.insert(client);
+        }
+    }
+
+    /// Records `client`'s completed-operation floor and prunes once the
+    /// floors cover the contacted membership (or the configured floor
+    /// quorum, if any, is reached). No-op when GC is off.
     pub fn record_floor(&mut self, client: ClientId, floor: TaggedValue) {
         let Some(gc) = &mut self.gc else { return };
+        gc.seen.insert(client);
         let known = gc.floors.entry(client).or_insert(floor);
         *known = (*known).max(floor);
-        if gc.floors.len() < gc.required {
+        // Floors is a subset of seen (the insert above), so equal sizes
+        // means every contacted client has reported.
+        let engaged = gc.floors.len() == gc.seen.len()
+            || gc.quorum.is_some_and(|q| gc.floors.len() >= q);
+        if !engaged {
             return;
         }
         let min = gc.floors.values().copied().min().unwrap_or_default();
@@ -376,9 +464,16 @@ impl RegisterServer {
     }
 
     /// Creates a server with acknowledged-floor GC enabled for a cluster of
-    /// `population` clients (`R + W`).
+    /// `population` clients (`R + W`). Pruning is membership-aware — see
+    /// [`ServerState::with_gc`].
     pub fn with_gc(population: usize) -> Self {
         RegisterServer { state: ServerState::with_gc(population) }
+    }
+
+    /// Creates a GC-enabled server with a floor-report quorum escape hatch
+    /// — see [`ServerState::with_gc_quorum`].
+    pub fn with_gc_quorum(population: usize, quorum: usize) -> Self {
+        RegisterServer { state: ServerState::with_gc_quorum(population, quorum) }
     }
 
     /// Read access to the server's state (useful in tests).
@@ -393,6 +488,7 @@ impl RegisterServer {
     /// simulator's topology enforcement catches genuine mistakes loudly.
     pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
         let client = from.as_client()?;
+        self.state.note_contact(client);
         match msg {
             Msg::Query { handle } => Some(Msg::QueryAck {
                 handle: *handle,
@@ -405,7 +501,7 @@ impl RegisterServer {
             }
             Msg::ReadFast { handle, val_queue } => {
                 for val in val_queue {
-                    self.state.update(*val, client);
+                    self.state.update_resurrecting(*val, client);
                 }
                 self.state.register_on_latest(client);
                 Some(Msg::ReadFastAck {
@@ -677,19 +773,22 @@ mod tests {
         assert!(s.updated_set(s.latest()).is_some());
     }
 
-    /// Floors from the whole population trigger pruning; one silent client
-    /// (crashed before its floor could advance) holds GC off forever.
+    /// A contacted client that has not yet reported a floor holds pruning
+    /// off; once the floors cover the contacted membership, pruning runs at
+    /// the minimum reported floor.
     #[test]
-    fn gc_waits_for_the_full_population() {
+    fn gc_waits_for_every_contacted_client() {
         let mut s = ServerState::with_gc(3);
         for i in 1..=4 {
             s.update(tv(i, 0, i), ClientId::writer(0));
         }
         assert_eq!(s.stored_values(), 5);
+        // Reader 1 has contacted (say, a Query) but never reported: nothing
+        // may be pruned while a contacted client's floor is unknown.
+        s.note_contact(ClientId::reader(1));
         s.record_floor(ClientId::writer(0), tv(4, 0, 4));
         s.record_floor(ClientId::reader(0), tv(3, 0, 3));
-        // Reader 1 never reports: nothing may be pruned.
-        assert_eq!(s.stored_values(), 5, "GC must wait for every client");
+        assert_eq!(s.stored_values(), 5, "GC must wait for every contacted client");
         assert_eq!(s.pruned_floor(), TaggedValue::initial());
         s.record_floor(ClientId::reader(1), tv(2, 0, 2));
         // min floor = (2, w1): initial and ts1 go.
@@ -697,6 +796,80 @@ mod tests {
         assert_eq!(s.stored_values(), 3);
         assert!(s.updated_set(tv(2, 0, 2)).is_some());
         assert!(s.updated_set(tv(1, 0, 1)).is_none());
+    }
+
+    /// Regression (GC floor wedge): a client that crashes before sending
+    /// its first message must not wedge pruning — the floor advances and
+    /// memory stays bounded on the floors of the clients that actually
+    /// exist on the wire.
+    #[test]
+    fn gc_floor_advances_despite_a_silent_client() {
+        // Population 3, but reader 1 crashed before its first op and never
+        // contacts the server at all.
+        let mut s = ServerState::with_gc(3);
+        for i in 1..=64 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+            s.record_floor(ClientId::writer(0), tv(i, 0, i));
+            s.record_floor(ClientId::reader(0), tv(i, 0, i));
+        }
+        assert_eq!(s.pruned_floor(), tv(64, 0, 64), "floor advances without the silent client");
+        assert_eq!(s.stored_values(), 1, "memory stays bounded: only the latest survives");
+    }
+
+    /// The `gc_floor_quorum` escape hatch: a *contacted* client that never
+    /// reports a floor (a permanently-silent member) normally holds GC off;
+    /// with a quorum configured, pruning engages on the reporters alone.
+    #[test]
+    fn gc_floor_quorum_overrides_a_contacted_silent_member() {
+        let mut wedged = ServerState::with_gc(3);
+        let mut quorate = ServerState::with_gc_quorum(3, 2);
+        for s in [&mut wedged, &mut quorate] {
+            for i in 1..=4 {
+                s.update(tv(i, 0, i), ClientId::writer(0));
+            }
+            // Reader 1 keeps sending messages but never completes an op.
+            s.note_contact(ClientId::reader(1));
+            s.record_floor(ClientId::writer(0), tv(4, 0, 4));
+            s.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        }
+        assert_eq!(wedged.pruned_floor(), TaggedValue::initial(), "no quorum: conservative");
+        assert_eq!(quorate.pruned_floor(), tv(3, 0, 3), "quorum of 2 reporters engages GC");
+    }
+
+    /// The full-info fast-read path re-registers a late-joining reader's
+    /// `valQueue` even below the GC floor (it cannot learn the floor from a
+    /// `ReadFastAck`), restoring the degree-1 admissibility witness.
+    #[test]
+    fn read_fast_reregisters_below_the_floor_for_late_joiners() {
+        let mut srv = RegisterServer::with_gc(2);
+        for i in 1..=3u64 {
+            srv.handle(
+                ProcessId::writer(0),
+                &Msg::Update {
+                    handle: OpHandle {
+                        op: OpId { client: ClientId::writer(0), seq: i },
+                        phase: 2,
+                    },
+                    value: tv(i, 0, i),
+                    floor: tv(i, 0, i),
+                },
+            );
+        }
+        assert_eq!(srv.state().pruned_floor(), tv(3, 0, 3), "writer-only membership pruned");
+        // A reader joins late: its whole valQueue is below the floor.
+        let reply = srv
+            .handle(
+                ProcessId::reader(0),
+                &Msg::ReadFast { handle: rhandle(0), val_queue: vec![TaggedValue::initial()] },
+            )
+            .unwrap();
+        let Msg::ReadFastAck { snapshot, .. } = reply else { panic!("expected ReadFastAck") };
+        assert!(
+            snapshot
+                .updated_for(TaggedValue::initial())
+                .is_some_and(|u| u.contains(&ClientId::reader(0))),
+            "the reader's valQueue entry is resurrected and witnessed"
+        );
     }
 
     /// Floors only ever advance; a stale (smaller) floor report cannot

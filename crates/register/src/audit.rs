@@ -1,0 +1,142 @@
+//! Continuous linearizability auditing of live deployments.
+//!
+//! [`Deployment::audit`](crate::Deployment::audit) arms a live deployment
+//! with an [`AuditConfig`]. The resulting
+//! [`LiveHandle`](crate::LiveHandle) then owns an **audit sidecar**: every
+//! client the handle mints (or its workload drivers mint) carries an
+//! [`AuditTap`](mwr_runtime::AuditTap) emitting sampled operation records,
+//! and a dedicated thread folds those records into `mwr-check`'s
+//! [`StreamingAuditor`](mwr_check::StreamingAuditor) — atomicity is
+//! checked *while the traffic runs*, with the auditor's window truncation
+//! keeping memory bounded under indefinite load.
+//!
+//! Collect the verdict with
+//! [`LiveHandle::shutdown_audited`](crate::LiveHandle::shutdown_audited),
+//! which drains the tap, finalizes the auditor, and returns the
+//! [`AuditReport`] next to the usual handled-requests count.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use mwr_core::Protocol;
+//! use mwr_register::{AuditConfig, Backend, Deployment};
+//! use mwr_types::ClusterConfig;
+//!
+//! let config = ClusterConfig::new(3, 1, 1, 1)?;
+//! let live = Deployment::new(config)
+//!     .protocol(Protocol::W2R1)
+//!     .backend(Backend::InMemory)
+//!     .audit(AuditConfig::default()) // sample every operation
+//!     .in_memory()?;
+//! live.run_open_loop(Duration::from_millis(5))?;
+//! let (_handled, report) = live.shutdown_audited();
+//! let report = report.expect("deployment was armed with an auditor");
+//! assert!(report.verdict.is_ok(), "live traffic was atomic: {report}");
+//! assert!(report.stats.audited > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::thread::{self, JoinHandle};
+
+use mwr_check::{AuditReport, StreamConfig, StreamingAuditor};
+use mwr_runtime::{AuditReceiver, AuditTap, DEFAULT_TAP_CAPACITY};
+
+/// What the audit sidecar does the moment the streaming verdict turns
+/// into a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnViolation {
+    /// Keep consuming records; the violation is carried (sticky) in the
+    /// final [`AuditReport`].
+    #[default]
+    Record,
+    /// Panic the sidecar thread immediately — fail fast for CI fault
+    /// scenarios. The panic is re-raised on the thread that collects the
+    /// report via [`shutdown_audited`](crate::LiveHandle::shutdown_audited).
+    Panic,
+}
+
+/// Continuous-audit knob for live deployments, set via
+/// [`Deployment::audit`](crate::Deployment::audit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Fraction of reads sampled into the auditor, in `(0, 1]`. Writes
+    /// are always recorded — they are the scarce events every read's
+    /// verdict depends on.
+    pub sample_rate: f64,
+    /// Bound on completed operations the auditor retains before forcing a
+    /// check-and-truncate pass (the streaming window).
+    pub window: usize,
+    /// What to do when a violation surfaces mid-run.
+    pub on_violation: OnViolation,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        let stream = StreamConfig::default();
+        AuditConfig {
+            sample_rate: 1.0,
+            window: stream.window,
+            on_violation: OnViolation::Record,
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Audit a `rate` fraction of reads (writes are always recorded),
+    /// with the default window and [`OnViolation::Record`].
+    pub fn sampled(rate: f64) -> Self {
+        AuditConfig { sample_rate: rate, ..AuditConfig::default() }
+    }
+}
+
+/// The armed sidecar a [`LiveHandle`](crate::LiveHandle) owns: the tap its
+/// clients write into, plus the thread folding tap records into the
+/// streaming auditor.
+#[derive(Debug)]
+pub(crate) struct AuditSidecar {
+    tap: AuditTap,
+    join: JoinHandle<AuditReport>,
+}
+
+impl AuditSidecar {
+    /// Creates the tap and spawns the consuming thread.
+    pub(crate) fn spawn(cfg: AuditConfig) -> std::io::Result<AuditSidecar> {
+        let (tap, rx) = AuditTap::bounded(cfg.sample_rate, DEFAULT_TAP_CAPACITY);
+        let stream = StreamConfig { window: cfg.window.max(1), ..StreamConfig::default() };
+        let on_violation = cfg.on_violation;
+        let join = thread::Builder::new()
+            .name("mwr-audit".into())
+            .spawn(move || sidecar_loop(&rx, stream, on_violation))?;
+        Ok(AuditSidecar { tap, join })
+    }
+
+    /// The tap to clone into every client this deployment mints.
+    pub(crate) fn tap(&self) -> &AuditTap {
+        &self.tap
+    }
+
+    /// Drops the handle's tap clone and joins the sidecar. Minted clients
+    /// hold their own tap clones, so the join completes once they are all
+    /// dropped; a sidecar that panicked ([`OnViolation::Panic`]) re-raises
+    /// here.
+    pub(crate) fn finish(self) -> AuditReport {
+        let AuditSidecar { tap, join } = self;
+        drop(tap);
+        match join.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+fn sidecar_loop(rx: &AuditReceiver, cfg: StreamConfig, on_violation: OnViolation) -> AuditReport {
+    let mut auditor = StreamingAuditor::new(cfg);
+    while let Ok(record) = rx.recv() {
+        auditor.observe(record);
+        if on_violation == OnViolation::Panic && !auditor.verdict().is_ok() {
+            panic!("live linearizability violation: {:?}", auditor.verdict());
+        }
+    }
+    auditor.finish()
+}

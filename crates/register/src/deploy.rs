@@ -11,6 +11,7 @@ use mwr_sim::Simulation;
 use mwr_types::ClusterConfig;
 use mwr_workload::{WorkloadReport, WorkloadSpec};
 
+use crate::audit::{AuditConfig, AuditSidecar};
 use crate::error::DeployError;
 use crate::handle::{Handle, LiveHandle, SimHandle};
 use crate::spec::{Backend, Spec};
@@ -46,6 +47,7 @@ pub struct Deployment {
     gc: Option<bool>,
     timeout: Option<Duration>,
     tcp_tuning: Option<TcpTuning>,
+    audit: Option<AuditConfig>,
 }
 
 impl Deployment {
@@ -60,6 +62,7 @@ impl Deployment {
             gc: None,
             timeout: None,
             tcp_tuning: None,
+            audit: None,
         }
     }
 
@@ -121,6 +124,20 @@ impl Deployment {
     /// pipeline to tune, and the simulator has no sockets at all.
     pub fn tcp_tuning(mut self, tuning: TcpTuning) -> Self {
         self.tcp_tuning = Some(tuning);
+        self
+    }
+
+    /// Arms the deployment with a streaming linearizability auditor: every
+    /// client the live handle mints emits sampled operation records into a
+    /// sidecar thread running `mwr-check`'s
+    /// [`StreamingAuditor`](mwr_check::StreamingAuditor), so workloads and
+    /// fault scenarios run continuously verified. Live backends only — the
+    /// simulator's histories are checked post-hoc with
+    /// [`check_atomicity`](mwr_check::check_atomicity). Collect the
+    /// verdict with
+    /// [`LiveHandle::shutdown_audited`](crate::LiveHandle::shutdown_audited).
+    pub fn audit(mut self, audit: AuditConfig) -> Self {
+        self.audit = Some(audit);
         self
     }
 
@@ -228,6 +245,32 @@ impl Deployment {
                 });
             }
         }
+        if let Some(audit) = self.audit {
+            if !live {
+                return Err(DeployError::Knob {
+                    knob: "audit",
+                    reason: "the streaming auditor taps live clients; simulator \
+                             histories are deterministic and checked post-hoc with \
+                             mwr_check::check_atomicity",
+                });
+            }
+            if !(audit.sample_rate.is_finite()
+                && audit.sample_rate > 0.0
+                && audit.sample_rate <= 1.0)
+            {
+                return Err(DeployError::Knob {
+                    knob: "audit",
+                    reason: "sample_rate must be in (0, 1]",
+                });
+            }
+            if audit.window == 0 {
+                return Err(DeployError::Knob {
+                    knob: "audit",
+                    reason: "window must be at least 1 (the auditor needs to retain \
+                             something to check)",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -248,6 +291,7 @@ impl Deployment {
             backend: Backend::Sim { seed: 0 },
             timeout: None,
             tcp_tuning: None,
+            audit: None,
             ..*self
         };
         sim_view.validate()?;
@@ -330,8 +374,14 @@ impl Deployment {
         let Spec::Core(protocol) = self.spec else {
             unreachable!("validate() rejects non-core specs on live backends");
         };
+        let sidecar = match self.audit {
+            Some(cfg) => Some(AuditSidecar::spawn(cfg).map_err(|e| {
+                DeployError::Transport(mwr_runtime::TransportError::Io { kind: e.kind() })
+            })?),
+            None => None,
+        };
         let cluster = RuntimeCluster::start_on(factory, self.config, protocol)?;
-        Ok(LiveHandle::new(cluster, self.wire.unwrap_or_default(), self.timeout))
+        Ok(LiveHandle::new(cluster, self.wire.unwrap_or_default(), self.timeout, sidecar))
     }
 
     /// Deploys on whichever backend this deployment is configured for,
@@ -536,6 +586,61 @@ mod tests {
             .backend(Backend::Tcp)
             .tcp_tuning(TcpTuning::default());
         assert!(dep.sim_cluster().is_ok());
+    }
+
+    #[test]
+    fn audit_knob_is_validated_per_backend_and_range() {
+        use crate::audit::AuditConfig;
+        // Live-only: the simulator is checked post-hoc.
+        let err = Deployment::new(config()).audit(AuditConfig::default()).sim().unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "audit", .. }), "{err}");
+        // Degenerate rates and windows are rejected up front.
+        for bad in [AuditConfig::sampled(0.0), AuditConfig::sampled(1.5), AuditConfig {
+            window: 0,
+            ..AuditConfig::default()
+        }] {
+            let err = Deployment::new(config())
+                .backend(Backend::InMemory)
+                .audit(bad)
+                .in_memory()
+                .unwrap_err();
+            assert!(matches!(err, DeployError::Knob { knob: "audit", .. }), "{err}");
+        }
+        // An audited live deployment still gets a sim twin.
+        let dep = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .audit(AuditConfig::default());
+        assert!(dep.sim_cluster().is_ok());
+    }
+
+    #[test]
+    fn audited_open_loop_reports_a_clean_verdict() {
+        use crate::audit::AuditConfig;
+        let handle = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .audit(AuditConfig { window: 256, ..AuditConfig::default() })
+            .in_memory()
+            .unwrap();
+        let report = handle.run_open_loop(Duration::from_millis(30)).unwrap();
+        assert!(report.ops() > 0);
+        let (_handled, audit) = handle.shutdown_audited();
+        let audit = audit.expect("deployment was armed");
+        assert!(audit.verdict.is_ok(), "live traffic must be atomic: {audit}");
+        assert!(audit.stats.audited > 0, "operations reached the auditor: {audit}");
+        // The window stayed bounded: the high-water mark cannot retain
+        // anywhere near the full run.
+        assert!(
+            audit.stats.window_high_water < audit.stats.audited as usize,
+            "auditor truncated settled history: {audit}"
+        );
+    }
+
+    #[test]
+    fn unaudited_handles_report_no_audit() {
+        let handle =
+            Deployment::new(config()).backend(Backend::InMemory).in_memory().unwrap();
+        let (_, audit) = handle.shutdown_audited();
+        assert!(audit.is_none());
     }
 
     #[test]

@@ -10,11 +10,13 @@ use mwr_runtime::{
 };
 use mwr_sim::{SimError, SimTime, Simulation};
 use mwr_types::ClusterConfig;
+use mwr_check::AuditReport;
 use mwr_workload::{
-    drive_closed_loop, run_closed_loop_live, run_open_loop_live, ThroughputReport, WorkloadReport,
-    WorkloadSpec,
+    drive_closed_loop, run_closed_loop_live_audited, run_open_loop_live_audited, ThroughputReport,
+    WorkloadReport, WorkloadSpec,
 };
 
+use crate::audit::AuditSidecar;
 use crate::deploy::AnySimCluster;
 use crate::error::DeployError;
 
@@ -133,6 +135,11 @@ pub struct LiveHandle<F: EndpointFactory> {
     /// opened every client endpoint, so later minting (or a second run)
     /// is refused (uniformly on both transports).
     driven: std::cell::Cell<bool>,
+    /// The streaming-audit sidecar, when the deployment was armed with
+    /// [`Deployment::audit`](crate::Deployment::audit): every client this
+    /// handle mints gets a tap clone, and `shutdown_audited` collects the
+    /// verdict.
+    audit: Option<AuditSidecar>,
 }
 
 impl<F: EndpointFactory> LiveHandle<F> {
@@ -140,6 +147,7 @@ impl<F: EndpointFactory> LiveHandle<F> {
         cluster: RuntimeCluster<F>,
         wire: FastWire,
         timeout: Option<Duration>,
+        audit: Option<AuditSidecar>,
     ) -> Self {
         LiveHandle {
             cluster,
@@ -147,6 +155,7 @@ impl<F: EndpointFactory> LiveHandle<F> {
             timeout,
             minted: std::cell::Cell::new(false),
             driven: std::cell::Cell::new(false),
+            audit,
         }
     }
 
@@ -183,6 +192,9 @@ impl<F: EndpointFactory> LiveHandle<F> {
         if let Some(t) = self.timeout {
             writer = writer.with_timeout(t);
         }
+        if let Some(sidecar) = &self.audit {
+            writer = writer.with_tap(sidecar.tap().clone());
+        }
         Ok(writer)
     }
 
@@ -207,6 +219,9 @@ impl<F: EndpointFactory> LiveHandle<F> {
         self.minted.set(true);
         if let Some(t) = self.timeout {
             reader = reader.with_timeout(t);
+        }
+        if let Some(sidecar) = &self.audit {
+            reader = reader.with_tap(sidecar.tap().clone());
         }
         Ok(reader)
     }
@@ -238,7 +253,8 @@ impl<F: EndpointFactory> LiveHandle<F> {
             return Err(DeployError::HandlesInUse);
         }
         self.driven.set(true);
-        Ok(run_closed_loop_live(&self.cluster, self.wire, self.timeout, spec)?)
+        let tap = self.audit.as_ref().map(AuditSidecar::tap);
+        Ok(run_closed_loop_live_audited(&self.cluster, self.wire, self.timeout, spec, tap)?)
     }
 
     /// Drives this cluster with open-loop (saturating) clients for
@@ -258,12 +274,30 @@ impl<F: EndpointFactory> LiveHandle<F> {
             return Err(DeployError::HandlesInUse);
         }
         self.driven.set(true);
-        Ok(run_open_loop_live(&self.cluster, self.wire, self.timeout, duration)?)
+        let tap = self.audit.as_ref().map(AuditSidecar::tap);
+        Ok(run_open_loop_live_audited(&self.cluster, self.wire, self.timeout, duration, tap)?)
     }
 
     /// Shuts down all remaining servers; returns total requests handled.
+    /// On an audited handle this discards the audit verdict — use
+    /// [`shutdown_audited`](Self::shutdown_audited) to collect it.
     pub fn shutdown(self) -> u64 {
         self.cluster.shutdown()
+    }
+
+    /// Shuts down all remaining servers and collects the audit sidecar's
+    /// final [`AuditReport`] (`None` if the deployment was not armed with
+    /// [`Deployment::audit`](crate::Deployment::audit)).
+    ///
+    /// Joining the sidecar requires every tap clone to be gone: drop all
+    /// minted [`Writer`]/[`Reader`] clients before calling, or the join
+    /// blocks until they drop. A sidecar configured with
+    /// [`OnViolation::Panic`](crate::OnViolation::Panic) that hit a
+    /// violation re-raises its panic here.
+    pub fn shutdown_audited(self) -> (u64, Option<AuditReport>) {
+        let LiveHandle { cluster, audit, .. } = self;
+        let report = audit.map(AuditSidecar::finish);
+        (cluster.shutdown(), report)
     }
 }
 

@@ -14,7 +14,7 @@
 //!     .protocol(spec)               which family/protocol: Spec::{Core,Tunable,Byz}
 //!     .backend(backend)             where it runs: Backend::{Sim, InMemory, Tcp}
 //!     .fast_wire(..) .gc(..)        optional knobs, validated per combination
-//!     .timeout(..)
+//!     .timeout(..) .audit(..)
 //!     .sim() / .in_memory() / .tcp() / .deploy()
 //! ```
 //!
@@ -61,16 +61,19 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod deploy;
 mod error;
 mod handle;
 mod spec;
 
+pub use audit::{AuditConfig, OnViolation};
 pub use deploy::{AnySimCluster, Deployment};
 pub use error::DeployError;
 pub use handle::{Handle, LiveHandle, Reader, SimHandle, Writer};
 pub use spec::{Backend, Spec};
 
 // The vocabulary a facade user needs without naming the member crates.
+pub use mwr_check::{AuditReport, AuditStats, Verdict, Violation};
 pub use mwr_core::{FastWire, Protocol, ScheduledOp, SimCluster};
 pub use mwr_runtime::TcpTuning;

@@ -14,14 +14,15 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use mwr_core::{
-    FastReadState, FastWire, Msg, OpHandle, OpId, ReadMode, Snapshot, SnapshotView, WitnessIndex,
-    WriteMode,
+    FastReadState, FastWire, Msg, OpHandle, OpId, OpKind, OpResult, ReadMode, Snapshot,
+    SnapshotView, WitnessIndex, WriteMode,
 };
 use mwr_types::codec::Wire;
 use mwr_types::{
     ClientId, ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId,
 };
 
+use crate::tap::AuditTap;
 use crate::transport::{Endpoint, TransportError};
 
 /// Errors returned by live operations.
@@ -77,6 +78,7 @@ pub struct LiveWriter<E: Endpoint> {
     timeout: Duration,
     /// Completed-operation floor, piggybacked on updates for GC.
     floor: TaggedValue,
+    tap: Option<AuditTap>,
 }
 
 impl<E: Endpoint> LiveWriter<E> {
@@ -96,7 +98,15 @@ impl<E: Endpoint> LiveWriter<E> {
             next_seq: 0,
             timeout: Duration::from_secs(5),
             floor: TaggedValue::initial(),
+            tap: None,
         }
+    }
+
+    /// Attaches an audit tap (builder-style): every write emits invocation
+    /// and completion records for the streaming auditor.
+    pub fn with_tap(mut self, tap: AuditTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Selects the per-round-trip quorum timeout (builder-style, like
@@ -122,6 +132,12 @@ impl<E: Endpoint> LiveWriter<E> {
     pub fn write(&mut self, value: Value) -> Result<TaggedValue, RuntimeError> {
         let op = OpId { client: ClientId::Writer(self.id), seq: self.next_seq };
         self.next_seq += 1;
+        // Writes are always recorded: every read verdict depends on them.
+        // The record goes out before the first protocol message so channel
+        // arrival order remains a real-time witness.
+        if let Some(tap) = &self.tap {
+            tap.invoked(op.client, op.seq, OpKind::Write(value));
+        }
         let tag = match self.mode {
             WriteMode::Fast => {
                 self.local_ts += 1;
@@ -157,6 +173,9 @@ impl<E: Endpoint> LiveWriter<E> {
             },
         )?;
         self.floor = self.floor.max(tagged);
+        if let Some(tap) = &self.tap {
+            tap.completed(op.client, op.seq, OpResult::Written(tagged));
+        }
         Ok(tagged)
     }
 }
@@ -179,6 +198,7 @@ pub struct LiveReader<E: Endpoint> {
     timeout: Duration,
     measure_payload: bool,
     last_payload: u64,
+    tap: Option<AuditTap>,
 }
 
 impl<E: Endpoint> LiveReader<E> {
@@ -221,7 +241,16 @@ impl<E: Endpoint> LiveReader<E> {
             timeout: Duration::from_secs(5),
             measure_payload: false,
             last_payload: 0,
+            tap: None,
         }
+    }
+
+    /// Attaches an audit tap (builder-style): sampled reads emit
+    /// invocation/completion records, and observed GC-floor advances are
+    /// reported to the streaming auditor.
+    pub fn with_tap(mut self, tap: AuditTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Selects the per-round-trip quorum timeout (builder-style, like
@@ -277,6 +306,15 @@ impl<E: Endpoint> LiveReader<E> {
     pub fn read(&mut self) -> Result<TaggedValue, RuntimeError> {
         let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
         self.next_seq += 1;
+        // The sampling decision is made at invocation and held for the
+        // completion so the auditor never sees half an operation.
+        let sampled = self.tap.as_ref().is_some_and(|t| t.samples_read(op.seq));
+        if sampled {
+            if let Some(tap) = &self.tap {
+                tap.invoked(op.client, op.seq, OpKind::Read);
+            }
+        }
+        let floor_before = self.gc_floor;
         let returned = match self.mode {
             ReadMode::Slow => {
                 let handle = OpHandle { op, phase: 1 };
@@ -332,6 +370,14 @@ impl<E: Endpoint> LiveReader<E> {
             }
         };
         self.floor = self.floor.max(returned);
+        if let Some(tap) = &self.tap {
+            if sampled {
+                tap.completed(op.client, op.seq, OpResult::Read(returned));
+            }
+            if self.gc_floor > floor_before {
+                tap.floor_advance(self.gc_floor);
+            }
+        }
         Ok(returned)
     }
 
@@ -360,6 +406,27 @@ impl<E: Endpoint> LiveReader<E> {
                 self.config.max_faults(),
                 self.config.readers() + 1,
             );
+            if self.gc_floor > self.floor {
+                // Late joiner: the announced floor outran our own
+                // completed-op floor, so servers may have pruned every
+                // value this client could witness at degree 1. Secure the
+                // snapshot maximum with a write-back round instead of
+                // trusting fast selection (mirrors the simulator client;
+                // see the GC argument in the server module docs).
+                let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
+                let handle = OpHandle { op, phase: 2 };
+                round_trip(
+                    &self.endpoint,
+                    &self.config,
+                    Msg::Update { handle, value: max_v, floor: self.floor },
+                    self.timeout,
+                    |msg| match msg {
+                        Msg::UpdateAck { handle: h } if h == handle => Some(()),
+                        _ => None,
+                    },
+                )?;
+                return Ok(max_v);
+            }
             return Ok(sel.select_return_value());
         }
         // Adaptive: return the maximum fast when it is safely admissible;

@@ -42,12 +42,14 @@
 mod client;
 mod cluster;
 mod server;
+mod tap;
 mod tcp;
 mod transport;
 
 pub use client::{LiveReader, LiveWriter, RuntimeError};
 pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
 pub use server::{spawn_server, spawn_server_with, ServerHandle};
+pub use tap::{AuditReceiver, AuditTap, DEFAULT_TAP_CAPACITY};
 pub use tcp::{PeerStats, TcpEndpoint, TcpRegistry, TcpTuning};
 pub use transport::{
     Endpoint, EndpointFactory, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError,

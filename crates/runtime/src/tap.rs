@@ -1,0 +1,136 @@
+//! The event-tap seam: sampled [`AuditRecord`]s out of live clients.
+//!
+//! An [`AuditTap`] is handed to [`LiveWriter`](crate::LiveWriter) /
+//! [`LiveReader`](crate::LiveReader) via their `with_tap` builders; the
+//! clients emit an `Invoked` record *before* an operation's first message
+//! and a `Completed` record *after* its last ack, so the channel's arrival
+//! order is a faithful real-time witness (the property the streaming
+//! auditor's truncation proof leans on). The receiving half is consumed by
+//! an audit sidecar (see `mwr-register`).
+//!
+//! Sampling: writes are always recorded — they are the scarce events every
+//! read's verdict depends on — while reads are sampled per client at
+//! `1/sample_every` by a deterministic counter, so the sampled stream stays
+//! well-formed per client. The sampling decision is made at invocation and
+//! remembered for the completion, so no half-operations ever reach the
+//! auditor.
+//!
+//! The channel is bounded: a stalled auditor applies backpressure to the
+//! sampled operations rather than growing without bound or silently
+//! dropping the records the verdict depends on.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mwr_core::{AuditRecord, OpKind, OpResult};
+use mwr_types::{ClientId, TaggedValue};
+
+/// Default bound on in-flight audit records.
+pub const DEFAULT_TAP_CAPACITY: usize = 65_536;
+
+/// The receiving half of an [`AuditTap`]: the audit sidecar drains this
+/// until every tap clone is gone.
+pub type AuditReceiver = Receiver<AuditRecord>;
+
+#[derive(Debug)]
+struct TapShared {
+    tx: Sender<AuditRecord>,
+    epoch: Instant,
+    /// Record every `sample_every`-th read per client; 1 = every read.
+    sample_every: u64,
+}
+
+/// A cloneable handle that live clients emit sampled operation records
+/// into. One tap serves a whole deployment; every clone stamps times from
+/// the same epoch.
+#[derive(Debug, Clone)]
+pub struct AuditTap {
+    shared: Arc<TapShared>,
+}
+
+impl AuditTap {
+    /// Creates a tap and the receiving half for the audit sidecar.
+    /// `sample_rate` is clamped to `(0, 1]` and converted to a per-client
+    /// read sampling period of `round(1/sample_rate)`.
+    pub fn bounded(sample_rate: f64, capacity: usize) -> (AuditTap, AuditReceiver) {
+        let rate = if sample_rate.is_finite() { sample_rate.clamp(1e-9, 1.0) } else { 1.0 };
+        let sample_every = (1.0 / rate).round().max(1.0) as u64;
+        let (tx, rx) = bounded(capacity.max(1));
+        (
+            AuditTap {
+                shared: Arc::new(TapShared { tx, epoch: Instant::now(), sample_every }),
+            },
+            rx,
+        )
+    }
+
+    /// Microseconds since this tap's epoch.
+    pub fn now_micros(&self) -> u64 {
+        u64::try_from(self.shared.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The per-client read sampling period (`1` = every read).
+    pub fn sample_every(&self) -> u64 {
+        self.shared.sample_every
+    }
+
+    /// Whether the read with per-client ordinal `ordinal` is sampled.
+    pub(crate) fn samples_read(&self, ordinal: u64) -> bool {
+        ordinal.is_multiple_of(self.shared.sample_every)
+    }
+
+    fn emit(&self, record: AuditRecord) {
+        // A closed receiver means auditing was torn down; keep serving
+        // traffic rather than failing operations.
+        let _ = self.shared.tx.send(record);
+    }
+
+    pub(crate) fn invoked(&self, client: ClientId, seq: u64, kind: OpKind) {
+        self.emit(AuditRecord::Invoked { client, seq, kind, at_micros: self.now_micros() });
+    }
+
+    pub(crate) fn completed(&self, client: ClientId, seq: u64, result: OpResult) {
+        self.emit(AuditRecord::Completed { client, seq, result, at_micros: self.now_micros() });
+    }
+
+    pub(crate) fn floor_advance(&self, floor: TaggedValue) {
+        self.emit(AuditRecord::FloorAdvance { floor });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_period_from_rate() {
+        let (tap, _rx) = AuditTap::bounded(0.1, 16);
+        assert_eq!(tap.sample_every(), 10);
+        assert!(tap.samples_read(0) && tap.samples_read(10) && !tap.samples_read(3));
+        let (tap, _rx) = AuditTap::bounded(1.0, 16);
+        assert_eq!(tap.sample_every(), 1);
+        let (tap, _rx) = AuditTap::bounded(7.0, 16); // nonsense clamps to 1.0
+        assert_eq!(tap.sample_every(), 1);
+    }
+
+    #[test]
+    fn records_flow_in_order() {
+        let (tap, rx) = AuditTap::bounded(1.0, 16);
+        tap.invoked(ClientId::writer(0), 0, OpKind::Write(mwr_types::Value::new(1)));
+        tap.completed(
+            ClientId::writer(0),
+            0,
+            OpResult::Written(TaggedValue::initial()),
+        );
+        assert!(matches!(rx.recv().unwrap(), AuditRecord::Invoked { seq: 0, .. }));
+        assert!(matches!(rx.recv().unwrap(), AuditRecord::Completed { seq: 0, .. }));
+    }
+
+    #[test]
+    fn tap_survives_a_dropped_receiver() {
+        let (tap, rx) = AuditTap::bounded(1.0, 1);
+        drop(rx);
+        tap.floor_advance(TaggedValue::initial()); // must not block or panic
+    }
+}

@@ -32,7 +32,12 @@
 //!   (connected but not reading) can block a sender for at most the
 //!   timeout before being negative-cached too. Frames to an unreachable
 //!   peer are dropped — precisely the crash model the quorum protocols
-//!   tolerate.
+//!   tolerate. The cache is **forgiven early by inbound traffic**: a
+//!   frame arriving *from* a negative-cached peer after its last failure
+//!   is proof the peer is back, so the next send reconnects immediately
+//!   instead of silently dropping frames for the rest of the backoff —
+//!   without this, a recovered peer stayed unreachable for up to a full
+//!   backoff window after it had already resumed talking to us.
 //! - **Receive-buffer reuse.** Connections are read through a buffered
 //!   reader (many frames per syscall) into one per-connection body buffer,
 //!   decoded in place (`Wire::decode` works on `&mut &[u8]`) — no
@@ -70,6 +75,17 @@ const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// Largest buffer capacity a pipeline or reader retains across frames;
 /// anything bigger (a full-info burst) is released after use.
 const BUF_RETAIN: usize = 1024 * 1024;
+
+/// How often a reader thread re-marks a peer as heard-from. Coarser than
+/// per-frame so a busy connection costs one map update per interval, but
+/// far finer than any sensible [`TcpTuning::reconnect_backoff`].
+const INBOUND_MARK_INTERVAL: Duration = Duration::from_millis(5);
+
+/// When each peer was last *heard from* (an inbound frame decoded with its
+/// id), shared by the endpoint's reader threads (who write marks) and its
+/// writer pipelines (who read them in [`PeerIo::try_connect`] to forgive
+/// the reconnect negative cache early).
+type InboundSeen = Arc<Mutex<HashMap<ProcessId, Instant>>>;
 
 fn io_err(e: std::io::Error) -> TransportError {
     TransportError::Io { kind: e.kind() }
@@ -218,6 +234,7 @@ struct PeerIo {
     conn: Option<TcpStream>,
     buf: BytesMut,
     last_failed: Option<Instant>,
+    inbound: InboundSeen,
 }
 
 impl PeerIo {
@@ -278,10 +295,17 @@ impl PeerIo {
     }
 
     /// Attempts one connection, respecting the negative cache: after a
-    /// failed connect, no syscall is issued until the backoff has elapsed.
+    /// failed connect, no syscall is issued until the backoff has elapsed
+    /// — unless the peer has been *heard from* since the failure, which
+    /// forgives the cache immediately (a restarted peer that already
+    /// resumed sending must not keep losing our frames for the rest of
+    /// the backoff window).
     fn try_connect(&mut self, stats: &PipelineStats) -> Option<TcpStream> {
         if let Some(at) = self.last_failed {
-            if at.elapsed() < self.tuning.reconnect_backoff {
+            let forgiven = self.inbound.lock().get(&self.to).is_some_and(|&seen| seen > at);
+            if forgiven {
+                self.last_failed = None;
+            } else if at.elapsed() < self.tuning.reconnect_backoff {
                 return None;
             }
         }
@@ -348,6 +372,7 @@ impl PeerPipeline {
         to: ProcessId,
         registry: TcpRegistry,
         tuning: TcpTuning,
+        inbound: InboundSeen,
     ) -> PeerPipeline {
         // Clamp at the transport layer, not just in the facade's knob
         // validation: a zero-capacity bounded channel can never accept a
@@ -367,6 +392,7 @@ impl PeerPipeline {
                 conn: None,
                 buf: BytesMut::new(),
                 last_failed: None,
+                inbound,
             })),
             stats: Arc::new(PipelineStats::default()),
             drain: Arc::new(Mutex::new(DrainState { rx: Some(rx), join: None })),
@@ -511,6 +537,9 @@ pub struct TcpEndpoint {
     pipelines: Mutex<HashMap<ProcessId, PeerPipeline>>,
     /// Cached connections for the [`TcpTuning::legacy_send`] path only.
     legacy_outbound: Mutex<HashMap<ProcessId, TcpStream>>,
+    /// Last-heard-from marks written by the reader threads, read by the
+    /// writer pipelines to forgive the reconnect negative cache.
+    inbound: InboundSeen,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
 }
@@ -530,9 +559,11 @@ impl TcpEndpoint {
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor_stop = Arc::clone(&stop);
         let legacy = registry.tuning().legacy_send;
+        let inbound: InboundSeen = Arc::default();
+        let acceptor_inbound = Arc::clone(&inbound);
         thread::Builder::new()
             .name(format!("tcp-acceptor-{id}"))
-            .spawn(move || acceptor_loop(listener, tx, acceptor_stop, legacy))
+            .spawn(move || acceptor_loop(listener, tx, acceptor_stop, legacy, acceptor_inbound))
             .map_err(io_err)?;
         Ok(TcpEndpoint {
             id,
@@ -541,6 +572,7 @@ impl TcpEndpoint {
             tuning: registry.tuning(),
             pipelines: Mutex::new(HashMap::new()),
             legacy_outbound: Mutex::new(HashMap::new()),
+            inbound,
             local_addr,
             stop,
         })
@@ -578,8 +610,14 @@ impl TcpEndpoint {
                     if self.registry.lookup(to).is_none() {
                         return Err(TransportError::UnknownDestination { to });
                     }
-                    e.insert(PeerPipeline::new(self.id, to, self.registry.clone(), self.tuning))
-                        .handles()
+                    e.insert(PeerPipeline::new(
+                        self.id,
+                        to,
+                        self.registry.clone(),
+                        self.tuning,
+                        Arc::clone(&self.inbound),
+                    ))
+                    .handles()
                 }
             }
         };
@@ -638,30 +676,38 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn acceptor_loop(listener: TcpListener, tx: Sender<Inbound>, stop: Arc<AtomicBool>, legacy: bool) {
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: Sender<Inbound>,
+    stop: Arc<AtomicBool>,
+    legacy: bool,
+    inbound: InboundSeen,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { break };
         let tx = tx.clone();
+        let inbound = Arc::clone(&inbound);
         let _ = thread::Builder::new().name("tcp-reader".into()).spawn(move || {
             if legacy {
                 reader_loop_legacy(stream, &tx);
             } else {
-                reader_loop(stream, &tx);
+                reader_loop(stream, &tx, &inbound);
             }
         });
     }
 }
 
-fn reader_loop(stream: TcpStream, tx: &Sender<Inbound>) {
+fn reader_loop(stream: TcpStream, tx: &Sender<Inbound>, inbound: &InboundSeen) {
     // Buffered reads pull many frames per syscall, and one body buffer
     // lives for the connection's lifetime (grown to the largest frame
     // seen) with frames decoded from it in place — no read syscall for
     // the 4-byte length prefix, no allocation per frame.
     let mut stream = std::io::BufReader::with_capacity(64 * 1024, stream);
     let mut body: Vec<u8> = Vec::new();
+    let mut last_mark: Option<Instant> = None;
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -678,6 +724,17 @@ fn reader_loop(stream: TcpStream, tx: &Sender<Inbound>) {
         let mut cursor: &[u8] = &body;
         let Ok(from) = ProcessId::decode(&mut cursor) else { return };
         let Ok(msg) = Msg::decode(&mut cursor) else { return };
+        // Mark the peer heard-from (throttled per connection) so a send
+        // pipeline holding a negative-cache entry for it reconnects on
+        // the next send instead of waiting out the backoff.
+        let now = Instant::now();
+        match last_mark {
+            Some(at) if now.duration_since(at) < INBOUND_MARK_INTERVAL => {}
+            _ => {
+                inbound.lock().insert(from, now);
+                last_mark = Some(now);
+            }
+        }
         if tx.send((from, msg)).is_err() {
             return;
         }
@@ -745,7 +802,13 @@ impl Endpoint for TcpEndpoint {
                         if self.registry.lookup(to).is_none() {
                             continue; // dead peer: the tolerated failure
                         }
-                        e.insert(PeerPipeline::new(self.id, to, self.registry.clone(), self.tuning))
+                        e.insert(PeerPipeline::new(
+                            self.id,
+                            to,
+                            self.registry.clone(),
+                            self.tuning,
+                            Arc::clone(&self.inbound),
+                        ))
                     }
                 };
                 staged.push((pipeline.handles(), msg));
@@ -854,6 +917,59 @@ mod tests {
             assert!(Instant::now() < deadline, "pipeline never drained: {stats:?}");
             thread::yield_now();
         }
+    }
+
+    #[test]
+    fn inbound_traffic_forgives_a_negative_cached_peer() {
+        // Backoff far longer than the test: if the recovered peer gets a
+        // frame at all, it got it because inbound traffic forgave the
+        // cache, not because the backoff expired.
+        let tuning = TcpTuning { reconnect_backoff: Duration::from_secs(30), ..TcpTuning::default() };
+        let registry = TcpRegistry::new().with_tuning(tuning);
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+
+        // Healthy traffic establishes a's pipeline to b.
+        a.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(1))).unwrap();
+        b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // Crash b and keep sending until the pipeline negative-caches it
+        // (the first write after a close can still land in the OS buffer,
+        // so poll for the drop instead of assuming the first send fails).
+        drop(b);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            a.send(ProcessId::server(0), Msg::InvokeRead).unwrap();
+            let stats = a.peer_stats(ProcessId::server(0)).unwrap();
+            if stats.frames_dropped > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "crashed peer never negative-cached: {stats:?}");
+            thread::sleep(Duration::from_millis(1));
+        }
+
+        // Restart b under the same id: `bind` re-registers the (new)
+        // address. Its first outbound frame is the proof-of-life that must
+        // forgive a's negative cache.
+        let b2 = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        b2.send(ProcessId::writer(0), Msg::InvokeRead).unwrap();
+        // Receiving it means a's reader thread decoded (and marked) the
+        // peer before handing the frame to the inbox.
+        let (from, _) = a.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, ProcessId::server(0));
+
+        // The very next send must go through — 30 s before the backoff
+        // would have allowed a reconnect.
+        a.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(42))).unwrap();
+        let (_, msg) = b2.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg, Msg::InvokeWrite(Value::new(42)), "send resumed after forgiveness");
+
+        let stats = a.peer_stats(ProcessId::server(0)).unwrap();
+        assert!(stats.frames_dropped >= 1, "crash phase dropped frames: {stats:?}");
+        assert!(
+            stats.connect_attempts <= 4,
+            "forgiveness must not open a connect storm: {stats:?}"
+        );
     }
 
     #[test]

@@ -37,6 +37,9 @@ mod table;
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };
-pub use live::{run_closed_loop_live, run_open_loop_live, ThroughputReport};
+pub use live::{
+    run_closed_loop_live, run_closed_loop_live_audited, run_open_loop_live,
+    run_open_loop_live_audited, ThroughputReport,
+};
 pub use stats::{LatencyStats, LatencySummary};
 pub use table::TextTable;

@@ -11,7 +11,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mwr_core::FastWire;
-use mwr_runtime::{EndpointFactory, RuntimeCluster, RuntimeError};
+use mwr_runtime::{AuditTap, EndpointFactory, RuntimeCluster, RuntimeError};
 use mwr_sim::SimTime;
 use mwr_types::Value;
 
@@ -60,9 +60,28 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     spec: WorkloadSpec,
 ) -> Result<WorkloadReport, RuntimeError> {
+    run_closed_loop_live_audited(cluster, wire, timeout, spec, None)
+}
+
+/// [`run_closed_loop_live`] with an optional [`AuditTap`]: when a tap is
+/// given, every client the driver mints emits sampled operation records
+/// into it, so the whole drive runs under the streaming linearizability
+/// auditor consuming the tap's receiver.
+///
+/// # Errors
+///
+/// Returns the first client's [`RuntimeError`] if an endpoint cannot be
+/// opened or an operation fails (e.g. a quorum timeout).
+pub fn run_closed_loop_live_audited<F: EndpointFactory>(
+    cluster: &RuntimeCluster<F>,
+    wire: FastWire,
+    timeout: Option<Duration>,
+    spec: WorkloadSpec,
+    tap: Option<&AuditTap>,
+) -> Result<WorkloadReport, RuntimeError> {
     let duration = Duration::from_micros(spec.duration.ticks());
     let think = Duration::from_micros(spec.think_time.ticks());
-    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, think)?;
+    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, think, tap)?;
     Ok(WorkloadReport {
         events: Vec::new(),
         reads,
@@ -121,7 +140,26 @@ pub fn run_open_loop_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     duration: Duration,
 ) -> Result<ThroughputReport, RuntimeError> {
-    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, Duration::ZERO)?;
+    run_open_loop_live_audited(cluster, wire, timeout, duration, None)
+}
+
+/// [`run_open_loop_live`] with an optional [`AuditTap`]: when a tap is
+/// given, every client the driver mints emits sampled operation records
+/// into it, so throughput sweeps and fault scenarios run continuously
+/// verified by the streaming auditor on the tap's receiving end.
+///
+/// # Errors
+///
+/// Returns the first client's [`RuntimeError`] if an endpoint cannot be
+/// opened or an operation fails (e.g. a quorum timeout).
+pub fn run_open_loop_live_audited<F: EndpointFactory>(
+    cluster: &RuntimeCluster<F>,
+    wire: FastWire,
+    timeout: Option<Duration>,
+    duration: Duration,
+    tap: Option<&AuditTap>,
+) -> Result<ThroughputReport, RuntimeError> {
+    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, Duration::ZERO, tap)?;
     Ok(ThroughputReport { reads, writes, elapsed })
 }
 
@@ -134,6 +172,7 @@ fn drive_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     duration: Duration,
     think: Duration,
+    tap: Option<&AuditTap>,
 ) -> Result<(LatencyStats, LatencyStats, Duration), RuntimeError> {
     let config = cluster.config();
 
@@ -145,6 +184,9 @@ fn drive_live<F: EndpointFactory>(
         if let Some(t) = timeout {
             client = client.with_timeout(t);
         }
+        if let Some(tap) = tap {
+            client = client.with_tap(tap.clone());
+        }
         writers.push((w, client));
     }
     let mut readers = Vec::with_capacity(config.readers());
@@ -152,6 +194,9 @@ fn drive_live<F: EndpointFactory>(
         let mut client = cluster.reader_with_wire(r, wire)?;
         if let Some(t) = timeout {
             client = client.with_timeout(t);
+        }
+        if let Some(tap) = tap {
+            client = client.with_tap(tap.clone());
         }
         readers.push(client);
     }
@@ -238,6 +283,41 @@ mod tests {
         assert!(report.reads.count() > 0 && report.writes.count() > 0);
         assert!(report.ops_per_sec() > 0.0);
         assert!(report.elapsed >= Duration::from_millis(30));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn audited_open_loop_records_every_sampled_operation() {
+        let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+        let cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let (tap, rx) = AuditTap::bounded(1.0, mwr_runtime::DEFAULT_TAP_CAPACITY);
+        // Drain concurrently like a real sidecar, so the drive never sees
+        // tap backpressure no matter how fast the in-memory cluster runs.
+        let drain = thread::spawn(move || {
+            let mut count = 0usize;
+            while rx.recv().is_ok() {
+                count += 1;
+            }
+            count
+        });
+        let report = run_open_loop_live_audited(
+            &cluster,
+            FastWire::default(),
+            None,
+            Duration::from_millis(30),
+            Some(&tap),
+        )
+        .unwrap();
+        drop(tap);
+        let records = drain.join().unwrap();
+        // Sample rate 1.0: every completed operation contributed an
+        // Invoked and a Completed record (floor advances come on top).
+        assert!(
+            records >= 2 * report.ops(),
+            "expected >= {} records, got {records}",
+            2 * report.ops()
+        );
         cluster.shutdown();
     }
 

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use mwr::core::{Msg, OpHandle, OpId};
-use mwr::register::{Backend, Deployment, Protocol};
+use mwr::register::{AuditConfig, Backend, Deployment, Protocol};
 use mwr::runtime::{Endpoint as _, RuntimeError, TcpEndpoint, TcpRegistry, TcpTuning};
 use mwr::types::{ClientId, ClusterConfig, ProcessId, Tag, TaggedValue, Value, WriterId};
 
@@ -223,6 +223,142 @@ fn tcp_pipeline_graceful_under_crash_load() {
         crash.join().unwrap();
     });
     cluster.shutdown();
+}
+
+/// The crash-a-minority-under-load scenario re-run *continuously
+/// verified*: every operation flows through the streaming auditor
+/// (`sample_rate = 1.0`) while a server crashes mid-hammer. The verdict
+/// must stay clean, and the small window must force truncation — the
+/// auditor keeps up with fault-scenario traffic without retaining it.
+#[test]
+fn crash_under_load_stays_atomic_under_full_audit() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_secs(10))
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .tcp()
+        .unwrap();
+    let mut writers: Vec<_> = (0..2).map(|w| cluster.writer(w).unwrap()).collect();
+    let mut readers: Vec<_> = (0..2).map(|r| cluster.reader(r).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        let crash = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            cluster.crash_server(1);
+        });
+        for (w, writer) in writers.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for i in 0..60u64 {
+                    writer
+                        .write(Value::new(w as u64 * 1_000 + i))
+                        .expect("writes survive a crashed minority");
+                }
+            });
+        }
+        for reader in readers.iter_mut() {
+            scope.spawn(move || {
+                for _ in 0..60 {
+                    reader.read().expect("reads survive a crashed minority");
+                }
+            });
+        }
+        crash.join().unwrap();
+    });
+    // Tap clones live in the minted clients; the sidecar joins once they
+    // are gone.
+    drop(writers);
+    drop(readers);
+    let (_handled, report) = cluster.shutdown_audited();
+    let report = report.expect("deployment was armed with an auditor");
+    assert!(
+        report.verdict.is_ok(),
+        "crash-under-load traffic must stay atomic: {report}; {:?}",
+        report.verdict
+    );
+    assert_eq!(report.stats.audited, 240, "2 writers + 2 readers x 60 ops, all sampled");
+    assert!(report.stats.truncated > 0, "the small window must truncate: {report}");
+    assert!(
+        (report.stats.window_high_water as u64) < report.stats.audited,
+        "window stays bounded under fault load: {report}"
+    );
+}
+
+/// A reconnect storm, continuously verified: reader slot 1's endpoint is
+/// torn down and re-bound over and over while fully audited writers and a
+/// stable reader keep the cluster under load. Every teardown leaves the
+/// servers' cached reply connections pointing at a dead socket; every
+/// re-bind registers a new address, so replies only resume once the
+/// reply pipelines notice the failure, negative-cache the peer, and then
+/// *forgive* the cache on the re-bound reader's next inbound request.
+/// The storm reader is minted straight off the runtime cluster (no audit
+/// tap: a re-bound endpoint restarts its op sequence numbers, which would
+/// collide in the auditor's window); the audited stable clients assert
+/// the storm never costs atomicity or liveness.
+#[test]
+fn reconnect_storm_stays_atomic_under_full_audit() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_secs(10))
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .tcp()
+        .unwrap();
+    let mut writers: Vec<_> = (0..2).map(|w| cluster.writer(w).unwrap()).collect();
+    let mut reader = cluster.reader(0).unwrap();
+    let runtime = cluster.cluster();
+
+    std::thread::scope(|scope| {
+        for (w, writer) in writers.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for i in 0..80u64 {
+                    writer
+                        .write(Value::new(w as u64 * 1_000 + i))
+                        .expect("writes keep completing through the storm");
+                }
+            });
+        }
+        let reader = &mut reader;
+        scope.spawn(move || {
+            let mut last = TaggedValue::initial();
+            for _ in 0..80 {
+                let got = reader.read().expect("reads keep completing through the storm");
+                assert!(got >= last, "monotonic reads through the storm");
+                last = got;
+            }
+        });
+        scope.spawn(move || {
+            for round in 0..6 {
+                let mut churn = runtime
+                    .reader(1)
+                    .expect("storm reader re-binds its endpoint")
+                    .with_timeout(Duration::from_millis(250));
+                // The first request after a re-bind may lose its replies to
+                // the stale connections it is about to invalidate; a later
+                // one must get through once the pipelines forgive the
+                // negative-cached peer (within one backoff, not after it).
+                let ok = (0..8).any(|_| churn.read().is_ok());
+                assert!(ok, "storm round {round}: reply pipelines never forgave the re-bound reader");
+            }
+        });
+    });
+    drop(writers);
+    drop(reader);
+    let (_handled, report) = cluster.shutdown_audited();
+    let report = report.expect("deployment was armed with an auditor");
+    assert!(
+        report.verdict.is_ok(),
+        "storm traffic must stay atomic: {report}; {:?}",
+        report.verdict
+    );
+    assert_eq!(report.stats.audited, 240, "2 writers x 80 + stable reader x 80, all sampled");
+    assert!(report.stats.truncated > 0, "the small window must truncate: {report}");
+    assert!(
+        (report.stats.window_high_water as u64) < report.stats.audited,
+        "window stays bounded through the storm: {report}"
+    );
 }
 
 /// Fault injection now works on the TCP backend too: a crashed minority

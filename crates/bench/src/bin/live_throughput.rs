@@ -28,13 +28,27 @@
 //! Emits `BENCH_live_throughput.json`. With `--assert-floor`, exits
 //! non-zero if any pipeline/channel sweep point completes fewer than
 //! `--floor` ops/sec (default 50) — the CI liveness-under-load gate.
+//!
+//! With `--faults rolling-restart|churn-storm` (comma-separable) the bin
+//! runs the named audited chaos scenario(s) instead of the sweep: a
+//! deterministic [`FaultPlan`] is armed on the deployment and driven with
+//! `run_chaos` while stable clients measure throughput *through* the
+//! faults. Rolling restart crashes and rejoins every TCP server once
+//! (quorum state transfer on the live wire); churn storm floods the
+//! in-memory cluster with hundreds of short-lived clients that join, read,
+//! and depart floor-safely. Emits `BENCH_chaos.json` in the same
+//! sweep-line shape (`send_path` = scenario) so `bench_delta` renders
+//! chaos rows too, and exits non-zero on any auditor violation, failed
+//! operation, unhealed fault, or unrecovered server.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use mwr_bench::args::Args;
 use mwr_core::Protocol;
-use mwr_register::{AuditConfig, AuditReport, Backend, Deployment, LiveHandle, TcpTuning};
+use mwr_register::{
+    AuditConfig, AuditReport, Backend, Deployment, FaultPlan, LiveHandle, RetryPolicy, TcpTuning,
+};
 use mwr_runtime::EndpointFactory;
 use mwr_types::ClusterConfig;
 use mwr_workload::{TextTable, ThroughputReport};
@@ -186,6 +200,248 @@ fn measure_audit_overhead(
     }
 }
 
+/// One completed chaos scenario, with the throughput numbers flattened at
+/// construction (percentile extraction needs the report mutable).
+struct ChaosRow {
+    scenario: &'static str,
+    transport: &'static str,
+    protocol: Protocol,
+    writers: usize,
+    readers: usize,
+    servers: usize,
+    /// Plan-specific expectation: servers each crashed+rejoined once
+    /// (rolling restart) or churn clients each joined+departed once.
+    expected_cycles: u32,
+    ops: usize,
+    ops_per_sec: f64,
+    wr_p50_us: u64,
+    wr_p99_us: u64,
+    rd_p50_us: u64,
+    rd_p99_us: u64,
+    report: mwr_register::ChaosReport,
+    audit: Option<AuditReport>,
+}
+
+const CHAOS_SERVERS: usize = 3;
+
+/// Runs the armed fault plan and flattens the report; generic over the
+/// transport.
+fn drive_chaos<F: EndpointFactory>(
+    mut cluster: LiveHandle<F>,
+    duration: Duration,
+    scenario: &'static str,
+    transport: &'static str,
+    expected_cycles: u32,
+) -> ChaosRow {
+    let mut report = cluster.run_chaos(duration).expect("chaos drive");
+    let (_handled, audit) = cluster.shutdown_audited();
+    ChaosRow {
+        scenario,
+        transport,
+        protocol: Protocol::W2R1,
+        writers: 2,
+        readers: 2,
+        servers: CHAOS_SERVERS,
+        expected_cycles,
+        ops: report.throughput.ops(),
+        ops_per_sec: report.throughput.ops_per_sec(),
+        wr_p50_us: report.throughput.writes.percentile(50.0).ticks(),
+        wr_p99_us: report.throughput.writes.percentile(99.0).ticks(),
+        rd_p50_us: report.throughput.reads.percentile(50.0).ticks(),
+        rd_p99_us: report.throughput.reads.percentile(99.0).ticks(),
+        report,
+        audit,
+    }
+}
+
+/// Deploys the named scenario, drives it under the fault plan, and
+/// returns the measured row. Exits with usage on an unknown name.
+fn run_fault_scenario(kind: &str, quick: bool, audit: Option<AuditConfig>) -> ChaosRow {
+    let config = ClusterConfig::new(CHAOS_SERVERS, 1, 2, 2).expect("chaos cluster config");
+    match kind {
+        "rolling-restart" => {
+            // The fault-window client configuration: a round whose frames
+            // died with a crashed (or freshly re-bound) server times out
+            // fast, and the retry's re-broadcast reconnects to the
+            // incarnation's new address.
+            let mut deployment = Deployment::new(config)
+                .protocol(Protocol::W2R1)
+                .backend(Backend::Tcp)
+                .timeout(Duration::from_millis(400))
+                .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) })
+                .inject(FaultPlan::rolling_restart(CHAOS_SERVERS as u32, 150));
+            if let Some(cfg) = audit {
+                deployment = deployment.audit(cfg);
+            }
+            let cluster = deployment.tcp().expect("tcp chaos cluster");
+            let duration = Duration::from_millis(if quick { 2_000 } else { 4_000 });
+            drive_chaos(cluster, duration, "rolling-restart", "tcp", CHAOS_SERVERS as u32)
+        }
+        "churn-storm" => {
+            let clients: u32 = if quick { 200 } else { 500 };
+            let mut deployment = Deployment::new(config)
+                .protocol(Protocol::W2R1)
+                .backend(Backend::InMemory)
+                .inject(FaultPlan::churn_storm(clients, 2, 20));
+            if let Some(cfg) = audit {
+                deployment = deployment.audit(cfg);
+            }
+            let cluster = deployment.in_memory().expect("in-memory chaos cluster");
+            let duration = Duration::from_millis(if quick { 1_000 } else { 2_000 });
+            drive_chaos(cluster, duration, "churn-storm", "in-memory", clients)
+        }
+        other => {
+            eprintln!("--faults expects rolling-restart|churn-storm (comma-separable), got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Everything wrong with a finished scenario: empty means it passed.
+fn chaos_failures(row: &ChaosRow) -> Vec<String> {
+    let r = &row.report;
+    let mut fails = Vec::new();
+    if !r.healed() {
+        fails.push(format!(
+            "unhealed faults: {} rejoin failure(s), {} skipped step(s), {} failed op(s), \
+             {} of {} churn clients departed",
+            r.rejoin_failures, r.steps_skipped, r.failed_ops, r.churn_departed, r.churn_joined,
+        ));
+    }
+    if r.live_servers.len() != row.servers {
+        fails.push(format!(
+            "unrecovered server(s): {:?} live of {}",
+            r.live_servers, row.servers
+        ));
+    }
+    let cycles_ok = match row.scenario {
+        "rolling-restart" => r.crashes == row.expected_cycles && r.rejoins == row.expected_cycles,
+        _ => r.churn_joined == row.expected_cycles,
+    };
+    if !cycles_ok {
+        fails.push(format!(
+            "plan under-ran: {} crashes / {} rejoins / {} churn joins, expected {} cycles",
+            r.crashes, r.rejoins, r.churn_joined, row.expected_cycles,
+        ));
+    }
+    if let Some(a) = &row.audit {
+        if !a.verdict.is_ok() {
+            fails.push(format!("AUDIT VIOLATION: {a}"));
+        }
+    }
+    fails
+}
+
+/// `BENCH_chaos.json`: the scenarios in the sweep-line shape
+/// `bench_delta` parses (`send_path` = scenario), plus the chaos counters.
+fn chaos_to_json(rows: &[ChaosRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"experiment\": \"live_throughput_chaos\",\n  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        let _ = write!(
+            s,
+            "    {{\"transport\": \"{}\", \"send_path\": \"{}\", \"protocol\": \"{}\", \
+             \"writers\": {}, \"readers\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"wr_p50_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p99_us\": {}, \
+             \"crashes\": {}, \"rejoins\": {}, \"churn_joined\": {}, \"churn_departed\": {}, \
+             \"churn_reads\": {}, \"failed_ops\": {}, \"steps_skipped\": {}, \"live_servers\": {}",
+            row.transport,
+            row.scenario,
+            row.protocol.name(),
+            row.writers,
+            row.readers,
+            row.ops,
+            row.ops_per_sec,
+            row.wr_p50_us,
+            row.wr_p99_us,
+            row.rd_p50_us,
+            row.rd_p99_us,
+            r.crashes,
+            r.rejoins,
+            r.churn_joined,
+            r.churn_departed,
+            r.churn_reads,
+            r.failed_ops,
+            r.steps_skipped,
+            r.live_servers.len(),
+        );
+        if let Some(a) = &row.audit {
+            let _ = write!(
+                s,
+                ", \"ops_audited\": {}, \"audit_ok\": {}",
+                a.stats.audited,
+                a.verdict.is_ok(),
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The `--faults` entry point: run each named scenario, print the table,
+/// write `BENCH_chaos.json`, and exit non-zero if any scenario failed.
+fn run_chaos_mode(kinds: &str, quick: bool, audit: Option<AuditConfig>) -> ! {
+    let rows: Vec<ChaosRow> = kinds
+        .split(',')
+        .map(str::trim)
+        .filter(|k| !k.is_empty())
+        .map(|kind| run_fault_scenario(kind, quick, audit))
+        .collect();
+    if rows.is_empty() {
+        eprintln!("--faults expects at least one scenario name");
+        std::process::exit(2);
+    }
+
+    let mut table = TextTable::new(vec![
+        "scenario", "transport", "ops", "ops/s", "wr p99µs", "rd p99µs", "crash/rejoin",
+        "churn join/depart", "failed", "live",
+    ]);
+    for row in &rows {
+        let r = &row.report;
+        table.row(vec![
+            row.scenario.to_string(),
+            row.transport.to_string(),
+            row.ops.to_string(),
+            format!("{:.0}", row.ops_per_sec),
+            row.wr_p99_us.to_string(),
+            row.rd_p99_us.to_string(),
+            format!("{}/{}", r.crashes, r.rejoins),
+            format!("{}/{}", r.churn_joined, r.churn_departed),
+            r.failed_ops.to_string(),
+            format!("{}/{}", r.live_servers.len(), row.servers),
+        ]);
+    }
+    println!(
+        "== chaos: audited fault scenarios (S={} t=1, stable 2x2 clients) ==\n",
+        rows[0].servers
+    );
+    println!("{table}");
+    for row in &rows {
+        if let Some(a) = &row.audit {
+            println!("{}: {}", row.scenario, a);
+        }
+    }
+
+    std::fs::write("BENCH_chaos.json", chaos_to_json(&rows)).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+
+    let mut failed = false;
+    for row in &rows {
+        for fail in chaos_failures(row) {
+            eprintln!("FAIL [{}]: {fail}", row.scenario);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos gate passed: every fault healed, every server recovered, audit clean");
+    std::process::exit(0);
+}
+
 /// Hand-rolled JSON (the workspace vendors no serde_json).
 fn to_json(
     duration: Duration,
@@ -268,9 +524,21 @@ fn main() {
     args.expect_known(
         "live_throughput",
         &["quick", "assert-floor", "legacy-send", "audit"],
-        &["duration-ms", "floor", "protocol", "transport", "audit-sample"],
+        &["duration-ms", "floor", "protocol", "transport", "audit-sample", "faults"],
     );
     let quick = args.flag("quick");
+    if let Some(kinds) = args.get("faults") {
+        // Chaos mode replaces the sweep entirely. The auditor defaults to
+        // sampling everything here: a fault window is exactly where a
+        // stale read would hide, and the op volume is modest.
+        let rate = args
+            .get("audit-sample")
+            .map_or(1.0, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
+        let audit = args
+            .flag("audit")
+            .then(|| AuditConfig { sample_rate: rate, ..AuditConfig::default() });
+        run_chaos_mode(kinds, quick, audit);
+    }
     let assert_floor = args.flag("assert-floor");
     let legacy_only = args.flag("legacy-send");
     let audit_sweep = args.flag("audit");

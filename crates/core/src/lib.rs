@@ -81,8 +81,8 @@ pub use client::{FastWire, ReadMode, RegisterClient, WriteMode};
 pub use cluster::{Cluster, ScheduledOp, SimCluster};
 pub use events::{ClientEvent, OpKind, OpResult};
 pub use msg::{
-    ClientSet, DeltaSnapshot, FastReadState, Msg, OpHandle, OpId, ReaderCache, Snapshot,
-    SnapshotCache, ValueRecord,
+    ClientSet, DeltaSnapshot, FastReadState, FloorReport, Msg, OpHandle, OpId, ReaderCache,
+    Snapshot, SnapshotCache, StateTransfer, ValueRecord,
 };
 pub use protocol::{ParseProtocolError, Protocol};
 pub use server::{RegisterServer, ServerState};

@@ -123,6 +123,44 @@ pub struct DeltaSnapshot {
     pub entries: Vec<ValueRecord>,
 }
 
+/// One client's reported completed-operation floor, as carried inside a
+/// [`StateTransfer`] so a recovering server inherits its peers' GC progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorReport {
+    /// The reporting client.
+    pub client: ClientId,
+    /// The largest tag the client has returned or written, as known to the
+    /// transferring server.
+    pub floor: TaggedValue,
+}
+
+/// A catch-up snapshot of one server's full state, shipped to a recovering
+/// peer during rejoin ([`Msg::StateFetch`] / [`Msg::StateSnapshot`]).
+///
+/// Carries everything a rejoined server needs to serve quorums again
+/// without corrupting anyone: the full store with its registration sets,
+/// the sender's registration-version high-water mark (so the recovering
+/// server can resume *above* every version stamp a reader might hold), the
+/// GC floor (so pruned tags are never resurrected), and the sender's GC
+/// membership and floor reports (so pruning re-engages without waiting for
+/// every client to speak again). See `ServerState::install` for the merge
+/// rules and the soundness argument.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateTransfer {
+    /// The sender's registration-version high-water mark.
+    pub version: u64,
+    /// The sender's current maximum value `vali`.
+    pub latest: TaggedValue,
+    /// The sender's GC floor: everything strictly below it is dead.
+    pub pruned: TaggedValue,
+    /// The sender's full store: every value with its registered clients.
+    pub entries: Vec<ValueRecord>,
+    /// GC membership: every client the sender has heard from.
+    pub seen: Vec<ClientId>,
+    /// The completed-operation floors reported to the sender.
+    pub floors: Vec<FloorReport>,
+}
+
 /// The entries of `val_queue` not present in the sorted `known` sequence —
 /// the `new_values` of the next delta request, shared by both cache kinds.
 /// A single merge-join over the two sorted sequences
@@ -450,6 +488,27 @@ impl FastReadState {
     pub fn index(&self) -> &WitnessIndex {
         &self.index
     }
+
+    /// Forgets everything cached about `server`, returning its slot to the
+    /// fresh-store state (the initial value, version 0) and evicting every
+    /// stale witness bit from the index.
+    ///
+    /// Called when a delta reply's `from` falls *below* the acknowledged
+    /// version the reader sent: the server has crashed and been reinstalled
+    /// from its peers, so the cached mirror of its store no longer
+    /// corresponds to anything the server holds. The reply that signalled
+    /// the reset covers the server's entire rebuilt store from version 0,
+    /// so merging it right after this call makes the mirror exact again.
+    pub fn reset(&mut self, server: ServerId) {
+        let slot = Self::slot(server);
+        let Some(cache) = self.caches.get_mut(&server) else { return };
+        for value in cache.values.drain(..) {
+            self.index.evict(slot, value);
+        }
+        cache.values.push(TaggedValue::initial());
+        cache.version = 0;
+        self.index.record_value(slot, TaggedValue::initial());
+    }
 }
 
 /// Protocol messages. One enum serves every protocol variant; which subset
@@ -531,6 +590,37 @@ pub enum Msg {
         handle: OpHandle,
         /// The incremental snapshot.
         delta: DeltaSnapshot,
+    },
+
+    // -- recovery and churn -------------------------------------------------
+    /// A recovering server's request for a catch-up snapshot (server →
+    /// server — the one message exchanged between replicas). Peers reply
+    /// with [`Msg::StateSnapshot`]; the recovering server installs a quorum
+    /// of them before it resumes answering clients.
+    StateFetch {
+        /// Correlates replies with this fetch round (servers have no
+        /// [`OpHandle`]s).
+        nonce: u64,
+    },
+    /// A live server's reply to [`Msg::StateFetch`]: its full state.
+    StateSnapshot {
+        /// Echo of the fetch nonce.
+        nonce: u64,
+        /// The catch-up payload, boxed so the rare recovery message does
+        /// not fatten every [`Msg`] moved through a channel.
+        state: Box<StateTransfer>,
+    },
+    /// A client's announcement that it is leaving for good: the server
+    /// removes it from GC membership (so its silence can never wedge the
+    /// floor again) and drops its registrations and catch-up bookkeeping.
+    Depart {
+        /// Operation phase this departure belongs to.
+        handle: OpHandle,
+    },
+    /// Acknowledgement of a [`Msg::Depart`].
+    DepartAck {
+        /// Echo of the departure's handle.
+        handle: OpHandle,
     },
 }
 
@@ -626,6 +716,52 @@ impl Wire for DeltaSnapshot {
     }
 }
 
+impl Wire for FloorReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.floor.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len() + self.floor.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(FloorReport { client: ClientId::decode(buf)?, floor: TaggedValue::decode(buf)? })
+    }
+}
+
+impl Wire for StateTransfer {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.version.encode(buf);
+        self.latest.encode(buf);
+        self.pruned.encode(buf);
+        self.entries.encode(buf);
+        self.seen.encode(buf);
+        self.floors.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.version.encoded_len()
+            + self.latest.encoded_len()
+            + self.pruned.encoded_len()
+            + self.entries.encoded_len()
+            + self.seen.encoded_len()
+            + self.floors.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(StateTransfer {
+            version: u64::decode(buf)?,
+            latest: TaggedValue::decode(buf)?,
+            pruned: TaggedValue::decode(buf)?,
+            entries: Vec::<ValueRecord>::decode(buf)?,
+            seen: Vec::<ClientId>::decode(buf)?,
+            floors: Vec::<FloorReport>::decode(buf)?,
+        })
+    }
+}
+
 impl Wire for Msg {
     fn encode(&self, buf: &mut BytesMut) {
         use bytes::BufMut;
@@ -676,6 +812,23 @@ impl Wire for Msg {
                 handle.encode(buf);
                 delta.encode(buf);
             }
+            Msg::StateFetch { nonce } => {
+                buf.put_u8(10);
+                nonce.encode(buf);
+            }
+            Msg::StateSnapshot { nonce, state } => {
+                buf.put_u8(11);
+                nonce.encode(buf);
+                state.encode(buf);
+            }
+            Msg::Depart { handle } => {
+                buf.put_u8(12);
+                handle.encode(buf);
+            }
+            Msg::DepartAck { handle } => {
+                buf.put_u8(13);
+                handle.encode(buf);
+            }
         }
     }
 
@@ -700,6 +853,10 @@ impl Wire for Msg {
                     + new_values.encoded_len()
             }
             Msg::ReadFastDeltaAck { handle, delta } => handle.encoded_len() + delta.encoded_len(),
+            Msg::StateFetch { nonce } => nonce.encoded_len(),
+            Msg::StateSnapshot { nonce, state } => nonce.encoded_len() + state.encoded_len(),
+            Msg::Depart { handle } => handle.encoded_len(),
+            Msg::DepartAck { handle } => handle.encoded_len(),
         }
     }
 
@@ -736,6 +893,13 @@ impl Wire for Msg {
                 handle: OpHandle::decode(buf)?,
                 delta: DeltaSnapshot::decode(buf)?,
             }),
+            10 => Ok(Msg::StateFetch { nonce: u64::decode(buf)? }),
+            11 => Ok(Msg::StateSnapshot {
+                nonce: u64::decode(buf)?,
+                state: Box::new(StateTransfer::decode(buf)?),
+            }),
+            12 => Ok(Msg::Depart { handle: OpHandle::decode(buf)? }),
+            13 => Ok(Msg::DepartAck { handle: OpHandle::decode(buf)? }),
             value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
         }
     }
@@ -811,6 +975,23 @@ mod tests {
                     }],
                 },
             },
+            Msg::StateFetch { nonce: 42 },
+            Msg::StateSnapshot {
+                nonce: 42,
+                state: Box::new(StateTransfer {
+                    version: 99,
+                    latest: tv(5, 1, 55),
+                    pruned: tv(2, 0, 22),
+                    entries: vec![ValueRecord {
+                        value: tv(5, 1, 55),
+                        updated: vec![ClientId::reader(0), ClientId::writer(1)],
+                    }],
+                    seen: vec![ClientId::reader(0), ClientId::writer(0)],
+                    floors: vec![FloorReport { client: ClientId::writer(0), floor: tv(2, 0, 22) }],
+                }),
+            },
+            Msg::Depart { handle: handle() },
+            Msg::DepartAck { handle: handle() },
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
@@ -884,6 +1065,50 @@ mod tests {
         assert_eq!(cache.unacknowledged(&queue), expect);
         assert_eq!(state.cache(ServerId::new(0)).unacknowledged(&queue), expect);
         assert_eq!(expect, vec![a, c], "initial and b are known, a and c are not");
+    }
+
+    /// A reset returns the slot to the fresh-store state: stale values and
+    /// witness bits vanish, and re-merging the server's rebuilt store makes
+    /// the mirror exact again.
+    #[test]
+    fn fast_read_state_reset_clears_the_slot_and_its_witnesses() {
+        let (v1, v2) = (tv(1, 0, 1), tv(2, 0, 2));
+        let mut state = FastReadState::new();
+        let s0 = ServerId::new(0);
+        state.merge(
+            s0,
+            &delta(
+                3,
+                v1,
+                TaggedValue::initial(),
+                vec![ValueRecord { value: v1, updated: vec![ClientId::reader(0)] }],
+            ),
+        );
+        assert!(state.cache(s0).knows(v1));
+
+        state.reset(s0);
+        assert!(!state.cache(s0).knows(v1), "stale value forgotten");
+        assert!(state.cache(s0).knows(TaggedValue::initial()), "fresh-store seed");
+        assert_eq!(state.cache(s0).acked_version(), 0, "acked version rewound");
+        assert_eq!(
+            state.index().values_in(1).collect::<Vec<_>>(),
+            vec![TaggedValue::initial()],
+            "stale witness bits evicted"
+        );
+
+        // Merging the rebuilt server's full-store delta resynchronizes.
+        state.merge(
+            s0,
+            &delta(7, v2, TaggedValue::initial(), vec![ValueRecord {
+                value: v2,
+                updated: vec![ClientId::writer(0)],
+            }]),
+        );
+        assert!(state.cache(s0).knows(v2));
+        assert_eq!(state.cache(s0).acked_version(), 7);
+
+        // Resetting a never-contacted server is a no-op.
+        state.reset(ServerId::new(5));
     }
 
     #[test]

@@ -96,6 +96,66 @@
 //! server just appends everything … never deleting any information",
 //! §4.1); this module is the practical counterpoint the analysis
 //! abstracts away.
+//!
+//! # Crash–recover: state transfer soundness
+//!
+//! A crashed server may *rejoin*: it fetches a [`StateTransfer`] from a
+//! quorum (`S − t`) of live peers, merges them via [`ServerState::install`],
+//! and only then resumes answering clients. Three properties make the
+//! rejoined server safe to count in quorums again:
+//!
+//! 1. **Every completed operation survives.** A completed write (or
+//!    write-back) stored its value on `S − t` servers; a fetch quorum of
+//!    `S − t` live peers intersects that set in at least `S − 2t ≥ 1`
+//!    servers, so the union of the fetched stores contains every completed
+//!    operation's value. Transferred *registrations* are sound to adopt
+//!    wholesale because a registration `(v, c)` — on any server — only ever
+//!    attests the global fact "`v` is in `c`'s `valQueue` (or `c` wrote
+//!    `v`)", which is exactly what the admissibility degrees rely on.
+//! 2. **No tag resurrection.** The merge prunes the unioned store below the
+//!    *maximum* of the peers' GC floors before installing: a peer pruned at
+//!    `f` only after every client completed an operation `≥ f`, so values
+//!    below `f` are dead globally, no matter which lagging peer still held
+//!    a copy. The installed GC state starts at that floor (and inherits the
+//!    peers' membership and floor reports), so the rejoined server also
+//!    refuses late duplicates below it, like any other server.
+//! 3. **No duplicate-version delta corruption.** Versions are per-server
+//!    counters, and a reader's cached mirror of the crashed store — with an
+//!    acknowledged version minted by the *previous* incarnation — describes
+//!    a store that no longer exists. The rejoined server resumes its
+//!    counter strictly above both the peers' high-waters and its own
+//!    pre-crash version (the cluster preserves a one-word monotone version
+//!    beacon across the crash — the customary stable-storage bootstrap
+//!    record of crash-recover models), then installs every transferred
+//!    value and registration as *fresh* versioned events and records the
+//!    resulting high-water as its *reset floor*. A `ReadFastDelta` whose
+//!    `acked` falls below the reset floor is answered from version 0 — the
+//!    whole rebuilt store — with `from = 0 < acked` signalling the reader
+//!    to discard its stale mirror ([`FastReadState::reset`]), merge the
+//!    full refresh, and secure that read's return value with a write-back
+//!    round (its own witness registrations may not have survived the
+//!    crash). Post-install acknowledgements are always `≥` the reset
+//!    floor, so exactly the stale readers pay the refresh.
+//!
+//! # Client churn: floor-safe departure
+//!
+//! A departing client broadcasts [`Msg::Depart`]; [`ServerState::depart`]
+//! removes it from the GC membership and floor map, drops its catch-up
+//! high-water mark and its registrations, and re-evaluates pruning (the
+//! departed client may have been the one unreported floor holding GC off,
+//! or the minimum floor holding it down). Safety: removing a departed
+//! client's registrations only *shrinks* witness sets, which makes
+//! admissibility more conservative, and every reader keeps the degree-1
+//! guarantee on its own `valQueue` through its own registrations — the
+//! departed client is simply a client that (provably) never speaks again,
+//! a special case of the client-crash fault model the protocol already
+//! tolerates. Liveness: `seen` and `floors` shrink together, so the
+//! engagement condition is re-checked on departure and a
+//! registered-then-silent client can un-wedge GC by departing.
+//!
+//! [`StateTransfer`]: crate::msg::StateTransfer
+//! [`Msg::Depart`]: crate::msg::Msg::Depart
+//! [`FastReadState::reset`]: crate::msg::FastReadState::reset
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -103,7 +163,7 @@ use mwr_sim::{Automaton, Context};
 use mwr_types::{ClientId, ProcessId, TaggedValue};
 
 use crate::events::ClientEvent;
-use crate::msg::{DeltaSnapshot, Msg, Snapshot, ValueRecord};
+use crate::msg::{DeltaSnapshot, FloorReport, Msg, Snapshot, StateTransfer, ValueRecord};
 
 /// One stored value's bookkeeping: which clients are registered on it and
 /// when (in registration-version terms) each one arrived.
@@ -171,6 +231,11 @@ pub struct ServerState {
     registered_up_to: BTreeMap<ClientId, u64>,
     /// `Some` iff acknowledged-floor GC is enabled.
     gc: Option<GcState>,
+    /// The version high-water recorded by the last [`install`](Self::install):
+    /// a reader acknowledgement below it was minted by a previous
+    /// incarnation of this server and describes a store that no longer
+    /// exists. Zero on a server that has never recovered.
+    reset_floor: u64,
 }
 
 impl ServerState {
@@ -187,6 +252,7 @@ impl ServerState {
             additions: Vec::new(),
             registered_up_to: BTreeMap::new(),
             gc: None,
+            reset_floor: 0,
         }
     }
 
@@ -242,6 +308,15 @@ impl ServerState {
     /// `(value, client)` registration).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The version high-water recorded by the last [`install`](Self::install):
+    /// reader acknowledgements strictly below it predate this incarnation
+    /// of the server and must be answered with a full refresh from version
+    /// 0 (see the module docs on delta corruption). Zero on a server that
+    /// has never recovered.
+    pub fn reset_floor(&self) -> u64 {
+        self.reset_floor
     }
 
     /// Algorithm 2's `update(val, c)`: insert `val` if new, advance the
@@ -354,10 +429,20 @@ impl ServerState {
         gc.seen.insert(client);
         let known = gc.floors.entry(client).or_insert(floor);
         *known = (*known).max(floor);
-        // Floors is a subset of seen (the insert above), so equal sizes
-        // means every contacted client has reported.
-        let engaged = gc.floors.len() == gc.seen.len()
-            || gc.quorum.is_some_and(|q| gc.floors.len() >= q);
+        self.maybe_prune();
+    }
+
+    /// Re-evaluates the pruning engagement condition and prunes if the
+    /// minimum reported floor advanced — called whenever the floor map or
+    /// the membership changes (floor reports *and* departures).
+    fn maybe_prune(&mut self) {
+        let Some(gc) = &mut self.gc else { return };
+        // Floors is a subset of seen, so equal sizes means every contacted
+        // client has reported; an empty floor map never engages (the
+        // minimum over nothing is meaningless).
+        let engaged = !gc.floors.is_empty()
+            && (gc.floors.len() == gc.seen.len()
+                || gc.quorum.is_some_and(|q| gc.floors.len() >= q));
         if !engaged {
             return;
         }
@@ -366,6 +451,125 @@ impl ServerState {
             gc.pruned_floor = min;
             self.prune_below(min);
         }
+    }
+
+    /// Removes every trace of a departing (or provably-dead) client: its
+    /// GC membership and floor report, its catch-up high-water mark, and
+    /// its registrations — then re-evaluates pruning, since the departed
+    /// client may have been the unreported floor wedging GC or the minimum
+    /// floor holding it down. See the module docs for why shrinking
+    /// witness sets is safe.
+    pub fn depart(&mut self, client: ClientId) {
+        self.registered_up_to.remove(&client);
+        for entry in self.store.values_mut() {
+            if let Ok(i) = entry.updated.binary_search_by_key(&client, |r| r.0) {
+                entry.updated.remove(i);
+            }
+        }
+        self.reg_log.retain(|&(_, _, c)| c != client);
+        if let Some(gc) = &mut self.gc {
+            gc.seen.remove(&client);
+            gc.floors.remove(&client);
+        }
+        self.maybe_prune();
+    }
+
+    /// Exports the full state as a catch-up payload for a recovering peer
+    /// (the reply to [`Msg::StateFetch`]).
+    pub fn export(&self) -> StateTransfer {
+        let (seen, floors) = match &self.gc {
+            Some(gc) => (
+                gc.seen.iter().copied().collect(),
+                gc.floors
+                    .iter()
+                    .map(|(&client, &floor)| FloorReport { client, floor })
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        StateTransfer {
+            version: self.version,
+            latest: self.latest,
+            pruned: self.pruned_floor(),
+            entries: self.snapshot().entries,
+            seen,
+            floors,
+        }
+    }
+
+    /// Merges a quorum of peers' [`StateTransfer`]s into this (freshly
+    /// constructed) server, making it safe to serve quorums again.
+    ///
+    /// `version_floor` is the recovering server's own pre-crash version
+    /// bound (the cluster's version beacon); the counter resumes strictly
+    /// above both it and every peer's high-water, every transferred value
+    /// and registration is installed as a fresh versioned event, the
+    /// unioned store is pruned below the maximum peer GC floor (no tag
+    /// resurrection), and the final version becomes the *reset floor* that
+    /// flags pre-crash reader acknowledgements for a full refresh. See the
+    /// module docs for the soundness argument.
+    pub fn install(&mut self, version_floor: u64, transfers: &[StateTransfer]) {
+        let mut base = self.version.max(version_floor);
+        for t in transfers {
+            base = base.max(t.version);
+        }
+        // Reserve one version as the incarnation mark so even an empty
+        // install moves the counter: every pre-crash acknowledgement ends
+        // up strictly below the reset floor.
+        self.version = base + 1;
+
+        let mut merged: BTreeMap<TaggedValue, Vec<ClientId>> = BTreeMap::new();
+        let mut latest = self.latest;
+        let mut pruned = self.pruned_floor();
+        for t in transfers {
+            latest = latest.max(t.latest);
+            pruned = pruned.max(t.pruned);
+            for rec in &t.entries {
+                let set = merged.entry(rec.value).or_default();
+                for &c in &rec.updated {
+                    if let Err(i) = set.binary_search(&c) {
+                        set.insert(i, c);
+                    }
+                }
+            }
+        }
+        for (&val, clients) in &merged {
+            if val < pruned && val != latest {
+                continue; // dead on every peer's floor: never resurrect it
+            }
+            if clients.is_empty() {
+                // A value with no surviving registrations still needs a
+                // versioned addition so later reader catch-up covers it.
+                if !self.store.contains_key(&val) {
+                    self.version += 1;
+                    self.additions.push((self.version, val));
+                    self.store.insert(val, Entry { updated: Vec::new(), first_added: self.version });
+                }
+            } else {
+                for &c in clients {
+                    self.update_impl(val, c, true);
+                }
+            }
+        }
+        if latest > self.latest {
+            self.latest = latest;
+        }
+        if let Some(gc) = &mut self.gc {
+            for t in transfers {
+                gc.seen.extend(t.seen.iter().copied());
+                for fr in &t.floors {
+                    let known = gc.floors.entry(fr.client).or_insert(fr.floor);
+                    *known = (*known).max(fr.floor);
+                }
+            }
+            gc.pruned_floor = gc.pruned_floor.max(pruned);
+        }
+        if pruned > TaggedValue::initial() {
+            // Drops the seeded initial value (and anything else dead) while
+            // keeping the latest, like any other pruning pass.
+            self.prune_below(pruned);
+        }
+        self.reset_floor = self.version;
     }
 
     /// The full store as reported to full-info fast reads.
@@ -476,6 +680,20 @@ impl RegisterServer {
         RegisterServer { state: ServerState::with_gc_quorum(population, quorum) }
     }
 
+    /// Creates a recovering server: GC-enabled for `population` clients,
+    /// with a quorum of peers' catch-up snapshots installed on top (see
+    /// [`ServerState::install`]). `version_floor` is the server's own
+    /// pre-crash version bound (the cluster's version beacon).
+    pub fn recovered(
+        population: usize,
+        version_floor: u64,
+        transfers: &[StateTransfer],
+    ) -> Self {
+        let mut state = ServerState::with_gc(population);
+        state.install(version_floor, transfers);
+        RegisterServer { state }
+    }
+
     /// Read access to the server's state (useful in tests).
     pub fn state(&self) -> &ServerState {
         &self.state
@@ -487,6 +705,13 @@ impl RegisterServer {
     /// those indicate a routing bug and are ignored defensively here — the
     /// simulator's topology enforcement catches genuine mistakes loudly.
     pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        // Server-to-server recovery traffic is matched before the client
+        // gate: only peers may fetch state, and servers never enter the GC
+        // membership.
+        if let Msg::StateFetch { nonce } = msg {
+            from.as_server()?;
+            return Some(Msg::StateSnapshot { nonce: *nonce, state: Box::new(self.state.export()) });
+        }
         let client = from.as_client()?;
         self.state.note_contact(client);
         match msg {
@@ -510,16 +735,25 @@ impl RegisterServer {
                 })
             }
             Msg::ReadFastDelta { handle, acked, floor, new_values } => {
+                // An acknowledgement below the reset floor was minted by a
+                // previous incarnation of this server: answer from version
+                // 0 (the whole rebuilt store) so `from < acked` tells the
+                // reader to discard its stale mirror and resynchronize.
+                let acked = if *acked < self.state.reset_floor() { 0 } else { *acked };
                 self.state.record_floor(client, *floor);
                 for val in new_values {
                     self.state.update(*val, client);
                 }
-                self.state.catch_up_registrations(client, *acked);
+                self.state.catch_up_registrations(client, acked);
                 self.state.register_on_latest(client);
                 Some(Msg::ReadFastDeltaAck {
                     handle: *handle,
-                    delta: self.state.delta_since(*acked),
+                    delta: self.state.delta_since(acked),
                 })
+            }
+            Msg::Depart { handle } => {
+                self.state.depart(client);
+                Some(Msg::DepartAck { handle: *handle })
             }
             _ => None,
         }
@@ -901,6 +1135,187 @@ mod tests {
         // …but a *new maximum* is always accepted.
         s.update(tv(9, 0, 9), ClientId::writer(1));
         assert_eq!(s.latest(), tv(9, 0, 9));
+    }
+
+    /// A registered-then-silent client wedges GC; departing un-wedges it:
+    /// the remaining reporters' minimum floor prunes immediately.
+    #[test]
+    fn depart_unwedges_gc_and_drops_registrations() {
+        let mut s = ServerState::with_gc(3);
+        for i in 1..=4 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        s.update(tv(4, 0, 4), ClientId::reader(1));
+        s.note_contact(ClientId::reader(1));
+        s.record_floor(ClientId::writer(0), tv(4, 0, 4));
+        s.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        // Reader 1 contacted (its update above) but never reports: wedged.
+        assert_eq!(s.pruned_floor(), TaggedValue::initial());
+
+        s.depart(ClientId::reader(1));
+        assert_eq!(s.pruned_floor(), tv(3, 0, 3), "departure re-engages pruning");
+        assert!(
+            !s.updated_set(tv(4, 0, 4)).unwrap().contains(&ClientId::reader(1)),
+            "departed client's registrations are dropped"
+        );
+        // The departed client's registration no longer flows to readers.
+        let d = s.delta_since(0);
+        assert!(d.entries.iter().all(|rec| !rec.updated.contains(&ClientId::reader(1))));
+    }
+
+    /// Departing the client holding the *minimum* floor lets the floor
+    /// rise to the survivors' minimum.
+    #[test]
+    fn departing_the_minimum_floor_advances_the_line() {
+        let mut s = ServerState::with_gc(2);
+        for i in 1..=5 {
+            s.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        s.note_contact(ClientId::reader(0));
+        s.record_floor(ClientId::writer(0), tv(5, 0, 5));
+        s.record_floor(ClientId::reader(0), tv(2, 0, 2));
+        assert_eq!(s.pruned_floor(), tv(2, 0, 2));
+        s.depart(ClientId::reader(0));
+        assert_eq!(s.pruned_floor(), tv(5, 0, 5), "survivor minimum takes over");
+        // Departing the last client must not prune on an empty floor map.
+        s.depart(ClientId::writer(0));
+        assert_eq!(s.pruned_floor(), tv(5, 0, 5));
+    }
+
+    /// `install` merges a quorum of transfers: union of stores and
+    /// registrations, version resumed above every high-water (and the
+    /// recovering server's own pre-crash bound), GC floor at the peers'
+    /// maximum with no resurrection below it.
+    #[test]
+    fn install_merges_transfers_above_every_version_stamp() {
+        let mut peer_a = ServerState::with_gc(2);
+        let mut peer_b = ServerState::with_gc(2);
+        for i in 1..=3 {
+            peer_a.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        peer_b.update(tv(3, 0, 3), ClientId::writer(0));
+        peer_b.update(tv(4, 0, 4), ClientId::reader(0));
+        // Peer A pruned below ts3: those tags are dead globally.
+        peer_a.record_floor(ClientId::writer(0), tv(3, 0, 3));
+        peer_a.record_floor(ClientId::reader(0), tv(3, 0, 3));
+        assert_eq!(peer_a.pruned_floor(), tv(3, 0, 3));
+
+        let transfers = [peer_a.export(), peer_b.export()];
+        let own_pre_crash_version = 100;
+        let srv = RegisterServer::recovered(2, own_pre_crash_version, &transfers);
+        let s = srv.state();
+        assert!(
+            s.version() > own_pre_crash_version,
+            "resumes above the pre-crash beacon: {}",
+            s.version()
+        );
+        assert!(s.version() > peer_a.version() && s.version() > peer_b.version());
+        assert_eq!(s.reset_floor(), s.version(), "install stamps the reset floor");
+        assert_eq!(s.latest(), tv(4, 0, 4));
+        assert_eq!(s.pruned_floor(), tv(3, 0, 3), "inherits the maximum peer floor");
+        assert!(s.updated_set(tv(2, 0, 2)).is_none(), "no tag resurrection below the floor");
+        assert!(s.updated_set(tv(3, 0, 3)).is_some());
+        assert!(
+            s.updated_set(tv(4, 0, 4)).unwrap().contains(&ClientId::reader(0)),
+            "peer registrations are adopted"
+        );
+    }
+
+    /// A reader holding a pre-crash acknowledgement gets the whole rebuilt
+    /// store with `from = 0` (the resynchronization signal); post-install
+    /// acknowledgements take the normal incremental path.
+    #[test]
+    fn stale_acked_after_install_gets_a_full_refresh() {
+        let mut peer = ServerState::new();
+        peer.update(tv(1, 0, 1), ClientId::writer(0));
+        peer.update(tv(2, 0, 2), ClientId::writer(0));
+        let mut srv = RegisterServer::recovered(2, 50, &[peer.export()]);
+        let reset = srv.state().reset_floor();
+        assert!(reset > 50);
+
+        // acked = 7: minted by the previous incarnation (7 < reset floor).
+        let reply = srv
+            .handle(
+                ProcessId::reader(0),
+                &Msg::ReadFastDelta {
+                    handle: rhandle(0),
+                    acked: 7,
+                    floor: TaggedValue::initial(),
+                    new_values: vec![],
+                },
+            )
+            .unwrap();
+        let Msg::ReadFastDeltaAck { delta, .. } = reply else { panic!() };
+        assert_eq!(delta.from, 0, "full refresh signals the reset");
+        assert!(delta.version >= reset);
+        let values: Vec<TaggedValue> = delta.entries.iter().map(|r| r.value).collect();
+        assert!(values.contains(&tv(1, 0, 1)) && values.contains(&tv(2, 0, 2)));
+
+        // A post-install acknowledgement is served incrementally.
+        let acked = delta.version;
+        let reply = srv
+            .handle(
+                ProcessId::reader(0),
+                &Msg::ReadFastDelta {
+                    handle: rhandle(1),
+                    acked,
+                    floor: TaggedValue::initial(),
+                    new_values: vec![],
+                },
+            )
+            .unwrap();
+        let Msg::ReadFastDeltaAck { delta, .. } = reply else { panic!() };
+        assert_eq!(delta.from, acked, "post-install acks take the delta path");
+    }
+
+    /// Only peers may fetch state; the reply carries the exporter's full
+    /// store and GC bookkeeping.
+    #[test]
+    fn state_fetch_is_server_only_and_exports_everything() {
+        let mut srv = RegisterServer::with_gc(2);
+        srv.handle(
+            ProcessId::writer(0),
+            &Msg::Update {
+                handle: OpHandle { op: OpId { client: ClientId::writer(0), seq: 0 }, phase: 2 },
+                value: tv(1, 0, 1),
+                floor: tv(1, 0, 1),
+            },
+        );
+        assert_eq!(
+            srv.handle(ProcessId::reader(0), &Msg::StateFetch { nonce: 7 }),
+            None,
+            "clients may not fetch state"
+        );
+        let reply = srv.handle(ProcessId::server(3), &Msg::StateFetch { nonce: 7 }).unwrap();
+        let Msg::StateSnapshot { nonce, state } = reply else { panic!() };
+        assert_eq!(nonce, 7);
+        assert_eq!(state.version, srv.state().version());
+        assert_eq!(state.latest, tv(1, 0, 1));
+        assert!(state.seen.contains(&ClientId::writer(0)));
+        assert_eq!(state.floors.len(), 1);
+        assert!(state.entries.iter().any(|r| r.value == tv(1, 0, 1)));
+        // The fetching peer itself never entered the GC membership.
+        assert_eq!(state.seen, vec![ClientId::writer(0)]);
+    }
+
+    /// Departure round-trips through `handle`: the ack echoes the handle
+    /// and the client is gone from the GC bookkeeping.
+    #[test]
+    fn depart_message_acknowledges_and_cleans_up() {
+        let mut srv = RegisterServer::with_gc(2);
+        srv.handle(
+            ProcessId::reader(0),
+            &Msg::ReadFastDelta {
+                handle: rhandle(0),
+                acked: 0,
+                floor: TaggedValue::initial(),
+                new_values: vec![],
+            },
+        );
+        let handle = rhandle(1);
+        let reply = srv.handle(ProcessId::reader(0), &Msg::Depart { handle });
+        assert_eq!(reply, Some(Msg::DepartAck { handle }));
+        assert!(srv.state().export().seen.is_empty(), "membership is clean after departure");
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::time::Duration;
 use mwr_almost::TunableCluster;
 use mwr_byz::{ByzBehavior, ByzCluster, ByzConfig, ByzReadMode};
 use mwr_core::{ClientEvent, Cluster, FastWire, Msg, Protocol, SimCluster};
-use mwr_runtime::{InMemoryTransport, RuntimeCluster, TcpRegistry, TcpTuning};
+use mwr_runtime::{
+    FaultEvent, FaultPlan, InMemoryTransport, RetryPolicy, RuntimeCluster, TcpRegistry, TcpTuning,
+};
 use mwr_sim::Simulation;
 use mwr_types::ClusterConfig;
 use mwr_workload::{WorkloadReport, WorkloadSpec};
@@ -48,6 +50,8 @@ pub struct Deployment {
     timeout: Option<Duration>,
     tcp_tuning: Option<TcpTuning>,
     audit: Option<AuditConfig>,
+    retry: Option<RetryPolicy>,
+    faults: Option<FaultPlan>,
 }
 
 impl Deployment {
@@ -63,6 +67,8 @@ impl Deployment {
             timeout: None,
             tcp_tuning: None,
             audit: None,
+            retry: None,
+            faults: None,
         }
     }
 
@@ -138,6 +144,33 @@ impl Deployment {
     /// [`LiveHandle::shutdown_audited`](crate::LiveHandle::shutdown_audited).
     pub fn audit(mut self, audit: AuditConfig) -> Self {
         self.audit = Some(audit);
+        self
+    }
+
+    /// Sets the bounded retry policy live clients use to ride out
+    /// transient fault windows (a crashed-then-rejoining server, a churn
+    /// spike): a timed-out round is re-broadcast up to `attempts` times,
+    /// `backoff` apart. Safe because every protocol round is idempotent
+    /// and acknowledgements deduplicate by server across attempts. Live
+    /// backends only — the simulator has no timeouts to retry. The
+    /// default (no knob) is one attempt: fail fast, exactly the old
+    /// behavior.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Arms the deployment with a deterministic [`FaultPlan`]: when the
+    /// live handle is driven with
+    /// [`LiveHandle::run_chaos`](crate::LiveHandle::run_chaos), an
+    /// injector walks the plan in order — crashing servers, rejoining
+    /// them through quorum state transfer, running churn bursts of
+    /// short-lived depart-cleanly clients — while the drive measures
+    /// whether the service held up. Live backends only; the simulator
+    /// schedules crashes natively in virtual time (and has no rejoin —
+    /// simulated crashes are permanent by construction).
+    pub fn inject(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -271,6 +304,51 @@ impl Deployment {
                 });
             }
         }
+        if let Some(retry) = self.retry {
+            if !live {
+                return Err(DeployError::Knob {
+                    knob: "retry",
+                    reason: "retries re-broadcast after wall-clock timeouts; the simulator \
+                             runs in virtual time and never times out",
+                });
+            }
+            if retry.attempts == 0 {
+                return Err(DeployError::Knob {
+                    knob: "retry",
+                    reason: "attempts must be at least 1 (zero attempts could never \
+                             issue the operation)",
+                });
+            }
+        }
+        if let Some(plan) = self.faults {
+            if !live {
+                return Err(DeployError::Knob {
+                    knob: "faults",
+                    reason: "the fault injector crashes and rejoins live server threads; \
+                             simulator crashes are scheduled natively in virtual time and \
+                             are permanent (no rejoin path exists there)",
+                });
+            }
+            if let Some(max) = plan.max_server() {
+                if max as usize >= self.config.servers() {
+                    return Err(DeployError::Knob {
+                        knob: "faults",
+                        reason: "the plan crashes or rejoins a server index outside the \
+                                 deployment's configuration",
+                    });
+                }
+            }
+            let churny =
+                plan.steps().iter().any(|s| matches!(s.event, FaultEvent::ChurnBurst { .. }));
+            if churny && self.config.readers() < 2 {
+                return Err(DeployError::Knob {
+                    knob: "faults",
+                    reason: "churn bursts reserve the highest reader slot for short-lived \
+                             clients; the configuration needs at least 2 readers so one \
+                             stable reader remains",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -292,6 +370,8 @@ impl Deployment {
             timeout: None,
             tcp_tuning: None,
             audit: None,
+            retry: None,
+            faults: None,
             ..*self
         };
         sim_view.validate()?;
@@ -381,7 +461,14 @@ impl Deployment {
             None => None,
         };
         let cluster = RuntimeCluster::start_on(factory, self.config, protocol)?;
-        Ok(LiveHandle::new(cluster, self.wire.unwrap_or_default(), self.timeout, sidecar))
+        Ok(LiveHandle::new(
+            cluster,
+            self.wire.unwrap_or_default(),
+            self.timeout,
+            sidecar,
+            self.retry.unwrap_or_default(),
+            self.faults,
+        ))
     }
 
     /// Deploys on whichever backend this deployment is configured for,
@@ -611,6 +698,71 @@ mod tests {
             .backend(Backend::InMemory)
             .audit(AuditConfig::default());
         assert!(dep.sim_cluster().is_ok());
+    }
+
+    #[test]
+    fn retry_and_faults_are_validated_per_backend_and_shape() {
+        // Both are live-only knobs.
+        let err = Deployment::new(config()).retry(RetryPolicy::default()).sim().unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "retry", .. }), "{err}");
+        let err = Deployment::new(config()).inject(FaultPlan::new()).sim().unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "faults", .. }), "{err}");
+        // Zero attempts could never issue the operation.
+        let err = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .retry(RetryPolicy { attempts: 0, backoff: Duration::ZERO })
+            .in_memory()
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "retry", .. }), "{err}");
+        // Server indices must fit the configuration (S = 5 here).
+        let err = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .inject(FaultPlan::new().at_ops(1, FaultEvent::CrashServer(5)))
+            .in_memory()
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "faults", .. }), "{err}");
+        // Churn bursts need a reserved reader slot plus a stable reader.
+        let one_reader = ClusterConfig::new(5, 1, 1, 2).unwrap();
+        let err = Deployment::new(one_reader)
+            .backend(Backend::InMemory)
+            .inject(FaultPlan::churn_storm(10, 1, 5))
+            .in_memory()
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "faults", .. }), "{err}");
+        // A live deployment carrying both knobs still gets a sim twin.
+        let dep = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .retry(RetryPolicy { attempts: 3, backoff: Duration::from_millis(1) })
+            .inject(FaultPlan::rolling_restart(5, 50));
+        assert!(dep.sim_cluster().is_ok());
+    }
+
+    #[test]
+    fn armed_fault_plans_run_through_run_chaos_only() {
+        let dep = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .retry(RetryPolicy { attempts: 4, backoff: Duration::from_millis(1) })
+            .timeout(Duration::from_secs(2))
+            .inject(
+                FaultPlan::new()
+                    .at_ops(10, FaultEvent::CrashServer(0))
+                    .at_ops(40, FaultEvent::RejoinServer(0)),
+            );
+        // The plain drives refuse an armed plan instead of ignoring it.
+        let handle = dep.in_memory().unwrap();
+        let err = handle.run_open_loop(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "faults", .. }), "{err}");
+        let err = handle.run_closed_loop(WorkloadSpec::default()).unwrap_err();
+        assert!(matches!(err, DeployError::Knob { knob: "faults", .. }), "{err}");
+        handle.shutdown();
+        // run_chaos executes the plan and heals the cluster.
+        let mut handle = dep.in_memory().unwrap();
+        let report = handle.run_chaos(Duration::from_millis(300)).unwrap();
+        assert_eq!(report.crashes, 1, "{report:?}");
+        assert_eq!(report.rejoins, 1, "{report:?}");
+        assert!(report.healed(), "{report:?}");
+        assert_eq!(report.live_servers, vec![0, 1, 2, 3, 4]);
+        handle.shutdown();
     }
 
     #[test]

@@ -6,14 +6,15 @@ use std::time::Duration;
 
 use mwr_core::{ClientEvent, FastWire, Msg, ScheduledOp, SimCluster};
 use mwr_runtime::{
-    EndpointFactory, InMemoryTransport, LiveReader, LiveWriter, RuntimeCluster, TcpRegistry,
+    EndpointFactory, FaultPlan, InMemoryTransport, LiveReader, LiveWriter, RetryPolicy,
+    RuntimeCluster, TcpRegistry,
 };
 use mwr_sim::{SimError, SimTime, Simulation};
 use mwr_types::ClusterConfig;
 use mwr_check::AuditReport;
 use mwr_workload::{
-    drive_closed_loop, run_closed_loop_live_audited, run_open_loop_live_audited, ThroughputReport,
-    WorkloadReport, WorkloadSpec,
+    drive_closed_loop, run_chaos_live, run_closed_loop_live_audited, run_open_loop_live_audited,
+    ChaosReport, ThroughputReport, WorkloadReport, WorkloadSpec,
 };
 
 use crate::audit::AuditSidecar;
@@ -140,6 +141,12 @@ pub struct LiveHandle<F: EndpointFactory> {
     /// handle mints gets a tap clone, and `shutdown_audited` collects the
     /// verdict.
     audit: Option<AuditSidecar>,
+    /// The bounded retry policy applied to every client this handle mints
+    /// (and to the drive's clients). Default: one attempt, no backoff.
+    retry: RetryPolicy,
+    /// The fault plan armed with [`Deployment::inject`](crate::Deployment::inject),
+    /// executed by [`run_chaos`](Self::run_chaos).
+    faults: Option<FaultPlan>,
 }
 
 impl<F: EndpointFactory> LiveHandle<F> {
@@ -148,6 +155,8 @@ impl<F: EndpointFactory> LiveHandle<F> {
         wire: FastWire,
         timeout: Option<Duration>,
         audit: Option<AuditSidecar>,
+        retry: RetryPolicy,
+        faults: Option<FaultPlan>,
     ) -> Self {
         LiveHandle {
             cluster,
@@ -156,6 +165,8 @@ impl<F: EndpointFactory> LiveHandle<F> {
             minted: std::cell::Cell::new(false),
             driven: std::cell::Cell::new(false),
             audit,
+            retry,
+            faults,
         }
     }
 
@@ -187,7 +198,7 @@ impl<F: EndpointFactory> LiveHandle<F> {
         if self.driven.get() {
             return Err(DeployError::HandlesInUse);
         }
-        let mut writer = self.cluster.writer(idx)?;
+        let mut writer = self.cluster.writer(idx)?.with_retry(self.retry);
         self.minted.set(true);
         if let Some(t) = self.timeout {
             writer = writer.with_timeout(t);
@@ -215,7 +226,7 @@ impl<F: EndpointFactory> LiveHandle<F> {
         if self.driven.get() {
             return Err(DeployError::HandlesInUse);
         }
-        let mut reader = self.cluster.reader_with_wire(idx, self.wire)?;
+        let mut reader = self.cluster.reader_with_wire(idx, self.wire)?.with_retry(self.retry);
         self.minted.set(true);
         if let Some(t) = self.timeout {
             reader = reader.with_timeout(t);
@@ -236,6 +247,28 @@ impl<F: EndpointFactory> LiveHandle<F> {
         self.cluster.crash_server(idx);
     }
 
+    /// Rejoins crashed server `idx` through quorum state transfer: the
+    /// new incarnation fetches catch-up snapshots from a quorum of live
+    /// peers, installs them above its pre-crash version stamps, and only
+    /// then starts answering — identical on both live backends.
+    ///
+    /// # Errors
+    ///
+    /// A [`DeployError::Transport`] if fewer than a quorum of live peers
+    /// answer the fetch (the rejoin is refused and can be retried).
+    ///
+    /// # Panics
+    ///
+    /// Panics if server `idx` is currently running.
+    pub fn rejoin_server(&mut self, idx: u32) -> Result<(), DeployError> {
+        Ok(self.cluster.rejoin_server(idx)?)
+    }
+
+    /// The indices of currently-running servers, ascending.
+    pub fn live_servers(&self) -> Vec<u32> {
+        self.cluster.live_servers()
+    }
+
     /// Drives this cluster with closed-loop clients (see
     /// [`mwr_workload::run_closed_loop_live`]; ticks are microseconds).
     /// The driver opens every client endpoint itself, so the handle must
@@ -252,9 +285,23 @@ impl<F: EndpointFactory> LiveHandle<F> {
         if self.minted.get() || self.driven.get() {
             return Err(DeployError::HandlesInUse);
         }
+        if self.faults.is_some() {
+            return Err(DeployError::Knob {
+                knob: "faults",
+                reason: "a fault plan is armed; drive it with run_chaos, which owns the \
+                         cluster mutably and reports what the plan did",
+            });
+        }
         self.driven.set(true);
         let tap = self.audit.as_ref().map(AuditSidecar::tap);
-        Ok(run_closed_loop_live_audited(&self.cluster, self.wire, self.timeout, spec, tap)?)
+        Ok(run_closed_loop_live_audited(
+            &self.cluster,
+            self.wire,
+            self.timeout,
+            self.retry,
+            spec,
+            tap,
+        )?)
     }
 
     /// Drives this cluster with open-loop (saturating) clients for
@@ -273,9 +320,62 @@ impl<F: EndpointFactory> LiveHandle<F> {
         if self.minted.get() || self.driven.get() {
             return Err(DeployError::HandlesInUse);
         }
+        if self.faults.is_some() {
+            return Err(DeployError::Knob {
+                knob: "faults",
+                reason: "a fault plan is armed; drive it with run_chaos, which owns the \
+                         cluster mutably and reports what the plan did",
+            });
+        }
         self.driven.set(true);
         let tap = self.audit.as_ref().map(AuditSidecar::tap);
-        Ok(run_open_loop_live_audited(&self.cluster, self.wire, self.timeout, duration, tap)?)
+        Ok(run_open_loop_live_audited(
+            &self.cluster,
+            self.wire,
+            self.timeout,
+            self.retry,
+            duration,
+            tap,
+        )?)
+    }
+
+    /// Drives this cluster open-loop for `duration` while executing the
+    /// armed [`FaultPlan`] (see
+    /// [`Deployment::inject`](crate::Deployment::inject)): an injector
+    /// walks the plan in order, crashing servers, rejoining them through
+    /// quorum state transfer, and running churn bursts of short-lived
+    /// clients that depart floor-safely, while stable clients (armed with
+    /// the deployment's retry policy) hammer the register. Works with no
+    /// plan armed too — it is then exactly
+    /// [`run_open_loop`](Self::run_open_loop) with a
+    /// [`ChaosReport`] wrapper.
+    ///
+    /// Like the other drives, the handle must be freshly deployed; unlike
+    /// them it needs `&mut` because crash and rejoin restructure the
+    /// cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::HandlesInUse`] if clients were already minted or a
+    /// drive already ran; otherwise a
+    /// [`RuntimeError`](mwr_runtime::RuntimeError) for setup failures.
+    /// Operation failures *during* the drive are counted in the report's
+    /// `failed_ops`, never returned.
+    pub fn run_chaos(&mut self, duration: Duration) -> Result<ChaosReport, DeployError> {
+        if self.minted.get() || self.driven.get() {
+            return Err(DeployError::HandlesInUse);
+        }
+        self.driven.set(true);
+        let tap = self.audit.as_ref().map(AuditSidecar::tap);
+        Ok(run_chaos_live(
+            &mut self.cluster,
+            self.wire,
+            self.timeout,
+            self.retry,
+            self.faults.unwrap_or_default(),
+            duration,
+            tap,
+        )?)
     }
 
     /// Shuts down all remaining servers; returns total requests handled.

@@ -15,6 +15,7 @@
 //!     .backend(backend)             where it runs: Backend::{Sim, InMemory, Tcp}
 //!     .fast_wire(..) .gc(..)        optional knobs, validated per combination
 //!     .timeout(..) .audit(..)
+//!     .retry(..) .inject(..)
 //!     .sim() / .in_memory() / .tcp() / .deploy()
 //! ```
 //!
@@ -76,4 +77,5 @@ pub use spec::{Backend, Spec};
 // The vocabulary a facade user needs without naming the member crates.
 pub use mwr_check::{AuditReport, AuditStats, Verdict, Violation};
 pub use mwr_core::{FastWire, Protocol, ScheduledOp, SimCluster};
-pub use mwr_runtime::TcpTuning;
+pub use mwr_runtime::{FaultEvent, FaultPlan, FaultStep, FaultTrigger, RetryPolicy, TcpTuning};
+pub use mwr_workload::ChaosReport;

@@ -62,6 +62,43 @@ impl From<TransportError> for RuntimeError {
     }
 }
 
+/// Bounded retry for quorum round-trips that time out — the knob that
+/// rides out a server crash–rejoin window instead of failing the op.
+///
+/// The default is **one attempt** (no retry): exactly the pre-existing
+/// behavior. With `attempts = n`, a round trip that cannot assemble its
+/// quorum re-broadcasts the *same* request (same [`OpHandle`], so servers
+/// treat it idempotently and stragglers from earlier attempts still count)
+/// up to `n` times, sleeping `backoff` between attempts. Acks are
+/// deduplicated per server across attempts, so a retry can complete a
+/// quorum started by its predecessor.
+///
+/// Every retried round is idempotent: `Query` is a pure read,
+/// and `Update`/`ReadFast`/`ReadFastDelta` re-apply to the same state
+/// (registration and store inserts are set-unions keyed by the same
+/// handle's data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per round trip (clamped to at least 1).
+    pub attempts: u32,
+    /// Sleep between consecutive attempts.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total tries and `backoff` between them.
+    pub const fn new(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy { attempts, backoff }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no backoff: fail the op on the first quorum timeout.
+    fn default() -> Self {
+        RetryPolicy { attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
 /// A blocking writer client.
 ///
 /// # Examples
@@ -76,6 +113,7 @@ pub struct LiveWriter<E: Endpoint> {
     local_ts: u64,
     next_seq: u64,
     timeout: Duration,
+    retry: RetryPolicy,
     /// Completed-operation floor, piggybacked on updates for GC.
     floor: TaggedValue,
     tap: Option<AuditTap>,
@@ -97,9 +135,17 @@ impl<E: Endpoint> LiveWriter<E> {
             local_ts: 0,
             next_seq: 0,
             timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
             floor: TaggedValue::initial(),
             tap: None,
         }
+    }
+
+    /// Selects the quorum-timeout retry policy (builder-style). The
+    /// default is one attempt — no retry.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Attaches an audit tap (builder-style): every write emits invocation
@@ -150,6 +196,7 @@ impl<E: Endpoint> LiveWriter<E> {
                     &self.config,
                     Msg::Query { handle },
                     self.timeout,
+                    self.retry,
                     |msg| match msg {
                         Msg::QueryAck { handle: h, latest } if h == handle => Some(latest.tag()),
                         _ => None,
@@ -167,6 +214,7 @@ impl<E: Endpoint> LiveWriter<E> {
             &self.config,
             Msg::Update { handle, value: tagged, floor: self.floor },
             self.timeout,
+            self.retry,
             |msg| match msg {
                 Msg::UpdateAck { handle: h } if h == handle => Some(()),
                 _ => None,
@@ -177,6 +225,33 @@ impl<E: Endpoint> LiveWriter<E> {
             tap.completed(op.client, op.seq, OpResult::Written(tagged));
         }
         Ok(tagged)
+    }
+
+    /// Leaves the cluster: tells a quorum of servers to drop this writer's
+    /// registrations and GC membership, consuming the client. See the
+    /// "client churn" section of the server module docs for why a departed
+    /// client never wedges the acknowledged-floor GC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if a quorum cannot acknowledge
+    /// the departure; the servers that did hear it have already cleaned up.
+    pub fn depart(mut self) -> Result<(), RuntimeError> {
+        let op = OpId { client: ClientId::Writer(self.id), seq: self.next_seq };
+        self.next_seq += 1;
+        let handle = OpHandle { op, phase: 1 };
+        round_trip(
+            &self.endpoint,
+            &self.config,
+            Msg::Depart { handle },
+            self.timeout,
+            self.retry,
+            |msg| match msg {
+                Msg::DepartAck { handle: h } if h == handle => Some(()),
+                _ => None,
+            },
+        )?;
+        Ok(())
     }
 }
 
@@ -196,6 +271,7 @@ pub struct LiveReader<E: Endpoint> {
     floor: TaggedValue,
     next_seq: u64,
     timeout: Duration,
+    retry: RetryPolicy,
     measure_payload: bool,
     last_payload: u64,
     tap: Option<AuditTap>,
@@ -239,10 +315,18 @@ impl<E: Endpoint> LiveReader<E> {
             floor: TaggedValue::initial(),
             next_seq: 0,
             timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
             measure_payload: false,
             last_payload: 0,
             tap: None,
         }
+    }
+
+    /// Selects the quorum-timeout retry policy (builder-style). The
+    /// default is one attempt — no retry.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Attaches an audit tap (builder-style): sampled reads emit
@@ -297,6 +381,33 @@ impl<E: Endpoint> LiveReader<E> {
         self.val_queue.len()
     }
 
+    /// Leaves the cluster: tells a quorum of servers to drop this reader's
+    /// registrations and GC membership, consuming the client. See the
+    /// "client churn" section of the server module docs for why a departed
+    /// client never wedges the acknowledged-floor GC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if a quorum cannot acknowledge
+    /// the departure; the servers that did hear it have already cleaned up.
+    pub fn depart(mut self) -> Result<(), RuntimeError> {
+        let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
+        self.next_seq += 1;
+        let handle = OpHandle { op, phase: 1 };
+        round_trip(
+            &self.endpoint,
+            &self.config,
+            Msg::Depart { handle },
+            self.timeout,
+            self.retry,
+            |msg| match msg {
+                Msg::DepartAck { handle: h } if h == handle => Some(()),
+                _ => None,
+            },
+        )?;
+        Ok(())
+    }
+
     /// Reads the register, blocking until the protocol's round-trips
     /// complete.
     ///
@@ -323,6 +434,7 @@ impl<E: Endpoint> LiveReader<E> {
                     &self.config,
                     Msg::Query { handle },
                     self.timeout,
+                    self.retry,
                     |msg| match msg {
                         Msg::QueryAck { handle: h, latest } if h == handle => Some(latest),
                         _ => None,
@@ -335,6 +447,7 @@ impl<E: Endpoint> LiveReader<E> {
                     &self.config,
                     Msg::Update { handle, value: best, floor: self.floor },
                     self.timeout,
+                    self.retry,
                     |msg| match msg {
                         Msg::UpdateAck { handle: h } if h == handle => Some(()),
                         _ => None,
@@ -352,9 +465,9 @@ impl<E: Endpoint> LiveReader<E> {
                         self.prune_val_queue();
                         let (index, mask) =
                             WitnessIndex::from_views(snaps.iter().map(SnapshotView::Full));
-                        self.decide_fast_read(op, &index, mask)?
+                        self.decide_fast_read(op, &index, mask, false)?
                     }
-                    FastReplies::Delta { replied } => {
+                    FastReplies::Delta { replied, resync } => {
                         // The deltas already merged into the caches and the
                         // standing index; fold the replied servers' values
                         // into the valQueue and select straight off the
@@ -364,7 +477,7 @@ impl<E: Endpoint> LiveReader<E> {
                             val_queue.insert(v);
                         }
                         self.prune_val_queue();
-                        self.decide_fast_read(op, self.state.index(), replied)?
+                        self.decide_fast_read(op, self.state.index(), replied, resync)?
                     }
                 }
             }
@@ -393,11 +506,19 @@ impl<E: Endpoint> LiveReader<E> {
 
     /// The mode's return-value selection over an already-built witness
     /// index; the adaptive slow path pays its write-back round here.
+    ///
+    /// `resync` is set when a replying server was rebuilt by state
+    /// transfer since our last contact (its delta restarted from 0): our
+    /// own registrations on it may not have survived the crash, so fast
+    /// selection's degree counts cannot be trusted for this read — it is
+    /// forced through a write-back round, after which the registrations
+    /// are re-established and fast reads resume.
     fn decide_fast_read(
         &self,
         op: OpId,
         index: &WitnessIndex,
         mask: u128,
+        resync: bool,
     ) -> Result<TaggedValue, RuntimeError> {
         if self.mode == ReadMode::Fast {
             let mut sel = index.selector(
@@ -406,7 +527,7 @@ impl<E: Endpoint> LiveReader<E> {
                 self.config.max_faults(),
                 self.config.readers() + 1,
             );
-            if self.gc_floor > self.floor {
+            if resync || self.gc_floor > self.floor {
                 // Late joiner: the announced floor outran our own
                 // completed-op floor, so servers may have pruned every
                 // value this client could witness at degree 1. Secure the
@@ -420,6 +541,7 @@ impl<E: Endpoint> LiveReader<E> {
                     &self.config,
                     Msg::Update { handle, value: max_v, floor: self.floor },
                     self.timeout,
+                    self.retry,
                     |msg| match msg {
                         Msg::UpdateAck { handle: h } if h == handle => Some(()),
                         _ => None,
@@ -438,13 +560,14 @@ impl<E: Endpoint> LiveReader<E> {
         );
         let mut sel = index.selector(mask, self.config.servers(), self.config.max_faults(), cap);
         let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
-        if sel.degree(max_v).is_none() {
+        if resync || sel.degree(max_v).is_none() {
             let handle = OpHandle { op, phase: 2 };
             round_trip(
                 &self.endpoint,
                 &self.config,
                 Msg::Update { handle, value: max_v, floor: self.floor },
                 self.timeout,
+                self.retry,
                 |msg| match msg {
                     Msg::UpdateAck { handle: h } if h == handle => Some(()),
                     _ => None,
@@ -474,6 +597,7 @@ impl<E: Endpoint> LiveReader<E> {
                     &self.config,
                     request,
                     self.timeout,
+                    self.retry,
                     |msg| {
                         if !matches!(&msg, Msg::ReadFastAck { handle: h, .. } if *h == handle) {
                             return None;
@@ -511,6 +635,7 @@ impl<E: Endpoint> LiveReader<E> {
                         request
                     },
                     self.timeout,
+                    self.retry,
                     |msg| {
                         if !matches!(&msg, Msg::ReadFastDeltaAck { handle: h, .. } if *h == handle)
                         {
@@ -525,12 +650,22 @@ impl<E: Endpoint> LiveReader<E> {
                 )?;
                 bytes += moved.get();
                 let mut replied = 0u128;
+                let mut resync = false;
                 for (sid, delta) in &acks {
+                    if delta.from < self.state.cache(*sid).acked_version() {
+                        // The server was rebuilt by state transfer since
+                        // our last contact: its delta restarts below what
+                        // we acknowledged. Drop the stale cache mirror
+                        // (and its witness-index bits) and resynchronize
+                        // from the full refresh the server sent.
+                        self.state.reset(*sid);
+                        resync = true;
+                    }
                     self.state.merge(*sid, delta);
                     self.gc_floor = self.gc_floor.max(delta.pruned);
                     replied |= FastReadState::mask_bit(*sid);
                 }
-                FastReplies::Delta { replied }
+                FastReplies::Delta { replied, resync }
             }
         };
         self.last_payload = bytes;
@@ -542,9 +677,14 @@ impl<E: Endpoint> LiveReader<E> {
 enum FastReplies {
     /// Full-info: the quorum's owned snapshots.
     Full(Vec<Snapshot>),
-    /// Delta: the deltas already merged into the reader state; only the
-    /// replied-server mask matters.
-    Delta { replied: u128 },
+    /// Delta: the deltas already merged into the reader state.
+    Delta {
+        /// Mask of servers that replied in this round's quorum.
+        replied: u128,
+        /// A replying server restarted its delta stream (state-transfer
+        /// rebuild): this read must not trust fast selection.
+        resync: bool,
+    },
 }
 
 /// Broadcasts one request to all servers and blocks until `S − t` matching
@@ -555,56 +695,62 @@ fn round_trip<E: Endpoint, T>(
     config: &ClusterConfig,
     request: Msg,
     timeout: Duration,
+    retry: RetryPolicy,
     matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    round_trip_per_server(endpoint, config, |_| request.clone(), timeout, matcher)
+    round_trip_per_server(endpoint, config, |_| request.clone(), timeout, retry, matcher)
 }
 
 /// Like [`round_trip`], but with a per-server request — the delta fast read
 /// sends each server only what that server has not acknowledged.
+///
+/// Each attempt re-broadcasts and waits up to `timeout`; acks accumulate
+/// in a per-server map *across* attempts, so a duplicate reply from a
+/// re-broadcast can never double-count toward the quorum, and a straggler
+/// from an earlier attempt still completes a later one.
 fn round_trip_per_server<E: Endpoint, T>(
     endpoint: &E,
     config: &ClusterConfig,
     mut request_for: impl FnMut(ServerId) -> Msg,
     timeout: Duration,
+    retry: RetryPolicy,
     mut matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    // One batched broadcast: the transport amortizes its locking over the
-    // whole fan-out, and a dead server is exactly the failure the quorum
-    // tolerates (send_batch is best-effort by contract).
-    let batch: Vec<(ProcessId, Msg)> = config
-        .server_ids()
-        .map(|s| (ProcessId::Server(s), request_for(s)))
-        .collect();
-    endpoint.send_batch(batch);
     let required = config.quorum_size();
     let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();
-    let deadline = Instant::now() + timeout;
-    while acks.len() < required {
-        let now = Instant::now();
-        if now >= deadline {
-            return Err(RuntimeError::Timeout {
-                waited: timeout,
-                collected: acks.len(),
-                required,
-            });
+    let attempts = retry.attempts.max(1);
+    for attempt in 0..attempts {
+        if attempt > 0 && !retry.backoff.is_zero() {
+            std::thread::sleep(retry.backoff);
         }
-        match endpoint.inbox().recv_timeout(deadline - now) {
-            Ok((from, msg)) => {
-                if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(msg)) {
-                    acks.insert(sid, payload);
+        // One batched broadcast: the transport amortizes its locking over
+        // the whole fan-out, and a dead server is exactly the failure the
+        // quorum tolerates (send_batch is best-effort by contract).
+        let batch: Vec<(ProcessId, Msg)> = config
+            .server_ids()
+            .map(|s| (ProcessId::Server(s), request_for(s)))
+            .collect();
+        endpoint.send_batch(batch);
+        let deadline = Instant::now() + timeout;
+        while acks.len() < required {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match endpoint.inbox().recv_timeout(deadline - now) {
+                Ok((from, msg)) => {
+                    if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(msg)) {
+                        acks.insert(sid, payload);
+                    }
                 }
+                Err(_) => break,
             }
-            Err(_) => {
-                return Err(RuntimeError::Timeout {
-                    waited: timeout,
-                    collected: acks.len(),
-                    required,
-                })
-            }
+        }
+        if acks.len() >= required {
+            return Ok(acks);
         }
     }
-    Ok(acks)
+    Err(RuntimeError::Timeout { waited: timeout, collected: acks.len(), required })
 }
 
 #[cfg(test)]
@@ -684,6 +830,72 @@ mod tests {
         let err = writer.write(Value::new(1)).unwrap_err();
         assert!(matches!(err, RuntimeError::Timeout { collected: 1, required: 2, .. }), "{err}");
         s0.shutdown();
+    }
+
+    /// With the retry knob on, a quorum that assembles only after the
+    /// first attempt's timeout (a server coming up mid-recovery) completes
+    /// the op instead of failing it. The default policy still fails fast —
+    /// `timeout_when_quorum_is_unreachable` pins that.
+    #[test]
+    fn retry_rides_out_a_server_that_starts_late() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let transport = InMemoryTransport::new();
+        let s0 = spawn_server(transport.register(ProcessId::server(0)));
+        let late = {
+            let transport = transport.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                spawn_server(transport.register(ProcessId::server(1)))
+            })
+        };
+        let mut writer = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        )
+        .with_timeout(Duration::from_millis(150))
+        .with_retry(RetryPolicy::new(10, Duration::from_millis(50)));
+        let written = writer.write(Value::new(9)).unwrap();
+        assert_eq!(written.value(), Value::new(9));
+        s0.shutdown();
+        late.join().unwrap().shutdown();
+    }
+
+    /// Departing acknowledges through a quorum and unpins the GC floor the
+    /// departed reader was holding down.
+    #[test]
+    fn depart_round_trips_and_consumes_the_client() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let transport = InMemoryTransport::new();
+        let servers: Vec<_> = config
+            .server_ids()
+            .map(|s| {
+                crate::server::spawn_server_with(
+                    transport.register(ProcessId::Server(s)),
+                    mwr_core::RegisterServer::with_gc(config.readers() + config.writers()),
+                )
+            })
+            .collect();
+        let mut writer = LiveWriter::new(
+            transport.register(ProcessId::writer(0)),
+            WriterId::new(0),
+            config,
+            WriteMode::Slow,
+        );
+        let mut reader = LiveReader::new(
+            transport.register(ProcessId::reader(0)),
+            ReaderId::new(0),
+            config,
+            ReadMode::Fast,
+        );
+        writer.write(Value::new(1)).unwrap();
+        reader.read().unwrap();
+        reader.depart().unwrap();
+        writer.depart().unwrap();
+        for s in servers {
+            s.shutdown();
+        }
     }
 
     #[test]

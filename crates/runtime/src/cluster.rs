@@ -6,13 +6,16 @@
 //! and shutdown therefore behave identically on both — a crashed TCP
 //! server and a crashed in-memory server are the same operation.
 
-use mwr_core::{FastWire, Protocol, RegisterServer};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use mwr_core::{FastWire, Msg, Protocol, RegisterServer, StateTransfer};
 use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
 
 use crate::client::{LiveReader, LiveWriter};
 use crate::server::{spawn_server_with, ServerHandle};
 use crate::tcp::TcpRegistry;
-use crate::transport::{EndpointFactory, InMemoryTransport, TransportError};
+use crate::transport::{Endpoint, EndpointFactory, InMemoryTransport, TransportError};
 
 /// The server blueprint live clusters spawn: acknowledged-floor GC sized to
 /// the cluster's client population, so server stores stay bounded once
@@ -50,6 +53,12 @@ pub struct RuntimeCluster<F: EndpointFactory> {
     protocol: Protocol,
     factory: F,
     servers: Vec<ServerHandle>,
+    /// Version beacons captured at crash time, keyed by server index: the
+    /// pre-crash version high-water a rejoin must resume above.
+    crashed: HashMap<u32, u64>,
+    /// Monotone nonce distinguishing state-fetch rounds, so a straggler
+    /// snapshot from an earlier rejoin can never corrupt a later one.
+    fetch_nonce: u64,
 }
 
 /// A running in-memory cluster: [`RuntimeCluster`] over crossbeam channels.
@@ -76,7 +85,14 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             let endpoint = factory.open(ProcessId::Server(s))?;
             servers.push(spawn_server_with(endpoint, gc_server(&config)));
         }
-        Ok(RuntimeCluster { config, protocol, factory, servers })
+        Ok(RuntimeCluster {
+            config,
+            protocol,
+            factory,
+            servers,
+            crashed: HashMap::new(),
+            fetch_nonce: 0,
+        })
     }
 
     /// The cluster configuration.
@@ -174,7 +190,131 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             .unwrap_or_else(|| panic!("server {idx} already crashed or unknown"));
         let handle = self.servers.swap_remove(pos);
         self.factory.close(ProcessId::server(idx));
+        let beacon = handle.beacon();
         handle.shutdown();
+        // Read the beacon *after* the join: it then covers every message
+        // the server ever processed. This is the stable-storage version
+        // record crash–recover models assume; rejoin resumes above it.
+        self.crashed
+            .insert(idx, beacon.load(std::sync::atomic::Ordering::Acquire));
+    }
+
+    /// Brings a crashed server back: opens a fresh endpoint (on TCP, a
+    /// fresh listener re-registered under the same process id), fetches
+    /// catch-up state from a **quorum** (`S − t`) of live peers via
+    /// [`Msg::StateFetch`], installs the merged transfer with
+    /// [`RegisterServer::recovered`], and only then spawns the serving
+    /// thread — the rejoined server answers no quorum round before its
+    /// state covers every completed operation (see the state-transfer
+    /// soundness argument in `mwr-core`'s server module docs).
+    ///
+    /// Client requests arriving during the fetch window are dropped, which
+    /// is indistinguishable from the crash lasting a moment longer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] with [`std::io::ErrorKind::TimedOut`]
+    /// if a quorum of peers does not answer the state fetch within 5
+    /// seconds — fewer snapshots could miss a completed write, so the
+    /// server refuses to rejoin (and may be retried later; the crash
+    /// bookkeeping is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is still running.
+    pub fn rejoin_server(&mut self, idx: u32) -> Result<(), TransportError> {
+        self.rejoin_server_within(idx, Duration::from_secs(5))
+    }
+
+    /// [`rejoin_server`](Self::rejoin_server) with an explicit state-fetch
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// As [`rejoin_server`](Self::rejoin_server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is still running.
+    pub fn rejoin_server_within(
+        &mut self,
+        idx: u32,
+        fetch_timeout: Duration,
+    ) -> Result<(), TransportError> {
+        assert!(
+            self.servers.iter().all(|h| h.id() != ProcessId::server(idx)),
+            "server {idx} is still running"
+        );
+        let version_floor = self.crashed.get(&idx).copied().unwrap_or(0);
+        let endpoint = self.factory.open(ProcessId::server(idx))?;
+        self.fetch_nonce += 1;
+        let nonce = self.fetch_nonce;
+        let batch: Vec<(ProcessId, Msg)> = self
+            .config
+            .server_ids()
+            .filter(|s| ProcessId::Server(*s) != ProcessId::server(idx))
+            .map(|s| (ProcessId::Server(s), Msg::StateFetch { nonce }))
+            .collect();
+        let required = self.config.quorum_size();
+        let mut transfers: BTreeMap<ProcessId, StateTransfer> = BTreeMap::new();
+        let deadline = Instant::now() + fetch_timeout;
+        // Re-broadcast the fetch periodically within the window: the round
+        // is idempotent (snapshots dedupe by peer, stale nonces are
+        // ignored), and a peer's first reply can be lost to a pipeline
+        // still pointing at this server's *previous* incarnation — its
+        // send fails, the pipeline re-resolves, and only a later reply
+        // gets through. One lost one-shot must not starve the quorum.
+        let rebroadcast_every = (fetch_timeout / 10).max(Duration::from_millis(10));
+        'fetch: while transfers.len() < required {
+            if Instant::now() >= deadline {
+                break;
+            }
+            endpoint.send_batch(batch.clone());
+            let round_ends = (Instant::now() + rebroadcast_every).min(deadline);
+            while transfers.len() < required {
+                let now = Instant::now();
+                if now >= round_ends {
+                    break;
+                }
+                match endpoint.inbox().recv_timeout(round_ends - now) {
+                    // Client traffic racing the fetch window is dropped:
+                    // the server is not serving yet.
+                    Ok((from, Msg::StateSnapshot { nonce: n, state })) if n == nonce => {
+                        transfers.insert(from, *state);
+                    }
+                    Ok(_) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'fetch,
+                }
+            }
+        }
+        if transfers.len() < required {
+            // Not enough peers: a partial transfer could miss a completed
+            // write, so refuse to serve. Withdraw the endpoint.
+            self.factory.close(ProcessId::server(idx));
+            drop(endpoint);
+            return Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut });
+        }
+        let population = self.config.readers() + self.config.writers();
+        let transfers: Vec<StateTransfer> = transfers.into_values().collect();
+        let server = RegisterServer::recovered(population, version_floor, &transfers);
+        self.servers.push(spawn_server_with(endpoint, server));
+        self.crashed.remove(&idx);
+        Ok(())
+    }
+
+    /// Indices of the currently-running servers, ascending.
+    pub fn live_servers(&self) -> Vec<u32> {
+        let mut live: Vec<u32> = self
+            .servers
+            .iter()
+            .filter_map(|h| match h.id() {
+                ProcessId::Server(s) => Some(s.index()),
+                ProcessId::Client(_) => None,
+            })
+            .collect();
+        live.sort_unstable();
+        live
     }
 
     /// Shuts down all remaining servers; returns total requests handled.
@@ -241,6 +381,55 @@ mod tests {
         cluster.crash_server(4);
         let written = w.write(Value::new(2)).unwrap();
         assert_eq!(r.read().unwrap(), written);
+        cluster.shutdown();
+    }
+
+    /// Crash → rejoin → crash the *other* minority: the rejoined server
+    /// must be serving real state, because after the second crash the
+    /// quorum can only assemble through it.
+    #[test]
+    fn rejoined_server_serves_quorums_after_the_other_minority_crashes() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        w.write(Value::new(1)).unwrap();
+        cluster.crash_server(0);
+        let during = w.write(Value::new(2)).unwrap();
+        cluster.rejoin_server(0).unwrap();
+        assert_eq!(cluster.live_servers(), vec![0, 1, 2]);
+        // Crash a server that was up the whole time: any quorum now
+        // includes the rejoined server 0.
+        cluster.crash_server(1);
+        let after = w.write(Value::new(3)).unwrap();
+        assert!(after > during);
+        assert_eq!(r.read().unwrap(), after, "quorum through the rejoined server");
+        cluster.shutdown();
+    }
+
+    /// A rejoin without a live quorum of peers must refuse (a partial
+    /// transfer could miss a completed write), withdraw its endpoint
+    /// cleanly, and keep the crash bookkeeping so the attempt can repeat.
+    #[test]
+    fn rejoin_without_a_peer_quorum_is_refused() {
+        let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        w.write(Value::new(1)).unwrap();
+        cluster.crash_server(0);
+        cluster.crash_server(1);
+        // Only server 2 is alive: a quorum of 2 snapshots cannot assemble.
+        let window = Duration::from_millis(300);
+        assert!(matches!(
+            cluster.rejoin_server_within(0, window),
+            Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut })
+        ));
+        assert_eq!(cluster.live_servers(), vec![2]);
+        // The refused attempt withdrew its endpoint registration: a second
+        // attempt opens it again (a leak would panic on the duplicate).
+        assert!(cluster.rejoin_server_within(0, window).is_err());
         cluster.shutdown();
     }
 

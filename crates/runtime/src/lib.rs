@@ -41,13 +41,15 @@
 
 mod client;
 mod cluster;
+mod faults;
 mod server;
 mod tap;
 mod tcp;
 mod transport;
 
-pub use client::{LiveReader, LiveWriter, RuntimeError};
+pub use client::{LiveReader, LiveWriter, RetryPolicy, RuntimeError};
 pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
+pub use faults::{FaultEvent, FaultPlan, FaultStep, FaultTrigger, MAX_FAULT_STEPS};
 pub use server::{spawn_server, spawn_server_with, ServerHandle};
 pub use tap::{AuditReceiver, AuditTap, DEFAULT_TAP_CAPACITY};
 pub use tcp::{PeerStats, TcpEndpoint, TcpRegistry, TcpTuning};

@@ -1,5 +1,7 @@
 //! Thread-per-server execution of the Algorithm 2 server.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use crossbeam::channel::{bounded, select, Sender};
@@ -15,12 +17,35 @@ pub struct ServerHandle {
     id: ProcessId,
     shutdown: Sender<()>,
     join: Option<JoinHandle<u64>>,
+    version: Arc<AtomicU64>,
 }
 
 impl ServerHandle {
     /// The server's process id.
     pub fn id(&self) -> ProcessId {
         self.id
+    }
+
+    /// The server's published version high-water mark: the state's
+    /// monotone version counter, updated by the server thread after every
+    /// handled message.
+    ///
+    /// This is the live runtime's stand-in for the one stable-storage
+    /// record crash–recover models customarily assume: a recovering
+    /// process knows a bound on the state stamps it issued before the
+    /// crash. [`RuntimeCluster::crash_server`](crate::RuntimeCluster::crash_server)
+    /// captures it at crash time and feeds it back to
+    /// [`mwr_core::ServerState::install`] on rejoin so the new
+    /// incarnation resumes its version counter *above* everything the old
+    /// one ever acknowledged to readers.
+    pub fn version_floor(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The beacon cell itself, so a crash can join the thread first and
+    /// *then* read the final version (the last message's bump included).
+    pub(crate) fn beacon(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.version)
     }
 
     /// Signals shutdown and waits for the thread; returns the number of
@@ -82,6 +107,8 @@ pub fn spawn_server_with(
 ) -> ServerHandle {
     let id = endpoint.id();
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let version = Arc::new(AtomicU64::new(server.state().version()));
+    let beacon = Arc::clone(&version);
     let join = thread::Builder::new()
         .name(format!("mwr-server-{id}"))
         .spawn(move || {
@@ -90,7 +117,14 @@ pub fn spawn_server_with(
                 select! {
                     recv(endpoint.inbox()) -> inbound => {
                         let Ok((from, msg)) = inbound else { return handled };
-                        if let Some(reply) = server.handle(from, &msg) {
+                        let reply = server.handle(from, &msg);
+                        // Publish the version high-water *before* the reply
+                        // leaves, so no reader ever holds an acknowledged
+                        // version the beacon has not yet reported — a crash
+                        // immediately after the send still recovers a floor
+                        // covering that ack.
+                        beacon.store(server.state().version(), Ordering::Release);
+                        if let Some(reply) = reply {
                             handled += 1;
                             // A dead client is not a server error.
                             let _ = endpoint.send(from, reply);
@@ -101,7 +135,7 @@ pub fn spawn_server_with(
             }
         })
         .expect("failed to spawn server thread");
-    ServerHandle { id, shutdown: shutdown_tx, join: Some(join) }
+    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version }
 }
 
 #[cfg(test)]

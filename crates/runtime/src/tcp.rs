@@ -542,6 +542,7 @@ pub struct TcpEndpoint {
     inbound: InboundSeen,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
 }
 
 impl TcpEndpoint {
@@ -561,7 +562,7 @@ impl TcpEndpoint {
         let legacy = registry.tuning().legacy_send;
         let inbound: InboundSeen = Arc::default();
         let acceptor_inbound = Arc::clone(&inbound);
-        thread::Builder::new()
+        let acceptor = thread::Builder::new()
             .name(format!("tcp-acceptor-{id}"))
             .spawn(move || acceptor_loop(listener, tx, acceptor_stop, legacy, acceptor_inbound))
             .map_err(io_err)?;
@@ -575,6 +576,7 @@ impl TcpEndpoint {
             inbound,
             local_addr,
             stop,
+            acceptor: Some(acceptor),
         })
     }
 
@@ -661,10 +663,17 @@ impl TcpEndpoint {
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
         // Stop the acceptor so the listener closes and the port is freed:
-        // set the flag, then poke the listener awake with a throwaway
-        // connection. Best-effort — never fail in Drop.
+        // set the flag, poke the listener awake with a throwaway
+        // connection, then *join* the acceptor thread. The join makes stop
+        // synchronous: once Drop returns, the listener socket is closed
+        // and the port free, so a crash–rebind on the same address can
+        // never race a zombie acceptor that steals one connection.
+        // Best-effort — never fail in Drop.
         self.stop.store(true, Ordering::Release);
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
         // Tear down the writer pipelines: each drains its queued frames
         // and exits once its sender is gone; joining bounds the teardown
         // so no writer thread outlives the endpoint.
@@ -859,6 +868,39 @@ mod tests {
         assert_eq!(stats.frames_sent, 10, "all frames delivered: {stats:?}");
         assert_eq!(stats.connect_attempts, 1, "one connection reused: {stats:?}");
         assert!(stats.batches <= stats.frames_sent);
+    }
+
+    /// Dropping an endpoint joins the acceptor thread, so the listener is
+    /// provably closed before Drop returns: an immediate rebind of the
+    /// same process id never races a zombie acceptor that could steal the
+    /// rebound endpoint's first connection. Exercised in a tight loop —
+    /// the old race window was exactly this crash/rebind interleaving.
+    #[test]
+    fn crash_rebind_loop_never_leaves_a_zombie_acceptor() {
+        let registry = TcpRegistry::new();
+        let client = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        for round in 0..10 {
+            let server = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+            let old_addr = server.local_addr();
+            drop(server); // crash: must join the acceptor synchronously
+            // The old listener is gone *now*, not eventually: a fresh
+            // connection to its address is refused, so it cannot steal a
+            // connection meant for the rebound endpoint.
+            assert!(
+                TcpStream::connect(old_addr).is_err(),
+                "round {round}: old listener still accepting after drop"
+            );
+            let rebound = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+            assert_ne!(rebound.local_addr(), old_addr, "ephemeral rebind");
+            // Frames reach the rebound acceptor. A frame written into the
+            // crashed connection's dead socket can be lost (that is the
+            // crash model), so send until one lands.
+            let received = (0..20).any(|_| {
+                let _ = client.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(round)));
+                rebound.inbox().recv_timeout(Duration::from_millis(500)).is_ok()
+            });
+            assert!(received, "round {round}: rebound acceptor never heard a frame");
+        }
     }
 
     #[test]

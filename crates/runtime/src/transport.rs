@@ -51,6 +51,10 @@ impl std::error::Error for TransportError {}
 /// An inbound message: sender plus payload.
 pub type Inbound = (ProcessId, Msg);
 
+/// Registered inboxes by process id, each stamped with the registration
+/// generation that minted it.
+type InboxMap = HashMap<ProcessId, (u64, Sender<Inbound>)>;
+
 /// A transport that can mint [`Endpoint`]s on demand: the one seam the
 /// generic live cluster needs. [`InMemoryTransport`] and
 /// [`TcpRegistry`](crate::TcpRegistry) both implement it, which is how
@@ -135,7 +139,11 @@ pub trait Endpoint: Send {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct InMemoryTransport {
-    inboxes: Arc<RwLock<HashMap<ProcessId, Sender<Inbound>>>>,
+    inboxes: Arc<RwLock<InboxMap>>,
+    /// Monotone registration generation, so a late-dropped old endpoint
+    /// can never evict a newer registration for the same id (churn mints
+    /// and drops endpoints for the same slot concurrently).
+    generation: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl InMemoryTransport {
@@ -146,14 +154,22 @@ impl InMemoryTransport {
 
     /// Registers a process and returns its endpoint.
     ///
+    /// Dropping the returned endpoint deregisters the process (unless a
+    /// newer endpoint has re-registered the same id in the meantime), so
+    /// short-lived churn clients can re-mint a slot without an explicit
+    /// `deregister` call.
+    ///
     /// # Panics
     ///
     /// Panics if the process is already registered.
     pub fn register(&self, id: ProcessId) -> InMemoryEndpoint {
         let (tx, rx) = unbounded();
-        let prev = self.inboxes.write().insert(id, tx);
+        let generation = self
+            .generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let prev = self.inboxes.write().insert(id, (generation, tx));
         assert!(prev.is_none(), "duplicate endpoint {id}");
-        InMemoryEndpoint { id, transport: self.clone(), inbox: rx }
+        InMemoryEndpoint { id, generation, transport: self.clone(), inbox: rx }
     }
 
     /// Removes a process's inbox (future sends to it fail).
@@ -161,9 +177,18 @@ impl InMemoryTransport {
         self.inboxes.write().remove(&id);
     }
 
+    /// Removes `id` only if its registration generation still matches —
+    /// the endpoint-Drop path, which must not race a re-registration.
+    fn deregister_generation(&self, id: ProcessId, generation: u64) {
+        let mut guard = self.inboxes.write();
+        if guard.get(&id).is_some_and(|(g, _)| *g == generation) {
+            guard.remove(&id);
+        }
+    }
+
     fn send_from(&self, from: ProcessId, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
         let guard = self.inboxes.read();
-        let tx = guard
+        let (_, tx) = guard
             .get(&to)
             .ok_or(TransportError::UnknownDestination { to })?;
         tx.send((from, msg))
@@ -189,11 +214,22 @@ impl EndpointFactory for InMemoryTransport {
 }
 
 /// One process's handle on an [`InMemoryTransport`].
+///
+/// Dropping the endpoint deregisters its process from the transport —
+/// generation-guarded, so dropping a stale endpoint after the same id has
+/// been re-registered leaves the new registration untouched.
 #[derive(Debug)]
 pub struct InMemoryEndpoint {
     id: ProcessId,
+    generation: u64,
     transport: InMemoryTransport,
     inbox: Receiver<Inbound>,
+}
+
+impl Drop for InMemoryEndpoint {
+    fn drop(&mut self) {
+        self.transport.deregister_generation(self.id, self.generation);
+    }
 }
 
 impl Endpoint for InMemoryEndpoint {
@@ -210,7 +246,7 @@ impl Endpoint for InMemoryEndpoint {
     fn send_batch(&self, batch: Vec<(ProcessId, Msg)>) {
         let guard = self.transport.inboxes.read();
         for (to, msg) in batch {
-            if let Some(tx) = guard.get(&to) {
+            if let Some((_, tx)) = guard.get(&to) {
                 let _ = tx.send((self.id, msg));
             }
         }
@@ -287,5 +323,33 @@ mod tests {
         let t = InMemoryTransport::new();
         let _a = t.register(ProcessId::server(0));
         let _b = t.register(ProcessId::server(0));
+    }
+
+    /// Churn's lifecycle: drop the endpoint, re-mint the same slot.
+    #[test]
+    fn dropping_an_endpoint_frees_the_slot_for_reminting() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        let first = t.register(ProcessId::reader(7));
+        drop(first);
+        // Would panic on a duplicate if Drop had not deregistered.
+        let second = t.register(ProcessId::reader(7));
+        client.send(ProcessId::reader(7), Msg::InvokeRead).unwrap();
+        assert_eq!(second.inbox().len(), 1);
+    }
+
+    /// A stale endpoint dropped *after* its id was re-registered (explicit
+    /// deregister + re-mint while the old handle lingers) must not evict
+    /// the newer registration.
+    #[test]
+    fn late_drop_of_a_stale_endpoint_keeps_the_new_registration() {
+        let t = InMemoryTransport::new();
+        let client = t.register(ProcessId::writer(0));
+        let stale = t.register(ProcessId::reader(7));
+        t.deregister(ProcessId::reader(7));
+        let fresh = t.register(ProcessId::reader(7));
+        drop(stale); // generation mismatch: no-op
+        client.send(ProcessId::reader(7), Msg::InvokeRead).unwrap();
+        assert_eq!(fresh.inbox().len(), 1);
     }
 }

@@ -8,6 +8,10 @@
 //! - [`run_open_loop_live`] — the saturating throughput driver: every
 //!   client issues back-to-back, load is swept via the client population,
 //!   and the [`ThroughputReport`] carries ops/sec plus latency-under-load.
+//! - [`run_chaos_live`] — the open-loop driver with a deterministic
+//!   [`FaultPlan`](mwr_runtime::FaultPlan) executing against the cluster:
+//!   crash/rejoin/churn events fire at fixed op-counts or times and the
+//!   [`ChaosReport`] counts what fired and whether the service held up.
 //! - [`LatencyStats`] / [`LatencySummary`] — exact percentile statistics.
 //! - [`TextTable`] — aligned text tables the experiment binaries print.
 //!
@@ -29,11 +33,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod driver;
 mod live;
 mod stats;
 mod table;
 
+pub use chaos::{run_chaos_live, ChaosReport};
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };

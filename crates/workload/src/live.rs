@@ -11,7 +11,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mwr_core::FastWire;
-use mwr_runtime::{AuditTap, EndpointFactory, RuntimeCluster, RuntimeError};
+use mwr_runtime::{AuditTap, EndpointFactory, RetryPolicy, RuntimeCluster, RuntimeError};
 use mwr_sim::SimTime;
 use mwr_types::Value;
 
@@ -60,13 +60,14 @@ pub fn run_closed_loop_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     spec: WorkloadSpec,
 ) -> Result<WorkloadReport, RuntimeError> {
-    run_closed_loop_live_audited(cluster, wire, timeout, spec, None)
+    run_closed_loop_live_audited(cluster, wire, timeout, RetryPolicy::default(), spec, None)
 }
 
-/// [`run_closed_loop_live`] with an optional [`AuditTap`]: when a tap is
-/// given, every client the driver mints emits sampled operation records
-/// into it, so the whole drive runs under the streaming linearizability
-/// auditor consuming the tap's receiver.
+/// [`run_closed_loop_live`] with an optional [`AuditTap`] and a
+/// [`RetryPolicy`] applied to every client the driver mints: when a tap
+/// is given, the clients emit sampled operation records into it, so the
+/// whole drive runs under the streaming linearizability auditor consuming
+/// the tap's receiver.
 ///
 /// # Errors
 ///
@@ -76,12 +77,13 @@ pub fn run_closed_loop_live_audited<F: EndpointFactory>(
     cluster: &RuntimeCluster<F>,
     wire: FastWire,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
     spec: WorkloadSpec,
     tap: Option<&AuditTap>,
 ) -> Result<WorkloadReport, RuntimeError> {
     let duration = Duration::from_micros(spec.duration.ticks());
     let think = Duration::from_micros(spec.think_time.ticks());
-    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, think, tap)?;
+    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, retry, duration, think, tap)?;
     Ok(WorkloadReport {
         events: Vec::new(),
         reads,
@@ -140,13 +142,14 @@ pub fn run_open_loop_live<F: EndpointFactory>(
     timeout: Option<Duration>,
     duration: Duration,
 ) -> Result<ThroughputReport, RuntimeError> {
-    run_open_loop_live_audited(cluster, wire, timeout, duration, None)
+    run_open_loop_live_audited(cluster, wire, timeout, RetryPolicy::default(), duration, None)
 }
 
-/// [`run_open_loop_live`] with an optional [`AuditTap`]: when a tap is
-/// given, every client the driver mints emits sampled operation records
-/// into it, so throughput sweeps and fault scenarios run continuously
-/// verified by the streaming auditor on the tap's receiving end.
+/// [`run_open_loop_live`] with an optional [`AuditTap`] and a
+/// [`RetryPolicy`] applied to every client the driver mints: when a tap
+/// is given, the clients emit sampled operation records into it, so
+/// throughput sweeps and fault scenarios run continuously verified by
+/// the streaming auditor on the tap's receiving end.
 ///
 /// # Errors
 ///
@@ -156,10 +159,12 @@ pub fn run_open_loop_live_audited<F: EndpointFactory>(
     cluster: &RuntimeCluster<F>,
     wire: FastWire,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
     duration: Duration,
     tap: Option<&AuditTap>,
 ) -> Result<ThroughputReport, RuntimeError> {
-    let (reads, writes, elapsed) = drive_live(cluster, wire, timeout, duration, Duration::ZERO, tap)?;
+    let (reads, writes, elapsed) =
+        drive_live(cluster, wire, timeout, retry, duration, Duration::ZERO, tap)?;
     Ok(ThroughputReport { reads, writes, elapsed })
 }
 
@@ -170,6 +175,7 @@ fn drive_live<F: EndpointFactory>(
     cluster: &RuntimeCluster<F>,
     wire: FastWire,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
     duration: Duration,
     think: Duration,
     tap: Option<&AuditTap>,
@@ -180,7 +186,7 @@ fn drive_live<F: EndpointFactory>(
     // any thread spawns.
     let mut writers = Vec::with_capacity(config.writers());
     for w in 0..config.writers() as u32 {
-        let mut client = cluster.writer(w)?;
+        let mut client = cluster.writer(w)?.with_retry(retry);
         if let Some(t) = timeout {
             client = client.with_timeout(t);
         }
@@ -191,7 +197,7 @@ fn drive_live<F: EndpointFactory>(
     }
     let mut readers = Vec::with_capacity(config.readers());
     for r in 0..config.readers() as u32 {
-        let mut client = cluster.reader_with_wire(r, wire)?;
+        let mut client = cluster.reader_with_wire(r, wire)?.with_retry(retry);
         if let Some(t) = timeout {
             client = client.with_timeout(t);
         }
@@ -305,6 +311,7 @@ mod tests {
             &cluster,
             FastWire::default(),
             None,
+            RetryPolicy::default(),
             Duration::from_millis(30),
             Some(&tap),
         )

@@ -1,0 +1,194 @@
+//! Property-based churn coverage for acknowledged-floor GC and the
+//! crash–recover state transfer (extends the GC floor-wedge regression
+//! suite in `mwr-core`'s server module): random interleavings of client
+//! joins, floor reports, floor-safe departures, and server crash/rejoin
+//! cycles over a 3-server cluster, asserting
+//!
+//! - pruned floors only ever advance, on every server, across every event
+//!   (including a rejoin installing a quorum's transfers);
+//! - pruned state never resurrects: no stored value sits below a server's
+//!   pruned floor (except the protocol-mandated latest);
+//! - departed clients stop pinning the floor: no trace of a departed
+//!   client survives in GC membership, floor reports, or witness sets,
+//!   and after everyone-but-one departs, a single floor report prunes all
+//!   the way to the latest value — the wedge a silent member would cause
+//!   cannot outlive its departure;
+//! - a rejoined server resumes its version counter strictly above its
+//!   pre-crash beacon and flags the incarnation switch in `reset_floor`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mwr::core::ServerState;
+use mwr::types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+const SERVERS: usize = 3;
+const CLIENTS: u32 = 4;
+/// R + W for the GC population: four readers plus the single writer.
+const POPULATION: usize = CLIENTS as usize + 1;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A client's first contact with the cluster (or a re-mint of a
+    /// departed slot): every server notes it in GC membership.
+    Join(u32),
+    /// The writer registers the next value everywhere.
+    Write,
+    /// A joined client reports the latest value as its completed floor.
+    Floor(u32),
+    /// A joined client departs floor-safely on every server.
+    Depart(u32),
+    /// Server `s` crashes and immediately rejoins from its two peers.
+    CrashRejoin(u32),
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u32..5, 0u32..CLIENTS, 0u32..SERVERS as u32), 1..max).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, c, s)| match kind {
+                    0 => Op::Join(c),
+                    1 => Op::Write,
+                    2 => Op::Floor(c),
+                    3 => Op::Depart(c),
+                    _ => Op::CrashRejoin(s),
+                })
+                .collect()
+        },
+    )
+}
+
+fn reader(c: u32) -> ClientId {
+    ClientId::reader(c)
+}
+
+/// No trace of `c` may survive on `s`: not in GC membership, not in the
+/// floor map, not in any stored value's witness set.
+fn assert_departed_gone(s: &ServerState, c: u32, ctx: &str) {
+    let t = s.export();
+    assert!(!t.seen.contains(&reader(c)), "{ctx}: departed client {c} still in GC membership");
+    assert!(
+        t.floors.iter().all(|f| f.client != reader(c)),
+        "{ctx}: departed client {c} still reports a floor"
+    );
+    assert!(
+        t.entries.iter().all(|rec| !rec.updated.contains(&reader(c))),
+        "{ctx}: departed client {c} still witnesses a value"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gc_floors_survive_random_churn_and_crash_rejoin(ops in arb_ops(40)) {
+        let writer = ClientId::writer(0);
+        let mut servers: Vec<ServerState> =
+            (0..SERVERS).map(|_| ServerState::with_gc(POPULATION)).collect();
+        let mut joined: BTreeSet<u32> = BTreeSet::new();
+        let mut departed: BTreeSet<u32> = BTreeSet::new();
+        let mut floors: Vec<TaggedValue> = vec![TaggedValue::initial(); SERVERS];
+        let mut ts = 0u64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Join(c) => {
+                    for s in &mut servers {
+                        s.note_contact(reader(c));
+                    }
+                    joined.insert(c);
+                    departed.remove(&c);
+                }
+                Op::Write => {
+                    ts += 1;
+                    let tv = TaggedValue::new(Tag::new(ts, WriterId::new(0)), Value::new(ts));
+                    for s in &mut servers {
+                        s.update(tv, writer);
+                    }
+                }
+                Op::Floor(c) => {
+                    if joined.contains(&c) {
+                        let floor = servers[0].latest();
+                        for s in &mut servers {
+                            s.record_floor(reader(c), floor);
+                        }
+                    }
+                }
+                Op::Depart(c) => {
+                    if joined.remove(&c) {
+                        for s in &mut servers {
+                            s.depart(reader(c));
+                        }
+                        departed.insert(c);
+                    }
+                }
+                Op::CrashRejoin(idx) => {
+                    let idx = idx as usize;
+                    let beacon = servers[idx].version();
+                    let transfers: Vec<_> = (0..SERVERS)
+                        .filter(|&p| p != idx)
+                        .map(|p| servers[p].export())
+                        .collect();
+                    let mut fresh = ServerState::with_gc(POPULATION);
+                    fresh.install(beacon, &transfers);
+                    prop_assert!(
+                        fresh.version() > beacon,
+                        "step {step}: rejoined version {} not above pre-crash beacon {beacon}",
+                        fresh.version()
+                    );
+                    prop_assert_eq!(
+                        fresh.reset_floor(), fresh.version(),
+                        "step {}: install must flag the incarnation switch", step
+                    );
+                    servers[idx] = fresh;
+                }
+            }
+
+            for (i, s) in servers.iter().enumerate() {
+                // Floors are monotone through every event, installs included.
+                prop_assert!(
+                    s.pruned_floor() >= floors[i],
+                    "step {step}: server {i} floor regressed from {:?} to {:?} after {op:?}",
+                    floors[i], s.pruned_floor()
+                );
+                floors[i] = s.pruned_floor();
+                // Pruned state never resurrects: nothing stored below the
+                // floor except the protocol-mandated latest.
+                let t = s.export();
+                prop_assert!(
+                    t.entries.iter().all(|rec| {
+                        rec.value >= s.pruned_floor() || rec.value == s.latest()
+                    }),
+                    "step {step}: server {i} stores a value below its pruned floor after {op:?}"
+                );
+                // Departed clients leave no pinning trace.
+                for &c in &departed {
+                    assert_departed_gone(s, c, &format!("step {step}, server {i}"));
+                }
+            }
+        }
+
+        // The wedge check: depart everyone but one survivor, let the
+        // survivor acknowledge the latest value, and GC must prune all
+        // the way there on every server — no departed (or never-joined)
+        // client holds the floor down.
+        let survivor = joined.iter().next().copied().unwrap_or(CLIENTS);
+        for &c in joined.clone().iter().filter(|&&c| c != survivor) {
+            for s in &mut servers {
+                s.depart(reader(c));
+            }
+        }
+        for s in &mut servers {
+            s.note_contact(reader(survivor));
+            let latest = s.latest();
+            s.record_floor(reader(survivor), latest);
+        }
+        for (i, s) in servers.iter().enumerate() {
+            prop_assert_eq!(
+                s.pruned_floor(), s.latest(),
+                "server {}: one live floor report must un-wedge GC completely", i
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use mwr::core::{Msg, OpHandle, OpId};
-use mwr::register::{AuditConfig, Backend, Deployment, Protocol};
+use mwr::register::{AuditConfig, Backend, Deployment, FaultPlan, Protocol, RetryPolicy};
 use mwr::runtime::{Endpoint as _, RuntimeError, TcpEndpoint, TcpRegistry, TcpTuning};
 use mwr::types::{ClientId, ClusterConfig, ProcessId, Tag, TaggedValue, Value, WriterId};
 
@@ -358,6 +358,155 @@ fn reconnect_storm_stays_atomic_under_full_audit() {
     assert!(
         (report.stats.window_high_water as u64) < report.stats.audited,
         "window stays bounded through the storm: {report}"
+    );
+}
+
+/// Crash → rejoin → crash the *other* minority, fully audited over TCP:
+/// server 0 crashes, rejoins through quorum state transfer, and then
+/// server 1 crashes — so every subsequent quorum (S − t = 2 of {0, 2})
+/// must include the rejoined incarnation. The writes and reads riding
+/// through all three phases stay atomic under `sample_rate = 1.0`, which
+/// is exactly the soundness claim of the state-transfer protocol: a
+/// rejoined server never serves below its pre-crash version stamps.
+#[test]
+fn audited_crash_rejoin_then_other_minority_over_tcp() {
+    let config = ClusterConfig::new(3, 1, 1, 1).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_secs(5))
+        .retry(RetryPolicy { attempts: 4, backoff: Duration::from_millis(20) })
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .tcp()
+        .unwrap();
+    let mut w = cluster.writer(0).unwrap();
+    let mut r = cluster.reader(0).unwrap();
+
+    // Phase 1: all up.
+    let t1 = w.write(Value::new(1)).unwrap();
+    assert_eq!(r.read().unwrap(), t1);
+
+    // Phase 2: server 0 down; the surviving quorum {1, 2} carries writes
+    // the rejoining server must learn through state transfer.
+    cluster.crash_server(0);
+    let t2 = w.write(Value::new(2)).unwrap();
+    assert_eq!(r.read().unwrap(), t2);
+
+    // Phase 3: server 0 rejoins from a quorum of live peers, then the
+    // *other* minority crashes: every quorum now needs the rejoined
+    // incarnation to answer — and to answer consistently.
+    cluster.rejoin_server(0).expect("a live quorum answers the state fetch");
+    cluster.crash_server(1);
+    let t3 = w.write(Value::new(3)).unwrap();
+    let got = r.read().unwrap();
+    assert!(got >= t3, "the rejoined server serves quorums at current stamps");
+    assert_eq!(cluster.live_servers(), vec![0, 2]);
+
+    drop(w);
+    drop(r);
+    let (_handled, report) = cluster.shutdown_audited();
+    let report = report.expect("deployment was armed with an auditor");
+    assert!(
+        report.verdict.is_ok(),
+        "crash-rejoin-crash traffic must stay atomic: {report}; {:?}",
+        report.verdict
+    );
+    assert_eq!(report.stats.audited, 6, "3 writes + 3 reads, all sampled");
+}
+
+/// The tentpole scenario, end to end: a fully-audited rolling restart
+/// over TCP. Every server is crashed and rejoined once by the armed
+/// `FaultPlan` while retrying clients hammer the register open-loop; the
+/// drive must report every fault healed and zero failed operations, the
+/// auditor must stay clean at `sample_rate = 1.0` — and afterwards,
+/// crashing a live minority proves the rejoined incarnations genuinely
+/// serve quorums rather than free-riding on the originals.
+#[test]
+fn audited_rolling_restart_over_tcp_heals_and_stays_atomic() {
+    let config = ClusterConfig::new(3, 1, 2, 2).unwrap();
+    // A short per-round timeout plus many retry attempts is the intended
+    // fault-window configuration: a round whose frames died with a
+    // crashed (or freshly re-bound) server times out quickly, and the
+    // retry's re-broadcast reconnects to the incarnation's new address.
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_millis(400))
+        .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) })
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .inject(FaultPlan::rolling_restart(3, 150))
+        .tcp()
+        .unwrap();
+    let report = cluster.run_chaos(Duration::from_secs(4)).unwrap();
+    assert_eq!(report.crashes, 3, "every server crashed once: {report:?}");
+    assert_eq!(report.rejoins, 3, "every server rejoined once: {report:?}");
+    assert!(report.healed(), "all faults healed, zero failed ops: {report:?}");
+    assert_eq!(report.live_servers, vec![0, 1, 2]);
+    assert!(report.throughput.ops() > 0);
+
+    // The rejoined incarnations must serve quorums on their own: crash a
+    // minority and drive fresh (untapped) clients through the remaining
+    // pair, both of which are post-restart incarnations. The re-bound
+    // client slots need the short-timeout-plus-retry idiom: the servers'
+    // reply pipelines still point at the drive-era addresses until the
+    // first inbound request makes them forgive and re-resolve.
+    cluster.crash_server(2);
+    let runtime = cluster.cluster();
+    let rebind_retry = RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) };
+    let mut w = runtime
+        .writer(0)
+        .unwrap()
+        .with_timeout(Duration::from_millis(400))
+        .with_retry(rebind_retry);
+    let mut r = runtime
+        .reader_with_wire(0, mwr::register::FastWire::default())
+        .unwrap()
+        .with_timeout(Duration::from_millis(400))
+        .with_retry(rebind_retry);
+    let written = w.write(Value::new(999)).unwrap();
+    assert!(
+        r.read().unwrap() >= written,
+        "rejoined servers alone form a serving quorum"
+    );
+    drop(w);
+    drop(r);
+    let (_handled, audit) = cluster.shutdown_audited();
+    let audit = audit.expect("deployment was armed with an auditor");
+    assert!(
+        audit.verdict.is_ok(),
+        "rolling-restart traffic must stay atomic: {audit}; {:?}",
+        audit.verdict
+    );
+    assert!(audit.stats.audited > 0, "the drive's clients were tapped: {audit}");
+}
+
+/// A churn storm, fully audited in memory: hundreds of short-lived
+/// readers join on the reserved slot, read, and depart floor-safely while
+/// stable clients keep the register under load. Every churn client must
+/// depart (no leaked registrations pinning the acknowledged floor), no
+/// operation may fail, and the stable traffic stays atomic.
+#[test]
+fn audited_churn_storm_departs_every_client() {
+    let config = ClusterConfig::new(3, 1, 2, 2).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::InMemory)
+        .timeout(Duration::from_secs(5))
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .inject(FaultPlan::churn_storm(200, 2, 20))
+        .in_memory()
+        .unwrap();
+    let report = cluster.run_chaos(Duration::from_millis(500)).unwrap();
+    assert_eq!(report.churn_joined, 200, "{report:?}");
+    assert_eq!(report.churn_departed, 200, "every churn client departed: {report:?}");
+    assert_eq!(report.churn_reads, 400, "{report:?}");
+    assert!(report.healed(), "{report:?}");
+    let (_handled, audit) = cluster.shutdown_audited();
+    let audit = audit.expect("deployment was armed with an auditor");
+    assert!(
+        audit.verdict.is_ok(),
+        "churn-storm traffic must stay atomic: {audit}; {:?}",
+        audit.verdict
     );
 }
 

@@ -29,6 +29,17 @@
 //! non-zero if any pipeline/channel sweep point completes fewer than
 //! `--floor` ops/sec (default 50) — the CI liveness-under-load gate.
 //!
+//! With `--keys N[,M..] --zipf s` the bin runs the **keyspace sweep**
+//! instead: each point deploys a sharded multi-register keyspace
+//! ([`Keyspace`]) on the same 11 servers and drives it open-loop with
+//! Zipf(`s`)-skewed key popularity. `--keys 1` degenerates to the
+//! single-register service (group = whole cluster, W2R1) — the parity
+//! points against the main sweep — while multi-key points shard into
+//! groups of 5 (where W2R1's fast-read bound fails at R ≥ 3, so reads
+//! adapt: W2Ra). Emits `BENCH_keyspace.json` in the sweep-line shape plus
+//! `keys`/`zipf` columns, and honors `--audit` with one streaming auditor
+//! per touched register.
+//!
 //! With `--faults rolling-restart|churn-storm` (comma-separable) the bin
 //! runs the named audited chaos scenario(s) instead of the sweep: a
 //! deterministic [`FaultPlan`] is armed on the deployment and driven with
@@ -46,11 +57,12 @@ use std::time::Duration;
 
 use mwr_bench::args::Args;
 use mwr_core::Protocol;
+use mwr_keyspace::{Keyspace, KeyspaceHandle};
 use mwr_register::{
     AuditConfig, AuditReport, Backend, Deployment, FaultPlan, LiveHandle, RetryPolicy, TcpTuning,
 };
 use mwr_runtime::EndpointFactory;
-use mwr_types::ClusterConfig;
+use mwr_types::{ClusterConfig, KeyspaceConfig};
 use mwr_workload::{TextTable, ThroughputReport};
 
 const SERVERS: usize = 11;
@@ -442,6 +454,284 @@ fn run_chaos_mode(kinds: &str, quick: bool, audit: Option<AuditConfig>) -> ! {
     std::process::exit(0);
 }
 
+/// Shards in every keyspace deployment: 16 over 11 servers gives each
+/// server membership in several overlapping groups.
+const KEYSPACE_SHARDS: usize = 16;
+
+/// Group size for multi-key points: g = 5, t = 1 keeps per-shard majority
+/// quorums at 4-of-5 while fanning each operation to less than half the
+/// cluster.
+const KEYSPACE_GROUP: usize = 5;
+
+/// One measured keyspace sweep point.
+struct KeyspaceRow {
+    transport: &'static str,
+    send_path: &'static str,
+    protocol: Protocol,
+    keys: usize,
+    zipf: f64,
+    writers: usize,
+    readers: usize,
+    ops: usize,
+    ops_per_sec: f64,
+    wr_p50_us: u64,
+    wr_p99_us: u64,
+    rd_p50_us: u64,
+    rd_p99_us: u64,
+    /// `(registers audited, ops audited, all verdicts ok)` under `--audit`.
+    audit: Option<(usize, u64, bool)>,
+}
+
+/// Drives the deployed keyspace open-loop and collects the per-register
+/// audit verdicts; generic over the transport.
+fn drive_keyspace<F: EndpointFactory>(
+    handle: KeyspaceHandle<F>,
+    keys: usize,
+    zipf: f64,
+    duration: Duration,
+) -> (ThroughputReport, Option<(usize, u64, bool)>) {
+    let report = handle.run_open_loop(keys, zipf, duration, 7).expect("keyspace drive");
+    let (_handled, reports) = handle.shutdown_audited();
+    let audit = (!reports.is_empty()).then(|| {
+        (
+            reports.len(),
+            reports.values().map(|a| a.stats.audited).sum(),
+            reports.values().all(|a| a.verdict.is_ok()),
+        )
+    });
+    (report, audit)
+}
+
+fn measure_keyspace_point(
+    transport: &'static str,
+    keys: usize,
+    zipf: f64,
+    writers: usize,
+    readers: usize,
+    duration: Duration,
+    audit: Option<AuditConfig>,
+) -> KeyspaceRow {
+    // One key degenerates to the single-register service: the group is the
+    // whole cluster and W2R1's fast-read bound t(R + 2) < S holds up to
+    // R = 8 at S = 11 — these are the parity points against the main
+    // sweep. Multi-key points shard into groups of 5, where that bound
+    // fails at R ≥ 3, so reads adapt per snapshot (W2Ra).
+    let (group, protocol) = if keys == 1 {
+        (SERVERS, Protocol::W2R1)
+    } else {
+        (KEYSPACE_GROUP, Protocol::W2Ra)
+    };
+    let config = KeyspaceConfig::new(SERVERS, FAULTS, group, KEYSPACE_SHARDS, readers, writers)
+        .expect("valid keyspace sweep config");
+    let mut blueprint = Keyspace::new(config).protocol(protocol);
+    if let Some(cfg) = audit {
+        blueprint = blueprint.audit(cfg);
+    }
+    let (send_path, (mut report, audit)) = match transport {
+        "in-memory" => (
+            "channel",
+            drive_keyspace(blueprint.in_memory().expect("in-memory keyspace"), keys, zipf, duration),
+        ),
+        "tcp" => (
+            "pipeline",
+            drive_keyspace(blueprint.tcp().expect("tcp keyspace"), keys, zipf, duration),
+        ),
+        other => unreachable!("unknown keyspace transport {other}"),
+    };
+    KeyspaceRow {
+        transport,
+        send_path,
+        protocol,
+        keys,
+        zipf,
+        writers,
+        readers,
+        ops: report.ops(),
+        ops_per_sec: report.ops_per_sec(),
+        wr_p50_us: report.writes.percentile(50.0).ticks(),
+        wr_p99_us: report.writes.percentile(99.0).ticks(),
+        rd_p50_us: report.reads.percentile(50.0).ticks(),
+        rd_p99_us: report.reads.percentile(99.0).ticks(),
+        audit,
+    }
+}
+
+/// `BENCH_keyspace.json`: the sweep-line shape `bench_delta` parses, plus
+/// `keys`/`zipf` columns on every row.
+fn keyspace_to_json(duration: Duration, zipf: f64, rows: &[KeyspaceRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"experiment\": \"live_throughput_keyspace\",\n");
+    let _ = writeln!(s, "  \"duration_ms\": {},", duration.as_millis());
+    let _ = writeln!(s, "  \"servers\": {SERVERS},");
+    let _ = writeln!(s, "  \"shards\": {KEYSPACE_SHARDS},");
+    let _ = writeln!(s, "  \"group_size\": {KEYSPACE_GROUP},");
+    let _ = writeln!(s, "  \"zipf\": {zipf:.2},");
+    s.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"transport\": \"{}\", \"send_path\": \"{}\", \"protocol\": \"{}\", \
+             \"writers\": {}, \"readers\": {}, \"keys\": {}, \"zipf\": {:.2}, \"ops\": {}, \
+             \"ops_per_sec\": {:.1}, \"wr_p50_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \
+             \"rd_p99_us\": {}",
+            row.transport,
+            row.send_path,
+            row.protocol.name(),
+            row.writers,
+            row.readers,
+            row.keys,
+            row.zipf,
+            row.ops,
+            row.ops_per_sec,
+            row.wr_p50_us,
+            row.wr_p99_us,
+            row.rd_p50_us,
+            row.rd_p99_us,
+        );
+        if let Some((registers, audited, ok)) = &row.audit {
+            let _ = write!(
+                s,
+                ", \"registers_audited\": {registers}, \"ops_audited\": {audited}, \
+                 \"audit_ok\": {ok}"
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The `--keys` entry point: sweep the keyspace, print the table and the
+/// sharding headline, write `BENCH_keyspace.json`, and exit non-zero on
+/// any audit violation or floor breach.
+fn run_keyspace_mode(
+    key_counts: &[usize],
+    zipf: f64,
+    quick: bool,
+    duration: Duration,
+    audit: Option<AuditConfig>,
+    floor: Option<f64>,
+) -> ! {
+    let points: &[(usize, usize)] =
+        if quick { &[(4, 4)] } else { &[(1, 1), (2, 2), (4, 4), (8, 8)] };
+    println!(
+        "== T1k: open-loop keyspace throughput (S={SERVERS} t={FAULTS}, {KEYSPACE_SHARDS} \
+         shards, g={KEYSPACE_GROUP} multi-key / g={SERVERS} single-key, zipf {zipf}, \
+         {} ms/point) ==\n",
+        duration.as_millis()
+    );
+
+    let mut rows: Vec<KeyspaceRow> = Vec::new();
+    for &keys in key_counts {
+        for &(w, r) in points {
+            rows.push(measure_keyspace_point("in-memory", keys, zipf, w, r, duration, audit));
+            rows.push(measure_keyspace_point("tcp", keys, zipf, w, r, duration, audit));
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "transport", "send path", "protocol", "keys", "WxR", "ops", "ops/s", "wr p50µs", "wr p99",
+        "rd p50µs", "rd p99",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.transport.to_string(),
+            row.send_path.to_string(),
+            row.protocol.name().to_string(),
+            row.keys.to_string(),
+            format!("{}x{}", row.writers, row.readers),
+            row.ops.to_string(),
+            format!("{:.0}", row.ops_per_sec),
+            row.wr_p50_us.to_string(),
+            row.wr_p99_us.to_string(),
+            row.rd_p50_us.to_string(),
+            row.rd_p99_us.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Headlines: what sharding buys — the most contended in-memory
+    // multi-key point against its single-key twin, and the best multi-key
+    // in-memory point against the single-key most-contended figure (on a
+    // core-starved box the contended points are scheduler-bound, so the
+    // best point is where the smaller quorums actually show).
+    let (max_w, max_r) = *points.last().expect("non-empty point list");
+    let at = |keys: usize, w: usize, r: usize| {
+        rows.iter()
+            .find(|row| {
+                row.transport == "in-memory" && row.keys == keys && row.writers == w && row.readers == r
+            })
+            .map(|row| row.ops_per_sec)
+    };
+    let single_contended = at(1, max_w, max_r);
+    for &keys in key_counts.iter().filter(|&&k| k > 1) {
+        if let (Some(multi), Some(single)) = (at(keys, max_w, max_r), single_contended) {
+            println!(
+                "sharding headline (in-memory {max_w}x{max_r}): {keys} keys {multi:.0} ops/s \
+                 vs 1 key {single:.0} ops/s — {:.2}x aggregate",
+                multi / single.max(1e-9),
+            );
+        }
+        let best = points
+            .iter()
+            .filter_map(|&(w, r)| at(keys, w, r).map(|ops| (ops, w, r)))
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((ops, w, r)) = best {
+            match single_contended {
+                Some(single) => println!(
+                    "sharding best (in-memory): {keys} keys {ops:.0} ops/s at {w}x{r} — \
+                     {:.2}x the 1-key {max_w}x{max_r} figure ({single:.0} ops/s)",
+                    ops / single.max(1e-9),
+                ),
+                None => println!("sharding best (in-memory): {keys} keys {ops:.0} ops/s at {w}x{r}"),
+            }
+        }
+    }
+
+    if audit.is_some() {
+        let registers: usize = rows.iter().filter_map(|r| r.audit.map(|(n, _, _)| n)).sum();
+        let audited: u64 = rows.iter().filter_map(|r| r.audit.map(|(_, n, _)| n)).sum();
+        println!(
+            "audit: {audited} ops audited across {registers} register-auditor(s) over {} points",
+            rows.len()
+        );
+    }
+
+    std::fs::write("BENCH_keyspace.json", keyspace_to_json(duration, zipf, &rows))
+        .expect("write BENCH_keyspace.json");
+    println!("wrote BENCH_keyspace.json");
+
+    let mut failed = false;
+    for row in &rows {
+        if let Some((_, _, ok)) = row.audit {
+            if !ok {
+                eprintln!(
+                    "AUDIT VIOLATION: {} keys={} {}x{}",
+                    row.transport, row.keys, row.writers, row.readers
+                );
+                failed = true;
+            }
+        }
+        if let Some(floor) = floor {
+            if row.ops_per_sec < floor {
+                eprintln!(
+                    "FAIL: {} keys={} {}x{} completed {:.0} ops/s (< floor {floor:.0})",
+                    row.transport, row.keys, row.writers, row.readers, row.ops_per_sec,
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if floor.is_some() {
+        println!("keyspace floor assertion passed: every sweep point clears the floor");
+    }
+    std::process::exit(0);
+}
+
 /// Hand-rolled JSON (the workspace vendors no serde_json).
 fn to_json(
     duration: Duration,
@@ -524,9 +814,42 @@ fn main() {
     args.expect_known(
         "live_throughput",
         &["quick", "assert-floor", "legacy-send", "audit"],
-        &["duration-ms", "floor", "protocol", "transport", "audit-sample", "faults"],
+        &["duration-ms", "floor", "protocol", "transport", "audit-sample", "faults", "keys", "zipf"],
     );
     let quick = args.flag("quick");
+    if let Some(list) = args.get("keys") {
+        // Keyspace mode replaces the sweep entirely: a comma list of key
+        // counts (e.g. `--keys 1,64`) lets one run emit the single-key
+        // parity points and the sharded multi-key points side by side.
+        let key_counts: Vec<usize> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("--keys expects a comma list of counts, got {s:?}"))
+            })
+            .collect();
+        assert!(!key_counts.is_empty(), "--keys expects at least one count");
+        assert!(key_counts.iter().all(|&k| k > 0), "--keys counts must be positive");
+        let zipf: f64 = args
+            .get("zipf")
+            .map_or(1.1, |s| s.parse().expect("--zipf expects a non-negative float"));
+        assert!(zipf >= 0.0 && zipf.is_finite(), "--zipf expects a non-negative float");
+        let rate = args
+            .get("audit-sample")
+            .map_or(1.0, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
+        let audit = args
+            .flag("audit")
+            .then(|| AuditConfig { sample_rate: rate, ..AuditConfig::default() });
+        // Longer windows than the main sweep: a fresh keyspace point pays a
+        // TCP connection storm (every client endpoint × every group member)
+        // before steady state, and short windows measure only the storm.
+        let duration =
+            Duration::from_millis(args.get_u64("duration-ms", if quick { 500 } else { 3_000 }));
+        let floor = args.flag("assert-floor").then(|| args.get_u64("floor", 50) as f64);
+        run_keyspace_mode(&key_counts, zipf, quick, duration, audit, floor);
+    }
     if let Some(kinds) = args.get("faults") {
         // Chaos mode replaces the sweep entirely. The auditor defaults to
         // sampling everything here: a fault window is exactly where a

@@ -1,12 +1,15 @@
-//! Minimal parser for the `BENCH_live_throughput.json` artifact and the
-//! markdown delta table the CI perf-regression step renders from two of
-//! them.
+//! Minimal parser for the `BENCH_live_throughput.json` artifact family and
+//! the markdown delta table the CI perf-regression step renders from two
+//! of them.
 //!
-//! The workspace vendors no `serde_json`, and the artifact is written by
-//! `live_throughput::to_json` in a fixed, line-oriented shape (one sweep
-//! point per line). This module parses exactly that shape — it is a
-//! companion to the writer, not a general JSON parser — and is unit-tested
-//! against the writer's output format.
+//! The workspace vendors no `serde_json`, and the artifacts are written by
+//! `live_throughput` in a fixed, line-oriented shape (one sweep point per
+//! line). This module parses exactly that shape — it is a companion to the
+//! writer, not a general JSON parser — and is unit-tested against the
+//! writer's output formats: the plain sweep (`BENCH_live_throughput.json`),
+//! the chaos scenarios (`BENCH_chaos.json`, `send_path` = scenario), and
+//! the keyspace sweep (`BENCH_keyspace.json`, whose rows carry extra
+//! `keys`/`zipf` columns that become part of a point's identity).
 
 use std::fmt::Write as _;
 
@@ -27,26 +30,42 @@ pub struct SweepPoint {
     pub ops_per_sec: f64,
     /// Read latency-under-load p50 (µs).
     pub rd_p50_us: u64,
+    /// Register count of a keyspace sweep row (`BENCH_keyspace.json`);
+    /// `None` on single-register rows.
+    pub keys: Option<u64>,
+    /// Zipf skew of a keyspace sweep row; `None` on single-register rows.
+    pub zipf: Option<f64>,
 }
 
 impl SweepPoint {
-    /// The identity a point is matched on across two reports.
-    pub fn key(&self) -> (String, String, String, u64, u64) {
+    /// The identity a point is matched on across two reports. The zipf
+    /// skew is keyed by bit pattern: two floats compare equal here exactly
+    /// when the writer printed them identically.
+    pub fn key(&self) -> (String, String, String, u64, u64, Option<u64>, Option<u64>) {
         (
             self.transport.clone(),
             self.send_path.clone(),
             self.protocol.clone(),
             self.writers,
             self.readers,
+            self.keys,
+            self.zipf.map(f64::to_bits),
         )
     }
 
     /// Human-readable point label for tables.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{} {} {} {}x{}",
             self.transport, self.send_path, self.protocol, self.writers, self.readers
-        )
+        );
+        if let Some(keys) = self.keys {
+            let _ = write!(label, " keys={keys}");
+        }
+        if let Some(zipf) = self.zipf {
+            let _ = write!(label, " zipf={zipf}");
+        }
+        label
     }
 }
 
@@ -92,6 +111,8 @@ pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
                 readers: num_field(line, "readers")? as u64,
                 ops_per_sec: num_field(line, "ops_per_sec")?,
                 rd_p50_us: num_field(line, "rd_p50_us")? as u64,
+                keys: num_field(line, "keys").map(|v| v as u64),
+                zipf: num_field(line, "zipf"),
             })
         })()
         .ok_or_else(|| format!("malformed sweep line: {}", line.trim()))?;
@@ -104,8 +125,10 @@ pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
 }
 
 /// Renders the markdown delta table comparing `fresh` against `baseline`,
-/// matching points by (transport, send path, protocol, W, R). Returns the
-/// table plus the geometric-mean throughput ratio over matched points.
+/// matching points by (transport, send path, protocol, W, R) plus the
+/// keys/zipf columns when present (a keyspace point never matches a
+/// single-register point). Returns the table plus the geometric-mean
+/// throughput ratio over matched points.
 ///
 /// Points only one side measured are listed (`new point`) or counted (a
 /// quick sweep legitimately re-measures a subset of the full baseline)
@@ -197,6 +220,32 @@ mod tests {
 }
 "#;
 
+    /// `BENCH_chaos.json` rows: `send_path` = scenario, extra chaos
+    /// counters trailing the standard columns.
+    const CHAOS_SAMPLE: &str = r#"{
+  "experiment": "live_throughput_chaos",
+  "sweep": [
+    {"transport": "tcp", "send_path": "rolling-restart", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 804, "ops_per_sec": 199.7, "wr_p50_us": 4000, "wr_p99_us": 410000, "rd_p50_us": 2500, "rd_p99_us": 380000, "crashes": 3, "rejoins": 3, "churn_joined": 0, "churn_departed": 0, "churn_reads": 0, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3, "ops_audited": 804, "audit_ok": true},
+    {"transport": "in-memory", "send_path": "churn-storm", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 4100, "ops_per_sec": 2050.0, "wr_p50_us": 700, "wr_p99_us": 4400, "rd_p50_us": 500, "rd_p99_us": 3100, "crashes": 0, "rejoins": 0, "churn_joined": 500, "churn_departed": 500, "churn_reads": 1000, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3}
+  ]
+}
+"#;
+
+    /// `BENCH_keyspace.json` rows: standard columns plus `keys`/`zipf`.
+    const KEYSPACE_SAMPLE: &str = r#"{
+  "experiment": "live_throughput_keyspace",
+  "duration_ms": 3000,
+  "servers": 11,
+  "shards": 16,
+  "group_size": 5,
+  "zipf": 1.10,
+  "sweep": [
+    {"transport": "in-memory", "send_path": "channel", "protocol": "W2R1 (this paper)", "writers": 1, "readers": 1, "keys": 1, "zipf": 1.10, "ops": 42640, "ops_per_sec": 14210.0, "wr_p50_us": 171, "wr_p99_us": 417, "rd_p50_us": 99, "rd_p99_us": 263},
+    {"transport": "in-memory", "send_path": "channel", "protocol": "W2Ra (adaptive)", "writers": 2, "readers": 2, "keys": 64, "zipf": 1.10, "ops": 91649, "ops_per_sec": 30538.0, "wr_p50_us": 126, "wr_p99_us": 399, "rd_p50_us": 102, "rd_p99_us": 306, "registers_audited": 64, "ops_audited": 9000, "audit_ok": true}
+  ]
+}
+"#;
+
     #[test]
     fn parses_sweep_points_and_skips_headline_lines() {
         let points = parse_live_throughput(SAMPLE).unwrap();
@@ -207,6 +256,47 @@ mod tests {
         assert_eq!(points[0].ops_per_sec, 19992.9);
         assert_eq!(points[1].send_path, "pipeline");
         assert_eq!(points[1].rd_p50_us, 6071);
+        // Single-register rows have no keyspace columns.
+        assert_eq!(points[0].keys, None);
+        assert_eq!(points[0].zipf, None);
+    }
+
+    #[test]
+    fn parses_chaos_rows_with_scenario_send_paths() {
+        let points = parse_live_throughput(CHAOS_SAMPLE).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].send_path, "rolling-restart");
+        assert_eq!(points[0].ops_per_sec, 199.7);
+        assert_eq!(points[1].send_path, "churn-storm");
+        assert_eq!(points[1].keys, None, "chaos rows carry no keyspace columns");
+    }
+
+    #[test]
+    fn parses_keyspace_rows_with_keys_and_zipf_columns() {
+        let points = parse_live_throughput(KEYSPACE_SAMPLE).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].keys, Some(1));
+        assert_eq!(points[0].zipf, Some(1.10));
+        assert_eq!(points[1].keys, Some(64));
+        assert_eq!(points[1].ops_per_sec, 30538.0);
+        // The keyspace columns are part of a point's identity and label.
+        assert_ne!(points[0].key(), points[1].key());
+        assert!(points[1].label().contains("keys=64"), "{}", points[1].label());
+        assert!(points[1].label().contains("zipf=1.1"), "{}", points[1].label());
+    }
+
+    #[test]
+    fn keyspace_points_never_match_single_register_points() {
+        let single = parse_live_throughput(SAMPLE).unwrap();
+        let keyed = parse_live_throughput(KEYSPACE_SAMPLE).unwrap();
+        // Same transport/send_path/protocol/WxR as `single[0]`, but with
+        // keyspace columns: must render as a new point, not a delta.
+        let (table, _) = delta_table(&single, &keyed);
+        assert_eq!(table.matches("| new point |").count(), 2, "{table}");
+        // And a keyspace baseline matches itself exactly.
+        let (self_table, geomean) = delta_table(&keyed, &keyed);
+        assert!(!self_table.contains("new point"), "{self_table}");
+        assert!((geomean - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -229,6 +319,8 @@ mod tests {
             readers: 4,
             ops_per_sec: 100.0,
             rd_p50_us: 5,
+            keys: None,
+            zipf: None,
         });
         let (table, geomean) = delta_table(&baseline, &fresh);
         assert!(table.contains("+10.0%"), "{table}");

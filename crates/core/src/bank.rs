@@ -1,0 +1,236 @@
+//! A bank of per-register server automata: one keyspace server process.
+//!
+//! The single-register [`RegisterServer`] is the paper's Algorithm 2; a
+//! keyspace server is simply a *map* of them, keyed by [`RegisterId`] and
+//! instantiated lazily on first contact. Every piece of per-register state —
+//! the value store, registration versions, GC floors and membership — lives
+//! inside that register's own [`RegisterServer`], so keys cannot interfere:
+//! a heavy writer on one register never advances or wedges another
+//! register's GC floor, and recovery transfers state register by register.
+//!
+//! Wire compatibility: frames wrapped in [`Msg::ForRegister`] are routed to
+//! the named register; bare legacy frames (discriminants 0–13) are routed to
+//! [`RegisterId::DEFAULT`], so a bank is a drop-in replacement for a
+//! single-register server.
+
+use std::collections::BTreeMap;
+
+use mwr_types::{ProcessId, RegisterId};
+
+use crate::msg::{Msg, RegisterTransfer, StateTransfer};
+use crate::routing::Router;
+use crate::server::RegisterServer;
+
+/// One keyspace server: a lazily populated map of per-register
+/// [`RegisterServer`]s behind a shared [`Router`].
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::{Msg, OpHandle, OpId, Router, ServerBank};
+/// use mwr_types::{ClientId, ProcessId, RegisterId, Tag, TaggedValue, Value, WriterId};
+///
+/// let mut bank = ServerBank::new(4, Router::new(5, 5, 1));
+/// let handle = OpHandle { op: OpId { client: ClientId::writer(0), seq: 0 }, phase: 1 };
+/// let tagged = TaggedValue::new(Tag::new(1, WriterId::new(0)), Value::new(7));
+/// let update = Msg::Update { handle, value: tagged, floor: TaggedValue::initial() };
+///
+/// // A wrapped frame lands on its register; the reply is wrapped the same way.
+/// let msg = Msg::ForRegister { register: RegisterId::new(3), inner: Box::new(update) };
+/// let reply = bank.handle(ProcessId::writer(0), &msg).unwrap();
+/// assert!(matches!(reply, Msg::ForRegister { register, .. } if register == RegisterId::new(3)));
+/// assert_eq!(bank.register(RegisterId::new(3)).unwrap().state().latest(), tagged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBank {
+    /// Client population (`R + W`) for per-register membership-aware GC.
+    population: usize,
+    router: Router,
+    /// Version floor inherited from a pre-crash incarnation: every register
+    /// created after recovery — even one absent from every peer transfer —
+    /// resumes its version counter above it, so a reader's stale
+    /// acknowledgements can never alias fresh registration versions.
+    version_floor: u64,
+    registers: BTreeMap<RegisterId, RegisterServer>,
+}
+
+impl ServerBank {
+    /// Creates an empty bank with acknowledged-floor GC enabled per register
+    /// for `population` clients.
+    pub fn new(population: usize, router: Router) -> Self {
+        ServerBank { population, router, version_floor: 0, registers: BTreeMap::new() }
+    }
+
+    /// Creates a recovering bank: each register named in `transfers` is
+    /// rebuilt from its own quorum of peer snapshots (exactly the
+    /// single-register [`RegisterServer::recovered`] path), and
+    /// `version_floor` — the crashed bank's version beacon — bounds every
+    /// register's version counter, including registers instantiated lazily
+    /// later.
+    pub fn recovered(
+        population: usize,
+        router: Router,
+        version_floor: u64,
+        transfers: &BTreeMap<RegisterId, Vec<StateTransfer>>,
+    ) -> Self {
+        let registers = transfers
+            .iter()
+            .map(|(&register, states)| {
+                (register, RegisterServer::recovered(population, version_floor, states))
+            })
+            .collect();
+        ServerBank { population, router, version_floor, registers }
+    }
+
+    /// The bank's routing table.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Read access to one register's server, if it has been instantiated.
+    pub fn register(&self, register: RegisterId) -> Option<&RegisterServer> {
+        self.registers.get(&register)
+    }
+
+    /// Iterates over the instantiated registers.
+    pub fn registers(&self) -> impl Iterator<Item = (RegisterId, &RegisterServer)> {
+        self.registers.iter().map(|(&r, s)| (r, s))
+    }
+
+    /// The bank's version beacon: the maximum registration version across
+    /// all registers (and any inherited recovery floor). Publishing a single
+    /// maximum is sound because [`RegisterServer::recovered`] treats the
+    /// floor as a lower bound — an overestimate only makes a rebuilt
+    /// register resume its counter higher.
+    pub fn max_version(&self) -> u64 {
+        self.registers
+            .values()
+            .map(|s| s.state().version())
+            .max()
+            .unwrap_or(0)
+            .max(self.version_floor)
+    }
+
+    fn register_mut(&mut self, register: RegisterId) -> &mut RegisterServer {
+        let population = self.population;
+        let version_floor = self.version_floor;
+        self.registers.entry(register).or_insert_with(|| {
+            if version_floor == 0 {
+                RegisterServer::with_gc(population)
+            } else {
+                RegisterServer::recovered(population, version_floor, &[])
+            }
+        })
+    }
+
+    /// Computes the reply for one request, routing by register id.
+    ///
+    /// [`Msg::ForRegister`] frames are unwrapped, handled by the named
+    /// register, and the reply re-wrapped with the same id (so client
+    /// matchers can discard cross-register strays). [`Msg::ShardFetch`] is
+    /// answered with every instantiated register of that shard. Bare legacy
+    /// frames go to [`RegisterId::DEFAULT`] and reply bare.
+    pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        match msg {
+            Msg::ForRegister { register, inner } => {
+                let reply = self.register_mut(*register).handle(from, inner)?;
+                Some(Msg::ForRegister { register: *register, inner: Box::new(reply) })
+            }
+            Msg::ShardFetch { shard, nonce } => {
+                // Server-to-server recovery traffic only, as for the legacy
+                // `StateFetch`.
+                from.as_server()?;
+                let registers = self
+                    .registers
+                    .iter()
+                    .filter(|(&r, _)| self.router.shard_of(r) == *shard)
+                    .map(|(&r, s)| RegisterTransfer { register: r, state: s.state().export() })
+                    .collect();
+                Some(Msg::ShardSnapshot { nonce: *nonce, shard: *shard, registers })
+            }
+            // A reply that somehow reaches a server; never handled.
+            Msg::ShardSnapshot { .. } => None,
+            // Legacy single-register traffic (including `StateFetch`, whose
+            // own server-only gate lives in `RegisterServer::handle`).
+            legacy => self.register_mut(RegisterId::DEFAULT).handle(from, legacy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{OpHandle, OpId};
+    use mwr_types::{ClientId, Tag, TaggedValue, Value, WriterId};
+
+    fn update(seq: u64, ts: u64, v: u64) -> Msg {
+        Msg::Update {
+            handle: OpHandle { op: OpId { client: ClientId::writer(0), seq }, phase: 1 },
+            value: TaggedValue::new(Tag::new(ts, WriterId::new(0)), Value::new(v)),
+            floor: TaggedValue::initial(),
+        }
+    }
+
+    fn wrap(register: u32, inner: Msg) -> Msg {
+        Msg::ForRegister { register: RegisterId::new(register), inner: Box::new(inner) }
+    }
+
+    #[test]
+    fn legacy_frames_land_on_the_default_register() {
+        let mut bank = ServerBank::new(2, Router::new(3, 3, 1));
+        let reply = bank.handle(ProcessId::writer(0), &update(0, 1, 10)).unwrap();
+        assert!(matches!(reply, Msg::UpdateAck { .. }), "bare frame replies bare");
+        let latest = bank.register(RegisterId::DEFAULT).unwrap().state().latest();
+        assert_eq!(latest.value(), Value::new(10));
+        assert_eq!(bank.registers().count(), 1);
+    }
+
+    #[test]
+    fn registers_are_isolated() {
+        let mut bank = ServerBank::new(2, Router::new(3, 3, 4));
+        bank.handle(ProcessId::writer(0), &wrap(1, update(0, 1, 10)));
+        bank.handle(ProcessId::writer(0), &wrap(2, update(1, 5, 50)));
+        let k1 = bank.register(RegisterId::new(1)).unwrap().state();
+        let k2 = bank.register(RegisterId::new(2)).unwrap().state();
+        assert_eq!(k1.latest().value(), Value::new(10));
+        assert_eq!(k2.latest().value(), Value::new(50));
+        assert!(bank.register(RegisterId::new(3)).is_none(), "lazy: untouched keys absent");
+    }
+
+    #[test]
+    fn shard_fetch_is_server_only_and_filtered_by_shard() {
+        let router = Router::new(5, 3, 8);
+        let mut bank = ServerBank::new(2, router);
+        // Touch a handful of registers across shards.
+        for k in 0..16 {
+            bank.handle(ProcessId::writer(0), &wrap(k, update(u64::from(k), 1, u64::from(k))));
+        }
+        let fetch = Msg::ShardFetch { shard: 2, nonce: 9 };
+        assert!(bank.handle(ProcessId::writer(0), &fetch).is_none(), "clients may not fetch");
+        let Some(Msg::ShardSnapshot { nonce, shard, registers }) =
+            bank.handle(ProcessId::server(4), &fetch)
+        else {
+            panic!("peer fetch must be answered");
+        };
+        assert_eq!((nonce, shard), (9, 2));
+        for t in &registers {
+            assert_eq!(router.shard_of(t.register), 2, "only shard 2's registers ship");
+        }
+        let expected =
+            (0..16).filter(|&k| router.shard_of(RegisterId::new(k)) == 2).count();
+        assert_eq!(registers.len(), expected);
+    }
+
+    #[test]
+    fn recovered_bank_floors_lazy_registers() {
+        let bank = ServerBank::recovered(2, Router::new(3, 3, 1), 41, &BTreeMap::new());
+        assert_eq!(bank.max_version(), 41);
+        let mut bank = bank;
+        bank.handle(ProcessId::writer(0), &wrap(5, update(0, 1, 10)));
+        // The lazily created register resumed above the beacon: its reset
+        // floor marks every pre-crash acknowledgement stale.
+        let state = bank.register(RegisterId::new(5)).unwrap().state();
+        assert!(state.version() > 41);
+        assert!(state.reset_floor() > 41);
+    }
+}

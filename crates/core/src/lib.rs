@@ -64,11 +64,13 @@
 
 mod admissible;
 mod audit;
+mod bank;
 mod client;
 mod cluster;
 mod events;
 mod msg;
 mod protocol;
+mod routing;
 mod server;
 
 pub use audit::AuditRecord;
@@ -80,9 +82,11 @@ pub use admissible::{
 pub use client::{FastWire, ReadMode, RegisterClient, WriteMode};
 pub use cluster::{Cluster, ScheduledOp, SimCluster};
 pub use events::{ClientEvent, OpKind, OpResult};
+pub use bank::ServerBank;
 pub use msg::{
     ClientSet, DeltaSnapshot, FastReadState, FloorReport, Msg, OpHandle, OpId, ReaderCache,
-    Snapshot, SnapshotCache, StateTransfer, ValueRecord,
+    RegisterTransfer, Snapshot, SnapshotCache, StateTransfer, ValueRecord,
 };
 pub use protocol::{ParseProtocolError, Protocol};
+pub use routing::Router;
 pub use server::{RegisterServer, ServerState};

@@ -13,7 +13,7 @@ use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use mwr_types::codec::{DecodeError, Wire};
-use mwr_types::{ClientId, ServerId, TaggedValue, Value};
+use mwr_types::{ClientId, RegisterId, ServerId, TaggedValue, Value};
 
 use crate::admissible::WitnessIndex;
 
@@ -159,6 +159,23 @@ pub struct StateTransfer {
     pub seen: Vec<ClientId>,
     /// The completed-operation floors reported to the sender.
     pub floors: Vec<FloorReport>,
+}
+
+/// One register's catch-up snapshot inside a shard-wide transfer
+/// ([`Msg::ShardSnapshot`]).
+///
+/// A rejoining keyspace server fetches per *shard*, but state transfer stays
+/// per *register*: each register's store, floors and version stamps are
+/// installed into that register's own `ServerState`, so recovery can never
+/// bleed one key's GC floor into another or resurrect a value under the
+/// wrong key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterTransfer {
+    /// The register this state belongs to.
+    pub register: RegisterId,
+    /// The register's full per-server state, exactly as in the
+    /// single-register rejoin path.
+    pub state: StateTransfer,
 }
 
 /// The entries of `val_queue` not present in the sorted `known` sequence —
@@ -622,6 +639,45 @@ pub enum Msg {
         /// Echo of the departure's handle.
         handle: OpHandle,
     },
+
+    // -- keyspace multiplexing (wire version 2) -----------------------------
+    /// A protocol message addressed to one named register of a keyspace.
+    ///
+    /// This is the wire-version-2 frame header: a compact register id
+    /// prefixed to any inner message, letting one connection (and one
+    /// per-peer writer pipeline) multiplex every register a client touches.
+    /// Discriminants 0–13 are the legacy single-register frames and still
+    /// decode unchanged; a bank routes them to [`RegisterId::DEFAULT`], so a
+    /// v1 peer talking to a keyspace server lands on register `k1`.
+    ForRegister {
+        /// The addressed register.
+        register: RegisterId,
+        /// The wrapped protocol message, boxed to keep [`Msg`]'s move size
+        /// at the legacy frame size.
+        inner: Box<Msg>,
+    },
+    /// A rejoining keyspace server's request for one shard's catch-up state
+    /// (server → server). Peers in the shard's group reply with
+    /// [`Msg::ShardSnapshot`]; the recovering server installs a quorum of
+    /// them *per shard* before serving that shard again.
+    ShardFetch {
+        /// The shard whose registers are requested.
+        shard: u32,
+        /// Correlates replies with this fetch round.
+        nonce: u64,
+    },
+    /// A live server's reply to [`Msg::ShardFetch`]: the full state of every
+    /// register of that shard it has instantiated. Registers the peer never
+    /// touched are omitted — lazy instantiation makes absence an empty
+    /// (vacuously correct) transfer.
+    ShardSnapshot {
+        /// Echo of the fetch nonce.
+        nonce: u64,
+        /// Echo of the requested shard.
+        shard: u32,
+        /// Per-register catch-up payloads.
+        registers: Vec<RegisterTransfer>,
+    },
 }
 
 // --- wire codec -------------------------------------------------------------
@@ -762,6 +818,24 @@ impl Wire for StateTransfer {
     }
 }
 
+impl Wire for RegisterTransfer {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.register.encode(buf);
+        self.state.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.register.encoded_len() + self.state.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(RegisterTransfer {
+            register: RegisterId::decode(buf)?,
+            state: StateTransfer::decode(buf)?,
+        })
+    }
+}
+
 impl Wire for Msg {
     fn encode(&self, buf: &mut BytesMut) {
         use bytes::BufMut;
@@ -829,6 +903,22 @@ impl Wire for Msg {
                 buf.put_u8(13);
                 handle.encode(buf);
             }
+            Msg::ForRegister { register, inner } => {
+                buf.put_u8(14);
+                register.encode(buf);
+                inner.encode(buf);
+            }
+            Msg::ShardFetch { shard, nonce } => {
+                buf.put_u8(15);
+                shard.encode(buf);
+                nonce.encode(buf);
+            }
+            Msg::ShardSnapshot { nonce, shard, registers } => {
+                buf.put_u8(16);
+                nonce.encode(buf);
+                shard.encode(buf);
+                registers.encode(buf);
+            }
         }
     }
 
@@ -857,6 +947,13 @@ impl Wire for Msg {
             Msg::StateSnapshot { nonce, state } => nonce.encoded_len() + state.encoded_len(),
             Msg::Depart { handle } => handle.encoded_len(),
             Msg::DepartAck { handle } => handle.encoded_len(),
+            Msg::ForRegister { register, inner } => {
+                register.encoded_len() + inner.encoded_len()
+            }
+            Msg::ShardFetch { shard, nonce } => shard.encoded_len() + nonce.encoded_len(),
+            Msg::ShardSnapshot { nonce, shard, registers } => {
+                nonce.encoded_len() + shard.encoded_len() + registers.encoded_len()
+            }
         }
     }
 
@@ -900,6 +997,16 @@ impl Wire for Msg {
             }),
             12 => Ok(Msg::Depart { handle: OpHandle::decode(buf)? }),
             13 => Ok(Msg::DepartAck { handle: OpHandle::decode(buf)? }),
+            14 => Ok(Msg::ForRegister {
+                register: RegisterId::decode(buf)?,
+                inner: Box::new(Msg::decode(buf)?),
+            }),
+            15 => Ok(Msg::ShardFetch { shard: u32::decode(buf)?, nonce: u64::decode(buf)? }),
+            16 => Ok(Msg::ShardSnapshot {
+                nonce: u64::decode(buf)?,
+                shard: u32::decode(buf)?,
+                registers: Vec::<RegisterTransfer>::decode(buf)?,
+            }),
             value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
         }
     }
@@ -992,6 +1099,33 @@ mod tests {
             },
             Msg::Depart { handle: handle() },
             Msg::DepartAck { handle: handle() },
+            Msg::ForRegister {
+                register: RegisterId::new(7),
+                inner: Box::new(Msg::Update {
+                    handle: handle(),
+                    value: tv(4, 1, 44),
+                    floor: tv(3, 0, 33),
+                }),
+            },
+            Msg::ShardFetch { shard: 3, nonce: 77 },
+            Msg::ShardSnapshot {
+                nonce: 77,
+                shard: 3,
+                registers: vec![RegisterTransfer {
+                    register: RegisterId::new(9),
+                    state: StateTransfer {
+                        version: 4,
+                        latest: tv(2, 0, 20),
+                        pruned: tv(1, 0, 10),
+                        entries: vec![ValueRecord {
+                            value: tv(2, 0, 20),
+                            updated: vec![ClientId::reader(0)],
+                        }],
+                        seen: vec![ClientId::reader(0)],
+                        floors: vec![],
+                    },
+                }],
+            },
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
@@ -1012,6 +1146,24 @@ mod tests {
             Msg::decode(&mut bytes),
             Err(DecodeError::InvalidDiscriminant { context: "Msg", value: 99 })
         ));
+    }
+
+    #[test]
+    fn legacy_frames_decode_unchanged_next_to_the_register_header() {
+        // Wire version 2 only *adds* discriminants 14–16; a v1 frame (0–13)
+        // must decode to the identical message, and the register header must
+        // cost exactly its discriminant byte plus the 4-byte id.
+        let inner = Msg::Query { handle: handle() };
+        let legacy = inner.to_bytes();
+        let mut cursor: &[u8] = &legacy;
+        assert_eq!(Msg::decode(&mut cursor).unwrap(), inner);
+
+        let wrapped =
+            Msg::ForRegister { register: RegisterId::new(3), inner: Box::new(inner.clone()) };
+        assert_eq!(wrapped.encoded_len(), inner.encoded_len() + 5);
+        // The wrapped frame's tail is the legacy frame, byte for byte.
+        let bytes = wrapped.to_bytes();
+        assert_eq!(&bytes[5..], &legacy[..]);
     }
 
     #[test]

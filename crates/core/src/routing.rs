@@ -1,0 +1,209 @@
+//! Deterministic register → shard → server-group routing for the keyspace.
+//!
+//! A keyspace serves many named registers; each register hashes onto one of
+//! `G` shards, and each shard is served by a *group* of `g` servers chosen
+//! by rendezvous (highest-random-weight) hashing over the full cluster.
+//! Groups of different shards may overlap — a server typically serves many
+//! shards — but each register's emulation runs entirely inside its own
+//! group, so the paper's per-register guarantees carry over with `g` in
+//! place of `S`.
+//!
+//! Everything here is a pure function of `(servers, group_size, shards)` and
+//! the hashed id. There is no per-process seed (in particular no
+//! `std::collections::hash_map::RandomState`, which randomizes per process):
+//! two processes — or one process before and after a restart — always route
+//! a register to the same shard and the same group. The property tests pin
+//! this with golden values.
+
+use mwr_types::{KeyspaceConfig, RegisterId, ServerId};
+
+/// The 64-bit finalizer of `splitmix64` (Steele, Lea & Flood's SplittableRandom;
+/// same constants as the vendored `SmallRng`): a cheap, well-avalanched hash
+/// from consecutive small integers to uniformly scattered words.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Domain-separation salts so the shard hash and the rendezvous weights are
+/// independent hash functions of their ids.
+const SHARD_SALT: u64 = 0x6b65_7973_7061_6365; // "keyspace"
+const GROUP_SALT: u64 = 0x7265_6e64_657a_766f; // "rendezvo"
+
+/// Deterministic rendezvous/hash router: `RegisterId → shard → Vec<ServerId>`.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::Router;
+/// use mwr_types::RegisterId;
+///
+/// let router = Router::new(11, 5, 16);
+/// let k = RegisterId::new(42);
+/// let group = router.group_of(k);
+/// assert_eq!(group.len(), 5);
+/// // Pure function: a fresh router (another process, a restart) agrees.
+/// assert_eq!(Router::new(11, 5, 16).group_of(k), group);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    servers: u32,
+    group_size: u32,
+    shards: u32,
+}
+
+impl Router {
+    /// Creates a router for `servers` servers, groups of `group_size`, and
+    /// `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or exceeds `servers`, or if `shards`
+    /// is zero — [`KeyspaceConfig`] validation rejects all three earlier.
+    pub fn new(servers: u32, group_size: u32, shards: u32) -> Self {
+        assert!(group_size > 0 && group_size <= servers, "group must fit the cluster");
+        assert!(shards > 0, "need at least one shard");
+        Router { servers, group_size, shards }
+    }
+
+    /// Creates the router a [`KeyspaceConfig`] describes.
+    pub fn for_keyspace(config: &KeyspaceConfig) -> Self {
+        Router::new(
+            config.servers() as u32,
+            config.group_size() as u32,
+            config.shards() as u32,
+        )
+    }
+
+    /// Number of shards.
+    pub const fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Servers per shard group.
+    pub const fn group_size(&self) -> u32 {
+        self.group_size
+    }
+
+    /// Total servers in the cluster.
+    pub const fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// The shard `register` lives on.
+    ///
+    /// A multiply-shift range reduction (`(h · G) >> 64`) instead of
+    /// `h % G`: for a 64-bit uniform hash the bias of either is negligible,
+    /// but the multiply avoids the division and keeps the discipline of the
+    /// vendored RNG's bias-free `gen_range`.
+    pub fn shard_of(&self, register: RegisterId) -> u32 {
+        let h = mix64(SHARD_SALT ^ u64::from(register.index()));
+        ((u128::from(h) * u128::from(self.shards)) >> 64) as u32
+    }
+
+    /// The rendezvous weight of `server` for `shard`: each (shard, server)
+    /// pair gets an independent uniform word, and the group is the
+    /// `group_size` servers with the largest weights.
+    fn weight(&self, shard: u32, server: u32) -> u64 {
+        mix64(GROUP_SALT ^ (u64::from(shard) << 32) ^ u64::from(server))
+    }
+
+    /// The server group serving `shard`, sorted by server id.
+    ///
+    /// Highest-random-weight selection: ties are impossible in practice
+    /// (64-bit weights) but broken by server id for bit-level determinism.
+    pub fn group(&self, shard: u32) -> Vec<ServerId> {
+        let mut ranked: Vec<(u64, u32)> =
+            (0..self.servers).map(|s| (self.weight(shard, s), s)).collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        let mut group: Vec<ServerId> = ranked
+            .into_iter()
+            .take(self.group_size as usize)
+            .map(|(_, s)| ServerId::new(s))
+            .collect();
+        group.sort_unstable();
+        group
+    }
+
+    /// The server group serving `register` — [`Router::group`] of
+    /// [`Router::shard_of`].
+    pub fn group_of(&self, register: RegisterId) -> Vec<ServerId> {
+        self.group(self.shard_of(register))
+    }
+
+    /// Every shard whose group contains `server` — the shards a rejoining
+    /// server must fetch before serving traffic again.
+    pub fn shards_on(&self, server: ServerId) -> Vec<u32> {
+        (0..self.shards)
+            .filter(|&shard| self.group(shard).contains(&server))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_the_requested_size_and_are_sorted() {
+        let router = Router::new(11, 5, 16);
+        for shard in 0..16 {
+            let group = router.group(shard);
+            assert_eq!(group.len(), 5);
+            assert!(group.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(group.iter().all(|s| s.index() < 11));
+        }
+    }
+
+    #[test]
+    fn full_size_group_is_the_whole_cluster() {
+        let router = Router::new(7, 7, 4);
+        let all: Vec<ServerId> = (0..7).map(ServerId::new).collect();
+        for shard in 0..4 {
+            assert_eq!(router.group(shard), all);
+        }
+    }
+
+    #[test]
+    fn shards_on_inverts_group_membership() {
+        let router = Router::new(11, 5, 16);
+        for s in 0..11 {
+            let server = ServerId::new(s);
+            let shards = router.shards_on(server);
+            for shard in 0..16 {
+                assert_eq!(shards.contains(&shard), router.group(shard).contains(&server));
+            }
+        }
+    }
+
+    #[test]
+    fn every_shard_is_reachable_at_scale() {
+        // With many registers every shard should see traffic; an unused
+        // shard would silently halve effective parallelism.
+        let router = Router::new(11, 5, 16);
+        let mut hit = [false; 16];
+        for k in 0..4096 {
+            hit[router.shard_of(RegisterId::new(k)) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all 16 shards hit by 4096 keys");
+    }
+
+    /// Golden values: the routing function is part of the wire contract —
+    /// clients and servers in different processes (or across restarts) must
+    /// agree on it byte for byte, so any change here is a breaking change.
+    #[test]
+    fn routing_is_pinned_cross_process() {
+        let router = Router::new(11, 5, 16);
+        let shards: Vec<u32> = (0..8).map(|k| router.shard_of(RegisterId::new(k))).collect();
+        assert_eq!(shards, golden::SHARDS_11_5_16);
+        let group: Vec<u32> = router.group(0).iter().map(|s| s.index()).collect();
+        assert_eq!(group, golden::GROUP0_11_5_16);
+    }
+
+    mod golden {
+        pub const SHARDS_11_5_16: [u32; 8] = [12, 12, 13, 10, 0, 11, 11, 6];
+        pub const GROUP0_11_5_16: [u32; 5] = [0, 5, 7, 8, 10];
+    }
+}

@@ -1,0 +1,257 @@
+//! Sharded multi-register keyspace: from one register to a service.
+//!
+//! The paper's emulation gives *one* atomic register over `S` servers.
+//! This crate serves **many named registers** over the same cluster: each
+//! [`RegisterId`] hashes onto a shard, each shard is served by a
+//! rendezvous-chosen group of `g` servers (groups overlap — a server
+//! typically serves many shards), and every register's protocol runs
+//! entirely inside its own group. The per-register algorithm is untouched:
+//! the paper's guarantees hold with `g` in place of `S`, register by
+//! register, because no message, timestamp, GC floor, or state transfer
+//! ever crosses a register boundary.
+//!
+//! Three mechanisms make that composition real:
+//!
+//! - **Routing** ([`Router`]): a pure function from register id to server
+//!   group — splitmix64-hashed shard choice, highest-random-weight group
+//!   selection — identical across processes and restarts, pinned by golden
+//!   tests.
+//! - **Multiplexing** ([`Msg::ForRegister`](mwr_core::Msg)): one compact
+//!   frame header carries the register id; every per-key client of a
+//!   process shares *one* endpoint (one inbox, one set of per-peer TCP
+//!   pipelines), so mixed-register backlog coalesces into single syscalls.
+//! - **Per-register server state** ([`ServerBank`](mwr_core::ServerBank)):
+//!   each server lazily instantiates an independent Algorithm 2 automaton
+//!   per register, with per-register GC floors; crash recovery transfers
+//!   state shard by shard, each shard requiring its own quorum.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwr_keyspace::Keyspace;
+//! use mwr_types::{KeyspaceConfig, RegisterId, Value};
+//!
+//! // 5 servers, t = 1, groups of 3, 8 shards, 2 readers + 2 writers.
+//! let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 2)?;
+//! let handle = Keyspace::new(config).in_memory()?;
+//! let key = RegisterId::new(42);
+//! let mut writer = handle.writer(0, key)?;
+//! let mut reader = handle.reader(0, key)?;
+//! let written = writer.write(Value::new(7))?;
+//! assert_eq!(reader.read()?, written);
+//! drop((writer, reader));
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod handle;
+
+pub use handle::{AnyKeyspaceHandle, KeyReader, KeyWriter, KeyspaceHandle};
+
+// The vocabulary a keyspace user needs without naming the member crates.
+pub use mwr_check::AuditReport;
+pub use mwr_core::{Protocol, Router};
+pub use mwr_register::{AuditConfig, OnViolation};
+pub use mwr_runtime::{KeyspaceCluster, RetryPolicy, TransportError};
+pub use mwr_types::{KeyspaceConfig, RegisterId};
+
+use std::fmt;
+use std::time::Duration;
+
+use mwr_runtime::{InMemoryTransport, TcpRegistry};
+
+/// Where a keyspace runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Crossbeam channels on threads — tests and examples.
+    #[default]
+    InMemory,
+    /// Loopback TCP sockets with the length-prefixed wire codec.
+    Tcp,
+}
+
+/// Why a keyspace could not be assembled or operated.
+#[derive(Debug)]
+pub enum KeyspaceError {
+    /// The chosen protocol reads fast, but the *group* does not satisfy
+    /// the paper's feasibility bound `t(R + 2) < g` — within a shard the
+    /// group plays the role of `S`.
+    FastReadInfeasible {
+        /// Servers per shard group.
+        group_size: usize,
+        /// Tolerated faults.
+        max_faults: usize,
+        /// Configured readers.
+        readers: usize,
+    },
+    /// A drive already opened every client endpoint (or clients were
+    /// already minted), so the requested operation cannot share them.
+    HandlesInUse,
+    /// The transport failed (endpoint open, bind, or rejoin quorum).
+    Transport(TransportError),
+    /// A client operation failed during a drive.
+    Runtime(mwr_runtime::RuntimeError),
+    /// The audit sidecar thread could not be spawned.
+    Audit(std::io::Error),
+}
+
+impl fmt::Display for KeyspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyspaceError::FastReadInfeasible { group_size, max_faults, readers } => write!(
+                f,
+                "fast reads infeasible inside a shard group: t(R+2) < g requires \
+                 {max_faults}*({readers}+2) < {group_size}; pick W2R2/W2Ra or grow the group"
+            ),
+            KeyspaceError::HandlesInUse => {
+                write!(f, "client endpoints are already in use by minted clients or a drive")
+            }
+            KeyspaceError::Transport(e) => write!(f, "transport: {e}"),
+            KeyspaceError::Runtime(e) => write!(f, "runtime: {e}"),
+            KeyspaceError::Audit(e) => write!(f, "audit sidecar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyspaceError {}
+
+impl From<TransportError> for KeyspaceError {
+    fn from(e: TransportError) -> Self {
+        KeyspaceError::Transport(e)
+    }
+}
+
+impl From<mwr_runtime::RuntimeError> for KeyspaceError {
+    fn from(e: mwr_runtime::RuntimeError) -> Self {
+        KeyspaceError::Runtime(e)
+    }
+}
+
+/// Builder for a sharded keyspace deployment: what cluster, which
+/// protocol inside each shard group, where it runs, and the client knobs
+/// applied to every per-key client the handle mints.
+///
+/// ```text
+/// Keyspace::new(config)            what cluster: S, t, g, shards, R, W
+///     .protocol(p)                 W2R2 / W2R1 / W2Ra inside each group
+///     .backend(Backend::Tcp)       where it runs
+///     .audit(cfg) .timeout(..)     optional knobs
+///     .retry(..)
+///     .in_memory() / .tcp() / .deploy()
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Keyspace {
+    config: KeyspaceConfig,
+    protocol: Protocol,
+    backend: Backend,
+    audit: Option<AuditConfig>,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+}
+
+impl Keyspace {
+    /// Starts a blueprint for `config` with the adaptive [`Protocol::W2Ra`]
+    /// (safe for any group size; reads go fast whenever their snapshots
+    /// admit it) on the in-memory backend.
+    pub fn new(config: KeyspaceConfig) -> Self {
+        Keyspace {
+            config,
+            protocol: Protocol::W2Ra,
+            backend: Backend::InMemory,
+            audit: None,
+            timeout: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Selects the protocol run inside each shard group.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Selects the backend [`deploy`](Self::deploy) dispatches to.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Arms continuous linearizability auditing: one streaming auditor
+    /// **per touched register** (atomicity is a per-register property),
+    /// created lazily the first time a key's client is minted.
+    pub fn audit(mut self, cfg: AuditConfig) -> Self {
+        self.audit = Some(cfg);
+        self
+    }
+
+    /// Applies a per-operation timeout to every client the handle mints.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Applies a bounded retry policy to every client the handle mints.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Validates the protocol against the *group* configuration: inside a
+    /// shard the group plays the paper's `S`, so fast reads need
+    /// `t(R + 2) < g`.
+    fn validate(&self) -> Result<(), KeyspaceError> {
+        let group = self.config.group_config();
+        if self.protocol.read_mode() == mwr_core::ReadMode::Fast && !group.fast_read_feasible() {
+            return Err(KeyspaceError::FastReadInfeasible {
+                group_size: self.config.group_size(),
+                max_faults: self.config.max_faults(),
+                readers: self.config.readers(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Deploys on in-memory channels.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyspaceError::FastReadInfeasible`] if the protocol reads fast
+    /// but the group bound fails; a [`KeyspaceError::Transport`] if an
+    /// endpoint cannot be opened.
+    pub fn in_memory(self) -> Result<KeyspaceHandle<InMemoryTransport>, KeyspaceError> {
+        self.validate()?;
+        let cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), self.config, self.protocol)?;
+        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit))
+    }
+
+    /// Deploys on loopback TCP.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyspaceError::FastReadInfeasible`] if the protocol reads fast
+    /// but the group bound fails; a [`KeyspaceError::Transport`] if a
+    /// socket cannot be bound.
+    pub fn tcp(self) -> Result<KeyspaceHandle<TcpRegistry>, KeyspaceError> {
+        self.validate()?;
+        let cluster = KeyspaceCluster::start_on(TcpRegistry::new(), self.config, self.protocol)?;
+        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit))
+    }
+
+    /// Deploys on whichever backend the blueprint selected, for callers
+    /// that dispatch at run time; statically-known backends should prefer
+    /// [`in_memory`](Self::in_memory) / [`tcp`](Self::tcp).
+    ///
+    /// # Errors
+    ///
+    /// As the typed constructors.
+    pub fn deploy(self) -> Result<AnyKeyspaceHandle, KeyspaceError> {
+        match self.backend {
+            Backend::InMemory => Ok(AnyKeyspaceHandle::InMemory(self.in_memory()?)),
+            Backend::Tcp => Ok(AnyKeyspaceHandle::Tcp(self.tcp()?)),
+        }
+    }
+}

@@ -93,15 +93,24 @@ impl AuditConfig {
 /// The armed sidecar a [`LiveHandle`](crate::LiveHandle) owns: the tap its
 /// clients write into, plus the thread folding tap records into the
 /// streaming auditor.
+///
+/// Public so the keyspace facade (`mwr-keyspace`) can arm one sidecar per
+/// register: atomicity is a per-register property, so each register's
+/// clients share a tap and get their own verdict.
 #[derive(Debug)]
-pub(crate) struct AuditSidecar {
+pub struct AuditSidecar {
     tap: AuditTap,
     join: JoinHandle<AuditReport>,
 }
 
 impl AuditSidecar {
     /// Creates the tap and spawns the consuming thread.
-    pub(crate) fn spawn(cfg: AuditConfig) -> std::io::Result<AuditSidecar> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if the OS refuses to spawn the
+    /// sidecar thread.
+    pub fn spawn(cfg: AuditConfig) -> std::io::Result<AuditSidecar> {
         let (tap, rx) = AuditTap::bounded(cfg.sample_rate, DEFAULT_TAP_CAPACITY);
         let stream = StreamConfig { window: cfg.window.max(1), ..StreamConfig::default() };
         let on_violation = cfg.on_violation;
@@ -112,7 +121,7 @@ impl AuditSidecar {
     }
 
     /// The tap to clone into every client this deployment mints.
-    pub(crate) fn tap(&self) -> &AuditTap {
+    pub fn tap(&self) -> &AuditTap {
         &self.tap
     }
 
@@ -120,7 +129,7 @@ impl AuditSidecar {
     /// hold their own tap clones, so the join completes once they are all
     /// dropped; a sidecar that panicked ([`OnViolation::Panic`]) re-raises
     /// here.
-    pub(crate) fn finish(self) -> AuditReport {
+    pub fn finish(self) -> AuditReport {
         let AuditSidecar { tap, join } = self;
         drop(tap);
         match join.join() {

@@ -68,7 +68,7 @@ mod error;
 mod handle;
 mod spec;
 
-pub use audit::{AuditConfig, OnViolation};
+pub use audit::{AuditConfig, AuditSidecar, OnViolation};
 pub use deploy::{AnySimCluster, Deployment};
 pub use error::DeployError;
 pub use handle::{Handle, LiveHandle, Reader, SimHandle, Writer};

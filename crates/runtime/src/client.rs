@@ -19,7 +19,8 @@ use mwr_core::{
 };
 use mwr_types::codec::Wire;
 use mwr_types::{
-    ClientId, ClusterConfig, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId,
+    ClientId, ClusterConfig, ProcessId, ReaderId, RegisterId, ServerId, Tag, TaggedValue, Value,
+    WriterId,
 };
 
 use crate::tap::AuditTap;
@@ -99,6 +100,48 @@ impl Default for RetryPolicy {
     }
 }
 
+/// The round-trip scope of one client: which servers its broadcasts cover,
+/// how many replies complete a quorum, and whether frames are wrapped for a
+/// keyspace register.
+///
+/// The default scope is the whole cluster with bare (legacy) frames; a
+/// keyspace client is scoped to its register's rendezvous group with
+/// [`Msg::ForRegister`] framing, so one endpoint (and its per-peer writer
+/// pipelines) multiplexes every register the client touches.
+#[derive(Debug, Clone)]
+struct Scope {
+    /// The servers every round-trip broadcasts to.
+    targets: Vec<ServerId>,
+    /// Replies required: `|targets| − t`.
+    quorum: usize,
+    /// `Some(register)`: wrap requests in [`Msg::ForRegister`] and accept
+    /// only replies wrapped with the same id.
+    wrap: Option<RegisterId>,
+}
+
+impl Scope {
+    /// The legacy whole-cluster scope of `config`.
+    fn cluster(config: &ClusterConfig) -> Self {
+        Scope {
+            targets: config.server_ids().collect(),
+            quorum: config.quorum_size(),
+            wrap: None,
+        }
+    }
+
+    /// Unwraps one inbound frame according to the scope: bare frames for a
+    /// bare scope, matching-register frames for a wrapped scope, everything
+    /// else discarded (cross-register strays can share the endpoint).
+    fn unwrap(&self, msg: Msg) -> Option<Msg> {
+        match (self.wrap, msg) {
+            (None, Msg::ForRegister { .. }) => None,
+            (None, msg) => Some(msg),
+            (Some(mine), Msg::ForRegister { register, inner }) if register == mine => Some(*inner),
+            (Some(_), _) => None,
+        }
+    }
+}
+
 /// A blocking writer client.
 ///
 /// # Examples
@@ -109,6 +152,7 @@ pub struct LiveWriter<E: Endpoint> {
     endpoint: E,
     id: WriterId,
     config: ClusterConfig,
+    scope: Scope,
     mode: WriteMode,
     local_ts: u64,
     next_seq: u64,
@@ -130,6 +174,7 @@ impl<E: Endpoint> LiveWriter<E> {
         LiveWriter {
             endpoint,
             id,
+            scope: Scope::cluster(&config),
             config,
             mode,
             local_ts: 0,
@@ -159,6 +204,26 @@ impl<E: Endpoint> LiveWriter<E> {
     /// `Cluster::with_gc`).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Scopes this writer to one register of a keyspace (builder-style):
+    /// round-trips broadcast only to `group`, wait for `|group| − t`
+    /// replies, wrap every request in [`Msg::ForRegister`] and accept only
+    /// replies wrapped with the same id. The register's group plays the
+    /// paper's `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is not larger than the configured fault bound
+    /// (no quorum could ever assemble).
+    pub fn with_scope(mut self, register: RegisterId, group: Vec<ServerId>) -> Self {
+        assert!(group.len() > self.config.max_faults(), "group must outnumber faults");
+        self.scope = Scope {
+            quorum: group.len() - self.config.max_faults(),
+            targets: group,
+            wrap: Some(register),
+        };
         self
     }
 
@@ -193,7 +258,7 @@ impl<E: Endpoint> LiveWriter<E> {
                 let handle = OpHandle { op, phase: 1 };
                 let acks = round_trip(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     Msg::Query { handle },
                     self.timeout,
                     self.retry,
@@ -211,7 +276,7 @@ impl<E: Endpoint> LiveWriter<E> {
         let handle = OpHandle { op, phase };
         round_trip(
             &self.endpoint,
-            &self.config,
+            &self.scope,
             Msg::Update { handle, value: tagged, floor: self.floor },
             self.timeout,
             self.retry,
@@ -242,7 +307,7 @@ impl<E: Endpoint> LiveWriter<E> {
         let handle = OpHandle { op, phase: 1 };
         round_trip(
             &self.endpoint,
-            &self.config,
+            &self.scope,
             Msg::Depart { handle },
             self.timeout,
             self.retry,
@@ -261,6 +326,7 @@ pub struct LiveReader<E: Endpoint> {
     endpoint: E,
     id: ReaderId,
     config: ClusterConfig,
+    scope: Scope,
     mode: ReadMode,
     wire: FastWire,
     val_queue: BTreeSet<TaggedValue>,
@@ -306,6 +372,7 @@ impl<E: Endpoint> LiveReader<E> {
         LiveReader {
             endpoint,
             id,
+            scope: Scope::cluster(&config),
             config,
             mode,
             wire,
@@ -348,6 +415,27 @@ impl<E: Endpoint> LiveReader<E> {
     #[deprecated(since = "0.2.0", note = "use the builder-style with_timeout")]
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Scopes this reader to one register of a keyspace (builder-style):
+    /// round-trips broadcast only to `group`, wait for `|group| − t`
+    /// replies, wrap every request in [`Msg::ForRegister`] and accept only
+    /// replies wrapped with the same id. The register's group plays the
+    /// paper's `S`, including in fast-read admissibility (the witness
+    /// selector's `needed = S − a·t` uses the group size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is not larger than the configured fault bound
+    /// (no quorum could ever assemble).
+    pub fn with_scope(mut self, register: RegisterId, group: Vec<ServerId>) -> Self {
+        assert!(group.len() > self.config.max_faults(), "group must outnumber faults");
+        self.scope = Scope {
+            quorum: group.len() - self.config.max_faults(),
+            targets: group,
+            wrap: Some(register),
+        };
         self
     }
 
@@ -396,7 +484,7 @@ impl<E: Endpoint> LiveReader<E> {
         let handle = OpHandle { op, phase: 1 };
         round_trip(
             &self.endpoint,
-            &self.config,
+            &self.scope,
             Msg::Depart { handle },
             self.timeout,
             self.retry,
@@ -431,7 +519,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let handle = OpHandle { op, phase: 1 };
                 let acks = round_trip(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     Msg::Query { handle },
                     self.timeout,
                     self.retry,
@@ -444,7 +532,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let handle = OpHandle { op, phase: 2 };
                 round_trip(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     Msg::Update { handle, value: best, floor: self.floor },
                     self.timeout,
                     self.retry,
@@ -521,9 +609,14 @@ impl<E: Endpoint> LiveReader<E> {
         resync: bool,
     ) -> Result<TaggedValue, RuntimeError> {
         if self.mode == ReadMode::Fast {
+            // A scoped reader's world is its register's group: the witness
+            // selector's `needed = S − a·t` must use the group size, not the
+            // whole cluster. The degree cap keeps the global `R` — an upper
+            // bound on the readers actually touching this register, which
+            // only deepens the (soundness-neutral) candidate search.
             let mut sel = index.selector(
                 mask,
-                self.config.servers(),
+                self.scope.targets.len(),
                 self.config.max_faults(),
                 self.config.readers() + 1,
             );
@@ -538,7 +631,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let handle = OpHandle { op, phase: 2 };
                 round_trip(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     Msg::Update { handle, value: max_v, floor: self.floor },
                     self.timeout,
                     self.retry,
@@ -554,17 +647,18 @@ impl<E: Endpoint> LiveReader<E> {
         // Adaptive: return the maximum fast when it is safely admissible;
         // secure it with a write-back otherwise.
         let cap = mwr_core::adaptive_degree_cap(
-            self.config.servers(),
+            self.scope.targets.len(),
             self.config.max_faults(),
             self.config.readers(),
         );
-        let mut sel = index.selector(mask, self.config.servers(), self.config.max_faults(), cap);
+        let mut sel =
+            index.selector(mask, self.scope.targets.len(), self.config.max_faults(), cap);
         let max_v = sel.max_candidate().unwrap_or_else(TaggedValue::initial);
         if resync || sel.degree(max_v).is_none() {
             let handle = OpHandle { op, phase: 2 };
             round_trip(
                 &self.endpoint,
-                &self.config,
+                &self.scope,
                 Msg::Update { handle, value: max_v, floor: self.floor },
                 self.timeout,
                 self.retry,
@@ -589,12 +683,12 @@ impl<E: Endpoint> LiveReader<E> {
                 let val_queue: Vec<TaggedValue> = self.val_queue.iter().copied().collect();
                 let request = Msg::ReadFast { handle, val_queue };
                 if measure {
-                    bytes += request.encoded_len() as u64 * self.config.servers() as u64;
+                    bytes += request.encoded_len() as u64 * self.scope.targets.len() as u64;
                 }
                 let moved = std::cell::Cell::new(0u64);
                 let acks = round_trip(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     request,
                     self.timeout,
                     self.retry,
@@ -619,7 +713,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let floor = self.floor;
                 let acks = round_trip_per_server(
                     &self.endpoint,
-                    &self.config,
+                    &self.scope,
                     |sid| {
                         let cache = state.cache(sid);
                         let new_values = cache.unacknowledged(val_queue);
@@ -687,18 +781,19 @@ enum FastReplies {
     },
 }
 
-/// Broadcasts one request to all servers and blocks until `S − t` matching
-/// replies arrive, discarding stale or non-matching messages. The matcher
-/// consumes each message, so matched payloads move out without cloning.
+/// Broadcasts one request to the scope's servers and blocks until its
+/// quorum of matching replies arrives, discarding stale or non-matching
+/// messages. The matcher consumes each message, so matched payloads move
+/// out without cloning.
 fn round_trip<E: Endpoint, T>(
     endpoint: &E,
-    config: &ClusterConfig,
+    scope: &Scope,
     request: Msg,
     timeout: Duration,
     retry: RetryPolicy,
     matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    round_trip_per_server(endpoint, config, |_| request.clone(), timeout, retry, matcher)
+    round_trip_per_server(endpoint, scope, |_| request.clone(), timeout, retry, matcher)
 }
 
 /// Like [`round_trip`], but with a per-server request — the delta fast read
@@ -708,15 +803,20 @@ fn round_trip<E: Endpoint, T>(
 /// in a per-server map *across* attempts, so a duplicate reply from a
 /// re-broadcast can never double-count toward the quorum, and a straggler
 /// from an earlier attempt still completes a later one.
+///
+/// A wrapped scope adds the [`Msg::ForRegister`] frame header on the way
+/// out and strips it (register-checked) on the way in, so the matcher sees
+/// only its own register's bare replies — a shared endpoint can carry many
+/// scoped clients' traffic without cross-talk.
 fn round_trip_per_server<E: Endpoint, T>(
     endpoint: &E,
-    config: &ClusterConfig,
+    scope: &Scope,
     mut request_for: impl FnMut(ServerId) -> Msg,
     timeout: Duration,
     retry: RetryPolicy,
     mut matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    let required = config.quorum_size();
+    let required = scope.quorum;
     let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();
     let attempts = retry.attempts.max(1);
     for attempt in 0..attempts {
@@ -725,10 +825,20 @@ fn round_trip_per_server<E: Endpoint, T>(
         }
         // One batched broadcast: the transport amortizes its locking over
         // the whole fan-out, and a dead server is exactly the failure the
-        // quorum tolerates (send_batch is best-effort by contract).
-        let batch: Vec<(ProcessId, Msg)> = config
-            .server_ids()
-            .map(|s| (ProcessId::Server(s), request_for(s)))
+        // quorum tolerates (send_batch is best-effort by contract). Mixed-
+        // register backlog coalesces into the same per-peer pipelines.
+        let batch: Vec<(ProcessId, Msg)> = scope
+            .targets
+            .iter()
+            .map(|&s| {
+                let request = match scope.wrap {
+                    Some(register) => {
+                        Msg::ForRegister { register, inner: Box::new(request_for(s)) }
+                    }
+                    None => request_for(s),
+                };
+                (ProcessId::Server(s), request)
+            })
             .collect();
         endpoint.send_batch(batch);
         let deadline = Instant::now() + timeout;
@@ -739,6 +849,7 @@ fn round_trip_per_server<E: Endpoint, T>(
             }
             match endpoint.inbox().recv_timeout(deadline - now) {
                 Ok((from, msg)) => {
+                    let Some(msg) = scope.unwrap(msg) else { continue };
                     if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(msg)) {
                         acks.insert(sid, payload);
                     }

@@ -1,0 +1,417 @@
+//! Live keyspace clusters: one [`ServerBank`] thread per server, shard-aware
+//! crash and rejoin.
+//!
+//! A keyspace cluster differs from [`RuntimeCluster`](crate::RuntimeCluster)
+//! in what a server *is*: not one Algorithm 2 automaton but a bank of them,
+//! lazily instantiated per register and multiplexed over a single endpoint
+//! by the [`Msg::ForRegister`] frame header. Fault injection is the same
+//! operation as on the single-register cluster; **rejoin** is where the
+//! sharding shows. A rejoining server does not fetch "the" state — it
+//! fetches one [`Msg::ShardFetch`] round per shard its rendezvous groups
+//! assign it, and every shard must independently assemble a quorum
+//! (`g − t`) of peer snapshots before the bank may serve again. Fewer could
+//! miss a completed write on that shard, so one starved shard refuses the
+//! whole rejoin — per-register soundness is never traded for availability.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use mwr_core::{Msg, Protocol, RegisterTransfer, Router, ServerBank, StateTransfer};
+use mwr_types::{KeyspaceConfig, ProcessId, RegisterId};
+
+use crate::server::{spawn_bank_with, ServerHandle};
+use crate::tcp::TcpRegistry;
+use crate::transport::{Endpoint, EndpointFactory, InMemoryTransport, TransportError};
+
+/// A running keyspace cluster over any [`EndpointFactory`]: every server
+/// hosts a [`ServerBank`], clients are minted per key by the `mwr-keyspace`
+/// facade.
+///
+/// # Examples
+///
+/// ```
+/// use mwr_core::Protocol;
+/// use mwr_runtime::{InMemoryTransport, KeyspaceCluster};
+/// use mwr_types::KeyspaceConfig;
+///
+/// let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 2)?;
+/// let cluster = KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2Ra)?;
+/// assert_eq!(cluster.live_servers(), vec![0, 1, 2, 3, 4]);
+/// cluster.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct KeyspaceCluster<F: EndpointFactory> {
+    config: KeyspaceConfig,
+    protocol: Protocol,
+    router: Router,
+    factory: F,
+    servers: Vec<ServerHandle>,
+    /// Bank-wide version beacons captured at crash time (max over the
+    /// bank's registers): the floor every rebuilt register resumes above.
+    crashed: HashMap<u32, u64>,
+    /// Monotone nonce distinguishing shard-fetch rounds, as in the
+    /// single-register cluster's rejoin.
+    fetch_nonce: u64,
+}
+
+/// A running in-memory keyspace cluster.
+pub type LiveKeyspaceCluster = KeyspaceCluster<InMemoryTransport>;
+
+/// A running TCP keyspace cluster on loopback.
+pub type TcpKeyspaceCluster = KeyspaceCluster<TcpRegistry>;
+
+impl<F: EndpointFactory> KeyspaceCluster<F> {
+    /// Starts every server of `config` as a [`ServerBank`] thread over
+    /// endpoints from `factory`, with acknowledged-floor GC sized to the
+    /// client population (per register, as on the single-register cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] if a server endpoint cannot be opened.
+    pub fn start_on(
+        factory: F,
+        config: KeyspaceConfig,
+        protocol: Protocol,
+    ) -> Result<Self, TransportError> {
+        let router = Router::for_keyspace(&config);
+        let population = config.readers() + config.writers();
+        let mut servers = Vec::with_capacity(config.servers());
+        for s in config.server_ids() {
+            let endpoint = factory.open(ProcessId::Server(s))?;
+            servers.push(spawn_bank_with(endpoint, ServerBank::new(population, router)));
+        }
+        Ok(KeyspaceCluster {
+            config,
+            protocol,
+            router,
+            factory,
+            servers,
+            crashed: HashMap::new(),
+            fetch_nonce: 0,
+        })
+    }
+
+    /// The keyspace configuration.
+    pub fn config(&self) -> KeyspaceConfig {
+        self.config
+    }
+
+    /// The protocol clients will run inside each shard group.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The deterministic register → shard → group router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The transport factory, for opening client endpoints.
+    pub fn factory(&self) -> &F {
+        &self.factory
+    }
+
+    /// Crashes server `idx`: removes it from the transport's delivery map,
+    /// stops its bank thread, and records the bank's version beacon (the
+    /// max across its registers) as the floor a rejoin resumes above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was already crashed.
+    pub fn crash_server(&mut self, idx: u32) {
+        let pos = self
+            .servers
+            .iter()
+            .position(|h| h.id() == ProcessId::server(idx))
+            .unwrap_or_else(|| panic!("server {idx} already crashed or unknown"));
+        let handle = self.servers.swap_remove(pos);
+        self.factory.close(ProcessId::server(idx));
+        let beacon = handle.beacon();
+        handle.shutdown();
+        // Read the beacon after the join so it covers every message the
+        // bank ever processed — the stable-storage record of the crash
+        // model, shared by all of the bank's registers.
+        self.crashed
+            .insert(idx, beacon.load(std::sync::atomic::Ordering::Acquire));
+    }
+
+    /// Brings a crashed server back with per-shard state transfer: one
+    /// [`Msg::ShardFetch`] round per shard in
+    /// [`Router::shards_on`]`(idx)`, each requiring a quorum (`g − t`) of
+    /// that shard's surviving group members, then a
+    /// [`ServerBank::recovered`] bank spawned only once **every** shard has
+    /// its quorum. Registers a peer never instantiated are simply absent
+    /// from its snapshot — lazy instantiation means the peer processed no
+    /// message for them, so the empty transfer is vacuously complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] with [`std::io::ErrorKind::TimedOut`]
+    /// if any shard's quorum does not assemble within 5 seconds; the crash
+    /// bookkeeping is preserved so the attempt can be retried.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is still running.
+    pub fn rejoin_server(&mut self, idx: u32) -> Result<(), TransportError> {
+        self.rejoin_server_within(idx, Duration::from_secs(5))
+    }
+
+    /// [`rejoin_server`](Self::rejoin_server) with an explicit fetch window.
+    ///
+    /// # Errors
+    ///
+    /// As [`rejoin_server`](Self::rejoin_server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is still running.
+    pub fn rejoin_server_within(
+        &mut self,
+        idx: u32,
+        fetch_timeout: Duration,
+    ) -> Result<(), TransportError> {
+        assert!(
+            self.servers.iter().all(|h| h.id() != ProcessId::server(idx)),
+            "server {idx} is still running"
+        );
+        let version_floor = self.crashed.get(&idx).copied().unwrap_or(0);
+        let me = ProcessId::server(idx);
+        let endpoint = self.factory.open(me)?;
+        self.fetch_nonce += 1;
+        let nonce = self.fetch_nonce;
+        let shards = self.router.shards_on(mwr_types::ServerId::new(idx));
+        let required = self.config.group_quorum();
+        // One fetch per (shard, surviving group member): groups differ per
+        // shard, so the batch is assembled per shard rather than cluster-wide.
+        let batch: Vec<(ProcessId, Msg)> = shards
+            .iter()
+            .flat_map(|&shard| {
+                self.router
+                    .group(shard)
+                    .into_iter()
+                    .map(ProcessId::Server)
+                    .filter(|p| *p != me)
+                    .map(move |p| (p, Msg::ShardFetch { shard, nonce }))
+            })
+            .collect();
+        // shard → peer → that peer's per-register exports, deduped by peer
+        // so a re-broadcast can never double-count a snapshot toward quorum.
+        let mut gathered: BTreeMap<u32, BTreeMap<ProcessId, Vec<RegisterTransfer>>> =
+            shards.iter().map(|&s| (s, BTreeMap::new())).collect();
+        let quorate =
+            |g: &BTreeMap<u32, BTreeMap<ProcessId, Vec<RegisterTransfer>>>| {
+                g.values().all(|peers| peers.len() >= required)
+            };
+        let deadline = Instant::now() + fetch_timeout;
+        // Same re-broadcast discipline as the single-register rejoin: the
+        // round is idempotent and a peer's first reply can be lost to a
+        // pipeline still aimed at this server's previous incarnation.
+        let rebroadcast_every = (fetch_timeout / 10).max(Duration::from_millis(10));
+        'fetch: while !quorate(&gathered) {
+            if Instant::now() >= deadline {
+                break;
+            }
+            endpoint.send_batch(batch.clone());
+            let round_ends = (Instant::now() + rebroadcast_every).min(deadline);
+            while !quorate(&gathered) {
+                let now = Instant::now();
+                if now >= round_ends {
+                    break;
+                }
+                match endpoint.inbox().recv_timeout(round_ends - now) {
+                    // Client traffic racing the fetch window is dropped:
+                    // the bank is not serving yet.
+                    Ok((from, Msg::ShardSnapshot { nonce: n, shard, registers }))
+                        if n == nonce =>
+                    {
+                        if let Some(peers) = gathered.get_mut(&shard) {
+                            peers.insert(from, registers);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'fetch,
+                }
+            }
+        }
+        if !quorate(&gathered) {
+            // One starved shard refuses the whole rejoin: a bank serving
+            // shard A while shard B's transfer is partial could miss a
+            // completed write on B. Withdraw the endpoint.
+            self.factory.close(me);
+            drop(endpoint);
+            return Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut });
+        }
+        let mut transfers: BTreeMap<RegisterId, Vec<StateTransfer>> = BTreeMap::new();
+        for peers in gathered.into_values() {
+            for registers in peers.into_values() {
+                for t in registers {
+                    transfers.entry(t.register).or_default().push(t.state);
+                }
+            }
+        }
+        let population = self.config.readers() + self.config.writers();
+        let bank = ServerBank::recovered(population, self.router, version_floor, &transfers);
+        self.servers.push(spawn_bank_with(endpoint, bank));
+        self.crashed.remove(&idx);
+        Ok(())
+    }
+
+    /// Indices of the currently-running servers, ascending.
+    pub fn live_servers(&self) -> Vec<u32> {
+        let mut live: Vec<u32> = self
+            .servers
+            .iter()
+            .filter_map(|h| match h.id() {
+                ProcessId::Server(s) => Some(s.index()),
+                ProcessId::Client(_) => None,
+            })
+            .collect();
+        live.sort_unstable();
+        live
+    }
+
+    /// Shuts down all remaining servers; returns total requests handled.
+    pub fn shutdown(self) -> u64 {
+        self.servers.into_iter().map(ServerHandle::shutdown).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{LiveReader, LiveWriter};
+    use mwr_types::{ReaderId, Value, WriterId};
+
+    /// Per-key clients over *shared* endpoints, exactly as the facade mints
+    /// them: one endpoint per client id, `Arc`-cloned into each key's
+    /// scoped client so all keys multiplex the same pipelines.
+    struct ClientHub<F: EndpointFactory> {
+        writer_ep: std::sync::Arc<F::Endpoint>,
+        reader_ep: std::sync::Arc<F::Endpoint>,
+    }
+
+    impl<F: EndpointFactory> ClientHub<F> {
+        fn new(cluster: &KeyspaceCluster<F>) -> Self {
+            ClientHub {
+                writer_ep: std::sync::Arc::new(
+                    cluster.factory().open(WriterId::new(0).into()).unwrap(),
+                ),
+                reader_ep: std::sync::Arc::new(
+                    cluster.factory().open(ReaderId::new(0).into()).unwrap(),
+                ),
+            }
+        }
+
+        #[allow(clippy::type_complexity)]
+        fn scoped(
+            &self,
+            cluster: &KeyspaceCluster<F>,
+            key: RegisterId,
+        ) -> (
+            LiveWriter<std::sync::Arc<F::Endpoint>>,
+            LiveReader<std::sync::Arc<F::Endpoint>>,
+        ) {
+            let config = cluster.config().group_config();
+            let group = cluster.router().group_of(key);
+            let w = LiveWriter::new(
+                std::sync::Arc::clone(&self.writer_ep),
+                WriterId::new(0),
+                config,
+                cluster.protocol().write_mode(),
+            )
+            .with_scope(key, group.clone());
+            let r = LiveReader::new(
+                std::sync::Arc::clone(&self.reader_ep),
+                ReaderId::new(0),
+                config,
+                cluster.protocol().read_mode(),
+            )
+            .with_scope(key, group);
+            (w, r)
+        }
+    }
+
+    #[test]
+    fn keyspace_cluster_end_to_end_on_one_key() {
+        let config = KeyspaceConfig::new(5, 1, 3, 8, 1, 1).unwrap();
+        let cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2Ra).unwrap();
+        let key = RegisterId::new(7);
+        let hub = ClientHub::new(&cluster);
+        let (mut w, mut r) = hub.scoped(&cluster, key);
+        let written = w.write(Value::new(70)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        drop((w, r));
+        assert!(cluster.shutdown() > 0);
+    }
+
+    /// Crash a server, keep writing on two keys whose groups contain it,
+    /// rejoin, then crash a different group member: the quorum for both
+    /// keys can now only assemble through the rejoined bank, so the reads
+    /// prove the per-shard transfers carried real state.
+    #[test]
+    fn rejoined_bank_serves_quorums_per_shard() {
+        let config = KeyspaceConfig::new(4, 1, 4, 4, 1, 1).unwrap();
+        let cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R2).unwrap();
+        // g = S = 4: every key's group is the whole cluster, so any server
+        // serves every shard and the test controls membership exactly.
+        let (k1, k2) = (RegisterId::new(1), RegisterId::new(2));
+        let mut cluster = cluster;
+        let hub = ClientHub::new(&cluster);
+        let (mut w1, mut r1) = hub.scoped(&cluster, k1);
+        let (mut w2, mut r2) = hub.scoped(&cluster, k2);
+        w1.write(Value::new(10)).unwrap();
+        w2.write(Value::new(20)).unwrap();
+        cluster.crash_server(0);
+        let d1 = w1.write(Value::new(11)).unwrap();
+        let d2 = w2.write(Value::new(21)).unwrap();
+        cluster.rejoin_server(0).unwrap();
+        assert_eq!(cluster.live_servers(), vec![0, 1, 2, 3]);
+        cluster.crash_server(1);
+        let a1 = w1.write(Value::new(12)).unwrap();
+        assert!(a1 > d1, "rejoined bank resumed k1's tags above the crash");
+        assert_eq!(r1.read().unwrap(), a1, "k1 quorum through the rejoined bank");
+        let a2 = r2.read().unwrap();
+        assert!(a2 >= d2, "k2 never rewinds below its pre-rejoin write");
+        assert_eq!(a2.value(), Value::new(21), "k2 state survived via transfer");
+        drop((w1, r1, w2, r2));
+        cluster.shutdown();
+    }
+
+    /// A rejoin with a starved shard quorum must refuse and withdraw its
+    /// endpoint so the attempt can repeat.
+    #[test]
+    fn rejoin_without_shard_quorums_is_refused() {
+        let config = KeyspaceConfig::new(3, 1, 3, 4, 1, 1).unwrap();
+        let mut cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R2).unwrap();
+        cluster.crash_server(0);
+        cluster.crash_server(1);
+        let window = Duration::from_millis(300);
+        assert!(matches!(
+            cluster.rejoin_server_within(0, window),
+            Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut })
+        ));
+        assert_eq!(cluster.live_servers(), vec![2]);
+        assert!(cluster.rejoin_server_within(0, window).is_err());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_keyspace_cluster_end_to_end() {
+        let config = KeyspaceConfig::new(3, 1, 3, 4, 1, 1).unwrap();
+        let cluster =
+            KeyspaceCluster::start_on(TcpRegistry::new(), config, Protocol::W2R1).unwrap();
+        let key = RegisterId::new(3);
+        let hub = ClientHub::new(&cluster);
+        let (mut w, mut r) = hub.scoped(&cluster, key);
+        let written = w.write(Value::new(30)).unwrap();
+        assert_eq!(r.read().unwrap(), written);
+        drop((w, r));
+        assert!(cluster.shutdown() > 0);
+    }
+}

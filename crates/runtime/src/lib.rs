@@ -42,6 +42,7 @@
 mod client;
 mod cluster;
 mod faults;
+mod keyspace;
 mod server;
 mod tap;
 mod tcp;
@@ -50,7 +51,8 @@ mod transport;
 pub use client::{LiveReader, LiveWriter, RetryPolicy, RuntimeError};
 pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
 pub use faults::{FaultEvent, FaultPlan, FaultStep, FaultTrigger, MAX_FAULT_STEPS};
-pub use server::{spawn_server, spawn_server_with, ServerHandle};
+pub use keyspace::{KeyspaceCluster, LiveKeyspaceCluster, TcpKeyspaceCluster};
+pub use server::{spawn_bank_with, spawn_server, spawn_server_with, ServerHandle};
 pub use tap::{AuditReceiver, AuditTap, DEFAULT_TAP_CAPACITY};
 pub use tcp::{PeerStats, TcpEndpoint, TcpRegistry, TcpTuning};
 pub use transport::{

@@ -6,7 +6,7 @@ use std::thread::{self, JoinHandle};
 
 use crossbeam::channel::{bounded, select, Sender};
 
-use mwr_core::RegisterServer;
+use mwr_core::{RegisterServer, ServerBank};
 use mwr_types::ProcessId;
 
 use crate::transport::Endpoint;
@@ -135,6 +135,48 @@ pub fn spawn_server_with(
             }
         })
         .expect("failed to spawn server thread");
+    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version }
+}
+
+/// Spawns a keyspace server: a [`ServerBank`] of per-register automata
+/// behind one endpoint, multiplexing every register by frame header.
+///
+/// The returned handle's version beacon publishes the bank's *maximum*
+/// version across registers — a conservative bound that a rejoin feeds back
+/// as every rebuilt register's version floor (see
+/// [`ServerBank::max_version`] for why an overestimate is sound).
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_bank_with(endpoint: impl Endpoint + 'static, mut bank: ServerBank) -> ServerHandle {
+    let id = endpoint.id();
+    let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+    let version = Arc::new(AtomicU64::new(bank.max_version()));
+    let beacon = Arc::clone(&version);
+    let join = thread::Builder::new()
+        .name(format!("mwr-bank-{id}"))
+        .spawn(move || {
+            let mut handled: u64 = 0;
+            loop {
+                select! {
+                    recv(endpoint.inbox()) -> inbound => {
+                        let Ok((from, msg)) = inbound else { return handled };
+                        let reply = bank.handle(from, &msg);
+                        // Same ordering as `spawn_server_with`: the beacon
+                        // covers this message's version bumps before any
+                        // reader can acknowledge them.
+                        beacon.store(bank.max_version(), Ordering::Release);
+                        if let Some(reply) = reply {
+                            handled += 1;
+                            let _ = endpoint.send(from, reply);
+                        }
+                    }
+                    recv(shutdown_rx) -> _ => return handled,
+                }
+            }
+        })
+        .expect("failed to spawn bank thread");
     ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version }
 }
 

@@ -78,7 +78,11 @@ pub trait EndpointFactory: Clone {
 }
 
 /// A process's endpoint on a transport: an inbox and the ability to send.
-pub trait Endpoint: Send {
+///
+/// `Sync` is part of the contract: every method takes `&self`, and the
+/// keyspace layer shares one endpoint across the per-register clients of a
+/// handle (see the [`Arc`] blanket impl below).
+pub trait Endpoint: Send + Sync {
     /// This endpoint's process identity.
     fn id(&self) -> ProcessId;
 
@@ -117,6 +121,31 @@ pub trait Endpoint: Send {
 
     /// The receiving side of this endpoint's inbox.
     fn inbox(&self) -> &Receiver<Inbound>;
+}
+
+/// A shared endpoint is an endpoint: every method takes `&self`, so an
+/// `Arc<E>` delegates directly.
+///
+/// This is the keyspace multiplexing seam — one physical endpoint (one
+/// inbox, one set of per-peer TCP pipelines) shared by the many per-register
+/// clients a keyspace handle mints, so mixed-register traffic coalesces
+/// into the same connections instead of opening one socket set per key.
+impl<E: Endpoint> Endpoint for Arc<E> {
+    fn id(&self) -> ProcessId {
+        (**self).id()
+    }
+
+    fn send(&self, to: ProcessId, msg: Msg) -> Result<(), TransportError> {
+        (**self).send(to, msg)
+    }
+
+    fn send_batch(&self, batch: Vec<(ProcessId, Msg)>) {
+        (**self).send_batch(batch);
+    }
+
+    fn inbox(&self) -> &Receiver<Inbound> {
+        (**self).inbox()
+    }
 }
 
 /// A process-addressed in-memory transport over crossbeam channels.

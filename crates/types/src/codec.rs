@@ -30,7 +30,10 @@ use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::{ClientId, ProcessId, ReaderId, ServerId, Tag, TaggedValue, Value, WriterId, WriterSlot};
+use crate::{
+    ClientId, ProcessId, ReaderId, RegisterId, ServerId, Tag, TaggedValue, Value, WriterId,
+    WriterSlot,
+};
 
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,6 +256,7 @@ macro_rules! wire_id {
 wire_id!(ServerId);
 wire_id!(ReaderId);
 wire_id!(WriterId);
+wire_id!(RegisterId);
 
 impl Wire for ClientId {
     fn encode(&self, buf: &mut BytesMut) {
@@ -434,6 +438,8 @@ mod tests {
     #[test]
     fn domain_types_round_trip() {
         round_trip(&ServerId::new(3));
+        round_trip(&RegisterId::new(41));
+        round_trip(&RegisterId::DEFAULT);
         round_trip(&ClientId::reader(1));
         round_trip(&ClientId::writer(0));
         round_trip(&ProcessId::server(2));

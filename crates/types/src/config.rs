@@ -28,6 +28,16 @@ pub enum ConfigError {
     /// the paper's theorems use `R ≥ 2, W ≥ 2` but degenerate single-client
     /// clusters are permitted for the single-writer baselines.
     NoClients,
+    /// A keyspace shard group cannot contain more servers than the cluster
+    /// has (`g ≤ S`).
+    GroupTooLarge {
+        /// The offending group size.
+        group_size: usize,
+        /// The server count it was checked against.
+        servers: usize,
+    },
+    /// A keyspace needs at least one shard to route registers onto.
+    NoShards,
 }
 
 impl fmt::Display for ConfigError {
@@ -41,6 +51,11 @@ impl fmt::Display for ConfigError {
                 "fault bound t={max_faults} leaves no quorum among S={servers} servers"
             ),
             ConfigError::NoClients => write!(f, "cluster needs at least one reader or writer"),
+            ConfigError::GroupTooLarge { group_size, servers } => write!(
+                f,
+                "shard group size g={group_size} exceeds cluster size S={servers}"
+            ),
+            ConfigError::NoShards => write!(f, "keyspace needs at least one shard"),
         }
     }
 }
@@ -247,6 +262,142 @@ impl ClusterConfigBuilder {
     }
 }
 
+/// The static parameters of a sharded multi-register keyspace: `S` servers,
+/// `G` shards, each shard served by a rendezvous-chosen group of `g` servers
+/// of which at most `t` may crash, shared by `R` readers and `W` writers.
+///
+/// Every register is an independent emulation of the paper's model inside its
+/// shard group, so all per-register guarantees (quorum arithmetic, fast-read
+/// feasibility) are those of the *group-sized* [`ClusterConfig`] returned by
+/// [`KeyspaceConfig::group_config`].
+///
+/// # Examples
+///
+/// ```
+/// use mwr_types::KeyspaceConfig;
+///
+/// // 11 servers, groups of 5 with t = 1, 16 shards, 8 readers + 8 writers.
+/// let k = KeyspaceConfig::new(11, 1, 5, 16, 8, 8)?;
+/// assert_eq!(k.group_quorum(), 4);
+/// assert_eq!(k.group_config().servers(), 5);
+/// # Ok::<(), mwr_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyspaceConfig {
+    servers: usize,
+    max_faults: usize,
+    group_size: usize,
+    shards: usize,
+    readers: usize,
+    writers: usize,
+}
+
+impl KeyspaceConfig {
+    /// Creates and validates a keyspace configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the per-group cluster `(g, t, R, W)` fails
+    /// [`ClusterConfig::new`] validation, if `g > S`, or if there are no
+    /// shards.
+    pub fn new(
+        servers: usize,
+        max_faults: usize,
+        group_size: usize,
+        shards: usize,
+        readers: usize,
+        writers: usize,
+    ) -> Result<Self, ConfigError> {
+        // Each shard group is a self-contained register cluster; validate it
+        // with the same rules as a standalone deployment.
+        ClusterConfig::new(group_size, max_faults, readers, writers)?;
+        if group_size > servers {
+            return Err(ConfigError::GroupTooLarge { group_size, servers });
+        }
+        if shards == 0 {
+            return Err(ConfigError::NoShards);
+        }
+        Ok(KeyspaceConfig {
+            servers,
+            max_faults,
+            group_size,
+            shards,
+            readers,
+            writers,
+        })
+    }
+
+    /// Total number of servers `S` in the cluster.
+    pub const fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Fault bound `t` *per shard group*.
+    pub const fn max_faults(&self) -> usize {
+        self.max_faults
+    }
+
+    /// Number of servers `g` serving each shard.
+    pub const fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of shards registers are hashed onto.
+    pub const fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of readers `R`.
+    pub const fn readers(&self) -> usize {
+        self.readers
+    }
+
+    /// Number of writers `W`.
+    pub const fn writers(&self) -> usize {
+        self.writers
+    }
+
+    /// The per-shard quorum size `g − t`: every per-register round-trip waits
+    /// for this many replies from the shard's group.
+    pub const fn group_quorum(&self) -> usize {
+        self.group_size - self.max_faults
+    }
+
+    /// The cluster configuration a single register lives under: `g` servers,
+    /// `t` faults, and the keyspace's full client population (any reader or
+    /// writer may touch any register).
+    pub fn group_config(&self) -> ClusterConfig {
+        // Validated in `new`, so this cannot fail.
+        ClusterConfig::new(self.group_size, self.max_faults, self.readers, self.writers)
+            .expect("group config validated at construction")
+    }
+
+    /// Iterates over all server identifiers `s1 … sS`.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.servers as u32).map(ServerId::new)
+    }
+
+    /// Iterates over all reader identifiers `r1 … rR`.
+    pub fn reader_ids(&self) -> impl Iterator<Item = ReaderId> + '_ {
+        (0..self.readers as u32).map(ReaderId::new)
+    }
+
+    /// Iterates over all writer identifiers `w1 … wW`.
+    pub fn writer_ids(&self) -> impl Iterator<Item = WriterId> + '_ {
+        (0..self.writers as u32).map(WriterId::new)
+    }
+}
+
+impl fmt::Display for KeyspaceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "S={} t={} g={} shards={} R={} W={}",
+            self.servers, self.max_faults, self.group_size, self.shards, self.readers, self.writers
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +454,26 @@ mod tests {
         assert_eq!(c.reader_ids().count(), 2);
         assert_eq!(c.writer_ids().count(), 2);
         assert_eq!(c.processes(), 7);
+    }
+
+    #[test]
+    fn keyspace_config_validates_group_and_shards() {
+        let k = KeyspaceConfig::new(11, 1, 5, 16, 8, 8).unwrap();
+        assert_eq!(k.group_quorum(), 4);
+        assert_eq!(k.group_config(), ClusterConfig::new(5, 1, 8, 8).unwrap());
+        assert_eq!(k.server_ids().count(), 11);
+        assert_eq!(k.to_string(), "S=11 t=1 g=5 shards=16 R=8 W=8");
+
+        assert_eq!(
+            KeyspaceConfig::new(3, 1, 5, 4, 1, 1),
+            Err(ConfigError::GroupTooLarge { group_size: 5, servers: 3 })
+        );
+        assert_eq!(KeyspaceConfig::new(5, 1, 3, 0, 1, 1), Err(ConfigError::NoShards));
+        // Per-group validation applies: t must leave a quorum within g.
+        assert_eq!(
+            KeyspaceConfig::new(9, 3, 3, 4, 1, 1),
+            Err(ConfigError::TooManyFaults { max_faults: 3, servers: 3 })
+        );
     }
 
     #[test]

@@ -73,6 +73,25 @@ id_newtype!(
     WriterId,
     "w"
 );
+id_newtype!(
+    /// Identifier of a named register in a sharded keyspace (`k1 … kN`).
+    ///
+    /// The paper's model emulates a *single* register; a keyspace runs many
+    /// independent emulations side by side, one per `RegisterId`, each
+    /// served by its own (rendezvous-routed) server group. Register ids
+    /// ride in the frame header so one connection can multiplex them all.
+    RegisterId,
+    "k"
+);
+
+impl RegisterId {
+    /// The register that legacy (pre-keyspace) frames implicitly address.
+    ///
+    /// Frames carrying the original single-register message discriminants
+    /// decode without a register id and are routed here, so a single-register
+    /// deployment is exactly a keyspace with one register.
+    pub const DEFAULT: RegisterId = RegisterId::new(0);
+}
 
 /// A client process: either a reader or a writer.
 ///
@@ -237,6 +256,8 @@ mod tests {
         assert_eq!(WriterId::new(2).to_string(), "w3");
         assert_eq!(ProcessId::server(4).to_string(), "s5");
         assert_eq!(ClientId::reader(0).to_string(), "r1");
+        assert_eq!(RegisterId::new(0).to_string(), "k1");
+        assert_eq!(RegisterId::DEFAULT, RegisterId::new(0));
     }
 
     #[test]

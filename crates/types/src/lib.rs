@@ -12,6 +12,9 @@
 //! - [`ClusterConfig`] — the `(S, t, R, W)` parameters, quorum arithmetic and
 //!   the fast-read feasibility condition `R < S/t − 2` expressed exactly as
 //!   `t·(R + 2) < S`.
+//! - [`RegisterId`] and [`KeyspaceConfig`] — the sharded multi-register
+//!   keyspace vocabulary: many named registers, each an independent emulation
+//!   of the paper's model inside a rendezvous-chosen server group.
 //! - [`codec`] — a small hand-rolled binary wire codec used by the TCP
 //!   transport (the offline dependency set has no serde binary format).
 //!
@@ -40,7 +43,7 @@ mod ids;
 mod tag;
 mod value;
 
-pub use config::{ClusterConfig, ClusterConfigBuilder, ConfigError};
-pub use ids::{ClientId, ProcessId, ReaderId, ServerId, WriterId};
+pub use config::{ClusterConfig, ClusterConfigBuilder, ConfigError, KeyspaceConfig};
+pub use ids::{ClientId, ProcessId, ReaderId, RegisterId, ServerId, WriterId};
 pub use tag::{Tag, WriterSlot};
 pub use value::{TaggedValue, Value};

@@ -1,0 +1,254 @@
+//! Open-loop throughput driver for the sharded keyspace.
+//!
+//! The flagship multi-register workload: every writer and reader thread
+//! issues back-to-back operations against a [`KeyspaceCluster`], picking
+//! the *key* of each operation from a [`Zipf`] distribution over
+//! `1..=keys` — rank 1 the hottest register, skew `s` the tail weight.
+//! Zipf-skewed popularity is the realistic regime for a keyed service
+//! (caches, KV front ends), and it exercises exactly what sharding buys:
+//! hot keys contend inside their own `g`-server group while the long tail
+//! spreads across the other groups' quorums in parallel.
+//!
+//! Per-key clients are minted lazily and **multiplex one endpoint per
+//! thread** (an `Arc`-shared endpoint under every scoped client), so a
+//! thread touching 64 keys still drives one inbox and one set of per-peer
+//! connections — the coalescing the keyspace frame header exists for.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{SeedableRng, Zipf};
+
+use mwr_runtime::{
+    AuditTap, EndpointFactory, KeyspaceCluster, LiveReader, LiveWriter, RetryPolicy, RuntimeError,
+};
+use mwr_sim::SimTime;
+use mwr_types::{ReaderId, RegisterId, Value, WriterId};
+
+use crate::live::ThroughputReport;
+use crate::stats::LatencyStats;
+
+/// Per-register audit wiring for the keyspace driver: atomicity is a
+/// per-register property, so each key's clients need that key's tap.
+pub type TapFor<'a> = &'a (dyn Fn(RegisterId) -> AuditTap + Sync);
+
+/// Runs an open-loop Zipf-keyed throughput drive against a running
+/// keyspace cluster: one thread per configured reader and writer, each
+/// issuing back-to-back operations for `duration`, with every operation's
+/// key drawn Zipf(`zipf`) from `keys` registers (`zipf = 0.0` is uniform).
+///
+/// The drive is deterministic in its *key sequence* per `seed` (each
+/// thread derives its own stream), though wall-clock interleaving of
+/// course is not.
+///
+/// # Errors
+///
+/// Returns the first client's [`RuntimeError`] if an endpoint cannot be
+/// opened or an operation fails (e.g. a quorum timeout).
+///
+/// # Panics
+///
+/// Panics if `keys` is zero.
+pub fn run_keyspace_open_loop<F: EndpointFactory>(
+    cluster: &KeyspaceCluster<F>,
+    keys: usize,
+    zipf: f64,
+    timeout: Option<Duration>,
+    duration: Duration,
+    seed: u64,
+) -> Result<ThroughputReport, RuntimeError> {
+    run_keyspace_open_loop_audited(
+        cluster,
+        keys,
+        zipf,
+        timeout,
+        RetryPolicy::default(),
+        duration,
+        seed,
+        None,
+    )
+}
+
+/// [`run_keyspace_open_loop`] with a [`RetryPolicy`] and optional
+/// per-register audit taps: when `tap_for` is given, every client a
+/// thread mints for key `k` carries `tap_for(k)`, so each register's
+/// sampled records flow to that register's own streaming auditor.
+///
+/// # Errors
+///
+/// Returns the first client's [`RuntimeError`] if an endpoint cannot be
+/// opened or an operation fails (e.g. a quorum timeout).
+///
+/// # Panics
+///
+/// Panics if `keys` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
+    cluster: &KeyspaceCluster<F>,
+    keys: usize,
+    zipf: f64,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+    duration: Duration,
+    seed: u64,
+    tap_for: Option<TapFor<'_>>,
+) -> Result<ThroughputReport, RuntimeError> {
+    assert!(keys > 0, "keyspace drive needs at least one key");
+    let config = cluster.config();
+    let law = Zipf::new(keys as u64, zipf);
+    // Everything a thread needs to mint per-key clients is Copy — the
+    // cluster itself (whose factory need not be Sync) stays on this thread.
+    let router = *cluster.router();
+    let group_config = config.group_config();
+    let (write_mode, read_mode) =
+        (cluster.protocol().write_mode(), cluster.protocol().read_mode());
+
+    // Open every thread's endpoint up front so setup failures surface
+    // before any thread spawns; per-key clients are minted lazily inside
+    // the threads over Arc clones of these.
+    let mut writer_eps = Vec::with_capacity(config.writers());
+    for w in 0..config.writers() as u32 {
+        let ep = cluster
+            .factory()
+            .open(WriterId::new(w).into())
+            .map_err(RuntimeError::from)?;
+        writer_eps.push((w, Arc::new(ep)));
+    }
+    let mut reader_eps = Vec::with_capacity(config.readers());
+    for r in 0..config.readers() as u32 {
+        let ep = cluster
+            .factory()
+            .open(ReaderId::new(r).into())
+            .map_err(RuntimeError::from)?;
+        reader_eps.push((r, Arc::new(ep)));
+    }
+
+    let start = Instant::now();
+    let (mut reads, mut writes) = (LatencyStats::new(), LatencyStats::new());
+    let mut first_error: Option<RuntimeError> = None;
+    thread::scope(|scope| {
+        let mut write_threads = Vec::new();
+        for (w, ep) in writer_eps {
+            write_threads.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(w) << 1));
+                let mut clients: BTreeMap<RegisterId, LiveWriter<Arc<F::Endpoint>>> =
+                    BTreeMap::new();
+                let mut lat = LatencyStats::new();
+                let mut value = u64::from(w) * 1_000_000_000 + 1;
+                while start.elapsed() < duration {
+                    let key = RegisterId::new((law.sample(&mut rng) - 1) as u32);
+                    let client = clients.entry(key).or_insert_with(|| {
+                        let mut c = LiveWriter::new(
+                            Arc::clone(&ep),
+                            WriterId::new(w),
+                            group_config,
+                            write_mode,
+                        )
+                        .with_scope(key, router.group_of(key))
+                        .with_retry(retry);
+                        if let Some(t) = timeout {
+                            c = c.with_timeout(t);
+                        }
+                        if let Some(tap_for) = tap_for {
+                            c = c.with_tap(tap_for(key));
+                        }
+                        c
+                    });
+                    let t0 = Instant::now();
+                    client.write(Value::new(value))?;
+                    lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
+                    value += 1;
+                }
+                Ok::<LatencyStats, RuntimeError>(lat)
+            }));
+        }
+        let mut read_threads = Vec::new();
+        for (r, ep) in reader_eps {
+            read_threads.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(r) << 1) ^ 1);
+                let mut clients: BTreeMap<RegisterId, LiveReader<Arc<F::Endpoint>>> =
+                    BTreeMap::new();
+                let mut lat = LatencyStats::new();
+                while start.elapsed() < duration {
+                    let key = RegisterId::new((law.sample(&mut rng) - 1) as u32);
+                    let client = clients.entry(key).or_insert_with(|| {
+                        let mut c = LiveReader::new(
+                            Arc::clone(&ep),
+                            ReaderId::new(r),
+                            group_config,
+                            read_mode,
+                        )
+                        .with_scope(key, router.group_of(key))
+                        .with_retry(retry);
+                        if let Some(t) = timeout {
+                            c = c.with_timeout(t);
+                        }
+                        if let Some(tap_for) = tap_for {
+                            c = c.with_tap(tap_for(key));
+                        }
+                        c
+                    });
+                    let t0 = Instant::now();
+                    client.read()?;
+                    lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
+                }
+                Ok::<LatencyStats, RuntimeError>(lat)
+            }));
+        }
+        for t in write_threads {
+            match t.join().expect("keyspace writer thread panicked") {
+                Ok(lat) => writes.merge(&lat),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        for t in read_threads {
+            match t.join().expect("keyspace reader thread panicked") {
+                Ok(lat) => reads.merge(&lat),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(ThroughputReport { reads, writes, elapsed: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwr_core::Protocol;
+    use mwr_runtime::InMemoryTransport;
+    use mwr_types::KeyspaceConfig;
+
+    #[test]
+    fn keyspace_drive_reports_throughput_across_keys() {
+        let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 2).unwrap();
+        let cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2Ra).unwrap();
+        let report =
+            run_keyspace_open_loop(&cluster, 16, 1.1, None, Duration::from_millis(30), 42)
+                .unwrap();
+        assert!(report.reads.count() > 0 && report.writes.count() > 0);
+        assert!(report.ops_per_sec() > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_key_drive_degenerates_to_one_register() {
+        let config = KeyspaceConfig::new(3, 1, 3, 4, 1, 1).unwrap();
+        let cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R2).unwrap();
+        let report =
+            run_keyspace_open_loop(&cluster, 1, 0.0, None, Duration::from_millis(20), 7).unwrap();
+        assert!(report.ops() > 0);
+        cluster.shutdown();
+    }
+}

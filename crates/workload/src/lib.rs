@@ -8,6 +8,10 @@
 //! - [`run_open_loop_live`] — the saturating throughput driver: every
 //!   client issues back-to-back, load is swept via the client population,
 //!   and the [`ThroughputReport`] carries ops/sec plus latency-under-load.
+//! - [`run_keyspace_open_loop`] — the open-loop driver over a sharded
+//!   [`KeyspaceCluster`](mwr_runtime::KeyspaceCluster): every operation's
+//!   key is drawn from a Zipf law over `N` registers, with per-key scoped
+//!   clients multiplexed over one endpoint per thread.
 //! - [`run_chaos_live`] — the open-loop driver with a deterministic
 //!   [`FaultPlan`](mwr_runtime::FaultPlan) executing against the cluster:
 //!   crash/rejoin/churn events fire at fixed op-counts or times and the
@@ -35,11 +39,13 @@
 
 mod chaos;
 mod driver;
+mod keyspace;
 mod live;
 mod stats;
 mod table;
 
 pub use chaos::{run_chaos_live, ChaosReport};
+pub use keyspace::{run_keyspace_open_loop, run_keyspace_open_loop_audited, TapFor};
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };

@@ -14,6 +14,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`register`] | `mwr-register` | **start here** — the [`Deployment`](register::Deployment) facade over every protocol family and backend |
+//! | [`keyspace`] | `mwr-keyspace` | many named registers over one cluster: rendezvous-sharded groups, multiplexed endpoints, per-register audit |
 //! | [`types`] | `mwr-types` | ids, tags, values, cluster config, wire codec |
 //! | [`sim`] | `mwr-sim` | deterministic discrete-event simulator |
 //! | [`core`] | `mwr-core` | protocols: W2R2, W2R1 (the paper), ABD, Dutta, naive fast writes |
@@ -65,6 +66,7 @@ pub use mwr_byz as byz;
 pub use mwr_chains as chains;
 pub use mwr_check as check;
 pub use mwr_core as core;
+pub use mwr_keyspace as keyspace;
 pub use mwr_register as register;
 pub use mwr_runtime as runtime;
 pub use mwr_sim as sim;

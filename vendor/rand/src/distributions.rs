@@ -1,0 +1,218 @@
+//! Non-uniform distributions.
+//!
+//! The only one the workspace needs is [`Zipf`], the key-popularity
+//! distribution of the keyspace throughput workload.
+
+use crate::RngCore;
+
+/// A Zipf distribution over ranks `1..=n` with skew `s ≥ 0`:
+/// `P(k) ∝ k^(−s)`. Rank 1 is the most popular element.
+///
+/// Sampling uses Hörmann & Derflinger's **rejection-inversion** (the
+/// algorithm behind Apache Commons' `RejectionInversionZipfSampler`):
+/// invert the integral of the continuous envelope `h(x) = x^(−s)` and
+/// reject the sliver where the envelope overshoots the discrete mass.
+/// Expected draws per sample are below 2 for every `(n, s)`, there is no
+/// table to precompute (constant setup regardless of `n`), and — in the
+/// same discipline as [`uniform_u64_below`](crate) — no modulo or
+/// truncation step that would bias ranks.
+///
+/// # Examples
+///
+/// ```
+/// use rand::distributions::Zipf;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(64, 1.1);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=64).contains(&rank));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    /// `H(1.5) − 1`: the lower end of the inversion domain (`H` is the
+    /// envelope integral; `−1 = −h(1)` extends the first rank's mass).
+    h_x1: f64,
+    /// `H(n + 0.5)`: the upper end of the inversion domain.
+    h_n: f64,
+    /// Acceptance-shortcut constant `2 − H⁻¹(H(2.5) − h(2))`: draws with
+    /// `k − x ≤ acceptance` are accepted without evaluating the envelope.
+    acceptance: f64,
+}
+
+impl Zipf {
+    /// Creates the distribution over ranks `1..=n` with skew `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution on `1..=n`; larger
+    /// `s` concentrates mass on small ranks (`s ≈ 1` is the classic
+    /// Zipf's-law web/cache skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf skew must be finite and >= 0");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let acceptance = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf { n, exponent: s, h_x1, h_n, acceptance }
+    }
+
+    /// Number of ranks.
+    pub const fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub const fn s(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            // u uniform in (h_x1, h_n]: 1 − uniform01 is in (0, 1], and
+            // h_x1 < h_n always (the envelope integral is increasing).
+            let p = 1.0 - uniform01(rng);
+            let u = self.h_n + p * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Accept either inside the always-safe band around the
+            // integer, or wherever the inverted draw sits under the
+            // discrete mass h(k) once the envelope's overshoot
+            // H(k + 1/2) − h(k) is carved away.
+            if k - x <= self.acceptance
+                || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x) = ∫ x^(−s) dx`: `ln x` at `s = 1`, else `(x^(1−s) − 1)/(1−s)`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// The envelope `h(x) = x^(−s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// `H⁻¹(x)`.
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Damp rounding noise: H is only defined down to H(0⁺) whose
+        // pre-image corresponds to t = −1.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log1p(x)/x`, continuous through `x = 0` (→ 1).
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(e^x − 1)/x`, continuous through `x = 0` (→ 1).
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+/// A uniform double in `[0, 1)` from the top 53 bits of one word — the
+/// full mantissa, no modulo.
+fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn same_seed_same_ranks() {
+        let zipf = Zipf::new(1000, 1.1);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_returns_one() {
+        let zipf = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn ranks_stay_in_bounds_across_skews() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &s in &[0.0, 0.5, 1.0, 1.1, 2.5] {
+            let zipf = Zipf::new(64, s);
+            for _ in 0..10_000 {
+                let k = zipf.sample(&mut rng);
+                assert!((1..=64).contains(&k), "rank {k} out of bounds at s={s}");
+            }
+        }
+    }
+
+    /// The empirical head frequencies match the law `P(k) = k^(−s)/H_{n,s}`
+    /// within a few percent at 200k samples.
+    #[test]
+    fn head_frequencies_match_the_law() {
+        let (n, s, samples) = (64u64, 1.1f64, 200_000usize);
+        let zipf = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..samples {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        let harmonic: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for k in 1..=4u64 {
+            let expect = (k as f64).powf(-s) / harmonic;
+            let got = f64::from(counts[(k - 1) as usize]) / samples as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: expected {expect:.4}, got {got:.4}"
+            );
+        }
+        // Monotone head: popularity cannot increase with rank.
+        assert!(counts[0] > counts[3] && counts[3] > counts[15]);
+    }
+
+    /// Skew zero is the uniform distribution — the sampler must not
+    /// smuggle in head bias when the law says there is none.
+    #[test]
+    fn zero_skew_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+}

@@ -2,14 +2,18 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the minimal surface it actually uses: [`rngs::SmallRng`],
-//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
-//! ranges. The generator is SplitMix64 — deterministic, seedable, and more
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer
+//! ranges, and the [`distributions::Zipf`] sampler driving skewed keyspace
+//! workloads. The generator is SplitMix64 — deterministic, seedable, and more
 //! than good enough for simulation schedules and property tests (it is not,
 //! and does not claim to be, cryptographically secure).
 
 #![warn(missing_docs)]
 
+pub mod distributions;
 pub mod rngs;
+
+pub use distributions::Zipf;
 
 /// A low-level source of random 64-bit words.
 pub trait RngCore {

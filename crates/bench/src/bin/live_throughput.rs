@@ -40,17 +40,26 @@
 //! `keys`/`zipf` columns, and honors `--audit` with one streaming auditor
 //! per touched register.
 //!
-//! With `--faults rolling-restart|churn-storm` (comma-separable) the bin
-//! runs the named audited chaos scenario(s) instead of the sweep: a
-//! deterministic [`FaultPlan`] is armed on the deployment and driven with
-//! `run_chaos` while stable clients measure throughput *through* the
-//! faults. Rolling restart crashes and rejoins every TCP server once
-//! (quorum state transfer on the live wire); churn storm floods the
-//! in-memory cluster with hundreds of short-lived clients that join, read,
-//! and depart floor-safely. Emits `BENCH_chaos.json` in the same
-//! sweep-line shape (`send_path` = scenario) so `bench_delta` renders
-//! chaos rows too, and exits non-zero on any auditor violation, failed
-//! operation, unhealed fault, or unrecovered server.
+//! With `--faults rolling-restart|churn-storm|reconfigure`
+//! (comma-separable) the bin runs the named audited chaos scenario(s)
+//! instead of the sweep: a deterministic [`FaultPlan`] is armed on the
+//! deployment and driven with `run_chaos` while stable clients measure
+//! throughput *through* the faults. Rolling restart crashes and rejoins
+//! every TCP server once (quorum state transfer on the live wire); churn
+//! storm floods the in-memory cluster with hundreds of short-lived clients
+//! that join, read, and depart floor-safely; reconfigure swaps two live
+//! TCP servers for two fresh ones mid-traffic through the joint-quorum
+//! handover, and additionally measures a fault-free *steady-state twin* of
+//! the same deployment — the scenario fails unless throughput through the
+//! reconfiguration window holds at least 50% of steady state. Combining
+//! `--keys N[,M..]` with `--faults` adds one keyspace chaos row per
+//! scenario × key count: the same plans driven against the sharded
+//! Zipf-keyed service (per-shard state transfer, per-shard joint-quorum
+//! handover). Emits `BENCH_chaos.json` in the same sweep-line shape
+//! (`send_path` = scenario, plus a `faults` column and, on keyspace rows,
+//! `keys`/`zipf` columns) so `bench_delta` renders chaos rows too, and
+//! exits non-zero on any auditor violation, failed operation, unhealed
+//! fault, unrecovered server, or breached reconfigure-window floor.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -221,8 +230,13 @@ struct ChaosRow {
     writers: usize,
     readers: usize,
     servers: usize,
+    /// `Some` on keyspace chaos rows: the Zipf-keyed register count.
+    keys: Option<usize>,
+    /// `Some` on keyspace chaos rows: the Zipf skew.
+    zipf: Option<f64>,
     /// Plan-specific expectation: servers each crashed+rejoined once
-    /// (rolling restart) or churn clients each joined+departed once.
+    /// (rolling restart), churn clients each joined+departed once, or
+    /// joint-quorum handovers committed (reconfigure).
     expected_cycles: u32,
     ops: usize,
     ops_per_sec: f64,
@@ -230,11 +244,24 @@ struct ChaosRow {
     wr_p99_us: u64,
     rd_p50_us: u64,
     rd_p99_us: u64,
+    /// Fault-free twin of the same deployment (reconfigure only): the
+    /// chaos window must hold ≥ [`RECONFIG_WINDOW_FLOOR`] of this.
+    steady_ops_per_sec: Option<f64>,
     report: mwr_register::ChaosReport,
     audit: Option<AuditReport>,
+    /// Keyspace chaos rows: `(registers audited, ops audited, all ok)`.
+    key_audit: Option<(usize, u64, bool)>,
 }
 
 const CHAOS_SERVERS: usize = 3;
+
+/// Reconfigure scenarios swap 2 of 5 servers: S = 5, t = 1 keeps both the
+/// old and new quorums live through the joint window.
+const RECONFIG_SERVERS: usize = 5;
+
+/// Minimum fraction of fault-free steady-state throughput the reconfigure
+/// window must sustain.
+const RECONFIG_WINDOW_FLOOR: f64 = 0.5;
 
 /// Runs the armed fault plan and flattens the report; generic over the
 /// transport.
@@ -243,6 +270,7 @@ fn drive_chaos<F: EndpointFactory>(
     duration: Duration,
     scenario: &'static str,
     transport: &'static str,
+    servers: usize,
     expected_cycles: u32,
 ) -> ChaosRow {
     let mut report = cluster.run_chaos(duration).expect("chaos drive");
@@ -253,7 +281,9 @@ fn drive_chaos<F: EndpointFactory>(
         protocol: Protocol::W2R1,
         writers: 2,
         readers: 2,
-        servers: CHAOS_SERVERS,
+        servers,
+        keys: None,
+        zipf: None,
         expected_cycles,
         ops: report.throughput.ops(),
         ops_per_sec: report.throughput.ops_per_sec(),
@@ -261,8 +291,10 @@ fn drive_chaos<F: EndpointFactory>(
         wr_p99_us: report.throughput.writes.percentile(99.0).ticks(),
         rd_p50_us: report.throughput.reads.percentile(50.0).ticks(),
         rd_p99_us: report.throughput.reads.percentile(99.0).ticks(),
+        steady_ops_per_sec: None,
         report,
         audit,
+        key_audit: None,
     }
 }
 
@@ -287,7 +319,14 @@ fn run_fault_scenario(kind: &str, quick: bool, audit: Option<AuditConfig>) -> Ch
             }
             let cluster = deployment.tcp().expect("tcp chaos cluster");
             let duration = Duration::from_millis(if quick { 2_000 } else { 4_000 });
-            drive_chaos(cluster, duration, "rolling-restart", "tcp", CHAOS_SERVERS as u32)
+            drive_chaos(
+                cluster,
+                duration,
+                "rolling-restart",
+                "tcp",
+                CHAOS_SERVERS,
+                CHAOS_SERVERS as u32,
+            )
         }
         "churn-storm" => {
             let clients: u32 = if quick { 200 } else { 500 };
@@ -300,12 +339,164 @@ fn run_fault_scenario(kind: &str, quick: bool, audit: Option<AuditConfig>) -> Ch
             }
             let cluster = deployment.in_memory().expect("in-memory chaos cluster");
             let duration = Duration::from_millis(if quick { 1_000 } else { 2_000 });
-            drive_chaos(cluster, duration, "churn-storm", "in-memory", clients)
+            drive_chaos(cluster, duration, "churn-storm", "in-memory", CHAOS_SERVERS, clients)
+        }
+        "reconfigure" => {
+            // Swap 2 of 5 live TCP servers mid-traffic: announce the joint
+            // epoch, quorum-transfer state to the joiners, commit, tear
+            // down the removed pair — stable clients keep serving through
+            // the whole window (a round that straddles the handover
+            // refreshes its endpoint set mid-flight).
+            let config =
+                ClusterConfig::new(RECONFIG_SERVERS, 1, 2, 2).expect("reconfig cluster config");
+            let duration = Duration::from_millis(if quick { 2_000 } else { 4_000 });
+            let build = |plan: Option<FaultPlan>| {
+                let mut deployment = Deployment::new(config)
+                    .protocol(Protocol::W2R1)
+                    .backend(Backend::Tcp)
+                    .timeout(Duration::from_millis(400))
+                    .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) });
+                if let Some(plan) = plan {
+                    deployment = deployment.inject(plan);
+                }
+                deployment
+            };
+            // The fault-free twin first: same shape, same duration, no
+            // plan — the denominator of the window-throughput floor.
+            let twin = build(None).tcp().expect("tcp steady twin");
+            let steady = twin.run_open_loop(duration).expect("steady twin drive").ops_per_sec();
+            twin.shutdown();
+            let mut deployment = build(Some(FaultPlan::reconfigure(2, 2, 150)));
+            if let Some(cfg) = audit {
+                deployment = deployment.audit(cfg);
+            }
+            let cluster = deployment.tcp().expect("tcp reconfig cluster");
+            let mut row =
+                drive_chaos(cluster, duration, "reconfigure", "tcp", RECONFIG_SERVERS, 1);
+            row.steady_ops_per_sec = Some(steady);
+            row
         }
         other => {
-            eprintln!("--faults expects rolling-restart|churn-storm (comma-separable), got {other:?}");
+            eprintln!(
+                "--faults expects rolling-restart|churn-storm|reconfigure \
+                 (comma-separable), got {other:?}"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+/// Runs the armed fault plan against a sharded keyspace and flattens the
+/// report plus the per-register audit verdicts; generic over the
+/// transport.
+fn drive_keyspace_chaos<F: EndpointFactory>(
+    mut handle: KeyspaceHandle<F>,
+    keys: usize,
+    zipf: f64,
+    duration: Duration,
+    scenario: &'static str,
+    transport: &'static str,
+    expected_cycles: u32,
+) -> ChaosRow {
+    let mut report = handle.run_chaos(keys, zipf, duration, 7).expect("keyspace chaos drive");
+    let (_handled, reports) = handle.shutdown_audited();
+    let key_audit = (!reports.is_empty()).then(|| {
+        (
+            reports.len(),
+            reports.values().map(|a| a.stats.audited).sum(),
+            reports.values().all(|a| a.verdict.is_ok()),
+        )
+    });
+    ChaosRow {
+        scenario,
+        transport,
+        protocol: Protocol::W2Ra,
+        writers: 2,
+        readers: 2,
+        servers: RECONFIG_SERVERS,
+        keys: Some(keys),
+        zipf: Some(zipf),
+        expected_cycles,
+        ops: report.throughput.ops(),
+        ops_per_sec: report.throughput.ops_per_sec(),
+        wr_p50_us: report.throughput.writes.percentile(50.0).ticks(),
+        wr_p99_us: report.throughput.writes.percentile(99.0).ticks(),
+        rd_p50_us: report.throughput.reads.percentile(50.0).ticks(),
+        rd_p99_us: report.throughput.reads.percentile(99.0).ticks(),
+        steady_ops_per_sec: None,
+        report,
+        audit: None,
+        key_audit,
+    }
+}
+
+/// Deploys the named scenario against the sharded keyspace (S = 5, t = 1,
+/// groups of 3, 8 shards) and drives it under the same fault plan:
+/// per-shard quorum state transfer on rejoin, per-shard joint-quorum
+/// handover on reconfigure, Zipf-keyed traffic throughout. Unknown names
+/// were already rejected by [`run_fault_scenario`], which runs first.
+fn run_keyspace_fault_scenario(
+    kind: &str,
+    keys: usize,
+    zipf: f64,
+    quick: bool,
+    audit: Option<AuditConfig>,
+) -> ChaosRow {
+    let config =
+        KeyspaceConfig::new(RECONFIG_SERVERS, 1, 3, 8, 2, 2).expect("keyspace chaos config");
+    let blueprint = |plan: Option<FaultPlan>, audited: bool| {
+        let mut b = Keyspace::new(config)
+            .protocol(Protocol::W2Ra)
+            .timeout(Duration::from_millis(400))
+            .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) });
+        if let Some(plan) = plan {
+            b = b.inject(plan);
+        }
+        if let (Some(cfg), true) = (audit, audited) {
+            b = b.audit(cfg);
+        }
+        b
+    };
+    match kind {
+        "rolling-restart" => {
+            // A shorter stride than the register scenario: five servers
+            // must each crash and rejoin inside the window, and every
+            // rejoin pays a per-shard fetch quorum.
+            let plan = FaultPlan::rolling_restart(RECONFIG_SERVERS as u32, 100);
+            let handle = blueprint(Some(plan), true).tcp().expect("tcp keyspace chaos");
+            let duration = Duration::from_millis(if quick { 2_000 } else { 4_000 });
+            drive_keyspace_chaos(
+                handle,
+                keys,
+                zipf,
+                duration,
+                "rolling-restart",
+                "tcp",
+                RECONFIG_SERVERS as u32,
+            )
+        }
+        "churn-storm" => {
+            let clients: u32 = if quick { 200 } else { 500 };
+            let plan = FaultPlan::churn_storm(clients, 2, 20);
+            let handle = blueprint(Some(plan), true).in_memory().expect("in-memory keyspace chaos");
+            let duration = Duration::from_millis(if quick { 1_000 } else { 2_000 });
+            drive_keyspace_chaos(handle, keys, zipf, duration, "churn-storm", "in-memory", clients)
+        }
+        "reconfigure" => {
+            let duration = Duration::from_millis(if quick { 2_000 } else { 4_000 });
+            // Fault-free steady-state twin, as in the register scenario.
+            let twin = blueprint(None, false).tcp().expect("tcp keyspace steady twin");
+            let steady =
+                twin.run_open_loop(keys, zipf, duration, 7).expect("steady twin drive").ops_per_sec();
+            twin.shutdown();
+            let plan = FaultPlan::reconfigure(2, 2, 150);
+            let handle = blueprint(Some(plan), true).tcp().expect("tcp keyspace reconfig");
+            let mut row =
+                drive_keyspace_chaos(handle, keys, zipf, duration, "reconfigure", "tcp", 1);
+            row.steady_ops_per_sec = Some(steady);
+            row
+        }
+        other => unreachable!("unvalidated keyspace fault scenario {other}"),
     }
 }
 
@@ -328,24 +519,46 @@ fn chaos_failures(row: &ChaosRow) -> Vec<String> {
     }
     let cycles_ok = match row.scenario {
         "rolling-restart" => r.crashes == row.expected_cycles && r.rejoins == row.expected_cycles,
+        "reconfigure" => r.reconfigs == row.expected_cycles,
         _ => r.churn_joined == row.expected_cycles,
     };
     if !cycles_ok {
         fails.push(format!(
-            "plan under-ran: {} crashes / {} rejoins / {} churn joins, expected {} cycles",
-            r.crashes, r.rejoins, r.churn_joined, row.expected_cycles,
+            "plan under-ran: {} crashes / {} rejoins / {} reconfigs / {} churn joins, \
+             expected {} cycles",
+            r.crashes, r.rejoins, r.reconfigs, r.churn_joined, row.expected_cycles,
         ));
+    }
+    if let Some(steady) = row.steady_ops_per_sec {
+        if row.ops_per_sec < RECONFIG_WINDOW_FLOOR * steady {
+            fails.push(format!(
+                "reconfigure window held {:.0} ops/s, below {:.0}% of the {steady:.0} ops/s \
+                 fault-free steady state",
+                row.ops_per_sec,
+                RECONFIG_WINDOW_FLOOR * 100.0,
+            ));
+        }
     }
     if let Some(a) = &row.audit {
         if !a.verdict.is_ok() {
             fails.push(format!("AUDIT VIOLATION: {a}"));
         }
     }
+    if let Some((registers, _, ok)) = row.key_audit {
+        if !ok {
+            fails.push(format!(
+                "AUDIT VIOLATION: a per-register auditor (of {registers}) rejected its history"
+            ));
+        }
+    }
     fails
 }
 
 /// `BENCH_chaos.json`: the scenarios in the sweep-line shape
-/// `bench_delta` parses (`send_path` = scenario), plus the chaos counters.
+/// `bench_delta` parses (`send_path` = scenario, `faults` = scenario, and
+/// keyspace chaos rows carry `keys`/`zipf` identity columns), plus the
+/// chaos counters and — on reconfigure rows — the fault-free steady-state
+/// twin's throughput.
 fn chaos_to_json(rows: &[ChaosRow]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"experiment\": \"live_throughput_chaos\",\n  \"sweep\": [\n");
@@ -354,23 +567,34 @@ fn chaos_to_json(rows: &[ChaosRow]) -> String {
         let _ = write!(
             s,
             "    {{\"transport\": \"{}\", \"send_path\": \"{}\", \"protocol\": \"{}\", \
-             \"writers\": {}, \"readers\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
-             \"wr_p50_us\": {}, \"wr_p99_us\": {}, \"rd_p50_us\": {}, \"rd_p99_us\": {}, \
-             \"crashes\": {}, \"rejoins\": {}, \"churn_joined\": {}, \"churn_departed\": {}, \
-             \"churn_reads\": {}, \"failed_ops\": {}, \"steps_skipped\": {}, \"live_servers\": {}",
+             \"writers\": {}, \"readers\": {}",
             row.transport,
             row.scenario,
             row.protocol.name(),
             row.writers,
             row.readers,
+        );
+        if let (Some(keys), Some(zipf)) = (row.keys, row.zipf) {
+            let _ = write!(s, ", \"keys\": {keys}, \"zipf\": {zipf:.2}");
+        }
+        let _ = write!(
+            s,
+            ", \"ops\": {}, \"ops_per_sec\": {:.1}, \"wr_p50_us\": {}, \"wr_p99_us\": {}, \
+             \"rd_p50_us\": {}, \"rd_p99_us\": {}, \"faults\": \"{}\", \"crashes\": {}, \
+             \"rejoins\": {}, \"reconfigs\": {}, \"reconfig_failures\": {}, \
+             \"churn_joined\": {}, \"churn_departed\": {}, \"churn_reads\": {}, \
+             \"failed_ops\": {}, \"steps_skipped\": {}, \"live_servers\": {}",
             row.ops,
             row.ops_per_sec,
             row.wr_p50_us,
             row.wr_p99_us,
             row.rd_p50_us,
             row.rd_p99_us,
+            row.scenario,
             r.crashes,
             r.rejoins,
+            r.reconfigs,
+            r.reconfig_failures,
             r.churn_joined,
             r.churn_departed,
             r.churn_reads,
@@ -378,12 +602,22 @@ fn chaos_to_json(rows: &[ChaosRow]) -> String {
             r.steps_skipped,
             r.live_servers.len(),
         );
+        if let Some(steady) = row.steady_ops_per_sec {
+            let _ = write!(s, ", \"steady_ops_per_sec\": {steady:.1}");
+        }
         if let Some(a) = &row.audit {
             let _ = write!(
                 s,
                 ", \"ops_audited\": {}, \"audit_ok\": {}",
                 a.stats.audited,
                 a.verdict.is_ok(),
+            );
+        }
+        if let Some((registers, audited, ok)) = row.key_audit {
+            let _ = write!(
+                s,
+                ", \"registers_audited\": {registers}, \"ops_audited\": {audited}, \
+                 \"audit_ok\": {ok}"
             );
         }
         s.push('}');
@@ -393,47 +627,64 @@ fn chaos_to_json(rows: &[ChaosRow]) -> String {
     s
 }
 
-/// The `--faults` entry point: run each named scenario, print the table,
-/// write `BENCH_chaos.json`, and exit non-zero if any scenario failed.
-fn run_chaos_mode(kinds: &str, quick: bool, audit: Option<AuditConfig>) -> ! {
-    let rows: Vec<ChaosRow> = kinds
-        .split(',')
-        .map(str::trim)
-        .filter(|k| !k.is_empty())
-        .map(|kind| run_fault_scenario(kind, quick, audit))
-        .collect();
+/// The `--faults` entry point: run each named scenario (plus, with
+/// `--keys`, its keyspace variant per key count), print the table, write
+/// `BENCH_chaos.json`, and exit non-zero if any scenario failed.
+fn run_chaos_mode(
+    kinds: &str,
+    key_counts: Option<&[usize]>,
+    zipf: f64,
+    quick: bool,
+    audit: Option<AuditConfig>,
+) -> ! {
+    let mut rows: Vec<ChaosRow> = Vec::new();
+    for kind in kinds.split(',').map(str::trim).filter(|k| !k.is_empty()) {
+        rows.push(run_fault_scenario(kind, quick, audit));
+        for &keys in key_counts.unwrap_or_default() {
+            rows.push(run_keyspace_fault_scenario(kind, keys, zipf, quick, audit));
+        }
+    }
     if rows.is_empty() {
         eprintln!("--faults expects at least one scenario name");
         std::process::exit(2);
     }
 
     let mut table = TextTable::new(vec![
-        "scenario", "transport", "ops", "ops/s", "wr p99µs", "rd p99µs", "crash/rejoin",
-        "churn join/depart", "failed", "live",
+        "scenario", "transport", "keys", "ops", "ops/s", "steady", "wr p99µs", "rd p99µs",
+        "crash/rejoin", "reconf", "churn join/depart", "failed", "live",
     ]);
     for row in &rows {
         let r = &row.report;
         table.row(vec![
             row.scenario.to_string(),
             row.transport.to_string(),
+            row.keys.map_or_else(|| "-".into(), |k| k.to_string()),
             row.ops.to_string(),
             format!("{:.0}", row.ops_per_sec),
+            row.steady_ops_per_sec.map_or_else(|| "-".into(), |s| format!("{s:.0}")),
             row.wr_p99_us.to_string(),
             row.rd_p99_us.to_string(),
             format!("{}/{}", r.crashes, r.rejoins),
+            format!("{}/{}", r.reconfigs, r.reconfig_failures),
             format!("{}/{}", r.churn_joined, r.churn_departed),
             r.failed_ops.to_string(),
             format!("{}/{}", r.live_servers.len(), row.servers),
         ]);
     }
-    println!(
-        "== chaos: audited fault scenarios (S={} t=1, stable 2x2 clients) ==\n",
-        rows[0].servers
-    );
+    println!("== chaos: audited fault scenarios (t=1, stable 2x2 clients) ==\n");
     println!("{table}");
     for row in &rows {
         if let Some(a) = &row.audit {
             println!("{}: {}", row.scenario, a);
+        }
+        if let Some((registers, audited, ok)) = row.key_audit {
+            println!(
+                "{} keys={}: {audited} ops audited across {registers} register-auditor(s), \
+                 verdicts {}",
+                row.scenario,
+                row.keys.unwrap_or(0),
+                if ok { "ok" } else { "VIOLATED" },
+            );
         }
     }
 
@@ -817,11 +1068,10 @@ fn main() {
         &["duration-ms", "floor", "protocol", "transport", "audit-sample", "faults", "keys", "zipf"],
     );
     let quick = args.flag("quick");
-    if let Some(list) = args.get("keys") {
-        // Keyspace mode replaces the sweep entirely: a comma list of key
-        // counts (e.g. `--keys 1,64`) lets one run emit the single-key
-        // parity points and the sharded multi-key points side by side.
-        let key_counts: Vec<usize> = list
+    // `--keys` parses up front: alone it selects the keyspace sweep, and
+    // combined with `--faults` it adds keyspace chaos rows per scenario.
+    let key_counts: Option<Vec<usize>> = args.get("keys").map(|list| {
+        let counts: Vec<usize> = list
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
@@ -830,12 +1080,30 @@ fn main() {
                     .unwrap_or_else(|_| panic!("--keys expects a comma list of counts, got {s:?}"))
             })
             .collect();
-        assert!(!key_counts.is_empty(), "--keys expects at least one count");
-        assert!(key_counts.iter().all(|&k| k > 0), "--keys counts must be positive");
-        let zipf: f64 = args
-            .get("zipf")
-            .map_or(1.1, |s| s.parse().expect("--zipf expects a non-negative float"));
-        assert!(zipf >= 0.0 && zipf.is_finite(), "--zipf expects a non-negative float");
+        assert!(!counts.is_empty(), "--keys expects at least one count");
+        assert!(counts.iter().all(|&k| k > 0), "--keys counts must be positive");
+        counts
+    });
+    let zipf: f64 = args
+        .get("zipf")
+        .map_or(1.1, |s| s.parse().expect("--zipf expects a non-negative float"));
+    assert!(zipf >= 0.0 && zipf.is_finite(), "--zipf expects a non-negative float");
+    if let Some(kinds) = args.get("faults") {
+        // Chaos mode replaces the sweep entirely. The auditor defaults to
+        // sampling everything here: a fault window is exactly where a
+        // stale read would hide, and the op volume is modest.
+        let rate = args
+            .get("audit-sample")
+            .map_or(1.0, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
+        let audit = args
+            .flag("audit")
+            .then(|| AuditConfig { sample_rate: rate, ..AuditConfig::default() });
+        run_chaos_mode(kinds, key_counts.as_deref(), zipf, quick, audit);
+    }
+    if let Some(key_counts) = &key_counts {
+        // Keyspace mode replaces the sweep entirely: a comma list of key
+        // counts (e.g. `--keys 1,64`) lets one run emit the single-key
+        // parity points and the sharded multi-key points side by side.
         let rate = args
             .get("audit-sample")
             .map_or(1.0, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
@@ -848,19 +1116,7 @@ fn main() {
         let duration =
             Duration::from_millis(args.get_u64("duration-ms", if quick { 500 } else { 3_000 }));
         let floor = args.flag("assert-floor").then(|| args.get_u64("floor", 50) as f64);
-        run_keyspace_mode(&key_counts, zipf, quick, duration, audit, floor);
-    }
-    if let Some(kinds) = args.get("faults") {
-        // Chaos mode replaces the sweep entirely. The auditor defaults to
-        // sampling everything here: a fault window is exactly where a
-        // stale read would hide, and the op volume is modest.
-        let rate = args
-            .get("audit-sample")
-            .map_or(1.0, |s| s.parse().expect("--audit-sample expects a rate in (0, 1]"));
-        let audit = args
-            .flag("audit")
-            .then(|| AuditConfig { sample_rate: rate, ..AuditConfig::default() });
-        run_chaos_mode(kinds, quick, audit);
+        run_keyspace_mode(key_counts, zipf, quick, duration, audit, floor);
     }
     let assert_floor = args.flag("assert-floor");
     let legacy_only = args.flag("legacy-send");

@@ -7,9 +7,13 @@
 //! line). This module parses exactly that shape — it is a companion to the
 //! writer, not a general JSON parser — and is unit-tested against the
 //! writer's output formats: the plain sweep (`BENCH_live_throughput.json`),
-//! the chaos scenarios (`BENCH_chaos.json`, `send_path` = scenario), and
-//! the keyspace sweep (`BENCH_keyspace.json`, whose rows carry extra
-//! `keys`/`zipf` columns that become part of a point's identity).
+//! the chaos scenarios (`BENCH_chaos.json`, `send_path` = scenario, with a
+//! `faults` column naming the driven plan and — on keyspace chaos rows —
+//! `keys`/`zipf` columns too), and the keyspace sweep
+//! (`BENCH_keyspace.json`, whose rows carry extra `keys`/`zipf` columns).
+//! The `keys`, `zipf`, and `faults` columns are part of a point's
+//! identity: a reconfigure-window point never silently compares against a
+//! fault-free one.
 
 use std::fmt::Write as _;
 
@@ -35,13 +39,19 @@ pub struct SweepPoint {
     pub keys: Option<u64>,
     /// Zipf skew of a keyspace sweep row; `None` on single-register rows.
     pub zipf: Option<f64>,
+    /// Fault scenario driven through the point (`BENCH_chaos.json`, e.g.
+    /// `"reconfigure"`); `None` on fault-free sweep rows.
+    pub faults: Option<String>,
 }
 
 impl SweepPoint {
     /// The identity a point is matched on across two reports. The zipf
     /// skew is keyed by bit pattern: two floats compare equal here exactly
     /// when the writer printed them identically.
-    pub fn key(&self) -> (String, String, String, u64, u64, Option<u64>, Option<u64>) {
+    #[allow(clippy::type_complexity)]
+    pub fn key(
+        &self,
+    ) -> (String, String, String, u64, u64, Option<u64>, Option<u64>, Option<String>) {
         (
             self.transport.clone(),
             self.send_path.clone(),
@@ -50,6 +60,7 @@ impl SweepPoint {
             self.readers,
             self.keys,
             self.zipf.map(f64::to_bits),
+            self.faults.clone(),
         )
     }
 
@@ -64,6 +75,9 @@ impl SweepPoint {
         }
         if let Some(zipf) = self.zipf {
             let _ = write!(label, " zipf={zipf}");
+        }
+        if let Some(faults) = &self.faults {
+            let _ = write!(label, " faults={faults}");
         }
         label
     }
@@ -113,6 +127,7 @@ pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
                 rd_p50_us: num_field(line, "rd_p50_us")? as u64,
                 keys: num_field(line, "keys").map(|v| v as u64),
                 zipf: num_field(line, "zipf"),
+                faults: str_field(line, "faults"),
             })
         })()
         .ok_or_else(|| format!("malformed sweep line: {}", line.trim()))?;
@@ -126,8 +141,9 @@ pub fn parse_live_throughput(json: &str) -> Result<Vec<SweepPoint>, String> {
 
 /// Renders the markdown delta table comparing `fresh` against `baseline`,
 /// matching points by (transport, send path, protocol, W, R) plus the
-/// keys/zipf columns when present (a keyspace point never matches a
-/// single-register point). Returns the table plus the geometric-mean
+/// keys/zipf/faults columns when present (a keyspace point never matches a
+/// single-register point, and a fault-window point never matches a
+/// fault-free one). Returns the table plus the geometric-mean
 /// throughput ratio over matched points.
 ///
 /// Points only one side measured are listed (`new point`) or counted (a
@@ -220,13 +236,16 @@ mod tests {
 }
 "#;
 
-    /// `BENCH_chaos.json` rows: `send_path` = scenario, extra chaos
-    /// counters trailing the standard columns.
+    /// `BENCH_chaos.json` rows: `send_path` = scenario, a `faults` column
+    /// naming the driven plan, extra chaos counters trailing the standard
+    /// columns — and, on keyspace chaos rows, `keys`/`zipf` columns too.
     const CHAOS_SAMPLE: &str = r#"{
   "experiment": "live_throughput_chaos",
   "sweep": [
-    {"transport": "tcp", "send_path": "rolling-restart", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 804, "ops_per_sec": 199.7, "wr_p50_us": 4000, "wr_p99_us": 410000, "rd_p50_us": 2500, "rd_p99_us": 380000, "crashes": 3, "rejoins": 3, "churn_joined": 0, "churn_departed": 0, "churn_reads": 0, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3, "ops_audited": 804, "audit_ok": true},
-    {"transport": "in-memory", "send_path": "churn-storm", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 4100, "ops_per_sec": 2050.0, "wr_p50_us": 700, "wr_p99_us": 4400, "rd_p50_us": 500, "rd_p99_us": 3100, "crashes": 0, "rejoins": 0, "churn_joined": 500, "churn_departed": 500, "churn_reads": 1000, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3}
+    {"transport": "tcp", "send_path": "rolling-restart", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 804, "ops_per_sec": 199.7, "wr_p50_us": 4000, "wr_p99_us": 410000, "rd_p50_us": 2500, "rd_p99_us": 380000, "faults": "rolling-restart", "crashes": 3, "rejoins": 3, "reconfigs": 0, "reconfig_failures": 0, "churn_joined": 0, "churn_departed": 0, "churn_reads": 0, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3, "ops_audited": 804, "audit_ok": true},
+    {"transport": "in-memory", "send_path": "churn-storm", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 4100, "ops_per_sec": 2050.0, "wr_p50_us": 700, "wr_p99_us": 4400, "rd_p50_us": 500, "rd_p99_us": 3100, "faults": "churn-storm", "crashes": 0, "rejoins": 0, "reconfigs": 0, "reconfig_failures": 0, "churn_joined": 500, "churn_departed": 500, "churn_reads": 1000, "failed_ops": 0, "steps_skipped": 0, "live_servers": 3},
+    {"transport": "tcp", "send_path": "reconfigure", "protocol": "W2R1 (this paper)", "writers": 2, "readers": 2, "ops": 1400, "ops_per_sec": 350.0, "wr_p50_us": 5000, "wr_p99_us": 210000, "rd_p50_us": 3000, "rd_p99_us": 180000, "faults": "reconfigure", "crashes": 0, "rejoins": 0, "reconfigs": 1, "reconfig_failures": 0, "churn_joined": 0, "churn_departed": 0, "churn_reads": 0, "failed_ops": 0, "steps_skipped": 0, "live_servers": 5, "steady_ops_per_sec": 520.0, "ops_audited": 1400, "audit_ok": true},
+    {"transport": "tcp", "send_path": "reconfigure", "protocol": "W2Ra (adaptive)", "writers": 2, "readers": 2, "keys": 4, "zipf": 1.10, "ops": 1100, "ops_per_sec": 275.0, "wr_p50_us": 6000, "wr_p99_us": 230000, "rd_p50_us": 3500, "rd_p99_us": 190000, "faults": "reconfigure", "crashes": 0, "rejoins": 0, "reconfigs": 1, "reconfig_failures": 0, "churn_joined": 0, "churn_departed": 0, "churn_reads": 0, "failed_ops": 0, "steps_skipped": 0, "live_servers": 5, "steady_ops_per_sec": 410.0, "registers_audited": 4, "ops_audited": 1100, "audit_ok": true}
   ]
 }
 "#;
@@ -264,11 +283,45 @@ mod tests {
     #[test]
     fn parses_chaos_rows_with_scenario_send_paths() {
         let points = parse_live_throughput(CHAOS_SAMPLE).unwrap();
-        assert_eq!(points.len(), 2);
+        assert_eq!(points.len(), 4);
         assert_eq!(points[0].send_path, "rolling-restart");
         assert_eq!(points[0].ops_per_sec, 199.7);
+        assert_eq!(points[0].faults.as_deref(), Some("rolling-restart"));
         assert_eq!(points[1].send_path, "churn-storm");
-        assert_eq!(points[1].keys, None, "chaos rows carry no keyspace columns");
+        assert_eq!(points[1].keys, None, "single-register chaos rows carry no keyspace columns");
+    }
+
+    #[test]
+    fn parses_reconfigure_rows_and_keyspace_chaos_columns() {
+        let points = parse_live_throughput(CHAOS_SAMPLE).unwrap();
+        // The single-register reconfigure window.
+        assert_eq!(points[2].faults.as_deref(), Some("reconfigure"));
+        assert_eq!(points[2].keys, None);
+        assert!(points[2].label().contains("faults=reconfigure"), "{}", points[2].label());
+        // The keyspace reconfigure window: keys/zipf AND faults columns.
+        assert_eq!(points[3].faults.as_deref(), Some("reconfigure"));
+        assert_eq!(points[3].keys, Some(4));
+        assert_eq!(points[3].zipf, Some(1.10));
+        assert!(points[3].label().contains("keys=4"), "{}", points[3].label());
+        // Same scenario, different shape: distinct identities.
+        assert_ne!(points[2].key(), points[3].key());
+    }
+
+    #[test]
+    fn fault_window_points_never_match_fault_free_points() {
+        // A reconfigure-window keyspace point must not silently compare
+        // against the fault-free keyspace point with the same W x R.
+        let chaos = parse_live_throughput(CHAOS_SAMPLE).unwrap();
+        let mut fault_free = chaos.clone();
+        for p in &mut fault_free {
+            p.faults = None;
+        }
+        let (table, _) = delta_table(&fault_free, &chaos);
+        assert_eq!(table.matches("| new point |").count(), chaos.len(), "{table}");
+        // And a chaos baseline matches itself exactly.
+        let (self_table, geomean) = delta_table(&chaos, &chaos);
+        assert!(!self_table.contains("new point"), "{self_table}");
+        assert!((geomean - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -321,6 +374,7 @@ mod tests {
             rd_p50_us: 5,
             keys: None,
             zipf: None,
+            faults: None,
         });
         let (table, geomean) = delta_table(&baseline, &fresh);
         assert!(table.contains("+10.0%"), "{table}");

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use mwr_types::{ProcessId, RegisterId};
+use mwr_types::{ConfigEpoch, ProcessId, RegisterId};
 
 use crate::msg::{Msg, RegisterTransfer, StateTransfer};
 use crate::routing::Router;
@@ -52,13 +52,24 @@ pub struct ServerBank {
     /// acknowledgements can never alias fresh registration versions.
     version_floor: u64,
     registers: BTreeMap<RegisterId, RegisterServer>,
+    /// The highest configuration epoch this bank has observed. Epochs live
+    /// at the bank (process) level — the per-register automata stay at
+    /// epoch 0 and the bank tags every outgoing reply — because a
+    /// reconfiguration changes the *server set*, which all registers share.
+    epoch: ConfigEpoch,
 }
 
 impl ServerBank {
     /// Creates an empty bank with acknowledged-floor GC enabled per register
     /// for `population` clients.
     pub fn new(population: usize, router: Router) -> Self {
-        ServerBank { population, router, version_floor: 0, registers: BTreeMap::new() }
+        ServerBank {
+            population,
+            router,
+            version_floor: 0,
+            registers: BTreeMap::new(),
+            epoch: ConfigEpoch::ZERO,
+        }
     }
 
     /// Creates a recovering bank: each register named in `transfers` is
@@ -79,12 +90,36 @@ impl ServerBank {
                 (register, RegisterServer::recovered(population, version_floor, states))
             })
             .collect();
-        ServerBank { population, router, version_floor, registers }
+        ServerBank {
+            population,
+            router,
+            version_floor,
+            registers,
+            epoch: ConfigEpoch::ZERO,
+        }
     }
 
     /// The bank's routing table.
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// The highest configuration epoch this bank has observed.
+    pub fn epoch(&self) -> ConfigEpoch {
+        self.epoch
+    }
+
+    /// Advances the bank's epoch (monotone; a lower epoch is a no-op).
+    pub fn set_epoch(&mut self, epoch: ConfigEpoch) {
+        self.epoch = self.epoch.adopt(epoch);
+    }
+
+    /// Re-keys the bank onto a reconfigured member set. Shard *hashing* is
+    /// untouched (`shard_of` depends only on the shard count), so existing
+    /// per-register state stays valid; only group membership — who answers
+    /// future `ShardFetch`es — moves.
+    pub fn set_router(&mut self, router: Router) {
+        self.router = router;
     }
 
     /// Read access to one register's server, if it has been instantiated.
@@ -130,7 +165,19 @@ impl ServerBank {
     /// matchers can discard cross-register strays). [`Msg::ShardFetch`] is
     /// answered with every instantiated register of that shard. Bare legacy
     /// frames go to [`RegisterId::DEFAULT`] and reply bare.
+    ///
+    /// Epoch handling mirrors [`RegisterServer::handle`]: an
+    /// [`Msg::InEpoch`] header advances the bank's epoch before the payload
+    /// is processed, and past epoch 0 every reply is epoch-tagged.
     pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        if let Msg::InEpoch { epoch, inner } = msg {
+            self.epoch = self.epoch.adopt(*epoch);
+            return self.handle(from, inner);
+        }
+        self.handle_payload(from, msg).map(|reply| reply.in_epoch(self.epoch))
+    }
+
+    fn handle_payload(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
         match msg {
             Msg::ForRegister { register, inner } => {
                 let reply = self.register_mut(*register).handle(from, inner)?;
@@ -147,6 +194,18 @@ impl ServerBank {
                     .map(|(&r, s)| RegisterTransfer { register: r, state: s.state().export() })
                     .collect();
                 Some(Msg::ShardSnapshot { nonce: *nonce, shard: *shard, registers })
+            }
+            Msg::ShardInstall { nonce, shard, registers } => {
+                // The reconfiguration coordinator's push of one shard's
+                // merged state into a server gaining that shard (a joining
+                // member, or a survivor the rendezvous reshuffle assigns new
+                // shards). Each register installs with the rejoin merge —
+                // running registers only gain information.
+                from.as_server()?;
+                for t in registers {
+                    self.register_mut(t.register).install_from(std::slice::from_ref(&t.state));
+                }
+                Some(Msg::ShardInstallAck { nonce: *nonce, shard: *shard })
             }
             // A reply that somehow reaches a server; never handled.
             Msg::ShardSnapshot { .. } => None,
@@ -219,6 +278,50 @@ mod tests {
         let expected =
             (0..16).filter(|&k| router.shard_of(RegisterId::new(k)) == 2).count();
         assert_eq!(registers.len(), expected);
+    }
+
+    #[test]
+    fn epoch_lives_at_the_bank_and_tags_wrapped_replies() {
+        let mut bank = ServerBank::new(2, Router::new(3, 3, 4));
+        let e1 = ConfigEpoch::new(1);
+        let framed = wrap(1, update(0, 1, 10)).in_epoch(e1);
+        let reply = bank.handle(ProcessId::writer(0), &framed).unwrap();
+        assert_eq!(reply.epoch(), e1);
+        assert_eq!(bank.epoch(), e1);
+        let (_, inner) = reply.into_epoch_parts();
+        assert!(matches!(inner, Msg::ForRegister { .. }), "epoch wraps the register frame");
+        // The per-register automaton stays at epoch 0: the bank is the
+        // process-level authority.
+        assert_eq!(bank.register(RegisterId::new(1)).unwrap().epoch(), ConfigEpoch::ZERO);
+        // Bare legacy traffic now draws tagged replies too.
+        let reply = bank.handle(ProcessId::writer(0), &update(1, 2, 20)).unwrap();
+        assert_eq!(reply.epoch(), e1);
+    }
+
+    #[test]
+    fn shard_install_is_server_only_and_lands_per_register() {
+        let router = Router::new(5, 3, 8);
+        let mut donor = ServerBank::new(2, router);
+        for k in 0..8 {
+            donor.handle(ProcessId::writer(0), &wrap(k, update(u64::from(k), 2, u64::from(k))));
+        }
+        let hot = router.shard_of(RegisterId::new(0));
+        let Some(Msg::ShardSnapshot { registers, shard, .. }) =
+            donor.handle(ProcessId::server(4), &Msg::ShardFetch { shard: hot, nonce: 1 })
+        else {
+            panic!("peer fetch must be answered");
+        };
+        assert!(!registers.is_empty(), "key 0's shard saw traffic");
+
+        let mut joiner = ServerBank::new(2, router);
+        let install = Msg::ShardInstall { nonce: 7, shard, registers: registers.clone() };
+        assert!(joiner.handle(ProcessId::writer(0), &install).is_none(), "clients may not install");
+        let reply = joiner.handle(ProcessId::server(4), &install);
+        assert_eq!(reply, Some(Msg::ShardInstallAck { nonce: 7, shard: hot }));
+        for t in &registers {
+            let state = joiner.register(t.register).expect("installed").state();
+            assert_eq!(state.latest(), t.state.latest, "per-register state landed");
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod cluster;
 mod events;
 mod msg;
 mod protocol;
+mod reconfig;
 mod routing;
 mod server;
 
@@ -88,5 +89,6 @@ pub use msg::{
     RegisterTransfer, Snapshot, SnapshotCache, StateTransfer, ValueRecord,
 };
 pub use protocol::{ParseProtocolError, Protocol};
-pub use routing::Router;
+pub use reconfig::JointQuorum;
+pub use routing::{Router, MAX_MEMBERS};
 pub use server::{RegisterServer, ServerState};

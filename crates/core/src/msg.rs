@@ -13,7 +13,7 @@ use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use mwr_types::codec::{DecodeError, Wire};
-use mwr_types::{ClientId, RegisterId, ServerId, TaggedValue, Value};
+use mwr_types::{ClientId, ConfigEpoch, RegisterId, ServerId, TaggedValue, Value};
 
 use crate::admissible::WitnessIndex;
 
@@ -678,6 +678,88 @@ pub enum Msg {
         /// Per-register catch-up payloads.
         registers: Vec<RegisterTransfer>,
     },
+
+    // -- reconfiguration (wire version 3) -----------------------------------
+    /// The configuration-epoch frame header: every message sent while the
+    /// cluster is past epoch 0 travels wrapped in the sender's current
+    /// epoch. Receivers adopt `max(own, frame)` and tag their replies, so a
+    /// client whose view is stale learns of a reconfiguration from *any*
+    /// reply and refreshes its endpoint set mid-round. Legacy v1/v2 frames
+    /// (discriminants 0–16) decode unchanged as epoch 0, and an epoch-0
+    /// process emits no wrapper — a cluster that never reconfigures stays
+    /// byte-identical on the wire.
+    InEpoch {
+        /// The sender's configuration epoch.
+        epoch: ConfigEpoch,
+        /// The wrapped protocol message, boxed to keep [`Msg`]'s move size
+        /// at the legacy frame size.
+        inner: Box<Msg>,
+    },
+    /// The reconfiguration coordinator's push of a merged old-quorum state
+    /// into a *joining* server (server-side counterpart of the rejoin path's
+    /// pull). The target installs the transfers exactly as a recovering
+    /// server would — version resumes above every high-water mark, nothing
+    /// below the transferred floor is resurrected — and acknowledges.
+    StateInstall {
+        /// Correlates the acknowledgement with this install.
+        nonce: u64,
+        /// One transfer per old-configuration quorum member.
+        transfers: Vec<StateTransfer>,
+    },
+    /// A joining server's acknowledgement of a [`Msg::StateInstall`]: its
+    /// state now dominates an old-configuration quorum.
+    StateInstallAck {
+        /// Echo of the install nonce.
+        nonce: u64,
+    },
+    /// The coordinator's push of one shard's merged state into a server
+    /// *gaining* that shard under the new configuration (a joining server,
+    /// or a survivor the rendezvous reshuffle assigns new shards).
+    ShardInstall {
+        /// Correlates the acknowledgement with this install.
+        nonce: u64,
+        /// The shard whose registers are pushed.
+        shard: u32,
+        /// Per-register payloads, each merged from a group quorum.
+        registers: Vec<RegisterTransfer>,
+    },
+    /// Acknowledgement of a [`Msg::ShardInstall`].
+    ShardInstallAck {
+        /// Echo of the install nonce.
+        nonce: u64,
+        /// Echo of the installed shard.
+        shard: u32,
+    },
+}
+
+impl Msg {
+    /// The epoch this frame was tagged with: the header epoch for
+    /// [`Msg::InEpoch`] frames, epoch 0 for legacy frames.
+    pub fn epoch(&self) -> ConfigEpoch {
+        match self {
+            Msg::InEpoch { epoch, .. } => *epoch,
+            _ => ConfigEpoch::ZERO,
+        }
+    }
+
+    /// Strips an [`Msg::InEpoch`] header, returning the frame's epoch and
+    /// payload (legacy frames are their own payload at epoch 0).
+    pub fn into_epoch_parts(self) -> (ConfigEpoch, Msg) {
+        match self {
+            Msg::InEpoch { epoch, inner } => (epoch, *inner),
+            other => (ConfigEpoch::ZERO, other),
+        }
+    }
+
+    /// Wraps `self` in an epoch header when `epoch > 0`; epoch-0 frames stay
+    /// legacy so a never-reconfigured cluster is byte-identical on the wire.
+    pub fn in_epoch(self, epoch: ConfigEpoch) -> Msg {
+        if epoch == ConfigEpoch::ZERO {
+            self
+        } else {
+            Msg::InEpoch { epoch, inner: Box::new(self) }
+        }
+    }
 }
 
 // --- wire codec -------------------------------------------------------------
@@ -919,6 +1001,31 @@ impl Wire for Msg {
                 shard.encode(buf);
                 registers.encode(buf);
             }
+            Msg::InEpoch { epoch, inner } => {
+                buf.put_u8(17);
+                epoch.encode(buf);
+                inner.encode(buf);
+            }
+            Msg::StateInstall { nonce, transfers } => {
+                buf.put_u8(18);
+                nonce.encode(buf);
+                transfers.encode(buf);
+            }
+            Msg::StateInstallAck { nonce } => {
+                buf.put_u8(19);
+                nonce.encode(buf);
+            }
+            Msg::ShardInstall { nonce, shard, registers } => {
+                buf.put_u8(20);
+                nonce.encode(buf);
+                shard.encode(buf);
+                registers.encode(buf);
+            }
+            Msg::ShardInstallAck { nonce, shard } => {
+                buf.put_u8(21);
+                nonce.encode(buf);
+                shard.encode(buf);
+            }
         }
     }
 
@@ -954,6 +1061,15 @@ impl Wire for Msg {
             Msg::ShardSnapshot { nonce, shard, registers } => {
                 nonce.encoded_len() + shard.encoded_len() + registers.encoded_len()
             }
+            Msg::InEpoch { epoch, inner } => epoch.encoded_len() + inner.encoded_len(),
+            Msg::StateInstall { nonce, transfers } => {
+                nonce.encoded_len() + transfers.encoded_len()
+            }
+            Msg::StateInstallAck { nonce } => nonce.encoded_len(),
+            Msg::ShardInstall { nonce, shard, registers } => {
+                nonce.encoded_len() + shard.encoded_len() + registers.encoded_len()
+            }
+            Msg::ShardInstallAck { nonce, shard } => nonce.encoded_len() + shard.encoded_len(),
         }
     }
 
@@ -1007,6 +1123,21 @@ impl Wire for Msg {
                 shard: u32::decode(buf)?,
                 registers: Vec::<RegisterTransfer>::decode(buf)?,
             }),
+            17 => Ok(Msg::InEpoch {
+                epoch: ConfigEpoch::decode(buf)?,
+                inner: Box::new(Msg::decode(buf)?),
+            }),
+            18 => Ok(Msg::StateInstall {
+                nonce: u64::decode(buf)?,
+                transfers: Vec::<StateTransfer>::decode(buf)?,
+            }),
+            19 => Ok(Msg::StateInstallAck { nonce: u64::decode(buf)? }),
+            20 => Ok(Msg::ShardInstall {
+                nonce: u64::decode(buf)?,
+                shard: u32::decode(buf)?,
+                registers: Vec::<RegisterTransfer>::decode(buf)?,
+            }),
+            21 => Ok(Msg::ShardInstallAck { nonce: u64::decode(buf)?, shard: u32::decode(buf)? }),
             value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
         }
     }
@@ -1126,6 +1257,44 @@ mod tests {
                     },
                 }],
             },
+            Msg::InEpoch {
+                epoch: mwr_types::ConfigEpoch::new(3),
+                inner: Box::new(Msg::ForRegister {
+                    register: RegisterId::new(7),
+                    inner: Box::new(Msg::Query { handle: handle() }),
+                }),
+            },
+            Msg::StateInstall {
+                nonce: 8,
+                transfers: vec![StateTransfer {
+                    version: 4,
+                    latest: tv(2, 0, 20),
+                    pruned: tv(1, 0, 10),
+                    entries: vec![ValueRecord {
+                        value: tv(2, 0, 20),
+                        updated: vec![ClientId::reader(0)],
+                    }],
+                    seen: vec![ClientId::reader(0)],
+                    floors: vec![],
+                }],
+            },
+            Msg::StateInstallAck { nonce: 8 },
+            Msg::ShardInstall {
+                nonce: 9,
+                shard: 2,
+                registers: vec![RegisterTransfer {
+                    register: RegisterId::new(5),
+                    state: StateTransfer {
+                        version: 1,
+                        latest: tv(1, 1, 11),
+                        pruned: TaggedValue::initial(),
+                        entries: vec![],
+                        seen: vec![],
+                        floors: vec![],
+                    },
+                }],
+            },
+            Msg::ShardInstallAck { nonce: 9, shard: 2 },
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
@@ -1164,6 +1333,26 @@ mod tests {
         // The wrapped frame's tail is the legacy frame, byte for byte.
         let bytes = wrapped.to_bytes();
         assert_eq!(&bytes[5..], &legacy[..]);
+    }
+
+    #[test]
+    fn epoch_header_costs_five_bytes_and_is_elided_at_epoch_zero() {
+        use mwr_types::ConfigEpoch;
+        // Wire version 3 only *adds* discriminants 17–21; a v1/v2 frame
+        // decodes to the identical message at epoch 0, and the epoch header
+        // costs exactly its discriminant byte plus the 4-byte epoch.
+        let inner = Msg::Query { handle: handle() };
+        assert_eq!(inner.epoch(), ConfigEpoch::ZERO);
+        assert_eq!(inner.clone().in_epoch(ConfigEpoch::ZERO), inner, "epoch 0 adds no wrapper");
+
+        let e3 = ConfigEpoch::new(3);
+        let wrapped = inner.clone().in_epoch(e3);
+        assert_eq!(wrapped.encoded_len(), inner.encoded_len() + 5);
+        assert_eq!(wrapped.epoch(), e3);
+        // The wrapped frame's tail is the legacy frame, byte for byte.
+        let bytes = wrapped.to_bytes();
+        assert_eq!(&bytes[5..], &inner.to_bytes()[..]);
+        assert_eq!(wrapped.into_epoch_parts(), (e3, inner));
     }
 
     #[test]

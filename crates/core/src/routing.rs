@@ -17,6 +17,11 @@
 
 use mwr_types::{KeyspaceConfig, RegisterId, ServerId};
 
+/// Widest member set a router can represent: server ids live in a `u128`
+/// bitset, matching the fast-read machinery's 128-slot reply masks
+/// ([`crate::MAX_SLOTS`]).
+pub const MAX_MEMBERS: usize = 128;
+
 /// The 64-bit finalizer of `splitmix64` (Steele, Lea & Flood's SplittableRandom;
 /// same constants as the vendored `SmallRng`): a cheap, well-avalanched hash
 /// from consecutive small integers to uniformly scattered words.
@@ -49,23 +54,47 @@ const GROUP_SALT: u64 = 0x7265_6e64_657a_766f; // "rendezvo"
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Router {
-    servers: u32,
+    /// Bitset of member server ids (bit `i` ⇔ server `i` is in the set).
+    /// Rendezvous weights depend only on `(shard, server-id)`, so the router
+    /// over the contiguous prefix `{0..S}` ranks exactly as the pre-bitset
+    /// router did — the golden pins below hold unchanged — while
+    /// reconfiguration can route over any subset of ids.
+    members: u128,
     group_size: u32,
     shards: u32,
 }
 
 impl Router {
-    /// Creates a router for `servers` servers, groups of `group_size`, and
-    /// `shards` shards.
+    /// Creates a router for the contiguous server set `{0 .. servers}`,
+    /// groups of `group_size`, and `shards` shards.
     ///
     /// # Panics
     ///
     /// Panics if `group_size` is zero or exceeds `servers`, or if `shards`
     /// is zero — [`KeyspaceConfig`] validation rejects all three earlier.
     pub fn new(servers: u32, group_size: u32, shards: u32) -> Self {
-        assert!(group_size > 0 && group_size <= servers, "group must fit the cluster");
+        assert!(servers as usize <= MAX_MEMBERS, "server ids limited to the bitmask width");
+        let members = if servers as usize == MAX_MEMBERS {
+            u128::MAX
+        } else {
+            (1u128 << servers) - 1
+        };
+        Router::with_members(members, group_size, shards)
+    }
+
+    /// Creates a router over an arbitrary member set — the reconfiguration
+    /// path, where removals leave holes in the id space (retired ids are
+    /// never reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or exceeds the member count, or if
+    /// `shards` is zero.
+    pub fn with_members(members: u128, group_size: u32, shards: u32) -> Self {
+        let count = members.count_ones();
+        assert!(group_size > 0 && group_size <= count, "group must fit the member set");
         assert!(shards > 0, "need at least one shard");
-        Router { servers, group_size, shards }
+        Router { members, group_size, shards }
     }
 
     /// Creates the router a [`KeyspaceConfig`] describes.
@@ -87,9 +116,19 @@ impl Router {
         self.group_size
     }
 
-    /// Total servers in the cluster.
+    /// Number of member servers.
     pub const fn servers(&self) -> u32 {
-        self.servers
+        self.members.count_ones()
+    }
+
+    /// The member set as a bitset (bit `i` ⇔ server `i` is a member).
+    pub const fn members(&self) -> u128 {
+        self.members
+    }
+
+    /// Iterates over the member server ids, ascending.
+    pub fn member_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..MAX_MEMBERS as u32).filter(|s| self.members & (1u128 << s) != 0).map(ServerId::new)
     }
 
     /// The shard `register` lives on.
@@ -115,8 +154,10 @@ impl Router {
     /// Highest-random-weight selection: ties are impossible in practice
     /// (64-bit weights) but broken by server id for bit-level determinism.
     pub fn group(&self, shard: u32) -> Vec<ServerId> {
-        let mut ranked: Vec<(u64, u32)> =
-            (0..self.servers).map(|s| (self.weight(shard, s), s)).collect();
+        let mut ranked: Vec<(u64, u32)> = self
+            .member_ids()
+            .map(|s| (self.weight(shard, s.index()), s.index()))
+            .collect();
         ranked.sort_unstable_by(|a, b| b.cmp(a));
         let mut group: Vec<ServerId> = ranked
             .into_iter()
@@ -200,6 +241,42 @@ mod tests {
         assert_eq!(shards, golden::SHARDS_11_5_16);
         let group: Vec<u32> = router.group(0).iter().map(|s| s.index()).collect();
         assert_eq!(group, golden::GROUP0_11_5_16);
+    }
+
+    #[test]
+    fn member_subsets_preserve_prefix_routing_and_survive_holes() {
+        // The contiguous-prefix bitset is the legacy router, bit for bit.
+        let legacy = Router::new(11, 5, 16);
+        let prefix = Router::with_members((1u128 << 11) - 1, 5, 16);
+        assert_eq!(legacy, prefix);
+        assert_eq!(prefix.servers(), 11);
+        assert_eq!(prefix.member_ids().count(), 11);
+
+        // Removing ids 0 and 3 and adding 11, 12 (a reconfiguration's shape):
+        // weights depend only on (shard, id), so surviving members keep
+        // their relative rank and groups change minimally.
+        let mask = ((1u128 << 13) - 1) & !(1u128 << 0) & !(1u128 << 3);
+        let router = Router::with_members(mask, 5, 16);
+        assert_eq!(router.servers(), 11);
+        for shard in 0..16 {
+            let group = router.group(shard);
+            assert_eq!(group.len(), 5);
+            assert!(group.iter().all(|s| mask & (1u128 << s.index()) != 0));
+            // Survivors ranked into the legacy group stay in the new group.
+            for s in legacy.group(shard) {
+                if mask & (1u128 << s.index()) != 0 && legacy.shards_on(s).contains(&shard) {
+                    // A survivor can only be displaced by a higher-weight
+                    // *new* member, never by another survivor.
+                    if !group.contains(&s) {
+                        let displacers: Vec<_> = group
+                            .iter()
+                            .filter(|g| g.index() >= 11)
+                            .collect();
+                        assert!(!displacers.is_empty(), "survivor displaced by a survivor");
+                    }
+                }
+            }
+        }
     }
 
     mod golden {

@@ -160,7 +160,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mwr_sim::{Automaton, Context};
-use mwr_types::{ClientId, ProcessId, TaggedValue};
+use mwr_types::{ClientId, ConfigEpoch, ProcessId, TaggedValue};
 
 use crate::events::ClientEvent;
 use crate::msg::{DeltaSnapshot, FloorReport, Msg, Snapshot, StateTransfer, ValueRecord};
@@ -658,26 +658,35 @@ impl Default for ServerState {
 #[derive(Debug, Clone, Default)]
 pub struct RegisterServer {
     state: ServerState,
+    /// The highest configuration epoch this server has observed — adopted
+    /// from any [`Msg::InEpoch`] frame or set directly by the runtime's
+    /// reconfiguration coordinator; never moves backwards. While past epoch
+    /// 0 every reply is epoch-tagged so stale clients learn of the
+    /// reconfiguration from their very next acknowledgement.
+    epoch: ConfigEpoch,
 }
 
 impl RegisterServer {
     /// Creates a fresh server (GC off — faithful to the paper's full-info
     /// model).
     pub fn new() -> Self {
-        RegisterServer { state: ServerState::new() }
+        RegisterServer { state: ServerState::new(), epoch: ConfigEpoch::ZERO }
     }
 
     /// Creates a server with acknowledged-floor GC enabled for a cluster of
     /// `population` clients (`R + W`). Pruning is membership-aware — see
     /// [`ServerState::with_gc`].
     pub fn with_gc(population: usize) -> Self {
-        RegisterServer { state: ServerState::with_gc(population) }
+        RegisterServer { state: ServerState::with_gc(population), epoch: ConfigEpoch::ZERO }
     }
 
     /// Creates a GC-enabled server with a floor-report quorum escape hatch
     /// — see [`ServerState::with_gc_quorum`].
     pub fn with_gc_quorum(population: usize, quorum: usize) -> Self {
-        RegisterServer { state: ServerState::with_gc_quorum(population, quorum) }
+        RegisterServer {
+            state: ServerState::with_gc_quorum(population, quorum),
+            epoch: ConfigEpoch::ZERO,
+        }
     }
 
     /// Creates a recovering server: GC-enabled for `population` clients,
@@ -691,7 +700,7 @@ impl RegisterServer {
     ) -> Self {
         let mut state = ServerState::with_gc(population);
         state.install(version_floor, transfers);
-        RegisterServer { state }
+        RegisterServer { state, epoch: ConfigEpoch::ZERO }
     }
 
     /// Read access to the server's state (useful in tests).
@@ -699,18 +708,60 @@ impl RegisterServer {
         &self.state
     }
 
+    /// The highest configuration epoch this server has observed.
+    pub fn epoch(&self) -> ConfigEpoch {
+        self.epoch
+    }
+
+    /// Advances the server's epoch (the coordinator's announcement path).
+    /// Adoption is monotone: a lower epoch is a no-op.
+    pub fn set_epoch(&mut self, epoch: ConfigEpoch) {
+        self.epoch = self.epoch.adopt(epoch);
+    }
+
+    /// Merges a quorum of peer state into this *running* server — the
+    /// reconfiguration coordinator's push into a joining member
+    /// ([`Msg::StateInstall`]). This is the rejoin merge verbatim
+    /// ([`ServerState::install`]): unions only, the version counter resumes
+    /// above every transferred high-water mark, nothing below the
+    /// transferred floor is resurrected, and the reset-floor stamp sends any
+    /// reader holding a pre-install delta mirror through a full refresh.
+    pub fn install_from(&mut self, transfers: &[StateTransfer]) {
+        self.state.install(0, transfers);
+    }
+
     /// Computes the reply for one request, mutating state as required.
     ///
     /// Returns `None` for messages a server never receives (acks, invokes);
     /// those indicate a routing bug and are ignored defensively here — the
     /// simulator's topology enforcement catches genuine mistakes loudly.
+    ///
+    /// Epoch handling: an [`Msg::InEpoch`] header advances the server's
+    /// epoch to `max(own, frame)` before the payload is processed, and once
+    /// the server is past epoch 0 *every* reply — even to a bare legacy
+    /// frame — carries the epoch header, so a client whose view is stale
+    /// learns of the reconfiguration from its next acknowledgement. At
+    /// epoch 0 replies stay legacy, byte for byte.
     pub fn handle(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
-        // Server-to-server recovery traffic is matched before the client
-        // gate: only peers may fetch state, and servers never enter the GC
-        // membership.
+        if let Msg::InEpoch { epoch, inner } = msg {
+            self.epoch = self.epoch.adopt(*epoch);
+            return self.handle(from, inner);
+        }
+        self.handle_payload(from, msg).map(|reply| reply.in_epoch(self.epoch))
+    }
+
+    fn handle_payload(&mut self, from: ProcessId, msg: &Msg) -> Option<Msg> {
+        // Server-to-server recovery and reconfiguration traffic is matched
+        // before the client gate: only peers may fetch or install state, and
+        // servers never enter the GC membership.
         if let Msg::StateFetch { nonce } = msg {
             from.as_server()?;
             return Some(Msg::StateSnapshot { nonce: *nonce, state: Box::new(self.state.export()) });
+        }
+        if let Msg::StateInstall { nonce, transfers } = msg {
+            from.as_server()?;
+            self.install_from(transfers);
+            return Some(Msg::StateInstallAck { nonce: *nonce });
         }
         let client = from.as_client()?;
         self.state.note_contact(client);
@@ -1296,6 +1347,65 @@ mod tests {
         assert!(state.entries.iter().any(|r| r.value == tv(1, 0, 1)));
         // The fetching peer itself never entered the GC membership.
         assert_eq!(state.seen, vec![ClientId::writer(0)]);
+    }
+
+    /// An epoch header advances the server; from then on every reply —
+    /// even to a bare legacy frame — carries the epoch, so stale clients
+    /// learn of the reconfiguration from their next acknowledgement.
+    #[test]
+    fn epoch_adoption_is_monotone_and_tags_replies() {
+        let mut srv = RegisterServer::with_gc(2);
+        assert_eq!(srv.epoch(), ConfigEpoch::ZERO);
+        // Epoch 0: replies are legacy, byte for byte.
+        let q = Msg::Query { handle: rhandle(0) };
+        let reply = srv.handle(ProcessId::reader(0), &q).unwrap();
+        assert!(matches!(reply, Msg::QueryAck { .. }), "epoch 0 replies stay bare");
+
+        // A frame at epoch 2 advances the server and gets a tagged reply.
+        let e2 = ConfigEpoch::new(2);
+        let reply = srv.handle(ProcessId::reader(0), &q.clone().in_epoch(e2)).unwrap();
+        assert_eq!(reply.epoch(), e2);
+        assert_eq!(srv.epoch(), e2);
+
+        // A *stale* bare frame now still draws a tagged reply…
+        let reply = srv.handle(ProcessId::reader(0), &q).unwrap();
+        assert_eq!(reply.epoch(), e2, "post-reconfig replies always carry the epoch");
+        // …and a lower-epoch frame cannot move the server backwards.
+        srv.handle(ProcessId::reader(0), &q.clone().in_epoch(ConfigEpoch::new(1)));
+        assert_eq!(srv.epoch(), e2);
+        srv.set_epoch(ConfigEpoch::new(1));
+        assert_eq!(srv.epoch(), e2, "set_epoch is monotone too");
+    }
+
+    /// Only peers may push installs; the install merges like a rejoin
+    /// (version above the transfer's high-water, reset floor stamped).
+    #[test]
+    fn state_install_is_server_only_and_merges_like_rejoin() {
+        let mut donor = RegisterServer::with_gc(2);
+        donor.handle(
+            ProcessId::writer(0),
+            &Msg::Update {
+                handle: OpHandle { op: OpId { client: ClientId::writer(0), seq: 0 }, phase: 2 },
+                value: tv(3, 0, 30),
+                floor: TaggedValue::initial(),
+            },
+        );
+        let transfer = donor.state().export();
+
+        let mut joiner = RegisterServer::with_gc(2);
+        let install = Msg::StateInstall { nonce: 5, transfers: vec![transfer.clone()] };
+        assert_eq!(
+            joiner.handle(ProcessId::writer(0), &install),
+            None,
+            "clients may not install state"
+        );
+        let reply = joiner.handle(ProcessId::server(9), &install);
+        assert_eq!(reply, Some(Msg::StateInstallAck { nonce: 5 }));
+        assert_eq!(joiner.state().latest(), tv(3, 0, 30));
+        assert!(joiner.state().version() > transfer.version, "version resumes above donor");
+        assert_eq!(joiner.state().reset_floor(), joiner.state().version());
+        // The coordinator never entered the GC membership.
+        assert!(!joiner.state().export().seen.contains(&ClientId::writer(9)));
     }
 
     /// Departure round-trips through `handle`: the ack echoes the handle

@@ -10,11 +10,13 @@ use std::time::Duration;
 use mwr_check::AuditReport;
 use mwr_register::{AuditConfig, AuditSidecar};
 use mwr_runtime::{
-    AuditTap, EndpointFactory, InMemoryTransport, KeyspaceCluster, LiveReader, LiveWriter,
-    RetryPolicy, TcpRegistry,
+    AuditTap, EndpointFactory, FaultPlan, InMemoryTransport, KeyspaceCluster, LiveReader,
+    LiveWriter, RetryPolicy, TcpRegistry,
 };
 use mwr_types::{KeyspaceConfig, ReaderId, RegisterId, WriterId};
-use mwr_workload::{run_keyspace_open_loop_audited, TapFor, ThroughputReport};
+use mwr_workload::{
+    run_keyspace_chaos, run_keyspace_open_loop_audited, ChaosReport, TapFor, ThroughputReport,
+};
 
 use crate::{KeyspaceError, Router};
 
@@ -79,6 +81,7 @@ pub struct KeyspaceHandle<F: EndpointFactory> {
     timeout: Option<Duration>,
     retry: RetryPolicy,
     audit: Option<AuditHub>,
+    faults: Option<FaultPlan>,
     writer_eps: Mutex<HashMap<u32, Arc<F::Endpoint>>>,
     reader_eps: Mutex<HashMap<u32, Arc<F::Endpoint>>>,
     /// Whether a client was minted — the open-loop drive opens every
@@ -95,12 +98,14 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
         timeout: Option<Duration>,
         retry: RetryPolicy,
         audit: Option<AuditConfig>,
+        faults: Option<FaultPlan>,
     ) -> Self {
         KeyspaceHandle {
             cluster,
             timeout,
             retry,
             audit: audit.map(AuditHub::new),
+            faults,
             writer_eps: Mutex::new(HashMap::new()),
             reader_eps: Mutex::new(HashMap::new()),
             minted: Cell::new(false),
@@ -163,6 +168,7 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
             self.cluster.protocol().write_mode(),
         )
         .with_scope(key, self.router().group_of(key))
+        .with_view(self.cluster.view())
         .with_retry(self.retry);
         if let Some(t) = self.timeout {
             writer = writer.with_timeout(t);
@@ -209,6 +215,7 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
             self.cluster.protocol().read_mode(),
         )
         .with_scope(key, self.router().group_of(key))
+        .with_view(self.cluster.view())
         .with_retry(self.retry);
         if let Some(t) = self.timeout {
             reader = reader.with_timeout(t);
@@ -251,6 +258,35 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
         self.cluster.live_servers()
     }
 
+    /// The current member servers, ascending — differs from the original
+    /// configuration after a [`reconfigure`](Self::reconfigure).
+    pub fn members(&self) -> Vec<u32> {
+        self.cluster.members()
+    }
+
+    /// Reconfigures the live server set: adds `add` fresh servers and
+    /// retires the servers in `remove` through the per-shard joint-quorum
+    /// handover (announce → joint window → shard-by-shard state transfer
+    /// to every server the new routing promotes → commit) while minted
+    /// per-key clients keep serving — they watch the cluster view and
+    /// re-derive their shard groups when the config epoch moves. Returns
+    /// the added servers' ids.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyspaceError::Transport`] if the handover is refused (a shard's
+    /// transfer quorum did not answer within the window) — the keyspace
+    /// rolls forward to a stable epoch over the unchanged member set and
+    /// can be retried.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remove` names a non-member, if the change is empty, or
+    /// if the resulting shape would not fit shard groups.
+    pub fn reconfigure(&mut self, add: usize, remove: &[u32]) -> Result<Vec<u32>, KeyspaceError> {
+        Ok(self.cluster.reconfigure(add, remove)?)
+    }
+
     /// Drives the keyspace open-loop for `duration`: every configured
     /// reader and writer issues back-to-back operations with keys drawn
     /// Zipf(`zipf`) from `keys` registers (see
@@ -275,6 +311,12 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
         if self.minted.get() || self.driven.get() {
             return Err(KeyspaceError::HandlesInUse);
         }
+        if self.faults.is_some() {
+            return Err(KeyspaceError::Faults(
+                "a fault plan is armed; drive it with run_chaos, which owns the \
+                 cluster mutably and reports what the plan did",
+            ));
+        }
         self.driven.set(true);
         let tap_closure = self.audit.as_ref().map(|hub| move |key: RegisterId| hub.tap(key));
         let tap_for: Option<TapFor<'_>> =
@@ -285,6 +327,56 @@ impl<F: EndpointFactory> KeyspaceHandle<F> {
             zipf,
             self.timeout,
             self.retry,
+            duration,
+            seed,
+            tap_for,
+        )?)
+    }
+
+    /// Drives the keyspace open-loop for `duration` while executing the
+    /// armed [`FaultPlan`] against the cluster (see
+    /// [`mwr_workload::run_keyspace_chaos`]): crashes, per-shard rejoins,
+    /// churn bursts, and live joint-quorum reconfigurations fire at their
+    /// scheduled op-counts or times while Zipf-keyed clients keep
+    /// serving. On an audited handle every touched register is checked by
+    /// its own streaming auditor throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyspaceError::Faults`] if no plan is armed;
+    /// [`KeyspaceError::HandlesInUse`] if clients were already minted or
+    /// a drive already ran; otherwise a setup failure. Operation failures
+    /// during the drive are counted in the report, never returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn run_chaos(
+        &mut self,
+        keys: usize,
+        zipf: f64,
+        duration: Duration,
+        seed: u64,
+    ) -> Result<ChaosReport, KeyspaceError> {
+        if self.minted.get() || self.driven.get() {
+            return Err(KeyspaceError::HandlesInUse);
+        }
+        let Some(plan) = self.faults else {
+            return Err(KeyspaceError::Faults(
+                "no fault plan armed; arm one with Keyspace::inject before run_chaos",
+            ));
+        };
+        self.driven.set(true);
+        let tap_closure = self.audit.as_ref().map(|hub| move |key: RegisterId| hub.tap(key));
+        let tap_for: Option<TapFor<'_>> =
+            tap_closure.as_ref().map(|c| c as &(dyn Fn(RegisterId) -> AuditTap + Sync));
+        Ok(run_keyspace_chaos(
+            &mut self.cluster,
+            keys,
+            zipf,
+            self.timeout,
+            self.retry,
+            plan,
             duration,
             seed,
             tap_for,
@@ -402,6 +494,82 @@ mod tests {
             Err(KeyspaceError::HandlesInUse)
         ));
         handle.shutdown();
+    }
+
+    #[test]
+    fn armed_fault_plans_run_through_run_chaos_only() {
+        let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 1).unwrap();
+        let keyspace = Keyspace::new(config)
+            .timeout(Duration::from_secs(2))
+            .retry(RetryPolicy { attempts: 4, backoff: Duration::from_millis(2) })
+            .inject(FaultPlan::reconfigure(2, 2, 20));
+        // The plain drive refuses an armed plan instead of ignoring it.
+        let handle = keyspace.in_memory().unwrap();
+        assert!(matches!(
+            handle.run_open_loop(8, 1.1, Duration::from_millis(5), 1),
+            Err(KeyspaceError::Faults(_))
+        ));
+        handle.shutdown();
+        // run_chaos executes the handover while keys keep serving.
+        let mut handle = keyspace.in_memory().unwrap();
+        let report = handle.run_chaos(8, 1.1, Duration::from_millis(400), 42).unwrap();
+        assert_eq!(report.reconfigs, 1, "{report:?}");
+        assert!(report.healed(), "{report:?}");
+        assert_eq!(handle.members(), vec![2, 3, 4, 5, 6]);
+        handle.shutdown();
+        // And an unarmed handle refuses run_chaos.
+        let mut handle = Keyspace::new(config).in_memory().unwrap();
+        assert!(matches!(
+            handle.run_chaos(8, 1.1, Duration::from_millis(5), 1),
+            Err(KeyspaceError::Faults(_))
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn handle_reconfigure_keeps_minted_clients_serving() {
+        let config = KeyspaceConfig::new(5, 1, 3, 8, 1, 1).unwrap();
+        let mut handle = Keyspace::new(config)
+            .timeout(Duration::from_secs(2))
+            .retry(RetryPolicy { attempts: 4, backoff: Duration::from_millis(2) })
+            .in_memory()
+            .unwrap();
+        let (k1, k2) = (RegisterId::new(1), RegisterId::new(9));
+        let mut w1 = handle.writer(0, k1).unwrap();
+        let mut r1 = handle.reader(0, k1).unwrap();
+        let mut r2 = handle.reader(0, k2).unwrap();
+        let mut w2 = handle.writer(0, k2).unwrap();
+        let v1 = w1.write(Value::new(100)).unwrap();
+        let v2 = w2.write(Value::new(200)).unwrap();
+        drop((w1, w2));
+        let added = handle.reconfigure(2, &[0, 1]).unwrap();
+        assert_eq!(added, vec![5, 6]);
+        assert_eq!(handle.members(), vec![2, 3, 4, 5, 6]);
+        // Pre-handover readers keep serving their keys, with no bleed.
+        assert_eq!(r1.read().unwrap(), v1, "k1 survives the handover");
+        assert_eq!(r2.read().unwrap(), v2, "k2 survives the handover");
+        drop((r1, r2));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fault_plans_are_validated_against_the_configuration() {
+        // Plan indices must fit the server count (S = 3 here).
+        let config = KeyspaceConfig::new(3, 1, 3, 4, 2, 1).unwrap();
+        assert!(matches!(
+            Keyspace::new(config)
+                .inject(FaultPlan::rolling_restart(5, 10))
+                .in_memory(),
+            Err(KeyspaceError::Faults(_))
+        ));
+        // Churn bursts need a reserved reader slot plus a stable reader.
+        let one_reader = KeyspaceConfig::new(3, 1, 3, 4, 1, 1).unwrap();
+        assert!(matches!(
+            Keyspace::new(one_reader)
+                .inject(FaultPlan::churn_storm(5, 1, 5))
+                .in_memory(),
+            Err(KeyspaceError::Faults(_))
+        ));
     }
 
     #[test]

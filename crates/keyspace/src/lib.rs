@@ -55,7 +55,7 @@ pub use handle::{AnyKeyspaceHandle, KeyReader, KeyWriter, KeyspaceHandle};
 pub use mwr_check::AuditReport;
 pub use mwr_core::{Protocol, Router};
 pub use mwr_register::{AuditConfig, OnViolation};
-pub use mwr_runtime::{KeyspaceCluster, RetryPolicy, TransportError};
+pub use mwr_runtime::{FaultEvent, FaultPlan, KeyspaceCluster, RetryPolicy, TransportError};
 pub use mwr_types::{KeyspaceConfig, RegisterId};
 
 use std::fmt;
@@ -96,6 +96,10 @@ pub enum KeyspaceError {
     Runtime(mwr_runtime::RuntimeError),
     /// The audit sidecar thread could not be spawned.
     Audit(std::io::Error),
+    /// A fault-plan conflict: an armed plan driven with the wrong drive,
+    /// a chaos drive without a plan, or a plan that does not fit the
+    /// configuration.
+    Faults(&'static str),
 }
 
 impl fmt::Display for KeyspaceError {
@@ -112,6 +116,7 @@ impl fmt::Display for KeyspaceError {
             KeyspaceError::Transport(e) => write!(f, "transport: {e}"),
             KeyspaceError::Runtime(e) => write!(f, "runtime: {e}"),
             KeyspaceError::Audit(e) => write!(f, "audit sidecar: {e}"),
+            KeyspaceError::Faults(reason) => write!(f, "fault plan: {reason}"),
         }
     }
 }
@@ -150,6 +155,7 @@ pub struct Keyspace {
     audit: Option<AuditConfig>,
     timeout: Option<Duration>,
     retry: RetryPolicy,
+    faults: Option<FaultPlan>,
 }
 
 impl Keyspace {
@@ -164,6 +170,7 @@ impl Keyspace {
             audit: None,
             timeout: None,
             retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -199,6 +206,18 @@ impl Keyspace {
         self
     }
 
+    /// Arms the keyspace with a deterministic [`FaultPlan`]: when the
+    /// handle is driven with
+    /// [`KeyspaceHandle::run_chaos`](crate::KeyspaceHandle::run_chaos),
+    /// an injector walks the plan in order — crashing servers, rejoining
+    /// them through per-shard quorum state transfer, running churn
+    /// bursts, and live joint-quorum reconfigurations — while the
+    /// Zipf-keyed drive measures whether the keyed service held up.
+    pub fn inject(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Validates the protocol against the *group* configuration: inside a
     /// shard the group plays the paper's `S`, so fast reads need
     /// `t(R + 2) < g`.
@@ -210,6 +229,25 @@ impl Keyspace {
                 max_faults: self.config.max_faults(),
                 readers: self.config.readers(),
             });
+        }
+        if let Some(plan) = self.faults {
+            if let Some(max) = plan.max_server() {
+                if max as usize >= self.config.servers() {
+                    return Err(KeyspaceError::Faults(
+                        "the plan crashes or rejoins a server index outside the \
+                         keyspace's configuration",
+                    ));
+                }
+            }
+            let churny =
+                plan.steps().iter().any(|s| matches!(s.event, FaultEvent::ChurnBurst { .. }));
+            if churny && self.config.readers() < 2 {
+                return Err(KeyspaceError::Faults(
+                    "churn bursts reserve the highest reader slot for short-lived \
+                     clients; the configuration needs at least 2 readers so one \
+                     stable reader remains",
+                ));
+            }
         }
         Ok(())
     }
@@ -225,7 +263,7 @@ impl Keyspace {
         self.validate()?;
         let cluster =
             KeyspaceCluster::start_on(InMemoryTransport::new(), self.config, self.protocol)?;
-        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit))
+        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit, self.faults))
     }
 
     /// Deploys on loopback TCP.
@@ -238,7 +276,7 @@ impl Keyspace {
     pub fn tcp(self) -> Result<KeyspaceHandle<TcpRegistry>, KeyspaceError> {
         self.validate()?;
         let cluster = KeyspaceCluster::start_on(TcpRegistry::new(), self.config, self.protocol)?;
-        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit))
+        Ok(KeyspaceHandle::new(cluster, self.timeout, self.retry, self.audit, self.faults))
     }
 
     /// Deploys on whichever backend the blueprint selected, for callers

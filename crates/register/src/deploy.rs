@@ -766,6 +766,27 @@ mod tests {
     }
 
     #[test]
+    fn live_handles_reconfigure_with_minted_clients_serving() {
+        let mut handle = Deployment::new(config())
+            .backend(Backend::InMemory)
+            .timeout(Duration::from_secs(2))
+            .retry(RetryPolicy { attempts: 4, backoff: Duration::from_millis(2) })
+            .in_memory()
+            .unwrap();
+        let mut w = handle.writer(0).unwrap();
+        let mut r = handle.reader(0).unwrap();
+        let written = w.write(Value::new(11)).unwrap();
+        let added = handle.reconfigure(2, &[0, 1]).unwrap();
+        assert_eq!(added, vec![5, 6]);
+        assert_eq!(handle.members(), vec![2, 3, 4, 5, 6]);
+        // The pre-handover clients keep serving across the epoch change.
+        assert_eq!(r.read().unwrap(), written);
+        let next = w.write(Value::new(12)).unwrap();
+        assert_eq!(r.read().unwrap(), next);
+        handle.shutdown();
+    }
+
+    #[test]
     fn audited_open_loop_reports_a_clean_verdict() {
         use crate::audit::AuditConfig;
         let handle = Deployment::new(config())

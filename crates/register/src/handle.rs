@@ -269,6 +269,34 @@ impl<F: EndpointFactory> LiveHandle<F> {
         self.cluster.live_servers()
     }
 
+    /// The current member servers, ascending — differs from the original
+    /// configuration after a [`reconfigure`](Self::reconfigure).
+    pub fn members(&self) -> Vec<u32> {
+        self.cluster.members().to_vec()
+    }
+
+    /// Reconfigures the live server set: adds `add` fresh servers and
+    /// retires the servers in `remove` through the joint-quorum handover
+    /// (announce → joint window → state transfer → commit) while minted
+    /// clients keep serving — they watch the cluster view and refresh
+    /// their endpoint sets mid-round when the config epoch moves.
+    /// Identical on both live backends. Returns the added servers' ids.
+    ///
+    /// # Errors
+    ///
+    /// A [`DeployError::Transport`] if the handover is refused (it could
+    /// not assemble both the old and the new quorum within the window) —
+    /// the cluster rolls forward to a stable epoch over the unchanged
+    /// member set and can be retried.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remove` names a non-member, if the change is empty, or
+    /// if the resulting shape would not assemble quorums.
+    pub fn reconfigure(&mut self, add: usize, remove: &[u32]) -> Result<Vec<u32>, DeployError> {
+        Ok(self.cluster.reconfigure(add, remove)?)
+    }
+
     /// Drives this cluster with closed-loop clients (see
     /// [`mwr_workload::run_closed_loop_live`]; ticks are microseconds).
     /// The driver opens every client endpoint itself, so the handle must

@@ -11,20 +11,22 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mwr_core::{
-    FastReadState, FastWire, Msg, OpHandle, OpId, OpKind, OpResult, ReadMode, Snapshot,
-    SnapshotView, WitnessIndex, WriteMode,
+    FastReadState, FastWire, JointQuorum, Msg, OpHandle, OpId, OpKind, OpResult, ReadMode,
+    Snapshot, SnapshotView, WitnessIndex, WriteMode,
 };
 use mwr_types::codec::Wire;
 use mwr_types::{
-    ClientId, ClusterConfig, ProcessId, ReaderId, RegisterId, ServerId, Tag, TaggedValue, Value,
-    WriterId,
+    ClientId, ClusterConfig, ConfigEpoch, ProcessId, ReaderId, RegisterId, ServerId, Tag,
+    TaggedValue, Value, WriterId,
 };
 
 use crate::tap::AuditTap;
 use crate::transport::{Endpoint, TransportError};
+use crate::view::ClusterView;
 
 /// Errors returned by live operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,11 +114,21 @@ impl Default for RetryPolicy {
 struct Scope {
     /// The servers every round-trip broadcasts to.
     targets: Vec<ServerId>,
-    /// Replies required: `|targets| − t`.
+    /// Replies required: `|targets| − t` (stable epochs). Under a joint
+    /// scope this holds `max(old_required, new_required)` and is used only
+    /// for error reporting — satisfaction is the two-sided rule.
     quorum: usize,
     /// `Some(register)`: wrap requests in [`Msg::ForRegister`] and accept
     /// only replies wrapped with the same id.
     wrap: Option<RegisterId>,
+    /// During a reconfiguration's transition window, the two-sided
+    /// acknowledgement rule: a round completes only with a quorum in *both*
+    /// the old and the new configuration.
+    joint: Option<JointQuorum>,
+    /// The configuration epoch the scope was derived from. Outgoing frames
+    /// carry it (elided at epoch 0 — legacy byte-identity); a reply tagged
+    /// with a higher epoch triggers a mid-round refresh from the view.
+    epoch: ConfigEpoch,
 }
 
 impl Scope {
@@ -126,6 +138,37 @@ impl Scope {
             targets: config.server_ids().collect(),
             quorum: config.quorum_size(),
             wrap: None,
+            joint: None,
+            epoch: ConfigEpoch::ZERO,
+        }
+    }
+
+    /// Re-derives the scope from the shared view if its epoch moved.
+    /// Returns whether anything changed. The register binding (`wrap`)
+    /// survives refreshes — only the coverage and the rule change.
+    fn refresh_from(&mut self, view: &ClusterView) -> bool {
+        if view.epoch() == self.epoch {
+            return false;
+        }
+        let parts = view.scope_parts(self.wrap);
+        self.targets = parts.targets;
+        self.quorum = parts.quorum;
+        self.joint = parts.joint;
+        self.epoch = parts.epoch;
+        true
+    }
+
+    /// Whether the collected per-server acks complete this scope's rule:
+    /// the joint two-configuration rule in a transition epoch, otherwise a
+    /// plain quorum counted over *members only* — a straggler ack from a
+    /// server that has since been removed never counts toward a quorum of
+    /// the configuration that replaced it.
+    fn satisfied<T>(&self, acks: &BTreeMap<ServerId, T>) -> bool {
+        match &self.joint {
+            Some(joint) => joint.satisfied(acks.keys().copied()),
+            None => {
+                acks.keys().filter(|s| self.targets.contains(s)).count() >= self.quorum
+            }
         }
     }
 
@@ -161,6 +204,8 @@ pub struct LiveWriter<E: Endpoint> {
     /// Completed-operation floor, piggybacked on updates for GC.
     floor: TaggedValue,
     tap: Option<AuditTap>,
+    /// The shared configuration view, when the cluster reconfigures live.
+    view: Option<Arc<ClusterView>>,
 }
 
 impl<E: Endpoint> LiveWriter<E> {
@@ -183,6 +228,7 @@ impl<E: Endpoint> LiveWriter<E> {
             retry: RetryPolicy::default(),
             floor: TaggedValue::initial(),
             tap: None,
+            view: None,
         }
     }
 
@@ -190,6 +236,17 @@ impl<E: Endpoint> LiveWriter<E> {
     /// default is one attempt — no retry.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches the cluster's shared configuration view (builder-style):
+    /// the writer re-derives its round-trip scope from the view at the
+    /// start of every operation and mid-round whenever a reply carries a
+    /// higher epoch, so it follows live reconfigurations without failing
+    /// in-flight operations.
+    pub fn with_view(mut self, view: Arc<ClusterView>) -> Self {
+        self.scope.refresh_from(&view);
+        self.view = Some(view);
         self
     }
 
@@ -223,7 +280,13 @@ impl<E: Endpoint> LiveWriter<E> {
             quorum: group.len() - self.config.max_faults(),
             targets: group,
             wrap: Some(register),
+            joint: None,
+            epoch: ConfigEpoch::ZERO,
         };
+        // Re-bind to the register's group under the *current* epoch.
+        if let Some(view) = &self.view {
+            self.scope.refresh_from(view);
+        }
         self
     }
 
@@ -234,6 +297,14 @@ impl<E: Endpoint> LiveWriter<E> {
         self
     }
 
+    /// Re-derives the scope from the shared view when the epoch moved —
+    /// the cheap per-operation check (one atomic load in the common case).
+    fn refresh_scope(&mut self) {
+        if let Some(view) = &self.view {
+            self.scope.refresh_from(view);
+        }
+    }
+
     /// Writes `value`, blocking until the protocol's round-trips complete.
     /// Returns the tagged value the register now holds.
     ///
@@ -241,6 +312,7 @@ impl<E: Endpoint> LiveWriter<E> {
     ///
     /// Returns [`RuntimeError::Timeout`] if a quorum cannot be assembled.
     pub fn write(&mut self, value: Value) -> Result<TaggedValue, RuntimeError> {
+        self.refresh_scope();
         let op = OpId { client: ClientId::Writer(self.id), seq: self.next_seq };
         self.next_seq += 1;
         // Writes are always recorded: every read verdict depends on them.
@@ -259,6 +331,7 @@ impl<E: Endpoint> LiveWriter<E> {
                 let acks = round_trip(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     Msg::Query { handle },
                     self.timeout,
                     self.retry,
@@ -277,6 +350,7 @@ impl<E: Endpoint> LiveWriter<E> {
         round_trip(
             &self.endpoint,
             &self.scope,
+            self.view.as_deref(),
             Msg::Update { handle, value: tagged, floor: self.floor },
             self.timeout,
             self.retry,
@@ -302,12 +376,14 @@ impl<E: Endpoint> LiveWriter<E> {
     /// Returns [`RuntimeError::Timeout`] if a quorum cannot acknowledge
     /// the departure; the servers that did hear it have already cleaned up.
     pub fn depart(mut self) -> Result<(), RuntimeError> {
+        self.refresh_scope();
         let op = OpId { client: ClientId::Writer(self.id), seq: self.next_seq };
         self.next_seq += 1;
         let handle = OpHandle { op, phase: 1 };
         round_trip(
             &self.endpoint,
             &self.scope,
+            self.view.as_deref(),
             Msg::Depart { handle },
             self.timeout,
             self.retry,
@@ -341,6 +417,8 @@ pub struct LiveReader<E: Endpoint> {
     measure_payload: bool,
     last_payload: u64,
     tap: Option<AuditTap>,
+    /// The shared configuration view, when the cluster reconfigures live.
+    view: Option<Arc<ClusterView>>,
 }
 
 impl<E: Endpoint> LiveReader<E> {
@@ -386,6 +464,7 @@ impl<E: Endpoint> LiveReader<E> {
             measure_payload: false,
             last_payload: 0,
             tap: None,
+            view: None,
         }
     }
 
@@ -393,6 +472,19 @@ impl<E: Endpoint> LiveReader<E> {
     /// default is one attempt — no retry.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches the cluster's shared configuration view (builder-style):
+    /// the reader re-derives its round-trip scope from the view at the
+    /// start of every operation and mid-round whenever a reply carries a
+    /// higher epoch. During a reconfiguration's joint window every fast
+    /// read is forced through a write-back round (see
+    /// [`LiveReader::read`]'s mode logic), so fast selection never has to
+    /// reason across two configurations.
+    pub fn with_view(mut self, view: Arc<ClusterView>) -> Self {
+        self.scope.refresh_from(&view);
+        self.view = Some(view);
         self
     }
 
@@ -435,8 +527,22 @@ impl<E: Endpoint> LiveReader<E> {
             quorum: group.len() - self.config.max_faults(),
             targets: group,
             wrap: Some(register),
+            joint: None,
+            epoch: ConfigEpoch::ZERO,
         };
+        // Re-bind to the register's group under the *current* epoch.
+        if let Some(view) = &self.view {
+            self.scope.refresh_from(view);
+        }
         self
+    }
+
+    /// Re-derives the scope from the shared view when the epoch moved —
+    /// the cheap per-operation check (one atomic load in the common case).
+    fn refresh_scope(&mut self) {
+        if let Some(view) = &self.view {
+            self.scope.refresh_from(view);
+        }
     }
 
     /// Enables payload accounting (builder-style): each fast read
@@ -479,12 +585,14 @@ impl<E: Endpoint> LiveReader<E> {
     /// Returns [`RuntimeError::Timeout`] if a quorum cannot acknowledge
     /// the departure; the servers that did hear it have already cleaned up.
     pub fn depart(mut self) -> Result<(), RuntimeError> {
+        self.refresh_scope();
         let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
         self.next_seq += 1;
         let handle = OpHandle { op, phase: 1 };
         round_trip(
             &self.endpoint,
             &self.scope,
+            self.view.as_deref(),
             Msg::Depart { handle },
             self.timeout,
             self.retry,
@@ -503,6 +611,7 @@ impl<E: Endpoint> LiveReader<E> {
     ///
     /// Returns [`RuntimeError::Timeout`] if a quorum cannot be assembled.
     pub fn read(&mut self) -> Result<TaggedValue, RuntimeError> {
+        self.refresh_scope();
         let op = OpId { client: ClientId::Reader(self.id), seq: self.next_seq };
         self.next_seq += 1;
         // The sampling decision is made at invocation and held for the
@@ -520,6 +629,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let acks = round_trip(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     Msg::Query { handle },
                     self.timeout,
                     self.retry,
@@ -533,6 +643,7 @@ impl<E: Endpoint> LiveReader<E> {
                 round_trip(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     Msg::Update { handle, value: best, floor: self.floor },
                     self.timeout,
                     self.retry,
@@ -544,8 +655,22 @@ impl<E: Endpoint> LiveReader<E> {
                 best
             }
             ReadMode::Fast | ReadMode::Adaptive => {
+                let epoch_before = self.scope.epoch;
                 let handle = OpHandle { op, phase: 1 };
-                match self.fast_round(handle)? {
+                let replies = self.fast_round(handle)?;
+                // A round that straddled a reconfiguration collected its
+                // quorum under a refreshed *clone* of the scope (see
+                // `round_trip_per_server`), so the persistent scope this
+                // decision consults is stale. Re-derive it and, if the
+                // epoch moved mid-round, force the write-back path: fast
+                // selection's witness counting is only defined within the
+                // single configuration the round started in. The view's
+                // epoch is bumped before any server can produce the higher
+                // tag, so an unchanged epoch here proves the round ran
+                // entirely inside one configuration.
+                self.refresh_scope();
+                let straddled = self.scope.epoch != epoch_before;
+                match replies {
                     FastReplies::Full(snaps) => {
                         for s in &snaps {
                             self.val_queue.extend(s.entries.iter().map(|e| e.value));
@@ -553,7 +678,7 @@ impl<E: Endpoint> LiveReader<E> {
                         self.prune_val_queue();
                         let (index, mask) =
                             WitnessIndex::from_views(snaps.iter().map(SnapshotView::Full));
-                        self.decide_fast_read(op, &index, mask, false)?
+                        self.decide_fast_read(op, &index, mask, straddled)?
                     }
                     FastReplies::Delta { replied, resync } => {
                         // The deltas already merged into the caches and the
@@ -565,7 +690,12 @@ impl<E: Endpoint> LiveReader<E> {
                             val_queue.insert(v);
                         }
                         self.prune_val_queue();
-                        self.decide_fast_read(op, self.state.index(), replied, resync)?
+                        self.decide_fast_read(
+                            op,
+                            self.state.index(),
+                            replied,
+                            resync || straddled,
+                        )?
                     }
                 }
             }
@@ -601,6 +731,13 @@ impl<E: Endpoint> LiveReader<E> {
     /// selection's degree counts cannot be trusted for this read — it is
     /// forced through a write-back round, after which the registrations
     /// are re-established and fast reads resume.
+    ///
+    /// A joint scope (a reconfiguration's transition window) forces the
+    /// same write-back unconditionally: fast selection's witness counting
+    /// is defined within *one* configuration, and the write-back round —
+    /// which under a joint scope lands on a quorum of both — is the
+    /// classical, always-linearizable path. Fast reads resume the moment
+    /// the new epoch commits and the scope turns stable again.
     fn decide_fast_read(
         &self,
         op: OpId,
@@ -608,6 +745,7 @@ impl<E: Endpoint> LiveReader<E> {
         mask: u128,
         resync: bool,
     ) -> Result<TaggedValue, RuntimeError> {
+        let resync = resync || self.scope.joint.is_some();
         if self.mode == ReadMode::Fast {
             // A scoped reader's world is its register's group: the witness
             // selector's `needed = S − a·t` must use the group size, not the
@@ -632,6 +770,7 @@ impl<E: Endpoint> LiveReader<E> {
                 round_trip(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     Msg::Update { handle, value: max_v, floor: self.floor },
                     self.timeout,
                     self.retry,
@@ -659,6 +798,7 @@ impl<E: Endpoint> LiveReader<E> {
             round_trip(
                 &self.endpoint,
                 &self.scope,
+                self.view.as_deref(),
                 Msg::Update { handle, value: max_v, floor: self.floor },
                 self.timeout,
                 self.retry,
@@ -689,6 +829,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let acks = round_trip(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     request,
                     self.timeout,
                     self.retry,
@@ -714,6 +855,7 @@ impl<E: Endpoint> LiveReader<E> {
                 let acks = round_trip_per_server(
                     &self.endpoint,
                     &self.scope,
+                    self.view.as_deref(),
                     |sid| {
                         let cache = state.cache(sid);
                         let new_values = cache.unacknowledged(val_queue);
@@ -788,12 +930,41 @@ enum FastReplies {
 fn round_trip<E: Endpoint, T>(
     endpoint: &E,
     scope: &Scope,
+    view: Option<&ClusterView>,
     request: Msg,
     timeout: Duration,
     retry: RetryPolicy,
     matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    round_trip_per_server(endpoint, scope, |_| request.clone(), timeout, retry, matcher)
+    round_trip_per_server(endpoint, scope, view, |_| request.clone(), timeout, retry, matcher)
+}
+
+/// Broadcasts one (possibly per-server) request to every server in the
+/// scope, wrapped for the scope's register and tagged with its epoch.
+fn broadcast_scope<E: Endpoint>(
+    endpoint: &E,
+    scope: &Scope,
+    request_for: &mut impl FnMut(ServerId) -> Msg,
+) {
+    // One batched broadcast: the transport amortizes its locking over
+    // the whole fan-out, and a dead server is exactly the failure the
+    // quorum tolerates (send_batch is best-effort by contract). Mixed-
+    // register backlog coalesces into the same per-peer pipelines.
+    let batch: Vec<(ProcessId, Msg)> = scope
+        .targets
+        .iter()
+        .map(|&s| {
+            let request = match scope.wrap {
+                Some(register) => Msg::ForRegister { register, inner: Box::new(request_for(s)) },
+                None => request_for(s),
+            };
+            // The epoch header goes outermost (elided at epoch 0, so the
+            // legacy wire is byte-identical): servers adopt it before
+            // unwrapping the register frame.
+            (ProcessId::Server(s), request.in_epoch(scope.epoch))
+        })
+        .collect();
+    endpoint.send_batch(batch);
 }
 
 /// Like [`round_trip`], but with a per-server request — the delta fast read
@@ -808,47 +979,54 @@ fn round_trip<E: Endpoint, T>(
 /// out and strips it (register-checked) on the way in, so the matcher sees
 /// only its own register's bare replies — a shared endpoint can carry many
 /// scoped clients' traffic without cross-talk.
+///
+/// Epoch handling: every reply's epoch header is stripped before matching.
+/// A reply tagged with a *higher* epoch than the scope means the cluster
+/// reconfigured mid-round: the scope re-derives itself from the shared
+/// view (which the coordinator installed before any server could produce
+/// that tag) and the request is re-broadcast under the new coverage. The
+/// acks already collected keep counting — each records an idempotent
+/// server-side effect that happened, and the refreshed satisfaction rule
+/// is re-evaluated over the whole map — so an in-flight operation rides
+/// through a reconfiguration instead of timing out. The refresh works on
+/// a local clone; the client's persistent scope catches up at the next
+/// operation's `refresh_scope`.
 fn round_trip_per_server<E: Endpoint, T>(
     endpoint: &E,
     scope: &Scope,
+    view: Option<&ClusterView>,
     mut request_for: impl FnMut(ServerId) -> Msg,
     timeout: Duration,
     retry: RetryPolicy,
     mut matcher: impl FnMut(Msg) -> Option<T>,
 ) -> Result<BTreeMap<ServerId, T>, RuntimeError> {
-    let required = scope.quorum;
+    let mut scope = scope.clone();
     let mut acks: BTreeMap<ServerId, T> = BTreeMap::new();
     let attempts = retry.attempts.max(1);
     for attempt in 0..attempts {
         if attempt > 0 && !retry.backoff.is_zero() {
             std::thread::sleep(retry.backoff);
         }
-        // One batched broadcast: the transport amortizes its locking over
-        // the whole fan-out, and a dead server is exactly the failure the
-        // quorum tolerates (send_batch is best-effort by contract). Mixed-
-        // register backlog coalesces into the same per-peer pipelines.
-        let batch: Vec<(ProcessId, Msg)> = scope
-            .targets
-            .iter()
-            .map(|&s| {
-                let request = match scope.wrap {
-                    Some(register) => {
-                        Msg::ForRegister { register, inner: Box::new(request_for(s)) }
-                    }
-                    None => request_for(s),
-                };
-                (ProcessId::Server(s), request)
-            })
-            .collect();
-        endpoint.send_batch(batch);
+        if let Some(view) = view {
+            scope.refresh_from(view);
+        }
+        broadcast_scope(endpoint, &scope, &mut request_for);
         let deadline = Instant::now() + timeout;
-        while acks.len() < required {
+        while !scope.satisfied(&acks) {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
             match endpoint.inbox().recv_timeout(deadline - now) {
                 Ok((from, msg)) => {
+                    let (frame_epoch, msg) = msg.into_epoch_parts();
+                    if frame_epoch > scope.epoch {
+                        if let Some(view) = view {
+                            if scope.refresh_from(view) {
+                                broadcast_scope(endpoint, &scope, &mut request_for);
+                            }
+                        }
+                    }
                     let Some(msg) = scope.unwrap(msg) else { continue };
                     if let (ProcessId::Server(sid), Some(payload)) = (from, matcher(msg)) {
                         acks.insert(sid, payload);
@@ -857,11 +1035,15 @@ fn round_trip_per_server<E: Endpoint, T>(
                 Err(_) => break,
             }
         }
-        if acks.len() >= required {
+        if scope.satisfied(&acks) {
             return Ok(acks);
         }
     }
-    Err(RuntimeError::Timeout { waited: timeout, collected: acks.len(), required })
+    Err(RuntimeError::Timeout {
+        waited: timeout,
+        collected: acks.len(),
+        required: scope.quorum,
+    })
 }
 
 #[cfg(test)]

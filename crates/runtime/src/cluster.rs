@@ -7,15 +7,24 @@
 //! server and a crashed in-memory server are the same operation.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mwr_core::{FastWire, Msg, Protocol, RegisterServer, StateTransfer};
-use mwr_types::{ClusterConfig, ProcessId, ReaderId, WriterId};
+use mwr_core::{FastWire, JointQuorum, Msg, Protocol, RegisterServer, StateTransfer};
+use mwr_types::{ClusterConfig, ConfigEpoch, ProcessId, ReaderId, ServerId, WriterId};
 
 use crate::client::{LiveReader, LiveWriter};
 use crate::server::{spawn_server_with, ServerHandle};
 use crate::tcp::TcpRegistry;
 use crate::transport::{Endpoint, EndpointFactory, InMemoryTransport, TransportError};
+use crate::view::{ClusterView, ViewPlan, ViewState};
+
+/// The process id reconfiguration coordinators open their temporary
+/// endpoint under. It is a *server* id so that state-transfer messages pass
+/// the servers' `from.as_server()` gate, but far outside any real member id
+/// (members are minted monotonically from 0), so it can never collide with
+/// a member, enter a client's scope, or touch the fast-read reply masks.
+pub(crate) const COORDINATOR: ProcessId = ProcessId::Server(ServerId::new(u32::MAX - 1));
 
 /// The server blueprint live clusters spawn: acknowledged-floor GC sized to
 /// the cluster's client population, so server stores stay bounded once
@@ -59,6 +68,18 @@ pub struct RuntimeCluster<F: EndpointFactory> {
     /// Monotone nonce distinguishing state-fetch rounds, so a straggler
     /// snapshot from an earlier rejoin can never corrupt a later one.
     fetch_nonce: u64,
+    /// The current member server ids, ascending. Starts as `{0..S}`;
+    /// reconfiguration removes ids and mints fresh ones — retired ids are
+    /// never reused, so a straggler frame addressed to (or from) a removed
+    /// server can never be confused with a later member.
+    members: Vec<u32>,
+    /// The next server id a reconfiguration will mint.
+    next_server_id: u32,
+    /// The configuration epoch the cluster is in (the view's epoch).
+    epoch: ConfigEpoch,
+    /// The shared view every minted client follows through
+    /// reconfigurations.
+    view: Arc<ClusterView>,
 }
 
 /// A running in-memory cluster: [`RuntimeCluster`] over crossbeam channels.
@@ -85,13 +106,19 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             let endpoint = factory.open(ProcessId::Server(s))?;
             servers.push(spawn_server_with(endpoint, gc_server(&config)));
         }
+        let members: Vec<u32> = (0..config.servers() as u32).collect();
+        let view = ClusterView::stable(config.server_ids().collect(), config.quorum_size());
         Ok(RuntimeCluster {
+            next_server_id: config.servers() as u32,
             config,
             protocol,
             factory,
             servers,
             crashed: HashMap::new(),
             fetch_nonce: 0,
+            members,
+            epoch: ConfigEpoch::ZERO,
+            view,
         })
     }
 
@@ -108,6 +135,27 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
     /// The transport factory, for opening auxiliary endpoints.
     pub fn factory(&self) -> &F {
         &self.factory
+    }
+
+    /// The current member server ids, ascending. Identical to
+    /// `0..config.servers()` until the first reconfiguration; afterwards
+    /// removed ids are gone for good and added ids extend monotonically.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// The configuration epoch the cluster is in: 0 until the first
+    /// reconfiguration, then `+2` per completed (or aborted) handover —
+    /// one step into the joint window, one step out.
+    pub fn epoch(&self) -> ConfigEpoch {
+        self.epoch
+    }
+
+    /// The shared configuration view minted clients follow. Exposed so
+    /// facade layers can attach it to clients they build around their own
+    /// endpoints.
+    pub fn view(&self) -> Arc<ClusterView> {
+        Arc::clone(&self.view)
     }
 
     /// Creates writer `idx`'s blocking client.
@@ -128,7 +176,8 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             id,
             self.config,
             self.protocol.write_mode(),
-        ))
+        )
+        .with_view(self.view()))
     }
 
     /// Creates reader `idx`'s blocking client on the default
@@ -171,7 +220,8 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             self.config,
             self.protocol.read_mode(),
             wire,
-        ))
+        )
+        .with_view(self.view()))
     }
 
     /// Crashes server `idx`: removes it from the transport's delivery map
@@ -245,15 +295,16 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
             self.servers.iter().all(|h| h.id() != ProcessId::server(idx)),
             "server {idx} is still running"
         );
+        assert!(self.members.contains(&idx), "server {idx} is not a member");
         let version_floor = self.crashed.get(&idx).copied().unwrap_or(0);
         let endpoint = self.factory.open(ProcessId::server(idx))?;
         self.fetch_nonce += 1;
         let nonce = self.fetch_nonce;
         let batch: Vec<(ProcessId, Msg)> = self
-            .config
-            .server_ids()
-            .filter(|s| ProcessId::Server(*s) != ProcessId::server(idx))
-            .map(|s| (ProcessId::Server(s), Msg::StateFetch { nonce }))
+            .members
+            .iter()
+            .filter(|&&s| s != idx)
+            .map(|&s| (ProcessId::server(s), Msg::StateFetch { nonce }))
             .collect();
         let required = self.config.quorum_size();
         let mut transfers: BTreeMap<ProcessId, StateTransfer> = BTreeMap::new();
@@ -278,11 +329,18 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
                 }
                 match endpoint.inbox().recv_timeout(round_ends - now) {
                     // Client traffic racing the fetch window is dropped:
-                    // the server is not serving yet.
-                    Ok((from, Msg::StateSnapshot { nonce: n, state })) if n == nonce => {
-                        transfers.insert(from, *state);
+                    // the server is not serving yet. Past epoch 0 replies
+                    // arrive epoch-tagged; strip the header before
+                    // matching.
+                    Ok((from, msg)) => {
+                        if let (_, Msg::StateSnapshot { nonce: n, state }) =
+                            msg.into_epoch_parts()
+                        {
+                            if n == nonce {
+                                transfers.insert(from, *state);
+                            }
+                        }
                     }
-                    Ok(_) => {}
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'fetch,
                 }
@@ -298,9 +356,306 @@ impl<F: EndpointFactory> RuntimeCluster<F> {
         let population = self.config.readers() + self.config.writers();
         let transfers: Vec<StateTransfer> = transfers.into_values().collect();
         let server = RegisterServer::recovered(population, version_floor, &transfers);
-        self.servers.push(spawn_server_with(endpoint, server));
+        let handle = spawn_server_with(endpoint, server);
+        // The rejoined incarnation resumes in the cluster's current epoch:
+        // its replies are tagged like every other member's, so a stale
+        // client learns of any reconfiguration from its first ack.
+        handle.announce_epoch(self.epoch);
+        self.servers.push(handle);
         self.crashed.remove(&idx);
         Ok(())
+    }
+
+    /// Reconfigures the live server set: mints `add` fresh server ids and
+    /// retires the members in `remove`, while clients keep serving.
+    ///
+    /// The handover runs the joint-quorum schedule (RAMBO-style, with
+    /// viewstamp-like epochs in every frame past epoch 0):
+    ///
+    /// 1. **Join** — the added servers spawn empty and the shared view
+    ///    flips to a *joint* epoch `e+1`: every client round now broadcasts
+    ///    to the union and completes only with a quorum in **both** the old
+    ///    and the new configuration, and every fast read is forced through
+    ///    its write-back round. The epoch is then announced to all servers
+    ///    (the fence): any round that completes on lower-epoch acks had all
+    ///    its server-side effects before the announcement.
+    /// 2. **Transfer** — a temporary coordinator endpoint fetches state
+    ///    snapshots from an old-configuration quorum (`|old| − t`) and
+    ///    installs the merge on every added server ([`Msg::StateInstall`],
+    ///    the rejoin machinery on a running server). By the fence, that old
+    ///    quorum covers every operation that ever completed without a
+    ///    new-configuration quorum.
+    /// 3. **Commit** — the view flips to a stable epoch `e+2` over the new
+    ///    member set, the epoch is announced, and the removed servers are
+    ///    torn down (endpoints closed, threads joined). Straggler acks from
+    ///    removed servers no longer count: stable satisfaction counts
+    ///    members only.
+    ///
+    /// If the transfer cannot assemble its old quorum or an install ack is
+    /// missing within `window`, the reconfiguration **refuses to commit**:
+    /// it rolls *forward* to a stable epoch over the unchanged old member
+    /// set, tears the added servers down, and returns the timeout — client
+    /// traffic is never left on a configuration that might miss a
+    /// completed write.
+    ///
+    /// Returns the added servers' ids (empty for a pure removal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] with [`std::io::ErrorKind::TimedOut`]
+    /// on a refused handover, or any endpoint-open error propagated from
+    /// the transport.
+    ///
+    /// Crashed members need not rejoin first: with at most `t` of the old
+    /// configuration down the transfer quorum still assembles (and a
+    /// crashed id listed in `remove` is simply retired for good); with
+    /// more than `t` down the handover refuses, exactly like every other
+    /// quorum-starved round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remove` names a non-member, if the change is empty, or
+    /// if the resulting shape is invalid (e.g. quorums would not
+    /// intersect).
+    pub fn reconfigure(&mut self, add: usize, remove: &[u32]) -> Result<Vec<u32>, TransportError> {
+        self.reconfigure_within(add, remove, Duration::from_secs(5))
+    }
+
+    /// [`reconfigure`](Self::reconfigure) with an explicit state-transfer
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// As [`reconfigure`](Self::reconfigure).
+    ///
+    /// # Panics
+    ///
+    /// As [`reconfigure`](Self::reconfigure).
+    pub fn reconfigure_within(
+        &mut self,
+        add: usize,
+        remove: &[u32],
+        window: Duration,
+    ) -> Result<Vec<u32>, TransportError> {
+        assert!(add > 0 || !remove.is_empty(), "reconfigure must change the member set");
+        for &r in remove {
+            assert!(self.members.contains(&r), "removed server {r} is not a member");
+        }
+        let old_members = self.members.clone();
+        let added: Vec<u32> = (0..add as u32).map(|i| self.next_server_id + i).collect();
+        let mut new_members: Vec<u32> = old_members
+            .iter()
+            .copied()
+            .filter(|m| !remove.contains(m))
+            .chain(added.iter().copied())
+            .collect();
+        new_members.sort_unstable();
+        // Validates the new shape (including quorum intersection) before
+        // anything is touched; t, R and W are unchanged.
+        let new_config = self
+            .config
+            .reconfigured(new_members.len())
+            .unwrap_or_else(|e| panic!("invalid reconfigured shape: {e}"));
+        self.next_server_id += add as u32;
+
+        // 1. Join: added servers spawn empty and serve immediately — sound
+        // because every joint-window round also spans an old quorum (reads
+        // are write-back-secured, and a query's maximum over the union is
+        // its maximum over the old side it must include).
+        for &id in &added {
+            match self.factory.open(ProcessId::server(id)) {
+                Ok(endpoint) => {
+                    self.servers.push(spawn_server_with(endpoint, gc_server(&new_config)));
+                }
+                Err(e) => {
+                    // Unwind the servers already added; nothing announced.
+                    self.teardown(&added);
+                    return Err(e);
+                }
+            }
+        }
+        let t = self.config.max_faults();
+        let joint = JointQuorum::new(
+            old_members.iter().map(|&s| ServerId::new(s)).collect(),
+            old_members.len() - t,
+            new_members.iter().map(|&s| ServerId::new(s)).collect(),
+            new_members.len() - t,
+        );
+        let joint_epoch = self.epoch.next();
+        // View before fence: by the time any server can tag a reply with
+        // the joint epoch, clients can already read the joint plan.
+        self.view.install(ViewState {
+            epoch: joint_epoch,
+            plan: ViewPlan::Joint { joint },
+        });
+        for h in &self.servers {
+            h.announce_epoch(joint_epoch);
+        }
+        self.epoch = joint_epoch;
+
+        // 2. Transfer: old-quorum fetch, install on every added server.
+        if !added.is_empty() {
+            if let Err(e) = self.transfer_state(&old_members, &added, window) {
+                // Refuse to commit: roll forward to a stable epoch over the
+                // unchanged old member set and tear the joiners down. Epochs
+                // never go backwards, so in-flight rounds refresh cleanly.
+                let abort_epoch = self.epoch.next();
+                self.view.install(ViewState {
+                    epoch: abort_epoch,
+                    plan: ViewPlan::Stable {
+                        targets: old_members.iter().map(|&s| ServerId::new(s)).collect(),
+                        quorum: self.config.quorum_size(),
+                    },
+                });
+                for h in &self.servers {
+                    h.announce_epoch(abort_epoch);
+                }
+                self.epoch = abort_epoch;
+                self.teardown(&added);
+                return Err(e);
+            }
+        }
+
+        // 3. Commit: stable view over the new members, then retire.
+        let commit_epoch = self.epoch.next();
+        self.view.install(ViewState {
+            epoch: commit_epoch,
+            plan: ViewPlan::Stable {
+                targets: new_members.iter().map(|&s| ServerId::new(s)).collect(),
+                quorum: new_config.quorum_size(),
+            },
+        });
+        for h in &self.servers {
+            h.announce_epoch(commit_epoch);
+        }
+        self.epoch = commit_epoch;
+        self.teardown(remove);
+        for r in remove {
+            // A removed id is retired for good — even a crashed one can
+            // never rejoin under the new configuration.
+            self.crashed.remove(r);
+        }
+        self.config = new_config;
+        self.members = new_members;
+        Ok(added)
+    }
+
+    /// Fetches a state snapshot from an old-configuration quorum and
+    /// installs the merge on every server in `receivers`, all through one
+    /// temporary coordinator endpoint.
+    fn transfer_state(
+        &mut self,
+        donors: &[u32],
+        receivers: &[u32],
+        window: Duration,
+    ) -> Result<(), TransportError> {
+        self.fetch_nonce += 1;
+        let nonce = self.fetch_nonce;
+        let endpoint = self.factory.open(COORDINATOR)?;
+        let required = donors.len() - self.config.max_faults();
+        let fetch: Vec<(ProcessId, Msg)> = donors
+            .iter()
+            .map(|&s| (ProcessId::server(s), Msg::StateFetch { nonce }))
+            .collect();
+        let mut transfers: BTreeMap<ProcessId, StateTransfer> = BTreeMap::new();
+        let result = (|| {
+            // Same rebroadcast discipline as `rejoin_server_within`: the
+            // fetch is idempotent and a first reply can be lost to a stale
+            // pipeline.
+            let deadline = Instant::now() + window;
+            let rebroadcast_every = (window / 10).max(Duration::from_millis(10));
+            'fetch: while transfers.len() < required {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                endpoint.send_batch(fetch.clone());
+                let round_ends = (Instant::now() + rebroadcast_every).min(deadline);
+                while transfers.len() < required {
+                    let now = Instant::now();
+                    if now >= round_ends {
+                        break;
+                    }
+                    match endpoint.inbox().recv_timeout(round_ends - now) {
+                        // Donors already run at the joint epoch, so their
+                        // replies arrive epoch-tagged: strip before matching.
+                        Ok((from, msg)) => {
+                            if let (_, Msg::StateSnapshot { nonce: n, state }) =
+                                msg.into_epoch_parts()
+                            {
+                                if n == nonce {
+                                    transfers.insert(from, *state);
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'fetch,
+                    }
+                }
+            }
+            if transfers.len() < required {
+                return Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut });
+            }
+            // Install the merged quorum state on every receiver and wait
+            // for all acks — a receiver that has not installed covers no
+            // pre-joint write, so committing without its ack is unsound.
+            let transfers: Vec<StateTransfer> = transfers.values().cloned().collect();
+            let install: Vec<(ProcessId, Msg)> = receivers
+                .iter()
+                .map(|&s| {
+                    (
+                        ProcessId::server(s),
+                        Msg::StateInstall { nonce, transfers: transfers.clone() },
+                    )
+                })
+                .collect();
+            let mut acked: BTreeMap<ProcessId, ()> = BTreeMap::new();
+            let deadline = Instant::now() + window;
+            'install: while acked.len() < receivers.len() {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                endpoint.send_batch(install.clone());
+                let round_ends = (Instant::now() + rebroadcast_every).min(deadline);
+                while acked.len() < receivers.len() {
+                    let now = Instant::now();
+                    if now >= round_ends {
+                        break;
+                    }
+                    match endpoint.inbox().recv_timeout(round_ends - now) {
+                        Ok((from, msg)) => {
+                            if let (_, Msg::StateInstallAck { nonce: n }) = msg.into_epoch_parts() {
+                                if n == nonce {
+                                    acked.insert(from, ());
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'install,
+                    }
+                }
+            }
+            if acked.len() < receivers.len() {
+                return Err(TransportError::Io { kind: std::io::ErrorKind::TimedOut });
+            }
+            Ok(())
+        })();
+        self.factory.close(COORDINATOR);
+        drop(endpoint);
+        result
+    }
+
+    /// Closes and joins the named servers (reconfiguration teardown: the
+    /// crash path without crash bookkeeping — these ids never come back).
+    fn teardown(&mut self, ids: &[u32]) {
+        for &id in ids {
+            if let Some(pos) =
+                self.servers.iter().position(|h| h.id() == ProcessId::server(id))
+            {
+                let handle = self.servers.swap_remove(pos);
+                self.factory.close(ProcessId::server(id));
+                handle.shutdown();
+            }
+        }
     }
 
     /// Indices of the currently-running servers, ascending.
@@ -430,6 +785,81 @@ mod tests {
         // The refused attempt withdrew its endpoint registration: a second
         // attempt opens it again (a leak would panic on the duplicate).
         assert!(cluster.rejoin_server_within(0, window).is_err());
+        cluster.shutdown();
+    }
+
+    /// Rolling reconfiguration end to end: add two servers, retire two
+    /// originals, keep the same clients writing and reading throughout,
+    /// and finish with a quorum that can only assemble through the added
+    /// servers — proving the handover transferred real state.
+    #[test]
+    fn reconfigure_add_and_remove_keeps_clients_serving() {
+        let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let mut r = cluster.reader(0).unwrap();
+        let before = w.write(Value::new(1)).unwrap();
+        assert_eq!(r.read().unwrap(), before);
+
+        let added = cluster.reconfigure(2, &[0, 1]).unwrap();
+        assert_eq!(added, vec![5, 6], "fresh ids, never reusing retired ones");
+        assert_eq!(cluster.members(), &[2, 3, 4, 5, 6]);
+        assert_eq!(cluster.epoch(), ConfigEpoch::new(2), "joint then committed");
+        assert_eq!(cluster.live_servers(), vec![2, 3, 4, 5, 6]);
+
+        // The same clients keep serving in the new configuration; the
+        // pre-reconfiguration write is still there.
+        let read = r.read().unwrap();
+        assert_eq!(read, before, "pre-handover write visible post-commit");
+        let after = w.write(Value::new(2)).unwrap();
+        assert!(after > before, "tags never re-minted across epochs");
+        // Crash one survivor: every quorum of the new 5-server config now
+        // includes both added servers.
+        cluster.crash_server(2);
+        assert_eq!(r.read().unwrap(), after, "quorum through the added servers");
+        cluster.shutdown();
+    }
+
+    /// A reconfiguration that cannot assemble its old-configuration
+    /// transfer quorum refuses to commit: it rolls forward to the old
+    /// member set, tears the joiners down, and leaves the cluster shape
+    /// unchanged.
+    #[test]
+    fn reconfigure_refuses_without_an_old_quorum() {
+        let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        w.write(Value::new(1)).unwrap();
+        // Two of five down is beyond t = 1: the |old| − t = 4 snapshot
+        // quorum can never assemble.
+        cluster.crash_server(3);
+        cluster.crash_server(4);
+        let err = cluster
+            .reconfigure_within(2, &[0], Duration::from_millis(300))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Io { kind: std::io::ErrorKind::TimedOut }));
+        assert_eq!(cluster.members(), &[0, 1, 2, 3, 4], "member set unchanged");
+        assert_eq!(cluster.live_servers(), vec![0, 1, 2], "joiners torn down");
+        assert_eq!(cluster.epoch(), ConfigEpoch::new(2), "rolled forward, never back");
+        cluster.shutdown();
+    }
+
+    /// Removing a crashed member retires its id for good.
+    #[test]
+    fn reconfigure_can_retire_a_crashed_member() {
+        let config = ClusterConfig::new(5, 1, 1, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let mut w = cluster.writer(0).unwrap();
+        let before = w.write(Value::new(4)).unwrap();
+        cluster.crash_server(1);
+        let added = cluster.reconfigure(1, &[1]).unwrap();
+        assert_eq!(added, vec![5]);
+        assert_eq!(cluster.members(), &[0, 2, 3, 4, 5]);
+        let mut r = cluster.reader(0).unwrap();
+        assert_eq!(r.read().unwrap(), before);
         cluster.shutdown();
     }
 

@@ -38,6 +38,19 @@ pub enum FaultEvent {
     },
     /// Sleep the injector: a quiet period between fault phases.
     Delay(Duration),
+    /// Live server-set reconfiguration: add `add` fresh servers and
+    /// retire the `remove` lowest-indexed current members through the
+    /// joint-quorum handover, while clients keep serving. `remove` is a
+    /// count (not explicit indices) so the plan stays `Copy`; the driver
+    /// resolves it against the cluster's live member list when the step
+    /// fires.
+    Reconfigure {
+        /// Fresh servers to mint and state-transfer into the new
+        /// configuration.
+        add: u32,
+        /// How many of the lowest-indexed current members to retire.
+        remove: u32,
+    },
 }
 
 /// When a fault step fires.
@@ -133,7 +146,9 @@ impl FaultPlan {
             .iter()
             .filter_map(|s| match s.expect("dense prefix").event {
                 FaultEvent::CrashServer(i) | FaultEvent::RejoinServer(i) => Some(i),
-                FaultEvent::ChurnBurst { .. } | FaultEvent::Delay(_) => None,
+                FaultEvent::ChurnBurst { .. }
+                | FaultEvent::Delay(_)
+                | FaultEvent::Reconfigure { .. } => None,
             })
             .max()
     }
@@ -162,6 +177,22 @@ impl FaultPlan {
     /// `warmup_ops` operations.
     pub fn churn_storm(clients: u32, ops_each: u32, warmup_ops: u64) -> Self {
         FaultPlan::new().at_ops(warmup_ops, FaultEvent::ChurnBurst { clients, ops_each })
+    }
+
+    /// Rolling reconfiguration: once the cluster has completed
+    /// `warmup_ops` operations, add `add` fresh servers and retire
+    /// `remove` of the original members through the joint-quorum
+    /// handover, mid-traffic.
+    pub fn reconfigure(add: u32, remove: u32, warmup_ops: u64) -> Self {
+        FaultPlan::new().at_ops(warmup_ops, FaultEvent::Reconfigure { add, remove })
+    }
+
+    /// True if any step reconfigures the server set — such plans require
+    /// a driver that owns the cluster mutably for the whole run.
+    pub fn reconfigures(&self) -> bool {
+        self.steps[..self.len]
+            .iter()
+            .any(|s| matches!(s.expect("dense prefix").event, FaultEvent::Reconfigure { .. }))
     }
 }
 
@@ -210,6 +241,17 @@ mod tests {
             plan.steps()[0].event,
             FaultEvent::ChurnBurst { clients: 500, ops_each: 2 }
         );
+    }
+
+    #[test]
+    fn reconfigure_preset_is_one_step_and_flagged() {
+        let plan = FaultPlan::reconfigure(2, 2, 100);
+        assert_eq!(plan.steps().len(), 1);
+        assert_eq!(plan.steps()[0].trigger, FaultTrigger::Ops(100));
+        assert_eq!(plan.steps()[0].event, FaultEvent::Reconfigure { add: 2, remove: 2 });
+        assert!(plan.reconfigures());
+        assert_eq!(plan.max_server(), None);
+        assert!(!FaultPlan::rolling_restart(3, 10).reconfigures());
     }
 
     #[test]

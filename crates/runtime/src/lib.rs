@@ -47,8 +47,10 @@ mod server;
 mod tap;
 mod tcp;
 mod transport;
+mod view;
 
 pub use client::{LiveReader, LiveWriter, RetryPolicy, RuntimeError};
+pub use view::ClusterView;
 pub use cluster::{LiveCluster, RuntimeCluster, TcpCluster};
 pub use faults::{FaultEvent, FaultPlan, FaultStep, FaultTrigger, MAX_FAULT_STEPS};
 pub use keyspace::{KeyspaceCluster, LiveKeyspaceCluster, TcpKeyspaceCluster};

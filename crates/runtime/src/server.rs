@@ -1,13 +1,13 @@
 //! Thread-per-server execution of the Algorithm 2 server.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 use crossbeam::channel::{bounded, select, Sender};
 
 use mwr_core::{RegisterServer, ServerBank};
-use mwr_types::ProcessId;
+use mwr_types::{ConfigEpoch, ProcessId};
 
 use crate::transport::Endpoint;
 
@@ -18,6 +18,7 @@ pub struct ServerHandle {
     shutdown: Sender<()>,
     join: Option<JoinHandle<u64>>,
     version: Arc<AtomicU64>,
+    epoch: Arc<AtomicU32>,
 }
 
 impl ServerHandle {
@@ -46,6 +47,21 @@ impl ServerHandle {
     /// *then* read the final version (the last message's bump included).
     pub(crate) fn beacon(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.version)
+    }
+
+    /// Announces a configuration epoch to the running server — the
+    /// reconfiguration coordinator's fence. The server thread adopts the
+    /// cell *before* handling each message, so from the moment this store
+    /// returns, every reply the server produces is tagged `≥ epoch`: any
+    /// round that later completes on lower-epoch acknowledgements had all
+    /// its server-side effects before the announcement, and is therefore
+    /// covered by any old-configuration quorum the handover's state
+    /// transfer reads afterwards.
+    ///
+    /// Monotone (`fetch_max`): announcements racing a frame-carried
+    /// adoption can only move the epoch forward.
+    pub fn announce_epoch(&self, epoch: ConfigEpoch) {
+        self.epoch.fetch_max(epoch.get(), Ordering::AcqRel);
     }
 
     /// Signals shutdown and waits for the thread; returns the number of
@@ -109,6 +125,8 @@ pub fn spawn_server_with(
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
     let version = Arc::new(AtomicU64::new(server.state().version()));
     let beacon = Arc::clone(&version);
+    let epoch = Arc::new(AtomicU32::new(server.epoch().get()));
+    let epoch_cell = Arc::clone(&epoch);
     let join = thread::Builder::new()
         .name(format!("mwr-server-{id}"))
         .spawn(move || {
@@ -117,6 +135,11 @@ pub fn spawn_server_with(
                 select! {
                     recv(endpoint.inbox()) -> inbound => {
                         let Ok((from, msg)) = inbound else { return handled };
+                        // Adopt any announced epoch before the message is
+                        // processed: every reply from here on is tagged with
+                        // at least the announced epoch (the reconfiguration
+                        // fence — see `ServerHandle::announce_epoch`).
+                        server.set_epoch(ConfigEpoch::new(epoch_cell.load(Ordering::Acquire)));
                         let reply = server.handle(from, &msg);
                         // Publish the version high-water *before* the reply
                         // leaves, so no reader ever holds an acknowledged
@@ -135,7 +158,7 @@ pub fn spawn_server_with(
             }
         })
         .expect("failed to spawn server thread");
-    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version }
+    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version, epoch }
 }
 
 /// Spawns a keyspace server: a [`ServerBank`] of per-register automata
@@ -154,6 +177,8 @@ pub fn spawn_bank_with(endpoint: impl Endpoint + 'static, mut bank: ServerBank) 
     let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
     let version = Arc::new(AtomicU64::new(bank.max_version()));
     let beacon = Arc::clone(&version);
+    let epoch = Arc::new(AtomicU32::new(bank.epoch().get()));
+    let epoch_cell = Arc::clone(&epoch);
     let join = thread::Builder::new()
         .name(format!("mwr-bank-{id}"))
         .spawn(move || {
@@ -162,6 +187,8 @@ pub fn spawn_bank_with(endpoint: impl Endpoint + 'static, mut bank: ServerBank) 
                 select! {
                     recv(endpoint.inbox()) -> inbound => {
                         let Ok((from, msg)) = inbound else { return handled };
+                        // Same fence as `spawn_server_with`.
+                        bank.set_epoch(ConfigEpoch::new(epoch_cell.load(Ordering::Acquire)));
                         let reply = bank.handle(from, &msg);
                         // Same ordering as `spawn_server_with`: the beacon
                         // covers this message's version bumps before any
@@ -177,7 +204,7 @@ pub fn spawn_bank_with(endpoint: impl Endpoint + 'static, mut bank: ServerBank) 
             }
         })
         .expect("failed to spawn bank thread");
-    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version }
+    ServerHandle { id, shutdown: shutdown_tx, join: Some(join), version, epoch }
 }
 
 #[cfg(test)]

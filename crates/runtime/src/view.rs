@@ -1,0 +1,235 @@
+//! The shared client-side view of the cluster's current configuration.
+//!
+//! A [`ClusterView`] is the one piece of state the reconfiguration
+//! coordinator and every live client share: which epoch the cluster is in,
+//! which servers a round-trip must cover, and which acknowledgement rule
+//! completes it (a plain `S − t` quorum in a stable epoch, a
+//! [`JointQuorum`] over both configurations in a transition epoch).
+//!
+//! Clients re-derive their round-trip scope from the view at the start of
+//! every operation, and — because every server reply is epoch-tagged past
+//! epoch 0 — *mid-round* the moment any reply carries a higher epoch than
+//! the scope was built from. The coordinator always installs the new view
+//! **before** announcing the epoch to servers, so by the time a client can
+//! observe an epoch, the view describing it is already readable: refresh
+//! never races ahead of the data it needs.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+use mwr_core::{JointQuorum, Router};
+use mwr_types::{ConfigEpoch, RegisterId, ServerId};
+
+/// How round-trips must cover the cluster in the current epoch.
+#[derive(Debug, Clone)]
+pub(crate) enum ViewPlan {
+    /// A stable epoch of a single-register cluster: broadcast to `targets`,
+    /// wait for `quorum` member replies.
+    Stable {
+        /// The member servers.
+        targets: Vec<ServerId>,
+        /// Replies required (`|targets| − t`).
+        quorum: usize,
+    },
+    /// A joint (transition) epoch of a single-register cluster: broadcast
+    /// to the union, complete on a quorum of **both** configurations.
+    Joint {
+        /// The two-sided acknowledgement rule.
+        joint: JointQuorum,
+    },
+    /// A stable epoch of a keyspace: each register's scope is its shard
+    /// group under `router`, with `quorum = g − t` replies.
+    StableKeyspace {
+        /// Routing over the current member set.
+        router: Router,
+        /// Per-group replies required (`g − t`).
+        quorum: usize,
+    },
+    /// A joint epoch of a keyspace: each register's scope is the union of
+    /// its old and new shard groups, with a `g − t` quorum required in each.
+    JointKeyspace {
+        /// Routing over the old member set.
+        old: Router,
+        /// Routing over the new member set.
+        new: Router,
+        /// Per-group replies required on each side (`g − t`).
+        quorum: usize,
+    },
+}
+
+/// One epoch's complete client-side description.
+#[derive(Debug, Clone)]
+pub(crate) struct ViewState {
+    pub(crate) epoch: ConfigEpoch,
+    pub(crate) plan: ViewPlan,
+}
+
+/// The pieces a client needs to rebuild its round-trip scope for one
+/// register (or the whole cluster) under the current epoch.
+#[derive(Debug, Clone)]
+pub(crate) struct ScopeParts {
+    pub(crate) epoch: ConfigEpoch,
+    pub(crate) targets: Vec<ServerId>,
+    pub(crate) quorum: usize,
+    pub(crate) joint: Option<JointQuorum>,
+}
+
+/// The live, shared configuration view. Cheap to poll (`epoch` is one
+/// atomic load) and cloned behind an [`Arc`] into every client the cluster
+/// mints.
+#[derive(Debug)]
+pub struct ClusterView {
+    /// Fast path: the current epoch, readable without the lock. Written
+    /// *after* `state` under the lock, so `epoch() ≥ state.epoch` is never
+    /// observed — a client that sees the new epoch finds the new state.
+    epoch: AtomicU32,
+    state: RwLock<ViewState>,
+}
+
+impl ClusterView {
+    pub(crate) fn new(state: ViewState) -> Arc<Self> {
+        Arc::new(ClusterView {
+            epoch: AtomicU32::new(state.epoch.get()),
+            state: RwLock::new(state),
+        })
+    }
+
+    /// A stable epoch-0 view of the contiguous cluster `{0..servers}`.
+    pub(crate) fn stable(targets: Vec<ServerId>, quorum: usize) -> Arc<Self> {
+        ClusterView::new(ViewState {
+            epoch: ConfigEpoch::ZERO,
+            plan: ViewPlan::Stable { targets, quorum },
+        })
+    }
+
+    /// A stable epoch-0 keyspace view.
+    pub(crate) fn stable_keyspace(router: Router, quorum: usize) -> Arc<Self> {
+        ClusterView::new(ViewState {
+            epoch: ConfigEpoch::ZERO,
+            plan: ViewPlan::StableKeyspace { router, quorum },
+        })
+    }
+
+    /// The current epoch (one atomic load — the per-operation check).
+    pub fn epoch(&self) -> ConfigEpoch {
+        ConfigEpoch::new(self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Installs a new epoch's state. The coordinator calls this *before*
+    /// announcing the epoch to any server, and the atomic is stored after
+    /// the state under the lock, so clients always find the state their
+    /// observed epoch describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch moves backwards — the coordinator drives epochs
+    /// strictly forward.
+    pub(crate) fn install(&self, state: ViewState) {
+        let mut guard = self.state.write().expect("view lock poisoned");
+        assert!(state.epoch > guard.epoch, "view epochs move strictly forward");
+        let raw = state.epoch.get();
+        *guard = state;
+        self.epoch.store(raw, Ordering::Release);
+    }
+
+    /// Rebuilds the scope pieces for `register` (`None`: the whole-cluster
+    /// legacy scope) under the current epoch.
+    pub(crate) fn scope_parts(&self, register: Option<RegisterId>) -> ScopeParts {
+        let state = self.state.read().expect("view lock poisoned");
+        let (targets, quorum, joint) = match (&state.plan, register) {
+            (ViewPlan::Stable { targets, quorum }, _) => (targets.clone(), *quorum, None),
+            (ViewPlan::Joint { joint }, _) => {
+                let targets = joint.union();
+                let quorum = joint.old_required().max(joint.new_required());
+                (targets, quorum, Some(joint.clone()))
+            }
+            (ViewPlan::StableKeyspace { router, quorum }, Some(register)) => {
+                (router.group_of(register), *quorum, None)
+            }
+            (ViewPlan::JointKeyspace { old, new, quorum }, Some(register)) => {
+                let joint = JointQuorum::new(
+                    old.group_of(register),
+                    *quorum,
+                    new.group_of(register),
+                    *quorum,
+                );
+                (joint.union(), *quorum, Some(joint))
+            }
+            // A keyspace view asked for a whole-cluster scope: the cluster
+            // facade never does this (every keyspace client is scoped to a
+            // register), but answer with the union of members defensively.
+            (ViewPlan::StableKeyspace { router, quorum }, None) => {
+                (router.member_ids().collect(), *quorum, None)
+            }
+            (ViewPlan::JointKeyspace { new, quorum, .. }, None) => {
+                (new.member_ids().collect(), *quorum, None)
+            }
+        };
+        ScopeParts { epoch: state.epoch, targets, quorum, joint }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<ServerId> {
+        raw.iter().copied().map(ServerId::new).collect()
+    }
+
+    #[test]
+    fn install_moves_epoch_forward_and_swaps_the_plan() {
+        let view = ClusterView::stable(ids(&[0, 1, 2]), 2);
+        assert_eq!(view.epoch(), ConfigEpoch::ZERO);
+        let parts = view.scope_parts(None);
+        assert_eq!((parts.targets, parts.quorum), (ids(&[0, 1, 2]), 2));
+        assert!(parts.joint.is_none());
+
+        let joint = JointQuorum::new(ids(&[0, 1, 2]), 2, ids(&[1, 2, 3]), 2);
+        view.install(ViewState {
+            epoch: ConfigEpoch::new(1),
+            plan: ViewPlan::Joint { joint: joint.clone() },
+        });
+        assert_eq!(view.epoch(), ConfigEpoch::new(1));
+        let parts = view.scope_parts(None);
+        assert_eq!(parts.targets, ids(&[0, 1, 2, 3]), "joint scope broadcasts to the union");
+        assert_eq!(parts.joint, Some(joint));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly forward")]
+    fn epochs_never_move_backwards() {
+        let view = ClusterView::stable(ids(&[0, 1]), 1);
+        view.install(ViewState {
+            epoch: ConfigEpoch::ZERO,
+            plan: ViewPlan::Stable { targets: ids(&[0, 1]), quorum: 1 },
+        });
+    }
+
+    #[test]
+    fn keyspace_scopes_are_per_register_groups() {
+        let old = Router::new(5, 3, 8);
+        let view = ClusterView::stable_keyspace(old, 2);
+        let k = RegisterId::new(7);
+        let parts = view.scope_parts(Some(k));
+        assert_eq!(parts.targets, old.group_of(k));
+        assert_eq!(parts.quorum, 2);
+
+        // Joint keyspace: union of the old and new groups, one g−t quorum
+        // required on each side.
+        let new = Router::with_members(((1u128 << 7) - 1) & !1, 3, 8);
+        view.install(ViewState {
+            epoch: ConfigEpoch::new(1),
+            plan: ViewPlan::JointKeyspace { old, new, quorum: 2 },
+        });
+        let parts = view.scope_parts(Some(k));
+        let joint = parts.joint.expect("joint window");
+        assert_eq!(joint.old_members(), old.group_of(k));
+        assert_eq!(joint.new_members(), new.group_of(k));
+        let mut union = old.group_of(k);
+        union.extend(new.group_of(k));
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(parts.targets, union);
+    }
+}

@@ -31,8 +31,8 @@ use std::fmt;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::{
-    ClientId, ProcessId, ReaderId, RegisterId, ServerId, Tag, TaggedValue, Value, WriterId,
-    WriterSlot,
+    ClientId, ConfigEpoch, ProcessId, ReaderId, RegisterId, ServerId, Tag, TaggedValue, Value,
+    WriterId, WriterSlot,
 };
 
 /// Errors produced while decoding a wire message.
@@ -258,6 +258,20 @@ wire_id!(ReaderId);
 wire_id!(WriterId);
 wire_id!(RegisterId);
 
+impl Wire for ConfigEpoch {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.get().encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        4
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(ConfigEpoch::new(u32::decode(buf)?))
+    }
+}
+
 impl Wire for ClientId {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -438,6 +452,8 @@ mod tests {
     #[test]
     fn domain_types_round_trip() {
         round_trip(&ServerId::new(3));
+        round_trip(&ConfigEpoch::ZERO);
+        round_trip(&ConfigEpoch::new(9));
         round_trip(&RegisterId::new(41));
         round_trip(&RegisterId::DEFAULT);
         round_trip(&ClientId::reader(1));

@@ -206,6 +206,19 @@ impl ClusterConfig {
     pub const fn processes(&self) -> usize {
         self.servers + self.readers + self.writers
     }
+
+    /// The configuration one reconfiguration epoch would commit: the same
+    /// `t`, `R`, `W` over a different server count — revalidated from
+    /// scratch, because `S` is a live correctness parameter (quorum size,
+    /// majority intersection and the fast-read bound all move with it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusterConfig::new`]: the target set must still assemble
+    /// quorums (`t < S'`, `S' ≥ 2`).
+    pub fn reconfigured(&self, servers: usize) -> Result<Self, ConfigError> {
+        ClusterConfig::new(servers, self.max_faults, self.readers, self.writers)
+    }
 }
 
 impl fmt::Display for ClusterConfig {
@@ -385,6 +398,24 @@ impl KeyspaceConfig {
     /// Iterates over all writer identifiers `w1 … wW`.
     pub fn writer_ids(&self) -> impl Iterator<Item = WriterId> + '_ {
         (0..self.writers as u32).map(WriterId::new)
+    }
+
+    /// The keyspace one reconfiguration epoch would commit: the same
+    /// `t`, `g`, shards, `R`, `W` over a different server count —
+    /// revalidated from scratch (the group must still fit: `g ≤ S'`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KeyspaceConfig::new`].
+    pub fn reconfigured(&self, servers: usize) -> Result<Self, ConfigError> {
+        KeyspaceConfig::new(
+            servers,
+            self.max_faults,
+            self.group_size,
+            self.shards,
+            self.readers,
+            self.writers,
+        )
     }
 }
 

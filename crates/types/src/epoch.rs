@@ -1,0 +1,87 @@
+//! Configuration epochs for live server-set reconfiguration.
+//!
+//! A [`ConfigEpoch`] names one generation of the cluster's server set. The
+//! initial deployment is epoch 0; every reconfiguration consumes two epochs —
+//! an odd *joint* epoch in which operations must gather a quorum in **both**
+//! the old and new configurations, and the even *committed* epoch that
+//! follows once joining servers hold a transferred state quorum. Epochs are
+//! carried in the wire-version-3 frame header ([`Msg::InEpoch`] in
+//! `mwr-core`); legacy v1/v2 frames decode as epoch 0, so a cluster that
+//! never reconfigures is byte-identical to one built before epochs existed.
+//!
+//! [`Msg::InEpoch`]: https://docs.rs/mwr-core
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One generation of the cluster's server-set configuration.
+///
+/// Totally ordered; servers and clients adopt the maximum epoch they have
+/// observed and never move backwards (monotonicity is property-tested in
+/// `tests/reconfig_properties.rs`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ConfigEpoch(u32);
+
+impl ConfigEpoch {
+    /// The initial deployment's epoch. Legacy frames (wire v1/v2) decode as
+    /// this epoch, and servers at this epoch emit legacy frames.
+    pub const ZERO: ConfigEpoch = ConfigEpoch(0);
+
+    /// Constructs an epoch from its raw generation number.
+    pub fn new(raw: u32) -> Self {
+        ConfigEpoch(raw)
+    }
+
+    /// The raw generation number.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The epoch after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow — 2³² generations exceeds any real deployment.
+    pub fn next(self) -> Self {
+        ConfigEpoch(self.0.checked_add(1).expect("ConfigEpoch overflow"))
+    }
+
+    /// `max(self, other)` — the adoption rule for every process: observing
+    /// a frame tagged with a higher epoch moves you forward, never back.
+    pub fn adopt(self, other: ConfigEpoch) -> Self {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for ConfigEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for ConfigEpoch {
+    fn from(raw: u32) -> Self {
+        ConfigEpoch(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_adoption() {
+        let e0 = ConfigEpoch::ZERO;
+        let e1 = e0.next();
+        let e2 = e1.next();
+        assert!(e0 < e1 && e1 < e2);
+        assert_eq!(e1.adopt(e0), e1, "adoption never regresses");
+        assert_eq!(e0.adopt(e2), e2);
+        assert_eq!(e2.get(), 2);
+        assert_eq!(format!("{e2}"), "e2");
+        assert_eq!(ConfigEpoch::from(7u32), ConfigEpoch::new(7));
+    }
+}

@@ -15,6 +15,9 @@
 //! - [`RegisterId`] and [`KeyspaceConfig`] — the sharded multi-register
 //!   keyspace vocabulary: many named registers, each an independent emulation
 //!   of the paper's model inside a rendezvous-chosen server group.
+//! - [`ConfigEpoch`] — one generation of the server set; live
+//!   reconfiguration moves the cluster through a joint epoch to a committed
+//!   one while clients keep serving.
 //! - [`codec`] — a small hand-rolled binary wire codec used by the TCP
 //!   transport (the offline dependency set has no serde binary format).
 //!
@@ -39,11 +42,13 @@
 
 pub mod codec;
 mod config;
+mod epoch;
 mod ids;
 mod tag;
 mod value;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder, ConfigError, KeyspaceConfig};
+pub use epoch::ConfigEpoch;
 pub use ids::{ClientId, ProcessId, ReaderId, RegisterId, ServerId, WriterId};
 pub use tag::{Tag, WriterSlot};
 pub use value::{TaggedValue, Value};

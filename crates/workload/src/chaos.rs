@@ -52,6 +52,11 @@ pub struct ChaosReport {
     pub rejoins: u32,
     /// Rejoin attempts refused (no fetch quorum of live peers).
     pub rejoin_failures: u32,
+    /// Committed live reconfigurations (joint-quorum handovers).
+    pub reconfigs: u32,
+    /// Reconfigurations refused (handover short of both quorums, or a
+    /// target shape that would not assemble quorums).
+    pub reconfig_failures: u32,
     /// Short-lived churn clients that joined (registered and read).
     pub churn_joined: u32,
     /// Churn clients that departed floor-safely (acknowledged by a
@@ -76,6 +81,7 @@ impl ChaosReport {
     /// joined also departed.
     pub fn healed(&self) -> bool {
         self.rejoin_failures == 0
+            && self.reconfig_failures == 0
             && self.steps_skipped == 0
             && self.failed_ops == 0
             && self.churn_joined == self.churn_departed
@@ -149,6 +155,8 @@ pub fn run_chaos_live<F: EndpointFactory>(
         crashes: 0,
         rejoins: 0,
         rejoin_failures: 0,
+        reconfigs: 0,
+        reconfig_failures: 0,
         churn_joined: 0,
         churn_departed: 0,
         churn_reads: 0,
@@ -279,6 +287,25 @@ pub fn run_chaos_live<F: EndpointFactory>(
                     }
                 }
                 FaultEvent::Delay(d) => thread::sleep(d),
+                FaultEvent::Reconfigure { add, remove } => {
+                    // Retire the lowest-indexed current members; refuse
+                    // (count, don't panic) if the target shape would not
+                    // assemble quorums.
+                    let members = cluster.members().to_vec();
+                    let removes: Vec<u32> =
+                        members.iter().copied().take(remove as usize).collect();
+                    let target = members.len() + add as usize - removes.len();
+                    if (add == 0 && removes.is_empty())
+                        || cluster.config().reconfigured(target).is_err()
+                    {
+                        report.reconfig_failures += 1;
+                        continue;
+                    }
+                    match cluster.reconfigure(add as usize, &removes) {
+                        Ok(_) => report.reconfigs += 1,
+                        Err(_) => report.reconfig_failures += 1,
+                    }
+                }
             }
         }
 
@@ -350,6 +377,52 @@ mod tests {
         assert_eq!(report.churn_departed, 25, "{report:?}");
         assert_eq!(report.churn_reads, 50, "{report:?}");
         assert!(report.healed(), "{report:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn reconfigure_swaps_members_mid_drive_without_failed_ops() {
+        let config = ClusterConfig::new(5, 1, 2, 1).unwrap();
+        let mut cluster =
+            RuntimeCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R1).unwrap();
+        let plan = FaultPlan::reconfigure(2, 2, 30);
+        let report = run_chaos_live(
+            &mut cluster,
+            FastWire::default(),
+            Some(Duration::from_secs(2)),
+            RetryPolicy { attempts: 4, backoff: Duration::from_millis(2) },
+            plan,
+            Duration::from_millis(400),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.reconfigs, 1, "{report:?}");
+        assert!(report.healed(), "{report:?}");
+        assert_eq!(report.live_servers, vec![2, 3, 4, 5, 6]);
+        assert_eq!(cluster.members(), &[2, 3, 4, 5, 6]);
+        assert!(report.throughput.ops() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn impossible_reconfigure_shape_is_refused_not_fatal() {
+        let mut cluster = cluster(); // S = 3, t = 1
+        // Removing two of three servers would leave S' = 1 ≤ 2t: refused.
+        let plan = FaultPlan::reconfigure(0, 2, 5);
+        let report = run_chaos_live(
+            &mut cluster,
+            FastWire::default(),
+            Some(Duration::from_secs(2)),
+            RetryPolicy::default(),
+            plan,
+            Duration::from_millis(200),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.reconfig_failures, 1, "{report:?}");
+        assert_eq!(report.reconfigs, 0);
+        assert!(!report.healed());
+        assert_eq!(cluster.members(), &[0, 1, 2]);
         cluster.shutdown();
     }
 

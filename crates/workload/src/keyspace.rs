@@ -15,6 +15,7 @@
 //! connections — the coalescing the keyspace frame header exists for.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -23,13 +24,18 @@ use rand::rngs::SmallRng;
 use rand::{SeedableRng, Zipf};
 
 use mwr_runtime::{
-    AuditTap, EndpointFactory, KeyspaceCluster, LiveReader, LiveWriter, RetryPolicy, RuntimeError,
+    AuditTap, EndpointFactory, FaultEvent, FaultPlan, FaultTrigger, KeyspaceCluster, LiveReader,
+    LiveWriter, RetryPolicy, RuntimeError,
 };
 use mwr_sim::SimTime;
 use mwr_types::{ReaderId, RegisterId, Value, WriterId};
 
+use crate::chaos::ChaosReport;
 use crate::live::ThroughputReport;
 use crate::stats::LatencyStats;
+
+/// How often the keyspace injector polls its current step's trigger.
+const TRIGGER_POLL: Duration = Duration::from_micros(200);
 
 /// Per-register audit wiring for the keyspace driver: atomicity is a
 /// per-register property, so each key's clients need that key's tap.
@@ -105,6 +111,10 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
     let group_config = config.group_config();
     let (write_mode, read_mode) =
         (cluster.protocol().write_mode(), cluster.protocol().read_mode());
+    // Clients watch the cluster view so a reconfiguration mid-drive
+    // refreshes their per-key server groups instead of stranding them on
+    // retired members.
+    let view = cluster.view();
 
     // Open every thread's endpoint up front so setup failures surface
     // before any thread spawns; per-key clients are minted lazily inside
@@ -132,6 +142,7 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
     thread::scope(|scope| {
         let mut write_threads = Vec::new();
         for (w, ep) in writer_eps {
+            let view = Arc::clone(&view);
             write_threads.push(scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(w) << 1));
                 let mut clients: BTreeMap<RegisterId, LiveWriter<Arc<F::Endpoint>>> =
@@ -148,6 +159,7 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
                             write_mode,
                         )
                         .with_scope(key, router.group_of(key))
+                        .with_view(Arc::clone(&view))
                         .with_retry(retry);
                         if let Some(t) = timeout {
                             c = c.with_timeout(t);
@@ -167,6 +179,7 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
         }
         let mut read_threads = Vec::new();
         for (r, ep) in reader_eps {
+            let view = Arc::clone(&view);
             read_threads.push(scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(r) << 1) ^ 1);
                 let mut clients: BTreeMap<RegisterId, LiveReader<Arc<F::Endpoint>>> =
@@ -182,6 +195,7 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
                             read_mode,
                         )
                         .with_scope(key, router.group_of(key))
+                        .with_view(Arc::clone(&view))
                         .with_retry(retry);
                         if let Some(t) = timeout {
                             c = c.with_timeout(t);
@@ -221,6 +235,305 @@ pub fn run_keyspace_open_loop_audited<F: EndpointFactory>(
     Ok(ThroughputReport { reads, writes, elapsed: start.elapsed() })
 }
 
+/// The Zipf-keyed open-loop drive with a deterministic [`FaultPlan`]
+/// executing against the keyspace cluster — the multi-register analogue of
+/// [`run_chaos_live`](crate::run_chaos_live). The injector walks the plan
+/// in order on the driving thread: crashes, quorum-state-transfer rejoins,
+/// churn bursts (short-lived readers of the hottest key on the reserved
+/// top reader slot), and live [`FaultEvent::Reconfigure`] handovers that
+/// add fresh servers and retire the lowest-indexed members while every
+/// per-key client keeps serving (clients watch the cluster view and
+/// re-derive their shard groups when the epoch moves).
+///
+/// Client threads never abort the drive on an operation error: failures
+/// are counted in the report, because the point of a chaos drive is to
+/// measure whether the keyed service stayed up.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] only for setup failures (a stable client
+/// endpoint that cannot open). Operation failures during the drive are
+/// counted, never returned.
+///
+/// # Panics
+///
+/// Panics if `keys` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_keyspace_chaos<F: EndpointFactory>(
+    cluster: &mut KeyspaceCluster<F>,
+    keys: usize,
+    zipf: f64,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+    plan: FaultPlan,
+    duration: Duration,
+    seed: u64,
+    tap_for: Option<TapFor<'_>>,
+) -> Result<ChaosReport, RuntimeError> {
+    assert!(keys > 0, "keyspace drive needs at least one key");
+    let config = cluster.config();
+    let law = Zipf::new(keys as u64, zipf);
+    let router = *cluster.router();
+    let group_config = config.group_config();
+    let (write_mode, read_mode) =
+        (cluster.protocol().write_mode(), cluster.protocol().read_mode());
+    let view = cluster.view();
+    let churny = plan.steps().iter().any(|s| matches!(s.event, FaultEvent::ChurnBurst { .. }));
+    let stable_readers =
+        if churny { config.readers().saturating_sub(1) } else { config.readers() };
+    let churn_slot = config.readers().saturating_sub(1) as u32;
+
+    let mut writer_eps = Vec::with_capacity(config.writers());
+    for w in 0..config.writers() as u32 {
+        let ep = cluster
+            .factory()
+            .open(WriterId::new(w).into())
+            .map_err(RuntimeError::from)?;
+        writer_eps.push((w, Arc::new(ep)));
+    }
+    let mut reader_eps = Vec::with_capacity(stable_readers);
+    for r in 0..stable_readers as u32 {
+        let ep = cluster
+            .factory()
+            .open(ReaderId::new(r).into())
+            .map_err(RuntimeError::from)?;
+        reader_eps.push((r, Arc::new(ep)));
+    }
+
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let start = Instant::now();
+    let (mut reads, mut writes) = (LatencyStats::new(), LatencyStats::new());
+    let mut report = ChaosReport {
+        throughput: ThroughputReport {
+            reads: LatencyStats::new(),
+            writes: LatencyStats::new(),
+            elapsed: Duration::ZERO,
+        },
+        crashes: 0,
+        rejoins: 0,
+        rejoin_failures: 0,
+        reconfigs: 0,
+        reconfig_failures: 0,
+        churn_joined: 0,
+        churn_departed: 0,
+        churn_reads: 0,
+        failed_ops: 0,
+        steps_skipped: 0,
+        live_servers: Vec::new(),
+    };
+
+    thread::scope(|scope| {
+        let completed = &completed;
+        let failed = &failed;
+        let mut write_threads = Vec::new();
+        for (w, ep) in writer_eps {
+            let view = Arc::clone(&view);
+            write_threads.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(w) << 1));
+                let mut clients: BTreeMap<RegisterId, LiveWriter<Arc<F::Endpoint>>> =
+                    BTreeMap::new();
+                let mut lat = LatencyStats::new();
+                let mut value = u64::from(w) * 1_000_000_000 + 1;
+                while start.elapsed() < duration {
+                    let key = RegisterId::new((law.sample(&mut rng) - 1) as u32);
+                    let client = clients.entry(key).or_insert_with(|| {
+                        let mut c = LiveWriter::new(
+                            Arc::clone(&ep),
+                            WriterId::new(w),
+                            group_config,
+                            write_mode,
+                        )
+                        .with_scope(key, router.group_of(key))
+                        .with_view(Arc::clone(&view))
+                        .with_retry(retry);
+                        if let Some(t) = timeout {
+                            c = c.with_timeout(t);
+                        }
+                        if let Some(tap_for) = tap_for {
+                            c = c.with_tap(tap_for(key));
+                        }
+                        c
+                    });
+                    let t0 = Instant::now();
+                    match client.write(Value::new(value)) {
+                        Ok(_) => {
+                            lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            value += 1;
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(TRIGGER_POLL);
+                        }
+                    }
+                }
+                lat
+            }));
+        }
+        let mut read_threads = Vec::new();
+        for (r, ep) in reader_eps {
+            let view = Arc::clone(&view);
+            read_threads.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(r) << 1) ^ 1);
+                let mut clients: BTreeMap<RegisterId, LiveReader<Arc<F::Endpoint>>> =
+                    BTreeMap::new();
+                let mut lat = LatencyStats::new();
+                while start.elapsed() < duration {
+                    let key = RegisterId::new((law.sample(&mut rng) - 1) as u32);
+                    let client = clients.entry(key).or_insert_with(|| {
+                        let mut c = LiveReader::new(
+                            Arc::clone(&ep),
+                            ReaderId::new(r),
+                            group_config,
+                            read_mode,
+                        )
+                        .with_scope(key, router.group_of(key))
+                        .with_view(Arc::clone(&view))
+                        .with_retry(retry);
+                        if let Some(t) = timeout {
+                            c = c.with_timeout(t);
+                        }
+                        if let Some(tap_for) = tap_for {
+                            c = c.with_tap(tap_for(key));
+                        }
+                        c
+                    });
+                    let t0 = Instant::now();
+                    match client.read() {
+                        Ok(_) => {
+                            lat.record(SimTime::from_ticks(t0.elapsed().as_micros() as u64));
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(TRIGGER_POLL);
+                        }
+                    }
+                }
+                lat
+            }));
+        }
+
+        // The injector: walks the plan in order while client threads run.
+        for step in plan.steps() {
+            let due = |now: Duration| match step.trigger {
+                FaultTrigger::Ops(n) => completed.load(Ordering::Relaxed) >= n,
+                FaultTrigger::Elapsed(d) => now >= d,
+            };
+            let mut fired = true;
+            loop {
+                let now = start.elapsed();
+                if due(now) {
+                    break;
+                }
+                if now >= duration {
+                    fired = false;
+                    break;
+                }
+                thread::sleep(TRIGGER_POLL);
+            }
+            if !fired {
+                report.steps_skipped += 1;
+                continue;
+            }
+            match step.event {
+                FaultEvent::CrashServer(idx) => {
+                    if cluster.live_servers().contains(&idx) {
+                        cluster.crash_server(idx);
+                        report.crashes += 1;
+                    }
+                }
+                FaultEvent::RejoinServer(idx) => {
+                    if cluster.live_servers().contains(&idx) {
+                        continue;
+                    }
+                    match cluster.rejoin_server(idx) {
+                        Ok(()) => report.rejoins += 1,
+                        Err(_) => report.rejoin_failures += 1,
+                    }
+                }
+                FaultEvent::ChurnBurst { clients, ops_each } => {
+                    // Each incarnation reads the hottest key (Zipf rank 1)
+                    // on the reserved top reader slot, then departs
+                    // floor-safely.
+                    let key = RegisterId::new(0);
+                    for _ in 0..clients {
+                        let Ok(ep) = cluster.factory().open(ReaderId::new(churn_slot).into())
+                        else {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        let mut client = LiveReader::new(
+                            ep,
+                            ReaderId::new(churn_slot),
+                            group_config,
+                            read_mode,
+                        )
+                        .with_scope(key, router.group_of(key))
+                        .with_view(Arc::clone(&view))
+                        .with_retry(retry);
+                        if let Some(t) = timeout {
+                            client = client.with_timeout(t);
+                        }
+                        report.churn_joined += 1;
+                        for _ in 0..ops_each {
+                            let t0 = Instant::now();
+                            match client.read() {
+                                Ok(_) => {
+                                    reads.record(SimTime::from_ticks(
+                                        t0.elapsed().as_micros() as u64,
+                                    ));
+                                    report.churn_reads += 1;
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        match client.depart() {
+                            Ok(()) => report.churn_departed += 1,
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                FaultEvent::Delay(d) => thread::sleep(d),
+                FaultEvent::Reconfigure { add, remove } => {
+                    let members = cluster.members();
+                    let removes: Vec<u32> =
+                        members.iter().copied().take(remove as usize).collect();
+                    let target = members.len() + add as usize - removes.len();
+                    if (add == 0 && removes.is_empty())
+                        || cluster.config().reconfigured(target).is_err()
+                    {
+                        report.reconfig_failures += 1;
+                        continue;
+                    }
+                    match cluster.reconfigure(add as usize, &removes) {
+                        Ok(_) => report.reconfigs += 1,
+                        Err(_) => report.reconfig_failures += 1,
+                    }
+                }
+            }
+        }
+
+        for t in write_threads {
+            writes.merge(&t.join().expect("keyspace writer thread panicked"));
+        }
+        for t in read_threads {
+            reads.merge(&t.join().expect("keyspace reader thread panicked"));
+        }
+    });
+
+    report.throughput = ThroughputReport { reads, writes, elapsed: start.elapsed() };
+    report.failed_ops = failed.load(Ordering::Relaxed);
+    report.live_servers = cluster.live_servers();
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +551,56 @@ mod tests {
                 .unwrap();
         assert!(report.reads.count() > 0 && report.writes.count() > 0);
         assert!(report.ops_per_sec() > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn keyspace_chaos_reconfigures_mid_drive_with_keys_serving() {
+        let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 1).unwrap();
+        let mut cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2Ra).unwrap();
+        let plan = FaultPlan::reconfigure(2, 2, 30);
+        let report = run_keyspace_chaos(
+            &mut cluster,
+            8,
+            1.1,
+            Some(Duration::from_secs(2)),
+            RetryPolicy { attempts: 4, backoff: Duration::from_millis(2) },
+            plan,
+            Duration::from_millis(400),
+            42,
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.reconfigs, 1, "{report:?}");
+        assert!(report.healed(), "{report:?}");
+        assert_eq!(cluster.members(), vec![2, 3, 4, 5, 6]);
+        assert!(report.throughput.ops() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn keyspace_chaos_churn_burst_departs_every_incarnation() {
+        let config = KeyspaceConfig::new(3, 1, 3, 4, 2, 1).unwrap();
+        let mut cluster =
+            KeyspaceCluster::start_on(InMemoryTransport::new(), config, Protocol::W2R2).unwrap();
+        let plan = FaultPlan::churn_storm(10, 2, 5);
+        let report = run_keyspace_chaos(
+            &mut cluster,
+            4,
+            0.0,
+            Some(Duration::from_secs(2)),
+            RetryPolicy::default(),
+            plan,
+            Duration::from_millis(300),
+            7,
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.churn_joined, 10, "{report:?}");
+        assert_eq!(report.churn_departed, 10, "{report:?}");
+        assert_eq!(report.churn_reads, 20, "{report:?}");
+        assert!(report.healed(), "{report:?}");
         cluster.shutdown();
     }
 

@@ -45,7 +45,9 @@ mod stats;
 mod table;
 
 pub use chaos::{run_chaos_live, ChaosReport};
-pub use keyspace::{run_keyspace_open_loop, run_keyspace_open_loop_audited, TapFor};
+pub use keyspace::{
+    run_keyspace_chaos, run_keyspace_open_loop, run_keyspace_open_loop_audited, TapFor,
+};
 pub use driver::{
     drive_closed_loop, run_closed_loop, run_closed_loop_customized, WorkloadReport, WorkloadSpec,
 };

@@ -158,3 +158,134 @@ fn audited_multi_key_crash_rejoin_over_tcp() {
         assert!(report.stats.audited > 0, "register {key} audited no operations");
     }
 }
+
+/// The keyspace analogue of the register-level reconfiguration test: two
+/// fresh servers join and two originals retire through the per-shard
+/// joint-quorum handover while writer and reader threads hammer four
+/// registers. Pre-handover clients must keep serving (they re-derive
+/// their shard groups when the config epoch moves), every register must
+/// stay atomic and inside its own namespace, no register's tags may move
+/// backwards across the handover (per-shard state transfer must not bleed
+/// another key's GC floor), and the retired servers must leave the member
+/// set entirely.
+#[test]
+fn audited_multi_key_reconfigure_over_tcp() {
+    let config = KeyspaceConfig::new(5, 1, 3, 8, 2, 2).unwrap();
+    // The fault-window client idiom: short per-round timeouts with many
+    // retries, so rounds whose frames died with a retiring server re-
+    // broadcast against the refreshed shard groups.
+    let mut handle = Keyspace::new(config)
+        .audit(AuditConfig::default())
+        .timeout(Duration::from_millis(400))
+        .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) })
+        .tcp()
+        .unwrap();
+
+    let mut writers = Vec::new();
+    for idx in 0..2u32 {
+        let mut per_key = Vec::new();
+        for &k in &KEYS {
+            per_key.push((k, handle.writer(idx, RegisterId::new(k)).unwrap()));
+        }
+        writers.push(per_key);
+    }
+    let mut readers = Vec::new();
+    for idx in 0..2u32 {
+        let mut per_key = Vec::new();
+        for &k in &KEYS {
+            per_key.push((k, handle.reader(idx, RegisterId::new(k)).unwrap()));
+        }
+        readers.push(per_key);
+    }
+
+    let stop = AtomicBool::new(false);
+    let (write_counts, read_counts) = thread::scope(|s| {
+        let mut write_handles = Vec::new();
+        for mut per_key in writers.drain(..) {
+            write_handles.push(s.spawn({
+                let stop = &stop;
+                move || {
+                    let mut seq = 0u64;
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for (k, w) in &mut per_key {
+                            seq += 1;
+                            let value = Value::new(u64::from(*k) * NAMESPACE + seq);
+                            w.write(value).expect("write survives the handover");
+                            ops += 1;
+                        }
+                    }
+                    ops
+                }
+            }));
+        }
+        let mut read_handles = Vec::new();
+        for mut per_key in readers.drain(..) {
+            read_handles.push(s.spawn({
+                let stop = &stop;
+                move || {
+                    // Per-key high-water tag: a register's view must never
+                    // move backwards across the handover, or the shard
+                    // transfer resurrected pruned state or leaked another
+                    // register's floor.
+                    let mut last_tag: Vec<Tag> = vec![Tag::initial(); per_key.len()];
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for (i, (k, r)) in per_key.iter_mut().enumerate() {
+                            let got = r.read().expect("read survives the handover");
+                            if got.value() != Value::new(0) {
+                                assert_eq!(
+                                    key_of(got.value()),
+                                    u64::from(*k),
+                                    "register {k} returned another key's value {}",
+                                    got.value()
+                                );
+                            }
+                            assert!(
+                                got.tag() >= last_tag[i],
+                                "register {k} moved backwards: {:?} after {:?}",
+                                got.tag(),
+                                last_tag[i]
+                            );
+                            last_tag[i] = got.tag();
+                            ops += 1;
+                        }
+                    }
+                    ops
+                }
+            }));
+        }
+
+        // Traffic over the original members → live handover (servers 5
+        // and 6 join, 0 and 1 retire, every shard's state moves under
+        // load) → traffic over the new member set → stop.
+        thread::sleep(Duration::from_millis(200));
+        let added = handle.reconfigure(2, &[0, 1]).expect("every shard's transfer quorum answers");
+        assert_eq!(added, vec![5, 6], "two fresh servers joined");
+        thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+
+        let writes: u64 = write_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let reads: u64 = read_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (writes, reads)
+    });
+
+    assert!(write_counts > 0, "writers made progress through the handover");
+    assert!(read_counts > 0, "readers made progress through the handover");
+    assert_eq!(handle.members(), vec![2, 3, 4, 5, 6], "originals 0 and 1 retired");
+    assert_eq!(handle.live_servers(), vec![2, 3, 4, 5, 6]);
+
+    let (handled, verdicts) = handle.shutdown_audited();
+    assert!(handled > 0, "servers handled requests");
+    let audited_keys: Vec<u32> = verdicts.keys().map(|k| k.index()).collect();
+    let mut expected = KEYS.to_vec();
+    expected.sort_unstable();
+    assert_eq!(audited_keys, expected, "exactly the touched registers were audited");
+    for (key, report) in &verdicts {
+        assert!(
+            report.verdict.is_ok(),
+            "register {key} not atomic across the handover: {report}"
+        );
+        assert!(report.stats.audited > 0, "register {key} audited no operations");
+    }
+}

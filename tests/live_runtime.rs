@@ -534,3 +534,91 @@ fn tcp_crashed_minority_does_not_block_fast_reads() {
     assert_eq!(r.read().unwrap(), after, "crashed TCP minority must not block the fast read");
     cluster.shutdown();
 }
+
+/// A live joint-quorum reconfiguration over TCP, fully audited: two fresh
+/// servers join and two originals retire mid-traffic (audit sample 1.0).
+/// The handover must commit exactly once with zero failed operations and
+/// zero linearizability violations, pre-handover clients keep serving
+/// across the epoch change, and the removed servers' sockets are fully
+/// torn down — their registry entries vanish and their old addresses
+/// refuse connections.
+#[test]
+fn audited_reconfigure_over_tcp_swaps_servers_mid_traffic() {
+    let config = ClusterConfig::new(5, 1, 2, 2).unwrap();
+    let mut cluster = Deployment::new(config)
+        .protocol(Protocol::W2R1)
+        .backend(Backend::Tcp)
+        .timeout(Duration::from_millis(400))
+        .retry(RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) })
+        .audit(AuditConfig { sample_rate: 1.0, window: 64, ..AuditConfig::default() })
+        .inject(FaultPlan::reconfigure(2, 2, 150))
+        .tcp()
+        .unwrap();
+
+    // The plan removes the two lowest members (0 and 1): capture their
+    // bound addresses before the drive so the teardown is checkable.
+    let removed_addrs: Vec<_> = [0u32, 1]
+        .iter()
+        .map(|&s| {
+            cluster
+                .cluster()
+                .factory()
+                .lookup(ProcessId::server(s))
+                .expect("original server is registered")
+        })
+        .collect();
+
+    let report = cluster.run_chaos(Duration::from_secs(4)).unwrap();
+    assert_eq!(report.reconfigs, 1, "exactly one committed handover: {report:?}");
+    assert_eq!(report.reconfig_failures, 0, "{report:?}");
+    assert_eq!(report.failed_ops, 0, "zero failed client operations: {report:?}");
+    assert!(report.healed(), "{report:?}");
+    assert_eq!(
+        report.live_servers,
+        vec![2, 3, 4, 5, 6],
+        "originals 0 and 1 retired, joiners 5 and 6 serving: {report:?}"
+    );
+    assert!(report.throughput.ops() > 0);
+
+    // Socket teardown: the registry forgot the removed servers...
+    for s in [0u32, 1] {
+        assert!(
+            cluster.cluster().factory().lookup(ProcessId::server(s)).is_none(),
+            "removed server {s} still registered after the handover"
+        );
+    }
+    // ...and their listeners are gone — the old addresses refuse.
+    for addr in removed_addrs {
+        assert!(
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "removed server's listener at {addr} still accepts connections"
+        );
+    }
+
+    // The post-handover configuration serves quorums on its own, and the
+    // whole drive — including the joint window — was atomic.
+    let runtime = cluster.cluster();
+    let retry = RetryPolicy { attempts: 10, backoff: Duration::from_millis(10) };
+    let mut w = runtime
+        .writer(0)
+        .unwrap()
+        .with_timeout(Duration::from_millis(400))
+        .with_retry(retry);
+    let mut r = runtime
+        .reader(0)
+        .unwrap()
+        .with_timeout(Duration::from_millis(400))
+        .with_retry(retry);
+    let written = w.write(Value::new(4242)).unwrap();
+    assert!(r.read().unwrap() >= written, "the new server set forms a serving quorum");
+    drop((w, r));
+
+    let (_handled, audit) = cluster.shutdown_audited();
+    let audit = audit.expect("deployment was armed with an auditor");
+    assert!(
+        audit.verdict.is_ok(),
+        "reconfiguration traffic must stay atomic: {audit}; {:?}",
+        audit.verdict
+    );
+    assert!(audit.stats.audited > 0, "the drive's clients were tapped: {audit}");
+}

@@ -1,0 +1,350 @@
+//! Property-based coverage for live server-set reconfiguration: the
+//! config-epoch lattice, the joint-quorum acknowledgement rule, epoch
+//! monotonicity under random add/remove/crash interleavings on a live
+//! cluster, and GC-floor safety across the handover's state transfer.
+//!
+//! - the epoch adoption rule is a join: observing any frame moves a
+//!   process forward, never back, and `next` is strictly increasing;
+//! - a joint-window round terminates **only** with a quorum of the old
+//!   configuration *and* a quorum of the new one — strangers never count,
+//!   and extra acknowledgements never un-satisfy a round;
+//! - on a live in-memory cluster, random interleavings of writes, reads,
+//!   joint-quorum reconfigurations, and crash/rejoin cycles leave the
+//!   epoch monotone (+2 per committed handover: joint, then stable), the
+//!   member list equal to the live server set, and every read returning
+//!   the last written value;
+//! - a joiner installed from a transfer quorum adopts a GC floor no lower
+//!   than its donors' and resurrects nothing beneath it — the floor a
+//!   slot serves never regresses across the epoch change.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mwr::core::{JointQuorum, ServerState};
+use mwr::register::{Backend, Deployment, Protocol, RetryPolicy};
+use mwr::types::{
+    ClientId, ClusterConfig, ConfigEpoch, ServerId, Tag, TaggedValue, Value, WriterId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `adopt` is max: it never moves a process backward, and `next` is
+    /// strictly increasing — together, every epoch a process holds is the
+    /// supremum of everything it has observed.
+    #[test]
+    fn epoch_adoption_is_a_monotone_join(a in 0u32..1000, b in 0u32..1000) {
+        let (ea, eb) = (ConfigEpoch::new(a), ConfigEpoch::new(b));
+        let adopted = ea.adopt(eb);
+        prop_assert!(adopted >= ea && adopted >= eb);
+        prop_assert_eq!(adopted.get(), a.max(b));
+        prop_assert_eq!(ea.adopt(eb), eb.adopt(ea));
+        prop_assert!(ea.next() > ea);
+        // Re-observing anything already adopted is a no-op.
+        prop_assert_eq!(adopted.adopt(ea).adopt(eb), adopted);
+    }
+
+    /// The joint window's only termination rule: a quorum of the old
+    /// configuration AND a quorum of the new one. Acks from servers in
+    /// neither configuration never help, and acknowledgements are
+    /// monotone — growing the ack set cannot un-satisfy a round.
+    #[test]
+    fn joint_quorum_commit_requires_both_quorums(
+        old_raw in proptest::collection::vec(0u32..12, 3..7),
+        new_raw in proptest::collection::vec(0u32..12, 3..7),
+        ack_raw in proptest::collection::vec(0u32..16, 0..14),
+        extra in 0u32..16,
+    ) {
+        // Dedup, padding degenerate draws back to two members so the
+        // t = 1 quorum arithmetic below stays well-defined.
+        let dedup = |raw: &[u32], pad: u32| {
+            let mut set: BTreeSet<u32> = raw.iter().copied().collect();
+            for extra in pad.. {
+                if set.len() >= 2 {
+                    break;
+                }
+                set.insert(extra);
+            }
+            set.into_iter().map(ServerId::new).collect::<Vec<_>>()
+        };
+        let (old, new) = (dedup(&old_raw, 100), dedup(&new_raw, 200));
+        let ack_raw: BTreeSet<u32> = ack_raw.into_iter().collect();
+        // The paper's majority quorums at t = 1: |C| − 1 of each side.
+        let (old_req, new_req) = (old.len() - 1, new.len() - 1);
+        let joint = JointQuorum::new(old.clone(), old_req, new.clone(), new_req);
+
+        let acks: Vec<ServerId> = ack_raw.iter().map(|&s| ServerId::new(s)).collect();
+        let old_got = acks.iter().filter(|s| old.contains(s)).count();
+        let new_got = acks.iter().filter(|s| new.contains(s)).count();
+        let expect = old_got >= old_req && new_got >= new_req;
+        prop_assert_eq!(
+            joint.satisfied(acks.iter().copied()), expect,
+            "old {}/{}, new {}/{}", old_got, old_req, new_got, new_req
+        );
+
+        // Monotone: one more ack (member or stranger) never un-satisfies.
+        if expect {
+            let mut more = acks.clone();
+            more.push(ServerId::new(extra));
+            prop_assert!(joint.satisfied(more.iter().copied()));
+        }
+
+        // The broadcast target covers every server either quorum needs.
+        let union = joint.union();
+        prop_assert!(old.iter().chain(new.iter()).all(|s| union.contains(s)));
+        prop_assert!(joint.satisfied(union.iter().copied()));
+    }
+}
+
+/// One step of the live interleaving: the raw tuple form keeps the
+/// strategy flat and shrinkable.
+#[derive(Debug, Clone, Copy)]
+enum LiveOp {
+    Write,
+    Read,
+    Reconfigure { add: usize, remove: usize },
+    CrashRejoin(u32),
+}
+
+fn arb_live_ops(max: usize) -> impl Strategy<Value = Vec<LiveOp>> {
+    proptest::collection::vec((0u32..4, 0usize..=2, 0usize..=2, 0u32..8), 1..max).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, add, remove, s)| match kind {
+                    0 => LiveOp::Write,
+                    1 => LiveOp::Read,
+                    2 => LiveOp::Reconfigure { add, remove },
+                    _ => LiveOp::CrashRejoin(s),
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    // Every case deploys a real threaded cluster; a handful of cases with
+    // short interleavings covers the orderings without minutes of wall
+    // clock.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Epochs only ever advance (+2 per committed handover), the member
+    /// list always equals the live server set, and a single writer's
+    /// reads stay exact through every reconfiguration and crash.
+    #[test]
+    fn live_epochs_and_members_stay_consistent_under_reconfiguration(
+        ops in arb_live_ops(8)
+    ) {
+        let config = ClusterConfig::new(5, 1, 2, 2).expect("valid config");
+        let mut handle = Deployment::new(config)
+            .protocol(Protocol::W2Ra)
+            .backend(Backend::InMemory)
+            .timeout(Duration::from_secs(2))
+            .retry(RetryPolicy { attempts: 6, backoff: Duration::from_millis(2) })
+            .in_memory()
+            .expect("in-memory cluster");
+        let mut writer = handle.writer(0).expect("writer 0");
+        let mut reader = handle.reader(0).expect("reader 0");
+
+        let mut last: Option<TaggedValue> = None;
+        let mut epoch = handle.cluster().epoch();
+        let mut next_value = 0u64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                LiveOp::Write => {
+                    next_value += 1;
+                    last = Some(writer.write(Value::new(next_value)).expect("write"));
+                }
+                LiveOp::Read => {
+                    let got = reader.read().expect("read");
+                    if let Some(expected) = last {
+                        prop_assert_eq!(
+                            got, expected,
+                            "step {}: read diverged from the last write", step
+                        );
+                    }
+                }
+                LiveOp::Reconfigure { add, remove } => {
+                    let members = handle.members();
+                    let removes: Vec<u32> = members.iter().copied().take(remove).collect();
+                    let target = members.len() + add - removes.len();
+                    // Skip no-ops and shapes the configuration refuses
+                    // (too few servers for t, or unbounded growth).
+                    if (add == 0 && removes.is_empty())
+                        || !(3..=8).contains(&target)
+                        || handle.config().reconfigured(target).is_err()
+                    {
+                        continue;
+                    }
+                    let before = handle.cluster().epoch().get();
+                    match handle.reconfigure(add, &removes) {
+                        Ok(added) => {
+                            prop_assert_eq!(added.len(), add);
+                            prop_assert_eq!(
+                                handle.cluster().epoch().get(), before + 2,
+                                "step {}: committed handover must land joint+stable", step
+                            );
+                            prop_assert_eq!(handle.members().len(), target);
+                            prop_assert!(
+                                removes.iter().all(|r| !handle.members().contains(r)),
+                                "step {}: removed members survived the handover", step
+                            );
+                        }
+                        Err(_) => {
+                            // A refused handover rolls forward to a stable
+                            // epoch over the old members — never back.
+                            prop_assert!(handle.cluster().epoch().get() >= before);
+                            prop_assert_eq!(handle.members().len(), members.len());
+                        }
+                    }
+                }
+                LiveOp::CrashRejoin(s) => {
+                    let members = handle.members();
+                    let id = members[s as usize % members.len()];
+                    handle.crash_server(id);
+                    handle.rejoin_server(id).expect("rejoin with live quorum");
+                }
+            }
+
+            let now = handle.cluster().epoch();
+            prop_assert!(
+                now >= epoch,
+                "step {}: epoch regressed from {} to {} after {:?}", step, epoch, now, op
+            );
+            epoch = now;
+            let mut live = handle.live_servers();
+            live.sort_unstable();
+            prop_assert_eq!(
+                live, handle.members(),
+                "step {}: live servers diverged from the member list after {:?}", step, op
+            );
+        }
+
+        // The surviving configuration still serves.
+        next_value += 1;
+        let written = writer.write(Value::new(next_value)).expect("final write");
+        prop_assert_eq!(reader.read().expect("final read"), written);
+        drop((writer, reader));
+        handle.shutdown();
+    }
+}
+
+const XFER_SERVERS: usize = 3;
+const XFER_CLIENTS: u32 = 3;
+/// R + W for the GC population: three readers plus the single writer.
+const XFER_POPULATION: usize = XFER_CLIENTS as usize + 1;
+
+/// One step of the state-transfer interleaving.
+#[derive(Debug, Clone, Copy)]
+enum XferOp {
+    /// A client's first contact: every server notes it in GC membership.
+    Join(u32),
+    /// The writer registers the next value everywhere.
+    Write,
+    /// A joined client reports the latest value as its completed floor.
+    Floor(u32),
+    /// Slot `s` is handed to a **brand-new joiner** (the reconfiguration
+    /// add path: spawned empty, installed from a transfer quorum of the
+    /// surviving peers) — unlike a rejoin, there is no prior incarnation.
+    Handover(u32),
+}
+
+fn arb_xfer_ops(max: usize) -> impl Strategy<Value = Vec<XferOp>> {
+    proptest::collection::vec((0u32..4, 0u32..XFER_CLIENTS, 0u32..XFER_SERVERS as u32), 1..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(kind, c, s)| match kind {
+                    0 => XferOp::Join(c),
+                    1 => XferOp::Write,
+                    2 => XferOp::Floor(c),
+                    _ => XferOp::Handover(s),
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The handover's state transfer preserves GC safety: a joiner
+    /// installed from a quorum of donors adopts a floor no lower than any
+    /// donor's, stores nothing beneath it (no resurrection), and the
+    /// floor served from each slot stays monotone across the epoch
+    /// change and every event after it.
+    #[test]
+    fn transferred_floors_stay_monotone_across_handovers(ops in arb_xfer_ops(40)) {
+        let writer = ClientId::writer(0);
+        let mut servers: Vec<ServerState> =
+            (0..XFER_SERVERS).map(|_| ServerState::with_gc(XFER_POPULATION)).collect();
+        let mut joined: BTreeSet<u32> = BTreeSet::new();
+        let mut floors: Vec<TaggedValue> = vec![TaggedValue::initial(); XFER_SERVERS];
+        let mut ts = 0u64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                XferOp::Join(c) => {
+                    for s in &mut servers {
+                        s.note_contact(ClientId::reader(c));
+                    }
+                    joined.insert(c);
+                }
+                XferOp::Write => {
+                    ts += 1;
+                    let tv = TaggedValue::new(Tag::new(ts, WriterId::new(0)), Value::new(ts));
+                    for s in &mut servers {
+                        s.update(tv, writer);
+                    }
+                }
+                XferOp::Floor(c) => {
+                    if joined.contains(&c) {
+                        let floor = servers[0].latest();
+                        for s in &mut servers {
+                            s.record_floor(ClientId::reader(c), floor);
+                        }
+                    }
+                }
+                XferOp::Handover(idx) => {
+                    let idx = idx as usize;
+                    let transfers: Vec<_> = (0..XFER_SERVERS)
+                        .filter(|&p| p != idx)
+                        .map(|p| servers[p].export())
+                        .collect();
+                    let donor_floor =
+                        transfers.iter().map(|t| t.pruned).max().expect("donors");
+                    // A joiner is a fresh process: version beacon 0.
+                    let mut fresh = ServerState::with_gc(XFER_POPULATION);
+                    fresh.install(0, &transfers);
+                    prop_assert!(
+                        fresh.pruned_floor() >= donor_floor,
+                        "step {step}: joiner floor {:?} below its donors' {:?}",
+                        fresh.pruned_floor(), donor_floor
+                    );
+                    servers[idx] = fresh;
+                }
+            }
+
+            for (i, s) in servers.iter().enumerate() {
+                // The floor served from each slot is monotone through
+                // every event — handovers included: the epoch change
+                // never regresses GC.
+                prop_assert!(
+                    s.pruned_floor() >= floors[i],
+                    "step {step}: slot {i} floor regressed from {:?} to {:?} after {op:?}",
+                    floors[i], s.pruned_floor()
+                );
+                floors[i] = s.pruned_floor();
+                // No resurrection: nothing stored below the floor except
+                // the protocol-mandated latest.
+                let t = s.export();
+                prop_assert!(
+                    t.entries.iter().all(|rec| {
+                        rec.value >= s.pruned_floor() || rec.value == s.latest()
+                    }),
+                    "step {step}: slot {i} stores a value below its floor after {op:?}"
+                );
+            }
+        }
+    }
+}

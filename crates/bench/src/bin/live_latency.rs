@@ -195,11 +195,11 @@ fn row_plan(config: &ClusterConfig) -> Vec<(Protocol, FastWire, String)> {
     let mut plan = Vec::new();
     for protocol in protocols(config) {
         let label = if protocol == Protocol::W2R1 {
-            format!("{} delta+gc", protocol.name())
+            format!("{} delta+runs", protocol.name())
         } else {
             protocol.name().to_string()
         };
-        plan.push((protocol, FastWire::Delta, label));
+        plan.push((protocol, FastWire::default(), label));
         if protocol == Protocol::W2R1 {
             plan.push((protocol, FastWire::FullInfo, format!("{} full-info", protocol.name())));
         }
@@ -260,6 +260,7 @@ fn growth_run(
         wire: match wire {
             FastWire::FullInfo => "full-info",
             FastWire::Delta => "delta+gc",
+            FastWire::Runs => "delta+runs",
         },
         first: window(&samples[..WINDOW]),
         last: window(&samples[GROWTH_OPS - WINDOW..]),
@@ -288,7 +289,7 @@ fn growth_on<F: EndpointFactory>(
 fn growth_experiments() -> Vec<Growth> {
     let config = ClusterConfig::new(5, 1, 1, 1).expect("valid growth config");
     let mut out = Vec::new();
-    for wire in [FastWire::FullInfo, FastWire::Delta] {
+    for wire in [FastWire::FullInfo, FastWire::Delta, FastWire::Runs] {
         let deployment = Deployment::new(config).protocol(Protocol::W2R1).fast_wire(wire);
         out.push(growth_on(
             deployment.backend(Backend::InMemory).in_memory().expect("in-memory cluster"),

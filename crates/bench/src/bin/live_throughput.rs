@@ -8,12 +8,17 @@
 //! every client open-loop — back-to-back operations, load fixed by the
 //! population, not by a think-time schedule.
 //!
-//! On TCP every sweep point runs twice: once through the per-peer writer
-//! pipelines (coalesced frames, reusable buffers) and once through the
-//! pre-pipeline legacy send path (`TcpTuning::legacy_send`), so the
-//! before/after of the transport rework is measured by the same binary.
-//! The most contended point's pipeline/legacy ratio is reported as the
-//! headline speedup.
+//! On TCP every sweep point runs three times: through the shared
+//! readiness-based reader (`shared`, the default receive path — one poll
+//! loop drains every accepted socket), through the per-peer writer
+//! pipelines with thread-per-connection readers (`pipeline`,
+//! `TcpTuning::shared_reader = false`), and through the pre-pipeline
+//! legacy send path (`legacy`, `TcpTuning::legacy_send`), so both
+//! transport reworks are measured before/after by the same binary. The
+//! most contended point's pipeline/legacy ratio stays the historical
+//! headline; shared rows additionally report the poll wake-per-frame
+//! ratio, and the W2R1-vs-W2R2 contended shared-reader ratio is the
+//! paper-claim headline.
 //!
 //! The cluster is S = 11, t = 1: large enough that W2R1's fast-read
 //! condition `R < S/t − 2 = 9` still holds at the sweep's maximum R = 8.
@@ -70,7 +75,7 @@ use mwr_keyspace::{Keyspace, KeyspaceHandle};
 use mwr_register::{
     AuditConfig, AuditReport, Backend, Deployment, FaultPlan, LiveHandle, RetryPolicy, TcpTuning,
 };
-use mwr_runtime::EndpointFactory;
+use mwr_runtime::{EndpointFactory, ReaderStats};
 use mwr_types::{ClusterConfig, KeyspaceConfig};
 use mwr_workload::{TextTable, ThroughputReport};
 
@@ -91,9 +96,14 @@ struct Row {
     rd_p50_us: u64,
     rd_p99_us: u64,
     audit: Option<AuditReport>,
+    /// Deployment-wide shared-reader counters, on `shared` TCP rows only:
+    /// the wake-per-frame ratio is the syscall economy the readiness
+    /// reader buys over thread-per-connection wakeups.
+    reader: Option<ReaderStats>,
 }
 
 impl Row {
+    #[allow(clippy::too_many_arguments)]
     fn from_report(
         transport: &'static str,
         send_path: &'static str,
@@ -102,6 +112,7 @@ impl Row {
         readers: usize,
         mut report: ThroughputReport,
         audit: Option<AuditReport>,
+        reader: Option<ReaderStats>,
     ) -> Row {
         Row {
             transport,
@@ -116,7 +127,15 @@ impl Row {
             rd_p50_us: report.reads.percentile(50.0).ticks(),
             rd_p99_us: report.reads.percentile(99.0).ticks(),
             audit,
+            reader,
         }
+    }
+
+    /// Poll wake-ups per decoded frame across the whole deployment; < 1.0
+    /// means one `poll` wake drained multiple frames.
+    fn wakes_per_frame(&self) -> Option<f64> {
+        let r = self.reader?;
+        (r.frames > 0).then(|| r.wakes as f64 / r.frames as f64)
     }
 
     fn cells(&self) -> Vec<String> {
@@ -131,6 +150,7 @@ impl Row {
             self.wr_p99_us.to_string(),
             self.rd_p50_us.to_string(),
             self.rd_p99_us.to_string(),
+            self.wakes_per_frame().map_or_else(|| "-".into(), |w| format!("{w:.3}")),
         ]
     }
 }
@@ -159,13 +179,30 @@ fn measure_point(
     if let Some(cfg) = audit {
         deployment = deployment.audit(cfg);
     }
+    let mut reader = None;
     let (report, audit) = match send_path {
         "channel" => drive_on(
             deployment.backend(Backend::InMemory).in_memory().expect("in-memory cluster"),
             duration,
         ),
+        // The default tuning: shared readiness-based reader. Snapshot the
+        // deployment-wide reader counters before shutdown so this row
+        // carries its own traffic's wake-per-frame ratio.
+        "shared" => {
+            let handle = deployment.backend(Backend::Tcp).tcp().expect("tcp cluster");
+            let report = handle.run_open_loop(duration).expect("open-loop drive");
+            reader = Some(handle.cluster().factory().reader_totals());
+            let (_handled, audit) = handle.shutdown_audited();
+            (report, audit)
+        }
+        // Thread-per-connection readers with the per-peer writer
+        // pipelines: the pre-shared-reader receive path.
         "pipeline" => drive_on(
-            deployment.backend(Backend::Tcp).tcp().expect("tcp cluster"),
+            deployment
+                .backend(Backend::Tcp)
+                .tcp_tuning(TcpTuning { shared_reader: false, ..TcpTuning::default() })
+                .tcp()
+                .expect("tcp cluster (per-connection readers)"),
             duration,
         ),
         "legacy" => drive_on(
@@ -178,7 +215,7 @@ fn measure_point(
         ),
         other => unreachable!("unknown send path {other}"),
     };
-    Row::from_report(transport, send_path, protocol, writers, readers, report, audit)
+    Row::from_report(transport, send_path, protocol, writers, readers, report, audit, reader)
 }
 
 /// The audit-overhead pair: the most contended in-memory point driven
@@ -783,8 +820,9 @@ fn measure_keyspace_point(
             "channel",
             drive_keyspace(blueprint.in_memory().expect("in-memory keyspace"), keys, zipf, duration),
         ),
+        // Default tuning — the shared readiness-based reader.
         "tcp" => (
-            "pipeline",
+            "shared",
             drive_keyspace(blueprint.tcp().expect("tcp keyspace"), keys, zipf, duration),
         ),
         other => unreachable!("unknown keyspace transport {other}"),
@@ -983,12 +1021,24 @@ fn run_keyspace_mode(
     std::process::exit(0);
 }
 
+/// The contended shared-reader W2R1-vs-W2R2 comparison — the paper-claim
+/// headline (fast one-round reads should win under full contention).
+struct ProtocolHeadline {
+    writers: usize,
+    readers: usize,
+    w2r1_ops_per_sec: f64,
+    w2r2_ops_per_sec: f64,
+    ratio: f64,
+}
+
 /// Hand-rolled JSON (the workspace vendors no serde_json).
 fn to_json(
     duration: Duration,
     rows: &[Row],
     headline: &[(Protocol, f64, f64, f64)],
     geomean: f64,
+    shared_geomean: Option<f64>,
+    protocol_headline: Option<&ProtocolHeadline>,
     audit: Option<&AuditOverhead>,
 ) -> String {
     let mut s = String::new();
@@ -996,6 +1046,17 @@ fn to_json(
     let _ = writeln!(s, "  \"duration_ms\": {},", duration.as_millis());
     let _ = writeln!(s, "  \"servers\": {SERVERS},");
     let _ = writeln!(s, "  \"geomean_pipeline_over_legacy\": {geomean:.2},");
+    if let Some(g) = shared_geomean {
+        let _ = writeln!(s, "  \"geomean_shared_over_pipeline\": {g:.2},");
+    }
+    if let Some(p) = protocol_headline {
+        let _ = writeln!(
+            s,
+            "  \"contended_shared_w2r1_over_w2r2\": {{\"writers\": {}, \"readers\": {}, \
+             \"w2r1_ops_per_sec\": {:.1}, \"w2r2_ops_per_sec\": {:.1}, \"ratio\": {:.2}}},",
+            p.writers, p.readers, p.w2r1_ops_per_sec, p.w2r2_ops_per_sec, p.ratio,
+        );
+    }
     if let Some(a) = audit {
         let _ = writeln!(
             s,
@@ -1044,6 +1105,16 @@ fn to_json(
             row.rd_p50_us,
             row.rd_p99_us,
         );
+        if let Some(r) = &row.reader {
+            let _ = write!(
+                s,
+                ", \"reader_wakes\": {}, \"reader_frames\": {}",
+                r.wakes, r.frames,
+            );
+            if let Some(w) = row.wakes_per_frame() {
+                let _ = write!(s, ", \"wakes_per_frame\": {w:.4}");
+            }
+        }
         if let Some(a) = &row.audit {
             let _ = write!(
                 s,
@@ -1065,7 +1136,10 @@ fn main() {
     args.expect_known(
         "live_throughput",
         &["quick", "assert-floor", "legacy-send", "audit"],
-        &["duration-ms", "floor", "protocol", "transport", "audit-sample", "faults", "keys", "zipf"],
+        &[
+            "duration-ms", "floor", "protocol", "transport", "send-path", "clients",
+            "audit-sample", "faults", "keys", "zipf", "out",
+        ],
     );
     let quick = args.flag("quick");
     // `--keys` parses up front: alone it selects the keyspace sweep, and
@@ -1142,10 +1216,50 @@ fn main() {
             "--transport must be in-memory or tcp, got {t}"
         );
     }
+    // `--send-path` narrows the sweep to one receive/send path — the CI
+    // transport-matrix cells measure one (transport, path) pair each.
+    let send_path_filter: Option<&'static str> = args.get("send-path").map(|p| match p {
+        "channel" => "channel",
+        "shared" => "shared",
+        "pipeline" => "pipeline",
+        "legacy" => "legacy",
+        other => {
+            eprintln!("--send-path must be channel|shared|pipeline|legacy, got {other}");
+            std::process::exit(2);
+        }
+    });
+    let out_path = args.get("out").map(str::to_owned);
 
-    let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    // `--clients a,b,..` overrides the W×R grid — focused re-measurement
+    // of one contention level without sweeping the whole square.
+    let client_override: Option<Vec<usize>> = args.get("clients").map(|list| {
+        let counts: Vec<usize> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("--clients expects a comma list of counts, got {s:?}"))
+            })
+            .collect();
+        assert!(!counts.is_empty(), "--clients expects at least one count");
+        assert!(counts.iter().all(|&c| c > 0), "--clients counts must be positive");
+        counts
+    });
+    let client_counts: &[usize] = match &client_override {
+        Some(counts) => counts,
+        None if quick => &[1, 4],
+        None => &[1, 2, 4, 8],
+    };
     let max_clients = *client_counts.last().expect("non-empty sweep");
-    let tcp_paths: &[&'static str] = if legacy_only { &["legacy"] } else { &["pipeline", "legacy"] };
+    let all_tcp_paths: &[&'static str] =
+        if legacy_only { &["legacy"] } else { &["shared", "pipeline", "legacy"] };
+    let tcp_paths: Vec<&'static str> = all_tcp_paths
+        .iter()
+        .copied()
+        .filter(|p| send_path_filter.is_none_or(|f| f == *p))
+        .collect();
+    let run_in_memory = send_path_filter.is_none_or(|f| f == "channel");
 
     println!(
         "== T1: open-loop live throughput (S={SERVERS} t={FAULTS}, \
@@ -1157,13 +1271,13 @@ fn main() {
     for &protocol in &protocols {
         for &writers in client_counts {
             for &readers in client_counts {
-                if transport_filter.as_deref() != Some("tcp") {
+                if transport_filter.as_deref() != Some("tcp") && run_in_memory {
                     rows.push(measure_point(
                         "in-memory", "channel", protocol, writers, readers, duration, sweep_audit,
                     ));
                 }
                 if transport_filter.as_deref() != Some("in-memory") {
-                    for path in tcp_paths {
+                    for path in &tcp_paths {
                         rows.push(measure_point(
                             "tcp", path, protocol, writers, readers, duration, sweep_audit,
                         ));
@@ -1175,7 +1289,7 @@ fn main() {
 
     let mut table = TextTable::new(vec![
         "transport", "send path", "protocol", "WxR", "ops", "ops/s", "wr p50µs", "wr p99",
-        "rd p50µs", "rd p99",
+        "rd p50µs", "rd p99", "wk/frm",
     ]);
     for row in &rows {
         table.row(row.cells());
@@ -1274,7 +1388,73 @@ fn main() {
         }
     }
 
-    if protocols.len() == 2 && transport_filter.is_none() {
+    // The shared reader's own before/after: geomean over every TCP point
+    // measured on both receive paths, plus the deployment-wide
+    // wake-per-frame ratio (frames decoded per poll wake is the syscall
+    // economy the readiness reader exists for).
+    let mut shared_log_sum = 0.0f64;
+    let mut shared_matched = 0usize;
+    for protocol in [Protocol::W2R1, Protocol::W2R2] {
+        for &w in client_counts {
+            for &r in client_counts {
+                if let (Some(shared), Some(pipeline)) = (
+                    point(protocol, "shared", w, r),
+                    point(protocol, "pipeline", w, r),
+                ) {
+                    shared_log_sum += (shared / pipeline.max(1e-9)).ln();
+                    shared_matched += 1;
+                }
+            }
+        }
+    }
+    let shared_geomean =
+        (shared_matched > 0).then(|| (shared_log_sum / shared_matched as f64).exp());
+    if let Some(g) = shared_geomean {
+        println!(
+            "geomean shared-reader/per-connection speedup over {shared_matched} tcp sweep \
+             points: {g:.2}x"
+        );
+    }
+    let (total_wakes, total_frames) = rows
+        .iter()
+        .filter_map(|row| row.reader.as_ref())
+        .fold((0u64, 0u64), |(w, f), r| (w + r.wakes, f + r.frames));
+    if total_frames > 0 {
+        println!(
+            "shared reader: {total_frames} frames decoded in {total_wakes} poll wakes \
+             ({:.3} wakes/frame)",
+            total_wakes as f64 / total_frames as f64,
+        );
+    }
+
+    // The paper-claim headline: W2R1's one-round fast reads vs W2R2's
+    // two-round reads under full contention, both on the shared reader.
+    let protocol_headline = match (
+        point(Protocol::W2R1, "shared", max_clients, max_clients),
+        point(Protocol::W2R2, "shared", max_clients, max_clients),
+    ) {
+        (Some(w2r1), Some(w2r2)) => {
+            let ratio = w2r1 / w2r2.max(1e-9);
+            println!(
+                "contended shared tcp ({max_clients}x{max_clients} clients): W2R1 {w2r1:.0} \
+                 ops/s vs W2R2 {w2r2:.0} ops/s — {ratio:.2}x"
+            );
+            Some(ProtocolHeadline {
+                writers: max_clients,
+                readers: max_clients,
+                w2r1_ops_per_sec: w2r1,
+                w2r2_ops_per_sec: w2r2,
+                ratio,
+            })
+        }
+        _ => None,
+    };
+
+    let unfiltered = protocols.len() == 2
+        && transport_filter.is_none()
+        && send_path_filter.is_none()
+        && client_override.is_none();
+    let overhead = if unfiltered {
         // The auditor's cost, measured where it hurts most: the most
         // contended in-memory point (TCP points are transport-bound and
         // would understate it), bare vs audited at the sample rate.
@@ -1294,10 +1474,27 @@ fn main() {
             -overhead.overhead_pct(),
             overhead.report,
         );
-        let json = to_json(duration, &rows, &headline, geomean, Some(&overhead));
-        std::fs::write("BENCH_live_throughput.json", &json)
-            .expect("write BENCH_live_throughput.json");
-        println!("wrote BENCH_live_throughput.json");
+        Some(overhead)
+    } else {
+        None
+    };
+    // `--out` writes the (possibly filtered) sweep wherever the caller
+    // asks — the CI matrix cells each upload their own artifact. The
+    // committed `BENCH_live_throughput.json` is only ever produced by the
+    // unfiltered sweep.
+    let default_artifact = unfiltered.then(|| "BENCH_live_throughput.json".to_owned());
+    if let Some(path) = out_path.or(default_artifact) {
+        let json = to_json(
+            duration,
+            &rows,
+            &headline,
+            geomean,
+            shared_geomean,
+            protocol_headline.as_ref(),
+            overhead.as_ref(),
+        );
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
     } else {
         println!("filtered sweep: BENCH_live_throughput.json left untouched");
     }

@@ -1,0 +1,255 @@
+//! Lockstep CPU attribution for the register protocols.
+//!
+//! The 1-core CI box cannot run a sampling profiler (the container blocks
+//! profiling timers), so this bin answers "where do the cycles go" by
+//! construction instead: it drives the real [`RegisterServer`] and
+//! [`RegisterClient`] automata single-threaded through detached
+//! [`Context`]s, delivering every message by hand and accumulating
+//! per-component, per-message-kind wall time. No transport, no threads,
+//! no scheduler — the measured time is pure protocol CPU, directly
+//! comparable across protocols.
+//!
+//! Each round invokes one write on every writer and one read on every
+//! reader, then pumps the message queue to quiescence (every round-trip
+//! completes; contention comes from the interleaved bookkeeping, which is
+//! what dominates the live 8×8 sweep too).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use mwr_bench::args::Args;
+use mwr_core::{ClientEvent, FastWire, Msg, Protocol, RegisterClient, RegisterServer};
+use mwr_sim::{Automaton, Context, SimTime};
+use mwr_types::{ClusterConfig, ProcessId, ReaderId, Value, WriterId};
+use mwr_workload::TextTable;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SERVERS: usize = 11;
+const FAULTS: usize = 1;
+
+/// Coarse message-kind label for the attribution table.
+fn kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::Query { .. } => "Query",
+        Msg::Update { .. } => "Update",
+        Msg::ReadFast { .. } => "ReadFast",
+        Msg::ReadFastDelta { .. } => "ReadFastDelta",
+        Msg::ReadFastRuns { .. } => "ReadFastRuns",
+        Msg::QueryAck { .. } => "QueryAck",
+        Msg::UpdateAck { .. } => "UpdateAck",
+        Msg::ReadFastAck { .. } => "ReadFastAck",
+        Msg::ReadFastDeltaAck { .. } => "ReadFastDeltaAck",
+        Msg::ReadFastRunsAck { .. } => "ReadFastRunsAck",
+        _ => "other",
+    }
+}
+
+/// One destination's accumulated handling cost.
+#[derive(Default)]
+struct Cost {
+    time: Duration,
+    msgs: u64,
+}
+
+/// Sub-step attribution inside the server's fast-read handler, gathered by
+/// replaying the handler's exact sequence through the public
+/// `ServerState` API (`--detail`).
+#[derive(Default)]
+struct FastReadDetail {
+    record_floor: Duration,
+    new_values: Duration,
+    catch_up: Duration,
+    register_latest: Duration,
+    delta_since: Duration,
+    reply_regs: u64,
+    /// Version span `(version - from)` of each reply: how many versioned
+    /// events (registrations + additions) the delta window covered,
+    /// including ones filtered out of the reply by GC.
+    window: u64,
+    msgs: u64,
+}
+
+fn run(protocol: Protocol, clients: usize, rounds: usize, detail: bool) {
+    let config =
+        ClusterConfig::new(SERVERS, FAULTS, clients, clients).expect("valid profile config");
+    let mut servers: Vec<RegisterServer> =
+        (0..SERVERS).map(|_| RegisterServer::with_gc(2 * clients)).collect();
+    let mut writers: Vec<RegisterClient> = (0..clients)
+        .map(|i| RegisterClient::writer(WriterId::new(i as u32), config, protocol.write_mode()))
+        .collect();
+    let mut readers: Vec<RegisterClient> = (0..clients)
+        .map(|i| {
+            RegisterClient::reader_with_wire(
+                ReaderId::new(i as u32),
+                config,
+                protocol.read_mode(),
+                FastWire::default(),
+            )
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut next_timer = 0u64;
+    // (server time, client time) per message kind, plus counts.
+    let mut by_kind: std::collections::BTreeMap<&'static str, Cost> =
+        std::collections::BTreeMap::new();
+    let mut server_total = Duration::ZERO;
+    let mut client_total = Duration::ZERO;
+    let mut completed = 0u64;
+    let mut fast_detail = FastReadDetail::default();
+    let mut queue: VecDeque<(ProcessId, ProcessId, Msg)> = VecDeque::new();
+
+    let started = Instant::now();
+    for round in 0..rounds {
+        // Invoke one op per client; their first-round broadcasts seed the
+        // queue, then everything pumps to quiescence.
+        for (i, w) in writers.iter_mut().enumerate() {
+            let from = ProcessId::writer(i as u32);
+            let mut ctx =
+                Context::detached(SimTime::ZERO, from, &mut rng, &mut next_timer);
+            w.on_external(Msg::InvokeWrite(Value::new((round * clients + i) as u64)), &mut ctx);
+            for (to, msg) in ctx.take_sends() {
+                queue.push_back((from, to, msg));
+            }
+        }
+        for (i, r) in readers.iter_mut().enumerate() {
+            let from = ProcessId::reader(i as u32);
+            let mut ctx =
+                Context::detached(SimTime::ZERO, from, &mut rng, &mut next_timer);
+            r.on_external(Msg::InvokeRead, &mut ctx);
+            for (to, msg) in ctx.take_sends() {
+                queue.push_back((from, to, msg));
+            }
+        }
+        while let Some((from, to, msg)) = queue.pop_front() {
+            let label = kind(&msg);
+            let mut ctx = Context::detached(SimTime::ZERO, to, &mut rng, &mut next_timer);
+            let start = Instant::now();
+            let is_server = if let Some(s) = to.as_server() {
+                let server = &mut servers[s.index() as usize];
+                if detail {
+                    if let Msg::ReadFastRuns { handle, acked, floor, new_values } = &msg {
+                        // Replay the handler's exact sequence through the
+                        // public API, timing each sub-step. Keeps state
+                        // identical to `handle` (epoch stays 0 here).
+                        let client = from.as_client().expect("fast read from client");
+                        let state = server.state_mut();
+                        state.note_contact(client);
+                        let acked = if *acked < state.reset_floor() { 0 } else { *acked };
+                        let t0 = Instant::now();
+                        state.record_floor(client, *floor);
+                        let t1 = Instant::now();
+                        for val in new_values {
+                            state.update(*val, client);
+                        }
+                        let t2 = Instant::now();
+                        state.catch_up_registrations(client, acked);
+                        let t3 = Instant::now();
+                        state.register_on_latest(client);
+                        let t4 = Instant::now();
+                        let delta = state.delta_since(acked);
+                        let t5 = Instant::now();
+                        fast_detail.record_floor += t1 - t0;
+                        fast_detail.new_values += t2 - t1;
+                        fast_detail.catch_up += t3 - t2;
+                        fast_detail.register_latest += t4 - t3;
+                        fast_detail.delta_since += t5 - t4;
+                        fast_detail.reply_regs +=
+                            delta.entries.iter().map(|r| r.updated.len() as u64).sum::<u64>();
+                        fast_detail.window += delta.version - delta.from;
+                        fast_detail.msgs += 1;
+                        ctx.send(from, Msg::ReadFastRunsAck { handle: *handle, delta });
+                    } else {
+                        server.on_message(from, msg, &mut ctx);
+                    }
+                } else {
+                    server.on_message(from, msg, &mut ctx);
+                }
+                true
+            } else {
+                let id = to.as_client().expect("client id");
+                let client = match id.as_reader() {
+                    Some(r) => &mut readers[r.index() as usize],
+                    None => &mut writers[id.index() as usize],
+                };
+                client.on_message(from, msg, &mut ctx);
+                false
+            };
+            let spent = start.elapsed();
+            let cost = by_kind.entry(label).or_default();
+            cost.time += spent;
+            cost.msgs += 1;
+            if is_server {
+                server_total += spent;
+            } else {
+                client_total += spent;
+            }
+            completed += ctx
+                .take_notes()
+                .iter()
+                .filter(|n| matches!(n, ClientEvent::Completed { .. }))
+                .count() as u64;
+            for (dest, out) in ctx.take_sends() {
+                queue.push_back((to, dest, out));
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    println!(
+        "\n== {} — {clients}x{clients} clients, {rounds} lockstep rounds, \
+         {completed} ops, {:.0} ms wall ==",
+        protocol.name(),
+        wall.as_secs_f64() * 1e3,
+    );
+    println!(
+        "servers {:.0} ms, clients {:.0} ms",
+        server_total.as_secs_f64() * 1e3,
+        client_total.as_secs_f64() * 1e3,
+    );
+    let mut table = TextTable::new(vec!["message", "count", "total ms", "ns/msg"]);
+    let mut kinds: Vec<_> = by_kind.iter().collect();
+    kinds.sort_by_key(|(_, c)| std::cmp::Reverse(c.time));
+    for (label, cost) in kinds {
+        table.row(vec![
+            (*label).to_string(),
+            cost.msgs.to_string(),
+            format!("{:.1}", cost.time.as_secs_f64() * 1e3),
+            format!("{:.0}", cost.time.as_secs_f64() * 1e9 / cost.msgs.max(1) as f64),
+        ]);
+    }
+    println!("{table}");
+
+    if fast_detail.msgs > 0 {
+        let mut detail_table = TextTable::new(vec!["fast-read step", "total ms", "ns/msg"]);
+        let per = |d: Duration| format!("{:.0}", d.as_secs_f64() * 1e9 / fast_detail.msgs as f64);
+        let ms = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
+        for (label, d) in [
+            ("record_floor", fast_detail.record_floor),
+            ("new_values", fast_detail.new_values),
+            ("catch_up", fast_detail.catch_up),
+            ("register_latest", fast_detail.register_latest),
+            ("delta_since", fast_detail.delta_since),
+        ] {
+            detail_table.row(vec![label.to_string(), ms(d), per(d)]);
+        }
+        println!("{detail_table}");
+        println!(
+            "avg registrations per delta reply: {:.1} (avg version window {:.1})",
+            fast_detail.reply_regs as f64 / fast_detail.msgs as f64,
+            fast_detail.window as f64 / fast_detail.msgs as f64,
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    args.expect_known("proto_profile", &["detail"], &["clients", "rounds"]);
+    let clients = args.get_u64("clients", 8) as usize;
+    let rounds = args.get_u64("rounds", 400) as usize;
+    let detail = args.flag("detail");
+    for protocol in [Protocol::W2R1, Protocol::W2R2] {
+        run(protocol, clients, rounds, detail);
+    }
+}

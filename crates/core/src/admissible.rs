@@ -370,6 +370,36 @@ impl ValueWitness {
             Err(i) => self.witnesses.insert(i, (client, bit)),
         }
     }
+
+    /// Registers a whole record's client list on this value at `slot` in
+    /// one pass — a merge-join over the two client-sorted lists, instead
+    /// of one binary search per registration. This is the delta-merge hot
+    /// path: a fast read's reply re-registers O(W×R) catch-up clients, and
+    /// both the wire's `updated` lists and `witnesses` are sorted by
+    /// client. Out-of-order elements (a non-conforming peer) fall back to
+    /// the searched insert, preserving set semantics.
+    pub(crate) fn record_sorted(&mut self, slot: usize, clients: &[ClientId]) {
+        let bit = 1u128 << slot;
+        self.containing |= bit;
+        let mut i = 0;
+        let mut prev: Option<ClientId> = None;
+        for &c in clients {
+            if prev.is_some_and(|p| c <= p) {
+                self.record(slot, c);
+                continue;
+            }
+            prev = Some(c);
+            while i < self.witnesses.len() && self.witnesses[i].0 < c {
+                i += 1;
+            }
+            if i < self.witnesses.len() && self.witnesses[i].0 == c {
+                self.witnesses[i].1 |= bit;
+            } else {
+                self.witnesses.insert(i, (c, bit));
+            }
+            i += 1;
+        }
+    }
 }
 
 impl WitnessIndex {

@@ -71,8 +71,16 @@ pub enum FastWire {
     /// back ([`Msg::ReadFastDelta`]). The reader reconstructs each
     /// server's logical snapshot from cached state, so `admissible(·)`
     /// selection is byte-for-byte unchanged. O(new information) per read.
-    #[default]
     Delta,
+    /// Delta payloads with run-length-encoded registration gossip (wire
+    /// version 4, [`Msg::ReadFastRuns`]): identical information flow to
+    /// [`FastWire::Delta`] — the ack decodes to the same
+    /// [`DeltaSnapshot`](crate::DeltaSnapshot) — but each record's sorted
+    /// `updated` list travels as consecutive-id runs, collapsing the
+    /// O(W×R) catch-up re-registration stream to one run per value on the
+    /// wire. In-memory semantics are byte-for-byte [`FastWire::Delta`].
+    #[default]
+    Runs,
 }
 
 /// Role-specific client state.
@@ -269,21 +277,22 @@ impl RegisterClient {
                         ctx.broadcast_to_servers(servers, Msg::ReadFast { handle, val_queue });
                         Phase::ReadFast { replies: BTreeMap::new() }
                     }
-                    FastWire::Delta => {
+                    FastWire::Delta | FastWire::Runs => {
                         // Per-server payloads: only what this server has not
-                        // acknowledged yet.
+                        // acknowledged yet. The Runs wire differs solely in
+                        // the frame discriminant (which selects the
+                        // run-length ack encoding on the way back).
                         for s in 0..servers as u32 {
                             let cache = state.cache(ServerId::new(s));
+                            let acked = cache.acked_version();
                             let new_values = cache.unacknowledged(val_queue);
-                            ctx.send(
-                                ProcessId::server(s),
-                                Msg::ReadFastDelta {
-                                    handle,
-                                    acked: cache.acked_version(),
-                                    floor,
-                                    new_values,
-                                },
-                            );
+                            let msg = match wire {
+                                FastWire::Runs => {
+                                    Msg::ReadFastRuns { handle, acked, floor, new_values }
+                                }
+                                _ => Msg::ReadFastDelta { handle, acked, floor, new_values },
+                            };
+                            ctx.send(ProcessId::server(s), msg);
                         }
                         Phase::ReadFastDelta { replied: 0 }
                     }
@@ -381,8 +390,10 @@ impl RegisterClient {
                 }
                 None
             }
-            (Msg::ReadFastDeltaAck { handle, delta }, Phase::ReadFastDelta { replied })
-                if handle == expected =>
+            (
+                Msg::ReadFastDeltaAck { handle, delta } | Msg::ReadFastRunsAck { handle, delta },
+                Phase::ReadFastDelta { replied },
+            ) if handle == expected =>
             {
                 let Role::Reader { state, gc_floor, .. } = &mut self.role else {
                     unreachable!()

@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bytes::{Buf, BytesMut};
 use serde::{Deserialize, Serialize};
 
-use mwr_types::codec::{DecodeError, Wire};
+use mwr_types::codec::{client_runs, DecodeError, Wire, MAX_COLLECTION_LEN};
 use mwr_types::{ClientId, ConfigEpoch, RegisterId, ServerId, TaggedValue, Value};
 
 use crate::admissible::WitnessIndex;
@@ -484,9 +484,7 @@ impl FastReadState {
             cache.add_value(rec.value);
             let w = index.witness_entry(rec.value);
             w.containing |= bit;
-            for &c in &rec.updated {
-                w.record(slot, c);
-            }
+            w.record_sorted(slot, &rec.updated);
         }
         cache.version = cache.version.max(delta.version);
         // Mirror the server's GC: drop what it dropped (it keeps `latest`
@@ -729,6 +727,42 @@ pub enum Msg {
         nonce: u64,
         /// Echo of the installed shard.
         shard: u32,
+    },
+
+    // -- batched registration gossip (wire version 4) ------------------------
+    /// The run-length fast read: field-for-field identical to
+    /// [`Msg::ReadFastDelta`], but its discriminant announces that the
+    /// sender decodes run-length acknowledgements, so the server replies
+    /// with [`Msg::ReadFastRunsAck`] instead of [`Msg::ReadFastDeltaAck`].
+    /// A v3 peer keeps sending discriminant 8 and keeps receiving
+    /// discriminant 9, byte for byte — version negotiation is carried by
+    /// the request discriminant alone.
+    ReadFastRuns {
+        /// Operation phase this round belongs to.
+        handle: OpHandle,
+        /// The last [`DeltaSnapshot::version`] the reader merged from this
+        /// server; the reply covers `(acked, now]`.
+        acked: u64,
+        /// The reader's completed-operation floor (GC piggyback).
+        floor: TaggedValue,
+        /// `valQueue` entries not yet acknowledged by this server.
+        new_values: Vec<TaggedValue>,
+    },
+    /// Reply to [`Msg::ReadFastRuns`]: the *same* [`DeltaSnapshot`] a
+    /// [`Msg::ReadFastDeltaAck`] would carry, but each record's sorted
+    /// `updated` list travels run-length encoded
+    /// ([`mwr_types::codec::client_runs`]). Decoding expands the runs back
+    /// into the identical flat list, so everything past the codec — cache
+    /// merges, the witness index, `admissible(·)` selection — is
+    /// byte-for-byte the full-information protocol. The compression
+    /// collapses the O(W×R) catch-up re-registration stream (every write
+    /// re-registers every reader, which every other reader then receives)
+    /// into one run per value.
+    ReadFastRunsAck {
+        /// Echo of the round's handle.
+        handle: OpHandle,
+        /// The incremental snapshot (runs are a wire artifact only).
+        delta: DeltaSnapshot,
     },
 }
 
@@ -1026,6 +1060,26 @@ impl Wire for Msg {
                 nonce.encode(buf);
                 shard.encode(buf);
             }
+            Msg::ReadFastRuns { handle, acked, floor, new_values } => {
+                buf.put_u8(22);
+                handle.encode(buf);
+                acked.encode(buf);
+                floor.encode(buf);
+                new_values.encode(buf);
+            }
+            Msg::ReadFastRunsAck { handle, delta } => {
+                buf.put_u8(23);
+                handle.encode(buf);
+                delta.from.encode(buf);
+                delta.version.encode(buf);
+                delta.latest.encode(buf);
+                delta.pruned.encode(buf);
+                (delta.entries.len() as u64).encode(buf);
+                for rec in &delta.entries {
+                    rec.value.encode(buf);
+                    client_runs::encode(&rec.updated, buf);
+                }
+            }
         }
     }
 
@@ -1070,6 +1124,27 @@ impl Wire for Msg {
                 nonce.encoded_len() + shard.encoded_len() + registers.encoded_len()
             }
             Msg::ShardInstallAck { nonce, shard } => nonce.encoded_len() + shard.encoded_len(),
+            Msg::ReadFastRuns { handle, acked, floor, new_values } => {
+                handle.encoded_len()
+                    + acked.encoded_len()
+                    + floor.encoded_len()
+                    + new_values.encoded_len()
+            }
+            Msg::ReadFastRunsAck { handle, delta } => {
+                handle.encoded_len()
+                    + delta.from.encoded_len()
+                    + delta.version.encoded_len()
+                    + delta.latest.encoded_len()
+                    + delta.pruned.encoded_len()
+                    + 8
+                    + delta
+                        .entries
+                        .iter()
+                        .map(|rec| {
+                            rec.value.encoded_len() + client_runs::encoded_len(&rec.updated)
+                        })
+                        .sum::<usize>()
+            }
         }
     }
 
@@ -1138,6 +1213,34 @@ impl Wire for Msg {
                 registers: Vec::<RegisterTransfer>::decode(buf)?,
             }),
             21 => Ok(Msg::ShardInstallAck { nonce: u64::decode(buf)?, shard: u32::decode(buf)? }),
+            22 => Ok(Msg::ReadFastRuns {
+                handle: OpHandle::decode(buf)?,
+                acked: u64::decode(buf)?,
+                floor: TaggedValue::decode(buf)?,
+                new_values: Vec::<TaggedValue>::decode(buf)?,
+            }),
+            23 => {
+                let handle = OpHandle::decode(buf)?;
+                let from = u64::decode(buf)?;
+                let version = u64::decode(buf)?;
+                let latest = TaggedValue::decode(buf)?;
+                let pruned = TaggedValue::decode(buf)?;
+                let declared = u64::decode(buf)?;
+                if declared > MAX_COLLECTION_LEN {
+                    return Err(DecodeError::LengthOverflow { declared });
+                }
+                let mut entries = Vec::with_capacity(declared as usize);
+                for _ in 0..declared {
+                    entries.push(ValueRecord {
+                        value: TaggedValue::decode(buf)?,
+                        updated: client_runs::decode(buf)?,
+                    });
+                }
+                Ok(Msg::ReadFastRunsAck {
+                    handle,
+                    delta: DeltaSnapshot { from, version, latest, pruned, entries },
+                })
+            }
             value => Err(DecodeError::InvalidDiscriminant { context: "Msg", value }),
         }
     }
@@ -1295,6 +1398,31 @@ mod tests {
                 }],
             },
             Msg::ShardInstallAck { nonce: 9, shard: 2 },
+            Msg::ReadFastRuns {
+                handle: handle(),
+                acked: 17,
+                floor: tv(2, 1, 2),
+                new_values: vec![tv(3, 0, 3)],
+            },
+            Msg::ReadFastRunsAck {
+                handle: handle(),
+                delta: DeltaSnapshot {
+                    from: 17,
+                    version: 29,
+                    latest: tv(3, 0, 3),
+                    pruned: tv(1, 0, 1),
+                    entries: vec![
+                        ValueRecord {
+                            value: tv(3, 0, 3),
+                            updated: (0..5).map(ClientId::reader).collect(),
+                        },
+                        ValueRecord {
+                            value: tv(2, 1, 2),
+                            updated: vec![ClientId::reader(2), ClientId::writer(1)],
+                        },
+                    ],
+                },
+            },
         ];
         for msg in msgs {
             let mut bytes = msg.to_bytes();
@@ -1353,6 +1481,61 @@ mod tests {
         let bytes = wrapped.to_bytes();
         assert_eq!(&bytes[5..], &inner.to_bytes()[..]);
         assert_eq!(wrapped.into_epoch_parts(), (e3, inner));
+    }
+
+    #[test]
+    fn v3_frames_decode_unchanged_next_to_the_runs_wire() {
+        // Wire version 4 only *adds* discriminants 22–23: the v3 delta
+        // request/ack must encode and decode byte-identically, and the
+        // runs request must be the delta request with only the
+        // discriminant byte changed (version negotiation is carried by
+        // the request discriminant alone).
+        let delta_req = Msg::ReadFastDelta {
+            handle: handle(),
+            acked: 17,
+            floor: tv(2, 1, 2),
+            new_values: vec![tv(3, 0, 3)],
+        };
+        let runs_req = Msg::ReadFastRuns {
+            handle: handle(),
+            acked: 17,
+            floor: tv(2, 1, 2),
+            new_values: vec![tv(3, 0, 3)],
+        };
+        let (v3, v4) = (delta_req.to_bytes(), runs_req.to_bytes());
+        assert_eq!(v3[0], 8);
+        assert_eq!(v4[0], 22);
+        assert_eq!(&v3[1..], &v4[1..], "payloads are identical past the discriminant");
+        let mut cursor: &[u8] = &v3;
+        assert_eq!(Msg::decode(&mut cursor).unwrap(), delta_req);
+    }
+
+    #[test]
+    fn runs_ack_compresses_dense_registration_gossip() {
+        // The catch-up stream's shape: every reader re-registered on one
+        // value. 64 consecutive readers collapse to a single 9-byte run
+        // where the v3 ack spends 5 bytes per client.
+        let dense = DeltaSnapshot {
+            from: 3,
+            version: 90,
+            latest: tv(5, 0, 50),
+            pruned: TaggedValue::initial(),
+            entries: vec![ValueRecord {
+                value: tv(5, 0, 50),
+                updated: (0..64).map(ClientId::reader).collect(),
+            }],
+        };
+        let v3 = Msg::ReadFastDeltaAck { handle: handle(), delta: dense.clone() };
+        let v4 = Msg::ReadFastRunsAck { handle: handle(), delta: dense };
+        assert!(
+            v4.encoded_len() < v3.encoded_len() / 3,
+            "runs ack {} must be well under a third of the delta ack {}",
+            v4.encoded_len(),
+            v3.encoded_len()
+        );
+        // And it stays a faithful encoding: decode gives the same delta.
+        let mut bytes = v4.to_bytes();
+        assert_eq!(Msg::decode(&mut bytes).unwrap(), v4);
     }
 
     #[test]

@@ -175,6 +175,13 @@ struct Entry {
     updated: Vec<(ClientId, u64)>,
     /// The version at which this value first entered the store.
     first_added: u64,
+    /// The highest registration version in `updated` — the version counter
+    /// is globally monotone, so this is just the version of the most recent
+    /// insert. Lets [`ServerState::delta_since`] skip untouched values with
+    /// one comparison instead of scanning their registration lists. May
+    /// overstate after a [`ServerState::depart`] removal (harmless: the
+    /// scan then finds nothing and emits no record).
+    max_reg: u64,
 }
 
 /// Acknowledged-floor GC bookkeeping.
@@ -193,6 +200,11 @@ struct GcState {
     seen: BTreeSet<ClientId>,
     /// Latest floor reported per client.
     floors: BTreeMap<ClientId, TaggedValue>,
+    /// The minimum of `floors` as of the last engagement scan — lets
+    /// [`ServerState::record_floor`] skip the rescan when the reporting
+    /// client provably did not hold the minimum (the common case on the
+    /// hot Update/fast-read path).
+    min_reported: TaggedValue,
     /// Everything strictly below this has been pruned.
     pruned_floor: TaggedValue,
 }
@@ -222,8 +234,6 @@ pub struct ServerState {
     /// Monotone registration counter; every new `(value, client)` pair gets
     /// the next version.
     version: u64,
-    /// Registration log ordered by version, for O(new) delta assembly.
-    reg_log: Vec<(u64, TaggedValue, ClientId)>,
     /// Value-addition log ordered by version, for reader catch-up.
     additions: Vec<(u64, TaggedValue)>,
     /// Per-reader catch-up high-water mark: the largest acknowledged
@@ -248,7 +258,6 @@ impl ServerState {
             latest: TaggedValue::initial(),
             store,
             version: 0,
-            reg_log: Vec::new(),
             additions: Vec::new(),
             registered_up_to: BTreeMap::new(),
             gc: None,
@@ -268,6 +277,7 @@ impl ServerState {
             quorum: None,
             seen: BTreeSet::new(),
             floors: BTreeMap::new(),
+            min_reported: TaggedValue::initial(),
             pruned_floor: TaggedValue::initial(),
         });
         state
@@ -359,13 +369,13 @@ impl ServerState {
             std::collections::btree_map::Entry::Vacant(e) => {
                 *version += 1;
                 self.additions.push((*version, val));
-                e.insert(Entry { updated: Vec::new(), first_added: *version })
+                e.insert(Entry { updated: Vec::new(), first_added: *version, max_reg: 0 })
             }
         };
         if let Err(i) = entry.updated.binary_search_by_key(&c, |r| r.0) {
             *version += 1;
             entry.updated.insert(i, (c, *version));
-            self.reg_log.push((*version, val, c));
+            entry.max_reg = *version;
         }
         if val > self.latest {
             self.latest = val;
@@ -427,8 +437,24 @@ impl ServerState {
     pub fn record_floor(&mut self, client: ClientId, floor: TaggedValue) {
         let Some(gc) = &mut self.gc else { return };
         gc.seen.insert(client);
-        let known = gc.floors.entry(client).or_insert(floor);
-        *known = (*known).max(floor);
+        match gc.floors.entry(client) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let old = *e.get();
+                if floor <= old {
+                    return; // floor is monotone: nothing changed
+                }
+                e.insert(floor);
+                // Raising a floor that was not the minimum cannot move the
+                // minimum, and the membership did not change, so the
+                // engagement condition is unchanged too: skip the rescan.
+                if old > gc.min_reported {
+                    return;
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(floor);
+            }
+        }
         self.maybe_prune();
     }
 
@@ -447,6 +473,7 @@ impl ServerState {
             return;
         }
         let min = gc.floors.values().copied().min().unwrap_or_default();
+        gc.min_reported = min;
         if min > gc.pruned_floor {
             gc.pruned_floor = min;
             self.prune_below(min);
@@ -466,7 +493,6 @@ impl ServerState {
                 entry.updated.remove(i);
             }
         }
-        self.reg_log.retain(|&(_, _, c)| c != client);
         if let Some(gc) = &mut self.gc {
             gc.seen.remove(&client);
             gc.floors.remove(&client);
@@ -543,7 +569,10 @@ impl ServerState {
                 if !self.store.contains_key(&val) {
                     self.version += 1;
                     self.additions.push((self.version, val));
-                    self.store.insert(val, Entry { updated: Vec::new(), first_added: self.version });
+                    self.store.insert(
+                        val,
+                        Entry { updated: Vec::new(), first_added: self.version, max_reg: 0 },
+                    );
                 }
             } else {
                 for &c in clients {
@@ -563,6 +592,11 @@ impl ServerState {
                 }
             }
             gc.pruned_floor = gc.pruned_floor.max(pruned);
+            // The direct floor merge bypassed `record_floor`, so refresh the
+            // cached minimum: a stale-low cache would let every later
+            // `record_floor` skip the rescan (its floor compares above the
+            // stale minimum) and wedge pruning on reconfigured servers.
+            gc.min_reported = gc.floors.values().copied().min().unwrap_or_default();
         }
         if pruned > TaggedValue::initial() {
             // Drops the seeded initial value (and anything else dead) while
@@ -587,28 +621,30 @@ impl ServerState {
     }
 
     /// The store changes above registration version `from`, as reported to
-    /// delta fast reads. O(changes), not O(store): one flat collect and
-    /// sort over the registration window, grouped into records without any
-    /// per-value tree or allocation churn.
+    /// delta fast reads. Derived straight from the store: each entry keeps
+    /// its registrations stamped with their versions (sorted by client, the
+    /// order the wire wants), so the reply is one walk over the live values
+    /// — a single comparison skips untouched ones via `max_reg` — with no
+    /// registration log, no sort, and one allocation per emitted record.
     pub fn delta_since(&self, from: u64) -> DeltaSnapshot {
-        let start = self.reg_log.partition_point(|&(v, _, _)| v <= from);
-        let mut regs: Vec<(TaggedValue, ClientId)> = self.reg_log[start..]
-            .iter()
-            .map(|&(_, val, client)| (val, client))
-            .collect();
-        regs.sort_unstable();
-        let mut entries: Vec<ValueRecord> = Vec::new();
-        let mut skip: Option<TaggedValue> = None;
-        for (val, client) in regs {
-            if skip == Some(val) {
-                continue; // GC already dropped this value from the store
+        let mut entries: Vec<ValueRecord> = Vec::with_capacity(self.store.len());
+        for (&val, entry) in &self.store {
+            if entry.max_reg <= from {
+                continue; // nothing registered on this value since `from`
             }
-            match entries.last_mut() {
-                Some(rec) if rec.value == val => rec.updated.push(client),
-                _ if self.store.contains_key(&val) => {
-                    entries.push(ValueRecord { value: val, updated: vec![client] })
-                }
-                _ => skip = Some(val),
+            let updated: Vec<ClientId> = if entry.first_added > from {
+                // The value itself is new since `from`, so every one of its
+                // registrations is too: clone the whole list in one
+                // exact-size allocation (the common case for fresh writes).
+                entry.updated.iter().map(|&(c, _)| c).collect()
+            } else {
+                let new = entry.updated.iter().filter(|&&(_, v)| v > from);
+                let mut updated = Vec::with_capacity(new.clone().count());
+                updated.extend(new.map(|&(c, _)| c));
+                updated
+            };
+            if !updated.is_empty() {
+                entries.push(ValueRecord { value: val, updated });
             }
         }
         DeltaSnapshot {
@@ -624,6 +660,7 @@ impl ServerState {
     pub fn stored_values(&self) -> usize {
         self.store.len()
     }
+
 
     /// The `updated` set registered for `val`, if stored.
     pub fn updated_set(&self, val: TaggedValue) -> Option<Vec<ClientId>> {
@@ -641,7 +678,6 @@ impl ServerState {
         let before = self.store.len();
         self.store.retain(|val, _| *val >= floor || *val == latest);
         let store = &self.store;
-        self.reg_log.retain(|(_, val, _)| store.contains_key(val));
         self.additions.retain(|(_, val)| store.contains_key(val));
         before - self.store.len()
     }
@@ -706,6 +742,12 @@ impl RegisterServer {
     /// Read access to the server's state (useful in tests).
     pub fn state(&self) -> &ServerState {
         &self.state
+    }
+
+    /// Mutable access to the server's state, for harnesses that drive the
+    /// state machine's public steps directly (CPU attribution, tests).
+    pub fn state_mut(&mut self) -> &mut ServerState {
+        &mut self.state
     }
 
     /// The highest configuration epoch this server has observed.
@@ -786,20 +828,17 @@ impl RegisterServer {
                 })
             }
             Msg::ReadFastDelta { handle, acked, floor, new_values } => {
-                // An acknowledgement below the reset floor was minted by a
-                // previous incarnation of this server: answer from version
-                // 0 (the whole rebuilt store) so `from < acked` tells the
-                // reader to discard its stale mirror and resynchronize.
-                let acked = if *acked < self.state.reset_floor() { 0 } else { *acked };
-                self.state.record_floor(client, *floor);
-                for val in new_values {
-                    self.state.update(*val, client);
-                }
-                self.state.catch_up_registrations(client, acked);
-                self.state.register_on_latest(client);
                 Some(Msg::ReadFastDeltaAck {
                     handle: *handle,
-                    delta: self.state.delta_since(acked),
+                    delta: self.fast_read_delta(client, *acked, *floor, new_values),
+                })
+            }
+            Msg::ReadFastRuns { handle, acked, floor, new_values } => {
+                // Wire v4: identical server-side processing; only the
+                // ack's encoding differs (run-length `updated` lists).
+                Some(Msg::ReadFastRunsAck {
+                    handle: *handle,
+                    delta: self.fast_read_delta(client, *acked, *floor, new_values),
                 })
             }
             Msg::Depart { handle } => {
@@ -808,6 +847,31 @@ impl RegisterServer {
             }
             _ => None,
         }
+    }
+
+    /// The shared body of both delta-wire fast reads
+    /// ([`Msg::ReadFastDelta`] and the v4 [`Msg::ReadFastRuns`]): floor
+    /// and `valQueue` bookkeeping, reader catch-up, and the incremental
+    /// snapshot reply.
+    fn fast_read_delta(
+        &mut self,
+        client: ClientId,
+        acked: u64,
+        floor: TaggedValue,
+        new_values: &[TaggedValue],
+    ) -> DeltaSnapshot {
+        // An acknowledgement below the reset floor was minted by a
+        // previous incarnation of this server: answer from version 0 (the
+        // whole rebuilt store) so `from < acked` tells the reader to
+        // discard its stale mirror and resynchronize.
+        let acked = if acked < self.state.reset_floor() { 0 } else { acked };
+        self.state.record_floor(client, floor);
+        for val in new_values {
+            self.state.update(*val, client);
+        }
+        self.state.catch_up_registrations(client, acked);
+        self.state.register_on_latest(client);
+        self.state.delta_since(acked)
     }
 }
 
@@ -1269,6 +1333,35 @@ mod tests {
         assert!(
             s.updated_set(tv(4, 0, 4)).unwrap().contains(&ClientId::reader(0)),
             "peer registrations are adopted"
+        );
+    }
+
+    /// Floors adopted through `install` must keep pruning live: the merge
+    /// bypasses `record_floor`, so a stale cached minimum would make every
+    /// later report look like a non-minimum raise and skip the rescan —
+    /// wedging GC on freshly reconfigured servers forever.
+    #[test]
+    fn floors_inherited_by_install_do_not_wedge_pruning() {
+        let mut peer = ServerState::with_gc(2);
+        for i in 1..=6 {
+            peer.update(tv(i, 0, i), ClientId::writer(0));
+        }
+        peer.record_floor(ClientId::writer(0), tv(2, 0, 2));
+        peer.record_floor(ClientId::reader(0), tv(2, 0, 2));
+        assert_eq!(peer.pruned_floor(), tv(2, 0, 2));
+
+        let mut srv = RegisterServer::recovered(2, 0, &[peer.export()]);
+        let s = srv.state_mut();
+        assert_eq!(s.pruned_floor(), tv(2, 0, 2), "inherits the peer floor");
+        // Both clients raise their (inherited) floors. No departures and no
+        // first-time reports ever happen on this server, so these calls are
+        // pruning's only chance to advance.
+        s.record_floor(ClientId::writer(0), tv(5, 0, 5));
+        s.record_floor(ClientId::reader(0), tv(4, 0, 4));
+        assert_eq!(
+            s.pruned_floor(),
+            tv(4, 0, 4),
+            "floor reports after a state transfer still advance pruning"
         );
     }
 

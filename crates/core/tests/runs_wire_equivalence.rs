@@ -1,0 +1,224 @@
+//! Property pins for the wire-v4 run-length registration gossip.
+//!
+//! Two identical servers are driven with the same randomized schedule of
+//! writes, floor reports, and fast reads — one queried over the v3 delta
+//! wire ([`Msg::ReadFastDelta`]), one over the v4 runs wire
+//! ([`Msg::ReadFastRuns`]). The deltas they return must be *equal* at
+//! every step (the runs encoding is a wire artifact, not a semantic
+//! change), every runs ack must round-trip byte-exactly through the
+//! codec, and the v3 frames must keep decoding unchanged next to the new
+//! discriminants. GC pruning runs throughout (floors piggybacked on every
+//! request), so the interaction between the registration log, the pruned
+//! floor, and the run encoding is exercised rather than assumed.
+
+use mwr_core::{DeltaSnapshot, Msg, OpHandle, OpId, RegisterServer};
+use mwr_types::codec::Wire;
+use mwr_types::{ClientId, ProcessId, Tag, TaggedValue, Value, WriterId};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn tv(ts: u64, w: u32, v: u64) -> TaggedValue {
+    TaggedValue::new(Tag::new(ts, WriterId::new(w)), Value::new(v))
+}
+
+fn handle(client: ClientId, seq: u64) -> OpHandle {
+    OpHandle { op: OpId { client, seq }, phase: 1 }
+}
+
+/// Round-trips a message through the codec, checking the exact-length
+/// contract, and returns the decoded copy.
+fn round_trip(msg: &Msg) -> Msg {
+    let mut bytes = msg.to_bytes();
+    assert_eq!(msg.encoded_len(), bytes.len(), "encoded_len must match encode");
+    let decoded = Msg::decode(&mut bytes).expect("runs frame must decode");
+    assert!(bytes.is_empty(), "decode must consume the whole frame");
+    decoded
+}
+
+/// Sends the same fast read to both servers — over the delta wire to one,
+/// the runs wire to the other — and returns the (asserted-equal) delta.
+fn paired_read(
+    delta_server: &mut RegisterServer,
+    runs_server: &mut RegisterServer,
+    reader: u32,
+    seq: u64,
+    acked: u64,
+    floor: TaggedValue,
+) -> DeltaSnapshot {
+    let from = ProcessId::reader(reader);
+    let h = handle(ClientId::reader(reader), seq);
+    let v3_req = Msg::ReadFastDelta { handle: h, acked, floor, new_values: vec![] };
+    let v4_req = Msg::ReadFastRuns { handle: h, acked, floor, new_values: vec![] };
+
+    let v3_ack = delta_server.handle(from, &v3_req).expect("delta read must be answered");
+    let v4_ack = runs_server.handle(from, &v4_req).expect("runs read must be answered");
+
+    // The runs ack survives the wire byte-exactly (this is where the
+    // run-length expansion actually runs), and the v3 ack still decodes
+    // unchanged next to the new discriminants.
+    assert_eq!(round_trip(&v4_ack), v4_ack);
+    assert_eq!(round_trip(&v3_ack), v3_ack);
+
+    let Msg::ReadFastDeltaAck { delta: v3_delta, .. } = v3_ack else {
+        panic!("delta request must get a delta ack, got {v3_ack:?}");
+    };
+    let Msg::ReadFastRunsAck { delta: v4_delta, .. } = v4_ack else {
+        panic!("runs request must get a runs ack, got {v4_ack:?}");
+    };
+    assert_eq!(v3_delta, v4_delta, "the two wires must carry the same information");
+    v3_delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The v4 wire is information-equivalent to v3 under randomized
+    /// write/read/GC schedules: equal deltas at every step, byte-exact
+    /// round-trips, and the reader mirrors built from the two wires agree.
+    #[test]
+    fn runs_wire_matches_delta_wire_under_gc(
+        script in vec((0u8..4, 0u32..3, 0u32..4), 1..40),
+    ) {
+        let readers = 4u32;
+        let writers = 3u32;
+        let population = (readers + writers) as usize;
+        let mut delta_server = RegisterServer::with_gc(population);
+        let mut runs_server = RegisterServer::with_gc(population);
+
+        let mut ts = 0u64;
+        let mut seq = 0u64;
+        // Per-reader mirror of the delta protocol's client state: the
+        // acknowledged version and completed-operation floor.
+        let mut acked = vec![0u64; readers as usize];
+        let mut floors = vec![TaggedValue::initial(); readers as usize];
+
+        for (op, w, r) in script {
+            seq += 1;
+            match op {
+                // A write: both servers get the identical update, with the
+                // writer's floor piggybacked (this is what engages GC).
+                0 | 1 => {
+                    ts += 1;
+                    let value = tv(ts, w, ts);
+                    let h = handle(ClientId::writer(w), seq);
+                    let update = Msg::Update { handle: h, value, floor: value };
+                    let from = ProcessId::writer(w);
+                    let a = delta_server.handle(from, &update);
+                    let b = runs_server.handle(from, &update);
+                    prop_assert_eq!(a, b);
+                }
+                // A fast read from reader `r`, continuing from its mirror.
+                2 => {
+                    let i = (r % readers) as usize;
+                    let delta = paired_read(
+                        &mut delta_server,
+                        &mut runs_server,
+                        r % readers,
+                        seq,
+                        acked[i],
+                        floors[i],
+                    );
+                    prop_assert!(delta.from <= acked[i], "window must start at or below acked");
+                    acked[i] = delta.version;
+                    floors[i] = floors[i].max(delta.latest);
+                }
+                // A resynchronizing read (acked 0): the full-store reply
+                // exercises runs over the whole surviving registration log,
+                // *after* any pruning the floors above triggered.
+                _ => {
+                    let i = (r % readers) as usize;
+                    let delta = paired_read(
+                        &mut delta_server,
+                        &mut runs_server,
+                        r % readers,
+                        seq,
+                        0,
+                        floors[i],
+                    );
+                    acked[i] = delta.version;
+                    floors[i] = floors[i].max(delta.latest);
+                }
+            }
+        }
+
+        // Final check: a fresh reader's first read (the densest catch-up
+        // reply the server can produce) agrees across the wires too.
+        paired_read(&mut delta_server, &mut runs_server, readers - 1, seq + 1, 0, TaggedValue::initial());
+    }
+}
+
+/// The registration-gossip compression at the 128-id boundary: 130 readers
+/// all register on the same values, so every catch-up delta carries
+/// `updated` lists that are one dense run spanning indices 0..130. The
+/// runs ack must round-trip exactly across the boundary and be a fraction
+/// of the v3 ack's size — this is the O(W×R) stream the wire change
+/// collapses.
+#[test]
+fn dense_130_reader_catch_up_compresses_and_round_trips() {
+    let readers = 130u32;
+    let population = readers as usize + 1;
+    let mut delta_server = RegisterServer::with_gc(population);
+    let mut runs_server = RegisterServer::with_gc(population);
+
+    let mut seq = 0u64;
+    let mut acked = vec![0u64; readers as usize];
+
+    // Round 1: every reader reads, registering itself on the initial value.
+    for r in 0..readers {
+        seq += 1;
+        let delta = paired_read(
+            &mut delta_server,
+            &mut runs_server,
+            r,
+            seq,
+            0,
+            TaggedValue::initial(),
+        );
+        acked[r as usize] = delta.version;
+    }
+
+    // One write lands.
+    seq += 1;
+    let value = tv(1, 0, 42);
+    let update = Msg::Update { handle: handle(ClientId::writer(0), seq), value, floor: value };
+    delta_server.handle(ProcessId::writer(0), &update);
+    runs_server.handle(ProcessId::writer(0), &update);
+
+    // Round 2: every reader reads again. Each late reader's ack carries
+    // the re-registrations of every earlier reader in this round — the
+    // gossip fan-out — as one dense run per value.
+    let mut last_sizes = (0usize, 0usize);
+    for r in 0..readers {
+        seq += 1;
+        let i = r as usize;
+        let from = ProcessId::reader(r);
+        let h = handle(ClientId::reader(r), seq);
+        let floor = TaggedValue::initial();
+        let v3_ack = delta_server
+            .handle(from, &Msg::ReadFastDelta { handle: h, acked: acked[i], floor, new_values: vec![] })
+            .unwrap();
+        let v4_ack = runs_server
+            .handle(from, &Msg::ReadFastRuns { handle: h, acked: acked[i], floor, new_values: vec![] })
+            .unwrap();
+        let (Msg::ReadFastDeltaAck { delta: d3, .. }, Msg::ReadFastRunsAck { delta: d4, .. }) =
+            (&v3_ack, &v4_ack)
+        else {
+            panic!("wrong ack kinds");
+        };
+        assert_eq!(d3, d4);
+        acked[i] = d3.version;
+        let mut bytes = v4_ack.to_bytes();
+        assert_eq!(v4_ack.encoded_len(), bytes.len());
+        assert_eq!(Msg::decode(&mut bytes).unwrap(), v4_ack);
+        last_sizes = (v3_ack.encoded_len(), v4_ack.encoded_len());
+    }
+
+    // The last reader of the round sees 129 earlier re-registrations: the
+    // run encoding must collapse them (well under a third of the v3 size).
+    let (v3_size, v4_size) = last_sizes;
+    assert!(
+        v4_size * 3 < v3_size,
+        "runs ack ({v4_size} B) must be well under a third of the delta ack ({v3_size} B)"
+    );
+}

@@ -847,23 +847,26 @@ impl<E: Endpoint> LiveReader<E> {
                 bytes += moved.get();
                 FastReplies::Full(acks.into_values().collect())
             }
-            FastWire::Delta => {
+            FastWire::Delta | FastWire::Runs => {
                 let moved = std::cell::Cell::new(0u64);
                 let state = &mut self.state;
                 let val_queue = &self.val_queue;
                 let floor = self.floor;
+                // The Runs wire (v4) is the delta protocol with
+                // run-length-encoded acks; only the frame kinds differ.
+                let runs = matches!(self.wire, FastWire::Runs);
                 let acks = round_trip_per_server(
                     &self.endpoint,
                     &self.scope,
                     self.view.as_deref(),
                     |sid| {
                         let cache = state.cache(sid);
+                        let acked = cache.acked_version();
                         let new_values = cache.unacknowledged(val_queue);
-                        let request = Msg::ReadFastDelta {
-                            handle,
-                            acked: cache.acked_version(),
-                            floor,
-                            new_values,
+                        let request = if runs {
+                            Msg::ReadFastRuns { handle, acked, floor, new_values }
+                        } else {
+                            Msg::ReadFastDelta { handle, acked, floor, new_values }
                         };
                         if measure {
                             moved.set(moved.get() + request.encoded_len() as u64);
@@ -873,14 +876,21 @@ impl<E: Endpoint> LiveReader<E> {
                     self.timeout,
                     self.retry,
                     |msg| {
-                        if !matches!(&msg, Msg::ReadFastDeltaAck { handle: h, .. } if *h == handle)
-                        {
+                        if !matches!(
+                            &msg,
+                            Msg::ReadFastDeltaAck { handle: h, .. }
+                            | Msg::ReadFastRunsAck { handle: h, .. } if *h == handle
+                        ) {
                             return None;
                         }
                         if measure {
                             moved.set(moved.get() + msg.encoded_len() as u64);
                         }
-                        let Msg::ReadFastDeltaAck { delta, .. } = msg else { unreachable!() };
+                        let (Msg::ReadFastDeltaAck { delta, .. }
+                        | Msg::ReadFastRunsAck { delta, .. }) = msg
+                        else {
+                            unreachable!()
+                        };
                         Some(delta)
                     },
                 )?;

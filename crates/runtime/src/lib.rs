@@ -56,7 +56,7 @@ pub use faults::{FaultEvent, FaultPlan, FaultStep, FaultTrigger, MAX_FAULT_STEPS
 pub use keyspace::{KeyspaceCluster, LiveKeyspaceCluster, TcpKeyspaceCluster};
 pub use server::{spawn_bank_with, spawn_server, spawn_server_with, ServerHandle};
 pub use tap::{AuditReceiver, AuditTap, DEFAULT_TAP_CAPACITY};
-pub use tcp::{PeerStats, TcpEndpoint, TcpRegistry, TcpTuning};
+pub use tcp::{PeerStats, ReaderStats, TcpEndpoint, TcpRegistry, TcpTuning};
 pub use transport::{
     Endpoint, EndpointFactory, InMemoryEndpoint, InMemoryTransport, Inbound, TransportError,
 };

@@ -38,14 +38,28 @@
 //!   instead of silently dropping frames for the rest of the backoff —
 //!   without this, a recovered peer stayed unreachable for up to a full
 //!   backoff window after it had already resumed talking to us.
-//! - **Receive-buffer reuse.** Connections are read through a buffered
-//!   reader (many frames per syscall) into one per-connection body buffer,
-//!   decoded in place (`Wire::decode` works on `&mut &[u8]`) — no
-//!   allocation per frame.
+//! - **One shared reader per endpoint.** Accepted connections are set
+//!   non-blocking and adopted by a single readiness-driven reader thread
+//!   (poll(2) through the vendored `polling` stand-in) instead of parking
+//!   one blocking thread per connection. An 8×8 cluster endpoint owns one
+//!   reader, not sixteen; one `poll` wake-up drains every ready socket
+//!   before sleeping again, so bursty quorum traffic costs a fraction of
+//!   a wake-up per frame (measured by [`ReaderStats`]). Each adopted
+//!   socket keeps a reusable buffer that frames are decoded from in
+//!   place — the per-connection buffering the old reader threads had,
+//!   carried into the shared reader — and a per-drain byte budget yields
+//!   a fire-hosing socket back to the poller so its peers on the same
+//!   reader are never starved. The pre-shared-reader receive path (one
+//!   blocking `BufReader` thread per connection) is kept behind
+//!   [`TcpTuning::shared_reader`]` = false` so benchmarks can measure the
+//!   before/after, and is the automatic fallback on targets with no
+//!   readiness queue.
 //!
 //! Dropping the endpoint tears the pipelines down cleanly: queued frames
-//! are flushed, writer threads join, and the acceptor stops. The
-//! pre-pipeline hot path (direct-write sends under one endpoint-wide
+//! are flushed, writer threads join, the acceptor stops, and the shared
+//! reader is joined — which closes every adopted connection *before*
+//! `drop` returns, observable through [`TcpEndpoint::connection_gauge`].
+//! The pre-pipeline hot path (direct-write sends under one endpoint-wide
 //! lock, per-frame receive allocations) is kept behind
 //! [`TcpTuning::legacy_send`] so `live_throughput` can measure the
 //! before/after on the same build.
@@ -54,7 +68,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -62,6 +76,7 @@ use std::time::{Duration, Instant};
 use bytes::{BufMut as _, Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
+use polling::{Event, Poller};
 
 use mwr_core::Msg;
 use mwr_types::codec::Wire;
@@ -117,8 +132,16 @@ pub struct TcpTuning {
     /// under one endpoint-wide lock (two syscalls and a fresh buffer per
     /// message, connect-per-message on a dead peer) and the per-frame
     /// allocating receive loop. Exists so benchmarks can measure the
-    /// pipeline against its predecessor on the same binary.
+    /// pipeline against its predecessor on the same binary. Implies
+    /// thread-per-connection receive (`shared_reader` is ignored).
     pub legacy_send: bool,
+    /// Drain all accepted connections with one readiness-driven reader
+    /// thread per endpoint instead of one blocking thread per connection
+    /// (the default). `false` restores the thread-per-connection receive
+    /// path so benchmarks can measure the fan-in on the same binary; on
+    /// targets with no readiness queue the transport falls back to
+    /// thread-per-connection automatically.
+    pub shared_reader: bool,
 }
 
 impl Default for TcpTuning {
@@ -129,6 +152,7 @@ impl Default for TcpTuning {
             reconnect_backoff: Duration::from_millis(50),
             write_timeout: Duration::from_secs(1),
             legacy_send: false,
+            shared_reader: true,
         }
     }
 }
@@ -166,11 +190,31 @@ impl PipelineStats {
     }
 }
 
+/// Counters of an endpoint's shared reader, for tests and the bench
+/// harness's wake-per-frame metric. Snapshot via
+/// [`TcpEndpoint::reader_stats`]; `None` when the endpoint runs a
+/// thread-per-connection receive path instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReaderStats {
+    /// Poll wake-ups that reported at least one ready socket. Every wake
+    /// drains *all* ready sockets, so under load this is far smaller than
+    /// `frames` — the fan-in batching the shared reader exists for.
+    pub wakes: u64,
+    /// Frames decoded and delivered to the inbox.
+    pub frames: u64,
+    /// Accepted connections currently adopted by the reader.
+    pub open_connections: usize,
+}
+
 /// Shared process-id → address registry, carrying the send-path tuning its
 /// endpoints are opened with.
 #[derive(Debug, Clone, Default)]
 pub struct TcpRegistry {
     addrs: Arc<Mutex<HashMap<ProcessId, SocketAddr>>>,
+    /// Shared readers of every endpoint opened through this registry, for
+    /// deployment-wide [`TcpRegistry::reader_totals`]. Weak: the registry
+    /// must not keep a dropped endpoint's reader state alive.
+    readers: Arc<Mutex<Vec<std::sync::Weak<ReaderShared>>>>,
     tuning: TcpTuning,
 }
 
@@ -207,6 +251,22 @@ impl TcpRegistry {
     /// single connect syscall.
     pub fn remove(&self, id: ProcessId) {
         self.addrs.lock().remove(&id);
+    }
+
+    /// Sums the shared-reader counters across every live endpoint opened
+    /// through this registry — the bench harness's deployment-wide
+    /// wake-per-frame metric. Endpoints on a per-connection receive path
+    /// contribute nothing; dropped endpoints are pruned.
+    pub fn reader_totals(&self) -> ReaderStats {
+        let mut totals = ReaderStats::default();
+        self.readers.lock().retain(|weak| {
+            let Some(shared) = weak.upgrade() else { return false };
+            totals.wakes += shared.wakes.load(Ordering::Relaxed);
+            totals.frames += shared.frames.load(Ordering::Relaxed);
+            totals.open_connections += shared.conns.load(Ordering::SeqCst);
+            true
+        });
+        totals
     }
 }
 
@@ -526,6 +586,209 @@ fn drain_loop(
     }
 }
 
+/// Bytes one socket read pulls at a time in the shared reader; the
+/// per-socket buffer grows in these steps (and past them for frames
+/// larger than one chunk).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Per-drain byte budget of the shared reader: after this many bytes from
+/// one socket it moves on, and the level-triggered poller re-reports the
+/// leftover readiness on the next wait — a fire-hosing peer cannot starve
+/// the other connections on the same reader thread.
+const DRAIN_BUDGET: usize = 1024 * 1024;
+
+/// State shared between an endpoint's shared reader thread, its acceptor
+/// (which hands fresh sockets over), and its owner (stop/stats).
+#[derive(Debug)]
+struct ReaderShared {
+    poller: Poller,
+    /// Accepted, not-yet-adopted connections; the acceptor pushes and
+    /// notifies, the reader drains on its next wake.
+    handoff: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+    wakes: AtomicU64,
+    frames: AtomicU64,
+    /// Adopted-connection gauge — the endpoint's [`TcpEndpoint::connection_gauge`].
+    conns: Arc<AtomicUsize>,
+}
+
+/// The shared reader thread's handle held by the endpoint.
+#[derive(Debug)]
+struct ReaderHandle {
+    shared: Arc<ReaderShared>,
+    join: Option<JoinHandle<()>>,
+}
+
+#[cfg(unix)]
+fn stream_fd(stream: &TcpStream) -> polling::Source {
+    use std::os::unix::io::AsRawFd as _;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_stream: &TcpStream) -> polling::Source {
+    // Unreachable in practice: `Poller::new` fails on non-Unix targets, so
+    // the endpoint falls back to thread-per-connection and never adopts.
+    -1
+}
+
+/// One connection adopted by the shared reader: the non-blocking socket
+/// plus its reusable receive buffer (`buf[..filled]` holds bytes read but
+/// not yet decoded), carried across wake-ups like the per-connection
+/// reader threads carried theirs across frames.
+#[derive(Debug)]
+struct SharedConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    filled: usize,
+    last_mark: Option<Instant>,
+}
+
+impl SharedConn {
+    fn new(stream: TcpStream) -> SharedConn {
+        SharedConn { stream, buf: Vec::new(), filled: 0, last_mark: None }
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the fairness budget is spent,
+    /// decoding every complete frame accumulated in the buffer. Returns
+    /// `false` when the connection must be dropped (EOF, I/O error, or a
+    /// corrupt/oversized frame — the same conditions that ended a
+    /// per-connection reader thread).
+    fn drain(&mut self, tx: &Sender<Inbound>, inbound: &InboundSeen, frames: &AtomicU64) -> bool {
+        let mut budget = DRAIN_BUDGET;
+        loop {
+            if self.buf.len() < self.filled + READ_CHUNK {
+                self.buf.resize(self.filled + READ_CHUNK, 0);
+            }
+            match self.stream.read(&mut self.buf[self.filled..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.filled += n;
+                    if !self.decode_frames(tx, inbound, frames) {
+                        return false;
+                    }
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        self.release();
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.release();
+                    return true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Decodes every complete frame in `buf[..filled]` in place and
+    /// compacts the leftover partial frame (if any) to the front.
+    fn decode_frames(&mut self, tx: &Sender<Inbound>, inbound: &InboundSeen, frames: &AtomicU64) -> bool {
+        let mut parsed = 0usize;
+        while self.filled - parsed >= 4 {
+            let len = u32::from_be_bytes(self.buf[parsed..parsed + 4].try_into().expect("4 bytes"));
+            if len > MAX_FRAME {
+                return false;
+            }
+            let total = 4 + len as usize;
+            if self.filled - parsed < total {
+                break;
+            }
+            let mut cursor: &[u8] = &self.buf[parsed + 4..parsed + total];
+            let Ok(from) = ProcessId::decode(&mut cursor) else { return false };
+            let Ok(msg) = Msg::decode(&mut cursor) else { return false };
+            parsed += total;
+            frames.fetch_add(1, Ordering::Relaxed);
+            // Throttled heard-from mark, as in the per-connection readers,
+            // so writer pipelines forgive their negative caches early.
+            let now = Instant::now();
+            match self.last_mark {
+                Some(at) if now.duration_since(at) < INBOUND_MARK_INTERVAL => {}
+                _ => {
+                    inbound.lock().insert(from, now);
+                    self.last_mark = Some(now);
+                }
+            }
+            if tx.send((from, msg)).is_err() {
+                return false;
+            }
+        }
+        if parsed > 0 {
+            self.buf.copy_within(parsed..self.filled, 0);
+            self.filled -= parsed;
+        }
+        true
+    }
+
+    /// Releases a full-info burst's high-water capacity once drained, as
+    /// the per-connection readers did with their body buffers.
+    fn release(&mut self) {
+        if self.buf.capacity() > BUF_RETAIN && self.filled <= BUF_RETAIN {
+            let mut fresh = Vec::with_capacity(self.filled.max(READ_CHUNK));
+            fresh.extend_from_slice(&self.buf[..self.filled]);
+            self.buf = fresh;
+        }
+    }
+}
+
+/// The endpoint's shared reader: sleeps in `poll` until any adopted socket
+/// is readable (or the acceptor/owner notifies), then drains every ready
+/// socket into the inbox before sleeping again.
+fn shared_reader_loop(shared: &ReaderShared, tx: &Sender<Inbound>, inbound: &InboundSeen) {
+    let mut conns: HashMap<usize, SharedConn> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        events.clear();
+        if shared.poller.wait(&mut events, None).is_err() {
+            break;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Adopt connections the acceptor handed over. Any bytes already
+        // waiting on them surface on the next (level-triggered) wait.
+        let fresh: Vec<TcpStream> = std::mem::take(&mut *shared.handoff.lock());
+        for stream in fresh {
+            let key = next_key;
+            next_key += 1;
+            if shared.poller.add(stream_fd(&stream), Event::readable(key)).is_err() {
+                continue; // socket drops; the peer reconnects (crash model)
+            }
+            shared.conns.fetch_add(1, Ordering::SeqCst);
+            conns.insert(key, SharedConn::new(stream));
+        }
+        if !events.is_empty() {
+            shared.wakes.fetch_add(1, Ordering::Relaxed);
+        }
+        for event in &events {
+            let Some(conn) = conns.get_mut(&event.key) else { continue };
+            if !conn.drain(tx, inbound, &shared.frames) {
+                let conn = conns.remove(&event.key).expect("drained conn is present");
+                let _ = shared.poller.delete(stream_fd(&conn.stream));
+                shared.conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    // Teardown: close every adopted socket before the thread exits, so
+    // once the endpoint's Drop joins this thread the gauge reads zero.
+    for (_, conn) in conns.drain() {
+        let _ = shared.poller.delete(stream_fd(&conn.stream));
+        shared.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Where the acceptor routes an accepted connection: the legacy per-frame
+/// reader, a per-connection buffered reader thread, or the endpoint's
+/// shared readiness-driven reader.
+enum AcceptSink {
+    Legacy { tx: Sender<Inbound> },
+    PerConn { tx: Sender<Inbound>, inbound: InboundSeen, gauge: Arc<AtomicUsize> },
+    Shared { shared: Arc<ReaderShared> },
+}
+
 /// One process's TCP endpoint: a listener thread feeding an inbox, plus a
 /// writer pipeline per destination.
 #[derive(Debug)]
@@ -543,6 +806,11 @@ pub struct TcpEndpoint {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<thread::JoinHandle<()>>,
+    /// The shared reader, when this endpoint runs one (default tuning on
+    /// Unix); `None` on the thread-per-connection fallbacks.
+    reader: Option<ReaderHandle>,
+    /// Accepted connections currently held by this endpoint's readers.
+    conn_gauge: Arc<AtomicUsize>,
 }
 
 impl TcpEndpoint {
@@ -558,25 +826,69 @@ impl TcpEndpoint {
         registry.insert(id, local_addr);
         let (tx, rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor_stop = Arc::clone(&stop);
-        let legacy = registry.tuning().legacy_send;
+        let tuning = registry.tuning();
         let inbound: InboundSeen = Arc::default();
-        let acceptor_inbound = Arc::clone(&inbound);
+        let conn_gauge = Arc::new(AtomicUsize::new(0));
+
+        // Pick the receive path: legacy per-frame readers, per-connection
+        // buffered reader threads, or (the default) one shared
+        // readiness-driven reader — falling back to thread-per-connection
+        // where no readiness queue exists (`Poller::new` fails).
+        let mut reader = None;
+        let per_conn_sink = || AcceptSink::PerConn {
+            tx: tx.clone(),
+            inbound: Arc::clone(&inbound),
+            gauge: Arc::clone(&conn_gauge),
+        };
+        let sink = if tuning.legacy_send {
+            AcceptSink::Legacy { tx: tx.clone() }
+        } else if tuning.shared_reader {
+            match Poller::new() {
+                Ok(poller) => {
+                    let shared = Arc::new(ReaderShared {
+                        poller,
+                        handoff: Mutex::new(Vec::new()),
+                        stop: AtomicBool::new(false),
+                        wakes: AtomicU64::new(0),
+                        frames: AtomicU64::new(0),
+                        conns: Arc::clone(&conn_gauge),
+                    });
+                    let thread_shared = Arc::clone(&shared);
+                    let thread_tx = tx.clone();
+                    let thread_inbound = Arc::clone(&inbound);
+                    let join = thread::Builder::new()
+                        .name(format!("tcp-shared-reader-{id}"))
+                        .spawn(move || {
+                            shared_reader_loop(&thread_shared, &thread_tx, &thread_inbound);
+                        })
+                        .map_err(io_err)?;
+                    registry.readers.lock().push(Arc::downgrade(&shared));
+                    reader = Some(ReaderHandle { shared: Arc::clone(&shared), join: Some(join) });
+                    AcceptSink::Shared { shared }
+                }
+                Err(_) => per_conn_sink(),
+            }
+        } else {
+            per_conn_sink()
+        };
+        let acceptor_stop = Arc::clone(&stop);
         let acceptor = thread::Builder::new()
             .name(format!("tcp-acceptor-{id}"))
-            .spawn(move || acceptor_loop(listener, tx, acceptor_stop, legacy, acceptor_inbound))
+            .spawn(move || acceptor_loop(&listener, &acceptor_stop, &sink))
             .map_err(io_err)?;
         Ok(TcpEndpoint {
             id,
             registry: registry.clone(),
             inbox: rx,
-            tuning: registry.tuning(),
+            tuning,
             pipelines: Mutex::new(HashMap::new()),
             legacy_outbound: Mutex::new(HashMap::new()),
             inbound,
             local_addr,
             stop,
             acceptor: Some(acceptor),
+            reader,
+            conn_gauge,
         })
     }
 
@@ -589,6 +901,26 @@ impl TcpEndpoint {
     /// nothing was ever sent there (or the endpoint runs the legacy path).
     pub fn peer_stats(&self, to: ProcessId) -> Option<PeerStats> {
         self.pipelines.lock().get(&to).map(|p| p.stats.snapshot())
+    }
+
+    /// A snapshot of the shared reader's counters, or `None` when this
+    /// endpoint receives through per-connection threads (legacy tuning,
+    /// `shared_reader: false`, or the non-Unix fallback).
+    pub fn reader_stats(&self) -> Option<ReaderStats> {
+        self.reader.as_ref().map(|r| ReaderStats {
+            wakes: r.shared.wakes.load(Ordering::Relaxed),
+            frames: r.shared.frames.load(Ordering::Relaxed),
+            open_connections: self.conn_gauge.load(Ordering::SeqCst),
+        })
+    }
+
+    /// The gauge of accepted connections this endpoint's readers currently
+    /// hold. The `Arc` outlives the endpoint, so tests can assert teardown
+    /// really closed everything: with the shared reader, the gauge reads
+    /// zero by the time `drop` returns (the reader thread is joined);
+    /// per-connection reader threads drain it as their sockets die.
+    pub fn connection_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.conn_gauge)
     }
 
     /// Hands `msg` to the writer pipeline for `to`, spawning it on first
@@ -674,6 +1006,17 @@ impl Drop for TcpEndpoint {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Stop the shared reader (after the acceptor, so no more sockets
+        // are handed off) and join it: the join makes connection teardown
+        // synchronous — every adopted socket is closed and the connection
+        // gauge reads zero before Drop returns.
+        if let Some(mut reader) = self.reader.take() {
+            reader.shared.stop.store(true, Ordering::Release);
+            let _ = reader.shared.poller.notify();
+            if let Some(join) = reader.join.take() {
+                let _ = join.join();
+            }
+        }
         // Tear down the writer pipelines: each drains its queued frames
         // and exits once its sender is gone; joining bounds the teardown
         // so no writer thread outlives the endpoint.
@@ -685,27 +1028,42 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn acceptor_loop(
-    listener: TcpListener,
-    tx: Sender<Inbound>,
-    stop: Arc<AtomicBool>,
-    legacy: bool,
-    inbound: InboundSeen,
-) {
+fn acceptor_loop(listener: &TcpListener, stop: &AtomicBool, sink: &AcceptSink) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { break };
-        let tx = tx.clone();
-        let inbound = Arc::clone(&inbound);
-        let _ = thread::Builder::new().name("tcp-reader".into()).spawn(move || {
-            if legacy {
-                reader_loop_legacy(stream, &tx);
-            } else {
-                reader_loop(stream, &tx, &inbound);
+        match sink {
+            AcceptSink::Legacy { tx } => {
+                let tx = tx.clone();
+                let _ = thread::Builder::new()
+                    .name("tcp-reader".into())
+                    .spawn(move || reader_loop_legacy(stream, &tx));
             }
-        });
+            AcceptSink::PerConn { tx, inbound, gauge } => {
+                let tx = tx.clone();
+                let inbound = Arc::clone(inbound);
+                gauge.fetch_add(1, Ordering::SeqCst);
+                let thread_gauge = Arc::clone(gauge);
+                let spawned = thread::Builder::new().name("tcp-reader".into()).spawn(move || {
+                    reader_loop(stream, &tx, &inbound);
+                    thread_gauge.fetch_sub(1, Ordering::SeqCst);
+                });
+                if spawned.is_err() {
+                    gauge.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            AcceptSink::Shared { shared } => {
+                // Non-blocking before adoption: the shared reader must
+                // never block on one socket's read.
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // socket drops; the peer reconnects
+                }
+                shared.handoff.lock().push(stream);
+                let _ = shared.poller.notify();
+            }
+        }
     }
 }
 
@@ -1045,6 +1403,127 @@ mod tests {
             let (_, msg) = b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(msg, Msg::InvokeWrite(Value::new(i)), "FIFO preserved through teardown");
         }
+    }
+
+    /// The tentpole path: many senders fan in to one endpoint through a
+    /// single shared reader thread. Every frame arrives, the reader's
+    /// frame counter accounts for all of them, the connection gauge sees
+    /// one adopted socket per sender, and peer EOFs (dropped senders) are
+    /// reaped back to zero.
+    #[test]
+    fn shared_reader_fans_in_many_connections_on_one_thread() {
+        let registry = TcpRegistry::new();
+        let hub = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        assert!(hub.reader_stats().is_some(), "default tuning runs the shared reader");
+        let senders: Vec<TcpEndpoint> = (0..8)
+            .map(|i| TcpEndpoint::bind(ProcessId::writer(i), &registry).unwrap())
+            .collect();
+        for (i, sender) in senders.iter().enumerate() {
+            for j in 0..25 {
+                let v = Value::new((i * 25 + j) as u64);
+                sender.send(ProcessId::server(0), Msg::InvokeWrite(v)).unwrap();
+            }
+        }
+        for _ in 0..200 {
+            hub.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let stats = hub.reader_stats().unwrap();
+        assert_eq!(stats.frames, 200, "{stats:?}");
+        assert_eq!(stats.open_connections, 8, "one adopted socket per sender: {stats:?}");
+        assert!(stats.wakes >= 1 && stats.wakes <= stats.frames, "{stats:?}");
+
+        // Dropping the senders closes their sockets; the shared reader
+        // observes the EOFs and reaps the connections.
+        drop(senders);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hub.reader_stats().unwrap().open_connections > 0 {
+            assert!(Instant::now() < deadline, "EOF'd connections never reaped");
+            thread::yield_now();
+        }
+    }
+
+    /// `shared_reader: false` restores the thread-per-connection receive
+    /// path (the bench matrix's "pipeline" cell).
+    #[test]
+    fn per_connection_reader_mode_still_works() {
+        let tuning = TcpTuning { shared_reader: false, ..TcpTuning::default() };
+        let registry = TcpRegistry::new().with_tuning(tuning);
+        let a = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        let b = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        assert!(b.reader_stats().is_none(), "no shared reader in per-connection mode");
+        for i in 0..20 {
+            a.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(i))).unwrap();
+        }
+        for i in 0..20 {
+            let (_, msg) = b.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg, Msg::InvokeWrite(Value::new(i)), "FIFO per connection");
+        }
+        assert_eq!(b.connection_gauge().load(Ordering::SeqCst), 1);
+    }
+
+    /// Dropping an endpoint joins its shared reader, so every adopted
+    /// connection is provably closed by the time `drop` returns — the
+    /// gauge outlives the endpoint to make that assertable.
+    #[test]
+    fn endpoint_drop_closes_every_adopted_connection() {
+        let registry = TcpRegistry::new();
+        let hub = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        let senders: Vec<TcpEndpoint> = (0..4)
+            .map(|i| TcpEndpoint::bind(ProcessId::reader(i), &registry).unwrap())
+            .collect();
+        for sender in &senders {
+            sender.send(ProcessId::server(0), Msg::InvokeRead).unwrap();
+        }
+        for _ in 0..4 {
+            hub.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let gauge = hub.connection_gauge();
+        assert_eq!(gauge.load(Ordering::SeqCst), 4);
+        drop(hub);
+        assert_eq!(
+            gauge.load(Ordering::SeqCst),
+            0,
+            "teardown must close adopted connections synchronously"
+        );
+    }
+
+    /// A corrupt length prefix (oversized frame) drops exactly that
+    /// connection — the shared reader's equivalent of a per-connection
+    /// reader thread exiting — without disturbing its neighbours.
+    #[test]
+    fn oversized_frame_drops_only_the_offending_connection() {
+        let registry = TcpRegistry::new();
+        let hub = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+        let good = TcpEndpoint::bind(ProcessId::writer(0), &registry).unwrap();
+        good.send(ProcessId::server(0), Msg::InvokeRead).unwrap();
+        hub.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let mut evil = TcpStream::connect(hub.local_addr()).unwrap();
+        evil.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+        evil.flush().unwrap();
+        // The evil connection is adopted and then dropped on decode: our
+        // end observes EOF (or a reset) once the endpoint closes it.
+        evil.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut probe = [0u8; 1];
+            match evil.read(&mut probe) {
+                Ok(0) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    assert!(Instant::now() < deadline, "corrupt connection never dropped");
+                }
+                Err(_) => break, // reset: closed too
+                Ok(_) => panic!("the endpoint never writes on accepted connections"),
+            }
+        }
+        // The good connection is untouched.
+        good.send(ProcessId::server(0), Msg::InvokeWrite(Value::new(9))).unwrap();
+        let (_, msg) = hub.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg, Msg::InvokeWrite(Value::new(9)));
+        assert_eq!(hub.reader_stats().unwrap().open_connections, 1);
     }
 
     #[test]

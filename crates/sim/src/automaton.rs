@@ -57,6 +57,34 @@ pub struct Context<'a, M, N> {
 }
 
 impl<'a, M, N> Context<'a, M, N> {
+    /// Creates a context detached from any simulation engine, for driving
+    /// automata directly in lockstep harnesses (microbenchmarks, CPU
+    /// attribution, unit tests of `Automaton` impls). Buffered effects are
+    /// read back with [`Context::take_sends`] / [`Context::take_notes`];
+    /// timers are buffered but never fire on their own.
+    pub fn detached(
+        now: SimTime,
+        self_id: ProcessId,
+        rng: &'a mut SmallRng,
+        next_timer_id: &'a mut u64,
+    ) -> Self {
+        Context::new(now, self_id, rng, next_timer_id)
+    }
+
+    /// Drains the messages buffered by [`Context::send`] /
+    /// [`Context::broadcast_to_servers`] since the last drain, as
+    /// `(destination, message)` pairs. Detached-context harnesses route
+    /// these by hand; inside the engine the drain happens automatically.
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Drains the notifications buffered by [`Context::notify`] since the
+    /// last drain.
+    pub fn take_notes(&mut self) -> Vec<N> {
+        std::mem::take(&mut self.notes)
+    }
+
     pub(crate) fn new(
         now: SimTime,
         self_id: ProcessId,

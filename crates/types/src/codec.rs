@@ -299,6 +299,128 @@ impl Wire for ClientId {
     }
 }
 
+/// A run of clients with consecutive indices of one kind: `start`,
+/// `start + 1`, …, `start + len − 1` (runs never cross from readers into
+/// writers). The wire-version-4 registration gossip compresses sorted
+/// `updated` lists into these runs — the catch-up re-registrations that
+/// full-info-equivalent semantics fan out to every reader are dense in
+/// client-id space, so a list of `R` readers collapses to one 9-byte run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRun {
+    /// The first client of the run.
+    pub start: ClientId,
+    /// How many consecutive clients the run covers (encoders emit ≥ 1).
+    pub len: u32,
+}
+
+impl Wire for ClientRun {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.start.encode(buf);
+        self.len.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.start.encoded_len() + self.len.encoded_len()
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(ClientRun { start: ClientId::decode(buf)?, len: u32::decode(buf)? })
+    }
+}
+
+/// Run-length encoding of client-id lists ([`ClientRun`]), streamed
+/// straight to and from the wire without materializing the runs.
+///
+/// Any list round-trips exactly (order preserved; a non-consecutive
+/// element is its own run of 1), but the encoding only *wins* on sorted
+/// lists with dense index runs — which is what the registration gossip
+/// produces.
+pub mod client_runs {
+    use super::{Buf, BytesMut, ClientId, ClientRun, DecodeError, Wire, MAX_COLLECTION_LEN};
+
+    struct Runs<'a> {
+        ids: &'a [ClientId],
+        i: usize,
+    }
+
+    impl Iterator for Runs<'_> {
+        type Item = ClientRun;
+
+        fn next(&mut self) -> Option<ClientRun> {
+            let start = *self.ids.get(self.i)?;
+            self.i += 1;
+            let mut prev = start;
+            let mut len: u32 = 1;
+            while let Some(&next) = self.ids.get(self.i) {
+                if len < u32::MAX && prev.is_followed_by(next) {
+                    prev = next;
+                    len += 1;
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            Some(ClientRun { start, len })
+        }
+    }
+
+    fn runs(ids: &[ClientId]) -> Runs<'_> {
+        Runs { ids, i: 0 }
+    }
+
+    /// Number of maximal runs in `ids`.
+    pub fn count(ids: &[ClientId]) -> u64 {
+        runs(ids).count() as u64
+    }
+
+    /// Exact wire size of [`encode`]'s output for `ids`.
+    pub fn encoded_len(ids: &[ClientId]) -> usize {
+        8 + count(ids) as usize * ClientRun { start: ClientId::reader(0), len: 1 }.encoded_len()
+    }
+
+    /// Appends `ids` as a length-prefixed run list (run count as `u64`,
+    /// then each run).
+    pub fn encode(ids: &[ClientId], buf: &mut BytesMut) {
+        count(ids).encode(buf);
+        for run in runs(ids) {
+            run.encode(buf);
+        }
+    }
+
+    /// Decodes a run list back into the flat client list, expanding each
+    /// run in place — `decode(encode(ids)) == ids` for every list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects run counts, expanded totals beyond
+    /// [`MAX_COLLECTION_LEN`], and runs whose indices would overflow
+    /// `u32` — the declared-length defences of the plain `Vec` codec,
+    /// applied to the *expanded* size a hostile frame could claim cheaply.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Vec<ClientId>, DecodeError> {
+        let declared = u64::decode(buf)?;
+        if declared > MAX_COLLECTION_LEN {
+            return Err(DecodeError::LengthOverflow { declared });
+        }
+        let mut out: Vec<ClientId> = Vec::new();
+        let mut total: u64 = 0;
+        for _ in 0..declared {
+            let run = ClientRun::decode(buf)?;
+            total += u64::from(run.len);
+            if total > MAX_COLLECTION_LEN {
+                return Err(DecodeError::LengthOverflow { declared: total });
+            }
+            if run.len > 0 && run.start.offset(run.len - 1).is_none() {
+                return Err(DecodeError::LengthOverflow { declared: u64::from(run.len) });
+            }
+            out.reserve(run.len as usize);
+            for k in 0..run.len {
+                out.push(run.start.offset(k).expect("offset bound checked above"));
+            }
+        }
+        Ok(out)
+    }
+}
+
 impl Wire for ProcessId {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -499,10 +621,132 @@ mod tests {
         );
     }
 
+    fn runs_round_trip(ids: &[ClientId]) {
+        let mut buf = BytesMut::new();
+        client_runs::encode(ids, &mut buf);
+        assert_eq!(
+            client_runs::encoded_len(ids),
+            buf.len(),
+            "client_runs::encoded_len must match encode"
+        );
+        let mut cursor: &[u8] = &buf;
+        let decoded = client_runs::decode(&mut cursor).expect("decode runs");
+        assert_eq!(decoded, ids);
+        assert!(cursor.is_empty(), "runs decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn dense_client_list_collapses_to_one_run() {
+        let ids: Vec<ClientId> = (0..128).map(ClientId::reader).collect();
+        // 128 consecutive readers: 8-byte count + one 9-byte run, vs the
+        // plain Vec codec's 8 + 128 × 5 bytes.
+        assert_eq!(client_runs::count(&ids), 1);
+        assert_eq!(client_runs::encoded_len(&ids), 17);
+        runs_round_trip(&ids);
+    }
+
+    #[test]
+    fn runs_split_at_the_reader_writer_boundary_and_at_gaps() {
+        let ids = vec![
+            ClientId::reader(0),
+            ClientId::reader(1),
+            ClientId::reader(3), // gap: new run
+            ClientId::writer(4), // kind change: new run even though 3→4
+            ClientId::writer(5),
+        ];
+        assert_eq!(client_runs::count(&ids), 3);
+        runs_round_trip(&ids);
+    }
+
+    #[test]
+    fn run_boundaries_around_128_round_trip() {
+        // The paper's protocols cap servers at 128 (the u128 reply mask);
+        // pin the encoding on either side of that population boundary.
+        for n in [127u32, 128, 129] {
+            let ids: Vec<ClientId> = (0..n).map(ClientId::reader).collect();
+            assert_eq!(client_runs::count(&ids), 1);
+            runs_round_trip(&ids);
+        }
+    }
+
+    #[test]
+    fn run_at_the_index_ceiling_round_trips() {
+        let ids = vec![ClientId::writer(u32::MAX - 1), ClientId::writer(u32::MAX)];
+        assert_eq!(client_runs::count(&ids), 1);
+        runs_round_trip(&ids);
+    }
+
+    #[test]
+    fn overflowing_run_is_rejected() {
+        // A run starting at u32::MAX − 1 with length 3 would wrap the
+        // index space; the expansion must refuse, not wrap.
+        let mut buf = BytesMut::new();
+        1u64.encode(&mut buf);
+        ClientRun { start: ClientId::reader(u32::MAX - 1), len: 3 }.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(client_runs::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_run_expansion_is_rejected() {
+        // Two runs whose *expanded* total exceeds the collection bound:
+        // cheap bytes must not claim an expensive allocation.
+        let mut buf = BytesMut::new();
+        2u64.encode(&mut buf);
+        ClientRun { start: ClientId::reader(0), len: MAX_COLLECTION_LEN as u32 }.encode(&mut buf);
+        ClientRun { start: ClientId::writer(0), len: 1 }.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            client_runs::decode(&mut bytes),
+            Err(DecodeError::LengthOverflow { declared: MAX_COLLECTION_LEN + 1 })
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_tag_round_trips(ts in 0u64..1_000_000, wid in 0u32..64) {
             round_trip(&Tag::new(ts, WriterId::new(wid)));
+        }
+
+        #[test]
+        fn prop_client_runs_round_trip_any_list(
+            raw in proptest::collection::vec((any::<bool>(), 0u32..400), 0..64),
+        ) {
+            // Arbitrary (unsorted, duplicated, gapped) lists: the encoding
+            // must be a bijection on sequences, not just on the sorted
+            // lists the server emits.
+            let ids: Vec<ClientId> = raw
+                .iter()
+                .map(|&(w, i)| if w { ClientId::writer(i) } else { ClientId::reader(i) })
+                .collect();
+            runs_round_trip(&ids);
+        }
+
+        #[test]
+        fn prop_sorted_client_runs_compress_to_gap_count(
+            raw_readers in proptest::collection::vec(0u32..600, 0..64),
+            raw_writers in proptest::collection::vec(0u32..600, 0..64),
+        ) {
+            // The registration-gossip shape: sorted readers then writers.
+            let dedup = |mut v: Vec<u32>| -> Vec<u32> {
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let (readers, writers) = (dedup(raw_readers), dedup(raw_writers));
+            let ids: Vec<ClientId> = readers
+                .iter()
+                .map(|&i| ClientId::reader(i))
+                .chain(writers.iter().map(|&i| ClientId::writer(i)))
+                .collect();
+            let gaps = |v: &[u32]| -> u64 {
+                match v.len() {
+                    0 => 0,
+                    n => 1 + (1..n).filter(|&k| v[k] != v[k - 1] + 1).count() as u64,
+                }
+            };
+            prop_assert_eq!(client_runs::count(&ids), gaps(&readers) + gaps(&writers));
+            runs_round_trip(&ids);
         }
 
         #[test]

@@ -132,6 +132,33 @@ impl ClientId {
             ClientId::Reader(_) => None,
         }
     }
+
+    /// The numeric index within this client's kind (`r3` and `w3` both
+    /// have index 3).
+    pub fn index(self) -> u32 {
+        match self {
+            ClientId::Reader(r) => r.index(),
+            ClientId::Writer(w) => w.index(),
+        }
+    }
+
+    /// The client `offset` positions after this one *within the same
+    /// kind*, or `None` if the index would overflow `u32`. `r2.offset(3)`
+    /// is `r5`; a run never crosses from readers into writers.
+    pub fn offset(self, offset: u32) -> Option<ClientId> {
+        let index = self.index().checked_add(offset)?;
+        Some(match self {
+            ClientId::Reader(_) => ClientId::reader(index),
+            ClientId::Writer(_) => ClientId::writer(index),
+        })
+    }
+
+    /// Whether `next` is this client's immediate successor within the same
+    /// kind (`r2` is followed by `r3`, never by `w0`) — the adjacency the
+    /// run-length registration encoding compresses.
+    pub fn is_followed_by(self, next: ClientId) -> bool {
+        self.offset(1) == Some(next)
+    }
 }
 
 impl fmt::Display for ClientId {

@@ -3,6 +3,7 @@
 //! through the `Deployment` facade.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use mwr::core::{Msg, OpHandle, OpId};
@@ -179,6 +180,57 @@ fn tcp_pipeline_stress_keeps_frames_whole_and_fifo() {
     assert_eq!(stats.frames_sent, SENDERS as u64 * MSGS, "{stats:?}");
     assert!(stats.batches <= stats.frames_sent, "{stats:?}");
     assert_eq!(stats.frames_dropped, 0, "{stats:?}");
+    // On the receive side, the hub's shared reader accounted for every
+    // frame, and dropping the hub closes every adopted connection before
+    // `drop` returns — the teardown the gauge makes assertable.
+    let reader = hub.reader_stats().expect("default tuning runs the shared reader");
+    assert_eq!(reader.frames, 2 * SENDERS as u64 * MSGS, "{reader:?}");
+    assert!(reader.wakes <= reader.frames, "{reader:?}");
+    let gauge = hub.connection_gauge();
+    assert!(gauge.load(Ordering::SeqCst) >= 1, "the live shared endpoint stays connected");
+    drop(hub);
+    assert_eq!(gauge.load(Ordering::SeqCst), 0, "teardown leaked adopted connections");
+}
+
+/// A transport-level reconnect storm against one endpoint: a peer re-binds
+/// over and over, each incarnation sending a frame and receiving a reply
+/// before its socket dies. Each teardown EOFs the hub's adopted inbound
+/// connection and leaves the hub's reply pipeline pointing at a dead
+/// address (the negative-cache path the next incarnation's inbound frame
+/// forgives). The shared reader must reap every EOF'd socket — the gauge
+/// settles back to the live-connection count instead of accumulating one
+/// leaked buffer per storm round — and endpoint drop closes the rest.
+#[test]
+fn tcp_reconnect_storm_does_not_leak_adopted_connections() {
+    let registry = TcpRegistry::new().with_tuning(TcpTuning {
+        reconnect_backoff: Duration::from_millis(5),
+        ..TcpTuning::default()
+    });
+    let hub = TcpEndpoint::bind(ProcessId::server(0), &registry).unwrap();
+    let gauge = hub.connection_gauge();
+    for _ in 0..30 {
+        let peer = TcpEndpoint::bind(ProcessId::reader(0), &registry).unwrap();
+        peer.send(ProcessId::server(0), Msg::InvokeRead).unwrap();
+        hub.inbox().recv_timeout(Duration::from_secs(5)).unwrap();
+        // The reply exercises the hub's writer pipeline against a peer
+        // that keeps dying: failed cycles negative-cache it, the next
+        // incarnation's inbound frame forgives the cache.
+        let _ = hub.send(ProcessId::reader(0), Msg::InvokeRead);
+        drop(peer);
+    }
+    // Every storm incarnation's socket EOF'd; the shared reader must reap
+    // them all rather than pinning 30 dead sockets and their buffers.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while gauge.load(Ordering::SeqCst) > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "storm leaked adopted connections: {} still held",
+            gauge.load(Ordering::SeqCst)
+        );
+        std::thread::yield_now();
+    }
+    drop(hub);
+    assert_eq!(gauge.load(Ordering::SeqCst), 0);
 }
 
 /// Crashing a server mid-hammer must neither wedge the survivors'

@@ -1,0 +1,454 @@
+//! Offline stand-in for `polling` — a level-triggered readiness queue.
+//!
+//! The live TCP transport needs one thread to sleep until *any* of its
+//! sockets has bytes to read (a shared reader), instead of parking one
+//! blocking thread per connection. The real `polling` crate wraps
+//! epoll/kqueue/IOCP; this stand-in wraps the portable `poll(2)` syscall
+//! plus a self-pipe notifier, which is all the workspace needs:
+//!
+//! - [`Poller::add`] / [`Poller::delete`] maintain the interest set (file
+//!   descriptors tagged with caller-chosen `usize` keys),
+//! - [`Poller::wait`] blocks until at least one registered descriptor is
+//!   readable (or has hung up — level-triggered, like `poll(2)` itself),
+//! - [`Poller::notify`] wakes a concurrent `wait` from any thread by
+//!   writing one byte into an internal non-blocking pipe (the classic
+//!   self-pipe trick), so shutdown and "new socket registered" signals
+//!   need no timed re-polling.
+//!
+//! No `libc` crate is vendored; the handful of syscalls are declared
+//! directly — `std` already links the platform C library on every Unix
+//! target. On non-Unix targets every operation returns
+//! [`io::ErrorKind::Unsupported`]; callers fall back to
+//! thread-per-connection reads.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// A readiness event: the caller-chosen key of a registered descriptor
+/// that is ready to read (or has hung up, which reads as EOF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key passed to [`Poller::add`] for the ready descriptor.
+    pub key: usize,
+    /// Whether the descriptor is readable (always true in events returned
+    /// by [`Poller::wait`]; hangup and error conditions are folded in so a
+    /// subsequent read observes the EOF or error).
+    pub readable: bool,
+}
+
+impl Event {
+    /// A read-interest event with the given key (the only interest this
+    /// stand-in supports — the workspace's writers use blocking sockets).
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    // `std` links the C library on every Unix target, so the syscall
+    // wrappers can be declared directly instead of vendoring `libc`.
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0o4000;
+
+    fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+        // SAFETY: fcntl on an owned, open descriptor with valid flag cmds.
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// poll(2)-backed implementation; see the crate docs.
+    #[derive(Debug)]
+    pub struct Poller {
+        interest: Mutex<Vec<(RawFd, usize)>>,
+        wake_read: RawFd,
+        wake_write: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let mut fds: [c_int; 2] = [0; 2];
+            // SAFETY: pipe writes exactly two descriptors into the array.
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let (r, w) = (fds[0], fds[1]);
+            // Both ends non-blocking: `notify` on a full pipe is a no-op
+            // (a wake-up is already pending), and the drain in `wait`
+            // stops at empty instead of blocking the reader.
+            if let Err(e) = set_nonblocking(r).and_then(|()| set_nonblocking(w)) {
+                // SAFETY: closing the descriptors this function just opened.
+                unsafe {
+                    close(r);
+                    close(w);
+                }
+                return Err(e);
+            }
+            Ok(Poller { interest: Mutex::new(Vec::new()), wake_read: r, wake_write: w })
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut set = self.interest.lock().unwrap();
+            if set.iter().any(|&(f, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "descriptor already registered",
+                ));
+            }
+            set.push((fd, interest.key));
+            Ok(())
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut set = self.interest.lock().unwrap();
+            match set.iter().position(|&(f, _)| f == fd) {
+                Some(i) => {
+                    set.swap_remove(i);
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "descriptor not registered",
+                )),
+            }
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut fds: Vec<PollFd> = Vec::new();
+            let mut keys: Vec<usize> = Vec::new();
+            fds.push(PollFd { fd: self.wake_read, events: POLLIN, revents: 0 });
+            {
+                let set = self.interest.lock().unwrap();
+                fds.reserve(set.len());
+                keys.reserve(set.len());
+                for &(fd, key) in set.iter() {
+                    fds.push(PollFd { fd, events: POLLIN, revents: 0 });
+                    keys.push(key);
+                }
+            }
+            let timeout_ms: c_int = match timeout {
+                // poll(2) takes int milliseconds; saturate long sleeps.
+                Some(t) => t.as_millis().min(c_int::MAX as u128) as c_int,
+                None => -1,
+            };
+            // SAFETY: `fds` is a valid array of initialized PollFds for the
+            // duration of the call; the kernel only writes `revents`.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0); // EINTR: callers loop on their own state
+                }
+                return Err(err);
+            }
+            let ready = POLLIN | POLLERR | POLLHUP;
+            if fds[0].revents & ready != 0 {
+                self.drain_wake_pipe();
+            }
+            let before = events.len();
+            for (pfd, &key) in fds[1..].iter().zip(&keys) {
+                // Errors and hangups are reported as readable so the owner
+                // performs the read that observes the EOF/error and
+                // deregisters — level-triggered semantics keep re-reporting
+                // until it does.
+                if pfd.revents & ready != 0 {
+                    events.push(Event { key, readable: true });
+                }
+            }
+            Ok(events.len() - before)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let byte = [1u8];
+            // SAFETY: writing one byte from a valid buffer to an owned fd.
+            let n = unsafe { write(self.wake_write, byte.as_ptr(), 1) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A full pipe means a wake-up is already pending: done.
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        fn drain_wake_pipe(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: reading into a valid buffer from an owned fd.
+                let n = unsafe { read(self.wake_read, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break; // empty (WouldBlock) or closed: nothing pending
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing descriptors owned by this Poller exactly once.
+            unsafe {
+                close(self.wake_read);
+                close(self.wake_write);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling stand-in supports Unix targets only",
+        ))
+    }
+
+    /// Stub implementation for non-Unix targets; every call fails with
+    /// [`io::ErrorKind::Unsupported`].
+    #[derive(Debug)]
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+
+        pub fn add(&self, _fd: i32, _interest: Event) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unsupported()
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            unsupported()
+        }
+    }
+}
+
+/// A readiness queue over a set of registered file descriptors.
+///
+/// Thread-safe: one thread blocks in [`wait`](Poller::wait) while others
+/// [`add`](Poller::add)/[`delete`](Poller::delete) descriptors and
+/// [`notify`](Poller::notify) it. Registration changes made during a
+/// `wait` take effect on the next `wait` (pair them with `notify`).
+#[derive(Debug)]
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+/// The raw descriptor type registered with a [`Poller`]
+/// (`std::os::unix::io::RawFd` on Unix).
+#[cfg(unix)]
+pub type Source = std::os::unix::io::RawFd;
+/// The raw descriptor type registered with a [`Poller`] (placeholder on
+/// non-Unix targets, where every operation fails).
+#[cfg(not(unix))]
+pub type Source = i32;
+
+impl Poller {
+    /// Creates a new readiness queue (allocates the internal wake pipe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe/fcntl failures; fails with
+    /// [`io::ErrorKind::Unsupported`] on non-Unix targets.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { inner: sys::Poller::new()? })
+    }
+
+    /// Registers `fd` for read-readiness under `interest.key`.
+    ///
+    /// The caller keeps ownership of the descriptor and must `delete` it
+    /// before closing it.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if `fd` is registered.
+    pub fn add(&self, fd: Source, interest: Event) -> io::Result<()> {
+        self.inner.add(fd, interest)
+    }
+
+    /// Removes `fd` from the interest set.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] if `fd` was not registered.
+    pub fn delete(&self, fd: Source) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is readable, a
+    /// [`notify`](Poller::notify) arrives, or `timeout` elapses (`None`
+    /// blocks indefinitely). Appends one [`Event`] per ready descriptor to
+    /// `events` and returns how many were appended — zero for a pure
+    /// notify, timeout, or signal interruption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures other than `EINTR`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+
+    /// Wakes a concurrent [`wait`](Poller::wait) from any thread. Wake-ups
+    /// do not queue: one notify suffices no matter how many were sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe write failures (a full pipe is success).
+    pub fn notify(&self) -> io::Result<()> {
+        self.inner.notify()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn wait_times_out_with_no_ready_fds() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = pair();
+        poller.add(b.as_raw_fd(), Event::readable(7)).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn data_makes_the_registered_fd_ready() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = pair();
+        poller.add(b.as_raw_fd(), Event::readable(42)).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 42);
+        // Level-triggered: unread data keeps the fd ready.
+        events.clear();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn hangup_reports_as_readable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = pair();
+        poller.add(b.as_raw_fd(), Event::readable(3)).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 3);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() < Duration::from_secs(10));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn notifies_coalesce_and_do_not_stick() {
+        let poller = Poller::new().unwrap();
+        for _ in 0..100 {
+            poller.notify().unwrap();
+        }
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        // The pipe was drained: a second wait times out instead of spinning.
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn delete_removes_interest() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = pair();
+        poller.add(b.as_raw_fd(), Event::readable(1)).unwrap();
+        a.write_all(b"x").unwrap();
+        poller.delete(b.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(poller.delete(b.as_raw_fd()).is_err());
+    }
+}
